@@ -1,0 +1,94 @@
+"""Shared infrastructure for the per-figure benchmark modules.
+
+Every benchmark regenerates one table or figure of the paper. The
+rendered series are printed *and* written to ``benchmarks/results/`` so
+the artifacts survive pytest's output capture; EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+
+Workloads are scaled down for pure Python (see
+``repro.experiments.workloads``); set ``REPRO_SCALE`` to grow them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.sweeps import memory_sweep
+from repro.experiments.workloads import (
+    ci_dataset,
+    fc_dataset,
+    queries_for,
+    standard_synthetic,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+MEMORY_FRACTIONS = (0.04, 0.08, 0.12, 0.16, 0.20)
+
+
+@pytest.fixture(scope="session")
+def ci():
+    return ci_dataset()
+
+
+@pytest.fixture(scope="session")
+def fc():
+    return fc_dataset()
+
+
+@pytest.fixture(scope="session")
+def synth():
+    return standard_synthetic()
+
+
+@pytest.fixture(scope="session")
+def ci_memory_sweep(ci):
+    """Shared CI memory sweep backing Figures 3, 5 and 7."""
+    return memory_sweep(ci, fractions=MEMORY_FRACTIONS, queries=queries_for(ci, 2))
+
+
+@pytest.fixture(scope="session")
+def fc_memory_sweep(fc):
+    """Shared FC memory sweep backing Figures 4, 6 and 8."""
+    return memory_sweep(fc, fractions=MEMORY_FRACTIONS, queries=queries_for(fc, 2))
+
+
+@pytest.fixture(scope="session")
+def synth_memory_sweep(synth):
+    """Shared synthetic memory sweep backing Figures 9 and 10."""
+    return memory_sweep(
+        synth, fractions=(0.05, 0.10, 0.15, 0.20), queries=queries_for(synth, 2)
+    )
+
+
+def by_algorithm(measurements):
+    """Group a sweep's rows into {algorithm: [rows in sweep order]}."""
+    out: dict[str, list] = {}
+    for m in measurements:
+        out.setdefault(m.algorithm, []).append(m)
+    return out
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a rendered experiment table and persist it to results/."""
+
+    def _emit(name: str, title: str, text: str) -> None:
+        block = f"\n=== {title} ===\n{text}\n"
+        print(block)
+        (results_dir / f"{name}.txt").write_text(block.lstrip("\n"))
+
+    return _emit

@@ -1,0 +1,64 @@
+"""Ablation: isolate each optimization's contribution (DESIGN.md §5).
+
+The paper presents BRS -> SRS -> TRS as a stack of optimizations
+(block accesses, pre-sorting, group-level reasoning + early pruning) and
+reports how "techniques that use a subset of the above optimizations
+fare". This bench ablates TRS's two internal design choices as well:
+
+- ``TRS/no-sort``   — trees over the native (unsorted) layout
+- ``TRS/no-child-order`` — Algorithm 4 without promising-subtree-first
+"""
+
+import pytest
+
+from conftest import mean
+from repro.experiments.sweeps import ablation_sweep
+from repro.experiments.tables import format_measurements
+from repro.experiments.workloads import queries_for, standard_synthetic
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    ds = standard_synthetic()
+    return ablation_sweep(ds, queries=queries_for(ds, 2))
+
+
+def _row(sweep, variant, algo=None):
+    rows = [
+        m
+        for m in sweep
+        if m.params["variant"] == variant and (algo is None or m.algorithm == algo)
+    ]
+    assert rows, (variant, algo)
+    return rows[0]
+
+
+def test_ablation(sweep, benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "ablation_components",
+        "Ablation — contribution of each optimization (synthetic workload)",
+        format_measurements(
+            sweep,
+            columns=(("algorithm", "algo"), ("checks", "checks"),
+                     ("intermediate_size", "|R|"), ("rand_io", "rand_pages"),
+                     ("response_ms", "resp_ms(model)")),
+            param_keys=("variant",),
+        ),
+    )
+    brs = _row(sweep, "baseline", "BRS")
+    srs = _row(sweep, "baseline", "SRS")
+    trs = _row(sweep, "baseline", "TRS")
+    no_sort = _row(sweep, "TRS/no-sort")
+    no_order = _row(sweep, "TRS/no-child-order")
+
+    # The paper's optimization stack, in computational cost:
+    assert trs.checks < srs.checks < brs.checks
+
+    # Pre-sorting matters to TRS too: without it, phase-1 clustering is
+    # weaker, so the intermediate result grows.
+    assert trs.intermediate_size <= no_sort.intermediate_size
+    assert trs.checks <= no_sort.checks * 1.1
+
+    # Child ordering (promising-subtree first) must not hurt.
+    assert trs.checks <= no_order.checks * 1.1

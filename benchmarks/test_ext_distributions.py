@@ -1,0 +1,66 @@
+"""Value-distribution robustness (beyond the paper).
+
+The paper generates synthetic data with normal marginals only
+(Section 5.2). This bench checks that the headline ordering — TRS < SRS <
+BRS in checks, TRS best on random IO — is not an artifact of that choice:
+the same sweep runs under normal, uniform and Zipf value distributions.
+Zipf (heavy value reuse) is TRS-friendly (huge groups near the root);
+uniform is the stress case (smallest groups).
+"""
+
+import pytest
+
+from conftest import mean
+from repro.data.synthetic import NORMAL, UNIFORM, ZIPF, synthetic_dataset
+from repro.experiments.runner import compare_algorithms
+from repro.experiments.tables import format_measurements
+from repro.experiments.workloads import queries_for, scaled
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for distribution in (NORMAL, UNIFORM, ZIPF):
+        ds = synthetic_dataset(
+            scaled(6000), [24] * 5, seed=7, distribution=distribution,
+            name=f"synthetic-{distribution}",
+        )
+        rows.extend(
+            compare_algorithms(
+                ds,
+                queries_for(ds, 2),
+                ("BRS", "SRS", "TRS"),
+                memory_fraction=0.10,
+                page_bytes=512,
+                params={"distribution": distribution},
+            )
+        )
+    return rows
+
+
+def test_ext_distributions(sweep, benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "ext_distributions",
+        "Extension — robustness across value distributions",
+        format_measurements(
+            sweep,
+            columns=(("algorithm", "algo"), ("checks", "checks"),
+                     ("rand_io", "rand_pages"), ("result_size", "|RS|")),
+            param_keys=("distribution",),
+        ),
+    )
+    for distribution in (NORMAL, UNIFORM, ZIPF):
+        rows = {m.algorithm: m for m in sweep if m.params["distribution"] == distribution}
+        assert rows["TRS"].checks < rows["SRS"].checks < rows["BRS"].checks, distribution
+        # Random IO: TRS wins where values cluster (normal/zipf); under the
+        # uniform stress case prefix sharing collapses and the tree's batch
+        # compaction advantage disappears — TRS is then merely tied (within
+        # a small slack), an honest limit of the design.
+        assert rows["TRS"].rand_io <= rows["SRS"].rand_io * 1.25, distribution
+    # Group reasoning keeps a multiple-factor computational win under every
+    # distribution (even uniform, where SRS's neighbour heuristic also
+    # degrades, widening rather than closing TRS's relative lead).
+    for distribution in (NORMAL, UNIFORM, ZIPF):
+        rows = {m.algorithm: m for m in sweep if m.params["distribution"] == distribution}
+        assert rows["SRS"].checks / rows["TRS"].checks > 1.5, distribution

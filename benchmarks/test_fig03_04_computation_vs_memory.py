@@ -1,0 +1,62 @@
+"""Figures 3 & 4: computational cost vs % memory on CI and FC.
+
+Paper shape: costs are flat across memory sizes (>=4%), and TRS is
+roughly 3x cheaper than SRS and 6x cheaper than BRS; the sparser FC costs
+far more per object than the dense CI.
+"""
+
+import pytest
+
+from conftest import by_algorithm, mean
+from repro.core.trs import TRS
+from repro.experiments.tables import format_measurements
+from repro.experiments.workloads import queries_for
+
+COLUMNS = (
+    ("algorithm", "algo"),
+    ("computation_ms", "comp_ms(model)"),
+    ("checks", "checks"),
+    ("wall_ms", "py_wall_ms"),
+)
+
+
+def _assert_shape(sweep):
+    groups = by_algorithm(sweep)
+    brs = mean(m.checks for m in groups["BRS"])
+    srs = mean(m.checks for m in groups["SRS"])
+    trs = mean(m.checks for m in groups["TRS"])
+    # Who wins, by roughly what factor (paper: TRS ~3x vs SRS, ~6x vs BRS;
+    # the dense CI surrogate sits at the soft end of those multiples).
+    assert trs < srs < brs
+    assert srs / trs > 1.4
+    assert brs / trs > 2.0
+    # Flat across memory sizes: no algorithm's computation varies wildly.
+    for rows in groups.values():
+        checks = [m.checks for m in rows]
+        assert max(checks) < 2.5 * min(checks)
+
+
+@pytest.mark.parametrize("which", ["ci", "fc"])
+def test_fig03_04(which, ci, fc, ci_memory_sweep, fc_memory_sweep, benchmark, emit):
+    dataset, sweep = (ci, ci_memory_sweep) if which == "ci" else (fc, fc_memory_sweep)
+    fig = "Figure 3 (CI)" if which == "ci" else "Figure 4 (FC)"
+    # pytest-benchmark timing: one representative TRS query at 10% memory.
+    algo = TRS(dataset, memory_fraction=0.10, page_bytes=512)
+    algo.prepare()
+    query = queries_for(dataset, 1)[0]
+    benchmark(algo.run, query)
+    emit(
+        f"fig03_04_computation_{which}",
+        f"{fig} — computation vs % memory on {dataset.name}",
+        format_measurements(sweep, columns=COLUMNS, param_keys=("memory",)),
+    )
+    _assert_shape(sweep)
+
+
+def test_fc_costs_more_than_ci(ci_memory_sweep, fc_memory_sweep, benchmark):
+    """Section 5.3: the sparse FC dataset is far costlier than the dense CI
+    (pruners are harder to find)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ci_trs = mean(m.checks for m in ci_memory_sweep if m.algorithm == "TRS")
+    fc_trs = mean(m.checks for m in fc_memory_sweep if m.algorithm == "TRS")
+    assert fc_trs > 1.5 * ci_trs

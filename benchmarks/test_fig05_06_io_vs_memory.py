@@ -1,0 +1,58 @@
+"""Figures 5 & 6: IO cost (sequential and random page IOs) vs % memory.
+
+Paper shape: all approaches pay the same ~2 sequential scans once the
+intermediate result fits one second-phase batch; random IO falls with
+memory and TRS incurs the least (its prefix-tree batches are larger, so
+fewer intermediate results and fewer writes/seeks).
+"""
+
+import pytest
+
+from conftest import by_algorithm, mean
+from repro.core.srs import SRS
+from repro.experiments.tables import format_measurements
+from repro.experiments.workloads import queries_for
+
+COLUMNS = (
+    ("algorithm", "algo"),
+    ("seq_io", "seq_pages"),
+    ("rand_io", "rand_pages"),
+    ("intermediate_size", "|R|"),
+    ("db_passes", "passes"),
+)
+
+
+def _assert_shape(sweep, fractions):
+    groups = by_algorithm(sweep)
+    # Random IO: TRS <= SRS <= BRS on average.
+    rand = {name: mean(m.rand_io for m in rows) for name, rows in groups.items()}
+    assert rand["TRS"] <= rand["SRS"] <= rand["BRS"]
+    # Random IO falls (or stays flat) as memory grows, per algorithm.
+    for rows in groups.values():
+        assert rows[-1].rand_io <= rows[0].rand_io
+    # At the largest memory size every algorithm needs just two passes and
+    # hence near-identical sequential IO (Section 5.3).
+    last = {name: rows[-1] for name, rows in groups.items()}
+    seqs = [m.seq_io for m in last.values()]
+    assert max(seqs) <= 1.6 * min(seqs)
+    # TRS never produces more intermediate results than SRS/BRS.
+    for a, b in (("TRS", "SRS"), ("SRS", "BRS")):
+        assert mean(m.intermediate_size for m in groups[a]) <= mean(
+            m.intermediate_size for m in groups[b]
+        ) * 1.05
+
+
+@pytest.mark.parametrize("which", ["ci", "fc"])
+def test_fig05_06(which, ci, fc, ci_memory_sweep, fc_memory_sweep, benchmark, emit):
+    dataset, sweep = (ci, ci_memory_sweep) if which == "ci" else (fc, fc_memory_sweep)
+    fig = "Figure 5 (CI)" if which == "ci" else "Figure 6 (FC)"
+    algo = SRS(dataset, memory_fraction=0.10, page_bytes=512)
+    algo.prepare()
+    query = queries_for(dataset, 1)[0]
+    benchmark(algo.run, query)
+    emit(
+        f"fig05_06_io_{which}",
+        f"{fig} — IO cost vs % memory on {dataset.name}",
+        format_measurements(sweep, columns=COLUMNS, param_keys=("memory",)),
+    )
+    _assert_shape(sweep, fractions=(0.04, 0.08, 0.12, 0.16, 0.20))

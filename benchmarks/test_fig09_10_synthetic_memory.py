@@ -1,0 +1,54 @@
+"""Figures 9 & 10: IO and response time vs % memory on synthetic normal
+data (paper: 1M x 5 attrs x 50 values, memory 5-20%; scaled here).
+
+Paper shape: "The IO trends are very similar to those observed for the
+real datasets" and likewise for response times.
+"""
+
+from conftest import by_algorithm, mean
+from repro.core.trs import TRS
+from repro.experiments.tables import format_measurements
+from repro.experiments.workloads import queries_for
+
+IO_COLUMNS = (
+    ("algorithm", "algo"),
+    ("seq_io", "seq_pages"),
+    ("rand_io", "rand_pages"),
+    ("intermediate_size", "|R|"),
+)
+RESP_COLUMNS = (
+    ("algorithm", "algo"),
+    ("response_ms", "resp_ms(model)"),
+    ("computation_ms", "comp_ms"),
+    ("io_ms", "io_ms"),
+)
+
+
+def test_fig09_io(synth, synth_memory_sweep, benchmark, emit):
+    algo = TRS(synth, memory_fraction=0.10, page_bytes=512)
+    algo.prepare()
+    benchmark(algo.run, queries_for(synth, 1)[0])
+    emit(
+        "fig09_io_synthetic",
+        f"Figure 9 — IO vs % memory on {synth.name}",
+        format_measurements(synth_memory_sweep, columns=IO_COLUMNS, param_keys=("memory",)),
+    )
+    groups = by_algorithm(synth_memory_sweep)
+    rand = {name: mean(m.rand_io for m in rows) for name, rows in groups.items()}
+    assert rand["TRS"] <= rand["SRS"] <= rand["BRS"]
+    for rows in groups.values():
+        assert rows[-1].rand_io <= rows[0].rand_io
+
+
+def test_fig10_response(synth, synth_memory_sweep, benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "fig10_response_synthetic",
+        f"Figure 10 — response time vs % memory on {synth.name}",
+        format_measurements(
+            synth_memory_sweep, columns=RESP_COLUMNS, param_keys=("memory",)
+        ),
+    )
+    groups = by_algorithm(synth_memory_sweep)
+    resp = {name: mean(m.response_ms for m in rows) for name, rows in groups.items()}
+    assert resp["TRS"] < resp["SRS"] < resp["BRS"]

@@ -1,0 +1,78 @@
+"""Figures 14-16: computation, IO and response time vs density, varying
+the number of values per attribute (paper: 45-70 values at 1M rows;
+scaled: 20-32 values at 8k rows, sweeping comparable densities).
+
+Paper shape: costs vary widely with the changing result sets, but TRS
+outperforms BRS and SRS by ~6x and ~3x on average; the random-IO gap
+between TRS and the others is wider than in the size sweep.
+"""
+
+import pytest
+
+from conftest import by_algorithm, mean
+from repro.experiments.sweeps import values_sweep
+from repro.experiments.tables import format_measurements
+
+VALUES = (20, 22, 24, 26, 28, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return values_sweep(value_counts=VALUES)
+
+
+def test_fig14_computation(sweep, benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "fig14_computation_vs_values",
+        "Figure 14 — computation vs density (varying #values/attribute)",
+        format_measurements(
+            sweep,
+            columns=(("algorithm", "algo"), ("computation_ms", "comp_ms(model)"),
+                     ("checks", "checks")),
+            param_keys=("values", "density"),
+        ),
+    )
+    groups = by_algorithm(sweep)
+    trs = mean(m.checks for m in groups["TRS"])
+    srs = mean(m.checks for m in groups["SRS"])
+    brs = mean(m.checks for m in groups["BRS"])
+    assert trs < srs < brs
+    assert srs / trs > 1.5  # paper: ~3x on average
+    assert brs / trs > 2.5  # paper: ~6x on average
+
+
+def test_fig15_io(sweep, benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "fig15_io_vs_values",
+        "Figure 15 — IO vs density (varying #values/attribute)",
+        format_measurements(
+            sweep,
+            columns=(("algorithm", "algo"), ("seq_io", "seq_pages"),
+                     ("rand_io", "rand_pages"), ("intermediate_size", "|R|")),
+            param_keys=("values", "density"),
+        ),
+    )
+    groups = by_algorithm(sweep)
+    rand = {name: mean(m.rand_io for m in rows) for name, rows in groups.items()}
+    assert rand["TRS"] <= rand["SRS"]
+    assert rand["TRS"] <= rand["BRS"]
+
+
+def test_fig16_response(sweep, benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "fig16_response_vs_values",
+        "Figure 16 — response time vs density (varying #values/attribute)",
+        format_measurements(
+            sweep,
+            columns=(("algorithm", "algo"), ("response_ms", "resp_ms(model)"),
+                     ("computation_ms", "comp_ms"), ("io_ms", "io_ms")),
+            param_keys=("values", "density"),
+        ),
+    )
+    groups = by_algorithm(sweep)
+    resp = {name: mean(m.response_ms for m in rows) for name, rows in groups.items()}
+    # Paper: TRS 3-6x faster overall.
+    assert resp["TRS"] < resp["SRS"] < resp["BRS"]

@@ -1,0 +1,53 @@
+"""Table 1: the running example's reverse skyline and pruner sets.
+
+Paper: for Q = [MSW, Intel, DB2], RS = {O3, O6}; pruners:
+O1×{4}, O2×{1,4,5}, O4×{1}, O5×{1,2,4}.
+"""
+
+from repro.core.trs import TRS
+from repro.data.examples import (
+    RUNNING_EXAMPLE_PRUNERS,
+    RUNNING_EXAMPLE_RESULT,
+    running_example,
+    running_example_query,
+)
+from repro.experiments.tables import format_table
+from repro.skyline.domination import dominates
+from repro.storage.disk import MemoryBudget
+
+
+def _table1():
+    ds = running_example()
+    q = running_example_query()
+    result = TRS(ds, budget=MemoryBudget(2)).run(q)
+    rows = []
+    for x_id in range(len(ds)):
+        pruners = {
+            y_id
+            for y_id in range(len(ds))
+            if y_id != x_id and dominates(ds.space, ds[y_id], q, ds[x_id])
+        }
+        labels = [ds.schema[i].label_of(v) for i, v in enumerate(ds[x_id])]
+        member = "yes" if x_id in result.result_set else "x" + str(
+            sorted(p + 1 for p in pruners)
+        )
+        rows.append([f"O{x_id + 1}", *labels, member])
+    return ds, q, result, rows
+
+
+def test_table1(benchmark, emit):
+    ds, q, result, rows = benchmark.pedantic(_table1, rounds=1, iterations=1)
+    emit(
+        "table1_running_example",
+        "Table 1 — running example, Q=[MSW,Intel,DB2]",
+        format_table(["Id", "OS", "Processor", "DB", "in RS(Q)?"], rows),
+    )
+    assert result.result_set == RUNNING_EXAMPLE_RESULT
+    # Pruner sets exactly as printed in Table 1.
+    for x_id, expected in RUNNING_EXAMPLE_PRUNERS.items():
+        got = {
+            y_id
+            for y_id in range(len(ds))
+            if y_id != x_id and dominates(ds.space, ds[y_id], q, ds[x_id])
+        }
+        assert got == expected

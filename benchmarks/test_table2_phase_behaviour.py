@@ -1,0 +1,57 @@
+"""Table 2: BRS vs SRS phase behaviour on the running example.
+
+Paper (memory = 3 one-object pages):
+
+    approach  1st-phase prunings   R                2nd-phase prunings  batches
+    BRS       {O2}, {O5}           {O1,O3,O4,O6}    {O1}, {O4}          2
+    SRS       {O1,O4}, {O2,O5}     {O3,O6}          {}                  1
+"""
+
+from repro.core.brs import BRS
+from repro.core.srs import SRS
+from repro.data.examples import (
+    RUNNING_EXAMPLE_RESULT,
+    running_example,
+    running_example_query,
+)
+from repro.experiments.tables import format_table
+from repro.storage.disk import MemoryBudget
+
+PAGE = 16  # one object per page
+BUDGET = 3
+
+
+def _run():
+    ds = running_example()
+    q = running_example_query()
+    rows = []
+    stats = {}
+    for cls in (BRS, SRS):
+        r = cls(ds, budget=MemoryBudget(BUDGET), page_bytes=PAGE).run(q)
+        s = r.stats
+        stats[cls.name] = (r, s)
+        rows.append(
+            [cls.name, s.phase1_pruned, s.intermediate_count,
+             s.intermediate_count - s.result_count, s.phase2_batches, s.db_passes]
+        )
+    return stats, rows
+
+
+def test_table2(benchmark, emit):
+    stats, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "table2_phase_behaviour",
+        "Table 2 — BRS vs SRS on the running example (3 one-object pages)",
+        format_table(
+            ["approach", "p1 pruned", "|R|", "p2 pruned", "p2 batches", "db passes"],
+            rows,
+        ),
+    )
+    brs_r, brs = stats["BRS"]
+    srs_r, srs = stats["SRS"]
+    # Paper values, exactly.
+    assert (brs.phase1_pruned, brs.intermediate_count, brs.phase2_batches) == (2, 4, 2)
+    assert (srs.phase1_pruned, srs.intermediate_count, srs.phase2_batches) == (4, 2, 1)
+    assert brs_r.result_set == srs_r.result_set == RUNNING_EXAMPLE_RESULT
+    # "SRS ... incurring one less database scan as compared to BRS."
+    assert srs.db_passes == brs.db_passes - 1

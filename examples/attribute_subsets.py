@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Querying on attribute subsets: sorted vs tiled layouts (Section 5.6).
+
+Users often query on a subset of attributes (only price and proximity,
+out of many hotel attributes). The data's physical order is fixed at
+load time — re-sorting per query is infeasible — so the layout must be
+chosen to serve *any* subset well. This example lays the same dataset out
+both ways (multi-attribute sort; Z-ordered tiles) and measures SRS / TRS
+and their tiled variants T-SRS / T-TRS across subset choices, reproducing
+the Figure 19 effect: SRS collapses when the subset omits the leading
+sort attributes, tree-based methods stay flat.
+
+Run:  python examples/attribute_subsets.py
+"""
+
+from repro.data.synthetic import synthetic_dataset
+from repro.experiments import format_measurements, subset_sweep
+
+
+def main() -> None:
+    dataset = synthetic_dataset(2500, [8] * 7, seed=29)
+    print(f"Dataset: {dataset.describe()}\n")
+
+    subsets = [
+        [0, 1, 2],  # a prefix of the sort order (SRS's best case)
+        [2, 3, 4],  # a middle block
+        [4, 5, 6],  # a suffix (SRS's worst case)
+    ]
+    rows = subset_sweep(dataset, subsets=subsets, queries_per_point=2)
+
+    print(
+        format_measurements(
+            rows,
+            columns=(
+                ("algorithm", "algo"),
+                ("checks", "checks"),
+                ("response_ms", "resp_ms(model)"),
+            ),
+            param_keys=("subset",),
+        )
+    )
+
+    def total(algo):
+        return sum(m.checks for m in rows if m.algorithm == algo)
+
+    print("\nTotal checks across subsets:")
+    for algo in ("SRS", "T-SRS", "TRS", "T-TRS"):
+        print(f"  {algo:>6}: {total(algo):12,.0f}")
+    print(
+        "\nTakeaway (Section 5.6): tiling rescues SRS on unfavourable "
+        "subsets; the simple multi-dimensional sort is already good "
+        "enough for TRS."
+    )
+
+
+if __name__ == "__main__":
+    main()

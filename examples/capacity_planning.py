@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Capacity planning for a reverse-skyline deployment.
+
+Given a dataset, answer the operational questions in order:
+
+1. What does the data look like? (profile: density, duplicates, entropy)
+2. Which algorithm and attribute order should serve it? (advisor +
+   empirical order selection)
+3. How much memory does it need to stay in the two-pass IO regime?
+   (crossover analysis — the knee in the paper's Figures 5/6)
+4. What latency should we expect? (measured over a query batch)
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.advisor import recommend
+from repro.core.ordering import choose_attribute_order
+from repro.data.queries import query_batch
+from repro.data.realistic import census_income_like
+from repro.data.stats import estimate_pruner_rate, profile_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.experiments.crossover import two_pass_threshold
+
+
+def main() -> None:
+    dataset = census_income_like()
+    queries = query_batch(dataset, 5, seed=17)
+
+    # 1. Profile.
+    profile = profile_dataset(dataset)
+    print(profile.summary())
+    for ap in profile.attributes:
+        print(
+            f"  {ap.name}: |domain|={ap.domain_cardinality}, "
+            f"observed={ap.observed_distinct}, entropy={ap.entropy_bits:.2f} bits"
+        )
+    rate = estimate_pruner_rate(dataset, queries)
+    print(f"estimated pruner rate: {rate:.0%} "
+          f"({'dense/cheap' if rate > 0.5 else 'sparse/expensive'} regime)\n")
+
+    # 2. Algorithm + attribute order.
+    rec = recommend(dataset, calibrate=True)
+    print(f"advisor: use {rec.algorithm}")
+    for line in rec.rationale:
+        print(f"  - {line}")
+    order = choose_attribute_order(dataset)
+    print(f"attribute order: {rec.algorithm} with {list(order.order)} "
+          f"(strategy: {order.strategy})")
+    for strategy, checks in order.ranking():
+        print(f"  {strategy:>22}: {checks:,.0f} checks/query on the sample")
+    print()
+
+    # 3. Memory sizing: smallest fraction in the two-pass regime.
+    point = two_pass_threshold(dataset, rec.algorithm, queries=queries[:2])
+    print("memory sizing (average database passes per query):")
+    for fraction, passes in sorted(point.passes_by_fraction.items()):
+        marker = "  <- two-pass regime" if passes == 2.0 else ""
+        print(f"  {fraction:>5.0%} memory: {passes:.1f} passes{marker}")
+    if point.reached():
+        print(f"recommendation: provision >= {point.threshold_fraction:.0%} "
+              "of the dataset size as working memory\n")
+
+    # 4. Expected latency at the recommended setting.
+    engine = ReverseSkylineEngine(
+        dataset,
+        algorithm=rec.algorithm,
+        memory_fraction=point.threshold_fraction or 0.10,
+    )
+    for q in queries:
+        engine.query(q)
+    latency = engine.latency_summary()
+    print("measured query latency (pure Python, in-memory simulated IO):")
+    print(f"  p50 {latency['p50_ms']:.1f} ms, p90 {latency['p90_ms']:.1f} ms, "
+          f"max {latency['max_ms']:.1f} ms over {latency['count']:.0f} queries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Builds the six-server database of Table 1 with the expert-provided
+non-metric dissimilarities of Figure 1, runs every reverse-skyline
+algorithm on the paper's query Q = [MSW, Intel, DB2], and shows that they
+all return {O3, O6} while paying very different costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ALGORITHMS,
+    MemoryBudget,
+    analyze_metricity,
+    make_algorithm,
+    running_example,
+    running_example_query,
+)
+
+
+def main() -> None:
+    dataset = running_example()
+    query = running_example_query()
+
+    print("Database (Table 1):")
+    for i, record in enumerate(dataset):
+        labels = [dataset.schema[j].label_of(v) for j, v in enumerate(record)]
+        print(f"  O{i + 1}: {labels}")
+
+    # The OS dissimilarities violate the triangle inequality — no metric
+    # index (R-tree, M-tree, ...) can be used on this data.
+    report = analyze_metricity(dataset.space[0])
+    print(f"\nOS dissimilarity matrix is {report.summary()}")
+
+    q_labels = [dataset.schema[j].label_of(v) for j, v in enumerate(query)]
+    print(f"\nReverse skyline of Q = {q_labels}:")
+    for name in ("Naive", "BRS", "SRS", "TRS"):
+        algorithm = make_algorithm(name, dataset, budget=MemoryBudget(2))
+        result = algorithm.run(query)
+        members = [f"O{i + 1}" for i in result.record_ids]
+        print(
+            f"  {name:>5}: {members}  "
+            f"(attribute checks: {result.stats.checks}, "
+            f"page IOs: {result.stats.io.total})"
+        )
+
+    print(f"\nAvailable algorithms: {sorted(ALGORITHMS)}")
+    print("Every algorithm returns the same set; they differ only in cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Retail promotional mailing with mixed attributes (Sections 1 and 6).
+
+A retailer wants to mail a new product offer to exactly the customers
+whose recorded preference is not dominated by any other product — the
+reverse skyline of the product over the customer base. Product/preference
+descriptions mix categorical attributes (category, brand affinity) with
+numeric ones (price point, typical basket size), so this example uses the
+Section 6 NumericTRS with bucket-level group reasoning.
+
+Run:  python examples/retail_promotions.py
+"""
+
+import numpy as np
+
+from repro import NumericTRS, mixed_dataset
+from repro.skyline import reverse_skyline_by_pruners
+
+
+def main() -> None:
+    # Customer preference base: 2 categorical attributes (product
+    # category: 8 values; brand affinity: 5 values) and 2 numeric ones
+    # (price point in currency units; typical basket size).
+    customers = mixed_dataset(
+        2000,
+        [8, 5],
+        [(5.0, 500.0), (1.0, 40.0)],
+        seed=23,
+        name="customer-preferences",
+    )
+    print(f"Customer base: {customers.describe()}\n")
+
+    rng = np.random.default_rng(77)
+    offers = {
+        "budget-staple": (3, 1, 12.0, 18.0),
+        "premium-launch": (6, 4, 320.0, 3.0),
+        "mid-range": (1, 2, 95.0, 9.5),
+    }
+
+    algo = NumericTRS(customers, num_buckets=8, memory_fraction=0.10, page_bytes=512)
+    algo.prepare()
+
+    print("Mailing-list sizes (reverse skyline of each offer):")
+    for name, offer in offers.items():
+        result = algo.run(offer)
+        print(
+            f"  {name:>15}: {len(result.record_ids):4d} customers  "
+            f"(|R| after bucket-level phase 1: "
+            f"{result.stats.intermediate_count}, checks: {result.stats.checks:,})"
+        )
+
+    # Spot-check the discretised algorithm against the exact oracle on
+    # one offer (the oracle is quadratic — fine at this scale).
+    name, offer = next(iter(offers.items()))
+    exact = reverse_skyline_by_pruners(customers, offer)
+    got = list(algo.run(offer).record_ids)
+    assert got == exact, "NumericTRS must match the exact reverse skyline"
+    print(
+        f"\nVerified: NumericTRS's mailing list for {name!r} matches the "
+        f"exact reverse skyline ({len(exact)} customers)."
+    )
+
+    # Bucketing granularity trade-off: coarser buckets -> cheaper tree,
+    # weaker phase-1 pruning (more phase-2 work).
+    print("\nBucket-granularity trade-off (offer = mid-range):")
+    for buckets in (2, 4, 8, 16, 32):
+        a = NumericTRS(
+            customers, num_buckets=buckets, memory_fraction=0.10, page_bytes=512
+        )
+        r = a.run(offers["mid-range"])
+        print(
+            f"  buckets={buckets:3d}: intermediate |R|="
+            f"{r.stats.intermediate_count:4d}, checks={r.stats.checks:,}"
+        )
+
+
+if __name__ == "__main__":
+    main()

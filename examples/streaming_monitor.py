@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Streaming influence monitoring over a sliding window.
+
+A ticket-routing system watches the stream of incoming incidents (each
+described by categorical attributes) and keeps, for a specific specialist
+profile Q, the set of *currently open* incidents for which Q is an
+undominated match — the reverse skyline of Q over a sliding window. As
+incidents arrive and age out, the result is maintained incrementally with
+AL-Tree traversals instead of being recomputed (the streaming counterpart
+of the paper's problem; see repro.streaming).
+
+Run:  python examples/streaming_monitor.py
+"""
+
+import numpy as np
+
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.streaming import StreamingReverseSkyline
+
+CARDS = [6, 5, 4, 3]  # subsystem, severity class, platform, locale group
+
+
+def main() -> None:
+    # Borrow a synthetic dataset's schema + random non-metric similarities
+    # as the incident space.
+    space_donor = synthetic_dataset(0, CARDS, seed=5)
+    rng = np.random.default_rng(11)
+    specialist = tuple(int(rng.integers(0, c)) for c in CARDS)
+    print(f"Specialist profile Q = {specialist}")
+
+    window = StreamingReverseSkyline(
+        space_donor.schema, space_donor.space, specialist, capacity=200
+    )
+
+    matched_history = []
+    for tick in range(1, 1001):
+        incident = tuple(int(rng.integers(0, c)) for c in CARDS)
+        window.insert(incident)
+        if tick % 200 == 0:
+            result = window.result()
+            matched_history.append(len(result))
+            print(
+                f"  t={tick:5d}: window={len(window):4d} open incidents, "
+                f"{len(result):3d} match Q undominated"
+            )
+            # Spot-audit the incremental state against a recomputation.
+            assert result == window.recompute_naive()
+
+    print("\nAudit passed: incremental result == from-scratch recomputation")
+
+    # The same analysis, batch-style, via the engine facade: freeze the
+    # current window into a dataset and compare influence of several
+    # specialist profiles.
+    frozen = space_donor.with_records(
+        [values for _, values in window._window], name="frozen-window"
+    )
+    engine = ReverseSkylineEngine(frozen, memory_fraction=0.25)
+    probes = {
+        "specialist-Q": specialist,
+        "generalist": tuple(0 for _ in CARDS),
+        "alt-profile": tuple((v + 1) % c for v, c in zip(specialist, CARDS)),
+    }
+    report = engine.influence(probes)
+    print("\nInfluence over the frozen window:")
+    for label, score in report.ranked():
+        print(f"  {label:>14}: {score}")
+    print(f"  skew (gini): {report.skew():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Run the full reproduction: tests, benchmarks, report.
+
+Usage:  python scripts/run_all.py [--skip-tests] [--scale MULT]
+
+Equivalent to the commands README documents, in order, failing fast:
+
+    pytest tests/
+    pytest benchmarks/ --benchmark-only
+    repro-skyline report --out REPORT.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run(cmd: list[str], env: dict) -> None:
+    print(f"\n$ {' '.join(cmd)}", flush=True)
+    result = subprocess.run(cmd, cwd=ROOT, env=env)
+    if result.returncode != 0:
+        sys.exit(result.returncode)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="REPRO_SCALE workload multiplier (default: unset = 1.0)",
+    )
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    if args.scale is not None:
+        env["REPRO_SCALE"] = str(args.scale)
+
+    if not args.skip_tests:
+        run([sys.executable, "-m", "pytest", "tests/"], env)
+    run([sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"], env)
+    run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "report",
+            "--results",
+            "benchmarks/results",
+            "--out",
+            "REPORT.md",
+        ],
+        env,
+    )
+    print("\nAll done. See REPORT.md and EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

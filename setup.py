@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists only so
+``pip install -e .`` works on offline environments without the ``wheel``
+package (legacy editable installs don't need PEP 660 wheels).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,180 @@
+"""repro — Reverse Skyline Retrieval with Arbitrary Non-Metric Similarity
+Measures.
+
+A full reproduction of Deshpande & Deepak P., EDBT 2011: the Naive, BRS,
+SRS and TRS reverse-skyline algorithms (plus the tiled T-SRS/T-TRS and the
+Section 6 numeric extension), the substrates they run on (non-metric
+dissimilarity spaces, a paged-disk simulator with sequential/random IO
+accounting, external multi-attribute sorting, the in-memory AL-Tree,
+Z-order tiling, dynamic skyline operators), and an experiment harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import running_example, running_example_query, TRS
+
+    dataset = running_example()
+    result = TRS(dataset).run(running_example_query())
+    print(result.record_ids)   # (2, 5) — the paper's {O3, O6}
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.bichromatic import (
+    bichromatic_reverse_skyline,
+    bichromatic_reverse_skyline_naive,
+)
+from repro.core import (
+    ALGORITHMS,
+    BRS,
+    CostStats,
+    NaiveRS,
+    NumericTRS,
+    RSResult,
+    ReverseSkylineAlgorithm,
+    SRS,
+    TRS,
+    TSRS,
+    TTRS,
+    make_algorithm,
+)
+from repro.advisor import Recommendation, recommend
+from repro.core.multiquery import MultiQueryResult, SharedScanTRS
+from repro.core.ordering import OrderChoice, attribute_order_for, choose_attribute_order
+from repro.core.skyband import ReverseSkybandTRS, reverse_skyband_naive
+from repro.core.vectorized import VectorBRS
+from repro.data.stats import DatasetProfile, estimate_pruner_rate, profile_dataset
+from repro.engine import QueryLogEntry, ReverseSkylineEngine
+from repro.influence import InfluenceReport, gini, influence_analysis, self_influence
+from repro.persist import load_dataset, save_dataset
+from repro.streaming import StreamingReverseSkyline
+from repro.uncertain import (
+    ProbabilisticResult,
+    monte_carlo_membership,
+    probabilistic_reverse_skyline,
+)
+from repro.data import (
+    Attribute,
+    Dataset,
+    Schema,
+    census_income_like,
+    dataset_from_rows,
+    query_from_labels,
+    forest_cover_like,
+    mixed_dataset,
+    query_batch,
+    running_example,
+    running_example_query,
+    synthetic_dataset,
+)
+from repro.dissim import (
+    AbsoluteDifference,
+    Dissimilarity,
+    DissimilaritySpace,
+    MatrixDissimilarity,
+    NumericDissimilarity,
+    analyze_metricity,
+    random_dissimilarity,
+)
+from repro.errors import (
+    AlgorithmError,
+    DissimilarityError,
+    ExperimentError,
+    MemoryBudgetError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.skyline import (
+    bnl_skyline,
+    dominates,
+    reverse_skyline_by_definition,
+    reverse_skyline_by_pruners,
+    sorted_skyline,
+    tree_skyline,
+    tree_top_k,
+)
+from repro.storage import DiskSimulator, IoCostModel, IoStats, MemoryBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AbsoluteDifference",
+    "AlgorithmError",
+    "Attribute",
+    "BRS",
+    "CostStats",
+    "Dataset",
+    "DiskSimulator",
+    "Dissimilarity",
+    "DissimilarityError",
+    "DissimilaritySpace",
+    "ExperimentError",
+    "IoCostModel",
+    "IoStats",
+    "MatrixDissimilarity",
+    "MemoryBudget",
+    "MemoryBudgetError",
+    "DatasetProfile",
+    "InfluenceReport",
+    "MultiQueryResult",
+    "NaiveRS",
+    "OrderChoice",
+    "ProbabilisticResult",
+    "Recommendation",
+    "SharedScanTRS",
+    "NumericDissimilarity",
+    "NumericTRS",
+    "QueryLogEntry",
+    "RSResult",
+    "ReproError",
+    "ReverseSkybandTRS",
+    "ReverseSkylineAlgorithm",
+    "ReverseSkylineEngine",
+    "SRS",
+    "StreamingReverseSkyline",
+    "Schema",
+    "SchemaError",
+    "StorageError",
+    "TRS",
+    "TSRS",
+    "TTRS",
+    "VectorBRS",
+    "analyze_metricity",
+    "attribute_order_for",
+    "bichromatic_reverse_skyline",
+    "bichromatic_reverse_skyline_naive",
+    "bnl_skyline",
+    "census_income_like",
+    "choose_attribute_order",
+    "dataset_from_rows",
+    "dominates",
+    "estimate_pruner_rate",
+    "forest_cover_like",
+    "profile_dataset",
+    "recommend",
+    "gini",
+    "influence_analysis",
+    "load_dataset",
+    "make_algorithm",
+    "mixed_dataset",
+    "monte_carlo_membership",
+    "probabilistic_reverse_skyline",
+    "query_batch",
+    "query_from_labels",
+    "random_dissimilarity",
+    "reverse_skyband_naive",
+    "reverse_skyline_by_definition",
+    "reverse_skyline_by_pruners",
+    "running_example",
+    "running_example_query",
+    "save_dataset",
+    "self_influence",
+    "sorted_skyline",
+    "synthetic_dataset",
+    "tree_skyline",
+    "tree_top_k",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""In-memory AL-Tree (prefix tree over attribute-ordered records).
+
+Public surface:
+
+- :class:`ALTree` — insert / find / remove + invariant checking
+- :class:`ALTreeNode` — node structure with descendant counts
+
+The TRS traversals (``IsPrunable``, ``Prune``; Algorithms 4 and 5) live in
+:mod:`repro.core.trs`, keeping this package a pure data structure.
+"""
+
+from repro.altree.node import ALTreeNode
+from repro.altree.tree import ALTree
+
+__all__ = ["ALTree", "ALTreeNode"]

@@ -1,0 +1,84 @@
+"""AL-Tree nodes.
+
+The AL-Tree (Attribute-Level Tree, [Deshpande et al., EDBT 2008]) used by
+TRS is, for a chosen attribute ordering, "precisely the prefix tree for
+the ordered database" (Section 4.3). Internal nodes fix a value for one
+attribute; a node at level ``l`` has fixed the first ``l`` attributes of
+the ordering. Leaves carry the objects (record id + values) that take
+exactly the path's values — storing duplicates as multiple entries of the
+same leaf, which generalises the paper's leaf counters while letting us
+return actual result ids.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ALTreeNode"]
+
+
+class ALTreeNode:
+    """One node of an AL-Tree.
+
+    Attributes
+    ----------
+    key:
+        The value this node fixes for its tree position (``None`` at the
+        root). For categorical attributes this is the value id; for
+        discretised numeric attributes (Section 6) it is the bucket id.
+    position:
+        Index into the tree's attribute ordering that this node's key
+        fixes; the root has position ``-1``.
+    parent:
+        Parent node (``None`` at the root).
+    children:
+        ``key -> ALTreeNode`` mapping.
+    descendants:
+        Number of objects stored in this subtree. The traversal order of
+        Algorithm 4 ("in increasing order of number of descendants") is
+        computed from this.
+    entries:
+        At leaves: the ``(record_id, values)`` pairs of the stored objects.
+    """
+
+    __slots__ = ("key", "position", "parent", "children", "descendants", "entries")
+
+    def __init__(self, key=None, position: int = -1, parent: "ALTreeNode | None" = None):
+        self.key = key
+        self.position = position
+        self.parent = parent
+        self.children: dict = {}
+        self.descendants = 0
+        self.entries: list[tuple[int, tuple]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def count(self) -> int:
+        """Number of objects at this leaf (the paper's duplicate counter)."""
+        return len(self.entries)
+
+    def child(self, key) -> "ALTreeNode | None":
+        return self.children.get(key)
+
+    def children_by_promise(self) -> list["ALTreeNode"]:
+        """Children in *increasing* order of descendant count. Algorithm 4
+        pushes children onto a LIFO stack in this order so the most
+        promising (largest) subtree is processed first."""
+        return sorted(self.children.values(), key=lambda c: c.descendants)
+
+    def path_keys(self) -> list:
+        """Keys along the path from the root (exclusive) to this node."""
+        keys: list = []
+        node: ALTreeNode | None = self
+        while node is not None and node.parent is not None:
+            keys.append(node.key)
+            node = node.parent
+        keys.reverse()
+        return keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ALTreeNode(key={self.key!r}, position={self.position}, "
+            f"descendants={self.descendants}, leaf={self.is_leaf})"
+        )

@@ -1,0 +1,215 @@
+"""The in-memory AL-Tree used by TRS (Section 4.3).
+
+A per-batch prefix tree over the attribute-ordered records. Objects that
+share value prefixes share paths, which is what enables group-level
+reasoning: one failed comparison at an internal node discharges every
+object below it. The tree also *compacts* memory — shared prefixes are
+stored once — which is why TRS fits larger batches than BRS/SRS into the
+same budget (Section 5.3, "IO Costs").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.altree.node import ALTreeNode
+from repro.errors import AlgorithmError
+
+__all__ = ["ALTree"]
+
+
+class ALTree:
+    """A prefix tree over records keyed by an attribute ordering.
+
+    Parameters
+    ----------
+    attribute_order:
+        ``attribute_order[p]`` is the record attribute index fixed at tree
+        position ``p``. The paper orders attributes by ascending
+        cardinality (Section 5.1) so groups near the root are large.
+    key_fn:
+        Optional ``(position, value) -> key`` mapping record values to
+        tree keys. The identity for categorical data; a bucketiser for the
+        Section 6 numeric extension.
+    """
+
+    def __init__(
+        self,
+        attribute_order: Sequence[int],
+        *,
+        key_fn: Callable[[int, object], object] | None = None,
+    ) -> None:
+        if not attribute_order:
+            raise AlgorithmError("attribute order must be non-empty")
+        if len(set(attribute_order)) != len(attribute_order):
+            raise AlgorithmError(f"attribute order {attribute_order!r} has duplicates")
+        self.attribute_order = list(attribute_order)
+        self._key_fn = key_fn
+        self.root = ALTreeNode()
+        #: Number of non-root nodes, maintained incrementally (the tree's
+        #: memory footprint driver; see :meth:`memory_bytes`).
+        self.num_nodes = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of attributes (= leaf level)."""
+        return len(self.attribute_order)
+
+    @property
+    def num_objects(self) -> int:
+        return self.root.descendants
+
+    def __len__(self) -> int:
+        return self.root.descendants
+
+    def key_for(self, position: int, values: tuple):
+        """The tree key of ``values`` at tree position ``position``."""
+        value = values[self.attribute_order[position]]
+        return self._key_fn(position, value) if self._key_fn else value
+
+    def insert(self, record_id: int, values: tuple) -> ALTreeNode:
+        """Insert one object, creating path nodes as needed. Returns the
+        leaf holding the object."""
+        node = self.root
+        node.descendants += 1
+        for position in range(len(self.attribute_order)):
+            key = self.key_for(position, values)
+            child = node.children.get(key)
+            if child is None:
+                child = ALTreeNode(key, position, node)
+                node.children[key] = child
+                self.num_nodes += 1
+            child.descendants += 1
+            node = child
+        node.entries.append((record_id, values))
+        return node
+
+    def find_leaf(self, values: tuple) -> ALTreeNode | None:
+        """The leaf for ``values``' path, or ``None`` if absent."""
+        node = self.root
+        for position in range(len(self.attribute_order)):
+            node = node.children.get(self.key_for(position, values))
+            if node is None:
+                return None
+        return node
+
+    def _propagate_removal(self, leaf: ALTreeNode, removed: int) -> None:
+        """Decrement descendant counts from ``leaf`` to the root, deleting
+        nodes whose subtree became empty."""
+        node: ALTreeNode | None = leaf
+        while node is not None:
+            node.descendants -= removed
+            parent = node.parent
+            if parent is not None and node.descendants == 0:
+                del parent.children[node.key]
+                node.parent = None
+                self.num_nodes -= 1
+            node = parent
+
+    def remove_leaf(self, leaf: ALTreeNode) -> None:
+        """Remove a whole leaf (all its entries), pruning now-empty
+        ancestors — Algorithm 5 removes leaves this way."""
+        removed = leaf.count
+        leaf.entries = []
+        self._propagate_removal(leaf, removed)
+
+    def remove_entries(self, leaf: ALTreeNode, keep) -> int:
+        """Keep only entries satisfying ``keep(entry)`` at ``leaf``;
+        returns how many were removed (the Section 6 numeric refinement
+        evicts individual entries from a leaf)."""
+        before = leaf.count
+        leaf.entries = [e for e in leaf.entries if keep(e)]
+        removed = before - leaf.count
+        if removed:
+            self._propagate_removal(leaf, removed)
+        return removed
+
+    def soft_remove(self, leaf: ALTreeNode, record_id: int):
+        """Remove one entry from ``leaf`` by decrementing descendant counts
+        **without** deleting emptied nodes — traversals skip subtrees with
+        ``descendants == 0``, so this is equivalent to a real removal but
+        avoids dictionary churn. Pair with :meth:`soft_restore`. Returns
+        the removed entry (or ``None`` if absent)."""
+        for idx, entry in enumerate(leaf.entries):
+            if entry[0] == record_id:
+                del leaf.entries[idx]
+                node: ALTreeNode | None = leaf
+                while node is not None:
+                    node.descendants -= 1
+                    node = node.parent
+                return entry
+        return None
+
+    def soft_restore(self, leaf: ALTreeNode, entry: tuple[int, tuple]) -> None:
+        """Undo one :meth:`soft_remove`."""
+        leaf.entries.append(entry)
+        node: ALTreeNode | None = leaf
+        while node is not None:
+            node.descendants += 1
+            node = node.parent
+
+    def remove_object(self, record_id: int, values: tuple) -> bool:
+        """Remove one object occurrence (used to exclude ``c`` itself
+        before an ``IsPrunable`` check, Algorithm 3 line 5). Returns True
+        if found."""
+        leaf = self.find_leaf(values)
+        if leaf is None:
+            return False
+        for i, (rid, _) in enumerate(leaf.entries):
+            if rid == record_id:
+                del leaf.entries[i]
+                self._propagate_removal(leaf, 1)
+                return True
+        return False
+
+    def memory_bytes(self, node_bytes: int = 8, entry_bytes: int = 4) -> int:
+        """Modeled in-memory footprint: shared prefix paths are stored once
+        (``node_bytes`` per non-root node: value id + counter) and each
+        object contributes only its leaf entry (``entry_bytes``: record
+        id). This is the compaction that lets TRS fit larger batches than
+        a flat layout into the same budget (Section 5.3)."""
+        return self.num_nodes * node_bytes + self.num_objects * entry_bytes
+
+    def leaves(self) -> Iterator[ALTreeNode]:
+        """All leaves, depth-first."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if node is not self.root or node.entries:
+                    yield node
+            else:
+                stack.extend(node.children.values())
+
+    def iter_entries(self) -> Iterator[tuple[int, tuple]]:
+        """All stored ``(record_id, values)`` pairs."""
+        for leaf in self.leaves():
+            yield from leaf.entries
+
+    def node_count(self) -> int:
+        """Total number of nodes (root included) — the tree's memory
+        footprint driver; shared prefixes make this far smaller than
+        ``num_objects * depth`` on clustered data."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError unless descendant counts are consistent —
+        used by tests and safe to call after any mutation."""
+        def walk(node: ALTreeNode) -> int:
+            if node.is_leaf:
+                total = node.count
+            else:
+                total = sum(walk(c) for c in node.children.values())
+                assert not node.entries, "internal node holds entries"
+            assert node.descendants == total, (
+                f"node {node!r} descendants={node.descendants} actual={total}"
+            )
+            return total
+
+        walk(self.root)

@@ -1,0 +1,12 @@
+"""Bichromatic reverse skyline (subjects vs competitors).
+
+Public surface: :func:`bichromatic_reverse_skyline` (tree-accelerated),
+:func:`bichromatic_reverse_skyline_naive` (pairwise baseline).
+"""
+
+from repro.bichromatic.query import (
+    bichromatic_reverse_skyline,
+    bichromatic_reverse_skyline_naive,
+)
+
+__all__ = ["bichromatic_reverse_skyline", "bichromatic_reverse_skyline_naive"]

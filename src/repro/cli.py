@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+Run as ``python -m repro`` or via the ``repro-skyline`` console script::
+
+    repro-skyline generate --kind synthetic --rows 5000 --values 24 24 24 --out data/
+    repro-skyline info data/
+    repro-skyline query data/ --query 3,7,1 --algorithm TRS --memory 0.1
+    repro-skyline influence data/ --probes 3,7,1 0,0,0 --algorithm TRS
+    repro-skyline sweep memory --dataset ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.advisor import recommend
+from repro.core.registry import ALGORITHMS, make_algorithm
+from repro.core.skyband import ReverseSkybandTRS
+from repro.data.stats import profile_dataset
+from repro.data.realistic import census_income_like, forest_cover_like
+from repro.data.synthetic import synthetic_dataset
+from repro.dissim.analysis import analyze_metricity
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.errors import ReproError
+from repro.experiments.sweeps import attrs_sweep, memory_sweep, size_sweep, values_sweep
+from repro.experiments.tables import format_measurements
+from repro.experiments.workloads import ci_dataset, fc_dataset, queries_for, standard_synthetic
+from repro.influence.analysis import influence_analysis
+from repro.persist.format import load_dataset, save_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_query(text: str, dataset) -> tuple:
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != dataset.num_attributes:
+        raise ReproError(
+            f"query has {len(parts)} values; dataset has {dataset.num_attributes} attributes"
+        )
+    values = []
+    for part, attr in zip(parts, dataset.schema):
+        values.append(int(part) if attr.is_categorical else float(part))
+    return dataset.validate_query(tuple(values))
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "synthetic":
+        if not args.values:
+            raise ReproError("--values is required for synthetic datasets")
+        ds = synthetic_dataset(args.rows, args.values, seed=args.seed)
+    elif args.kind == "ci":
+        ds = census_income_like(target_rows=args.rows, seed=args.seed)
+    elif args.kind == "fc":
+        ds = forest_cover_like(target_rows=args.rows, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown dataset kind {args.kind!r}")
+    path = save_dataset(ds, args.out)
+    print(f"wrote {ds.describe()} to {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    ds = load_dataset(args.dataset)
+    print(ds.describe())
+    for i, attr in enumerate(ds.schema):
+        if attr.is_categorical:
+            dissim = ds.space[i]
+            assert isinstance(dissim, MatrixDissimilarity)
+            report = analyze_metricity(dissim)
+            print(f"  {attr.name}: {report.summary()}")
+        else:
+            print(f"  {attr.name}: numeric")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    ds = load_dataset(args.dataset)
+    query = _parse_query(args.query, ds)
+    algo = make_algorithm(args.algorithm, ds, memory_fraction=args.memory)
+    result = algo.run(query)
+    s = result.stats
+    print(f"algorithm : {result.algorithm}")
+    print(f"result    : {list(result.record_ids)}")
+    print(f"checks    : {s.checks:,}")
+    print(f"io        : {s.io.sequential} sequential + {s.io.random} random page IOs")
+    print(f"wall time : {s.wall_time_s * 1000:.1f} ms")
+    return 0
+
+
+def _cmd_influence(args) -> int:
+    ds = load_dataset(args.dataset)
+    probes = {text: _parse_query(text, ds) for text in args.probes}
+    report = influence_analysis(
+        ds, probes, algorithm=args.algorithm, memory_fraction=args.memory
+    )
+    for label, score in report.ranked():
+        print(f"{label}: {score}")
+    print(f"skew (gini): {report.skew():.3f}")
+    return 0
+
+
+def _cmd_skyband(args) -> int:
+    ds = load_dataset(args.dataset)
+    query = _parse_query(args.query, ds)
+    algo = ReverseSkybandTRS(ds, k=args.k, memory_fraction=args.memory)
+    result = algo.run(query)
+    print(f"reverse {args.k}-skyband: {list(result.record_ids)}")
+    print(f"checks: {result.stats.checks:,}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    ds = load_dataset(args.dataset)
+    profile = profile_dataset(ds)
+    print(profile.summary())
+    for ap in profile.attributes:
+        kind = (
+            f"categorical({ap.domain_cardinality})" if ap.is_categorical else "numeric"
+        )
+        print(
+            f"  {ap.name}: {kind}, observed={ap.observed_distinct}, "
+            f"entropy={ap.entropy_bits:.2f} bits, top-share={ap.top_value_share:.1%}"
+        )
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    ds = load_dataset(args.dataset)
+    rec = recommend(
+        ds,
+        subset_queries_expected=args.subset_queries,
+        calibrate=args.calibrate,
+    )
+    print(f"recommended algorithm: {rec.algorithm}")
+    print(f"attribute order      : {list(rec.attribute_order)}")
+    print(f"memory fraction      : {rec.memory_fraction}")
+    for line in rec.rationale:
+        print(f"  - {line}")
+    if rec.calibration:
+        for name, checks in sorted(rec.calibration.items()):
+            print(f"  measured {name}: {checks:,.0f} checks/query")
+    return 0
+
+
+_SWEEPS = {
+    "memory": lambda ds: memory_sweep(ds, queries=queries_for(ds, 2)),
+    "size": lambda ds: size_sweep(),
+    "values": lambda ds: values_sweep(),
+    "attrs": lambda ds: attrs_sweep(),
+}
+_SWEEP_PARAMS = {"memory": ("memory",), "size": ("n", "density"),
+                 "values": ("values", "density"), "attrs": ("attrs", "density")}
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import write_report
+
+    out = write_report(args.results, args.out)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.dataset == "ci":
+        ds = ci_dataset()
+    elif args.dataset == "fc":
+        ds = fc_dataset()
+    else:
+        ds = standard_synthetic()
+    rows = _SWEEPS[args.sweep](ds)
+    print(format_measurements(rows, param_keys=_SWEEP_PARAMS[args.sweep]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description="Reverse skyline retrieval with arbitrary non-metric similarity measures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and persist a dataset")
+    gen.add_argument("--kind", choices=("synthetic", "ci", "fc"), default="synthetic")
+    gen.add_argument("--rows", type=int, default=5000)
+    gen.add_argument("--values", type=int, nargs="+", help="per-attribute cardinalities")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="describe a persisted dataset")
+    info.add_argument("dataset")
+    info.set_defaults(func=_cmd_info)
+
+    query = sub.add_parser("query", help="run one reverse-skyline query")
+    query.add_argument("dataset")
+    query.add_argument("--query", required=True, help="comma-separated attribute values")
+    query.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    query.add_argument("--memory", type=float, default=0.10)
+    query.set_defaults(func=_cmd_query)
+
+    infl = sub.add_parser("influence", help="rank probe objects by RS size")
+    infl.add_argument("dataset")
+    infl.add_argument("--probes", nargs="+", required=True)
+    infl.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    infl.add_argument("--memory", type=float, default=0.10)
+    infl.set_defaults(func=_cmd_influence)
+
+    band = sub.add_parser("skyband", help="run a reverse k-skyband query")
+    band.add_argument("dataset")
+    band.add_argument("--query", required=True)
+    band.add_argument("-k", type=int, default=2)
+    band.add_argument("--memory", type=float, default=0.10)
+    band.set_defaults(func=_cmd_skyband)
+
+    prof = sub.add_parser("profile", help="profile a persisted dataset")
+    prof.add_argument("dataset")
+    prof.set_defaults(func=_cmd_profile)
+
+    advise = sub.add_parser("advise", help="recommend an algorithm for a dataset")
+    advise.add_argument("dataset")
+    advise.add_argument("--subset-queries", action="store_true")
+    advise.add_argument("--calibrate", action="store_true")
+    advise.set_defaults(func=_cmd_advise)
+
+    sweep = sub.add_parser("sweep", help="run a paper experiment sweep")
+    sweep.add_argument("sweep", choices=sorted(_SWEEPS))
+    sweep.add_argument("--dataset", choices=("ci", "fc", "synthetic"), default="synthetic")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="aggregate benchmark artifacts into one markdown file"
+    )
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--out", default="REPORT.md")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

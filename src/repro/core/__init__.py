@@ -1,0 +1,43 @@
+"""Reverse-skyline algorithms — the paper's contribution.
+
+Public surface:
+
+- :class:`NaiveRS` — Algorithm 1 (per-object scans, the baseline)
+- :class:`BRS` — Block Reverse Skyline (Algorithm 2)
+- :class:`SRS` — Sort Reverse Skyline (Section 4.2)
+- :class:`TRS` — Tree Reverse Skyline (Algorithms 3-5, the contribution)
+- :class:`TSRS` / :class:`TTRS` — tile-ordered variants (Section 5.6)
+- :class:`NumericTRS` — mixed categorical/numeric schemas (Section 6)
+- :class:`RSResult` / :class:`CostStats` — results and cost counters
+- :data:`ALGORITHMS` / :func:`make_algorithm` — the registry
+"""
+
+from repro.core.base import CostStats, ReverseSkylineAlgorithm, RSResult
+from repro.core.blocked import BlockedRS
+from repro.core.brs import BRS
+from repro.core.naive import NaiveRS
+from repro.core.numeric import Discretizer, NumericTRS
+from repro.core.registry import ALGORITHMS, get_algorithm, make_algorithm
+from repro.core.srs import SRS
+from repro.core.tiled import TSRS, TTRS
+from repro.core.trs import TRS, is_prunable, prune_tree
+
+__all__ = [
+    "ALGORITHMS",
+    "BRS",
+    "BlockedRS",
+    "CostStats",
+    "Discretizer",
+    "NaiveRS",
+    "NumericTRS",
+    "RSResult",
+    "ReverseSkylineAlgorithm",
+    "SRS",
+    "TRS",
+    "TSRS",
+    "TTRS",
+    "get_algorithm",
+    "is_prunable",
+    "make_algorithm",
+    "prune_tree",
+]

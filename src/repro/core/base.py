@@ -1,0 +1,227 @@
+"""Common machinery for reverse-skyline algorithms.
+
+Every algorithm follows the same contract: construct it over a
+:class:`~repro.data.dataset.Dataset` with a memory budget, call
+:meth:`~ReverseSkylineAlgorithm.prepare` once (the offline physical-design
+step — a no-op for Naive/BRS, the multi-attribute sort for SRS/TRS, the
+Z-order tiling for T-SRS/T-TRS), then :meth:`~ReverseSkylineAlgorithm.run`
+per query. ``run`` stages the (prepared) data onto a fresh
+:class:`~repro.storage.disk.DiskSimulator` — staging is free, modelling
+data already resident on disk — executes the query, and returns an
+:class:`RSResult` carrying the result ids and a :class:`CostStats` with
+the paper's three cost currencies: attribute-level checks (computational),
+sequential/random page IOs, and wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
+from repro.storage.iostats import IoStats
+from repro.storage.pagefile import PageFile
+
+__all__ = ["CostStats", "RSResult", "ReverseSkylineAlgorithm"]
+
+
+@dataclass
+class CostStats:
+    """Cost counters for one reverse-skyline run.
+
+    ``checks_*`` count attribute-level comparisons — one per attribute
+    examined while testing a potential pruner, the currency of the paper's
+    Table 3. ``pruner_tests`` counts object-pair (or node-level) tests.
+    """
+
+    checks_phase1: int = 0
+    checks_phase2: int = 0
+    pruner_tests: int = 0
+    phase1_pruned: int = 0
+    intermediate_count: int = 0
+    phase1_batches: int = 0
+    phase2_batches: int = 0
+    db_passes: int = 0
+    result_count: int = 0
+    wall_time_s: float = 0.0
+    io: IoStats = field(default_factory=IoStats)
+    # Per-object check counts, populated only when tracing (Table 3).
+    # Phase-1 counts key on the object being tested for prunability;
+    # phase-2 counts key on the database object scanned as a pruner source.
+    per_object_phase1: dict[int, int] = field(default_factory=dict)
+    per_object_phase2: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def checks(self) -> int:
+        """Total attribute-level comparisons across both phases."""
+        return self.checks_phase1 + self.checks_phase2
+
+    def charge_phase1(self, record_id: int, checks: int, *, trace: bool) -> None:
+        self.checks_phase1 += checks
+        if trace:
+            self.per_object_phase1[record_id] = (
+                self.per_object_phase1.get(record_id, 0) + checks
+            )
+
+    def charge_phase2(self, record_id: int, checks: int, *, trace: bool) -> None:
+        self.checks_phase2 += checks
+        if trace:
+            self.per_object_phase2[record_id] = (
+                self.per_object_phase2.get(record_id, 0) + checks
+            )
+
+
+@dataclass(frozen=True)
+class RSResult:
+    """Outcome of one reverse-skyline query."""
+
+    algorithm: str
+    query: tuple
+    record_ids: tuple[int, ...]
+    stats: CostStats
+
+    @property
+    def result_set(self) -> frozenset[int]:
+        return frozenset(self.record_ids)
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+
+class ReverseSkylineAlgorithm(ABC):
+    """Base class for all reverse-skyline algorithms.
+
+    Parameters
+    ----------
+    dataset:
+        The database ``D`` plus its dissimilarity space.
+    memory_fraction:
+        Memory budget as a fraction of the dataset's on-disk size (the
+        paper's x-axis in Figures 3–10). Ignored when ``budget`` is given.
+    budget:
+        Explicit page budget, overriding ``memory_fraction``.
+    page_bytes:
+        Simulated page size; the paper uses 32 KiB.
+    trace_checks:
+        Record per-object check counts (Table 3). Costs time; leave off
+        for performance runs.
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        if len(dataset) == 0:
+            # Degenerate but legal: every algorithm returns an empty result.
+            pass
+        self.dataset = dataset
+        self.page_bytes = page_bytes
+        self.trace_checks = trace_checks
+        if budget is None:
+            budget = MemoryBudget.fraction_of(
+                dataset, memory_fraction, page_bytes, minimum_pages=2
+            )
+        if budget.pages < 2:
+            raise AlgorithmError(
+                f"{self.name}: needs a budget of >= 2 pages, got {budget.pages}"
+            )
+        self.budget = budget
+        self._layout: list[tuple[int, tuple]] | None = None
+        #: Set to a directory path to run over REAL byte-packed page files
+        #: instead of in-memory simulated pages (same IO counts; wall time
+        #: then includes genuine filesystem IO, the paper's Section 5.1
+        #: response-time methodology).
+        self.backing_dir = None
+
+    # -- physical design ----------------------------------------------------
+    def prepare(self) -> None:
+        """Run the offline layout step (idempotent). Default: keep the
+        dataset's disk order."""
+        if self._layout is None:
+            self._layout = self._build_layout()
+
+    def _build_layout(self) -> list[tuple[int, tuple]]:
+        """The on-disk order as ``(original_record_id, values)`` pairs.
+        Layout steps re-order these while keeping original ids, so result
+        sets always refer to positions in the user's dataset."""
+        return list(enumerate(self.dataset.records))
+
+    @property
+    def layout(self) -> list[tuple[int, tuple]]:
+        self.prepare()
+        assert self._layout is not None
+        return self._layout
+
+    def use_layout(self, entries: list[tuple[int, tuple]]) -> None:
+        """Force a specific on-disk order instead of the algorithm's own
+        layout step. Used for attribute-subset queries (Section 5.6): the
+        data stays physically ordered by the *full* attribute set — query-
+        time re-sorting is infeasible — while this algorithm instance
+        operates on the projected attributes only."""
+        if len(entries) != len(self.dataset):
+            raise AlgorithmError(
+                f"layout has {len(entries)} entries for a "
+                f"{len(self.dataset)}-record dataset"
+            )
+        self._layout = [(record_id, tuple(values)) for record_id, values in entries]
+
+    # -- query processing ----------------------------------------------------
+    def run(self, query: tuple) -> RSResult:
+        """Answer one reverse-skyline query."""
+        q = self.dataset.validate_query(query)
+        self.prepare()
+        disk = DiskSimulator(self.page_bytes, backing_dir=self.backing_dir)
+        try:
+            data_file = disk.load_entries(self.dataset.schema, self.layout, "data")
+            stats = CostStats()
+            started = time.perf_counter()
+            ids = self._execute(disk, data_file, q, stats)
+            stats.wall_time_s = time.perf_counter() - started
+            stats.io = disk.stats.snapshot()
+            stats.result_count = len(ids)
+        finally:
+            disk.close()
+        return RSResult(self.name, q, tuple(sorted(ids)), stats)
+
+    @abstractmethod
+    def _execute(
+        self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        """Algorithm body: return the result record ids (dataset positions
+        in the **original** dataset order)."""
+
+    # -- shared helpers -------------------------------------------------------
+    def _tables(self) -> list:
+        """Per-attribute dense lookup tables; raises for non-categorical
+        attributes (numeric-capable algorithms override their handling).
+
+        Also enforces zero self-dissimilarity: the algorithms' duplicate
+        reasoning and the pre-sorting rationale (Section 4.2) both rely on
+        ``d(x, x) == 0``; a dissimilarity with a non-zero diagonal would
+        silently produce wrong results, so it is rejected loudly instead.
+        """
+        tables = self.dataset.space.tables()
+        for i, t in enumerate(tables):
+            if t is None:
+                raise AlgorithmError(
+                    f"{self.name}: attribute {i} has no finite lookup table; "
+                    "use NumericTRS for schemas with numeric attributes"
+                )
+            for v, row in enumerate(t):
+                if row[v] != 0.0:
+                    raise AlgorithmError(
+                        f"{self.name}: attribute {i} has non-zero "
+                        f"self-dissimilarity d({v},{v})={row[v]}; reverse-skyline "
+                        "algorithms require d(x, x) == 0"
+                    )
+        return tables

@@ -1,0 +1,187 @@
+"""The two-phase block-based engine shared by BRS and SRS (Algorithm 2).
+
+**First phase** — stream the database in batches of ``budget.pages``
+pages; within each batch, mark objects that have an intra-batch pruner;
+append the unpruned ones to a scratch area ``R`` on disk. Objects already
+marked pruned still *act* as pruners for others (being pruned does not
+weaken an object's ability to dominate the query for someone else).
+
+**Second phase** — stream ``R`` in batches of ``budget.pages - 1`` pages
+(one page is reserved for scanning the database, Section 4.1); for each
+batch, scan the full database page by page and evict batch members that
+any database object prunes; survivors are final results.
+
+BRS and SRS differ only in the physical layout (:meth:`_build_layout`)
+and the order in which phase 1 searches a batch for pruners
+(:meth:`_phase1_candidates`): SRS radiates outward from the object in
+sorted order so that pruners — which cluster near objects sharing
+attribute values — are found early (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.base import CostStats, ReverseSkylineAlgorithm
+from repro.storage.disk import DiskSimulator
+from repro.storage.pagefile import PageFile
+
+__all__ = ["BlockedRS"]
+
+
+class BlockedRS(ReverseSkylineAlgorithm):
+    """Abstract two-phase engine; subclasses choose layout and phase-1
+    candidate order."""
+
+    name = "Blocked"
+
+    # -- subclass hooks -------------------------------------------------------
+    def _phase1_candidates(self, batch_size: int, j: int) -> Iterator[int]:
+        """Indices of batch positions to test as pruners of the object at
+        position ``j``, in search order. Default: batch order."""
+        for k in range(batch_size):
+            if k != j:
+                yield k
+
+    # -- engine ----------------------------------------------------------------
+    def _execute(
+        self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        scratch = disk.create_file("phase1-results", data_file.codec)
+        self._phase1(data_file, scratch, query, stats)
+        stats.intermediate_count = scratch.num_records
+        return self._phase2(data_file, scratch, query, stats)
+
+    def _phase1(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> None:
+        tables = self._tables()
+        m = self.dataset.num_attributes
+        trace = self.trace_checks
+        batch_pages = self.budget.pages
+        writer = scratch.writer()
+        batch: list[tuple[int, tuple]] = []
+        pages_in_batch = 0
+        stats.db_passes += 1
+        for _, page in data_file.scan():
+            batch.extend(page)
+            pages_in_batch += 1
+            if pages_in_batch == batch_pages:
+                self._prune_batch(batch, query, tables, m, stats, writer, trace)
+                batch = []
+                pages_in_batch = 0
+                stats.phase1_batches += 1
+        if batch:
+            self._prune_batch(batch, query, tables, m, stats, writer, trace)
+            stats.phase1_batches += 1
+        writer.close()
+        stats.phase1_pruned = len(self.dataset) - scratch.num_records
+
+    def _prune_batch(
+        self,
+        batch: list[tuple[int, tuple]],
+        query: tuple,
+        tables: list,
+        m: int,
+        stats: CostStats,
+        writer,
+        trace: bool,
+    ) -> None:
+        """Intra-batch pruning (Algorithm 2, lines 4-7)."""
+        n = len(batch)
+        attr_range = range(m)
+        # Per-object cached dissimilarity rows and query distances.
+        rows_list = []
+        qd_list = []
+        for _, x in batch:
+            rows = [tables[i][x[i]] for i in attr_range]
+            rows_list.append(rows)
+            qd_list.append([rows[i][query[i]] for i in attr_range])
+        for j in range(n):
+            x_id = batch[j][0]
+            rows = rows_list[j]
+            qd = qd_list[j]
+            pruned = False
+            for k in self._phase1_candidates(n, j):
+                y = batch[k][1]
+                stats.pruner_tests += 1
+                closer = False
+                checks = m
+                for i in attr_range:
+                    dy = rows[i][y[i]]
+                    dq = qd[i]
+                    if dy > dq:
+                        checks = i + 1
+                        break
+                    if dy < dq:
+                        closer = True
+                else:
+                    pruned = closer
+                stats.charge_phase1(x_id, checks, trace=trace)
+                if pruned:
+                    break
+            if not pruned:
+                writer.append(x_id, batch[j][1])
+
+    def _phase2(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        tables = self._tables()
+        m = self.dataset.num_attributes
+        trace = self.trace_checks
+        attr_range = range(m)
+        _, batch_pages = self.budget.split_for_second_phase()
+        result: list[int] = []
+        page_idx = 0
+        while page_idx < scratch.num_pages:
+            # Load the next batch of first-phase results.
+            rbatch: list[tuple[int, tuple]] = []
+            last = min(page_idx + batch_pages, scratch.num_pages)
+            for pid in range(page_idx, last):
+                rbatch.extend(scratch.read_page(pid))
+            page_idx = last
+            stats.phase2_batches += 1
+            stats.db_passes += 1
+            # alive: [x_id, x_values, rows, qd]
+            alive = []
+            for x_id, x in rbatch:
+                rows = [tables[i][x[i]] for i in attr_range]
+                qd = [rows[i][query[i]] for i in attr_range]
+                alive.append((x_id, x, rows, qd))
+            # Scan the whole database, evicting prunable batch members.
+            for _, dpage in data_file.scan():
+                if not alive:
+                    break
+                for e_id, e in dpage:
+                    survivors = []
+                    e_checks = 0
+                    for entry in alive:
+                        x_id, _, rows, qd = entry
+                        if e_id == x_id:
+                            survivors.append(entry)
+                            continue
+                        stats.pruner_tests += 1
+                        closer = False
+                        checks = m
+                        for i in attr_range:
+                            dy = rows[i][e[i]]
+                            dq = qd[i]
+                            if dy > dq:
+                                checks = i + 1
+                                break
+                            if dy < dq:
+                                closer = True
+                        else:
+                            if closer:
+                                # e prunes x: drop it.
+                                e_checks += checks
+                                continue
+                        e_checks += checks
+                        survivors.append(entry)
+                    alive = survivors
+                    if e_checks:
+                        stats.charge_phase2(e_id, e_checks, trace=trace)
+                if not alive:
+                    break
+            result.extend(entry[0] for entry in alive)
+        return result

@@ -1,0 +1,18 @@
+"""Block Reverse Skyline — BRS (paper Section 4.1, Algorithm 2).
+
+The plain two-phase block algorithm: no layout step, batch-order pruner
+search. Its advantage over Naive is purely IO-structural — batched,
+mostly-sequential accesses instead of per-object database scans.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocked import BlockedRS
+
+__all__ = ["BRS"]
+
+
+class BRS(BlockedRS):
+    """Algorithm 2 on the dataset's native disk order."""
+
+    name = "BRS"

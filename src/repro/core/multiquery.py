@@ -1,0 +1,209 @@
+"""Shared-scan processing of reverse-skyline query batches.
+
+Influence workloads (Section 1) answer *many* reverse-skyline queries over
+the same database — one per candidate car, admin profile, or offer.
+Running TRS per query repeats the expensive part: the sequential passes
+over the database. The key observation enabling sharing is that the
+AL-Tree built from a batch of records **does not depend on the query** —
+only the traversals do. So:
+
+- **Phase 1** streams the database once, builds one tree per batch, and
+  runs one ``IsPrunable`` traversal per (object, query) pair, writing one
+  survivor area ``R_q`` per query.
+- **Phase 2** builds one (query-specific) tree per survivor set, then
+  streams the database once, feeding every scanned object through each
+  query's ``Prune`` traversal. When the survivor trees jointly fit the
+  budget, a *single* extra pass finishes **all** queries.
+
+IO therefore stays at ~2 sequential passes *total* instead of ~2 per
+query; computation is unchanged (the per-query traversals still happen).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.altree.tree import ALTree
+from repro.core.base import CostStats
+from repro.core.trs import ENTRY_BYTES, NODE_BYTES, TRS, is_prunable, prune_tree
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
+
+__all__ = ["MultiQueryResult", "SharedScanTRS"]
+
+
+@dataclass(frozen=True)
+class MultiQueryResult:
+    """Outcome of one shared-scan batch run."""
+
+    queries: tuple[tuple, ...]
+    results: tuple[tuple[int, ...], ...]
+    #: Combined cost of the whole batch (IO is shared; checks are summed).
+    stats: CostStats
+    #: Attribute checks attributable to each query.
+    per_query_checks: tuple[int, ...] = field(default=())
+
+    def result_for(self, query: tuple) -> tuple[int, ...]:
+        try:
+            return self.results[self.queries.index(tuple(query))]
+        except ValueError:
+            raise AlgorithmError(f"query {query!r} was not part of this batch") from None
+
+
+class SharedScanTRS:
+    """TRS over a *batch* of queries with shared database scans.
+
+    Construction mirrors :class:`~repro.core.trs.TRS` (same layout step,
+    same memory model); :meth:`run_batch` answers any number of queries.
+    """
+
+    name = "SharedScanTRS"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        attribute_order: Sequence[int] | None = None,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> None:
+        # Reuse TRS for layout and configuration handling.
+        self._trs = TRS(
+            dataset,
+            attribute_order=attribute_order,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+        )
+        self.dataset = dataset
+        self.page_bytes = self._trs.page_bytes
+        self.budget = self._trs.budget
+        self.attribute_order = self._trs.attribute_order
+
+    def prepare(self) -> None:
+        self._trs.prepare()
+
+    def run_batch(self, queries: Sequence[tuple]) -> MultiQueryResult:
+        """Answer every query, sharing all database passes."""
+        if not queries:
+            raise AlgorithmError("need at least one query")
+        qs = [self.dataset.validate_query(q) for q in queries]
+        self.prepare()
+        tables = self._trs._tables()
+        m = self.dataset.num_attributes
+        order = self.attribute_order
+
+        disk = DiskSimulator(self.page_bytes)
+        data_file = disk.load_entries(self.dataset.schema, self._trs.layout, "data")
+        stats = CostStats()
+        per_query_checks = [0] * len(qs)
+        started = time.perf_counter()
+
+        # ---- phase 1: one pass, one tree per batch, k traversals/object --
+        scratches = [
+            disk.create_file(f"phase1-q{qi}", data_file.codec) for qi in range(len(qs))
+        ]
+        writers = [s.writer() for s in scratches]
+        stats.db_passes += 1
+        budget_bytes = self.budget.pages * self.page_bytes
+        tree = ALTree(order)
+        batch: list[tuple] = []  # (record_id, values, leaf)
+
+        def process_batch() -> None:
+            for c_id, c, leaf in batch:
+                has_duplicate = leaf.count >= 2
+                rows = [tables[i][c[i]] for i in range(m)]
+                entry = None
+                if not has_duplicate:
+                    entry = tree.soft_remove(leaf, c_id)
+                for qi, q in enumerate(qs):
+                    qd = [rows[i][q[i]] for i in range(m)]
+                    if has_duplicate:
+                        prunable = False
+                        checks = m
+                        for i in range(m):
+                            if qd[i] > 0.0:
+                                prunable = True
+                                checks = i + 1
+                                break
+                    else:
+                        prunable, checks = is_prunable(tree, c, qd, tables)
+                    stats.checks_phase1 += checks
+                    per_query_checks[qi] += checks
+                    stats.pruner_tests += 1
+                    if not prunable:
+                        writers[qi].append(c_id, c)
+                if entry is not None:
+                    tree.soft_restore(leaf, entry)
+            stats.phase1_batches += 1
+
+        for _, page in data_file.scan():
+            for record_id, values in page:
+                leaf = tree.insert(record_id, values)
+                batch.append((record_id, values, leaf))
+            if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= budget_bytes:
+                process_batch()
+                tree = ALTree(order)
+                batch = []
+        if batch:
+            process_batch()
+        for w in writers:
+            w.close()
+        stats.intermediate_count = sum(s.num_records for s in scratches)
+        stats.phase1_pruned = len(self.dataset) * len(qs) - stats.intermediate_count
+
+        # ---- phase 2: rounds of (fill trees from all R_q, one pass) -------
+        _, batch_pages = self.budget.split_for_second_phase()
+        round_bytes = batch_pages * self.page_bytes
+        results: list[list[int]] = [[] for _ in qs]
+        positions = [0] * len(qs)  # next unread page per scratch
+
+        while any(positions[qi] < scratches[qi].num_pages for qi in range(len(qs))):
+            trees: dict[int, ALTree] = {}
+            used_bytes = 0
+            # Round-robin fill so every query makes progress each round.
+            progressing = True
+            while progressing and used_bytes < round_bytes:
+                progressing = False
+                for qi in range(len(qs)):
+                    if positions[qi] >= scratches[qi].num_pages:
+                        continue
+                    t = trees.get(qi)
+                    if t is None:
+                        t = trees[qi] = ALTree(order)
+                    before = t.memory_bytes(NODE_BYTES, ENTRY_BYTES)
+                    for record_id, values in scratches[qi].read_page(positions[qi]):
+                        t.insert(record_id, values)
+                    positions[qi] += 1
+                    used_bytes += t.memory_bytes(NODE_BYTES, ENTRY_BYTES) - before
+                    progressing = True
+                    if used_bytes >= round_bytes:
+                        break
+            stats.phase2_batches += 1
+            stats.db_passes += 1
+            for _, dpage in data_file.scan():
+                if all(t.num_objects == 0 for t in trees.values()):
+                    break
+                for e_id, e in dpage:
+                    for qi, t in trees.items():
+                        if t.num_objects == 0:
+                            continue
+                        _, checks = prune_tree(t, e_id, e, qs[qi], tables)
+                        stats.checks_phase2 += checks
+                        per_query_checks[qi] += checks
+            for qi, t in trees.items():
+                results[qi].extend(rid for rid, _ in t.iter_entries())
+
+        stats.wall_time_s = time.perf_counter() - started
+        stats.io = disk.stats.snapshot()
+        stats.result_count = sum(len(r) for r in results)
+        return MultiQueryResult(
+            queries=tuple(qs),
+            results=tuple(tuple(sorted(r)) for r in results),
+            stats=stats,
+            per_query_checks=tuple(per_query_checks),
+        )

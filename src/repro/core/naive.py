@@ -1,0 +1,70 @@
+"""The Naive reverse-skyline algorithm (paper Algorithm 1).
+
+For every object ``X``, scan the database for a pruner ``Y`` with
+``Y ≻_X Q``; stop the scan at the first pruner. Objects that *are* in the
+result have no pruner, so each costs a full database scan — ``|D|``
+partial-to-full scans overall, worst-case ``O(n^2)`` comparisons and
+ruinous IO. Included as the correctness baseline and to anchor the
+speed-up factors of BRS/SRS/TRS.
+
+Memory use: two pages — one holding the current outer page (the ``X``
+objects), one streaming the inner scan.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CostStats, ReverseSkylineAlgorithm
+from repro.storage.disk import DiskSimulator
+from repro.storage.pagefile import PageFile
+
+__all__ = ["NaiveRS"]
+
+
+class NaiveRS(ReverseSkylineAlgorithm):
+    """Algorithm 1: per-object database scans."""
+
+    name = "Naive"
+
+    def _execute(
+        self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        tables = self._tables()
+        m = self.dataset.num_attributes
+        trace = self.trace_checks
+        result: list[int] = []
+
+        for outer_page_id in range(data_file.num_pages):
+            outer = data_file.read_page(outer_page_id)
+            for x_id, x in outer:
+                # Per-X cached rows: rows[i] = d_i(x_i, .), qd[i] = d_i(x_i, q_i)
+                rows = [tables[i][x[i]] for i in range(m)]
+                qd = [rows[i][query[i]] for i in range(m)]
+                pruned = False
+                stats.db_passes += 1
+                for _, inner in data_file.scan():
+                    for y_id, y in inner:
+                        if y_id == x_id:
+                            continue
+                        stats.pruner_tests += 1
+                        closer = False
+                        checks = m
+                        for i in range(m):
+                            dy = rows[i][y[i]]
+                            dq = qd[i]
+                            if dy > dq:
+                                checks = i + 1
+                                break
+                            if dy < dq:
+                                closer = True
+                        else:
+                            if closer:
+                                pruned = True
+                        stats.charge_phase1(x_id, checks, trace=trace)
+                        if pruned:
+                            break
+                    if pruned:
+                        break
+                if not pruned:
+                    result.append(x_id)
+        stats.phase1_pruned = len(self.dataset) - len(result)
+        return result

@@ -1,0 +1,299 @@
+"""TRS over mixed categorical + numeric schemas via discretisation
+(paper Section 6).
+
+Group-level reasoning needs many objects per group, which continuous
+domains do not give. The paper's fix: bucket each numeric attribute, build
+the AL-Tree over bucket ids, and reason with *interval bounds*:
+
+- **Phase 1** (``IsPrunable``): descend into a bucket only when domination
+  is *certain* for every value in it — the maximum dissimilarity between
+  the checked object's value and the bucket must not exceed the (exact)
+  dissimilarity to the query. Conservative, so some prunable objects
+  survive as false positives in the intermediate result.
+- **Phase 2** (``Prune``): descend whenever domination is *possible*
+  (minimum dissimilarity to the scanned object within the range of the
+  maximum dissimilarity to the query), and refine at the leaves with
+  exact checks on the actual stored values, evicting per entry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.altree.tree import ALTree
+from repro.core.base import CostStats
+from repro.core.trs import ENTRY_BYTES, NODE_BYTES, TRS
+from repro.data.dataset import Dataset
+from repro.dissim.numeric import NumericDissimilarity
+from repro.errors import AlgorithmError
+from repro.storage.disk import DEFAULT_PAGE_BYTES, MemoryBudget
+from repro.storage.pagefile import PageFile
+
+__all__ = ["Discretizer", "NumericTRS"]
+
+
+class Discretizer:
+    """Equi-width bucketing of the numeric attributes of a dataset."""
+
+    def __init__(self, dataset: Dataset, num_buckets: int = 8) -> None:
+        if num_buckets < 1:
+            raise AlgorithmError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._spec: list[tuple[float, float] | None] = []
+        for i, attr in enumerate(dataset.schema):
+            if attr.is_categorical:
+                self._spec.append(None)
+                continue
+            column = [r[i] for r in dataset.records]
+            if not column:
+                raise AlgorithmError("cannot discretise an empty dataset")
+            lo, hi = min(column), max(column)
+            if hi <= lo:
+                hi = lo + 1.0
+            self._spec.append((lo, hi))
+
+    def is_numeric(self, i: int) -> bool:
+        return self._spec[i] is not None
+
+    def bucket_of(self, i: int, value: float) -> int:
+        lo, hi = self._spec[i]
+        frac = (value - lo) / (hi - lo)
+        return min(self.num_buckets - 1, max(0, int(frac * self.num_buckets)))
+
+    def interval(self, i: int, bucket: int) -> tuple[float, float]:
+        """The ``[lo, hi]`` value range of one bucket."""
+        lo, hi = self._spec[i]
+        width = (hi - lo) / self.num_buckets
+        return lo + bucket * width, lo + (bucket + 1) * width
+
+
+class NumericTRS(TRS):
+    """TRS for schemas with numeric attributes (Section 6)."""
+
+    name = "NumericTRS"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        num_buckets: int = 8,
+        attribute_order: Sequence[int] | None = None,
+        presort: bool = True,
+        order_children: bool = True,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            dataset,
+            attribute_order=attribute_order,
+            presort=presort,
+            order_children=order_children,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+            trace_checks=trace_checks,
+        )
+        self.discretizer = Discretizer(dataset, num_buckets)
+        self._cat_tables = dataset.space.tables()  # None for numeric attrs
+        for i, d in enumerate(dataset.space.dissims):
+            if self._cat_tables[i] is None and not isinstance(d, NumericDissimilarity):
+                raise AlgorithmError(
+                    f"attribute {i}: NumericTRS needs a NumericDissimilarity "
+                    f"for non-categorical attributes, got {type(d).__name__}"
+                )
+
+    # -- layout -------------------------------------------------------------
+    def _layout_key(self, values: tuple):
+        parts = []
+        for pos in self.attribute_order:
+            if self.discretizer.is_numeric(pos):
+                parts.append((self.discretizer.bucket_of(pos, values[pos]), values[pos]))
+            else:
+                parts.append((values[pos], 0.0))
+        return tuple(parts)
+
+    def _build_layout(self) -> list[tuple[int, tuple]]:
+        entries = list(enumerate(self.dataset.records))
+        if not self.presort:
+            return entries
+        return sorted(entries, key=lambda e: self._layout_key(e[1]))
+
+    # -- tree ---------------------------------------------------------------
+    def _new_tree(self) -> ALTree:
+        disc = self.discretizer
+
+        def key_fn(position: int, value):
+            attr = self.attribute_order[position]
+            if disc.is_numeric(attr):
+                return disc.bucket_of(attr, value)
+            return value
+
+        return ALTree(self.attribute_order, key_fn=key_fn)
+
+    # -- exact pairwise test (leaf refinement and qd computation) ------------
+    def _query_distances(self, c: tuple, query: tuple) -> list[float]:
+        space = self.dataset.space
+        return [space.d(i, c[i], query[i]) for i in range(space.num_attributes)]
+
+    # -- phase 1 ----------------------------------------------------------
+    def _phase1(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> None:
+        trace = self.trace_checks
+        budget_bytes = self.budget.pages * self.page_bytes
+        writer = scratch.writer()
+        stats.db_passes += 1
+        tree = self._new_tree()
+        batch: list[tuple] = []  # (record_id, values, leaf)
+
+        def process_batch() -> None:
+            for c_id, c, leaf in batch:
+                qd = self._query_distances(c, query)
+                entry = tree.soft_remove(leaf, c_id)
+                prunable, checks = self._is_prunable_mixed(tree, c, qd)
+                tree.soft_restore(leaf, entry)
+                stats.pruner_tests += 1
+                stats.charge_phase1(c_id, checks, trace=trace)
+                if not prunable:
+                    writer.append(c_id, c)
+            stats.phase1_batches += 1
+
+        for _, page in data_file.scan():
+            for record_id, values in page:
+                leaf = tree.insert(record_id, values)
+                batch.append((record_id, values, leaf))
+            if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= budget_bytes:
+                process_batch()
+                tree = self._new_tree()
+                batch = []
+        if batch:
+            process_batch()
+        writer.close()
+        stats.phase1_pruned = len(self.dataset) - scratch.num_records
+
+    def _is_prunable_mixed(self, tree: ALTree, c: tuple, qd: list[float]):
+        """Algorithm 4 with certain-domination bucket bounds on numeric
+        attributes (the Section 6 first-phase condition)."""
+        order = tree.attribute_order
+        disc = self.discretizer
+        space = self.dataset.space
+        tables = self._cat_tables
+        checks = 0
+        stack: list[tuple] = [(tree.root, False)]
+        while stack:
+            node, found_closer = stack.pop()
+            if node.entries:
+                if found_closer:
+                    return True, checks
+                continue
+            children = (
+                node.children_by_promise()
+                if self.order_children
+                else list(node.children.values())
+            )
+            for child in children:
+                if not child.descendants:
+                    continue  # soft-removed subtree
+                i = order[child.position]
+                checks += 1
+                if tables[i] is not None:
+                    d_cp = tables[i][c[i]][child.key]
+                    if d_cp <= qd[i]:
+                        stack.append((child, found_closer or d_cp < qd[i]))
+                else:
+                    b_lo, b_hi = disc.interval(i, child.key)
+                    _, d_hi = space[i].interval_bounds(c[i], c[i], b_lo, b_hi)
+                    # Certain domination on this attribute for every value
+                    # in the bucket.
+                    if d_hi <= qd[i]:
+                        stack.append((child, found_closer or d_hi < qd[i]))
+        return False, checks
+
+    # -- phase 2 ----------------------------------------------------------
+    def _phase2(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        trace = self.trace_checks
+        _, batch_pages = self.budget.split_for_second_phase()
+        batch_bytes = batch_pages * self.page_bytes
+        result: list[int] = []
+        page_idx = 0
+        while page_idx < scratch.num_pages:
+            tree = self._new_tree()
+            while page_idx < scratch.num_pages:
+                for record_id, values in scratch.read_page(page_idx):
+                    tree.insert(record_id, values)
+                page_idx += 1
+                if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= batch_bytes:
+                    break
+            stats.phase2_batches += 1
+            stats.db_passes += 1
+            for _, dpage in data_file.scan():
+                if tree.num_objects == 0:
+                    break
+                for e_id, e in dpage:
+                    checks = self._prune_mixed(tree, e_id, e, query)
+                    if checks:
+                        stats.charge_phase2(e_id, checks, trace=trace)
+                if tree.num_objects == 0:
+                    break
+            result.extend(record_id for record_id, _ in tree.iter_entries())
+        return result
+
+    def _prune_mixed(self, tree: ALTree, e_id: int, e: tuple, query: tuple) -> int:
+        """Algorithm 5 with possible-domination bucket bounds and exact
+        per-entry refinement at the leaves (the Section 6 second phase:
+        leaves keep actual values; evictions use exact checks)."""
+        order = tree.attribute_order
+        disc = self.discretizer
+        space = self.dataset.space
+        tables = self._cat_tables
+        m = space.num_attributes
+        checks = 0
+        stack: list = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.descendants == 0 and node.parent is None and node is not tree.root:
+                continue
+            if node.entries:
+                # Exact refinement: evict entries e genuinely prunes.
+                survivors = []
+                for entry in node.entries:
+                    x_id, x = entry
+                    if x_id == e_id:
+                        survivors.append(entry)
+                        continue
+                    closer = False
+                    dominated = True
+                    for i in range(m):
+                        checks += 1
+                        d_xe = space.d(i, x[i], e[i])
+                        d_xq = space.d(i, x[i], query[i])
+                        if d_xe > d_xq:
+                            dominated = False
+                            break
+                        if d_xe < d_xq:
+                            closer = True
+                    if not (dominated and closer):
+                        survivors.append(entry)
+                if len(survivors) != len(node.entries):
+                    keep_ids = {id(s) for s in survivors}
+                    tree.remove_entries(node, keep=lambda ent: id(ent) in keep_ids)
+                continue
+            for child in list(node.children.values()):
+                i = order[child.position]
+                checks += 1
+                if tables[i] is not None:
+                    row = tables[i][child.key]
+                    if row[e[i]] <= row[query[i]]:
+                        stack.append(child)
+                else:
+                    b_lo, b_hi = disc.interval(i, child.key)
+                    d_e_lo, _ = space[i].interval_bounds(b_lo, b_hi, e[i], e[i])
+                    _, d_q_hi = space[i].interval_bounds(b_lo, b_hi, query[i], query[i])
+                    # Possible domination: descend and refine at the leaf.
+                    if d_e_lo <= d_q_hi:
+                        stack.append(child)
+        return checks

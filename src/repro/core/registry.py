@@ -1,0 +1,34 @@
+"""Algorithm registry: name -> class, for the experiment harness and CLI."""
+
+from __future__ import annotations
+
+from repro.core.base import ReverseSkylineAlgorithm
+from repro.core.brs import BRS
+from repro.core.naive import NaiveRS
+from repro.core.numeric import NumericTRS
+from repro.core.srs import SRS
+from repro.core.tiled import TSRS, TTRS
+from repro.core.trs import TRS
+from repro.core.vectorized import VectorBRS
+from repro.errors import AlgorithmError
+
+__all__ = ["ALGORITHMS", "get_algorithm", "make_algorithm"]
+
+ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
+    cls.name: cls
+    for cls in (NaiveRS, BRS, SRS, TRS, TSRS, TTRS, NumericTRS, VectorBRS)
+}
+
+
+def get_algorithm(name: str) -> type[ReverseSkylineAlgorithm]:
+    """Look an algorithm class up by its paper name (e.g. ``"TRS"``)."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise AlgorithmError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def make_algorithm(name: str, dataset, **kwargs) -> ReverseSkylineAlgorithm:
+    """Instantiate an algorithm by name."""
+    return get_algorithm(name)(dataset, **kwargs)

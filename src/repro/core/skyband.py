@@ -1,0 +1,223 @@
+"""Reverse k-skyband: tolerate up to ``k-1`` pruners.
+
+The reverse skyline keeps ``X`` only when *no* object dominates the query
+with respect to ``X``. Its natural generalisation — mirroring how RkNN
+generalises RNN (the authors' companion paper, PVLDB 2010 [20], treats
+exactly that) — is the **reverse k-skyband**:
+
+``RSB_k(Q) = { X ∈ D : |{ Y ∈ D, Y ≠ X : Y ≻_X Q }| < k }``
+
+With ``k = 1`` this is the reverse skyline. Larger ``k`` yields a graded
+influence notion: objects for which the query stays in the k-skyband, a
+robust, noise-tolerant audience estimate.
+
+The algorithm keeps TRS's two-phase, memory-bounded structure:
+
+- **Phase 1** counts intra-batch pruners per object with an exhaustive
+  Algorithm 4-style traversal that *early-stops at k*; ``>= k`` in-batch
+  pruners already certify exclusion (counts only grow with more data).
+- **Phase 2** loads survivor batches into an AL-Tree whose leaf entries
+  carry pruner counters; each scanned database object increments the
+  counters of everything it dominates (an enumerating Algorithm 5), and
+  entries are evicted when their counter reaches ``k``. Counting restarts
+  from zero here, so every pruner in ``D`` is counted exactly once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.altree.tree import ALTree
+from repro.core.base import CostStats
+from repro.core.trs import ENTRY_BYTES, NODE_BYTES, TRS
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+from repro.storage.disk import DEFAULT_PAGE_BYTES, MemoryBudget
+from repro.storage.pagefile import PageFile
+
+__all__ = ["ReverseSkybandTRS", "reverse_skyband_naive"]
+
+
+def reverse_skyband_naive(dataset: Dataset, query: tuple, k: int) -> list[int]:
+    """Reference implementation by exhaustive pruner counting."""
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    from repro.skyline.domination import dominates
+
+    q = dataset.validate_query(query)
+    out = []
+    for x_id, x in enumerate(dataset.records):
+        pruners = sum(
+            1
+            for y_id, y in enumerate(dataset.records)
+            if y_id != x_id and dominates(dataset.space, y, q, x)
+        )
+        if pruners < k:
+            out.append(x_id)
+    return out
+
+
+class ReverseSkybandTRS(TRS):
+    """Two-phase, tree-accelerated reverse k-skyband."""
+
+    name = "SkybandTRS"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        k: int = 2,
+        attribute_order: Sequence[int] | None = None,
+        presort: bool = True,
+        order_children: bool = True,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        if k < 1:
+            raise AlgorithmError(f"k must be >= 1, got {k}")
+        super().__init__(
+            dataset,
+            attribute_order=attribute_order,
+            presort=presort,
+            order_children=order_children,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+            trace_checks=trace_checks,
+        )
+        self.k = k
+
+    # -- counting traversals ---------------------------------------------------
+    def _count_pruners_upto(
+        self, tree: ALTree, c: tuple, qd: list[float], tables: list, limit: int
+    ) -> tuple[int, int]:
+        """Count tree objects dominating the query w.r.t. ``c``, stopping
+        early once ``limit`` is reached. Returns ``(count, checks)``."""
+        order = tree.attribute_order
+        count = 0
+        checks = 0
+        stack: list[tuple] = [(tree.root, False)]
+        while stack:
+            node, found_closer = stack.pop()
+            if node.entries:
+                if found_closer:
+                    count += node.count
+                    if count >= limit:
+                        return count, checks
+                continue
+            for child in node.children.values():
+                if not child.descendants:
+                    continue  # soft-removed subtree
+                i = order[child.position]
+                d_cp = tables[i][c[i]][child.key]
+                checks += 1
+                if d_cp <= qd[i]:
+                    stack.append((child, found_closer or d_cp < qd[i]))
+        return count, checks
+
+    # -- phase 1 ---------------------------------------------------------------
+    def _phase1(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> None:
+        tables = self._tables()
+        m = self.dataset.num_attributes
+        trace = self.trace_checks
+        budget_bytes = self.budget.pages * self.page_bytes
+        writer = scratch.writer()
+        stats.db_passes += 1
+        tree = self._new_tree()
+        batch: list[tuple] = []  # (record_id, values, leaf)
+
+        def process_batch() -> None:
+            for c_id, c, leaf in batch:
+                qd = [tables[i][c[i]][query[i]] for i in range(m)]
+                entry = tree.soft_remove(leaf, c_id)
+                count, checks = self._count_pruners_upto(
+                    tree, c, qd, tables, self.k
+                )
+                tree.soft_restore(leaf, entry)
+                stats.pruner_tests += 1
+                stats.charge_phase1(c_id, checks, trace=trace)
+                if count < self.k:
+                    writer.append(c_id, c)
+            stats.phase1_batches += 1
+
+        for _, page in data_file.scan():
+            for record_id, values in page:
+                leaf = tree.insert(record_id, values)
+                batch.append((record_id, values, leaf))
+            if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= budget_bytes:
+                process_batch()
+                tree = self._new_tree()
+                batch = []
+        if batch:
+            process_batch()
+        writer.close()
+        stats.phase1_pruned = len(self.dataset) - scratch.num_records
+
+    # -- phase 2 ---------------------------------------------------------------
+    def _phase2(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        tables = self._tables()
+        trace = self.trace_checks
+        k = self.k
+        _, batch_pages = self.budget.split_for_second_phase()
+        # Counters cost one extra int per entry.
+        batch_bytes = batch_pages * self.page_bytes
+        result: list[int] = []
+        page_idx = 0
+        while page_idx < scratch.num_pages:
+            tree = self._new_tree()
+            counters: dict[int, int] = {}
+            while page_idx < scratch.num_pages:
+                for record_id, values in scratch.read_page(page_idx):
+                    tree.insert(record_id, values)
+                    counters[record_id] = 0
+                page_idx += 1
+                if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES + 4) >= batch_bytes:
+                    break
+            stats.phase2_batches += 1
+            stats.db_passes += 1
+            order = tree.attribute_order
+            for _, dpage in data_file.scan():
+                if tree.num_objects == 0:
+                    break
+                for e_id, e in dpage:
+                    checks = 0
+                    stack: list[tuple] = [(tree.root, False)]
+                    while stack:
+                        node, found_closer = stack.pop()
+                        if node.parent is None and node is not tree.root:
+                            continue  # detached while queued
+                        if node.entries:
+                            if found_closer:
+                                victims = [
+                                    rid for rid, _ in node.entries if rid != e_id
+                                ]
+                                evict = set()
+                                for rid in victims:
+                                    counters[rid] += 1
+                                    if counters[rid] >= k:
+                                        evict.add(rid)
+                                if evict:
+                                    tree.remove_entries(
+                                        node, keep=lambda ent: ent[0] not in evict
+                                    )
+                            continue
+                        for child in list(node.children.values()):
+                            i = order[child.position]
+                            row = tables[i][child.key]
+                            d_pe = row[e[i]]
+                            d_pq = row[query[i]]
+                            checks += 1
+                            if d_pe <= d_pq:
+                                stack.append((child, found_closer or d_pe < d_pq))
+                    if checks:
+                        stats.charge_phase2(e_id, checks, trace=trace)
+                if tree.num_objects == 0:
+                    break
+            result.extend(record_id for record_id, _ in tree.iter_entries())
+        return result

@@ -1,0 +1,95 @@
+"""Tile-ordered variants T-SRS and T-TRS (paper Section 5.6).
+
+A multi-attribute sort privileges the attributes at the head of the sort
+order: subset queries that drop those attributes lose the clustering and
+SRS degrades badly. Laying the data out as Z-ordered tiles (multi-attribute
+sort *within* each tile) is "fair to all the dimensions": T-SRS and T-TRS
+run the exact SRS/TRS query machinery over that layout and stay flat
+across attribute-subset choices (Figure 19).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.srs import SRS
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.sorting.keys import multiattribute_key
+from repro.storage.disk import DEFAULT_PAGE_BYTES, MemoryBudget
+from repro.tiling.tiles import TileGrid
+
+__all__ = ["TSRS", "TTRS"]
+
+
+def _tiled_layout(
+    dataset: Dataset, tiles_per_dim: int, attribute_order: Sequence[int]
+) -> list[tuple[int, tuple]]:
+    grid = TileGrid.for_dataset(dataset, tiles_per_dim)
+    inner = multiattribute_key(attribute_order)
+    return sorted(
+        enumerate(dataset.records),
+        key=lambda entry: (grid.z_index(entry[1]), inner(entry[1])),
+    )
+
+
+class TSRS(SRS):
+    """SRS query processing over the Z-ordered tile layout."""
+
+    name = "T-SRS"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        tiles_per_dim: int = 4,
+        attribute_order: Sequence[int] | None = None,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            dataset,
+            attribute_order=attribute_order,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+            trace_checks=trace_checks,
+        )
+        self.tiles_per_dim = tiles_per_dim
+
+    def _build_layout(self) -> list[tuple[int, tuple]]:
+        return _tiled_layout(self.dataset, self.tiles_per_dim, self.attribute_order)
+
+
+class TTRS(TRS):
+    """TRS query processing over the Z-ordered tile layout."""
+
+    name = "T-TRS"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        tiles_per_dim: int = 4,
+        attribute_order: Sequence[int] | None = None,
+        order_children: bool = True,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            dataset,
+            attribute_order=attribute_order,
+            order_children=order_children,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+            trace_checks=trace_checks,
+        )
+        self.tiles_per_dim = tiles_per_dim
+
+    def _build_layout(self) -> list[tuple[int, tuple]]:
+        return _tiled_layout(self.dataset, self.tiles_per_dim, self.attribute_order)

@@ -1,0 +1,69 @@
+"""Data model and dataset generators.
+
+Public surface:
+
+- :class:`Attribute` / :class:`Schema` — object schemas
+- :class:`Dataset` — records + schema + dissimilarity space
+- :func:`synthetic_dataset` / :func:`mixed_dataset` — paper Section 5.2 generators
+- :func:`census_income_like` / :func:`forest_cover_like` — real-data surrogates
+- :func:`running_example` — the paper's Table 1 / Figure 1 example
+- :func:`random_query` / :func:`perturbed_query` / :func:`query_batch`
+"""
+
+from repro.data.convert import dataset_from_rows, query_from_labels
+from repro.data.dataset import Dataset, density
+from repro.data.examples import (
+    RUNNING_EXAMPLE_PRUNERS,
+    RUNNING_EXAMPLE_RESULT,
+    running_example,
+    running_example_query,
+)
+from repro.data.queries import perturbed_query, query_batch, random_query
+from repro.data.realistic import (
+    CENSUS_INCOME_CARDINALITIES,
+    CENSUS_INCOME_ROWS,
+    FOREST_COVER_CARDINALITIES,
+    FOREST_COVER_ROWS,
+    census_income_like,
+    forest_cover_like,
+)
+from repro.data.schema import CATEGORICAL, NUMERIC, Attribute, Schema
+from repro.data.synthetic import (
+    NORMAL,
+    UNIFORM,
+    ZIPF,
+    mixed_dataset,
+    normal_value_sampler,
+    synthetic_dataset,
+)
+
+__all__ = [
+    "Attribute",
+    "CATEGORICAL",
+    "CENSUS_INCOME_CARDINALITIES",
+    "CENSUS_INCOME_ROWS",
+    "Dataset",
+    "FOREST_COVER_CARDINALITIES",
+    "FOREST_COVER_ROWS",
+    "NORMAL",
+    "NUMERIC",
+    "RUNNING_EXAMPLE_PRUNERS",
+    "RUNNING_EXAMPLE_RESULT",
+    "Schema",
+    "UNIFORM",
+    "ZIPF",
+    "census_income_like",
+    "dataset_from_rows",
+    "density",
+    "query_from_labels",
+    "forest_cover_like",
+    "mixed_dataset",
+    "normal_value_sampler",
+    "perturbed_query",
+    "query_batch",
+    "random_query",
+    "random_query",
+    "running_example",
+    "running_example_query",
+    "synthetic_dataset",
+]

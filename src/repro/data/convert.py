@@ -1,0 +1,118 @@
+"""Building datasets from labeled (string-valued) rows.
+
+Real applications hold categorical data as strings ("RHEL", "diesel") and
+expert dissimilarities as label-keyed tables, not integer value ids. These
+helpers build a properly indexed :class:`~repro.data.dataset.Dataset`
+from that shape, deriving each attribute's domain from its dissimilarity
+matrix's labels (so values with defined dissimilarities are legal even if
+unseen in the data) or, failing that, from the observed values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import SchemaError
+
+__all__ = ["dataset_from_rows", "query_from_labels"]
+
+
+def dataset_from_rows(
+    rows: Sequence[Mapping[str, str]],
+    dissimilarities: Mapping[str, MatrixDissimilarity] | None = None,
+    *,
+    attribute_order: Sequence[str] | None = None,
+    rng_seed: int = 7,
+    name: str = "dataset",
+) -> Dataset:
+    """Build a dataset from label-valued row mappings.
+
+    Parameters
+    ----------
+    rows:
+        ``{attribute_name: value_label}`` mappings, one per object. Every
+        row must provide every attribute.
+    dissimilarities:
+        Optional per-attribute labeled :class:`MatrixDissimilarity`. For
+        attributes without one, the domain is the sorted set of observed
+        labels and the dissimilarity is drawn U[0,1] (the paper's
+        construction for unlabelled similarity) from ``rng_seed``.
+    attribute_order:
+        Column order of the resulting schema (defaults to the sorted
+        attribute names of the first row).
+    """
+    if not rows:
+        raise SchemaError("need at least one row")
+    dissimilarities = dict(dissimilarities or {})
+    names = (
+        list(attribute_order)
+        if attribute_order is not None
+        else sorted(rows[0].keys())
+    )
+    for idx, row in enumerate(rows):
+        missing = [n for n in names if n not in row]
+        if missing:
+            raise SchemaError(f"row {idx} is missing attributes {missing}")
+
+    rng = np.random.default_rng(rng_seed)
+    attrs: list[Attribute] = []
+    dissims: list[MatrixDissimilarity] = []
+    indexers: list[Mapping[str, int]] = []
+    for attr_name in names:
+        d = dissimilarities.get(attr_name)
+        if d is not None:
+            if d.labels is None:
+                raise SchemaError(
+                    f"dissimilarity for {attr_name!r} must carry value labels"
+                )
+            labels = tuple(d.labels)
+        else:
+            labels = tuple(sorted({str(row[attr_name]) for row in rows}))
+            arr = rng.random((len(labels), len(labels)))
+            arr = np.triu(arr, 1)
+            arr = arr + arr.T
+            d = MatrixDissimilarity(arr, labels=labels)
+        attrs.append(Attribute(attr_name, cardinality=len(labels), labels=labels))
+        dissims.append(d)
+        indexers.append({label: i for i, label in enumerate(labels)})
+
+    records = []
+    for idx, row in enumerate(rows):
+        values = []
+        for attr_name, indexer in zip(names, indexers):
+            label = str(row[attr_name])
+            try:
+                values.append(indexer[label])
+            except KeyError:
+                raise SchemaError(
+                    f"row {idx}: value {label!r} for attribute {attr_name!r} "
+                    f"is outside the domain {sorted(indexer)}"
+                ) from None
+        records.append(tuple(values))
+    schema = Schema(attrs)
+    return Dataset(schema, records, DissimilaritySpace(dissims), name=name)
+
+
+def query_from_labels(dataset: Dataset, labels: Mapping[str, str]) -> tuple:
+    """Translate a label-valued query mapping into the dataset's value-id
+    tuple (and validate it)."""
+    values = []
+    for i, attr in enumerate(dataset.schema):
+        if attr.name not in labels:
+            raise SchemaError(f"query is missing attribute {attr.name!r}")
+        label = str(labels[attr.name])
+        if attr.labels is None:
+            raise SchemaError(f"attribute {attr.name!r} has no value labels")
+        try:
+            values.append(attr.labels.index(label))
+        except ValueError:
+            raise SchemaError(
+                f"query value {label!r} outside attribute {attr.name!r}'s domain"
+            ) from None
+    return dataset.validate_query(tuple(values))

@@ -1,0 +1,151 @@
+"""The in-memory dataset model.
+
+A :class:`Dataset` couples a :class:`~repro.data.schema.Schema`, the
+records (plain tuples, in disk order), and the
+:class:`~repro.dissim.space.DissimilaritySpace` that gives the per-attribute
+dissimilarities. Keeping records as tuples keeps the hot loops of the
+algorithms in fast CPython territory and makes the storage codec trivial.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.data.schema import Schema
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import SchemaError
+
+__all__ = ["Dataset", "density"]
+
+
+def density(num_records: int, cardinalities: Sequence[int]) -> float:
+    """Data density as used throughout Section 5: the fraction of the full
+    cross-product of attribute domains that is populated, ``n / prod(v_i)``."""
+    size = 1
+    for c in cardinalities:
+        size *= c
+    if size == 0:
+        raise SchemaError("density undefined for an empty domain")
+    return num_records / size
+
+
+class Dataset:
+    """A database ``D`` of multi-attribute objects plus its dissimilarities.
+
+    Parameters
+    ----------
+    schema:
+        Attribute metadata.
+    records:
+        The objects, one tuple per object, in their on-disk order.
+    space:
+        Per-attribute dissimilarity functions (must match the schema arity).
+    validate:
+        When True (default), every record is checked against the schema.
+        Generators that construct records by design may pass False.
+    name:
+        Optional display name used by the experiment harness.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Iterable[tuple],
+        space: DissimilaritySpace,
+        *,
+        validate: bool = True,
+        name: str = "dataset",
+    ) -> None:
+        if space.num_attributes != schema.num_attributes:
+            raise SchemaError(
+                f"space has {space.num_attributes} attributes, "
+                f"schema has {schema.num_attributes}"
+            )
+        for i, (attr, d) in enumerate(zip(schema, space.dissims)):
+            if attr.is_categorical:
+                if not isinstance(d, MatrixDissimilarity):
+                    raise SchemaError(
+                        f"attribute {attr.name!r} is categorical but dissimilarity "
+                        f"{i} is {type(d).__name__}"
+                    )
+                if d.cardinality != attr.cardinality:
+                    raise SchemaError(
+                        f"attribute {attr.name!r}: cardinality {attr.cardinality} "
+                        f"!= dissimilarity domain {d.cardinality}"
+                    )
+            elif isinstance(d, MatrixDissimilarity):
+                raise SchemaError(
+                    f"attribute {attr.name!r} is numeric but dissimilarity {i} "
+                    "is a finite-domain (categorical) matrix"
+                )
+        self.schema = schema
+        self.records = [tuple(r) for r in records]
+        self.space = space
+        self.name = name
+        if validate:
+            for r in self.records:
+                schema.validate_record(r)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, i: int) -> tuple:
+        return self.records[i]
+
+    @property
+    def num_attributes(self) -> int:
+        return self.schema.num_attributes
+
+    def density(self) -> float:
+        """Density ``n / prod(v_i)`` — only defined for all-categorical data."""
+        if not self.schema.is_fully_categorical():
+            raise SchemaError("density is only defined for fully categorical datasets")
+        return density(len(self.records), self.schema.cardinalities())
+
+    def validate_query(self, query: tuple) -> tuple:
+        """Check a query object against the schema and return it as a tuple.
+
+        The query need not be present in the database (Section 3)."""
+        q = tuple(query)
+        self.schema.validate_record(q)
+        return q
+
+    def with_records(self, records: Iterable[tuple], *, name: str | None = None) -> "Dataset":
+        """A copy of this dataset with different records (e.g. re-ordered by
+        the pre-sorting step). Dissimilarities and schema are shared."""
+        return Dataset(
+            self.schema,
+            records,
+            self.space,
+            validate=False,
+            name=name if name is not None else self.name,
+        )
+
+    def project(self, attribute_indices: Sequence[int], *, name: str | None = None) -> "Dataset":
+        """Project dataset, schema and dissimilarities onto an attribute
+        subset (Section 5.6)."""
+        schema = self.schema.project(attribute_indices)
+        space = self.space.subset(attribute_indices)
+        records = [tuple(r[i] for i in attribute_indices) for r in self.records]
+        return Dataset(
+            schema,
+            records,
+            space,
+            validate=False,
+            name=name if name is not None else f"{self.name}[{list(attribute_indices)}]",
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        cards = self.schema.cardinalities()
+        extra = ""
+        if self.schema.is_fully_categorical() and self.records:
+            extra = f", density={self.density():.3g}"
+        return f"{self.name}: n={len(self.records)}, m={self.num_attributes}, v={cards}{extra}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset({self.describe()})"

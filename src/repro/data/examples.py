@@ -1,0 +1,104 @@
+"""The paper's running example (Table 1 and Figure 1).
+
+A six-server database over three categorical attributes — Operating
+System, Processor and Database — with expert-provided, non-metric
+dissimilarities. Used throughout Section 4 of the paper to walk through
+BRS/SRS/TRS, and by this library's Table 1–3 reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.space import DissimilaritySpace
+
+__all__ = [
+    "OS_LABELS",
+    "PROCESSOR_LABELS",
+    "DB_LABELS",
+    "running_example",
+    "running_example_query",
+    "RUNNING_EXAMPLE_RESULT",
+    "RUNNING_EXAMPLE_PRUNERS",
+]
+
+OS_LABELS = ("MSW", "RHL", "SL")
+PROCESSOR_LABELS = ("AMD", "Intel")
+DB_LABELS = ("Informix", "DB2", "Oracle")
+
+# Figure 1 of the paper. d1 is non-metric:
+# d1(MSW, SL) = 1.0 > d1(MSW, RHL) + d1(RHL, SL) = 0.8 + 0.1.
+_D1_OS = [
+    [0.0, 0.8, 1.0],
+    [0.8, 0.0, 0.1],
+    [1.0, 0.1, 0.0],
+]
+_D2_PROCESSOR = [
+    [0.0, 0.5],
+    [0.5, 0.0],
+]
+_D3_DB = [
+    [0.0, 0.5, 0.9],
+    [0.5, 0.0, 0.4],
+    [0.9, 0.4, 0.0],
+]
+
+# Table 1 of the paper, as (OS, Processor, DB) label triples, ids O1..O6.
+_OBJECTS = [
+    ("MSW", "AMD", "DB2"),  # O1
+    ("RHL", "AMD", "Informix"),  # O2
+    ("SL", "Intel", "Oracle"),  # O3
+    ("MSW", "AMD", "DB2"),  # O4 (duplicate of O1)
+    ("RHL", "AMD", "Informix"),  # O5 (duplicate of O2)
+    ("MSW", "Intel", "DB2"),  # O6
+]
+
+# Ground truth from Table 1 for Q = [MSW, Intel, DB2]: the reverse skyline
+# is {O3, O6} (0-based indices 2 and 5), and each excluded object's pruner
+# set is listed (0-based).
+RUNNING_EXAMPLE_RESULT = frozenset({2, 5})
+RUNNING_EXAMPLE_PRUNERS = {
+    0: frozenset({3}),
+    1: frozenset({0, 3, 4}),
+    3: frozenset({0}),
+    4: frozenset({0, 1, 3}),
+}
+
+
+def running_example() -> Dataset:
+    """Build the Table 1 dataset with the Figure 1 dissimilarities."""
+    schema = Schema(
+        [
+            Attribute("OS", cardinality=3, labels=OS_LABELS),
+            Attribute("Processor", cardinality=2, labels=PROCESSOR_LABELS),
+            Attribute("DB", cardinality=3, labels=DB_LABELS),
+        ]
+    )
+    space = DissimilaritySpace(
+        [
+            MatrixDissimilarity(np.array(_D1_OS), labels=OS_LABELS),
+            MatrixDissimilarity(np.array(_D2_PROCESSOR), labels=PROCESSOR_LABELS),
+            MatrixDissimilarity(np.array(_D3_DB), labels=DB_LABELS),
+        ]
+    )
+    records = [
+        (
+            OS_LABELS.index(os_name),
+            PROCESSOR_LABELS.index(proc),
+            DB_LABELS.index(db),
+        )
+        for os_name, proc, db in _OBJECTS
+    ]
+    return Dataset(schema, records, space, name="running-example")
+
+
+def running_example_query() -> tuple[int, int, int]:
+    """The paper's query ``Q = [MSW, Intel, DB2]``."""
+    return (
+        OS_LABELS.index("MSW"),
+        PROCESSOR_LABELS.index("Intel"),
+        DB_LABELS.index("DB2"),
+    )

@@ -1,0 +1,64 @@
+"""Query-object sampling.
+
+A reverse-skyline query object follows the dataset schema but need not be
+present in the database (Section 3). Experiments draw queries either
+uniformly from the attribute domains or by perturbing existing records,
+which keeps result-set sizes in the small range the paper reports
+(Section 5.7: typically 10–100 results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import SchemaError
+
+__all__ = ["random_query", "perturbed_query", "query_batch"]
+
+
+def random_query(dataset: Dataset, rng: np.random.Generator) -> tuple:
+    """A query drawn uniformly from the cross-product of attribute domains
+    (numeric attributes: uniform over the observed min/max of the data)."""
+    values = []
+    for i, attr in enumerate(dataset.schema):
+        if attr.is_categorical:
+            values.append(int(rng.integers(0, attr.cardinality)))
+        else:
+            column = [r[i] for r in dataset.records]
+            if not column:
+                raise SchemaError("cannot sample a numeric query from an empty dataset")
+            lo, hi = min(column), max(column)
+            values.append(float(rng.uniform(lo, hi)))
+    return tuple(values)
+
+
+def perturbed_query(
+    dataset: Dataset, rng: np.random.Generator, *, num_changes: int = 1
+) -> tuple:
+    """A query made by mutating ``num_changes`` attributes of a random
+    existing record — queries that sit *near* the data, which is the
+    regime where reverse-skyline results are non-trivial."""
+    if not dataset.records:
+        raise SchemaError("cannot perturb a query from an empty dataset")
+    base = list(dataset.records[int(rng.integers(0, len(dataset.records)))])
+    m = dataset.num_attributes
+    num_changes = max(0, min(num_changes, m))
+    for i in rng.choice(m, size=num_changes, replace=False):
+        attr = dataset.schema[int(i)]
+        if attr.is_categorical:
+            base[int(i)] = int(rng.integers(0, attr.cardinality))
+        else:
+            column = [r[int(i)] for r in dataset.records]
+            base[int(i)] = float(rng.uniform(min(column), max(column)))
+    return tuple(base)
+
+
+def query_batch(
+    dataset: Dataset, count: int, *, seed: int = 17, perturbed: bool = True
+) -> list[tuple]:
+    """A reproducible batch of query objects for averaging in experiments."""
+    rng = np.random.default_rng(seed)
+    if perturbed and dataset.records:
+        return [perturbed_query(dataset, rng) for _ in range(count)]
+    return [random_query(dataset, rng) for _ in range(count)]

@@ -1,0 +1,173 @@
+"""Schemas for multi-attribute objects.
+
+Objects in the paper are fixed-arity tuples over a mix of categorical
+attributes (finite domains, integer value ids) and numeric attributes
+(floats, Section 6). A :class:`Schema` validates records and carries
+attribute metadata used for sorting, tree construction and storage sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Attribute", "Schema", "CATEGORICAL", "NUMERIC"]
+
+CATEGORICAL = "categorical"
+NUMERIC = "numeric"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One attribute of the object schema.
+
+    Parameters
+    ----------
+    name:
+        Human-readable attribute name (unique within a schema).
+    kind:
+        ``"categorical"`` or ``"numeric"``.
+    cardinality:
+        Domain size for categorical attributes; ``None`` for numeric.
+    labels:
+        Optional value labels for categorical attributes
+        (``labels[value_id]`` is the display name).
+    """
+
+    name: str
+    kind: str = CATEGORICAL
+    cardinality: int | None = None
+    labels: tuple[str, ...] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CATEGORICAL, NUMERIC):
+            raise SchemaError(f"unknown attribute kind {self.kind!r}")
+        if self.kind == CATEGORICAL:
+            if self.cardinality is None or self.cardinality < 1:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} needs cardinality >= 1, "
+                    f"got {self.cardinality!r}"
+                )
+            if self.labels is not None and len(self.labels) != self.cardinality:
+                raise SchemaError(
+                    f"attribute {self.name!r}: {len(self.labels)} labels for "
+                    f"cardinality {self.cardinality}"
+                )
+        elif self.cardinality is not None:
+            raise SchemaError(f"numeric attribute {self.name!r} cannot have a cardinality")
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+    def validate_value(self, value) -> None:
+        """Raise :class:`SchemaError` when ``value`` is outside the domain."""
+        if self.is_categorical:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(
+                    f"attribute {self.name!r}: expected int value id, got {value!r}"
+                )
+            if not 0 <= value < self.cardinality:
+                raise SchemaError(
+                    f"attribute {self.name!r}: value id {value} outside "
+                    f"[0, {self.cardinality})"
+                )
+        else:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"attribute {self.name!r}: expected numeric value, got {value!r}"
+                )
+
+    def label_of(self, value_id: int) -> str:
+        """Display name of a categorical value (falls back to the id)."""
+        if self.labels is not None and 0 <= value_id < len(self.labels):
+            return self.labels[value_id]
+        return str(value_id)
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` with unique names."""
+
+    def __init__(self, attributes: Sequence[Attribute]) -> None:
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes = tuple(attributes)
+        self._index = {a.name: i for i, a in enumerate(self._attributes)}
+
+    @classmethod
+    def categorical(cls, cardinalities: Sequence[int], names: Sequence[str] | None = None):
+        """Shorthand for an all-categorical schema from domain sizes."""
+        if names is None:
+            names = [f"A{i + 1}" for i in range(len(cardinalities))]
+        if len(names) != len(cardinalities):
+            raise SchemaError("names and cardinalities must have equal length")
+        return cls([Attribute(n, CATEGORICAL, c) for n, c in zip(names, cardinalities)])
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __getitem__(self, i: int) -> Attribute:
+        return self._attributes[i]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def index_of(self, name: str) -> int:
+        """Position of the attribute called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return [a.name for a in self._attributes]
+
+    def cardinalities(self) -> list[int | None]:
+        return [a.cardinality for a in self._attributes]
+
+    def is_fully_categorical(self) -> bool:
+        return all(a.is_categorical for a in self._attributes)
+
+    def validate_record(self, record: tuple) -> None:
+        """Raise :class:`SchemaError` unless ``record`` conforms."""
+        if len(record) != len(self._attributes):
+            raise SchemaError(
+                f"record has {len(record)} values, schema has {len(self._attributes)}"
+            )
+        for attr, value in zip(self._attributes, record):
+            attr.validate_value(value)
+
+    def project(self, attribute_indices: Sequence[int]) -> "Schema":
+        """Schema over a subset of attributes (Section 5.6 subset queries)."""
+        if not attribute_indices:
+            raise SchemaError("attribute subset must be non-empty")
+        return Schema([self._attributes[i] for i in attribute_indices])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{a.name}:{a.cardinality if a.is_categorical else 'num'}" for a in self._attributes
+        )
+        return f"Schema({parts})"

@@ -1,0 +1,144 @@
+"""Dataset profiling.
+
+The paper's experiments show that reverse-skyline cost is governed by a
+handful of dataset statistics: density (Section 5.4's x-axis everywhere),
+per-attribute cardinalities and their skew (group sizes near the AL-Tree
+root), and the duplicate rate (duplicate pairs prune each other almost
+for free). This module computes those statistics, plus a sampling
+estimate of how likely a random object is to find a pruner — the
+quantity that separates the cheap dense regime from the expensive sparse
+one.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import ExperimentError
+from repro.skyline.domination import dominates
+
+__all__ = ["AttributeProfile", "DatasetProfile", "profile_dataset", "estimate_pruner_rate"]
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Statistics of one attribute's value distribution."""
+
+    name: str
+    is_categorical: bool
+    domain_cardinality: int | None
+    observed_distinct: int
+    entropy_bits: float
+    top_value_share: float
+
+    @property
+    def effective_cardinality(self) -> float:
+        """2^entropy — the number of equally likely values that would
+        produce the same entropy (drives expected AL-Tree group sizes)."""
+        return 2.0 ** self.entropy_bits
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Whole-dataset statistics."""
+
+    name: str
+    num_records: int
+    num_attributes: int
+    density: float | None
+    duplicate_rate: float
+    distinct_records: int
+    attributes: tuple[AttributeProfile, ...]
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.name}: n={self.num_records}, m={self.num_attributes}",
+            f"distinct={self.distinct_records}",
+            f"duplicates={self.duplicate_rate:.1%}",
+        ]
+        if self.density is not None:
+            parts.append(f"density={self.density:.3g}")
+        return ", ".join(parts)
+
+
+def _entropy_bits(counter: Counter, total: int) -> float:
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counter.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def profile_dataset(dataset: Dataset) -> DatasetProfile:
+    """Compute the :class:`DatasetProfile` of ``dataset``."""
+    n = len(dataset)
+    attrs: list[AttributeProfile] = []
+    for i, attr in enumerate(dataset.schema):
+        counter = Counter(r[i] for r in dataset.records)
+        entropy = _entropy_bits(counter, n)
+        top_share = (max(counter.values()) / n) if counter else 0.0
+        attrs.append(
+            AttributeProfile(
+                name=attr.name,
+                is_categorical=attr.is_categorical,
+                domain_cardinality=attr.cardinality,
+                observed_distinct=len(counter),
+                entropy_bits=entropy,
+                top_value_share=top_share,
+            )
+        )
+    distinct = len(set(dataset.records))
+    duplicate_rate = 0.0 if n == 0 else (n - distinct) / n
+    density = None
+    if dataset.schema.is_fully_categorical() and n:
+        density = dataset.density()
+    return DatasetProfile(
+        name=dataset.name,
+        num_records=n,
+        num_attributes=dataset.num_attributes,
+        density=density,
+        duplicate_rate=duplicate_rate,
+        distinct_records=distinct,
+        attributes=tuple(attrs),
+    )
+
+
+def estimate_pruner_rate(
+    dataset: Dataset,
+    queries,
+    *,
+    samples: int = 200,
+    seed: int = 7,
+) -> float:
+    """Estimate the probability that a random object has *some* pruner for
+    a random query from ``queries`` — high in dense data (cheap phase 1),
+    low in sparse data (expensive full scans). Sampling-based: ``samples``
+    (object, query) pairs, each checked against up to 64 random candidate
+    pruners."""
+    if not dataset.records:
+        raise ExperimentError("cannot estimate pruner rate on an empty dataset")
+    queries = [dataset.validate_query(q) for q in queries]
+    if not queries:
+        raise ExperimentError("need at least one query")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    hits = 0
+    for _ in range(samples):
+        q = queries[int(rng.integers(0, len(queries)))]
+        x_id = int(rng.integers(0, n))
+        x = dataset.records[x_id]
+        candidates = rng.integers(0, n, size=min(64, n))
+        if any(
+            int(y_id) != x_id
+            and dominates(dataset.space, dataset.records[int(y_id)], q, x)
+            for y_id in candidates
+        ):
+            hits += 1
+    return hits / samples

@@ -1,0 +1,39 @@
+"""Dissimilarity functions — arbitrary, possibly non-metric, per-attribute.
+
+Public surface:
+
+- :class:`Dissimilarity` — abstract per-attribute function
+- :class:`MatrixDissimilarity` — finite-domain, matrix-backed (categorical)
+- :class:`NumericDissimilarity` / :class:`AbsoluteDifference` /
+  :class:`ScaledDifference` — numeric attributes (paper Section 6)
+- :class:`DissimilaritySpace` — the per-attribute bundle algorithms consume
+- :func:`random_dissimilarity` et al. — the paper's U[0,1] generators
+- :func:`analyze_metricity` — measure triangle-inequality violations
+"""
+
+from repro.dissim.analysis import MetricityReport, analyze_metricity
+from repro.dissim.base import Dissimilarity
+from repro.dissim.generators import (
+    metric_like_dissimilarity,
+    nonmetric_dissimilarity,
+    random_dissimilarity,
+    random_matrix,
+)
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.numeric import AbsoluteDifference, NumericDissimilarity, ScaledDifference
+from repro.dissim.space import DissimilaritySpace
+
+__all__ = [
+    "AbsoluteDifference",
+    "Dissimilarity",
+    "DissimilaritySpace",
+    "MatrixDissimilarity",
+    "MetricityReport",
+    "NumericDissimilarity",
+    "ScaledDifference",
+    "analyze_metricity",
+    "metric_like_dissimilarity",
+    "nonmetric_dissimilarity",
+    "random_dissimilarity",
+    "random_matrix",
+]

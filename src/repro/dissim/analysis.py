@@ -1,0 +1,99 @@
+"""Metricity analysis of dissimilarity matrices.
+
+Section 1.1 and Section 2 argue that expert-provided and perceptual
+similarities routinely violate the metric axioms (reflexivity, symmetry,
+triangle inequality). This module measures those violations, so users can
+see *why* metric-space indexes are inapplicable to their data and tests can
+assert that generated workloads really are non-metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dissim.matrix import MatrixDissimilarity
+
+__all__ = ["MetricityReport", "analyze_metricity"]
+
+
+@dataclass(frozen=True)
+class MetricityReport:
+    """Summary of which metric axioms a dissimilarity matrix satisfies."""
+
+    cardinality: int
+    is_reflexive: bool
+    is_symmetric: bool
+    triangle_violations: int
+    triangle_triples: int
+    worst_violation: tuple[int, int, int] | None
+    worst_violation_margin: float
+
+    @property
+    def is_metric(self) -> bool:
+        """True only when all three axioms hold."""
+        return self.is_reflexive and self.is_symmetric and self.triangle_violations == 0
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of ordered triples violating the triangle inequality."""
+        if self.triangle_triples == 0:
+            return 0.0
+        return self.triangle_violations / self.triangle_triples
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.is_metric:
+            return f"metric over {self.cardinality} values"
+        parts = []
+        if not self.is_reflexive:
+            parts.append("non-reflexive")
+        if not self.is_symmetric:
+            parts.append("asymmetric")
+        if self.triangle_violations:
+            parts.append(
+                f"{self.triangle_violations}/{self.triangle_triples} triangle violations"
+            )
+        return f"non-metric over {self.cardinality} values ({', '.join(parts)})"
+
+
+def analyze_metricity(dissim: MatrixDissimilarity | np.ndarray) -> MetricityReport:
+    """Check reflexivity, symmetry and the triangle inequality for a matrix.
+
+    The triangle check runs vectorised over all ordered triples
+    ``(x, y, z)`` with distinct ``y``, costing ``O(v^3)`` space-free passes —
+    fine for the domain cardinalities this library targets (tens to a few
+    hundred values per attribute).
+    """
+    arr = dissim.matrix if isinstance(dissim, MatrixDissimilarity) else np.asarray(dissim, float)
+    v = arr.shape[0]
+    is_reflexive = not np.diagonal(arr).any()
+    is_symmetric = bool((arr == arr.T).all())
+
+    # d(x, z) <= d(x, y) + d(y, z) for all x, y, z.
+    # via broadcasting: lhs[x, z] vs min over y of arr[x, y] + arr[y, z]
+    violations = 0
+    worst: tuple[int, int, int] | None = None
+    worst_margin = 0.0
+    total = v * v * v
+    for y in range(v):
+        bound = arr[:, y][:, None] + arr[y, :][None, :]  # shape (v, v)
+        margin = arr - bound
+        bad = margin > 1e-12
+        count = int(bad.sum())
+        violations += count
+        if count:
+            x, z = np.unravel_index(int(np.argmax(margin)), margin.shape)
+            if margin[x, z] > worst_margin:
+                worst_margin = float(margin[x, z])
+                worst = (int(x), int(y), int(z))
+    return MetricityReport(
+        cardinality=v,
+        is_reflexive=is_reflexive,
+        is_symmetric=is_symmetric,
+        triangle_violations=violations,
+        triangle_triples=total,
+        worst_violation=worst,
+        worst_violation_margin=worst_margin,
+    )

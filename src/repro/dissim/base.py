@@ -1,0 +1,54 @@
+"""Abstract base class for per-attribute dissimilarity functions.
+
+The paper (Section 3) defines, for each attribute ``i``, a dissimilarity
+function ``d_i : A_i x A_i -> R`` with **no** metric requirements: values
+may violate the triangle inequality, and the attribute domain need not be
+ordered. The only property the algorithms rely on is that a value is never
+strictly *more* dissimilar to itself than to another value — in practice
+``d(x, x) == 0`` for all functions used in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import DissimilarityError
+
+__all__ = ["Dissimilarity"]
+
+
+class Dissimilarity(ABC):
+    """A dissimilarity function over a single attribute domain.
+
+    Subclasses implement :meth:`__call__` for a pair of attribute values.
+    Values are represented the way the owning
+    :class:`~repro.data.schema.Attribute` stores them: integer value ids
+    for categorical attributes, floats for numeric attributes.
+    """
+
+    @abstractmethod
+    def __call__(self, a, b) -> float:
+        """Return the dissimilarity between values ``a`` and ``b``."""
+
+    def validate_value(self, value) -> None:
+        """Raise :class:`DissimilarityError` if ``value`` is outside the
+        function's domain. The default accepts everything."""
+
+    def table(self):
+        """Return a dense lookup table (list of lists) if this function is
+        defined over a finite domain, else ``None``.
+
+        Algorithms use the table on their hot paths because nested-list
+        indexing is markedly faster than a Python-level call per check.
+        """
+        return None
+
+    def is_zero_reflexive(self) -> bool:
+        """True if ``d(x, x) == 0`` is guaranteed for every domain value."""
+        return True
+
+    @staticmethod
+    def _check_finite(value: float, context: str) -> float:
+        if value != value or value in (float("inf"), float("-inf")):
+            raise DissimilarityError(f"non-finite dissimilarity in {context}: {value!r}")
+        return value

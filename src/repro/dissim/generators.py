@@ -1,0 +1,87 @@
+"""Random dissimilarity generators.
+
+Section 5.2 of the paper: "The similarity between different values of
+attributes are chosen randomly from the interval [0-1]." These helpers
+reproduce that construction, with knobs for symmetry and for deliberately
+planting triangle-inequality violations (useful in tests that must verify
+non-metric behaviour is handled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.errors import DissimilarityError
+
+__all__ = [
+    "random_matrix",
+    "random_dissimilarity",
+    "nonmetric_dissimilarity",
+    "metric_like_dissimilarity",
+]
+
+
+def random_matrix(
+    cardinality: int,
+    rng: np.random.Generator,
+    *,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Draw a ``cardinality x cardinality`` matrix of U[0,1] dissimilarities
+    with a zero diagonal, the paper's construction for both the real-dataset
+    and synthetic experiments."""
+    if cardinality < 1:
+        raise DissimilarityError(f"cardinality must be >= 1, got {cardinality}")
+    arr = rng.random((cardinality, cardinality))
+    if symmetric:
+        arr = np.triu(arr, 1)
+        arr = arr + arr.T
+    np.fill_diagonal(arr, 0.0)
+    return arr
+
+
+def random_dissimilarity(
+    cardinality: int,
+    rng: np.random.Generator,
+    *,
+    symmetric: bool = True,
+) -> MatrixDissimilarity:
+    """A :class:`MatrixDissimilarity` over ``random_matrix``."""
+    return MatrixDissimilarity(random_matrix(cardinality, rng, symmetric=symmetric))
+
+
+def nonmetric_dissimilarity(
+    cardinality: int,
+    rng: np.random.Generator,
+) -> MatrixDissimilarity:
+    """A random matrix guaranteed to violate the triangle inequality.
+
+    At least one triple ``(x, y, z)`` satisfies
+    ``d(x, z) > d(x, y) + d(y, z)``, so metric-space pruning reasoning is
+    provably unsound on the result.
+    """
+    if cardinality < 3:
+        raise DissimilarityError("need at least 3 values to violate the triangle inequality")
+    arr = random_matrix(cardinality, rng)
+    # Plant a violation on the first three values: make the two legs tiny
+    # and the direct edge large.
+    arr[0, 1] = arr[1, 0] = 0.05
+    arr[1, 2] = arr[2, 1] = 0.05
+    arr[0, 2] = arr[2, 0] = 0.9
+    return MatrixDissimilarity(arr)
+
+
+def metric_like_dissimilarity(
+    cardinality: int,
+    rng: np.random.Generator,
+) -> MatrixDissimilarity:
+    """A random matrix post-processed into a true metric via shortest-path
+    closure (the Floyd-Warshall contraction). Used as a control when
+    comparing behaviour on metric vs non-metric inputs."""
+    arr = random_matrix(cardinality, rng)
+    # Floyd-Warshall: d(x,z) <- min(d(x,z), d(x,y)+d(y,z)) until closure.
+    for k in range(cardinality):
+        arr = np.minimum(arr, arr[:, k][:, None] + arr[k, :][None, :])
+    np.fill_diagonal(arr, 0.0)
+    return MatrixDissimilarity(arr)

@@ -1,0 +1,88 @@
+"""A dissimilarity space: one dissimilarity function per attribute.
+
+All reverse-skyline algorithms take a :class:`DissimilaritySpace` which
+bundles the ``m`` per-attribute functions ``d_1 .. d_m`` of the paper's
+problem definition (Section 3), plus fast-path lookup tables for the
+finite (categorical) attributes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dissim.base import Dissimilarity
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.errors import DissimilarityError
+
+__all__ = ["DissimilaritySpace"]
+
+
+class DissimilaritySpace:
+    """Bundle of per-attribute dissimilarity functions.
+
+    Parameters
+    ----------
+    dissims:
+        One :class:`Dissimilarity` per attribute, in attribute order.
+    """
+
+    def __init__(self, dissims: Sequence[Dissimilarity]) -> None:
+        if not dissims:
+            raise DissimilarityError("a dissimilarity space needs at least one attribute")
+        for i, d in enumerate(dissims):
+            if not isinstance(d, Dissimilarity):
+                raise DissimilarityError(
+                    f"attribute {i}: expected a Dissimilarity, got {type(d).__name__}"
+                )
+        self._dissims = list(dissims)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._dissims)
+
+    @property
+    def dissims(self) -> list[Dissimilarity]:
+        return list(self._dissims)
+
+    def __getitem__(self, i: int) -> Dissimilarity:
+        return self._dissims[i]
+
+    def __len__(self) -> int:
+        return len(self._dissims)
+
+    def d(self, i: int, a, b) -> float:
+        """Dissimilarity between values ``a`` and ``b`` of attribute ``i``."""
+        return self._dissims[i](a, b)
+
+    def tables(self) -> list[list[list[float]] | None]:
+        """Per-attribute dense lookup tables (``None`` where the attribute
+        domain is not finite). Hot loops index these directly instead of
+        calling :meth:`d` per check."""
+        return [d.table() for d in self._dissims]
+
+    def cardinalities(self) -> list[int | None]:
+        """Per-attribute domain sizes (``None`` for numeric attributes)."""
+        return [
+            d.cardinality if isinstance(d, MatrixDissimilarity) else None for d in self._dissims
+        ]
+
+    def is_fully_categorical(self) -> bool:
+        return all(isinstance(d, MatrixDissimilarity) for d in self._dissims)
+
+    def subset(self, attribute_indices: Sequence[int]) -> "DissimilaritySpace":
+        """Project onto a subset of attributes (Section 5.6: queries over
+        user-chosen attribute subsets)."""
+        if not attribute_indices:
+            raise DissimilarityError("attribute subset must be non-empty")
+        seen = set()
+        for i in attribute_indices:
+            if not 0 <= i < len(self._dissims):
+                raise DissimilarityError(f"attribute index {i} out of range")
+            if i in seen:
+                raise DissimilarityError(f"duplicate attribute index {i}")
+            seen.add(i)
+        return DissimilaritySpace([self._dissims[i] for i in attribute_indices])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(d).__name__ for d in self._dissims)
+        return f"DissimilaritySpace([{kinds}])"

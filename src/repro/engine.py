@@ -1,0 +1,280 @@
+"""High-level engine: one object that owns a dataset and answers queries.
+
+:class:`ReverseSkylineEngine` is the adoption-grade facade over the
+library: it keeps prepared (laid-out) algorithm instances cached, answers
+reverse-skyline, reverse-k-skyband, attribute-subset and influence
+queries, and accumulates a query log for observability.
+
+    engine = ReverseSkylineEngine(dataset)              # or .open(path)
+    engine.query((1, 2, 0))                             # RS via TRS
+    engine.skyband((1, 2, 0), k=3)                      # graded influence
+    engine.query_subset(["price", "distance"], (2, 0))  # Section 5.6
+    engine.influence({"offer-A": (1, 2, 0), ...})       # Section 1
+
+Attribute-subset queries follow the paper's Section 5.6 discipline: the
+physical order is fixed once from the *full* attribute set (re-sorting
+per query is infeasible); per-subset algorithm instances reuse that order
+via projected layouts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.base import RSResult
+from repro.core.registry import make_algorithm
+from repro.core.skyband import ReverseSkybandTRS
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+from repro.influence.analysis import InfluenceReport, influence_analysis
+from repro.sorting.keys import multiattribute_key, schema_order
+from repro.storage.disk import DEFAULT_PAGE_BYTES
+
+__all__ = ["QueryLogEntry", "ReverseSkylineEngine"]
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One answered query, for observability."""
+
+    kind: str
+    algorithm: str
+    query: tuple
+    result_size: int
+    checks: int
+    seq_io: int
+    rand_io: int
+    wall_time_s: float
+
+
+@dataclass
+class _EngineStats:
+    queries: int = 0
+    total_checks: int = 0
+    total_io: int = 0
+    log: list[QueryLogEntry] = field(default_factory=list)
+
+
+class ReverseSkylineEngine:
+    """Prepared, cached query engine over one dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        algorithm: str = "TRS",
+        memory_fraction: float = 0.10,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        log_queries: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.default_algorithm = algorithm
+        self.memory_fraction = memory_fraction
+        self.page_bytes = page_bytes
+        self.log_queries = log_queries
+        self._algorithms: dict[str, object] = {}
+        self._subset_engines: dict[tuple[int, ...], "ReverseSkylineEngine"] = {}
+        self._skybands: dict[int, ReverseSkybandTRS] = {}
+        self._stats = _EngineStats()
+        # The full-attribute physical order, shared by subset queries.
+        key = multiattribute_key(schema_order(dataset.schema))
+        self._full_order_entries = sorted(
+            enumerate(dataset.records), key=lambda e: key(e[1])
+        )
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def open(cls, directory, **kwargs) -> "ReverseSkylineEngine":
+        """Open a dataset persisted with :meth:`save` (or
+        :func:`repro.persist.save_dataset`). Stored physical layouts are
+        restored, so the one-time pre-sort/tiling is not redone."""
+        from repro.persist.format import load_dataset
+        from repro.persist.layouts import layout_entries, load_layouts
+
+        dataset = load_dataset(directory)
+        engine = cls(dataset, **kwargs)
+        for name, ids in load_layouts(directory).items():
+            try:
+                algo = engine._make_algorithm_shell(name)
+            except Exception:
+                continue  # layout for an algorithm this build doesn't know
+            algo.use_layout(layout_entries(dataset, ids))
+            engine._algorithms[name] = algo
+        return engine
+
+    def save(self, directory) -> None:
+        """Persist the dataset plus every prepared algorithm's layout."""
+        from repro.persist.format import save_dataset
+        from repro.persist.layouts import save_layouts
+
+        save_dataset(self.dataset, directory)
+        layouts = {
+            name: [rid for rid, _ in algo.layout]
+            for name, algo in self._algorithms.items()
+        }
+        if layouts:
+            save_layouts(directory, layouts)
+
+    def _make_algorithm_shell(self, name: str):
+        return make_algorithm(
+            name,
+            self.dataset,
+            memory_fraction=self.memory_fraction,
+            page_bytes=self.page_bytes,
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _algorithm(self, name: str):
+        algo = self._algorithms.get(name)
+        if algo is None:
+            algo = self._make_algorithm_shell(name)
+            algo.prepare()
+            self._algorithms[name] = algo
+        return algo
+
+    def _record(self, kind: str, result: RSResult) -> RSResult:
+        s = result.stats
+        self._stats.queries += 1
+        self._stats.total_checks += s.checks
+        self._stats.total_io += s.io.total
+        if self.log_queries:
+            self._stats.log.append(
+                QueryLogEntry(
+                    kind=kind,
+                    algorithm=result.algorithm,
+                    query=result.query,
+                    result_size=len(result.record_ids),
+                    checks=s.checks,
+                    seq_io=s.io.sequential,
+                    rand_io=s.io.random,
+                    wall_time_s=s.wall_time_s,
+                )
+            )
+        return result
+
+    # -- queries -------------------------------------------------------------
+    def query(
+        self,
+        query: tuple,
+        *,
+        algorithm: str | None = None,
+        where=None,
+    ) -> RSResult:
+        """The reverse skyline of ``query``.
+
+        ``where`` optionally restricts the *candidate* set: only records
+        satisfying ``where(values)`` may appear in the result. Pruners are
+        still drawn from the whole database, so this is exactly
+        ``RS(Q) ∩ {x : where(x)}`` (the constrained reverse skyline) and is
+        answered by filtering the unconstrained result.
+        """
+        algo = self._algorithm(algorithm or self.default_algorithm)
+        result = algo.run(query)
+        if where is not None:
+            kept = tuple(
+                rid for rid in result.record_ids if where(self.dataset[rid])
+            )
+            result = RSResult(result.algorithm, result.query, kept, result.stats)
+        return self._record("reverse-skyline", result)
+
+    def skyband(self, query: tuple, k: int) -> RSResult:
+        """The reverse k-skyband of ``query`` (``k=1`` is the skyline)."""
+        algo = self._skybands.get(k)
+        if algo is None:
+            algo = ReverseSkybandTRS(
+                self.dataset,
+                k=k,
+                memory_fraction=self.memory_fraction,
+                page_bytes=self.page_bytes,
+            )
+            algo.prepare()
+            self._skybands[k] = algo
+        return self._record(f"reverse-{k}-skyband", algo.run(query))
+
+    def query_subset(
+        self, attributes: Sequence[str | int], query_values: tuple
+    ) -> RSResult:
+        """Reverse skyline over an attribute subset (Section 5.6).
+
+        ``attributes`` are names or indices of the chosen attributes;
+        ``query_values`` gives the query's values for exactly those
+        attributes, in the same order. The data's physical order remains
+        the full-attribute sort.
+        """
+        indices = tuple(
+            a if isinstance(a, int) else self.dataset.schema.index_of(a)
+            for a in attributes
+        )
+        if not indices:
+            raise AlgorithmError("attribute subset must be non-empty")
+        engine = self._subset_engines.get(indices)
+        if engine is None:
+            projected = self.dataset.project(list(indices))
+            algo = TRS(
+                projected,
+                memory_fraction=self.memory_fraction,
+                page_bytes=self.page_bytes,
+            )
+            algo.use_layout(
+                [
+                    (rid, tuple(values[i] for i in indices))
+                    for rid, values in self._full_order_entries
+                ]
+            )
+            engine = ReverseSkylineEngine(
+                projected,
+                memory_fraction=self.memory_fraction,
+                page_bytes=self.page_bytes,
+                log_queries=False,
+            )
+            engine._algorithms["TRS"] = algo
+            self._subset_engines[indices] = engine
+        result = engine.query(tuple(query_values), algorithm="TRS")
+        return self._record("subset-reverse-skyline", result)
+
+    def influence(
+        self, probes: Mapping[str, tuple] | Sequence[tuple]
+    ) -> InfluenceReport:
+        """Influence analysis over probe objects (Section 1)."""
+        algo = self._algorithm(self.default_algorithm)
+        report = influence_analysis(self.dataset, probes, algorithm=algo)
+        for result in report.results.values():
+            self._record("influence-probe", result)
+        return report
+
+    # -- observability -----------------------------------------------------
+    @property
+    def log(self) -> list[QueryLogEntry]:
+        return list(self._stats.log)
+
+    def summary(self) -> dict:
+        """Aggregate engine statistics."""
+        return {
+            "dataset": self.dataset.describe(),
+            "queries": self._stats.queries,
+            "total_checks": self._stats.total_checks,
+            "total_page_ios": self._stats.total_io,
+            "prepared_algorithms": sorted(self._algorithms),
+            "prepared_subsets": [list(s) for s in sorted(self._subset_engines)],
+        }
+
+    def latency_summary(self) -> dict[str, float]:
+        """Wall-time percentiles (milliseconds) over the query log."""
+        if not self._stats.log:
+            raise AlgorithmError("no logged queries yet")
+        times = sorted(e.wall_time_s * 1000 for e in self._stats.log)
+
+        def pct(p: float) -> float:
+            idx = min(len(times) - 1, max(0, round(p / 100 * (len(times) - 1))))
+            return times[idx]
+
+        return {
+            "count": float(len(times)),
+            "p50_ms": pct(50),
+            "p90_ms": pct(90),
+            "p99_ms": pct(99),
+            "max_ms": times[-1],
+            "mean_ms": sum(times) / len(times),
+        }

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A dataset, record or query does not conform to its schema."""
+
+
+class DissimilarityError(ReproError):
+    """A dissimilarity function was queried with values outside its domain,
+    or was constructed from an inconsistent specification."""
+
+
+class StorageError(ReproError):
+    """A simulated-disk operation failed (bad page id, closed file, ...)."""
+
+
+class MemoryBudgetError(ReproError):
+    """The configured memory budget is too small for the requested operation
+    (for example, smaller than a single disk page)."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was invoked with an invalid configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is invalid or cannot be executed."""

@@ -1,0 +1,60 @@
+"""Experiment harness — workloads, cost model, sweeps, table rendering.
+
+Public surface:
+
+- :class:`CostModel` / :data:`DEFAULT_COST_MODEL`
+- :class:`Measurement` / :func:`run_algorithm` / :func:`compare_algorithms`
+- :func:`memory_sweep` / :func:`size_sweep` / :func:`values_sweep` /
+  :func:`attrs_sweep` / :func:`subset_sweep` / :func:`ablation_sweep`
+- :func:`ci_dataset` / :func:`fc_dataset` / :func:`standard_synthetic` /
+  :func:`queries_for` — scaled workloads (``REPRO_SCALE`` grows them)
+- :func:`format_table` / :func:`format_measurements`
+"""
+
+from repro.experiments.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.experiments.crossover import CrossoverPoint, two_pass_threshold
+from repro.experiments.report import generate_report, write_report
+from repro.experiments.runner import Measurement, compare_algorithms, run_algorithm
+from repro.experiments.sweeps import (
+    ablation_sweep,
+    attrs_sweep,
+    memory_sweep,
+    size_sweep,
+    subset_sweep,
+    values_sweep,
+)
+from repro.experiments.tables import format_measurements, format_table
+from repro.experiments.workloads import (
+    ci_dataset,
+    fc_dataset,
+    queries_for,
+    scale_factor,
+    scaled,
+    standard_synthetic,
+)
+
+__all__ = [
+    "CostModel",
+    "CrossoverPoint",
+    "DEFAULT_COST_MODEL",
+    "Measurement",
+    "generate_report",
+    "two_pass_threshold",
+    "write_report",
+    "ablation_sweep",
+    "attrs_sweep",
+    "ci_dataset",
+    "compare_algorithms",
+    "fc_dataset",
+    "format_measurements",
+    "format_table",
+    "memory_sweep",
+    "queries_for",
+    "run_algorithm",
+    "scale_factor",
+    "scaled",
+    "size_sweep",
+    "standard_synthetic",
+    "subset_sweep",
+    "values_sweep",
+]

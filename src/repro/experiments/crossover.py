@@ -1,0 +1,68 @@
+"""Regime analysis: where does an algorithm reach the two-pass regime?
+
+Section 5.3's IO discussion has an implicit crossover: below some memory
+fraction, the intermediate result no longer fits one second-phase batch
+and extra database scans appear (the BRS line's knee in Figures 5/6).
+:func:`two_pass_threshold` locates that knee empirically — the smallest
+memory fraction at which an algorithm answers in exactly two passes — so
+capacity planning ("how much memory do I need for this dataset?") has a
+direct answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.registry import make_algorithm
+from repro.data.dataset import Dataset
+from repro.data.queries import query_batch
+from repro.errors import ExperimentError
+
+__all__ = ["CrossoverPoint", "two_pass_threshold"]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """The located regime boundary for one algorithm."""
+
+    algorithm: str
+    threshold_fraction: float | None  # None: never reached within the grid
+    passes_by_fraction: dict[float, float]
+
+    def reached(self) -> bool:
+        return self.threshold_fraction is not None
+
+
+def two_pass_threshold(
+    dataset: Dataset,
+    algorithm: str,
+    *,
+    fractions: Sequence[float] = (0.02, 0.03, 0.04, 0.06, 0.08, 0.12, 0.16, 0.20),
+    queries: Sequence[tuple] | None = None,
+    page_bytes: int = 512,
+) -> CrossoverPoint:
+    """Find the smallest memory fraction (on the given grid) at which
+    ``algorithm`` completes every query in two database passes.
+
+    Returns the full passes-per-fraction profile so the knee is visible
+    even when the threshold lies outside the grid.
+    """
+    if not fractions:
+        raise ExperimentError("need at least one memory fraction")
+    if queries is None:
+        queries = query_batch(dataset, 2, seed=17)
+    ordered = sorted(fractions)
+    profile: dict[float, float] = {}
+    threshold: float | None = None
+    for fraction in ordered:
+        algo = make_algorithm(
+            algorithm, dataset, memory_fraction=fraction, page_bytes=page_bytes
+        )
+        passes = [algo.run(q).stats.db_passes for q in queries]
+        profile[fraction] = sum(passes) / len(passes)
+        if threshold is None and max(passes) == 2:
+            threshold = fraction
+    return CrossoverPoint(
+        algorithm=algorithm, threshold_fraction=threshold, passes_by_fraction=profile
+    )

@@ -1,0 +1,89 @@
+"""Aggregate benchmark artifacts into one markdown report.
+
+Every benchmark module writes its rendered series to
+``benchmarks/results/<name>.txt``. :func:`generate_report` stitches those
+files into a single markdown document (the machine-generated companion to
+the hand-written EXPERIMENTS.md), so a full reproduction run can be
+archived or diffed as one artifact::
+
+    pytest benchmarks/ --benchmark-only
+    python -c "from repro.experiments.report import write_report; \\
+               write_report('benchmarks/results', 'REPORT.md')"
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.errors import ExperimentError
+
+__all__ = ["generate_report", "write_report"]
+
+# Render order: paper artifacts first, extensions last.
+_SECTION_ORDER = [
+    ("Tables", "table"),
+    ("Figures", "fig"),
+    ("Sections 5.5-6", "sec"),
+    ("Ablation", "ablation"),
+    ("Extensions", "ext"),
+]
+
+
+def generate_report(results_dir) -> str:
+    """Build the markdown report from a results directory."""
+    path = pathlib.Path(results_dir)
+    if not path.is_dir():
+        raise ExperimentError(f"{path} is not a directory")
+    artifacts = sorted(path.glob("*.txt"))
+    if not artifacts:
+        raise ExperimentError(
+            f"{path} contains no benchmark artifacts; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Generated {time.strftime('%Y-%m-%d %H:%M:%S')} from "
+        f"{len(artifacts)} benchmark artifacts in `{path}`.",
+        "",
+        "Regenerate with `pytest benchmarks/ --benchmark-only`. Paper-vs-"
+        "measured commentary lives in EXPERIMENTS.md; this file records the "
+        "raw series of the latest run.",
+        "",
+    ]
+    consumed: set[pathlib.Path] = set()
+    for title, prefix in _SECTION_ORDER:
+        group = [a for a in artifacts if a.stem.startswith(prefix)]
+        if not group:
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        for artifact in group:
+            consumed.add(artifact)
+            content = artifact.read_text().strip()
+            lines.append(f"### {artifact.stem}")
+            lines.append("")
+            lines.append("```")
+            lines.append(content)
+            lines.append("```")
+            lines.append("")
+    leftovers = [a for a in artifacts if a not in consumed]
+    if leftovers:
+        lines.append("## Other artifacts")
+        lines.append("")
+        for artifact in leftovers:
+            lines.append(f"### {artifact.stem}")
+            lines.append("")
+            lines.append("```")
+            lines.append(artifact.read_text().strip())
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results_dir, output_path) -> pathlib.Path:
+    """Generate and write the report; returns the output path."""
+    out = pathlib.Path(output_path)
+    out.write_text(generate_report(results_dir))
+    return out

@@ -1,0 +1,121 @@
+"""Run algorithms over query batches and aggregate measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.base import ReverseSkylineAlgorithm
+from repro.core.registry import make_algorithm
+from repro.data.dataset import Dataset
+from repro.errors import ExperimentError
+from repro.experiments.costmodel import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["Measurement", "run_algorithm", "compare_algorithms"]
+
+
+@dataclass
+class Measurement:
+    """Per-algorithm averages over a query batch."""
+
+    algorithm: str
+    dataset: str
+    num_queries: int
+    params: dict = field(default_factory=dict)
+    # Averages per query:
+    checks: float = 0.0
+    checks_phase1: float = 0.0
+    checks_phase2: float = 0.0
+    seq_io: float = 0.0
+    rand_io: float = 0.0
+    wall_ms: float = 0.0
+    computation_ms: float = 0.0
+    io_ms: float = 0.0
+    response_ms: float = 0.0
+    result_size: float = 0.0
+    intermediate_size: float = 0.0
+    db_passes: float = 0.0
+    phase2_batches: float = 0.0
+
+    def as_row(self, columns: Sequence[str]) -> list:
+        return [getattr(self, c) for c in columns]
+
+
+def run_algorithm(
+    algorithm: ReverseSkylineAlgorithm,
+    queries: Sequence[tuple],
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    params: dict | None = None,
+) -> Measurement:
+    """Run one prepared algorithm over all queries, averaging costs."""
+    if not queries:
+        raise ExperimentError("need at least one query")
+    m = Measurement(
+        algorithm=algorithm.name,
+        dataset=algorithm.dataset.name,
+        num_queries=len(queries),
+        params=dict(params or {}),
+    )
+    algorithm.prepare()
+    for q in queries:
+        result = algorithm.run(q)
+        s = result.stats
+        m.checks += s.checks
+        m.checks_phase1 += s.checks_phase1
+        m.checks_phase2 += s.checks_phase2
+        m.seq_io += s.io.sequential
+        m.rand_io += s.io.random
+        m.wall_ms += s.wall_time_s * 1000.0
+        m.computation_ms += cost_model.computation_ms(s)
+        m.io_ms += cost_model.io_ms(s)
+        m.response_ms += cost_model.response_ms(s)
+        m.result_size += s.result_count
+        m.intermediate_size += s.intermediate_count
+        m.db_passes += s.db_passes
+        m.phase2_batches += s.phase2_batches
+    n = len(queries)
+    for attr in (
+        "checks",
+        "checks_phase1",
+        "checks_phase2",
+        "seq_io",
+        "rand_io",
+        "wall_ms",
+        "computation_ms",
+        "io_ms",
+        "response_ms",
+        "result_size",
+        "intermediate_size",
+        "db_passes",
+        "phase2_batches",
+    ):
+        setattr(m, attr, getattr(m, attr) / n)
+    return m
+
+
+def compare_algorithms(
+    dataset: Dataset,
+    queries: Sequence[tuple],
+    algorithm_names: Sequence[str] = ("BRS", "SRS", "TRS"),
+    *,
+    memory_fraction: float = 0.10,
+    page_bytes: int = 512,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    algorithm_kwargs: dict | None = None,
+    params: dict | None = None,
+) -> list[Measurement]:
+    """Build each named algorithm over ``dataset`` and measure it on the
+    same query batch. ``page_bytes`` defaults to 512 so that scaled-down
+    datasets still span hundreds of pages, preserving the page-count
+    structure of the paper's 32 KiB-page, million-row setups."""
+    per_algo = algorithm_kwargs or {}
+    out = []
+    for name in algorithm_names:
+        kwargs = dict(memory_fraction=memory_fraction, page_bytes=page_bytes)
+        kwargs.update(per_algo.get(name, {}))
+        algo = make_algorithm(name, dataset, **kwargs)
+        out.append(
+            run_algorithm(algo, queries, cost_model=cost_model, params=params)
+        )
+    return out

@@ -1,0 +1,272 @@
+"""Parameter sweeps — one per figure family in the paper's Section 5.
+
+Each sweep returns a flat list of
+:class:`~repro.experiments.runner.Measurement`, one per (parameter value,
+algorithm) pair, with the swept parameter recorded in ``params``. The
+benchmark modules under ``benchmarks/`` print these as the series the
+corresponding figures plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.srs import SRS
+from repro.core.tiled import TSRS, TTRS
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import ExperimentError
+from repro.experiments.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.experiments.runner import Measurement, compare_algorithms, run_algorithm
+from repro.experiments.workloads import queries_for, scaled
+from repro.sorting.keys import multiattribute_key, schema_order
+from repro.tiling.tiles import TileGrid
+
+__all__ = [
+    "memory_sweep",
+    "size_sweep",
+    "values_sweep",
+    "attrs_sweep",
+    "subset_sweep",
+    "ablation_sweep",
+]
+
+_DEFAULT_ALGOS = ("BRS", "SRS", "TRS")
+
+
+def memory_sweep(
+    dataset: Dataset,
+    fractions: Sequence[float] = (0.04, 0.08, 0.12, 0.16, 0.20),
+    algorithms: Sequence[str] = _DEFAULT_ALGOS,
+    *,
+    queries: Sequence[tuple] | None = None,
+    page_bytes: int = 512,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[Measurement]:
+    """Figures 3-10: vary available memory as a fraction of dataset size."""
+    if queries is None:
+        queries = queries_for(dataset)
+    out: list[Measurement] = []
+    for fraction in fractions:
+        out.extend(
+            compare_algorithms(
+                dataset,
+                queries,
+                algorithms,
+                memory_fraction=fraction,
+                page_bytes=page_bytes,
+                cost_model=cost_model,
+                params={"memory": fraction},
+            )
+        )
+    return out
+
+
+def size_sweep(
+    sizes: Sequence[int] = (2000, 4000, 8000, 12000, 16000, 24000),
+    *,
+    values: int = 24,
+    attrs: int = 5,
+    algorithms: Sequence[str] = _DEFAULT_ALGOS,
+    memory_fraction: float = 0.10,
+    page_bytes: int = 512,
+    queries_per_point: int = 2,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[Measurement]:
+    """Figures 11-13: vary dataset size (and with it the density), the
+    scaled analogue of the paper's 0.1M-1.2M sweep at 5 attrs x 50 values.
+    With ``values=24`` the swept densities (2.5e-4 .. 3e-3) bracket the
+    paper's 3e-4 .. 3e-3."""
+    out: list[Measurement] = []
+    for n in sizes:
+        ds = synthetic_dataset(scaled(n), [values] * attrs, seed=7)
+        qs = queries_for(ds, queries_per_point)
+        out.extend(
+            compare_algorithms(
+                ds,
+                qs,
+                algorithms,
+                memory_fraction=memory_fraction,
+                page_bytes=page_bytes,
+                cost_model=cost_model,
+                params={"n": len(ds), "density": ds.density()},
+            )
+        )
+    return out
+
+
+def values_sweep(
+    value_counts: Sequence[int] = (20, 22, 24, 26, 28, 32),
+    *,
+    n: int = 8000,
+    attrs: int = 5,
+    algorithms: Sequence[str] = _DEFAULT_ALGOS,
+    memory_fraction: float = 0.10,
+    page_bytes: int = 512,
+    queries_per_point: int = 2,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[Measurement]:
+    """Figures 14-16: vary the number of values per attribute at fixed
+    dataset size (the paper: 45..70 values at 1M rows; scaled: 20..32 at
+    8k rows, sweeping density 2.4e-4 .. 2.5e-3)."""
+    out: list[Measurement] = []
+    for v in value_counts:
+        ds = synthetic_dataset(scaled(n), [v] * attrs, seed=7)
+        qs = queries_for(ds, queries_per_point)
+        out.extend(
+            compare_algorithms(
+                ds,
+                qs,
+                algorithms,
+                memory_fraction=memory_fraction,
+                page_bytes=page_bytes,
+                cost_model=cost_model,
+                params={"values": v, "density": ds.density()},
+            )
+        )
+    return out
+
+
+def attrs_sweep(
+    attr_counts: Sequence[int] = (3, 4, 5, 6, 7),
+    *,
+    n: int = 8000,
+    values: int = 20,
+    algorithms: Sequence[str] = _DEFAULT_ALGOS,
+    memory_fraction: float = 0.10,
+    page_bytes: int = 512,
+    queries_per_point: int = 2,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[Measurement]:
+    """Figures 17-18: vary the number of attributes (the paper: 3..7 at 1M
+    rows x 50 values, density 8 down to 1.3e-6; scaled: 3..7 at 8k x 20)."""
+    out: list[Measurement] = []
+    for m in attr_counts:
+        ds = synthetic_dataset(scaled(n), [values] * m, seed=7)
+        qs = queries_for(ds, queries_per_point)
+        out.extend(
+            compare_algorithms(
+                ds,
+                qs,
+                algorithms,
+                memory_fraction=memory_fraction,
+                page_bytes=page_bytes,
+                cost_model=cost_model,
+                params={"attrs": m, "density": ds.density()},
+            )
+        )
+    return out
+
+
+def subset_sweep(
+    dataset: Dataset,
+    subsets: Sequence[Sequence[int]],
+    *,
+    tiles_per_dim: int = 4,
+    memory_fraction: float = 0.10,
+    page_bytes: int = 512,
+    queries_per_point: int = 2,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[Measurement]:
+    """Figure 19: reverse-skyline queries over attribute *subsets*.
+
+    The physical layouts are built once from the **full** attribute set —
+    a multi-attribute sort for SRS/TRS and a Z-ordered tiling for
+    T-SRS/T-TRS — because re-sorting at query time is infeasible
+    (Section 5.6). Each query then sees only the chosen attributes: the
+    dataset, the dissimilarity space, and the algorithm's in-memory
+    structures are projected, but the on-disk order stays fixed.
+    """
+    if not subsets:
+        raise ExperimentError("need at least one attribute subset")
+    full_order = schema_order(dataset.schema)
+    sort_key = multiattribute_key(full_order)
+    sorted_entries = sorted(enumerate(dataset.records), key=lambda e: sort_key(e[1]))
+    grid = TileGrid.for_dataset(dataset, tiles_per_dim)
+    tiled_entries = sorted(
+        enumerate(dataset.records),
+        key=lambda e: (grid.z_index(e[1]), sort_key(e[1])),
+    )
+
+    out: list[Measurement] = []
+    for subset in subsets:
+        subset = list(subset)
+        projected = dataset.project(subset)
+        queries = queries_for(projected, queries_per_point)
+        label = "{" + ",".join(dataset.schema[i].name for i in subset) + "}"
+
+        def project_entries(entries):
+            return [(rid, tuple(vals[i] for i in subset)) for rid, vals in entries]
+
+        variants = [
+            (SRS(projected, memory_fraction=memory_fraction, page_bytes=page_bytes),
+             project_entries(sorted_entries)),
+            (TSRS(projected, memory_fraction=memory_fraction, page_bytes=page_bytes),
+             project_entries(tiled_entries)),
+            (TRS(projected, memory_fraction=memory_fraction, page_bytes=page_bytes),
+             project_entries(sorted_entries)),
+            (TTRS(projected, memory_fraction=memory_fraction, page_bytes=page_bytes),
+             project_entries(tiled_entries)),
+        ]
+        for algo, entries in variants:
+            algo.use_layout(entries)
+            out.append(
+                run_algorithm(
+                    algo,
+                    queries,
+                    cost_model=cost_model,
+                    params={"subset": label},
+                )
+            )
+    return out
+
+
+def ablation_sweep(
+    dataset: Dataset,
+    *,
+    memory_fraction: float = 0.10,
+    page_bytes: int = 512,
+    queries: Sequence[tuple] | None = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[Measurement]:
+    """Isolate each TRS design choice (DESIGN.md ablation targets):
+    full TRS vs TRS without the pre-sort vs TRS without promising-first
+    child ordering, alongside BRS and SRS."""
+    if queries is None:
+        queries = queries_for(dataset)
+    rows: list[Measurement] = []
+    rows.extend(
+        compare_algorithms(
+            dataset,
+            queries,
+            ("BRS", "SRS", "TRS"),
+            memory_fraction=memory_fraction,
+            page_bytes=page_bytes,
+            cost_model=cost_model,
+            params={"variant": "baseline"},
+        )
+    )
+    no_sort = TRS(
+        dataset, presort=False, memory_fraction=memory_fraction, page_bytes=page_bytes
+    )
+    rows.append(
+        run_algorithm(
+            no_sort, queries, cost_model=cost_model, params={"variant": "TRS/no-sort"}
+        )
+    )
+    no_order = TRS(
+        dataset,
+        order_children=False,
+        memory_fraction=memory_fraction,
+        page_bytes=page_bytes,
+    )
+    rows.append(
+        run_algorithm(
+            no_order,
+            queries,
+            cost_model=cost_model,
+            params={"variant": "TRS/no-child-order"},
+        )
+    )
+    return rows

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows/series the paper plots; these helpers keep
+that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_measurements"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned text table with a header rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(parts):
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_measurements(
+    measurements,
+    columns: Sequence[tuple[str, str]] = (
+        ("algorithm", "algo"),
+        ("computation_ms", "comp_ms"),
+        ("seq_io", "seq_io"),
+        ("rand_io", "rand_io"),
+        ("response_ms", "resp_ms"),
+        ("wall_ms", "py_wall_ms"),
+        ("checks", "checks"),
+        ("result_size", "|RS|"),
+        ("intermediate_size", "|R|"),
+    ),
+    param_keys: Sequence[str] = (),
+) -> str:
+    """Render a list of :class:`~repro.experiments.runner.Measurement`."""
+    headers = list(param_keys) + [label for _, label in columns]
+    rows = []
+    for m in measurements:
+        row = [m.params.get(k, "") for k in param_keys]
+        row += [getattr(m, attr) for attr, _ in columns]
+        rows.append(row)
+    return format_table(headers, rows)

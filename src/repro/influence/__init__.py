@@ -1,0 +1,15 @@
+"""Influence analysis over reverse-skyline sizes (the paper's Section 1
+application).
+
+Public surface: :func:`influence_analysis`, :func:`self_influence`,
+:class:`InfluenceReport`, :func:`gini`.
+"""
+
+from repro.influence.analysis import (
+    InfluenceReport,
+    gini,
+    influence_analysis,
+    self_influence,
+)
+
+__all__ = ["InfluenceReport", "gini", "influence_analysis", "self_influence"]

@@ -1,0 +1,17 @@
+"""Dataset persistence: a portable CSV/JSON on-disk format, plus stored
+physical layouts (the one-time pre-sort/tiling permutations).
+
+Public surface: :func:`save_dataset` / :func:`load_dataset` /
+:func:`save_layouts` / :func:`load_layouts` / :func:`layout_entries`.
+"""
+
+from repro.persist.format import load_dataset, save_dataset
+from repro.persist.layouts import layout_entries, load_layouts, save_layouts
+
+__all__ = [
+    "layout_entries",
+    "load_dataset",
+    "load_layouts",
+    "save_dataset",
+    "save_layouts",
+]

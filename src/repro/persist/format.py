@@ -1,0 +1,154 @@
+"""On-disk dataset format.
+
+A dataset directory contains:
+
+- ``schema.json`` — dataset name plus one entry per attribute: name, kind,
+  cardinality/labels (categorical) or the dissimilarity spec (numeric).
+- ``records.csv`` — one row per object, one column per attribute
+  (categorical columns hold value ids, numeric columns floats).
+- ``dissim_<i>.csv`` — the dense dissimilarity matrix of categorical
+  attribute ``i``, one row per value.
+
+Only declarative dissimilarities round-trip (matrices, absolute and
+scaled differences); arbitrary Python callables cannot be persisted and
+raise :class:`~repro.errors.StorageError`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, NUMERIC, Schema
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.numeric import AbsoluteDifference, ScaledDifference
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import StorageError
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def _numeric_spec(dissim) -> dict:
+    if type(dissim) is ScaledDifference:
+        return {"type": "scaled", "weight": dissim.weight, "lo": dissim.lo, "hi": dissim.hi}
+    if type(dissim) is AbsoluteDifference:
+        return {"type": "absolute", "lo": dissim.lo, "hi": dissim.hi}
+    raise StorageError(
+        f"cannot persist numeric dissimilarity of type {type(dissim).__name__}; "
+        "only AbsoluteDifference and ScaledDifference are declarative"
+    )
+
+
+def _numeric_from_spec(spec: dict):
+    kind = spec.get("type")
+    if kind == "absolute":
+        return AbsoluteDifference(lo=spec.get("lo"), hi=spec.get("hi"))
+    if kind == "scaled":
+        return ScaledDifference(spec["weight"], lo=spec.get("lo"), hi=spec.get("hi"))
+    raise StorageError(f"unknown numeric dissimilarity spec {spec!r}")
+
+
+def save_dataset(dataset: Dataset, directory) -> pathlib.Path:
+    """Write ``dataset`` to ``directory`` (created if needed). Returns the
+    directory path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    attributes = []
+    for i, attr in enumerate(dataset.schema):
+        entry: dict = {"name": attr.name, "kind": attr.kind}
+        if attr.is_categorical:
+            entry["cardinality"] = attr.cardinality
+            if attr.labels is not None:
+                entry["labels"] = list(attr.labels)
+            dissim = dataset.space[i]
+            if not isinstance(dissim, MatrixDissimilarity):
+                raise StorageError(
+                    f"attribute {attr.name!r}: categorical dissimilarity is not "
+                    "matrix-backed and cannot be persisted"
+                )
+            matrix_file = f"dissim_{i}.csv"
+            np.savetxt(path / matrix_file, dissim.matrix, delimiter=",", fmt="%.17g")
+            entry["matrix"] = matrix_file
+        else:
+            entry["dissimilarity"] = _numeric_spec(dataset.space[i])
+        attributes.append(entry)
+
+    (path / "schema.json").write_text(
+        json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "name": dataset.name,
+                "attributes": attributes,
+            },
+            indent=2,
+        )
+    )
+
+    with open(path / "records.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(dataset.schema.names())
+        for record in dataset.records:
+            writer.writerow(record)
+    return path
+
+
+def load_dataset(directory) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = pathlib.Path(directory)
+    schema_file = path / "schema.json"
+    if not schema_file.exists():
+        raise StorageError(f"{path} does not contain a schema.json")
+    try:
+        meta = json.loads(schema_file.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt schema.json in {path}: {exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported dataset format version {meta.get('format_version')!r}"
+        )
+
+    attrs: list[Attribute] = []
+    dissims = []
+    kinds: list[bool] = []  # is_categorical per attribute
+    for i, entry in enumerate(meta.get("attributes", [])):
+        if entry["kind"] == NUMERIC:
+            attrs.append(Attribute(entry["name"], kind=NUMERIC))
+            dissims.append(_numeric_from_spec(entry["dissimilarity"]))
+            kinds.append(False)
+        else:
+            labels = tuple(entry["labels"]) if "labels" in entry else None
+            attrs.append(
+                Attribute(entry["name"], cardinality=entry["cardinality"], labels=labels)
+            )
+            matrix = np.loadtxt(path / entry["matrix"], delimiter=",", ndmin=2)
+            dissims.append(MatrixDissimilarity(matrix, labels=labels))
+            kinds.append(True)
+
+    schema = Schema(attrs)
+    space = DissimilaritySpace(dissims)
+
+    records = []
+    with open(path / "records.csv", newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != schema.names():
+            raise StorageError(
+                f"records.csv header {header!r} does not match schema {schema.names()!r}"
+            )
+        for row in reader:
+            if len(row) != len(attrs):
+                raise StorageError(f"malformed record row: {row!r}")
+            records.append(
+                tuple(
+                    int(cell) if categorical else float(cell)
+                    for cell, categorical in zip(row, kinds)
+                )
+            )
+    return Dataset(schema, records, space, name=meta.get("name", "dataset"))

@@ -1,0 +1,62 @@
+"""Persisting physical layouts.
+
+The pre-sort behind SRS/TRS and the Z-order tiling behind T-SRS/T-TRS are
+one-time, query-independent efforts (Section 4.2: "This sort is a
+one-time effort, done as a pre-processing step"). A layout is fully
+described by a permutation of record ids over a fixed dataset, so it can
+be stored next to the dataset and reloaded instead of recomputed —
+:meth:`repro.engine.ReverseSkylineEngine.save` /
+:meth:`~repro.engine.ReverseSkylineEngine.open` use this.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.data.dataset import Dataset
+from repro.errors import StorageError
+
+__all__ = ["save_layouts", "load_layouts", "layout_entries"]
+
+_LAYOUTS_FILE = "layouts.json"
+
+
+def save_layouts(directory, layouts: dict[str, list[int]]) -> pathlib.Path:
+    """Write named record-id permutations to ``directory/layouts.json``."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for name, ids in layouts.items():
+        if sorted(ids) != list(range(len(ids))):
+            raise StorageError(
+                f"layout {name!r} is not a permutation of 0..{len(ids) - 1}"
+            )
+    out = path / _LAYOUTS_FILE
+    out.write_text(json.dumps({n: list(ids) for n, ids in layouts.items()}))
+    return out
+
+
+def load_layouts(directory) -> dict[str, list[int]]:
+    """Read layouts written by :func:`save_layouts`; ``{}`` if absent."""
+    path = pathlib.Path(directory) / _LAYOUTS_FILE
+    if not path.exists():
+        return {}
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt {path}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise StorageError(f"{path} does not contain a layout mapping")
+    return {str(name): [int(i) for i in ids] for name, ids in raw.items()}
+
+
+def layout_entries(dataset: Dataset, ids: list[int]) -> list[tuple[int, tuple]]:
+    """Materialise a stored permutation into the ``(record_id, values)``
+    entries an algorithm's ``use_layout`` expects."""
+    if sorted(ids) != list(range(len(dataset))):
+        raise StorageError(
+            f"stored layout has {len(ids)} ids for a {len(dataset)}-record "
+            "dataset (or is not a permutation) — dataset and layout are out "
+            "of sync"
+        )
+    return [(rid, dataset.records[rid]) for rid in ids]

@@ -1,0 +1,17 @@
+"""Reverse nearest neighbour baseline (the query RS generalises).
+
+Public surface:
+
+- :class:`WeightedSum` / :func:`random_weight_vectors`
+- :func:`reverse_nearest_neighbors` / :func:`rnn_union`
+"""
+
+from repro.rnn.aggregates import WeightedSum, random_weight_vectors
+from repro.rnn.query import reverse_nearest_neighbors, rnn_union
+
+__all__ = [
+    "WeightedSum",
+    "random_weight_vectors",
+    "reverse_nearest_neighbors",
+    "rnn_union",
+]

@@ -1,0 +1,58 @@
+"""Monotone aggregation functions over per-attribute dissimilarities.
+
+Top-k and (reverse) nearest-neighbour queries collapse the per-attribute
+dissimilarities into one score via a monotone aggregate, most commonly a
+weighted sum (Section 1). The skyline needs no such function — and for
+every skyline member some monotone aggregate is minimised exactly there —
+which is why ``RS(Q)`` is the union of ``RNN(Q)`` over all monotone
+aggregates. This module provides the aggregates used to demonstrate that
+containment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import AlgorithmError
+
+__all__ = ["WeightedSum", "random_weight_vectors"]
+
+
+class WeightedSum:
+    """``agg(ref, o) = sum_i w_i * d_i(ref_i, o_i)`` with strictly positive
+    weights — strictly monotone in every attribute distance."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        ws = [float(w) for w in weights]
+        if not ws:
+            raise AlgorithmError("need at least one weight")
+        if any(w <= 0 for w in ws):
+            raise AlgorithmError(f"weights must be strictly positive, got {ws}")
+        self.weights = ws
+
+    def distance(self, space: DissimilaritySpace, ref: tuple, obj: tuple) -> float:
+        if len(self.weights) != space.num_attributes:
+            raise AlgorithmError(
+                f"{len(self.weights)} weights for {space.num_attributes} attributes"
+            )
+        return sum(
+            w * space.d(i, ref[i], obj[i]) for i, w in enumerate(self.weights)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedSum({self.weights})"
+
+
+def random_weight_vectors(
+    num_attributes: int, count: int, rng: np.random.Generator
+) -> list[WeightedSum]:
+    """``count`` random strictly positive weight vectors (Dirichlet-ish via
+    normalised uniforms, bounded away from zero)."""
+    out = []
+    for _ in range(count):
+        raw = rng.random(num_attributes) + 0.05
+        out.append(WeightedSum((raw / raw.sum()).tolist()))
+    return out

@@ -1,0 +1,46 @@
+"""Reverse nearest neighbour queries under a fixed monotone aggregate.
+
+``X ∈ RNN_D(Q, agg)`` iff no other object is strictly closer to ``X``
+than the query is, under the aggregate: ``∀Y ∈ D \\ {X}:
+agg(X, Y) >= agg(X, Q)``. With strictly positive weights, any pruner
+``Y ≻_X Q`` is strictly closer in aggregate, so ``RNN ⊆ RS`` for every
+weight vector — the containment Section 1 builds the RS motivation on.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.rnn.aggregates import WeightedSum
+
+__all__ = ["reverse_nearest_neighbors", "rnn_union"]
+
+
+def reverse_nearest_neighbors(
+    dataset: Dataset, query: tuple, aggregate: WeightedSum
+) -> list[int]:
+    """All record ids for which the query is a nearest neighbour under
+    ``aggregate`` (ties count as still-nearest, matching the non-strict
+    side of the reverse-skyline pruner definition)."""
+    q = dataset.validate_query(query)
+    space = dataset.space
+    result = []
+    for x_id, x in enumerate(dataset.records):
+        dq = aggregate.distance(space, x, q)
+        if not any(
+            aggregate.distance(space, x, y) < dq
+            for y_id, y in enumerate(dataset.records)
+            if y_id != x_id
+        ):
+            result.append(x_id)
+    return result
+
+
+def rnn_union(
+    dataset: Dataset, query: tuple, aggregates: list[WeightedSum]
+) -> set[int]:
+    """Union of RNN result sets over several aggregates — a lower bound on
+    (and, in the limit over all monotone aggregates, exactly) ``RS(Q)``."""
+    out: set[int] = set()
+    for agg in aggregates:
+        out.update(reverse_nearest_neighbors(dataset, query, agg))
+    return out

@@ -1,0 +1,29 @@
+"""Skyline substrate: domination predicate, dynamic skyline, RS oracles.
+
+Public surface:
+
+- :func:`dominates` / :func:`dominates_counted` / :func:`is_pruner`
+- :func:`bnl_skyline` / :func:`sorted_skyline` — dynamic skyline operators
+- :func:`reverse_skyline_by_definition` / :func:`reverse_skyline_by_pruners`
+  — independent reference oracles used by the test suite
+"""
+
+from repro.skyline.domination import dominates, dominates_counted, is_pruner
+from repro.skyline.dynamic import bnl_skyline, sorted_skyline
+from repro.skyline.oracle import (
+    reverse_skyline_by_definition,
+    reverse_skyline_by_pruners,
+)
+from repro.skyline.treeops import tree_skyline, tree_top_k
+
+__all__ = [
+    "bnl_skyline",
+    "dominates",
+    "dominates_counted",
+    "is_pruner",
+    "reverse_skyline_by_definition",
+    "reverse_skyline_by_pruners",
+    "sorted_skyline",
+    "tree_skyline",
+    "tree_top_k",
+]

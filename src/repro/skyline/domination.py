@@ -1,0 +1,57 @@
+"""The domination predicate (paper Section 3).
+
+``dominates(space, a, b, ref)`` answers: does object ``a`` dominate object
+``b`` **with respect to** reference object ``ref``? Formally
+``a ≻_ref b`` iff
+
+- ``∀i  d_i(a, ref) <= d_i(b, ref)`` and
+- ``∃i  d_i(a, ref) <  d_i(b, ref)``.
+
+The reverse-skyline *pruner* test is this same predicate instantiated as
+``dominates(space, y, q, x)``: "Y dominates Q with respect to X", whose
+truth excludes X from ``RS(Q)``.
+"""
+
+from __future__ import annotations
+
+from repro.dissim.space import DissimilaritySpace
+
+__all__ = ["dominates", "dominates_counted", "is_pruner"]
+
+
+def dominates(space: DissimilaritySpace, a: tuple, b: tuple, ref: tuple) -> bool:
+    """True iff ``a ≻_ref b``. Aborts on the first attribute where ``a``
+    is farther from ``ref`` than ``b`` (the early-abort of Section 4.3)."""
+    strictly_closer = False
+    for i in range(space.num_attributes):
+        da = space.d(i, ref[i], a[i])
+        db = space.d(i, ref[i], b[i])
+        if da > db:
+            return False
+        if da < db:
+            strictly_closer = True
+    return strictly_closer
+
+
+def dominates_counted(
+    space: DissimilaritySpace, a: tuple, b: tuple, ref: tuple
+) -> tuple[bool, int]:
+    """Like :func:`dominates` but also returns the number of attribute-level
+    checks performed before deciding — the cost currency of the paper's
+    Table 3."""
+    strictly_closer = False
+    checks = 0
+    for i in range(space.num_attributes):
+        checks += 1
+        da = space.d(i, ref[i], a[i])
+        db = space.d(i, ref[i], b[i])
+        if da > db:
+            return False, checks
+        if da < db:
+            strictly_closer = True
+    return strictly_closer, checks
+
+
+def is_pruner(space: DissimilaritySpace, y: tuple, x: tuple, q: tuple) -> bool:
+    """True iff ``y`` prunes ``x`` from ``RS(q)``, i.e. ``y ≻_x q``."""
+    return dominates(space, y, q, x)

@@ -1,0 +1,72 @@
+"""Dynamic (query-based) skyline operators for non-metric spaces.
+
+The skyline of the database for a reference object ``X`` is the set of
+objects not dominated by any other with respect to ``X`` (Section 3):
+
+``S_D(X) = { Y ∈ D | ¬∃ Z ∈ D : Z ≻_X Y }``
+
+Two classic algorithms that need nothing but the domination predicate —
+and therefore work under arbitrary non-metric measures (Section 2) — are
+provided: Block-Nested-Loops [Börzsönyi et al., ICDE 2001] and a
+sort-first single-pass variant [Chomicki et al., ICDE 2003]. They are the
+conceptual substrate of reverse skyline and double as correctness oracles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dissim.space import DissimilaritySpace
+from repro.skyline.domination import dominates
+
+__all__ = ["bnl_skyline", "sorted_skyline"]
+
+
+def bnl_skyline(
+    space: DissimilaritySpace, records: Sequence[tuple], ref: tuple
+) -> list[int]:
+    """Block-Nested-Loops dynamic skyline. Returns the indices (into
+    ``records``) of the skyline members with respect to ``ref``.
+
+    The window holds indices of objects not yet dominated; each incoming
+    object is compared against the window, evicting dominated entries.
+    Domination with respect to a fixed ``ref`` is transitive, so once the
+    candidate is dominated the window cannot contain anything it
+    dominates and is left untouched.
+    """
+    window: list[int] = []
+    for idx, candidate in enumerate(records):
+        dominated = False
+        survivors: list[int] = []
+        for w in window:
+            if dominates(space, records[w], candidate, ref):
+                dominated = True
+                break
+            if not dominates(space, candidate, records[w], ref):
+                survivors.append(w)
+        if not dominated:
+            survivors.append(idx)
+            window = survivors
+    return sorted(window)
+
+
+def sorted_skyline(
+    space: DissimilaritySpace, records: Sequence[tuple], ref: tuple
+) -> list[int]:
+    """Sort-first skyline: order candidates by the sum of their per-attribute
+    distances to ``ref`` (a monotone aggregate), after which an object can
+    only be dominated by one that precedes it; a single pass against the
+    confirmed skyline suffices.
+    """
+    m = space.num_attributes
+
+    def aggregate(values: tuple) -> float:
+        return sum(space.d(i, ref[i], values[i]) for i in range(m))
+
+    order = sorted(range(len(records)), key=lambda idx: aggregate(records[idx]))
+    skyline: list[int] = []
+    for idx in order:
+        candidate = records[idx]
+        if not any(dominates(space, records[s], candidate, ref) for s in skyline):
+            skyline.append(idx)
+    return sorted(skyline)

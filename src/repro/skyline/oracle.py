@@ -1,0 +1,61 @@
+"""Reference oracles for reverse-skyline correctness.
+
+Two independent definitions of ``RS_D(Q)`` from Section 3:
+
+1. The definitional form: ``X ∈ RS_D(Q)`` iff ``Q ∈ S_{D ∪ {Q}}(X)`` —
+   compute the full dynamic skyline of ``D ∪ {Q}`` with respect to ``X``
+   and test the query's membership (cubic; tests only).
+2. The pruner form: ``X ∈ RS_D(Q)`` iff no ``Y ∈ D`` dominates ``Q`` with
+   respect to ``X`` (quadratic; this is also what the Naive algorithm in
+   :mod:`repro.core.naive` implements with IO simulation on top).
+
+The test suite checks every production algorithm against both.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.skyline.domination import dominates
+from repro.skyline.dynamic import bnl_skyline
+
+__all__ = ["reverse_skyline_by_definition", "reverse_skyline_by_pruners"]
+
+
+def reverse_skyline_by_definition(dataset: Dataset, query: tuple) -> list[int]:
+    """``RS`` via explicit skyline membership of the query (Definition 1).
+
+    For each object ``X``, builds the dynamic skyline of
+    ``(D \\ {X}) ∪ {Q}`` with respect to ``X`` using BNL and keeps ``X``
+    iff the appended query object survives. ``X`` itself is excluded *by
+    identity* — exact duplicates of ``X`` elsewhere in ``D`` still count
+    as potential dominators (Algorithm 1, line 4: ``∀Y ∈ D, Y ≠ X``),
+    which is why the running example's duplicate pairs prune each other.
+    """
+    q = dataset.validate_query(query)
+    result = []
+    for record_id, x in enumerate(dataset.records):
+        others = [
+            y for other_id, y in enumerate(dataset.records) if other_id != record_id
+        ]
+        others.append(q)
+        q_index = len(others) - 1
+        skyline = bnl_skyline(dataset.space, others, x)
+        if q_index in skyline:
+            result.append(record_id)
+    return result
+
+
+def reverse_skyline_by_pruners(dataset: Dataset, query: tuple) -> list[int]:
+    """``RS`` via the pruner characterisation: keep ``X`` iff no ``Y``
+    dominates ``Q`` with respect to ``X``."""
+    q = dataset.validate_query(query)
+    space = dataset.space
+    result = []
+    for record_id, x in enumerate(dataset.records):
+        if not any(
+            dominates(space, y, q, x)
+            for other_id, y in enumerate(dataset.records)
+            if other_id != record_id
+        ):
+            result.append(record_id)
+    return result

@@ -1,0 +1,31 @@
+"""Multi-attribute sorting: in-memory keys and external merge sort.
+
+Public surface:
+
+- :func:`multiattribute_key` / :func:`sort_records` / :func:`sort_dataset`
+- :func:`schema_order` / :func:`ascending_cardinality_order` /
+  :func:`observed_cardinality_order` — attribute-ordering heuristics
+- :func:`external_sort` + :class:`ExternalSortStats` — the Section 5.5
+  pre-processing step over the simulated disk
+"""
+
+from repro.sorting.external import ExternalSortStats, external_sort
+from repro.sorting.keys import (
+    ascending_cardinality_order,
+    multiattribute_key,
+    observed_cardinality_order,
+    schema_order,
+    sort_dataset,
+    sort_records,
+)
+
+__all__ = [
+    "ExternalSortStats",
+    "ascending_cardinality_order",
+    "external_sort",
+    "multiattribute_key",
+    "observed_cardinality_order",
+    "schema_order",
+    "sort_dataset",
+    "sort_records",
+]

@@ -1,0 +1,158 @@
+"""External multi-attribute merge sort over the simulated disk.
+
+The SRS/TRS pre-processing (Sections 4.2, 5.5) sorts the database once,
+offline, with a memory budget far smaller than the data. This is the
+classic two-stage external sort:
+
+1. **Run generation** — read as many pages as fit in the budget, sort the
+   records in memory with the multi-attribute key, write the sorted run to
+   a scratch file.
+2. **K-way merge** — repeatedly merge up to ``budget.pages - 1`` runs
+   (one input page per run, one output page) until a single run remains.
+
+The sorter reports the statistics Section 5.5 discusses: run counts, merge
+passes, pages read/written and wall time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryBudgetError
+from repro.sorting.keys import multiattribute_key
+from repro.storage.disk import DiskSimulator, MemoryBudget
+from repro.storage.pagefile import PageFile
+
+__all__ = ["ExternalSortStats", "external_sort"]
+
+
+@dataclass
+class ExternalSortStats:
+    """What the pre-processing step cost (Section 5.5)."""
+
+    num_records: int = 0
+    initial_runs: int = 0
+    merge_passes: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    wall_time_s: float = 0.0
+    run_lengths: list[int] = field(default_factory=list)
+
+
+def external_sort(
+    disk: DiskSimulator,
+    source: PageFile,
+    budget: MemoryBudget,
+    attribute_order: Sequence[int],
+    *,
+    output_name: str = "sorted",
+) -> tuple[PageFile, ExternalSortStats]:
+    """Sort ``source`` into a new file on ``disk`` by the multi-attribute
+    key over ``attribute_order``. Returns ``(sorted_file, stats)``.
+
+    Sorting is stable with respect to record ids, so duplicate objects
+    keep their original relative order.
+    """
+    started = time.perf_counter()
+    stats = ExternalSortStats(num_records=source.num_records)
+    key = multiattribute_key(attribute_order)
+
+    def entry_key(entry: tuple[int, tuple]):
+        return key(entry[1])
+
+    io_before = disk.stats.snapshot()
+
+    # --- Stage 1: run generation -----------------------------------------
+    capacity_pages = budget.pages
+    run_files: list[PageFile] = []
+    buffer: list[tuple[int, tuple]] = []
+    buffered_pages = 0
+
+    def flush_run() -> None:
+        nonlocal buffer, buffered_pages
+        if not buffer:
+            return
+        buffer.sort(key=entry_key)
+        run = disk.create_file(f"{output_name}.run{len(run_files)}", source.codec)
+        with run.writer() as w:
+            w.extend(buffer)
+        stats.run_lengths.append(len(buffer))
+        run_files.append(run)
+        buffer = []
+        buffered_pages = 0
+
+    for _, page_records in source.scan():
+        buffer.extend(page_records)
+        buffered_pages += 1
+        if buffered_pages >= capacity_pages:
+            flush_run()
+    flush_run()
+    stats.initial_runs = len(run_files)
+
+    # --- Stage 2: k-way merge passes --------------------------------------
+    fan_in = budget.pages - 1
+    if fan_in < 1:
+        if len(run_files) > 1:
+            raise MemoryBudgetError(
+                "merging needs >= 2 pages of memory (1 input + 1 output)"
+            )
+        fan_in = 1
+    generation = 0
+    while len(run_files) > 1:
+        stats.merge_passes += 1
+        next_runs: list[PageFile] = []
+        for group_start in range(0, len(run_files), fan_in):
+            group = run_files[group_start : group_start + fan_in]
+            merged = disk.create_file(
+                f"{output_name}.gen{generation}.m{len(next_runs)}", source.codec
+            )
+            _merge_runs(group, merged, entry_key)
+            next_runs.append(merged)
+            for run in group:
+                run.truncate()
+                disk.drop_file(run.name)
+        run_files = next_runs
+        generation += 1
+
+    # --- Finalise ----------------------------------------------------------
+    if run_files:
+        result = run_files[0]
+    else:  # empty source
+        result = disk.create_file(f"{output_name}.run0", source.codec)
+    # Present the output under a stable name.
+    disk.rename_file(result.name, output_name)
+
+    io_delta = disk.stats.delta(io_before)
+    stats.pages_read = io_delta.sequential_reads + io_delta.random_reads
+    stats.pages_written = io_delta.sequential_writes + io_delta.random_writes
+    stats.wall_time_s = time.perf_counter() - started
+    return result, stats
+
+
+def _merge_runs(runs: list[PageFile], out: PageFile, entry_key) -> None:
+    """K-way merge with one in-memory page per input run."""
+    iterators = []
+    for run in runs:
+        iterators.append(_page_buffered(run))
+    heap: list[tuple] = []
+    for idx, it in enumerate(iterators):
+        first = next(it, None)
+        if first is not None:
+            heapq.heappush(heap, (entry_key(first), first[0], idx, first))
+    with out.writer() as w:
+        while heap:
+            _, _, idx, entry = heapq.heappop(heap)
+            w.append(entry[0], entry[1])
+            nxt = next(iterators[idx], None)
+            if nxt is not None:
+                heapq.heappush(heap, (entry_key(nxt), nxt[0], idx, nxt))
+
+
+def _page_buffered(run: PageFile):
+    """Yield records of a run, reading one page at a time (the merge holds
+    exactly one page of each run in memory)."""
+    for _, records in run.scan():
+        yield from records

@@ -1,0 +1,35 @@
+"""Simulated storage substrate: paged disk, IO accounting, memory budgets.
+
+Public surface:
+
+- :class:`DiskSimulator` — creates page files, classifies sequential vs
+  random page IOs with a disk-wide head position
+- :class:`PageFile` / :class:`PageWriter` — fixed-size-page files
+- :class:`RecordCodec` — byte-accurate record/page capacity accounting
+- :class:`MemoryBudget` — the paper's "% of dataset size" memory knob
+- :class:`IoStats` / :class:`IoCostModel` — counters and latency model
+"""
+
+from repro.storage.codec import (
+    CATEGORICAL_BYTES,
+    NUMERIC_BYTES,
+    RECORD_ID_BYTES,
+    RecordCodec,
+)
+from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
+from repro.storage.iostats import IoCostModel, IoStats
+from repro.storage.pagefile import PageFile, PageWriter
+
+__all__ = [
+    "CATEGORICAL_BYTES",
+    "DEFAULT_PAGE_BYTES",
+    "DiskSimulator",
+    "IoCostModel",
+    "IoStats",
+    "MemoryBudget",
+    "NUMERIC_BYTES",
+    "PageFile",
+    "PageWriter",
+    "RECORD_ID_BYTES",
+    "RecordCodec",
+]

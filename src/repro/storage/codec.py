@@ -1,0 +1,57 @@
+"""Record sizing for page-capacity accounting.
+
+The simulator does not serialise records to real bytes — it keeps Python
+tuples — but page capacities must be *byte-accurate* so that IO counts
+match what a real system with the paper's 32 KiB pages would incur. The
+codec computes a fixed per-record size from the schema: categorical value
+ids are 4-byte integers, numeric values 8-byte floats, plus a 4-byte
+record id, mirroring a conventional fixed-width row layout.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Schema
+from repro.errors import StorageError
+
+__all__ = ["RecordCodec", "RECORD_ID_BYTES", "CATEGORICAL_BYTES", "NUMERIC_BYTES"]
+
+RECORD_ID_BYTES = 4
+CATEGORICAL_BYTES = 4
+NUMERIC_BYTES = 8
+
+
+class RecordCodec:
+    """Fixed-width record layout for a given schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        size = RECORD_ID_BYTES
+        for attr in schema:
+            size += CATEGORICAL_BYTES if attr.is_categorical else NUMERIC_BYTES
+        self._record_bytes = size
+
+    @property
+    def record_bytes(self) -> int:
+        """Bytes one record occupies on a page (id + fixed-width values)."""
+        return self._record_bytes
+
+    def records_per_page(self, page_bytes: int) -> int:
+        """How many records fit in one page of ``page_bytes``."""
+        capacity = page_bytes // self._record_bytes
+        if capacity < 1:
+            raise StorageError(
+                f"page size {page_bytes}B cannot hold a single "
+                f"{self._record_bytes}B record"
+            )
+        return capacity
+
+    def dataset_bytes(self, num_records: int) -> int:
+        """Total bytes the dataset occupies (excluding page padding)."""
+        if num_records < 0:
+            raise StorageError(f"negative record count {num_records}")
+        return num_records * self._record_bytes
+
+    def pages_for(self, num_records: int, page_bytes: int) -> int:
+        """Number of pages needed to store ``num_records``."""
+        per_page = self.records_per_page(page_bytes)
+        return (num_records + per_page - 1) // per_page

@@ -1,0 +1,170 @@
+"""The disk simulator: shared IO counters + page files + memory budgets.
+
+The paper's experiments (Section 5.1) use a 32 KiB page size and express
+memory as a percentage of the dataset size; both knobs live here.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.errors import MemoryBudgetError, StorageError
+from repro.storage.codec import RecordCodec
+from repro.storage.iostats import IoStats
+from repro.storage.pagefile import PageFile
+
+__all__ = ["DiskSimulator", "MemoryBudget", "DEFAULT_PAGE_BYTES"]
+
+DEFAULT_PAGE_BYTES = 32 * 1024  # the paper's page size (Section 5.1)
+
+
+class DiskSimulator:
+    """A simulated disk: creates page files and counts their IOs.
+
+    Sequential/random classification uses the disk-wide head position:
+    an access is sequential iff it targets the page directly after the
+    previously accessed page of the same file, with no intervening access
+    to another file.
+
+    With ``backing_dir`` set, files are **real** on-disk page files
+    (:class:`~repro.storage.filestore.FilePageStore`) with byte-packed
+    records — wall-clock times then include genuine filesystem IO, the
+    paper's Section 5.1 response-time methodology. Without it (default),
+    pages live in memory and only the counts are simulated.
+    """
+
+    def __init__(
+        self, page_bytes: int = DEFAULT_PAGE_BYTES, backing_dir=None
+    ) -> None:
+        if page_bytes < 16:
+            raise StorageError(f"page size {page_bytes}B is unusably small")
+        self.page_bytes = page_bytes
+        self.backing_dir = backing_dir
+        self.stats = IoStats()
+        self._files: dict[str, object] = {}
+        self._head: tuple[int, int] | None = None  # (file id, page id)
+
+    def create_file(self, name: str, codec: RecordCodec):
+        """Create an empty page file with the given record layout."""
+        if name in self._files:
+            raise StorageError(f"file {name!r} already exists")
+        if self.backing_dir is not None:
+            from repro.storage.filestore import FilePageStore
+
+            pf = FilePageStore(self, name, codec, self.backing_dir)
+        else:
+            pf = PageFile(self, name, codec)
+        self._files[name] = pf
+        return pf
+
+    def drop_file(self, name: str) -> None:
+        pf = self._files.pop(name, None)
+        if pf is not None and hasattr(pf, "close"):
+            pf.close()
+
+    def rename_file(self, old: str, new: str) -> None:
+        """Re-register a file under a new name (keeps it open)."""
+        pf = self._files.pop(old, None)
+        if pf is None:
+            raise StorageError(f"no file named {old!r}")
+        if new in self._files:
+            raise StorageError(f"file {new!r} already exists")
+        pf.name = new
+        self._files[new] = pf
+
+    def close(self) -> None:
+        """Release any real file handles (no-op for in-memory files)."""
+        for pf in self._files.values():
+            if hasattr(pf, "close"):
+                pf.close()
+
+    def file(self, name: str) -> PageFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no file named {name!r}") from None
+
+    def count_access(self, pagefile: PageFile, page_id: int, *, write: bool) -> None:
+        """Record one page access (called by :class:`PageFile`)."""
+        position = (id(pagefile), page_id)
+        sequential = (
+            self._head is not None
+            and self._head[0] == position[0]
+            and page_id == self._head[1] + 1
+        )
+        if write:
+            if sequential:
+                self.stats.sequential_writes += 1
+            else:
+                self.stats.random_writes += 1
+        else:
+            if sequential:
+                self.stats.sequential_reads += 1
+            else:
+                self.stats.random_reads += 1
+        self._head = position
+
+    def load_dataset(self, dataset: Dataset, name: str = "data") -> PageFile:
+        """Materialise a dataset into a page file **without** charging IO —
+        this models data already resident on disk before the query starts.
+        Record ids are the dataset's record positions."""
+        return self.load_entries(dataset.schema, enumerate(dataset.records), name)
+
+    def load_entries(self, schema, entries, name: str = "data"):
+        """Like :meth:`load_dataset` but from explicit ``(record_id,
+        values)`` pairs — used when a layout step (sorting, tiling) has
+        re-ordered records while keeping their original ids."""
+        codec = RecordCodec(schema)
+        pf = self.create_file(name, codec)
+        pf.stage_entries(entries)
+        return pf
+
+
+class MemoryBudget:
+    """A memory budget expressed in pages, as the paper's "% of dataset
+    size" knob (Sections 5.3/5.4).
+
+    Parameters
+    ----------
+    pages:
+        Number of page-sized buffers available to the operator.
+    """
+
+    def __init__(self, pages: int) -> None:
+        if pages < 1:
+            raise MemoryBudgetError(f"memory budget must be >= 1 page, got {pages}")
+        self.pages = pages
+
+    @classmethod
+    def fraction_of(
+        cls,
+        dataset: Dataset,
+        fraction: float,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        *,
+        minimum_pages: int = 1,
+    ) -> "MemoryBudget":
+        """Budget equal to ``fraction`` of the dataset's on-disk size,
+        rounded down to whole pages but never below ``minimum_pages``."""
+        if not 0 < fraction:
+            raise MemoryBudgetError(f"fraction must be positive, got {fraction}")
+        codec = RecordCodec(dataset.schema)
+        total_pages = codec.pages_for(len(dataset), page_bytes)
+        pages = max(minimum_pages, int(total_pages * fraction))
+        return cls(pages)
+
+    def records_capacity(self, codec: RecordCodec, page_bytes: int) -> int:
+        """How many records fit in the whole budget."""
+        return self.pages * codec.records_per_page(page_bytes)
+
+    def split_for_second_phase(self) -> tuple[int, int]:
+        """Second-phase layout (Section 4.1): one page is reserved to scan
+        the database, the rest hold the batch of first-phase results.
+        Returns ``(scan_pages, batch_pages)``."""
+        if self.pages < 2:
+            raise MemoryBudgetError(
+                "second phase needs >= 2 pages (1 scan page + >= 1 result page)"
+            )
+        return 1, self.pages - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryBudget(pages={self.pages})"

@@ -1,0 +1,147 @@
+"""Simulated page files.
+
+A :class:`PageFile` is a sequence of fixed-size pages, each holding up to
+``records_per_page`` records, living on a shared :class:`DiskSimulator`.
+Every page access is classified as sequential or random based on the
+*disk-wide* last-accessed position: reading page ``p+1`` of the same file
+right after page ``p`` is sequential; any jump — including switching files
+(e.g. between the database scan and the scratch area, Section 4.1) — is
+random. Records are stored as ``(record_id, values_tuple)`` pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.codec import RecordCodec
+
+__all__ = ["PageFile", "PageWriter"]
+
+
+class PageFile:
+    """One simulated file of pages. Construct via
+    :meth:`repro.storage.disk.DiskSimulator.create_file`."""
+
+    def __init__(self, disk, name: str, codec: RecordCodec) -> None:
+        self._disk = disk
+        self.name = name
+        self.codec = codec
+        self.records_per_page = codec.records_per_page(disk.page_bytes)
+        self._pages: list[list[tuple[int, tuple]]] = []
+        self._num_records = 0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def read_page(self, page_id: int) -> list[tuple[int, tuple]]:
+        """Read one page, counting the IO. Returns the page's records."""
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(f"{self.name}: page {page_id} out of range")
+        self._disk.count_access(self, page_id, write=False)
+        return list(self._pages[page_id])
+
+    def write_page(self, page_id: int, records: list[tuple[int, tuple]]) -> None:
+        """Overwrite or append (``page_id == num_pages``) one page."""
+        if len(records) > self.records_per_page:
+            raise StorageError(
+                f"{self.name}: {len(records)} records exceed page capacity "
+                f"{self.records_per_page}"
+            )
+        if page_id == len(self._pages):
+            self._pages.append(list(records))
+            self._num_records += len(records)
+        elif 0 <= page_id < len(self._pages):
+            self._num_records += len(records) - len(self._pages[page_id])
+            self._pages[page_id] = list(records)
+        else:
+            raise StorageError(f"{self.name}: page {page_id} out of range for write")
+        self._disk.count_access(self, page_id, write=True)
+
+    def scan(self, start_page: int = 0) -> Iterator[tuple[int, list[tuple[int, tuple]]]]:
+        """Sequentially yield ``(page_id, records)`` from ``start_page``.
+
+        The first page read after a jump is counted random, the rest
+        sequential — exactly a resumed scan's cost profile."""
+        for page_id in range(start_page, len(self._pages)):
+            yield page_id, self.read_page(page_id)
+
+    def scan_records(self) -> Iterator[tuple[int, tuple]]:
+        """Sequentially yield every ``(record_id, values)`` in the file."""
+        for _, records in self.scan():
+            yield from records
+
+    def writer(self) -> "PageWriter":
+        """An appending writer that packs records into full pages."""
+        return PageWriter(self)
+
+    def truncate(self) -> None:
+        """Drop all pages (no IO is charged; deallocation is metadata)."""
+        self._pages.clear()
+        self._num_records = 0
+
+    def peek_all_records(self) -> list[tuple[int, tuple]]:
+        """All records **without** IO accounting — for assertions/tests only."""
+        return [entry for page in self._pages for entry in page]
+
+    def stage_entries(self, entries: Iterable[tuple[int, tuple]]) -> None:
+        """Fill the file with records **without** charging IO — models data
+        already resident on disk before a query starts."""
+        page: list[tuple[int, tuple]] = []
+        for entry in entries:
+            page.append(entry)
+            if len(page) == self.records_per_page:
+                self._pages.append(page)
+                self._num_records += len(page)
+                page = []
+        if page:
+            self._pages.append(page)
+            self._num_records += len(page)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageFile({self.name!r}, pages={self.num_pages}, "
+            f"records={self.num_records})"
+        )
+
+
+class PageWriter:
+    """Buffers appended records into page-sized chunks, writing each full
+    page with one page IO (use as a context manager or call :meth:`close`)."""
+
+    def __init__(self, pagefile: PageFile) -> None:
+        self._file = pagefile
+        self._buffer: list[tuple[int, tuple]] = []
+        self._closed = False
+
+    def append(self, record_id: int, values: tuple) -> None:
+        if self._closed:
+            raise StorageError("writer already closed")
+        self._buffer.append((record_id, values))
+        if len(self._buffer) == self._file.records_per_page:
+            self._flush()
+
+    def extend(self, entries: Iterable[tuple[int, tuple]]) -> None:
+        for record_id, values in entries:
+            self.append(record_id, values)
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._file.write_page(self._file.num_pages, self._buffer)
+            self._buffer = []
+
+    def close(self) -> None:
+        if not self._closed:
+            self._flush()
+            self._closed = True
+
+    def __enter__(self) -> "PageWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

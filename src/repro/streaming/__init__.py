@@ -1,0 +1,8 @@
+"""Streaming reverse-skyline maintenance over sliding windows.
+
+Public surface: :class:`StreamingReverseSkyline`.
+"""
+
+from repro.streaming.window import StreamingReverseSkyline
+
+__all__ = ["StreamingReverseSkyline"]

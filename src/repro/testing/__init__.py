@@ -1,0 +1,22 @@
+"""Public verification toolkit for reverse-skyline implementations.
+
+Public surface: :func:`verify_algorithm`, :func:`random_workload`,
+:class:`WorkloadCase`, :class:`VerificationReport`,
+:class:`VerificationFailure`.
+"""
+
+from repro.testing.verify import (
+    VerificationFailure,
+    VerificationReport,
+    WorkloadCase,
+    random_workload,
+    verify_algorithm,
+)
+
+__all__ = [
+    "VerificationFailure",
+    "VerificationReport",
+    "WorkloadCase",
+    "random_workload",
+    "verify_algorithm",
+]

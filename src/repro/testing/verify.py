@@ -1,0 +1,159 @@
+"""Differential verification harness.
+
+Anyone modifying a reverse-skyline algorithm (or adding a new one) needs
+the same safety net this library's own test suite uses: run the algorithm
+against the two independent oracles on a storm of randomized workloads —
+datasets of varying arity, cardinality, duplication and size; random
+non-metric dissimilarities; random queries, budgets and page sizes — and
+report any divergence with enough detail to reproduce it.
+
+    report = verify_algorithm(lambda ds, budget, page: TRS(ds, budget=budget,
+                                                           page_bytes=page),
+                              trials=100, seed=7)
+    assert report.ok, report.failures[0]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.dissim.generators import random_dissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import ExperimentError
+from repro.skyline.oracle import (
+    reverse_skyline_by_definition,
+    reverse_skyline_by_pruners,
+)
+from repro.storage.disk import MemoryBudget
+
+__all__ = ["WorkloadCase", "VerificationFailure", "VerificationReport",
+           "random_workload", "verify_algorithm"]
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One randomized verification scenario (fully reproducible)."""
+
+    seed: int
+    dataset: Dataset
+    query: tuple
+    budget_pages: int
+    page_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed}, {self.dataset.describe()}, query={self.query}, "
+            f"budget={self.budget_pages} pages x {self.page_bytes}B"
+        )
+
+
+@dataclass(frozen=True)
+class VerificationFailure:
+    case: WorkloadCase
+    expected: tuple[int, ...]
+    got: tuple[int, ...] | None
+    error: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic path
+        if self.error is not None:
+            return f"{self.case.describe()}: raised {self.error}"
+        missing = set(self.expected) - set(self.got or ())
+        spurious = set(self.got or ()) - set(self.expected)
+        return (
+            f"{self.case.describe()}: missing={sorted(missing)}, "
+            f"spurious={sorted(spurious)}"
+        )
+
+
+@dataclass
+class VerificationReport:
+    trials: int = 0
+    failures: list[VerificationFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def random_workload(
+    seed: int,
+    *,
+    max_records: int = 80,
+    max_attrs: int = 4,
+    max_cardinality: int = 6,
+    duplicate_boost: bool = True,
+) -> WorkloadCase:
+    """Generate one reproducible random workload for the given seed."""
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, max_attrs + 1))
+    cards = [int(rng.integers(2, max_cardinality + 1)) for _ in range(m)]
+    n = int(rng.integers(0, max_records + 1))
+    schema = Schema.categorical(cards)
+    space = DissimilaritySpace([random_dissimilarity(c, rng) for c in cards])
+    records = [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+    if duplicate_boost and records and rng.random() < 0.5:
+        records += [
+            records[int(rng.integers(0, len(records)))] for _ in range(n // 2)
+        ]
+    dataset = Dataset(schema, records, space, validate=False, name=f"fuzz-{seed}")
+    query = tuple(int(rng.integers(0, c)) for c in cards)
+    budget_pages = int(rng.integers(2, 7))
+    record_bytes = 4 + 4 * m
+    page_bytes = int(rng.choice([record_bytes, 64, 256]))
+    # One record per page minimum, and the simulator's own floor of 16B.
+    page_bytes = max(page_bytes, record_bytes, 16)
+    return WorkloadCase(
+        seed=seed,
+        dataset=dataset,
+        query=query,
+        budget_pages=budget_pages,
+        page_bytes=page_bytes,
+    )
+
+
+def verify_algorithm(
+    factory: Callable[[Dataset, MemoryBudget, int], object],
+    *,
+    trials: int = 50,
+    seed: int = 0,
+    check_definition_oracle: bool = False,
+    max_failures: int = 5,
+) -> VerificationReport:
+    """Run ``factory``-built algorithms against the oracles on ``trials``
+    random workloads.
+
+    ``factory(dataset, budget, page_bytes)`` must return an object with a
+    ``run(query)`` method yielding an ``RSResult`` (every algorithm in
+    :mod:`repro.core` qualifies). ``check_definition_oracle`` additionally
+    cross-checks the two oracles against each other (slower).
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be >= 1, got {trials}")
+    report = VerificationReport()
+    for t in range(trials):
+        case = random_workload(seed + t)
+        expected = tuple(reverse_skyline_by_pruners(case.dataset, case.query))
+        if check_definition_oracle:
+            by_def = tuple(reverse_skyline_by_definition(case.dataset, case.query))
+            assert by_def == expected, "oracles disagree (library bug)"
+        report.trials += 1
+        try:
+            algo = factory(
+                case.dataset, MemoryBudget(case.budget_pages), case.page_bytes
+            )
+            got = tuple(algo.run(case.query).record_ids)
+        except Exception as exc:  # noqa: BLE001 - the point is to report it
+            report.failures.append(
+                VerificationFailure(case, expected, None, error=repr(exc))
+            )
+        else:
+            if got != expected:
+                report.failures.append(VerificationFailure(case, expected, got))
+        if len(report.failures) >= max_failures:
+            break
+    return report

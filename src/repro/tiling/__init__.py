@@ -1,0 +1,14 @@
+"""Multi-dimensional tiling and Z-order layout (Section 5.6).
+
+Public surface:
+
+- :func:`z_encode` / :func:`z_decode` — Morton codes
+- :class:`TileGrid` — record -> tile coordinates / Morton index
+- :func:`tile_order_dataset` — the T-SRS / T-TRS physical layout
+"""
+
+from repro.tiling.order import tile_order_dataset
+from repro.tiling.tiles import TileGrid
+from repro.tiling.zorder import bits_needed, z_decode, z_encode
+
+__all__ = ["TileGrid", "bits_needed", "tile_order_dataset", "z_decode", "z_encode"]

@@ -1,0 +1,27 @@
+"""Tile-based data ordering (the T-SRS / T-TRS layout of Section 5.6)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.data.dataset import Dataset
+from repro.sorting.keys import multiattribute_key, schema_order
+from repro.tiling.tiles import TileGrid
+
+__all__ = ["tile_order_dataset"]
+
+
+def tile_order_dataset(
+    dataset: Dataset,
+    tiles_per_dim: int = 4,
+    attribute_order: Sequence[int] | None = None,
+) -> Dataset:
+    """Reorder a dataset: tiles in Z-order, multi-attribute sort within
+    each tile ("The objects within a tile are sorted as before and the
+    tiles are ordered using a Z-order", Section 5.6)."""
+    if attribute_order is None:
+        attribute_order = schema_order(dataset.schema)
+    grid = TileGrid.for_dataset(dataset, tiles_per_dim)
+    inner_key = multiattribute_key(attribute_order)
+    ordered = sorted(dataset.records, key=lambda r: (grid.z_index(r), inner_key(r)))
+    return dataset.with_records(ordered, name=f"{dataset.name}[tiled]")

@@ -1,0 +1,17 @@
+"""Probabilistic reverse skyline over existentially uncertain data.
+
+Public surface: :func:`probabilistic_reverse_skyline`,
+:func:`monte_carlo_membership`, :class:`ProbabilisticResult`.
+"""
+
+from repro.uncertain.probabilistic import (
+    ProbabilisticResult,
+    monte_carlo_membership,
+    probabilistic_reverse_skyline,
+)
+
+__all__ = [
+    "ProbabilisticResult",
+    "monte_carlo_membership",
+    "probabilistic_reverse_skyline",
+]

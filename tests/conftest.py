@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.examples import running_example, running_example_query
+from repro.data.synthetic import synthetic_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def example_dataset():
+    """The paper's Table 1 running example."""
+    return running_example()
+
+
+@pytest.fixture
+def example_query():
+    """The paper's Q = [MSW, Intel, DB2]."""
+    return running_example_query()
+
+
+@pytest.fixture
+def small_dataset():
+    """A 300-record synthetic dataset, fast enough for exhaustive oracles."""
+    return synthetic_dataset(300, [6, 5, 7], seed=123)
+
+
+@pytest.fixture
+def medium_dataset():
+    """A 1200-record synthetic dataset for multi-batch behaviour."""
+    return synthetic_dataset(1200, [10, 8, 12, 6], seed=321)

@@ -1,0 +1,175 @@
+"""AL-Tree structure: insertion, removal, counts, invariants."""
+
+import pytest
+
+from repro.altree.tree import ALTree
+from repro.errors import AlgorithmError
+
+
+def build(records, order=(0, 1, 2)):
+    tree = ALTree(list(order))
+    for i, r in enumerate(records):
+        tree.insert(i, r)
+    return tree
+
+
+RECORDS = [
+    (0, 0, 1),
+    (0, 0, 1),  # duplicate of record 0
+    (0, 1, 1),
+    (1, 0, 0),
+    (2, 1, 2),
+]
+
+
+class TestConstruction:
+    def test_rejects_empty_order(self):
+        with pytest.raises(AlgorithmError):
+            ALTree([])
+
+    def test_rejects_duplicate_order(self):
+        with pytest.raises(AlgorithmError):
+            ALTree([0, 0])
+
+    def test_counts(self):
+        tree = build(RECORDS)
+        assert tree.num_objects == 5
+        assert len(tree) == 5
+        tree.check_invariants()
+
+    def test_prefix_sharing(self):
+        tree = build(RECORDS)
+        # Paths: 001(x2), 011, 100, 212 -> nodes: level1 {0,1,2}=3,
+        # level2 {00,01,10,21}=4, level3 {001,011,100,212}=4 -> 11.
+        assert tree.num_nodes == 11
+        assert tree.node_count() == 12  # + root
+
+    def test_duplicates_share_leaf(self):
+        tree = build(RECORDS)
+        leaf = tree.find_leaf((0, 0, 1))
+        assert leaf.count == 2
+        assert {rid for rid, _ in leaf.entries} == {0, 1}
+
+    def test_attribute_order_reorders_paths(self):
+        tree = ALTree([2, 0, 1])
+        tree.insert(0, (5, 6, 7))
+        leaf = tree.find_leaf((5, 6, 7))
+        assert leaf.path_keys() == [7, 5, 6]
+
+    def test_find_missing(self):
+        tree = build(RECORDS)
+        assert tree.find_leaf((2, 2, 2)) is None
+
+
+class TestRemoval:
+    def test_remove_object_by_id(self):
+        tree = build(RECORDS)
+        assert tree.remove_object(0, (0, 0, 1))
+        assert tree.num_objects == 4
+        leaf = tree.find_leaf((0, 0, 1))
+        assert leaf.count == 1 and leaf.entries[0][0] == 1
+        tree.check_invariants()
+
+    def test_remove_object_missing_id(self):
+        tree = build(RECORDS)
+        assert not tree.remove_object(99, (0, 0, 1))
+        assert not tree.remove_object(0, (2, 2, 2))
+        assert tree.num_objects == 5
+
+    def test_remove_last_entry_deletes_path(self):
+        tree = build(RECORDS)
+        tree.remove_object(3, (1, 0, 0))
+        assert tree.find_leaf((1, 0, 0)) is None
+        assert tree.root.child(1) is None  # whole branch gone
+        tree.check_invariants()
+
+    def test_remove_leaf(self):
+        tree = build(RECORDS)
+        leaf = tree.find_leaf((0, 0, 1))
+        tree.remove_leaf(leaf)
+        assert tree.num_objects == 3
+        assert tree.find_leaf((0, 0, 1)) is None
+        # Sibling path under the same level-1 node must survive.
+        assert tree.find_leaf((0, 1, 1)) is not None
+        tree.check_invariants()
+
+    def test_remove_entries_predicate(self):
+        tree = build(RECORDS)
+        leaf = tree.find_leaf((0, 0, 1))
+        removed = tree.remove_entries(leaf, keep=lambda e: e[0] == 1)
+        assert removed == 1
+        assert tree.num_objects == 4
+        tree.check_invariants()
+
+    def test_num_nodes_tracks_removals(self):
+        tree = build(RECORDS)
+        before = tree.num_nodes
+        tree.remove_object(4, (2, 1, 2))  # unique path: 3 nodes vanish
+        assert tree.num_nodes == before - 3
+        tree.check_invariants()
+
+    def test_soft_remove_and_restore(self):
+        tree = build(RECORDS)
+        leaf = tree.find_leaf((0, 0, 1))
+        entry = tree.soft_remove(leaf, 0)
+        assert entry == (0, (0, 0, 1))
+        assert tree.num_objects == 4
+        assert leaf.count == 1
+        # Nodes are NOT deleted (that is the point): counts hit zero instead.
+        unique_leaf = tree.find_leaf((2, 1, 2))
+        removed = tree.soft_remove(unique_leaf, 4)
+        assert unique_leaf.descendants == 0
+        assert tree.root.child(2).descendants == 0
+        assert tree.root.child(2) is not None  # still attached
+        tree.soft_restore(unique_leaf, removed)
+        tree.soft_restore(leaf, entry)
+        assert tree.num_objects == len(RECORDS)
+        tree.check_invariants()
+
+    def test_soft_remove_missing_id(self):
+        tree = build(RECORDS)
+        leaf = tree.find_leaf((0, 0, 1))
+        assert tree.soft_remove(leaf, 999) is None
+        assert tree.num_objects == 5
+
+    def test_reinsert_after_removal(self):
+        tree = build(RECORDS)
+        tree.remove_object(4, (2, 1, 2))
+        tree.insert(4, (2, 1, 2))
+        assert tree.num_objects == 5
+        assert tree.find_leaf((2, 1, 2)).count == 1
+        tree.check_invariants()
+
+
+class TestTraversals:
+    def test_leaves_cover_all_entries(self):
+        tree = build(RECORDS)
+        entries = sorted(tree.iter_entries())
+        assert entries == sorted(enumerate(RECORDS))
+
+    def test_children_by_promise_ascending(self):
+        tree = build(RECORDS)
+        counts = [c.descendants for c in tree.root.children_by_promise()]
+        assert counts == sorted(counts)
+        assert counts == [1, 1, 3]
+
+    def test_memory_bytes_compacts_shared_prefixes(self):
+        shared = build([(0, 0, 0)] * 50)
+        flat = build([(i % 3, i % 5, i) for i in range(50)], order=(0, 1, 2))
+        assert shared.memory_bytes() < flat.memory_bytes()
+        assert shared.memory_bytes() == 3 * 8 + 50 * 4
+
+    def test_empty_tree(self):
+        tree = ALTree([0])
+        assert tree.num_objects == 0
+        assert list(tree.leaves()) == []
+        assert list(tree.iter_entries()) == []
+        tree.check_invariants()
+
+    def test_key_fn_buckets(self):
+        tree = ALTree([0], key_fn=lambda pos, v: v // 10)
+        tree.insert(0, (5,))
+        tree.insert(1, (7,))
+        tree.insert(2, (15,))
+        assert tree.find_leaf((3,)).count == 2  # bucket 0
+        assert tree.num_nodes == 2

@@ -1,0 +1,108 @@
+"""Bichromatic reverse skyline."""
+
+import numpy as np
+import pytest
+
+from repro.bichromatic.query import (
+    bichromatic_reverse_skyline,
+    bichromatic_reverse_skyline_naive,
+)
+from repro.data.dataset import Dataset
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import AlgorithmError, SchemaError
+from repro.skyline.domination import dominates
+
+
+@pytest.fixture(scope="module")
+def populations():
+    subjects = synthetic_dataset(150, [6, 5, 4], seed=51)
+    # Competitors share the schema and space (same domains).
+    rng = np.random.default_rng(52)
+    competitors = subjects.with_records(
+        [
+            tuple(int(rng.integers(0, c)) for c in subjects.schema.cardinalities())
+            for _ in range(80)
+        ],
+        name="competitors",
+    )
+    return subjects, competitors
+
+
+class TestCorrectness:
+    def test_tree_matches_naive(self, populations):
+        subjects, competitors = populations
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            q = tuple(int(rng.integers(0, c)) for c in subjects.schema.cardinalities())
+            naive = bichromatic_reverse_skyline_naive(subjects, competitors, q)
+            tree = bichromatic_reverse_skyline(subjects, competitors, q)
+            assert tree == naive
+
+    def test_definition_spotcheck(self, populations):
+        subjects, competitors = populations
+        q = (0, 0, 0)
+        result = set(bichromatic_reverse_skyline(subjects, competitors, q))
+        for a_id, a in enumerate(subjects.records):
+            dominated = any(
+                dominates(subjects.space, b, q, a) for b in competitors.records
+            )
+            assert (a_id not in result) == dominated
+
+    def test_identical_subject_and_competitor_values_count(self, populations):
+        """Cross-population: a competitor equal to a subject still prunes
+        it (different entity), unlike monochromatic self-exclusion."""
+        subjects, _ = populations
+        competitors = subjects.with_records([subjects.records[0]])
+        q = tuple(
+            (v + 1) % c
+            for v, c in zip(subjects.records[0], subjects.schema.cardinalities())
+        )
+        result = bichromatic_reverse_skyline(subjects, competitors, q)
+        if any(
+            subjects.space.d(i, subjects.records[0][i], q[i]) > 0
+            for i in range(subjects.num_attributes)
+        ):
+            assert 0 not in result
+
+    def test_empty_competitors_returns_all_subjects(self, populations):
+        subjects, _ = populations
+        empty = subjects.with_records([])
+        q = (1, 1, 1)
+        assert bichromatic_reverse_skyline(subjects, empty, q) == list(
+            range(len(subjects))
+        )
+
+    def test_empty_subjects(self, populations):
+        subjects, competitors = populations
+        none = subjects.with_records([])
+        assert bichromatic_reverse_skyline(none, competitors, (0, 0, 0)) == []
+
+
+class TestValidation:
+    def test_schema_mismatch(self, populations):
+        subjects, _ = populations
+        other = synthetic_dataset(10, [6, 5], seed=1)
+        with pytest.raises(SchemaError, match="same schema"):
+            bichromatic_reverse_skyline(subjects, other, (0, 0, 0))
+
+    def test_mixed_schema_needs_naive(self):
+        subjects = mixed_dataset(20, [3], [(0.0, 1.0)], seed=1)
+        with pytest.raises(AlgorithmError, match="naive"):
+            bichromatic_reverse_skyline(subjects, subjects, (0, 0.5))
+
+    def test_naive_handles_mixed(self):
+        ds = mixed_dataset(40, [3], [(0.0, 1.0)], seed=1)
+        result = bichromatic_reverse_skyline_naive(ds, ds, (0, 0.5))
+        # Every subject with a same-valued competitor... here subjects ==
+        # competitors, so each subject has an identical competitor that
+        # prunes it unless the query ties it everywhere.
+        for a_id in result:
+            a = ds[a_id]
+            assert all(
+                ds.space.d(i, a[i], (0, 0.5)[i]) == 0 for i in range(2)
+            )
+
+    def test_invalid_query(self, populations):
+        subjects, competitors = populations
+        with pytest.raises(SchemaError):
+            bichromatic_reverse_skyline(subjects, competitors, (99, 0, 0))

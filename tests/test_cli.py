@@ -1,0 +1,159 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.synthetic import synthetic_dataset
+from repro.persist.format import save_dataset
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    ds = synthetic_dataset(80, [5, 4, 3], seed=81)
+    return str(save_dataset(ds, tmp_path / "data"))
+
+
+class TestGenerate:
+    def test_synthetic(self, tmp_path, capsys):
+        out = str(tmp_path / "gen")
+        rc = main(
+            ["generate", "--kind", "synthetic", "--rows", "50",
+             "--values", "4", "4", "--out", out]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (tmp_path / "gen" / "records.csv").exists()
+
+    def test_ci_surrogate(self, tmp_path, capsys):
+        rc = main(["generate", "--kind", "ci", "--rows", "200",
+                   "--out", str(tmp_path / "ci")])
+        assert rc == 0
+
+    def test_synthetic_needs_values(self, tmp_path, capsys):
+        rc = main(["generate", "--kind", "synthetic", "--out", str(tmp_path / "x")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_describes_and_analyzes(self, dataset_dir, capsys):
+        rc = main(["info", dataset_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n=80" in out
+        assert "A1" in out
+
+    def test_missing_dataset(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "ghost")])
+        assert rc == 2
+
+
+class TestQuery:
+    def test_runs(self, dataset_dir, capsys):
+        rc = main(["query", dataset_dir, "--query", "1,2,0", "--algorithm", "TRS"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "result" in out and "checks" in out
+
+    def test_query_matches_oracle(self, dataset_dir, capsys):
+        from repro.persist.format import load_dataset
+        from repro.skyline.oracle import reverse_skyline_by_pruners
+
+        rc = main(["query", dataset_dir, "--query", "0,0,0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        ds = load_dataset(dataset_dir)
+        expected = reverse_skyline_by_pruners(ds, (0, 0, 0))
+        assert f"result    : {expected}" in out
+
+    def test_bad_arity(self, dataset_dir, capsys):
+        rc = main(["query", dataset_dir, "--query", "1,2"])
+        assert rc == 2
+        assert "attributes" in capsys.readouterr().err
+
+    def test_bad_value(self, dataset_dir, capsys):
+        rc = main(["query", dataset_dir, "--query", "99,0,0"])
+        assert rc == 2
+
+
+class TestInfluence:
+    def test_ranks(self, dataset_dir, capsys):
+        rc = main(
+            ["influence", dataset_dir, "--probes", "1,2,0", "0,0,0",
+             "--algorithm", "TRS"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gini" in out
+        assert "1,2,0" in out
+
+
+class TestSkyband:
+    def test_runs(self, dataset_dir, capsys):
+        rc = main(["skyband", dataset_dir, "--query", "1,2,0", "-k", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reverse 3-skyband" in out
+
+    def test_k1_matches_query(self, dataset_dir, capsys):
+        main(["skyband", dataset_dir, "--query", "0,0,0", "-k", "1"])
+        band_out = capsys.readouterr().out
+        main(["query", dataset_dir, "--query", "0,0,0"])
+        query_out = capsys.readouterr().out
+        band_ids = band_out.split("skyband: ")[1].splitlines()[0]
+        query_ids = query_out.split("result    : ")[1].splitlines()[0]
+        assert band_ids == query_ids
+
+
+class TestProfile:
+    def test_prints_attribute_stats(self, dataset_dir, capsys):
+        rc = main(["profile", dataset_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out and "n=80" in out
+
+
+class TestAdvise:
+    def test_heuristic(self, dataset_dir, capsys):
+        rc = main(["advise", dataset_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended algorithm: TRS" in out
+
+    def test_calibrated(self, dataset_dir, capsys):
+        rc = main(["advise", dataset_dir, "--calibrate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "measured TRS" in out
+
+    def test_subset_flag(self, dataset_dir, capsys):
+        rc = main(["advise", dataset_dir, "--subset-queries"])
+        assert rc == 0
+        assert "T-TRS" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_aggregates_artifacts(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig01_demo.txt").write_text("=== demo ===\nrows\n")
+        out = tmp_path / "REPORT.md"
+        rc = main(["report", "--results", str(results), "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "## Figures" in out.read_text()
+
+    def test_missing_results(self, tmp_path, capsys):
+        rc = main(["report", "--results", str(tmp_path / "none"),
+                   "--out", str(tmp_path / "R.md")])
+        assert rc == 2
+
+
+class TestSweep:
+    def test_memory_sweep_on_synthetic(self, capsys, monkeypatch):
+        # Shrink the workload so the CLI test stays fast.
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        rc = main(["sweep", "memory", "--dataset", "synthetic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TRS" in out and "memory" in out

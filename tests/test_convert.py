@@ -1,0 +1,91 @@
+"""Label-valued dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.trs import TRS
+from repro.data.convert import dataset_from_rows, query_from_labels
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.errors import SchemaError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+
+ROWS = [
+    {"os": "RHEL", "db": "DB2"},
+    {"os": "SuSE", "db": "Oracle"},
+    {"os": "RHEL", "db": "Oracle"},
+    {"os": "Windows", "db": "DB2"},
+]
+
+
+class TestDatasetFromRows:
+    def test_basic_construction(self):
+        ds = dataset_from_rows(ROWS, name="servers")
+        assert len(ds) == 4
+        assert ds.schema.names() == ["db", "os"]  # sorted by default
+        assert ds.name == "servers"
+        # Labels round-trip through the schema.
+        os_attr = ds.schema[ds.schema.index_of("os")]
+        assert set(os_attr.labels) == {"RHEL", "SuSE", "Windows"}
+
+    def test_explicit_attribute_order(self):
+        ds = dataset_from_rows(ROWS, attribute_order=["os", "db"])
+        assert ds.schema.names() == ["os", "db"]
+        assert ds[0] == (ds.schema[0].labels.index("RHEL"),
+                         ds.schema[1].labels.index("DB2"))
+
+    def test_expert_matrix_defines_domain(self):
+        fuel = MatrixDissimilarity.from_pairs(
+            ["petrol", "diesel", "electric"],
+            {("petrol", "diesel"): 0.2, ("petrol", "electric"): 0.9,
+             ("diesel", "electric"): 0.95},
+        )
+        rows = [{"fuel": "petrol"}, {"fuel": "diesel"}]
+        ds = dataset_from_rows(rows, {"fuel": fuel})
+        # "electric" is legal (in the matrix) though unseen in the data.
+        q = query_from_labels(ds, {"fuel": "electric"})
+        assert q == (fuel.value_id("electric"),)
+
+    def test_deterministic_random_dissims(self):
+        a = dataset_from_rows(ROWS, rng_seed=3)
+        b = dataset_from_rows(ROWS, rng_seed=3)
+        assert (a.space[0].matrix == b.space[0].matrix).all()
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="missing attributes"):
+            dataset_from_rows([{"os": "RHEL"}], attribute_order=["os", "db"])
+
+    def test_value_outside_matrix_domain(self):
+        fuel = MatrixDissimilarity.from_pairs(
+            ["petrol", "diesel"], {("petrol", "diesel"): 0.2}
+        )
+        with pytest.raises(SchemaError, match="outside the domain"):
+            dataset_from_rows([{"fuel": "coal"}], {"fuel": fuel})
+
+    def test_unlabeled_matrix_rejected(self):
+        bare = MatrixDissimilarity(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SchemaError, match="labels"):
+            dataset_from_rows([{"x": "a"}], {"x": bare})
+
+    def test_empty_rows(self):
+        with pytest.raises(SchemaError, match="at least one row"):
+            dataset_from_rows([])
+
+
+class TestQueryFromLabels:
+    def test_roundtrip_and_query(self):
+        ds = dataset_from_rows(ROWS)
+        q = query_from_labels(ds, {"os": "Windows", "db": "Oracle"})
+        expected = reverse_skyline_by_pruners(ds, q)
+        result = TRS(ds, budget=MemoryBudget(2), page_bytes=64).run(q)
+        assert list(result.record_ids) == expected
+
+    def test_missing_attribute(self):
+        ds = dataset_from_rows(ROWS)
+        with pytest.raises(SchemaError, match="missing attribute"):
+            query_from_labels(ds, {"os": "RHEL"})
+
+    def test_unknown_label(self):
+        ds = dataset_from_rows(ROWS)
+        with pytest.raises(SchemaError, match="outside attribute"):
+            query_from_labels(ds, {"os": "BeOS", "db": "DB2"})

@@ -1,0 +1,192 @@
+"""Reverse-skyline algorithms: correctness against the oracles, on the
+running example and randomized datasets, across memory budgets."""
+
+import pytest
+
+from repro.core.brs import BRS
+from repro.core.naive import NaiveRS
+from repro.core.registry import ALGORITHMS, get_algorithm, make_algorithm
+from repro.core.srs import SRS
+from repro.core.tiled import TSRS, TTRS
+from repro.core.trs import TRS
+from repro.data.examples import (
+    RUNNING_EXAMPLE_RESULT,
+    running_example,
+    running_example_query,
+)
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import AlgorithmError, SchemaError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+
+CATEGORICAL_ALGOS = [NaiveRS, BRS, SRS, TRS, TSRS, TTRS]
+
+
+@pytest.fixture(scope="module")
+def example():
+    return running_example(), running_example_query()
+
+
+@pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
+def test_running_example(example, algo_cls):
+    ds, q = example
+    result = algo_cls(ds, budget=MemoryBudget(2)).run(q)
+    assert result.result_set == RUNNING_EXAMPLE_RESULT
+    assert result.algorithm == algo_cls.name
+
+
+@pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
+@pytest.mark.parametrize("budget_pages", [2, 3, 7])
+def test_small_random_all_budgets(algo_cls, budget_pages):
+    ds = synthetic_dataset(250, [6, 5, 7], seed=11)
+    queries = query_batch(ds, 3, seed=5)
+    expected = {q: reverse_skyline_by_pruners(ds, q) for q in queries}
+    algo = algo_cls(ds, budget=MemoryBudget(budget_pages), page_bytes=64)
+    for q in queries:
+        assert list(algo.run(q).record_ids) == expected[q]
+
+
+@pytest.mark.parametrize("algo_cls", [BRS, SRS, TRS])
+def test_multibatch_medium(medium_dataset, algo_cls):
+    q = query_batch(medium_dataset, 1, seed=9)[0]
+    expected = reverse_skyline_by_pruners(medium_dataset, q)
+    algo = algo_cls(medium_dataset, memory_fraction=0.05, page_bytes=128)
+    result = algo.run(q)
+    assert list(result.record_ids) == expected
+    assert result.stats.phase1_batches > 1  # exercise real batching
+
+
+@pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
+def test_query_not_in_dataset(algo_cls, small_dataset):
+    # A query with values no record takes (domains are larger than data).
+    q = tuple((c - 1) for c in small_dataset.schema.cardinalities())
+    expected = reverse_skyline_by_pruners(small_dataset, q)
+    result = algo_cls(small_dataset, budget=MemoryBudget(3), page_bytes=64).run(q)
+    assert list(result.record_ids) == expected
+
+
+@pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
+def test_empty_dataset(algo_cls):
+    ds = synthetic_dataset(0, [4, 4], seed=1)
+    result = algo_cls(ds, budget=MemoryBudget(2)).run((0, 0))
+    assert result.record_ids == ()
+
+
+@pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
+def test_all_duplicates(algo_cls):
+    base = synthetic_dataset(1, [3, 3], seed=2)
+    ds = base.with_records([base.records[0]] * 20)
+    q_far = tuple((v + 1) % 3 for v in base.records[0])
+    assert algo_cls(ds, budget=MemoryBudget(2), page_bytes=64).run(q_far).record_ids == ()
+    q_eq = base.records[0]
+    result = algo_cls(ds, budget=MemoryBudget(2), page_bytes=64).run(q_eq)
+    assert result.record_ids == tuple(range(20))
+
+
+@pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
+def test_invalid_query_rejected(algo_cls, small_dataset):
+    algo = algo_cls(small_dataset, budget=MemoryBudget(2))
+    with pytest.raises(SchemaError):
+        algo.run((99, 0, 0))
+
+
+def test_single_attribute_dataset():
+    ds = synthetic_dataset(100, [9], seed=3)
+    q = (4,)
+    expected = reverse_skyline_by_pruners(ds, q)
+    for algo_cls in CATEGORICAL_ALGOS:
+        result = algo_cls(ds, budget=MemoryBudget(2), page_bytes=64).run(q)
+        assert list(result.record_ids) == expected, algo_cls.name
+
+
+class TestStats:
+    def test_result_count_and_io_recorded(self, example):
+        ds, q = example
+        r = BRS(ds, budget=MemoryBudget(2)).run(q)
+        assert r.stats.result_count == len(r.record_ids) == 2
+        assert r.stats.io.total > 0
+        assert r.stats.wall_time_s >= 0
+        assert r.stats.db_passes >= 2
+
+    def test_intermediate_superset_of_result(self, medium_dataset):
+        q = query_batch(medium_dataset, 1, seed=4)[0]
+        for cls in (BRS, SRS, TRS):
+            r = cls(medium_dataset, memory_fraction=0.05, page_bytes=128).run(q)
+            assert r.stats.intermediate_count >= r.stats.result_count
+
+    def test_trace_checks_sum_matches_totals(self, example):
+        ds, q = example
+        r = SRS(ds, budget=MemoryBudget(3), page_bytes=16, trace_checks=True).run(q)
+        s = r.stats
+        assert sum(s.per_object_phase1.values()) == s.checks_phase1
+        assert sum(s.per_object_phase2.values()) == s.checks_phase2
+
+    def test_tracing_off_by_default(self, example):
+        ds, q = example
+        r = SRS(ds, budget=MemoryBudget(3), page_bytes=16).run(q)
+        assert r.stats.per_object_phase1 == {}
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        for name in ("Naive", "BRS", "SRS", "TRS", "T-SRS", "T-TRS", "NumericTRS"):
+            assert name in ALGORITHMS
+
+    def test_get_unknown(self):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            get_algorithm("FancyRS")
+
+    def test_make_algorithm(self, small_dataset):
+        algo = make_algorithm("TRS", small_dataset, budget=MemoryBudget(4))
+        assert isinstance(algo, TRS)
+
+
+class TestLayouts:
+    def test_srs_layout_sorted(self, small_dataset):
+        algo = SRS(small_dataset, budget=MemoryBudget(2))
+        values = [v for _, v in algo.layout]
+        assert values == sorted(values)
+        assert sorted(rid for rid, _ in algo.layout) == list(range(len(small_dataset)))
+
+    def test_trs_layout_sorted_by_tree_order(self, small_dataset):
+        algo = TRS(small_dataset, budget=MemoryBudget(2))
+        order = algo.attribute_order
+        keys = [tuple(v[i] for i in order) for _, v in algo.layout]
+        assert keys == sorted(keys)
+
+    def test_trs_no_presort_keeps_native_order(self, small_dataset):
+        algo = TRS(small_dataset, budget=MemoryBudget(2), presort=False)
+        assert [rid for rid, _ in algo.layout] == list(range(len(small_dataset)))
+
+    def test_use_layout_rejects_wrong_length(self, small_dataset):
+        algo = SRS(small_dataset, budget=MemoryBudget(2))
+        with pytest.raises(AlgorithmError, match="entries"):
+            algo.use_layout([(0, small_dataset[0])])
+
+    def test_use_layout_applied(self, small_dataset):
+        algo = BRS(small_dataset, budget=MemoryBudget(2))
+        reversed_entries = list(enumerate(small_dataset.records))[::-1]
+        algo.use_layout(reversed_entries)
+        assert algo.layout[0][0] == len(small_dataset) - 1
+
+    def test_results_in_original_ids_despite_layout(self, small_dataset):
+        q = query_batch(small_dataset, 1, seed=7)[0]
+        expected = reverse_skyline_by_pruners(small_dataset, q)
+        srs = SRS(small_dataset, budget=MemoryBudget(3), page_bytes=64)
+        assert list(srs.run(q).record_ids) == expected
+
+
+class TestAblations:
+    def test_trs_variants_still_correct(self, medium_dataset):
+        q = query_batch(medium_dataset, 1, seed=12)[0]
+        expected = reverse_skyline_by_pruners(medium_dataset, q)
+        for kwargs in ({"presort": False}, {"order_children": False}):
+            algo = TRS(
+                medium_dataset, memory_fraction=0.05, page_bytes=128, **kwargs
+            )
+            assert list(algo.run(q).record_ids) == expected
+
+    def test_budget_too_small_rejected(self, small_dataset):
+        with pytest.raises(AlgorithmError):
+            BRS(small_dataset, budget=MemoryBudget(1))

@@ -1,0 +1,52 @@
+"""Two-pass regime detection."""
+
+import pytest
+
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import ExperimentError
+from repro.experiments.crossover import two_pass_threshold
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(4000, [20] * 4, seed=211)
+
+
+def test_profile_monotone_and_threshold_found(ds):
+    point = two_pass_threshold(
+        ds, "TRS", fractions=(0.02, 0.05, 0.10, 0.20), page_bytes=256
+    )
+    assert point.algorithm == "TRS"
+    profile = point.passes_by_fraction
+    fractions = sorted(profile)
+    # More memory never costs more passes.
+    for a, b in zip(fractions, fractions[1:]):
+        assert profile[b] <= profile[a]
+    assert point.reached()
+    assert profile[point.threshold_fraction] == 2.0
+
+
+def test_trs_reaches_two_passes_no_later_than_brs(ds):
+    queries = query_batch(ds, 2, seed=3)
+    grid = (0.02, 0.04, 0.08, 0.16)
+    trs = two_pass_threshold(ds, "TRS", fractions=grid, queries=queries, page_bytes=256)
+    brs = two_pass_threshold(ds, "BRS", fractions=grid, queries=queries, page_bytes=256)
+    if trs.reached() and brs.reached():
+        assert trs.threshold_fraction <= brs.threshold_fraction
+    # At every grid point TRS needs no more passes than BRS.
+    for f in grid:
+        assert trs.passes_by_fraction[f] <= brs.passes_by_fraction[f]
+
+
+def test_threshold_can_be_unreached():
+    tiny = synthetic_dataset(1500, [30] * 5, seed=212)  # sparse: big |R|
+    point = two_pass_threshold(tiny, "BRS", fractions=(0.02,), page_bytes=64)
+    assert 0.02 in point.passes_by_fraction
+    if not point.reached():
+        assert point.threshold_fraction is None
+
+
+def test_empty_fraction_grid_rejected(ds):
+    with pytest.raises(ExperimentError):
+        two_pass_threshold(ds, "TRS", fractions=())

@@ -1,0 +1,98 @@
+"""Dataset: construction, validation, projection, density."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, density
+from repro.data.schema import Attribute, NUMERIC, Schema
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.dissim.generators import random_dissimilarity
+from repro.dissim.numeric import AbsoluteDifference
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import SchemaError
+
+
+def make_dataset(records=((0, 1), (1, 0)), cards=(2, 2)):
+    rng = np.random.default_rng(0)
+    schema = Schema.categorical(list(cards))
+    space = DissimilaritySpace([random_dissimilarity(c, rng) for c in cards])
+    return Dataset(schema, records, space)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = make_dataset()
+        assert len(ds) == 2
+        assert ds[0] == (0, 1)
+        assert list(iter(ds)) == [(0, 1), (1, 0)]
+
+    def test_record_validation(self):
+        with pytest.raises(SchemaError):
+            make_dataset(records=[(0, 5)])
+
+    def test_arity_mismatch_space_vs_schema(self, rng):
+        schema = Schema.categorical([2, 2])
+        space = DissimilaritySpace([random_dissimilarity(2, rng)])
+        with pytest.raises(SchemaError, match="attributes"):
+            Dataset(schema, [], space)
+
+    def test_cardinality_mismatch(self, rng):
+        schema = Schema.categorical([2, 2])
+        space = DissimilaritySpace(
+            [random_dissimilarity(2, rng), random_dissimilarity(9, rng)]
+        )
+        with pytest.raises(SchemaError, match="cardinality"):
+            Dataset(schema, [], space)
+
+    def test_numeric_attr_needs_numeric_dissim(self, rng):
+        schema = Schema([Attribute("n", kind=NUMERIC)])
+        space = DissimilaritySpace([random_dissimilarity(3, rng)])
+        with pytest.raises(SchemaError, match="categorical"):
+            Dataset(schema, [], space)
+
+    def test_empty_dataset_ok(self):
+        ds = make_dataset(records=[])
+        assert len(ds) == 0
+
+
+class TestDensity:
+    def test_density_function(self):
+        assert density(10, [10, 10]) == 0.1
+        with pytest.raises(SchemaError):
+            density(1, [0])
+
+    def test_dataset_density(self):
+        ds = make_dataset(records=[(0, 0), (1, 1)], cards=(2, 2))
+        assert ds.density() == 0.5
+
+    def test_density_undefined_for_mixed(self):
+        ds = mixed_dataset(10, [3], [(0.0, 1.0)], seed=1)
+        with pytest.raises(SchemaError, match="categorical"):
+            ds.density()
+
+
+class TestQueriesAndViews:
+    def test_validate_query(self):
+        ds = make_dataset()
+        assert ds.validate_query([1, 1]) == (1, 1)
+        with pytest.raises(SchemaError):
+            ds.validate_query((2, 0))
+
+    def test_with_records_shares_space(self):
+        ds = make_dataset()
+        flipped = ds.with_records([(1, 0), (0, 1)])
+        assert flipped.space is ds.space
+        assert flipped[0] == (1, 0)
+        assert len(ds) == 2  # original untouched
+
+    def test_project(self):
+        ds = synthetic_dataset(50, [4, 5, 6], seed=2)
+        p = ds.project([2, 0])
+        assert p.num_attributes == 2
+        assert p[0] == (ds[0][2], ds[0][0])
+        assert p.schema.cardinalities() == [6, 4]
+
+    def test_describe_mentions_size(self):
+        ds = make_dataset()
+        text = ds.describe()
+        assert "n=2" in text and "m=2" in text

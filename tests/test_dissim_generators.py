@@ -1,0 +1,96 @@
+"""Random dissimilarity generators and metricity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dissim.analysis import analyze_metricity
+from repro.dissim.generators import (
+    metric_like_dissimilarity,
+    nonmetric_dissimilarity,
+    random_dissimilarity,
+    random_matrix,
+)
+from repro.errors import DissimilarityError
+
+
+class TestRandomMatrix:
+    def test_shape_and_diagonal(self, rng):
+        arr = random_matrix(10, rng)
+        assert arr.shape == (10, 10)
+        assert np.diagonal(arr).sum() == 0.0
+
+    def test_values_in_unit_interval(self, rng):
+        arr = random_matrix(25, rng)
+        assert (arr >= 0).all() and (arr <= 1).all()
+
+    def test_symmetric_by_default(self, rng):
+        arr = random_matrix(12, rng)
+        assert (arr == arr.T).all()
+
+    def test_asymmetric_option(self, rng):
+        arr = random_matrix(12, rng, symmetric=False)
+        assert not (arr == arr.T).all()
+
+    def test_rejects_zero_cardinality(self, rng):
+        with pytest.raises(DissimilarityError):
+            random_matrix(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = random_matrix(8, np.random.default_rng(5))
+        b = random_matrix(8, np.random.default_rng(5))
+        assert (a == b).all()
+
+
+class TestGenerators:
+    def test_random_dissimilarity_usable(self, rng):
+        d = random_dissimilarity(6, rng)
+        assert d.cardinality == 6
+        assert d(2, 2) == 0.0
+
+    def test_nonmetric_has_triangle_violation(self, rng):
+        d = nonmetric_dissimilarity(5, rng)
+        report = analyze_metricity(d)
+        assert report.triangle_violations > 0
+        assert not report.is_metric
+
+    def test_nonmetric_needs_three_values(self, rng):
+        with pytest.raises(DissimilarityError, match="3 values"):
+            nonmetric_dissimilarity(2, rng)
+
+    def test_metric_like_is_metric(self, rng):
+        d = metric_like_dissimilarity(8, rng)
+        report = analyze_metricity(d)
+        assert report.is_metric, report.summary()
+
+
+class TestAnalysis:
+    def test_paper_figure1_os_matrix_is_nonmetric(self):
+        # d1(MSW, SL)=1.0 > d1(MSW, RHL)+d1(RHL, SL)=0.9 (Section 4).
+        arr = np.array([[0.0, 0.8, 1.0], [0.8, 0.0, 0.1], [1.0, 0.1, 0.0]])
+        report = analyze_metricity(arr)
+        assert not report.is_metric
+        assert report.triangle_violations > 0
+        assert report.is_symmetric
+        assert report.is_reflexive
+        x, y, z = report.worst_violation
+        assert arr[x, z] > arr[x, y] + arr[y, z]
+        assert report.worst_violation_margin == pytest.approx(
+            arr[x, z] - arr[x, y] - arr[y, z]
+        )
+
+    def test_metric_matrix_report(self):
+        arr = np.array([[0.0, 1.0], [1.0, 0.0]])
+        report = analyze_metricity(arr)
+        assert report.is_metric
+        assert report.violation_rate == 0.0
+        assert "metric" in report.summary()
+
+    def test_asymmetric_detected(self):
+        arr = np.array([[0.0, 0.2], [0.5, 0.0]])
+        report = analyze_metricity(arr)
+        assert not report.is_symmetric
+        assert "asymmetric" in report.summary()
+
+    def test_violation_rate_bounds(self, rng):
+        report = analyze_metricity(random_matrix(10, rng))
+        assert 0.0 <= report.violation_rate <= 1.0

@@ -1,0 +1,131 @@
+"""MatrixDissimilarity: construction, validation, lookups."""
+
+import numpy as np
+import pytest
+
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.errors import DissimilarityError
+
+
+def square(values):
+    return np.array(values, dtype=float)
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = MatrixDissimilarity(square([[0, 0.5], [0.5, 0]]))
+        assert d.cardinality == 2
+        assert d(0, 1) == 0.5
+        assert d(1, 1) == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DissimilarityError, match="square"):
+            MatrixDissimilarity(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DissimilarityError, match="non-empty"):
+            MatrixDissimilarity(np.zeros((0, 0)))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(DissimilarityError, match="negative"):
+            MatrixDissimilarity(square([[0, -0.1], [0.2, 0]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DissimilarityError, match="non-finite"):
+            MatrixDissimilarity(square([[0, float("nan")], [0.2, 0]]))
+
+    def test_rejects_nonzero_diagonal_by_default(self):
+        with pytest.raises(DissimilarityError, match="itself"):
+            MatrixDissimilarity(square([[0.1, 0.5], [0.5, 0]]))
+
+    def test_nonzero_diagonal_opt_in(self):
+        d = MatrixDissimilarity(
+            square([[0.1, 0.5], [0.5, 0]]), require_zero_diagonal=False
+        )
+        assert d(0, 0) == 0.1
+        assert not d.is_zero_reflexive() or True  # constructible is what matters
+
+    def test_asymmetric_allowed(self):
+        d = MatrixDissimilarity(square([[0, 0.3], [0.7, 0]]))
+        assert d(0, 1) == 0.3
+        assert d(1, 0) == 0.7
+        assert not d.is_symmetric()
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(DissimilarityError, match="labels"):
+            MatrixDissimilarity(square([[0, 1], [1, 0]]), labels=["a"])
+
+    def test_duplicate_labels(self):
+        with pytest.raises(DissimilarityError, match="unique"):
+            MatrixDissimilarity(square([[0, 1], [1, 0]]), labels=["a", "a"])
+
+
+class TestLabels:
+    def test_value_id_roundtrip(self):
+        d = MatrixDissimilarity(square([[0, 1], [1, 0]]), labels=["x", "y"])
+        assert d.value_id("x") == 0
+        assert d.value_id("y") == 1
+        assert d.labels == ["x", "y"]
+
+    def test_unknown_label(self):
+        d = MatrixDissimilarity(square([[0, 1], [1, 0]]), labels=["x", "y"])
+        with pytest.raises(DissimilarityError, match="unknown"):
+            d.value_id("z")
+
+    def test_value_id_without_labels(self):
+        d = MatrixDissimilarity(square([[0, 1], [1, 0]]))
+        with pytest.raises(DissimilarityError, match="no value labels"):
+            d.value_id("x")
+
+
+class TestFromPairs:
+    def test_symmetric_fill(self):
+        d = MatrixDissimilarity.from_pairs(
+            ["a", "b", "c"],
+            {("a", "b"): 0.2, ("a", "c"): 0.9, ("b", "c"): 0.4},
+        )
+        assert d(d.value_id("b"), d.value_id("a")) == 0.2
+        assert d(d.value_id("c"), d.value_id("b")) == 0.4
+
+    def test_missing_pair_without_default(self):
+        with pytest.raises(DissimilarityError, match="no dissimilarity"):
+            MatrixDissimilarity.from_pairs(["a", "b", "c"], {("a", "b"): 0.2})
+
+    def test_missing_pair_with_default(self):
+        d = MatrixDissimilarity.from_pairs(
+            ["a", "b", "c"], {("a", "b"): 0.2}, default=0.5
+        )
+        assert d(0, 2) == 0.5
+
+    def test_unknown_label_in_pairs(self):
+        with pytest.raises(DissimilarityError, match="unknown label"):
+            MatrixDissimilarity.from_pairs(["a"], {("a", "zzz"): 0.1})
+
+
+class TestLookup:
+    def test_table_matches_matrix(self):
+        arr = square([[0, 0.1, 0.2], [0.1, 0, 0.3], [0.2, 0.3, 0]])
+        d = MatrixDissimilarity(arr)
+        table = d.table()
+        for i in range(3):
+            for j in range(3):
+                assert table[i][j] == arr[i][j] == d(i, j)
+
+    def test_out_of_range_value(self):
+        d = MatrixDissimilarity(square([[0, 1], [1, 0]]))
+        with pytest.raises((DissimilarityError, IndexError, TypeError)):
+            d(0, 5)
+
+    def test_validate_value(self):
+        d = MatrixDissimilarity(square([[0, 1], [1, 0]]))
+        d.validate_value(0)
+        d.validate_value(1)
+        with pytest.raises(DissimilarityError):
+            d.validate_value(2)
+        with pytest.raises(DissimilarityError):
+            d.validate_value("a")
+
+    def test_matrix_view_read_only(self):
+        d = MatrixDissimilarity(square([[0, 1], [1, 0]]))
+        with pytest.raises(ValueError):
+            d.matrix[0, 1] = 99.0

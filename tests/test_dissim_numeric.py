@@ -1,0 +1,93 @@
+"""Numeric dissimilarities and their interval bounds (Section 6 support)."""
+
+import pytest
+
+from repro.dissim.numeric import AbsoluteDifference, NumericDissimilarity, ScaledDifference
+from repro.errors import DissimilarityError
+
+
+class TestNumericDissimilarity:
+    def test_wraps_callable(self):
+        d = NumericDissimilarity(lambda a, b: (a - b) ** 2)
+        assert d(3.0, 1.0) == 4.0
+        assert d(1.0, 1.0) == 0.0
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(DissimilarityError, match="callable"):
+            NumericDissimilarity(42)
+
+    def test_rejects_inverted_domain(self):
+        with pytest.raises(DissimilarityError, match="invalid numeric domain"):
+            NumericDissimilarity(lambda a, b: 0.0, lo=5.0, hi=1.0)
+
+    def test_validate_value_bounds(self):
+        d = NumericDissimilarity(lambda a, b: abs(a - b), lo=0.0, hi=10.0)
+        d.validate_value(5.0)
+        with pytest.raises(DissimilarityError, match="below"):
+            d.validate_value(-1.0)
+        with pytest.raises(DissimilarityError, match="above"):
+            d.validate_value(11.0)
+        with pytest.raises(DissimilarityError, match="non-numeric"):
+            d.validate_value("x")
+
+    def test_nan_result_rejected(self):
+        d = NumericDissimilarity(lambda a, b: float("nan"))
+        with pytest.raises(DissimilarityError, match="non-finite"):
+            d(1.0, 2.0)
+
+    def test_sampled_interval_bounds_cover_extremes(self):
+        # Non-metric: squared difference. Bounds must contain all samples.
+        d = NumericDissimilarity(lambda a, b: (a - b) ** 2)
+        lo, hi = d.interval_bounds(0.0, 1.0, 2.0, 3.0)
+        assert lo <= (1.0 - 2.0) ** 2 <= hi
+        assert lo <= (0.0 - 3.0) ** 2 <= hi
+
+
+class TestAbsoluteDifference:
+    def test_values(self):
+        d = AbsoluteDifference()
+        assert d(2.0, 5.5) == 3.5
+
+    @pytest.mark.parametrize(
+        "a_lo,a_hi,b_lo,b_hi,want_lo,want_hi",
+        [
+            (0, 1, 2, 3, 1, 3),  # disjoint, a below b
+            (2, 3, 0, 1, 1, 3),  # disjoint, a above b
+            (0, 2, 1, 3, 0, 3),  # overlapping -> min 0
+            (1, 1, 1, 1, 0, 0),  # degenerate points
+        ],
+    )
+    def test_exact_interval_bounds(self, a_lo, a_hi, b_lo, b_hi, want_lo, want_hi):
+        lo, hi = AbsoluteDifference().interval_bounds(a_lo, a_hi, b_lo, b_hi)
+        assert lo == want_lo
+        assert hi == want_hi
+
+    def test_bounds_are_tight_against_sampling(self):
+        d = AbsoluteDifference()
+        lo, hi = d.interval_bounds(0.0, 2.0, 1.5, 4.0)
+        samples = [
+            abs(a - b)
+            for a in (0.0, 0.5, 1.0, 1.5, 2.0)
+            for b in (1.5, 2.0, 3.0, 4.0)
+        ]
+        assert lo <= min(samples)
+        assert hi >= max(samples)
+        assert hi == max(samples)  # corner attained
+
+
+class TestScaledDifference:
+    def test_scaling(self):
+        d = ScaledDifference(2.0)
+        assert d(1.0, 4.0) == 6.0
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(DissimilarityError, match="positive"):
+            ScaledDifference(0.0)
+        with pytest.raises(DissimilarityError, match="positive"):
+            ScaledDifference(-1.0)
+
+    def test_interval_bounds_scale(self):
+        base_lo, base_hi = AbsoluteDifference().interval_bounds(0, 1, 3, 4)
+        lo, hi = ScaledDifference(3.0).interval_bounds(0, 1, 3, 4)
+        assert lo == 3 * base_lo
+        assert hi == 3 * base_hi

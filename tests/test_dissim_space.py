@@ -1,0 +1,68 @@
+"""DissimilaritySpace: bundling, subsets, tables."""
+
+import pytest
+
+from repro.dissim.generators import random_dissimilarity
+from repro.dissim.numeric import AbsoluteDifference
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import DissimilarityError
+
+
+@pytest.fixture
+def space(rng):
+    return DissimilaritySpace(
+        [random_dissimilarity(4, rng), random_dissimilarity(3, rng), AbsoluteDifference()]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DissimilarityError, match="at least one"):
+            DissimilaritySpace([])
+
+    def test_non_dissimilarity_rejected(self):
+        with pytest.raises(DissimilarityError, match="expected a Dissimilarity"):
+            DissimilaritySpace([lambda a, b: 0.0])
+
+    def test_len_and_indexing(self, space):
+        assert len(space) == 3
+        assert space.num_attributes == 3
+        assert isinstance(space[2], AbsoluteDifference)
+
+
+class TestLookups:
+    def test_d_delegates(self, space):
+        assert space.d(2, 1.0, 4.0) == 3.0
+        assert space.d(0, 1, 1) == 0.0
+
+    def test_tables_none_for_numeric(self, space):
+        tables = space.tables()
+        assert tables[0] is not None and tables[1] is not None
+        assert tables[2] is None
+
+    def test_cardinalities(self, space):
+        assert space.cardinalities() == [4, 3, None]
+
+    def test_is_fully_categorical(self, space, rng):
+        assert not space.is_fully_categorical()
+        cat = DissimilaritySpace([random_dissimilarity(3, rng)])
+        assert cat.is_fully_categorical()
+
+
+class TestSubset:
+    def test_projects(self, space):
+        sub = space.subset([2, 0])
+        assert sub.num_attributes == 2
+        assert isinstance(sub[0], AbsoluteDifference)
+
+    def test_empty_subset(self, space):
+        with pytest.raises(DissimilarityError, match="non-empty"):
+            space.subset([])
+
+    def test_out_of_range(self, space):
+        with pytest.raises(DissimilarityError, match="out of range"):
+            space.subset([5])
+
+    def test_duplicates(self, space):
+        with pytest.raises(DissimilarityError, match="duplicate"):
+            space.subset([0, 0])

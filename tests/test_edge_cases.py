@@ -1,0 +1,136 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brs import BRS
+from repro.core.naive import NaiveRS
+from repro.core.srs import SRS
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.data.synthetic import synthetic_dataset
+from repro.dissim.generators import random_matrix
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import AlgorithmError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+
+ALGOS = [NaiveRS, BRS, SRS, TRS]
+
+
+class TestDegenerateDatasets:
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_single_record(self, cls):
+        ds = synthetic_dataset(1, [4, 4], seed=1)
+        q = (0, 0)
+        result = cls(ds, budget=MemoryBudget(2), page_bytes=64).run(q)
+        # A lone object has no possible pruner: always in the result.
+        assert result.record_ids == (0,)
+
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_cardinality_one_attributes(self, cls):
+        # Every object (and the query) takes the only value: all distances
+        # are zero, nothing can dominate strictly, everything survives.
+        ds = synthetic_dataset(30, [1, 1], seed=2)
+        result = cls(ds, budget=MemoryBudget(2), page_bytes=64).run((0, 0))
+        assert result.record_ids == tuple(range(30))
+
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_budget_larger_than_dataset(self, cls):
+        ds = synthetic_dataset(50, [5, 5], seed=3)
+        q = (1, 1)
+        big = cls(ds, budget=MemoryBudget(500), page_bytes=64).run(q)
+        small = cls(ds, budget=MemoryBudget(2), page_bytes=64).run(q)
+        assert big.record_ids == small.record_ids
+        if cls is not NaiveRS:  # Naive has no batch structure
+            assert big.stats.phase1_batches == 1
+
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_one_record_per_page(self, cls):
+        ds = synthetic_dataset(40, [5, 5, 5], seed=4)
+        q = (0, 1, 2)
+        expected = reverse_skyline_by_pruners(ds, q)
+        result = cls(ds, budget=MemoryBudget(3), page_bytes=16).run(q)
+        assert list(result.record_ids) == expected
+
+
+class TestAsymmetricDissimilarities:
+    """Non-metric includes non-symmetric: d(a,b) != d(b,a). Every distance
+    in the stack must be taken in the documented direction (reference
+    value first)."""
+
+    def make(self, seed, n=120):
+        rng = np.random.default_rng(seed)
+        cards = [5, 4, 3]
+        space = DissimilaritySpace(
+            [
+                MatrixDissimilarity(random_matrix(c, rng, symmetric=False))
+                for c in cards
+            ]
+        )
+        records = [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+        ds = Dataset(Schema.categorical(cards), records, space, validate=False)
+        q = tuple(int(rng.integers(0, c)) for c in cards)
+        return ds, q
+
+    @pytest.mark.parametrize("cls", ALGOS)
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_algorithms_agree_with_oracle(self, cls, seed):
+        ds, q = self.make(seed)
+        expected = reverse_skyline_by_pruners(ds, q)
+        result = cls(ds, budget=MemoryBudget(3), page_bytes=64).run(q)
+        assert list(result.record_ids) == expected, cls.name
+
+    def test_asymmetry_actually_matters(self):
+        # Sanity: with asymmetric matrices, swapping argument order changes
+        # the distances, so a direction bug would be caught above.
+        ds, _ = self.make(11)
+        d = ds.space[0]
+        assert any(
+            d(a, b) != d(b, a) for a in range(5) for b in range(5) if a != b
+        )
+
+
+class TestNonZeroDiagonalRejected:
+    def test_algorithms_reject_nonzero_self_dissimilarity(self):
+        rng = np.random.default_rng(5)
+        arr = random_matrix(4, rng)
+        arr[2, 2] = 0.7
+        space = DissimilaritySpace(
+            [MatrixDissimilarity(arr, require_zero_diagonal=False)]
+        )
+        ds = Dataset(Schema.categorical([4]), [(0,), (2,)], space)
+        algo = TRS(ds, budget=MemoryBudget(2), page_bytes=64)
+        with pytest.raises(AlgorithmError, match="self-dissimilarity"):
+            algo.run((1,))
+
+
+class TestZeroDistanceQueries:
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_query_equal_to_some_record(self, cls):
+        ds = synthetic_dataset(100, [6, 6], seed=6)
+        q = ds.records[10]
+        expected = reverse_skyline_by_pruners(ds, q)
+        result = cls(ds, budget=MemoryBudget(3), page_bytes=64).run(q)
+        assert list(result.record_ids) == expected
+        # Records equal to the query can never be pruned (all query
+        # distances zero -> no strict improvement possible).
+        for rid, r in enumerate(ds.records):
+            if r == q:
+                assert rid in result.record_ids
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_trace_mode_never_changes_results(seed):
+    rng = np.random.default_rng(seed)
+    ds = synthetic_dataset(int(rng.integers(5, 80)), [5, 4], seed=seed)
+    q = (int(rng.integers(0, 5)), int(rng.integers(0, 4)))
+    plain = TRS(ds, budget=MemoryBudget(2), page_bytes=64).run(q)
+    traced = TRS(ds, budget=MemoryBudget(2), page_bytes=64, trace_checks=True).run(q)
+    assert plain.record_ids == traced.record_ids
+    assert plain.stats.checks == traced.stats.checks

@@ -1,0 +1,142 @@
+"""The high-level ReverseSkylineEngine facade."""
+
+import pytest
+
+from repro.core.skyband import reverse_skyband_naive
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.errors import AlgorithmError
+from repro.persist.format import save_dataset
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(300, [6, 5, 4, 3], seed=101)
+
+
+@pytest.fixture
+def engine(ds):
+    return ReverseSkylineEngine(ds, memory_fraction=0.2, page_bytes=256)
+
+
+class TestQueries:
+    def test_query_matches_oracle(self, ds, engine):
+        for q in query_batch(ds, 3, seed=1):
+            assert list(engine.query(q).record_ids) == reverse_skyline_by_pruners(ds, q)
+
+    def test_algorithm_override(self, ds, engine):
+        q = query_batch(ds, 1, seed=2)[0]
+        srs = engine.query(q, algorithm="SRS")
+        trs = engine.query(q, algorithm="TRS")
+        assert srs.record_ids == trs.record_ids
+        assert srs.algorithm == "SRS"
+
+    def test_algorithms_cached_and_prepared_once(self, ds, engine):
+        q = query_batch(ds, 1, seed=3)[0]
+        engine.query(q)
+        first = engine._algorithms["TRS"]
+        engine.query(q)
+        assert engine._algorithms["TRS"] is first
+
+    def test_skyband(self, ds, engine):
+        q = query_batch(ds, 1, seed=4)[0]
+        for k in (1, 3):
+            assert list(engine.skyband(q, k).record_ids) == reverse_skyband_naive(
+                ds, q, k
+            )
+
+    def test_subset_query_matches_projected_oracle(self, ds, engine):
+        subset = ["A3", "A1"]
+        projected = ds.project([2, 0])
+        q = projected.records[5]
+        result = engine.query_subset(subset, q)
+        assert list(result.record_ids) == reverse_skyline_by_pruners(projected, q)
+
+    def test_subset_by_index(self, ds, engine):
+        projected = ds.project([1, 3])
+        q = projected.records[0]
+        result = engine.query_subset([1, 3], q)
+        assert list(result.record_ids) == reverse_skyline_by_pruners(projected, q)
+
+    def test_subset_layout_is_full_order(self, ds, engine):
+        engine.query_subset([3], (0,))
+        cached = engine._subset_engines[(3,)]._algorithms["TRS"]
+        ids = [rid for rid, _ in cached.layout]
+        # The layout order comes from the FULL attribute sort, not a
+        # re-sort on attribute 3 alone.
+        full_sorted_ids = [rid for rid, _ in engine._full_order_entries]
+        assert ids == full_sorted_ids
+
+    def test_empty_subset_rejected(self, engine):
+        with pytest.raises(AlgorithmError):
+            engine.query_subset([], ())
+
+    def test_influence(self, ds, engine):
+        probes = {f"p{i}": q for i, q in enumerate(query_batch(ds, 2, seed=5))}
+        report = engine.influence(probes)
+        for label, probe in probes.items():
+            assert report.scores[label] == len(reverse_skyline_by_pruners(ds, probe))
+
+
+class TestConstrainedQueries:
+    def test_where_filters_candidates_only(self, ds, engine):
+        q = query_batch(ds, 1, seed=9)[0]
+        full = set(engine.query(q).record_ids)
+        constrained = engine.query(q, where=lambda r: r[0] == 0)
+        got = set(constrained.record_ids)
+        # Exactly RS(Q) intersected with the predicate.
+        assert got == {rid for rid in full if ds[rid][0] == 0}
+        assert got <= full
+
+    def test_where_true_is_identity(self, ds, engine):
+        q = query_batch(ds, 1, seed=10)[0]
+        assert engine.query(q, where=lambda r: True).record_ids == engine.query(
+            q
+        ).record_ids
+
+
+class TestLatencySummary:
+    def test_percentiles(self, ds):
+        engine = ReverseSkylineEngine(ds, memory_fraction=0.2)
+        for q in query_batch(ds, 5, seed=11):
+            engine.query(q)
+        summary = engine.latency_summary()
+        assert summary["count"] == 5
+        assert 0 <= summary["p50_ms"] <= summary["p90_ms"] <= summary["max_ms"]
+        assert summary["mean_ms"] > 0
+
+    def test_no_queries_yet(self, ds):
+        engine = ReverseSkylineEngine(ds)
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError, match="no logged queries"):
+            engine.latency_summary()
+
+
+class TestObservability:
+    def test_log_and_summary(self, ds, engine):
+        q = query_batch(ds, 1, seed=6)[0]
+        engine.query(q)
+        engine.skyband(q, 2)
+        assert len(engine.log) == 2
+        assert engine.log[0].kind == "reverse-skyline"
+        assert engine.log[1].kind == "reverse-2-skyband"
+        summary = engine.summary()
+        assert summary["queries"] == 2
+        assert summary["total_checks"] > 0
+
+    def test_log_disabled(self, ds):
+        engine = ReverseSkylineEngine(ds, log_queries=False, memory_fraction=0.2)
+        engine.query(query_batch(ds, 1, seed=7)[0])
+        assert engine.log == []
+        assert engine.summary()["queries"] == 1
+
+
+class TestOpen:
+    def test_open_from_disk(self, ds, tmp_path):
+        save_dataset(ds, tmp_path / "d")
+        engine = ReverseSkylineEngine.open(tmp_path / "d", memory_fraction=0.2)
+        q = query_batch(ds, 1, seed=8)[0]
+        assert list(engine.query(q).record_ids) == reverse_skyline_by_pruners(ds, q)

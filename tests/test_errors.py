@@ -1,0 +1,40 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    DissimilarityError,
+    ExperimentError,
+    MemoryBudgetError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+
+ALL_ERRORS = [
+    AlgorithmError,
+    DissimilarityError,
+    ExperimentError,
+    MemoryBudgetError,
+    SchemaError,
+    StorageError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_subclass_of_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_catchable_as_repro_error(exc):
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_library_errors_are_not_builtin_aliases():
+    # Catching ReproError must not swallow unrelated bugs.
+    assert not issubclass(ValueError, ReproError)
+    assert not issubclass(KeyError, ReproError)

@@ -1,0 +1,93 @@
+"""The paper's running example must match Table 1 / Figure 1 exactly."""
+
+import pytest
+
+from repro.data.examples import (
+    DB_LABELS,
+    OS_LABELS,
+    PROCESSOR_LABELS,
+    RUNNING_EXAMPLE_PRUNERS,
+    RUNNING_EXAMPLE_RESULT,
+    running_example,
+    running_example_query,
+)
+from repro.dissim.analysis import analyze_metricity
+from repro.skyline.domination import dominates
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return running_example()
+
+
+def test_six_objects_three_attributes(ds):
+    assert len(ds) == 6
+    assert ds.num_attributes == 3
+    assert ds.schema.names() == ["OS", "Processor", "DB"]
+
+
+def test_duplicates_match_table1(ds):
+    # O1 == O4 and O2 == O5 in Table 1.
+    assert ds[0] == ds[3]
+    assert ds[1] == ds[4]
+    assert ds[0] != ds[5]
+
+
+def test_query_is_msw_intel_db2(ds):
+    q = running_example_query()
+    assert q == (OS_LABELS.index("MSW"), PROCESSOR_LABELS.index("Intel"), DB_LABELS.index("DB2"))
+
+
+def test_figure1_distances(ds):
+    d1, d2, d3 = ds.space.dissims
+    assert d1(d1.value_id("MSW"), d1.value_id("RHL")) == 0.8
+    assert d1(d1.value_id("MSW"), d1.value_id("SL")) == 1.0
+    assert d1(d1.value_id("RHL"), d1.value_id("SL")) == 0.1
+    assert d2(0, 1) == 0.5
+    assert d3(d3.value_id("Informix"), d3.value_id("DB2")) == 0.5
+    assert d3(d3.value_id("Informix"), d3.value_id("Oracle")) == 0.9
+    assert d3(d3.value_id("DB2"), d3.value_id("Oracle")) == 0.4
+
+
+def test_os_distances_are_nonmetric(ds):
+    report = analyze_metricity(ds.space.dissims[0])
+    assert not report.is_metric
+    assert report.triangle_violations > 0
+
+
+def test_pruner_sets_match_table1(ds):
+    """Table 1 column 5: every excluded object's pruners, exactly."""
+    q = running_example_query()
+    for x_id in range(6):
+        pruners = {
+            y_id
+            for y_id in range(6)
+            if y_id != x_id and dominates(ds.space, ds[y_id], q, ds[x_id])
+        }
+        expected = RUNNING_EXAMPLE_PRUNERS.get(x_id, frozenset())
+        assert pruners == expected, f"O{x_id + 1}: {pruners} != {expected}"
+
+
+def test_result_constant_consistent_with_pruners(ds):
+    assert RUNNING_EXAMPLE_RESULT == frozenset(
+        i for i in range(6) if i not in RUNNING_EXAMPLE_PRUNERS
+    )
+
+
+def test_section42_pruning_relationships(ds):
+    """Section 4.2 lists: O1->{O2,O4,O5}, O2->{O5}, O4->{O1,O2,O5}, O5->{O2}."""
+    q = running_example_query()
+    relation = {
+        y_id: {
+            x_id
+            for x_id in range(6)
+            if x_id != y_id and dominates(ds.space, ds[y_id], q, ds[x_id])
+        }
+        for y_id in range(6)
+    }
+    assert relation[0] == {1, 3, 4}
+    assert relation[1] == {4}
+    assert relation[3] == {0, 1, 4}
+    assert relation[4] == {1}
+    assert relation[2] == set()
+    assert relation[5] == set()

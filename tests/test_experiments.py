@@ -1,0 +1,143 @@
+"""Experiment harness: cost model, runner, sweeps, table rendering."""
+
+import pytest
+
+from repro.core.base import CostStats
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import ExperimentError
+from repro.experiments.costmodel import CostModel
+from repro.experiments.runner import compare_algorithms, run_algorithm
+from repro.experiments.sweeps import (
+    ablation_sweep,
+    attrs_sweep,
+    memory_sweep,
+    size_sweep,
+    subset_sweep,
+    values_sweep,
+)
+from repro.experiments.tables import format_measurements, format_table
+from repro.experiments.workloads import queries_for, scale_factor, scaled
+from repro.core.trs import TRS
+from repro.storage.iostats import IoStats
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(400, [8, 6, 7], seed=19)
+
+
+@pytest.fixture(scope="module")
+def queries(ds):
+    return queries_for(ds, 2)
+
+
+class TestCostModel:
+    def test_components_add_up(self):
+        model = CostModel(check_cost_ms=0.001)
+        stats = CostStats(checks_phase1=500, checks_phase2=500)
+        stats.io = IoStats(10, 5, 0, 0)
+        assert model.computation_ms(stats) == pytest.approx(1.0)
+        assert model.io_ms(stats) == pytest.approx(10 * 0.3 + 5 * 8.0)
+        assert model.response_ms(stats) == pytest.approx(
+            model.computation_ms(stats) + model.io_ms(stats)
+        )
+
+
+class TestRunner:
+    def test_run_algorithm_averages(self, ds, queries):
+        algo = TRS(ds, memory_fraction=0.2, page_bytes=128)
+        m = run_algorithm(algo, queries, params={"tag": 1})
+        assert m.algorithm == "TRS"
+        assert m.num_queries == 2
+        assert m.checks > 0
+        assert m.params == {"tag": 1}
+        assert m.checks == pytest.approx(m.checks_phase1 + m.checks_phase2)
+
+    def test_empty_queries_rejected(self, ds):
+        algo = TRS(ds, memory_fraction=0.2, page_bytes=128)
+        with pytest.raises(ExperimentError):
+            run_algorithm(algo, [])
+
+    def test_compare_algorithms_one_row_each(self, ds, queries):
+        rows = compare_algorithms(ds, queries, ("BRS", "TRS"), page_bytes=128)
+        assert [m.algorithm for m in rows] == ["BRS", "TRS"]
+
+    def test_algorithm_kwargs_forwarded(self, ds, queries):
+        rows = compare_algorithms(
+            ds,
+            queries,
+            ("TRS",),
+            page_bytes=128,
+            algorithm_kwargs={"TRS": {"presort": False}},
+        )
+        assert rows[0].checks > 0
+
+
+class TestSweeps:
+    def test_memory_sweep_shape(self, ds, queries):
+        rows = memory_sweep(
+            ds, fractions=(0.1, 0.2), algorithms=("SRS", "TRS"), queries=queries,
+            page_bytes=128,
+        )
+        assert len(rows) == 4
+        assert {m.params["memory"] for m in rows} == {0.1, 0.2}
+
+    def test_size_sweep_records_density(self):
+        rows = size_sweep(
+            sizes=(150, 300), values=6, attrs=3, algorithms=("TRS",),
+            queries_per_point=1, page_bytes=128,
+        )
+        assert len(rows) == 2
+        assert rows[0].params["density"] < rows[1].params["density"]
+
+    def test_values_sweep(self):
+        rows = values_sweep(
+            value_counts=(5, 8), n=200, attrs=3, algorithms=("TRS",),
+            queries_per_point=1, page_bytes=128,
+        )
+        assert {m.params["values"] for m in rows} == {5, 8}
+
+    def test_attrs_sweep(self):
+        rows = attrs_sweep(
+            attr_counts=(2, 3), n=200, values=6, algorithms=("TRS",),
+            queries_per_point=1, page_bytes=128,
+        )
+        assert {m.params["attrs"] for m in rows} == {2, 3}
+
+    def test_subset_sweep_runs_all_variants(self):
+        ds = synthetic_dataset(300, [5] * 4, seed=23)
+        rows = subset_sweep(
+            ds, subsets=[[0, 1], [2, 3]], queries_per_point=1, page_bytes=128
+        )
+        assert len(rows) == 8  # 2 subsets x 4 algorithm variants
+        assert {m.algorithm for m in rows} == {"SRS", "T-SRS", "TRS", "T-TRS"}
+
+    def test_subset_sweep_needs_subsets(self, ds):
+        with pytest.raises(ExperimentError):
+            subset_sweep(ds, subsets=[])
+
+    def test_ablation_sweep_variants(self, ds, queries):
+        rows = ablation_sweep(ds, queries=queries, page_bytes=128)
+        variants = {m.params["variant"] for m in rows}
+        assert variants == {"baseline", "TRS/no-sort", "TRS/no-child-order"}
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [100, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_format_measurements(self, ds, queries):
+        rows = compare_algorithms(ds, queries, ("TRS",), page_bytes=128)
+        text = format_measurements(rows, param_keys=())
+        assert "TRS" in text and "checks" in text
+
+
+class TestWorkloads:
+    def test_scale_factor_positive(self):
+        assert scale_factor() > 0
+
+    def test_scaled_floors(self):
+        assert scaled(10) >= 10 or scaled(10) >= 16

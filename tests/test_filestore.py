@@ -1,0 +1,120 @@
+"""Real file-backed page store: round trips, IO parity with the in-memory
+backend, and end-to-end algorithm equivalence."""
+
+import pytest
+
+from repro.core.brs import BRS
+from repro.core.srs import SRS
+from repro.core.trs import TRS
+from repro.data.queries import query_batch
+from repro.data.schema import Schema
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import StorageError
+from repro.sorting.external import external_sort
+from repro.storage.codec import RecordCodec
+from repro.storage.disk import DiskSimulator, MemoryBudget
+
+
+@pytest.fixture
+def real_disk(tmp_path):
+    return DiskSimulator(page_bytes=64, backing_dir=tmp_path / "pages")
+
+
+class TestFilePageStore:
+    def test_write_read_roundtrip(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("f", codec)
+        with pf.writer() as w:
+            for i in range(10):
+                w.append(i, (i % 5, (i * 2) % 5, (i * 3) % 5))
+        assert pf.num_records == 10
+        back = [entry for _, page in pf.scan() for entry in page]
+        assert back == [(i, (i % 5, (i * 2) % 5, (i * 3) % 5)) for i in range(10)]
+
+    def test_numeric_values_roundtrip(self, tmp_path):
+        ds = mixed_dataset(30, [3], [(0.0, 1.0)], seed=5)
+        disk = DiskSimulator(page_bytes=64, backing_dir=tmp_path / "p")
+        pf = disk.load_dataset(ds)
+        back = [values for _, values in pf.peek_all_records()]
+        assert back == ds.records  # float64 is bit-exact
+
+    def test_stage_entries_charges_no_io(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("g", codec)
+        pf.stage_entries((i, (0, 0, 0)) for i in range(20))
+        assert real_disk.stats.total == 0
+        assert pf.num_records == 20
+
+    def test_io_classification_matches_memory_backend(self, tmp_path):
+        def run(disk):
+            codec = RecordCodec(Schema.categorical([5] * 3))
+            pf = disk.create_file("x", codec)
+            pf.stage_entries((i, (0, 0, 0)) for i in range(20))
+            pf.read_page(0)
+            pf.read_page(1)
+            pf.read_page(4)
+            pf.read_page(0)
+            return disk.stats.snapshot()
+
+        mem = run(DiskSimulator(page_bytes=64))
+        real = run(DiskSimulator(page_bytes=64, backing_dir=tmp_path / "q"))
+        assert (mem.sequential_reads, mem.random_reads) == (
+            real.sequential_reads,
+            real.random_reads,
+        )
+
+    def test_overwrite_page(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("h", codec)
+        pf.write_page(0, [(0, (1, 1, 1)), (1, (2, 2, 2))])
+        pf.write_page(0, [(9, (4, 4, 4))])
+        assert pf.read_page(0) == [(9, (4, 4, 4))]
+        assert pf.num_records == 1
+
+    def test_out_of_range(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("i", codec)
+        with pytest.raises(StorageError):
+            pf.read_page(0)
+        with pytest.raises(StorageError):
+            pf.write_page(3, [])
+
+    def test_capacity_enforced(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("j", codec)
+        too_many = [(i, (0, 0, 0)) for i in range(pf.records_per_page + 1)]
+        with pytest.raises(StorageError):
+            pf.write_page(0, too_many)
+
+    def test_truncate_and_close(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("k", codec)
+        pf.stage_entries((i, (0, 0, 0)) for i in range(8))
+        pf.truncate()
+        assert pf.num_pages == 0 and pf.num_records == 0
+        real_disk.close()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("cls", [BRS, SRS, TRS])
+    def test_algorithms_identical_over_real_files(self, tmp_path, cls):
+        ds = synthetic_dataset(500, [7, 6, 5], seed=141)
+        q = query_batch(ds, 1, seed=3)[0]
+        mem_algo = cls(ds, budget=MemoryBudget(3), page_bytes=128)
+        mem_result = mem_algo.run(q)
+        real_algo = cls(ds, budget=MemoryBudget(3), page_bytes=128)
+        real_algo.backing_dir = tmp_path / "run"
+        real_result = real_algo.run(q)
+        assert real_result.record_ids == mem_result.record_ids
+        assert real_result.stats.checks == mem_result.stats.checks
+        assert real_result.stats.io.sequential == mem_result.stats.io.sequential
+        assert real_result.stats.io.random == mem_result.stats.io.random
+
+    def test_external_sort_over_real_files(self, tmp_path):
+        ds = synthetic_dataset(300, [6, 5, 4], seed=9)
+        disk = DiskSimulator(page_bytes=64, backing_dir=tmp_path / "sortrun")
+        source = disk.load_dataset(ds)
+        out, stats = external_sort(disk, source, MemoryBudget(4), [0, 1, 2])
+        assert [v for _, v in out.peek_all_records()] == sorted(ds.records)
+        assert stats.initial_runs > 1
+        disk.close()

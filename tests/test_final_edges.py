@@ -1,0 +1,81 @@
+"""Last-mile edge coverage: scan offsets, subset caching, ordering edge
+cases, uncertain thresholds, report ordering stability."""
+
+import pytest
+
+from repro.data.queries import query_batch
+from repro.data.schema import Schema
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.experiments.crossover import two_pass_threshold
+from repro.storage.codec import RecordCodec
+from repro.storage.disk import DiskSimulator
+from repro.uncertain.probabilistic import probabilistic_reverse_skyline
+
+
+class TestScanOffsets:
+    def test_scan_from_offset(self):
+        disk = DiskSimulator(64)
+        pf = disk.create_file("f", RecordCodec(Schema.categorical([5] * 3)))
+        with pf.writer() as w:
+            for i in range(12):
+                w.append(i, (0, 0, 0))
+        pages = [pid for pid, _ in pf.scan(start_page=1)]
+        assert pages == [1, 2]
+        records = [rid for pid in pages for rid, _ in pf.read_page(pid)]
+        assert records == list(range(4, 12))
+
+
+class TestSubsetCaching:
+    def test_subset_engines_cached_by_indices(self):
+        ds = synthetic_dataset(120, [5, 4, 3], seed=231)
+        engine = ReverseSkylineEngine(ds, memory_fraction=0.3)
+        projected = ds.project([0, 2])
+        q = projected.records[0]
+        engine.query_subset([0, 2], q)
+        first = engine._subset_engines[(0, 2)]
+        engine.query_subset(["A1", "A3"], q)  # same indices by name
+        assert engine._subset_engines[(0, 2)] is first
+        assert len(engine._subset_engines) == 1
+
+
+class TestCrossoverEdge:
+    def test_single_fraction_grid(self):
+        ds = synthetic_dataset(600, [8, 8], seed=232)
+        point = two_pass_threshold(ds, "TRS", fractions=(0.5,), page_bytes=128)
+        assert list(point.passes_by_fraction) == [0.5]
+
+
+class TestUncertainThresholdEdges:
+    def test_threshold_zero_returns_all_alive(self):
+        ds = synthetic_dataset(30, [4, 4], seed=233)
+        q = query_batch(ds, 1, seed=1)[0]
+        result = probabilistic_reverse_skyline(ds, [0.5] * len(ds), q, threshold=0.0)
+        assert set(result.record_ids) == set(range(len(ds)))
+
+    def test_threshold_one_keeps_only_certain(self):
+        ds = synthetic_dataset(30, [4, 4], seed=233)
+        q = query_batch(ds, 1, seed=1)[0]
+        result = probabilistic_reverse_skyline(ds, [1.0] * len(ds), q, threshold=1.0)
+        from repro.skyline.oracle import reverse_skyline_by_pruners
+
+        assert list(result.record_ids) == reverse_skyline_by_pruners(ds, q)
+
+
+class TestEngineAfterMutationlessReuse:
+    def test_many_queries_share_prepared_state(self):
+        ds = synthetic_dataset(200, [6, 5], seed=234)
+        engine = ReverseSkylineEngine(ds, memory_fraction=0.3)
+        for q in query_batch(ds, 6, seed=5):
+            engine.query(q)
+        assert engine.summary()["queries"] == 6
+        assert engine.summary()["prepared_algorithms"] == ["TRS"]
+
+
+class TestTableFormatterNegative:
+    def test_negative_numbers(self):
+        from repro.experiments.tables import format_table
+
+        text = format_table(["x"], [[-1234.5], [-0.25]])
+        assert "-1,234" in text or "-1,235" in text
+        assert "-0.25" in text

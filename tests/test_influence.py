@@ -1,0 +1,87 @@
+"""Influence analysis over reverse-skyline sizes."""
+
+import pytest
+
+from repro.core.trs import TRS
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import ExperimentError
+from repro.influence.analysis import gini, influence_analysis, self_influence
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(300, [6, 5, 4], seed=44)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            gini([1, -1])
+
+
+class TestInfluenceAnalysis:
+    def test_scores_match_oracle(self, ds):
+        probes = {f"p{i}": q for i, q in enumerate(query_batch(ds, 3, seed=2))}
+        report = influence_analysis(ds, probes, memory_fraction=0.2)
+        for label, probe in probes.items():
+            assert report.scores[label] == len(reverse_skyline_by_pruners(ds, probe))
+
+    def test_sequence_probes_get_labels(self, ds):
+        report = influence_analysis(ds, query_batch(ds, 2, seed=3))
+        assert set(report.scores) == {"probe-0", "probe-1"}
+
+    def test_ranked_descending(self, ds):
+        report = influence_analysis(ds, query_batch(ds, 4, seed=4))
+        scores = [s for _, s in report.ranked()]
+        assert scores == sorted(scores, reverse=True)
+        assert report.top(2) == [label for label, _ in report.ranked()[:2]]
+
+    def test_concentration_bounds(self, ds):
+        report = influence_analysis(ds, query_batch(ds, 4, seed=5))
+        assert 0.0 <= report.concentration(1) <= 1.0
+        assert report.concentration(4) == pytest.approx(1.0)
+
+    def test_accepts_prebuilt_algorithm(self, ds):
+        algo = TRS(ds, memory_fraction=0.2)
+        report = influence_analysis(ds, query_batch(ds, 2, seed=6), algorithm=algo)
+        assert report.total_checks > 0
+
+    def test_empty_probes_rejected(self, ds):
+        with pytest.raises(ExperimentError):
+            influence_analysis(ds, {})
+
+
+class TestSelfInfluence:
+    def test_sampled(self, ds):
+        report = self_influence(ds, sample=[0, 5, 9], memory_fraction=0.2)
+        assert set(report.scores) == {"record-0", "record-5", "record-9"}
+        # An object is always in its own reverse skyline.
+        for rid in (0, 5, 9):
+            assert rid in report.results[f"record-{rid}"].record_ids
+
+    def test_out_of_range_sample(self, ds):
+        with pytest.raises(ExperimentError, match="out of range"):
+            self_influence(ds, sample=[9999])
+
+    def test_matches_direct_queries(self, ds):
+        report = self_influence(ds, sample=[3], memory_fraction=0.2)
+        expected = reverse_skyline_by_pruners(ds, ds[3])
+        assert list(report.results["record-3"].record_ids) == expected

@@ -1,0 +1,84 @@
+"""Persisting physical layouts and engine save/open round-trips."""
+
+import json
+
+import pytest
+
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.errors import StorageError
+from repro.persist.layouts import layout_entries, load_layouts, save_layouts
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(200, [6, 5, 4], seed=151)
+
+
+class TestLayoutFiles:
+    def test_roundtrip(self, ds, tmp_path):
+        ids = list(range(len(ds)))[::-1]
+        save_layouts(tmp_path, {"TRS": ids})
+        assert load_layouts(tmp_path) == {"TRS": ids}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_layouts(tmp_path) == {}
+
+    def test_non_permutation_rejected_on_save(self, tmp_path):
+        with pytest.raises(StorageError, match="permutation"):
+            save_layouts(tmp_path, {"x": [0, 0, 1]})
+
+    def test_corrupt_file(self, tmp_path):
+        (tmp_path / "layouts.json").write_text("{oops")
+        with pytest.raises(StorageError, match="corrupt"):
+            load_layouts(tmp_path)
+
+    def test_non_mapping_file(self, tmp_path):
+        (tmp_path / "layouts.json").write_text(json.dumps([1, 2]))
+        with pytest.raises(StorageError, match="mapping"):
+            load_layouts(tmp_path)
+
+    def test_layout_entries_checks_sync(self, ds):
+        with pytest.raises(StorageError, match="out of sync"):
+            layout_entries(ds, [0, 1, 2])  # wrong length
+
+    def test_layout_entries_materialises(self, ds):
+        ids = list(range(len(ds)))[::-1]
+        entries = layout_entries(ds, ids)
+        assert entries[0] == (len(ds) - 1, ds[len(ds) - 1])
+
+
+class TestEngineSaveOpen:
+    def test_layouts_survive_roundtrip(self, ds, tmp_path):
+        engine = ReverseSkylineEngine(ds, memory_fraction=0.2)
+        q = query_batch(ds, 1, seed=1)[0]
+        engine.query(q)                      # prepares TRS
+        engine.query(q, algorithm="SRS")     # prepares SRS
+        engine.save(tmp_path / "db")
+
+        reopened = ReverseSkylineEngine.open(tmp_path / "db", memory_fraction=0.2)
+        # Both algorithms arrive pre-laid-out (no prepare cost).
+        assert set(reopened._algorithms) >= {"TRS", "SRS"}
+        original = engine._algorithms["TRS"].layout
+        restored = reopened._algorithms["TRS"].layout
+        assert [rid for rid, _ in original] == [rid for rid, _ in restored]
+
+    def test_reopened_engine_answers_correctly(self, ds, tmp_path):
+        engine = ReverseSkylineEngine(ds, memory_fraction=0.2)
+        queries = query_batch(ds, 2, seed=2)
+        engine.query(queries[0])
+        engine.save(tmp_path / "db2")
+        reopened = ReverseSkylineEngine.open(tmp_path / "db2", memory_fraction=0.2)
+        for q in queries:
+            assert list(reopened.query(q).record_ids) == reverse_skyline_by_pruners(
+                ds, q
+            )
+
+    def test_save_without_prepared_algorithms(self, ds, tmp_path):
+        engine = ReverseSkylineEngine(ds)
+        engine.save(tmp_path / "db3")
+        assert load_layouts(tmp_path / "db3") == {}
+        reopened = ReverseSkylineEngine.open(tmp_path / "db3")
+        assert reopened._algorithms == {}

@@ -1,0 +1,92 @@
+"""Small behaviours not covered elsewhere: result types, counters,
+formatting edges, dissimilarity guards."""
+
+import pytest
+
+from repro.core.base import CostStats, RSResult
+from repro.data.synthetic import synthetic_dataset
+from repro.dissim.base import Dissimilarity
+from repro.errors import DissimilarityError
+from repro.experiments.runner import Measurement
+from repro.experiments.tables import format_table
+from repro.storage.iostats import IoCostModel, IoStats
+
+
+class TestRSResult:
+    def test_properties(self):
+        stats = CostStats()
+        r = RSResult("TRS", (1, 2), (5, 3, 9), stats)
+        assert len(r) == 3
+        assert r.result_set == {3, 5, 9}
+        assert r.algorithm == "TRS"
+
+
+class TestCostStats:
+    def test_charge_without_trace_keeps_dict_empty(self):
+        s = CostStats()
+        s.charge_phase1(7, 3, trace=False)
+        s.charge_phase2(7, 2, trace=False)
+        assert s.checks == 5
+        assert s.per_object_phase1 == {} and s.per_object_phase2 == {}
+
+    def test_charge_with_trace_accumulates(self):
+        s = CostStats()
+        s.charge_phase1(7, 3, trace=True)
+        s.charge_phase1(7, 4, trace=True)
+        assert s.per_object_phase1 == {7: 7}
+
+
+class TestMeasurement:
+    def test_as_row(self):
+        m = Measurement(algorithm="TRS", dataset="d", num_queries=1, checks=5.0)
+        assert m.as_row(["algorithm", "checks"]) == ["TRS", 5.0]
+
+
+class TestFormatTable:
+    def test_number_formats(self):
+        text = format_table(
+            ["a"], [[0.0], [1234567.0], [12.345], [0.00123], [42]]
+        )
+        assert "1,234,567" in text
+        assert "12.3" in text
+        assert "0.00123" in text
+        assert "42" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x", "y"], [])
+        assert text.splitlines()[0].strip().startswith("x")
+
+
+class TestDissimilarityBase:
+    def test_check_finite_guards(self):
+        with pytest.raises(DissimilarityError, match="non-finite"):
+            Dissimilarity._check_finite(float("inf"), "ctx")
+        with pytest.raises(DissimilarityError, match="non-finite"):
+            Dissimilarity._check_finite(float("nan"), "ctx")
+        assert Dissimilarity._check_finite(1.5, "ctx") == 1.5
+
+    def test_default_table_is_none(self):
+        class Custom(Dissimilarity):
+            def __call__(self, a, b):
+                return 0.0
+
+        c = Custom()
+        assert c.table() is None
+        assert c.is_zero_reflexive()
+        c.validate_value(object())  # default accepts everything
+
+
+class TestIoCostModelDefaults:
+    def test_plausible_2011_disk(self):
+        model = IoCostModel()
+        # A random page must cost far more than a sequential one.
+        assert model.random_ms > 10 * model.sequential_ms
+        assert model.cost_ms(IoStats()) == 0.0
+
+
+class TestDatasetRepr:
+    def test_repr_and_describe(self):
+        ds = synthetic_dataset(10, [3, 3], seed=1)
+        assert "n=10" in repr(ds)
+        projected = ds.project([0], name="custom")
+        assert projected.name == "custom"

@@ -1,0 +1,92 @@
+"""Shared-scan multi-query TRS."""
+
+import pytest
+
+from repro.core.multiquery import SharedScanTRS
+from repro.core.trs import TRS
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(600, [7, 6, 5], seed=121)
+
+
+@pytest.fixture(scope="module")
+def queries(ds):
+    return query_batch(ds, 4, seed=3)
+
+
+class TestCorrectness:
+    def test_matches_oracle_per_query(self, ds, queries):
+        engine = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = engine.run_batch(queries)
+        for q, ids in zip(out.queries, out.results):
+            assert list(ids) == reverse_skyline_by_pruners(ds, q)
+
+    def test_matches_single_query_trs(self, ds, queries):
+        shared = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = shared.run_batch(queries)
+        solo = TRS(ds, memory_fraction=0.10, page_bytes=128)
+        for q in queries:
+            assert out.result_for(q) == solo.run(q).record_ids
+
+    def test_single_query_batch(self, ds, queries):
+        engine = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = engine.run_batch(queries[:1])
+        assert len(out.results) == 1
+
+    def test_duplicate_queries_in_batch(self, ds, queries):
+        engine = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = engine.run_batch([queries[0], queries[0]])
+        assert out.results[0] == out.results[1]
+
+    def test_tiny_budget(self, ds, queries):
+        engine = SharedScanTRS(ds, budget=MemoryBudget(2), page_bytes=64)
+        out = engine.run_batch(queries[:2])
+        for q, ids in zip(out.queries, out.results):
+            assert list(ids) == reverse_skyline_by_pruners(ds, q)
+
+    def test_empty_batch_rejected(self, ds):
+        with pytest.raises(AlgorithmError):
+            SharedScanTRS(ds).run_batch([])
+
+    def test_result_for_unknown_query(self, ds, queries):
+        engine = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = engine.run_batch(queries[:1])
+        with pytest.raises(AlgorithmError, match="not part"):
+            out.result_for((0, 0, 0) if (0, 0, 0) != queries[0] else (1, 1, 1))
+
+
+class TestSharing:
+    def test_io_far_below_per_query_sum(self, ds, queries):
+        shared = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = shared.run_batch(queries)
+        solo = TRS(ds, memory_fraction=0.10, page_bytes=128)
+        solo_io = sum(solo.run(q).stats.io.total for q in queries)
+        # Shared scans: the batch must cost well under half of k solo runs.
+        assert out.stats.io.total < 0.5 * solo_io
+
+    def test_checks_comparable_to_per_query_sum(self, ds, queries):
+        shared = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = shared.run_batch(queries)
+        solo = TRS(ds, memory_fraction=0.10, page_bytes=128)
+        solo_checks = sum(solo.run(q).stats.checks for q in queries)
+        # Computation is not shared - only IO is. Allow modest deviation
+        # from batching differences.
+        assert out.stats.checks == pytest.approx(solo_checks, rel=0.3)
+
+    def test_per_query_checks_sum_to_total(self, ds, queries):
+        shared = SharedScanTRS(ds, memory_fraction=0.10, page_bytes=128)
+        out = shared.run_batch(queries)
+        assert sum(out.per_query_checks) == out.stats.checks
+
+    def test_two_passes_for_whole_batch(self, ds, queries):
+        shared = SharedScanTRS(ds, memory_fraction=0.20, page_bytes=128)
+        out = shared.run_batch(queries)
+        # All queries answered in two passes total when survivors fit.
+        assert out.stats.db_passes == 2

@@ -1,0 +1,93 @@
+"""Attribute-order strategies and the empirical selector."""
+
+import pytest
+
+from repro.core.ordering import (
+    ORDER_STRATEGIES,
+    OrderChoice,
+    attribute_order_for,
+    choose_attribute_order,
+)
+from repro.core.trs import TRS
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(500, [12, 3, 7, 5], seed=161)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", sorted(ORDER_STRATEGIES))
+    def test_produces_permutation(self, ds, strategy):
+        order = attribute_order_for(ds, strategy)
+        assert sorted(order) == list(range(ds.num_attributes))
+
+    def test_ascending_cardinality(self, ds):
+        assert attribute_order_for(ds, "ascending_cardinality") == [1, 3, 2, 0]
+
+    def test_descending_is_reverse_of_ascending(self, ds):
+        asc = attribute_order_for(ds, "ascending_cardinality")
+        assert attribute_order_for(ds, "descending_cardinality") == asc[::-1]
+
+    def test_schema_order(self, ds):
+        assert attribute_order_for(ds, "schema") == [0, 1, 2, 3]
+
+    def test_entropy_puts_constant_attribute_first(self):
+        base = synthetic_dataset(1, [4, 4], seed=1)
+        ds = base.with_records([(2, i % 4) for i in range(40)])
+        assert attribute_order_for(ds, "ascending_entropy")[0] == 0
+
+    def test_unknown_strategy(self, ds):
+        with pytest.raises(AlgorithmError, match="unknown order strategy"):
+            attribute_order_for(ds, "bogus")
+
+
+class TestChooser:
+    def test_returns_measured_choice(self, ds):
+        choice = choose_attribute_order(ds, sample_records=300)
+        assert isinstance(choice, OrderChoice)
+        assert choice.strategy in choice.measured_checks
+        assert choice.measured_checks[choice.strategy] == min(
+            choice.measured_checks.values()
+        )
+        assert sorted(choice.order) == list(range(ds.num_attributes))
+        ranking = choice.ranking()
+        assert ranking[0][1] <= ranking[-1][1]
+
+    def test_chosen_order_is_correct_end_to_end(self, ds):
+        choice = choose_attribute_order(ds, sample_records=300)
+        algo = TRS(ds, attribute_order=list(choice.order), memory_fraction=0.2,
+                   page_bytes=256)
+        q = query_batch(ds, 1, seed=2)[0]
+        assert list(algo.run(q).record_ids) == reverse_skyline_by_pruners(ds, q)
+
+    def test_ascending_beats_descending_on_typical_data(self, ds):
+        choice = choose_attribute_order(
+            ds,
+            strategies=("ascending_cardinality", "descending_cardinality"),
+            sample_records=400,
+        )
+        checks = choice.measured_checks
+        # The paper's Section 5.1 heuristic: big groups near the root win.
+        assert checks["ascending_cardinality"] <= checks["descending_cardinality"] * 1.2
+
+    def test_identical_orders_measured_once(self, ds):
+        # ascending_cardinality and ascending_observed may coincide; the
+        # selector must still report both strategies.
+        choice = choose_attribute_order(
+            ds,
+            strategies=("ascending_cardinality", "ascending_observed"),
+            sample_records=200,
+        )
+        assert set(choice.measured_checks) == {
+            "ascending_cardinality",
+            "ascending_observed",
+        }
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AlgorithmError):
+            choose_attribute_order(synthetic_dataset(0, [3], seed=1))

@@ -1,0 +1,114 @@
+"""Dataset persistence round-trips."""
+
+import json
+
+import pytest
+
+from repro.data.examples import running_example, running_example_query
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.dissim.numeric import NumericDissimilarity, ScaledDifference
+from repro.errors import StorageError
+from repro.persist.format import load_dataset, save_dataset
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+class TestRoundTrip:
+    def test_categorical(self, tmp_path):
+        ds = synthetic_dataset(120, [5, 7, 3], seed=9)
+        save_dataset(ds, tmp_path / "d")
+        back = load_dataset(tmp_path / "d")
+        assert back.records == ds.records
+        assert back.schema == ds.schema
+        assert back.name == ds.name
+        for i in range(3):
+            assert (back.space[i].matrix == ds.space[i].matrix).all()
+
+    def test_running_example_with_labels(self, tmp_path):
+        ds = running_example()
+        save_dataset(ds, tmp_path / "servers")
+        back = load_dataset(tmp_path / "servers")
+        assert back.schema[0].labels == ds.schema[0].labels
+        # Semantics preserved: same reverse skyline.
+        q = running_example_query()
+        assert reverse_skyline_by_pruners(back, q) == [2, 5]
+
+    def test_mixed_numeric(self, tmp_path):
+        ds = mixed_dataset(50, [4], [(0.0, 10.0)], seed=2)
+        save_dataset(ds, tmp_path / "m")
+        back = load_dataset(tmp_path / "m")
+        assert back.records == pytest.approx(ds.records)
+        assert back.schema[1].is_numeric
+
+    def test_scaled_difference_roundtrip(self, tmp_path):
+        ds = mixed_dataset(20, [3], [(0.0, 1.0)], seed=2)
+        # Swap in a ScaledDifference to exercise its spec.
+        from repro.data.dataset import Dataset
+        from repro.dissim.space import DissimilaritySpace
+
+        space = DissimilaritySpace(
+            [ds.space[0], ScaledDifference(2.5, lo=0.0, hi=1.0)]
+        )
+        ds2 = Dataset(ds.schema, ds.records, space, validate=False)
+        save_dataset(ds2, tmp_path / "s")
+        back = load_dataset(tmp_path / "s")
+        assert back.space[1].weight == 2.5
+        assert back.space[1](0.0, 0.4) == pytest.approx(1.0)
+
+    def test_empty_dataset(self, tmp_path):
+        ds = synthetic_dataset(0, [4], seed=1)
+        save_dataset(ds, tmp_path / "e")
+        back = load_dataset(tmp_path / "e")
+        assert len(back) == 0
+
+
+class TestFailures:
+    def test_custom_callable_rejected(self, tmp_path):
+        ds = mixed_dataset(10, [3], [(0.0, 1.0)], seed=1)
+        from repro.data.dataset import Dataset
+        from repro.dissim.space import DissimilaritySpace
+
+        space = DissimilaritySpace(
+            [ds.space[0], NumericDissimilarity(lambda a, b: abs(a - b) ** 0.5)]
+        )
+        weird = Dataset(ds.schema, ds.records, space, validate=False)
+        with pytest.raises(StorageError, match="declarative"):
+            save_dataset(weird, tmp_path / "x")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError, match="schema.json"):
+            load_dataset(tmp_path / "nope")
+
+    def test_corrupt_schema(self, tmp_path):
+        d = tmp_path / "c"
+        d.mkdir()
+        (d / "schema.json").write_text("{not json")
+        with pytest.raises(StorageError, match="corrupt"):
+            load_dataset(d)
+
+    def test_version_mismatch(self, tmp_path):
+        ds = synthetic_dataset(5, [3], seed=1)
+        save_dataset(ds, tmp_path / "v")
+        meta = json.loads((tmp_path / "v" / "schema.json").read_text())
+        meta["format_version"] = 99
+        (tmp_path / "v" / "schema.json").write_text(json.dumps(meta))
+        with pytest.raises(StorageError, match="version"):
+            load_dataset(tmp_path / "v")
+
+    def test_header_mismatch(self, tmp_path):
+        ds = synthetic_dataset(5, [3, 3], seed=1)
+        save_dataset(ds, tmp_path / "h")
+        csv_path = tmp_path / "h" / "records.csv"
+        lines = csv_path.read_text().splitlines()
+        lines[0] = "wrong,header"
+        csv_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StorageError, match="header"):
+            load_dataset(tmp_path / "h")
+
+    def test_malformed_row(self, tmp_path):
+        ds = synthetic_dataset(5, [3, 3], seed=1)
+        save_dataset(ds, tmp_path / "r")
+        csv_path = tmp_path / "r" / "records.csv"
+        with open(csv_path, "a") as fh:
+            fh.write("1\n")
+        with pytest.raises(StorageError, match="malformed"):
+            load_dataset(tmp_path / "r")

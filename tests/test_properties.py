@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.altree.tree import ALTree
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.dissim.generators import random_dissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.skyline.domination import dominates
+from repro.skyline.dynamic import bnl_skyline, sorted_skyline
+from repro.sorting.keys import sort_records
+from repro.tiling.zorder import z_decode, z_encode
+
+
+# --- strategies -------------------------------------------------------------
+
+@st.composite
+def dataset_and_query(draw, max_records=60, max_attrs=4, max_card=6):
+    m = draw(st.integers(1, max_attrs))
+    cards = [draw(st.integers(2, max_card)) for _ in range(m)]
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(0, max_records))
+    rng = np.random.default_rng(seed)
+    schema = Schema.categorical(cards)
+    space = DissimilaritySpace([random_dissimilarity(c, rng) for c in cards])
+    records = [
+        tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)
+    ]
+    ds = Dataset(schema, records, space, validate=False)
+    query = tuple(int(rng.integers(0, c)) for c in cards)
+    return ds, query
+
+
+# --- domination is a strict partial order per reference object ---------------
+
+@given(dataset_and_query())
+@settings(max_examples=40, deadline=None)
+def test_domination_irreflexive(data):
+    ds, q = data
+    for x in ds.records[:15]:
+        assert not dominates(ds.space, x, x, q)
+
+
+@given(dataset_and_query())
+@settings(max_examples=30, deadline=None)
+def test_domination_antisymmetric(data):
+    ds, q = data
+    records = ds.records[:12]
+    for a in records:
+        for b in records:
+            if dominates(ds.space, a, b, q):
+                assert not dominates(ds.space, b, a, q)
+
+
+@given(dataset_and_query())
+@settings(max_examples=20, deadline=None)
+def test_domination_transitive(data):
+    ds, q = data
+    records = ds.records[:8]
+    for a in records:
+        for b in records:
+            if not dominates(ds.space, a, b, q):
+                continue
+            for c in records:
+                if dominates(ds.space, b, c, q):
+                    assert dominates(ds.space, a, c, q)
+
+
+# --- skyline operators -------------------------------------------------------
+
+@given(dataset_and_query())
+@settings(max_examples=30, deadline=None)
+def test_bnl_equals_sorted_skyline(data):
+    ds, q = data
+    assert bnl_skyline(ds.space, ds.records, q) == sorted_skyline(
+        ds.space, ds.records, q
+    )
+
+
+@given(dataset_and_query())
+@settings(max_examples=30, deadline=None)
+def test_skyline_is_exactly_the_undominated(data):
+    ds, q = data
+    sky = set(bnl_skyline(ds.space, ds.records, q))
+    for i, y in enumerate(ds.records):
+        dominated = any(
+            dominates(ds.space, z, y, q) for j, z in enumerate(ds.records) if j != i
+        )
+        assert (i not in sky) == dominated
+
+
+# --- multi-attribute sort ----------------------------------------------------
+
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)), max_size=60),
+    st.permutations([0, 1, 2]),
+)
+@settings(max_examples=50, deadline=None)
+def test_sort_records_permutation_and_clustered(records, order):
+    out = sort_records(records, order)
+    assert sorted(out) == sorted(records)
+    keys = [tuple(r[i] for i in order) for r in out]
+    assert keys == sorted(keys)
+
+
+# --- AL-Tree -----------------------------------------------------------------
+
+@given(
+    st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)), max_size=80),
+    st.permutations([0, 1, 2]),
+)
+@settings(max_examples=50, deadline=None)
+def test_altree_roundtrip(records, order):
+    tree = ALTree(list(order))
+    for i, r in enumerate(records):
+        tree.insert(i, r)
+    assert tree.num_objects == len(records)
+    assert sorted(tree.iter_entries()) == sorted(enumerate(records))
+    tree.check_invariants()
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=60),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_altree_random_removals_preserve_invariants(records, data):
+    tree = ALTree([0, 1])
+    for i, r in enumerate(records):
+        tree.insert(i, r)
+    alive = dict(enumerate(records))
+    removals = data.draw(
+        st.lists(st.integers(0, len(records) - 1), max_size=len(records))
+    )
+    for rid in removals:
+        if rid in alive:
+            assert tree.remove_object(rid, alive.pop(rid))
+        else:
+            assert not tree.remove_object(rid, records[rid])
+        tree.check_invariants()
+    assert sorted(tree.iter_entries()) == sorted(alive.items())
+
+
+# --- Z-order -----------------------------------------------------------------
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 5),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_zorder_bijective(ndims, bits, data):
+    coords = tuple(
+        data.draw(st.integers(0, (1 << bits) - 1)) for _ in range(ndims)
+    )
+    code = z_encode(coords, bits)
+    assert 0 <= code < (1 << (bits * ndims))
+    assert z_decode(code, ndims, bits) == coords

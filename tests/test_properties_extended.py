@@ -1,0 +1,129 @@
+"""Property-based tests over the extension subsystems: subset queries,
+shared scans, bichromatic queries, numeric discretisation, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bichromatic.query import (
+    bichromatic_reverse_skyline,
+    bichromatic_reverse_skyline_naive,
+)
+from repro.core.multiquery import SharedScanTRS
+from repro.core.numeric import NumericTRS
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.data.synthetic import mixed_dataset
+from repro.dissim.generators import random_dissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.engine import ReverseSkylineEngine
+from repro.persist.format import load_dataset, save_dataset
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+
+
+def build_dataset(seed: int, n: int, cards: list[int]) -> tuple[Dataset, tuple]:
+    rng = np.random.default_rng(seed)
+    schema = Schema.categorical(cards)
+    space = DissimilaritySpace([random_dissimilarity(c, rng) for c in cards])
+    records = [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+    query = tuple(int(rng.integers(0, c)) for c in cards)
+    return Dataset(schema, records, space, validate=False), query
+
+
+@given(
+    st.integers(0, 2**16),
+    st.integers(5, 70),
+    st.lists(st.integers(0, 3), min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=25, deadline=None)
+def test_subset_queries_match_projected_oracle(seed, n, subset_raw):
+    ds, _ = build_dataset(seed, n, [5, 4, 6, 3])
+    subset = [i for i in subset_raw if i < 4]
+    if not subset:
+        subset = [0]
+    engine = ReverseSkylineEngine(ds, memory_fraction=0.3)
+    projected = ds.project(subset)
+    rng = np.random.default_rng(seed + 1)
+    q = tuple(
+        int(rng.integers(0, projected.schema[i].cardinality))
+        for i in range(len(subset))
+    )
+    got = engine.query_subset(subset, q)
+    assert list(got.record_ids) == reverse_skyline_by_pruners(projected, q)
+
+
+@given(st.integers(0, 2**16), st.integers(1, 5), st.integers(0, 60))
+@settings(max_examples=20, deadline=None)
+def test_shared_scan_matches_solo_runs(seed, num_queries, n):
+    ds, _ = build_dataset(seed, n, [5, 4, 3])
+    rng = np.random.default_rng(seed + 2)
+    queries = [
+        tuple(int(rng.integers(0, c)) for c in (5, 4, 3)) for _ in range(num_queries)
+    ]
+    shared = SharedScanTRS(ds, budget=MemoryBudget(3), page_bytes=64)
+    out = shared.run_batch(queries)
+    solo = TRS(ds, budget=MemoryBudget(3), page_bytes=64)
+    for q, ids in zip(out.queries, out.results):
+        assert ids == solo.run(q).record_ids
+
+
+@given(st.integers(0, 2**16), st.integers(0, 50), st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_bichromatic_tree_equals_naive(seed, n_subjects, n_competitors):
+    subjects, q = build_dataset(seed, n_subjects, [4, 5, 3])
+    rng = np.random.default_rng(seed + 3)
+    competitors = subjects.with_records(
+        [
+            tuple(int(rng.integers(0, c)) for c in (4, 5, 3))
+            for _ in range(n_competitors)
+        ]
+    )
+    assert bichromatic_reverse_skyline(
+        subjects, competitors, q
+    ) == bichromatic_reverse_skyline_naive(subjects, competitors, q)
+
+
+@given(st.integers(0, 2**16), st.integers(2, 20), st.integers(5, 90))
+@settings(max_examples=15, deadline=None)
+def test_numeric_trs_bucket_invariance(seed, buckets, n):
+    """The result must not depend on the bucketing granularity."""
+    ds = mixed_dataset(n, [4], [(0.0, 1.0)], seed=seed)
+    rng = np.random.default_rng(seed + 4)
+    q = (int(rng.integers(0, 4)), float(rng.uniform(0, 1)))
+    expected = reverse_skyline_by_pruners(ds, q)
+    algo = NumericTRS(ds, num_buckets=buckets, budget=MemoryBudget(3), page_bytes=64)
+    assert list(algo.run(q).record_ids) == expected
+
+
+@given(st.integers(0, 2**16), st.integers(0, 40))
+@settings(max_examples=15, deadline=None)
+def test_persist_roundtrip_preserves_semantics(seed, n):
+    ds, q = build_dataset(seed, n, [4, 3])
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_dataset(ds, tmp)
+        back = load_dataset(tmp)
+    assert back.records == ds.records
+    assert reverse_skyline_by_pruners(back, q) == reverse_skyline_by_pruners(ds, q)
+
+
+@given(st.integers(0, 2**16), st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_skyband_nesting_property(seed, k):
+    """RSB_k ⊆ RSB_{k+1} for every k, and RSB_1 == RS."""
+    from repro.core.skyband import ReverseSkybandTRS
+
+    ds, q = build_dataset(seed, 45, [4, 4])
+    smaller = ReverseSkybandTRS(ds, k=k, budget=MemoryBudget(2), page_bytes=64)
+    larger = ReverseSkybandTRS(ds, k=k + 1, budget=MemoryBudget(2), page_bytes=64)
+    a = set(smaller.run(q).record_ids)
+    b = set(larger.run(q).record_ids)
+    assert a <= b
+    if k == 1:
+        assert a == set(reverse_skyline_by_pruners(ds, q))

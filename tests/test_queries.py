@@ -1,0 +1,66 @@
+"""Query sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.queries import perturbed_query, query_batch, random_query
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def ds():
+    return synthetic_dataset(60, [5, 7, 3], seed=4)
+
+
+def test_random_query_in_domain(ds, rng):
+    for _ in range(20):
+        ds.validate_query(random_query(ds, rng))
+
+
+def test_random_query_numeric_within_observed_range(rng):
+    ds = mixed_dataset(40, [3], [(2.0, 9.0)], seed=5)
+    column = [r[1] for r in ds.records]
+    for _ in range(10):
+        q = random_query(ds, rng)
+        assert min(column) <= q[1] <= max(column)
+
+
+def test_random_numeric_query_needs_data(rng):
+    ds = mixed_dataset(0, [3], [(0.0, 1.0)], seed=5)
+    with pytest.raises(SchemaError, match="empty"):
+        random_query(ds, rng)
+
+
+def test_perturbed_query_changes_bounded(ds, rng):
+    records = set(ds.records)
+    for _ in range(20):
+        q = perturbed_query(ds, rng, num_changes=1)
+        ds.validate_query(q)
+        # At most one attribute differs from *some* record.
+        diffs = min(sum(a != b for a, b in zip(q, r)) for r in records)
+        assert diffs <= 1
+
+
+def test_perturbed_query_empty_dataset(rng):
+    ds = synthetic_dataset(0, [4], seed=1)
+    with pytest.raises(SchemaError, match="empty"):
+        perturbed_query(ds, rng)
+
+
+def test_perturbed_num_changes_clamped(ds, rng):
+    q = perturbed_query(ds, rng, num_changes=99)
+    ds.validate_query(q)
+
+
+def test_query_batch_reproducible(ds):
+    a = query_batch(ds, 5, seed=3)
+    b = query_batch(ds, 5, seed=3)
+    assert a == b
+    assert len(a) == 5
+
+
+def test_query_batch_unperturbed(ds):
+    batch = query_batch(ds, 4, seed=3, perturbed=False)
+    for q in batch:
+        ds.validate_query(q)

@@ -1,0 +1,79 @@
+"""Real-dataset surrogates must preserve the published density profiles."""
+
+import pytest
+
+from repro.data.realistic import (
+    CENSUS_INCOME_CARDINALITIES,
+    CENSUS_INCOME_ROWS,
+    FOREST_COVER_CARDINALITIES,
+    FOREST_COVER_ROWS,
+    census_income_like,
+    density_preserving_profile,
+    forest_cover_like,
+)
+
+
+def paper_density(rows, cards):
+    size = 1
+    for c in cards:
+        size *= c
+    return rows / size
+
+
+class TestProfileScaling:
+    def test_identity_at_full_scale(self):
+        cards, rows = density_preserving_profile(
+            CENSUS_INCOME_CARDINALITIES, CENSUS_INCOME_ROWS, CENSUS_INCOME_ROWS
+        )
+        assert cards == CENSUS_INCOME_CARDINALITIES
+        assert rows == CENSUS_INCOME_ROWS
+
+    @pytest.mark.parametrize(
+        "cards,rows",
+        [
+            (CENSUS_INCOME_CARDINALITIES, CENSUS_INCOME_ROWS),
+            (FOREST_COVER_CARDINALITIES, FOREST_COVER_ROWS),
+        ],
+    )
+    def test_density_preserved_when_scaling(self, cards, rows):
+        target = paper_density(rows, cards)
+        scaled_cards, scaled_rows = density_preserving_profile(cards, rows, 4000)
+        got = paper_density(scaled_rows, scaled_cards)
+        assert got == pytest.approx(target, rel=0.35)
+        assert scaled_rows <= 4100
+
+    def test_binary_attributes_never_collapse(self):
+        cards, _ = density_preserving_profile(FOREST_COVER_CARDINALITIES, FOREST_COVER_ROWS, 2000)
+        assert all(c >= 2 for c in cards)
+
+    def test_profile_ordering_preserved(self):
+        cards, _ = density_preserving_profile(CENSUS_INCOME_CARDINALITIES, CENSUS_INCOME_ROWS, 3000)
+        # 91 > 53 > 17 > 7 > 5 ordering survives scaling.
+        order = sorted(range(5), key=lambda i: CENSUS_INCOME_CARDINALITIES[i])
+        assert sorted(range(5), key=lambda i: (cards[i], i)) == sorted(
+            order, key=lambda i: (cards[i], i)
+        )
+
+
+class TestSurrogates:
+    def test_ci_is_dense(self):
+        ds = census_income_like()
+        assert ds.num_attributes == 5
+        assert ds.density() == pytest.approx(
+            paper_density(CENSUS_INCOME_ROWS, CENSUS_INCOME_CARDINALITIES), rel=0.35
+        )
+
+    def test_fc_is_sparse_with_seven_attributes(self):
+        ds = forest_cover_like()
+        assert ds.num_attributes == 7
+        assert ds.density() < 0.002  # the paper's "very low" regime
+
+    def test_ci_denser_than_fc(self):
+        assert census_income_like().density() > 10 * forest_cover_like().density()
+
+    def test_reproducible(self):
+        assert census_income_like().records == census_income_like().records
+
+    def test_target_rows_override(self):
+        ds = census_income_like(target_rows=500)
+        assert len(ds) <= 520

@@ -1,0 +1,58 @@
+"""Markdown report aggregation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import generate_report, write_report
+
+
+@pytest.fixture
+def results(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table1_running_example.txt").write_text("=== Table 1 ===\nrows\n")
+    (d / "fig05_io.txt").write_text("=== Figure 5 ===\nio rows\n")
+    (d / "sec55_preprocessing.txt").write_text("=== Section 5.5 ===\nsort rows\n")
+    (d / "ext_skyband.txt").write_text("=== Extension ===\nband rows\n")
+    (d / "zz_custom.txt").write_text("custom artifact\n")
+    return d
+
+
+def test_sections_in_order(results):
+    report = generate_report(results)
+    tables_at = report.index("## Tables")
+    figures_at = report.index("## Figures")
+    sections_at = report.index("## Sections 5.5-6")
+    ext_at = report.index("## Extensions")
+    other_at = report.index("## Other artifacts")
+    assert tables_at < figures_at < sections_at < ext_at < other_at
+    assert "io rows" in report
+    assert "custom artifact" in report
+
+
+def test_write_report(results, tmp_path):
+    out = write_report(results, tmp_path / "REPORT.md")
+    assert out.exists()
+    assert out.read_text().startswith("# Reproduction report")
+
+
+def test_empty_results_dir(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ExperimentError, match="no benchmark artifacts"):
+        generate_report(empty)
+
+
+def test_missing_dir(tmp_path):
+    with pytest.raises(ExperimentError, match="not a directory"):
+        generate_report(tmp_path / "ghost")
+
+
+def test_real_results_render_if_present():
+    import pathlib
+
+    real = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+    if not real.is_dir() or not list(real.glob("*.txt")):
+        pytest.skip("no benchmark artifacts yet")
+    report = generate_report(real)
+    assert "## Figures" in report

@@ -1,0 +1,69 @@
+"""RNN baseline and the RNN ⊆ RS containment (Section 1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.rnn.aggregates import WeightedSum, random_weight_vectors
+from repro.rnn.query import reverse_nearest_neighbors, rnn_union
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(150, [6, 5, 4], seed=31)
+
+
+class TestWeightedSum:
+    def test_distance(self, ds):
+        agg = WeightedSum([1.0, 1.0, 1.0])
+        x, y = ds[0], ds[1]
+        expect = sum(ds.space.d(i, x[i], y[i]) for i in range(3))
+        assert agg.distance(ds.space, x, y) == pytest.approx(expect)
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(AlgorithmError):
+            WeightedSum([])
+        with pytest.raises(AlgorithmError):
+            WeightedSum([1.0, 0.0])
+        with pytest.raises(AlgorithmError):
+            WeightedSum([1.0, -2.0])
+
+    def test_arity_checked(self, ds):
+        agg = WeightedSum([1.0])
+        with pytest.raises(AlgorithmError, match="weights"):
+            agg.distance(ds.space, ds[0], ds[1])
+
+    def test_random_vectors(self):
+        vectors = random_weight_vectors(4, 7, np.random.default_rng(1))
+        assert len(vectors) == 7
+        for w in vectors:
+            assert len(w.weights) == 4
+            assert all(x > 0 for x in w.weights)
+
+
+class TestRNN:
+    def test_rnn_subset_of_rs(self, ds):
+        """The load-bearing theory: for ANY strictly positive weights,
+        RNN(Q, w) ⊆ RS(Q)."""
+        queries = query_batch(ds, 2, seed=3)
+        vectors = random_weight_vectors(3, 5, np.random.default_rng(9))
+        for q in queries:
+            rs = set(reverse_skyline_by_pruners(ds, q))
+            for w in vectors:
+                rnn = set(reverse_nearest_neighbors(ds, q, w))
+                assert rnn <= rs, f"weights {w.weights}"
+
+    def test_union_grows_towards_rs(self, ds):
+        q = query_batch(ds, 1, seed=4)[0]
+        rs = set(reverse_skyline_by_pruners(ds, q))
+        few = rnn_union(ds, q, random_weight_vectors(3, 2, np.random.default_rng(1)))
+        many = rnn_union(ds, q, random_weight_vectors(3, 25, np.random.default_rng(1)))
+        assert few <= many <= rs
+
+    def test_query_equal_to_object_is_its_rnn(self, ds):
+        q = ds[0]
+        rnn = reverse_nearest_neighbors(ds, q, WeightedSum([1.0, 1.0, 1.0]))
+        assert 0 in rnn  # distance 0 cannot be beaten strictly

@@ -1,0 +1,82 @@
+"""Full-lifecycle scenario: generate -> persist -> engine -> every query
+type -> persist layouts -> reopen -> audit. The closest thing to a user's
+first day with the library, as one test module."""
+
+import pytest
+
+from repro.core.skyband import reverse_skyband_naive
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.influence.analysis import influence_analysis
+from repro.persist.format import load_dataset, save_dataset
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+@pytest.fixture(scope="module")
+def home(tmp_path_factory):
+    return tmp_path_factory.mktemp("scenario")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset(350, [7, 5, 6, 4], seed=201)
+
+
+def test_full_lifecycle(home, dataset):
+    # 1. Persist the raw dataset.
+    save_dataset(dataset, home / "db")
+    reloaded = load_dataset(home / "db")
+    assert reloaded.records == dataset.records
+
+    # 2. Open an engine and answer one of each query type.
+    engine = ReverseSkylineEngine.open(home / "db", memory_fraction=0.2)
+    queries = query_batch(reloaded, 3, seed=5)
+
+    rs = engine.query(queries[0])
+    assert list(rs.record_ids) == reverse_skyline_by_pruners(reloaded, queries[0])
+
+    band = engine.skyband(queries[0], k=3)
+    assert list(band.record_ids) == reverse_skyband_naive(reloaded, queries[0], 3)
+    assert set(rs.record_ids) <= set(band.record_ids)
+
+    projected = reloaded.project([1, 3])
+    sub_q = projected.records[7]
+    sub = engine.query_subset(["A2", "A4"], sub_q)
+    assert list(sub.record_ids) == reverse_skyline_by_pruners(projected, sub_q)
+
+    report = engine.influence({f"q{i}": q for i, q in enumerate(queries)})
+    oracle_scores = {
+        f"q{i}": len(reverse_skyline_by_pruners(reloaded, q))
+        for i, q in enumerate(queries)
+    }
+    assert report.scores == oracle_scores
+    assert 0.0 <= report.skew() <= 1.0
+
+    # 3. The query log saw everything.
+    kinds = [e.kind for e in engine.log]
+    assert "reverse-skyline" in kinds
+    assert "reverse-3-skyband" in kinds
+    assert "subset-reverse-skyline" in kinds
+    assert "influence-probe" in kinds
+    latency = engine.latency_summary()
+    assert latency["count"] == len(engine.log)
+
+    # 4. Persist everything (dataset + prepared layouts), reopen, re-verify.
+    engine.save(home / "db")
+    engine2 = ReverseSkylineEngine.open(home / "db", memory_fraction=0.2)
+    assert "TRS" in engine2._algorithms  # layout restored, no re-prepare
+    rs2 = engine2.query(queries[0])
+    assert rs2.record_ids == rs.record_ids
+
+
+def test_same_answers_from_direct_api(home, dataset):
+    """The engine is sugar: the direct algorithm API gives byte-identical
+    answers on the persisted data."""
+    from repro.core.trs import TRS
+
+    reloaded = load_dataset(home / "db")
+    q = query_batch(reloaded, 1, seed=5)[0]
+    direct = TRS(reloaded, memory_fraction=0.2).run(q)
+    engine = ReverseSkylineEngine.open(home / "db", memory_fraction=0.2)
+    assert engine.query(q).record_ids == direct.record_ids

@@ -1,0 +1,114 @@
+"""Schema and Attribute validation."""
+
+import pytest
+
+from repro.data.schema import CATEGORICAL, NUMERIC, Attribute, Schema
+from repro.errors import SchemaError
+
+
+class TestAttribute:
+    def test_categorical_basics(self):
+        a = Attribute("os", cardinality=3, labels=("w", "l", "m"))
+        assert a.is_categorical and not a.is_numeric
+        assert a.label_of(1) == "l"
+        assert a.label_of(99) == "99"  # graceful fallback
+
+    def test_numeric_basics(self):
+        a = Attribute("price", kind=NUMERIC)
+        assert a.is_numeric
+        a.validate_value(3.5)
+        a.validate_value(7)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError, match="unknown attribute kind"):
+            Attribute("x", kind="ordinal")
+
+    def test_categorical_needs_cardinality(self):
+        with pytest.raises(SchemaError, match="cardinality"):
+            Attribute("x", kind=CATEGORICAL)
+
+    def test_numeric_rejects_cardinality(self):
+        with pytest.raises(SchemaError, match="cannot have a cardinality"):
+            Attribute("x", kind=NUMERIC, cardinality=5)
+
+    def test_label_count_checked(self):
+        with pytest.raises(SchemaError, match="labels"):
+            Attribute("x", cardinality=3, labels=("a",))
+
+    def test_categorical_value_validation(self):
+        a = Attribute("x", cardinality=3)
+        a.validate_value(0)
+        a.validate_value(2)
+        with pytest.raises(SchemaError):
+            a.validate_value(3)
+        with pytest.raises(SchemaError):
+            a.validate_value(-1)
+        with pytest.raises(SchemaError):
+            a.validate_value(1.5)
+        with pytest.raises(SchemaError):
+            a.validate_value(True)  # bools are not value ids
+
+    def test_numeric_value_validation(self):
+        a = Attribute("x", kind=NUMERIC)
+        with pytest.raises(SchemaError):
+            a.validate_value("cheap")
+        with pytest.raises(SchemaError):
+            a.validate_value(False)
+
+
+class TestSchema:
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Attribute("x", cardinality=2), Attribute("x", cardinality=3)])
+
+    def test_categorical_shorthand(self):
+        s = Schema.categorical([3, 5, 2])
+        assert s.num_attributes == 3
+        assert s.cardinalities() == [3, 5, 2]
+        assert s.names() == ["A1", "A2", "A3"]
+        assert s.is_fully_categorical()
+
+    def test_categorical_shorthand_with_names(self):
+        s = Schema.categorical([2, 2], names=["os", "db"])
+        assert s.index_of("db") == 1
+
+    def test_shorthand_name_count_mismatch(self):
+        with pytest.raises(SchemaError, match="equal length"):
+            Schema.categorical([2, 2], names=["only-one"])
+
+    def test_index_of_unknown(self):
+        s = Schema.categorical([2])
+        with pytest.raises(SchemaError, match="no attribute named"):
+            s.index_of("ghost")
+
+    def test_record_validation(self):
+        s = Schema.categorical([3, 2])
+        s.validate_record((2, 1))
+        with pytest.raises(SchemaError, match="values"):
+            s.validate_record((1,))
+        with pytest.raises(SchemaError):
+            s.validate_record((3, 0))
+
+    def test_project(self):
+        s = Schema.categorical([3, 5, 2])
+        p = s.project([2, 0])
+        assert p.cardinalities() == [2, 3]
+        with pytest.raises(SchemaError, match="non-empty"):
+            s.project([])
+
+    def test_equality_and_hash(self):
+        a = Schema.categorical([2, 3])
+        b = Schema.categorical([2, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schema.categorical([3, 2])
+
+    def test_iteration(self):
+        s = Schema.categorical([2, 3])
+        kinds = [attr.is_categorical for attr in s]
+        assert kinds == [True, True]
+        assert s[1].cardinality == 3

@@ -1,0 +1,101 @@
+"""Reverse k-skyband (graded influence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skyband import ReverseSkybandTRS, reverse_skyband_naive
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.data.queries import query_batch
+from repro.data.schema import Schema
+from repro.data.synthetic import synthetic_dataset
+from repro.dissim.generators import random_dissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import AlgorithmError
+from repro.storage.disk import MemoryBudget
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(400, [6, 5, 4], seed=91)
+
+
+class TestNaive:
+    def test_k1_equals_reverse_skyline(self, ds):
+        from repro.skyline.oracle import reverse_skyline_by_pruners
+
+        q = query_batch(ds, 1, seed=1)[0]
+        assert reverse_skyband_naive(ds, q, 1) == reverse_skyline_by_pruners(ds, q)
+
+    def test_monotone_in_k(self, ds):
+        q = query_batch(ds, 1, seed=2)[0]
+        previous: set[int] = set()
+        for k in (1, 2, 3, 5, 8):
+            current = set(reverse_skyband_naive(ds, q, k))
+            assert previous <= current
+            previous = current
+
+    def test_k_at_least_n_returns_everything(self, ds):
+        q = query_batch(ds, 1, seed=3)[0]
+        assert reverse_skyband_naive(ds, q, len(ds) + 1) == list(range(len(ds)))
+
+    def test_invalid_k(self, ds):
+        with pytest.raises(AlgorithmError):
+            reverse_skyband_naive(ds, (0, 0, 0), 0)
+
+
+class TestTreeSkyband:
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    def test_matches_naive(self, ds, k):
+        queries = query_batch(ds, 2, seed=4)
+        algo = ReverseSkybandTRS(ds, k=k, budget=MemoryBudget(3), page_bytes=128)
+        for q in queries:
+            assert list(algo.run(q).record_ids) == reverse_skyband_naive(ds, q, k)
+
+    def test_k1_matches_trs(self, ds):
+        q = query_batch(ds, 1, seed=5)[0]
+        band = ReverseSkybandTRS(ds, k=1, budget=MemoryBudget(3), page_bytes=128)
+        trs = TRS(ds, budget=MemoryBudget(3), page_bytes=128)
+        assert band.run(q).record_ids == trs.run(q).record_ids
+
+    def test_duplicate_counting(self):
+        # 5 identical objects: each of them has 4 duplicate pruners (when
+        # the query differs), so they appear exactly for k >= 5.
+        base = synthetic_dataset(1, [3, 3], seed=7)
+        dup = base.with_records([base.records[0]] * 5)
+        q = tuple((v + 1) % 3 for v in base.records[0])
+        for k, expect in ((1, 0), (4, 0), (5, 5), (9, 5)):
+            algo = ReverseSkybandTRS(dup, k=k, budget=MemoryBudget(2), page_bytes=64)
+            assert len(algo.run(q).record_ids) == expect, k
+
+    def test_multibatch(self):
+        ds = synthetic_dataset(1000, [8, 7, 6], seed=8)
+        q = query_batch(ds, 1, seed=9)[0]
+        algo = ReverseSkybandTRS(ds, k=3, memory_fraction=0.05, page_bytes=128)
+        result = algo.run(q)
+        assert result.stats.phase1_batches > 1
+        assert list(result.record_ids) == reverse_skyband_naive(ds, q, 3)
+
+    def test_invalid_k(self, ds):
+        with pytest.raises(AlgorithmError):
+            ReverseSkybandTRS(ds, k=0)
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(0, 2**16),
+    st.integers(5, 60),
+)
+@settings(max_examples=25, deadline=None)
+def test_skyband_property_random(k, seed, n):
+    rng = np.random.default_rng(seed)
+    cards = [4, 3, 5]
+    schema = Schema.categorical(cards)
+    space = DissimilaritySpace([random_dissimilarity(c, rng) for c in cards])
+    records = [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+    ds = Dataset(schema, records, space, validate=False)
+    q = tuple(int(rng.integers(0, c)) for c in cards)
+    algo = ReverseSkybandTRS(ds, k=k, budget=MemoryBudget(2), page_bytes=64)
+    assert list(algo.run(q).record_ids) == reverse_skyband_naive(ds, q, k)

@@ -1,0 +1,122 @@
+"""Domination predicate, dynamic skyline operators, RS oracles."""
+
+import pytest
+
+from repro.data.examples import running_example, running_example_query
+from repro.data.synthetic import synthetic_dataset
+from repro.skyline.domination import dominates, dominates_counted, is_pruner
+from repro.skyline.dynamic import bnl_skyline, sorted_skyline
+from repro.skyline.oracle import (
+    reverse_skyline_by_definition,
+    reverse_skyline_by_pruners,
+)
+
+
+@pytest.fixture(scope="module")
+def example():
+    return running_example(), running_example_query()
+
+
+class TestDomination:
+    def test_paper_example_o1_prunes_o2(self, example):
+        ds, q = example
+        # Section 4: O1 prunes O2 (closer on Processor, equal elsewhere).
+        assert dominates(ds.space, ds[0], q, ds[1])
+
+    def test_irreflexive(self, example):
+        ds, q = example
+        for x in ds.records:
+            assert not dominates(ds.space, x, x, x)
+
+    def test_equal_distance_objects_do_not_dominate(self, example):
+        ds, q = example
+        # O1 and O4 are duplicates: neither dominates the other w.r.t. anything.
+        assert not dominates(ds.space, ds[0], ds[3], ds[5])
+        assert not dominates(ds.space, ds[3], ds[0], ds[5])
+
+    def test_duplicate_dominates_query(self, example):
+        ds, q = example
+        # O4 (duplicate of O1) dominates Q w.r.t. O1 (Table 1: O1 pruned by O4).
+        assert dominates(ds.space, ds[3], q, ds[0])
+
+    def test_counted_early_abort(self, example):
+        ds, q = example
+        # O2 vs O6: fails on the first attribute -> exactly 1 check.
+        ok, checks = dominates_counted(ds.space, ds[1], q, ds[5])
+        assert not ok and checks == 1
+
+    def test_counted_full_pass(self, example):
+        ds, q = example
+        ok, checks = dominates_counted(ds.space, ds[0], q, ds[1])
+        assert ok and checks == 3
+
+    def test_is_pruner_alias(self, example):
+        ds, q = example
+        assert is_pruner(ds.space, ds[0], ds[1], q) == dominates(ds.space, ds[0], q, ds[1])
+
+
+class TestDynamicSkyline:
+    def test_bnl_vs_sorted_agree(self):
+        ds = synthetic_dataset(120, [5, 6, 4], seed=8)
+        for ref in ds.records[:10]:
+            assert bnl_skyline(ds.space, ds.records, ref) == sorted_skyline(
+                ds.space, ds.records, ref
+            )
+
+    def test_skyline_members_not_dominated(self):
+        ds = synthetic_dataset(80, [5, 5], seed=9)
+        ref = ds.records[0]
+        sky = set(bnl_skyline(ds.space, ds.records, ref))
+        for s in sky:
+            for j, z in enumerate(ds.records):
+                if j != s:
+                    assert not dominates(ds.space, z, ds.records[s], ref)
+
+    def test_non_members_are_dominated(self):
+        ds = synthetic_dataset(80, [5, 5], seed=9)
+        ref = ds.records[0]
+        sky = set(bnl_skyline(ds.space, ds.records, ref))
+        for j, y in enumerate(ds.records):
+            if j not in sky:
+                assert any(
+                    dominates(ds.space, z, y, ref)
+                    for k, z in enumerate(ds.records)
+                    if k != j
+                )
+
+    def test_empty_input(self):
+        ds = synthetic_dataset(5, [3, 3], seed=1)
+        assert bnl_skyline(ds.space, [], ds.records[0]) == []
+        assert sorted_skyline(ds.space, [], ds.records[0]) == []
+
+    def test_single_object(self):
+        ds = synthetic_dataset(5, [3, 3], seed=1)
+        assert bnl_skyline(ds.space, ds.records[:1], ds.records[1]) == [0]
+
+
+class TestOracles:
+    def test_running_example(self, example):
+        ds, q = example
+        assert reverse_skyline_by_definition(ds, q) == [2, 5]
+        assert reverse_skyline_by_pruners(ds, q) == [2, 5]
+
+    def test_oracles_agree_on_random_data(self):
+        for seed in (1, 2, 3):
+            ds = synthetic_dataset(60, [4, 5, 3], seed=seed)
+            q = ds.records[0]
+            assert reverse_skyline_by_definition(ds, q) == reverse_skyline_by_pruners(
+                ds, q
+            )
+
+    def test_query_identical_to_all_duplicates(self):
+        # A dataset of pure duplicates: with the query elsewhere, each copy
+        # is pruned by its twin; with the query equal to them, none is.
+        ds = synthetic_dataset(1, [3, 3], seed=1)
+        dup = ds.with_records([ds.records[0]] * 4)
+        q_equal = dup.records[0]
+        assert reverse_skyline_by_pruners(dup, q_equal) == [0, 1, 2, 3]
+
+    def test_empty_dataset(self):
+        ds = synthetic_dataset(0, [3, 3], seed=1)
+        assert reverse_skyline_by_pruners(ds, (0, 0)) == []
+        assert reverse_skyline_by_definition(ds, (0, 0)) == []

@@ -1,0 +1,139 @@
+"""Multi-attribute keys and the external merge sort."""
+
+import pytest
+
+from repro.data.schema import Attribute, NUMERIC, Schema
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import AlgorithmError, MemoryBudgetError
+from repro.sorting.external import external_sort
+from repro.sorting.keys import (
+    ascending_cardinality_order,
+    multiattribute_key,
+    observed_cardinality_order,
+    schema_order,
+    sort_dataset,
+    sort_records,
+)
+from repro.storage.disk import DiskSimulator, MemoryBudget
+
+
+class TestKeys:
+    def test_schema_order(self):
+        assert schema_order(Schema.categorical([2, 3, 4])) == [0, 1, 2]
+
+    def test_ascending_cardinality(self):
+        schema = Schema.categorical([9, 2, 5])
+        assert ascending_cardinality_order(schema) == [1, 2, 0]
+
+    def test_ascending_cardinality_numeric_last(self):
+        schema = Schema(
+            [Attribute("n", kind=NUMERIC), Attribute("c", cardinality=3)]
+        )
+        assert ascending_cardinality_order(schema) == [1, 0]
+
+    def test_observed_cardinality(self):
+        ds = synthetic_dataset(200, [40, 2, 10], seed=1)
+        order = observed_cardinality_order(ds)
+        assert order[0] == 1  # the binary attribute has fewest observed values
+
+    def test_multiattribute_key_clusters(self):
+        key = multiattribute_key([1, 0])
+        assert key((5, 1)) == (1, 5)
+        with pytest.raises(AlgorithmError):
+            multiattribute_key([])
+
+    def test_sort_records_is_lexicographic_in_order(self):
+        records = [(1, 0), (0, 1), (0, 0), (1, 1)]
+        assert sort_records(records, [0, 1]) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert sort_records(records, [1, 0]) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_sort_dataset_clusters_equal_values(self):
+        ds = synthetic_dataset(300, [4, 4], seed=6)
+        out = sort_dataset(ds)
+        values = [r[0] for r in out.records]
+        assert values == sorted(values)
+        assert sorted(out.records) == sorted(ds.records)  # permutation
+
+    def test_sort_dataset_rejects_bad_order(self):
+        ds = synthetic_dataset(10, [4, 4], seed=6)
+        with pytest.raises(AlgorithmError, match="permutation"):
+            sort_dataset(ds, [0, 0])
+
+
+class TestExternalSort:
+    def make_file(self, n=500, cards=(6, 5, 4), page_bytes=64, seed=2):
+        ds = synthetic_dataset(n, list(cards), seed=seed)
+        disk = DiskSimulator(page_bytes)
+        source = disk.load_dataset(ds)
+        return ds, disk, source
+
+    def test_sorted_output_is_permutation(self):
+        ds, disk, source = self.make_file()
+        out, stats = external_sort(disk, source, MemoryBudget(4), [0, 1, 2])
+        entries = out.peek_all_records()
+        assert len(entries) == len(ds)
+        values = [v for _, v in entries]
+        assert values == sorted(ds.records)
+        assert sorted(rid for rid, _ in entries) == list(range(len(ds)))
+
+    def test_stable_for_duplicates(self):
+        ds, disk, source = self.make_file(n=400, cards=(2, 2))
+        out, _ = external_sort(disk, source, MemoryBudget(4), [0, 1])
+        seen: dict[tuple, list[int]] = {}
+        for rid, values in out.peek_all_records():
+            seen.setdefault(values, []).append(rid)
+        for ids in seen.values():
+            assert ids == sorted(ids)
+
+    def test_run_and_merge_accounting(self):
+        ds, disk, source = self.make_file(n=500, page_bytes=64)
+        # 16B records -> 4/page -> 125 pages; budget 4 pages -> ~32 runs.
+        out, stats = external_sort(disk, source, MemoryBudget(4), [0, 1, 2])
+        assert stats.num_records == 500
+        assert stats.initial_runs == 32
+        assert stats.merge_passes >= 2  # fan-in 3 needs multiple passes
+        assert stats.pages_read > 0 and stats.pages_written > 0
+        assert sum(stats.run_lengths) == 500
+
+    def test_single_run_no_merge(self):
+        ds, disk, source = self.make_file(n=50, page_bytes=1024)
+        out, stats = external_sort(disk, source, MemoryBudget(10), [0, 1, 2])
+        assert stats.initial_runs == 1
+        assert stats.merge_passes == 0
+        assert [v for _, v in out.peek_all_records()] == sorted(ds.records)
+
+    def test_empty_source(self):
+        ds, disk, source = self.make_file(n=0)
+        out, stats = external_sort(disk, source, MemoryBudget(2), [0, 1, 2])
+        assert out.num_records == 0
+        assert stats.initial_runs == 0
+
+    def test_output_name_registered(self):
+        ds, disk, source = self.make_file(n=100)
+        out, _ = external_sort(disk, source, MemoryBudget(3), [0, 1, 2], output_name="srt")
+        assert disk.file("srt") is out
+
+    def test_respects_attribute_order(self):
+        ds, disk, source = self.make_file(n=200, cards=(5, 5, 5))
+        out, _ = external_sort(disk, source, MemoryBudget(3), [2, 0, 1])
+        values = [v for _, v in out.peek_all_records()]
+        keys = [(v[2], v[0], v[1]) for v in values]
+        assert keys == sorted(keys)
+
+    def test_one_page_budget_single_run_ok(self):
+        ds, disk, source = self.make_file(n=3, page_bytes=1024)
+        out, stats = external_sort(disk, source, MemoryBudget(1), [0, 1, 2])
+        assert [v for _, v in out.peek_all_records()] == sorted(ds.records)
+
+    def test_one_page_budget_multi_run_fails(self):
+        ds, disk, source = self.make_file(n=500, page_bytes=64)
+        with pytest.raises(MemoryBudgetError):
+            external_sort(disk, source, MemoryBudget(1), [0, 1, 2])
+
+    def test_mixed_numeric_sorting(self):
+        ds = mixed_dataset(150, [4], [(0.0, 1.0)], seed=3)
+        disk = DiskSimulator(64)
+        source = disk.load_dataset(ds)
+        out, _ = external_sort(disk, source, MemoryBudget(3), [0, 1])
+        values = [v for _, v in out.peek_all_records()]
+        assert values == sorted(ds.records)

@@ -1,0 +1,200 @@
+"""Storage substrate: codec, page files, IO classification, budgets."""
+
+import pytest
+
+from repro.data.schema import Attribute, NUMERIC, Schema
+from repro.data.synthetic import synthetic_dataset
+from repro.errors import MemoryBudgetError, StorageError
+from repro.storage.codec import RecordCodec
+from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
+from repro.storage.iostats import IoCostModel, IoStats
+
+
+class TestCodec:
+    def test_record_bytes_categorical(self):
+        codec = RecordCodec(Schema.categorical([5, 5, 5]))
+        assert codec.record_bytes == 4 + 3 * 4
+
+    def test_record_bytes_mixed(self):
+        schema = Schema([Attribute("c", cardinality=3), Attribute("n", kind=NUMERIC)])
+        codec = RecordCodec(schema)
+        assert codec.record_bytes == 4 + 4 + 8
+
+    def test_records_per_page(self):
+        codec = RecordCodec(Schema.categorical([5] * 3))  # 16B records
+        assert codec.records_per_page(DEFAULT_PAGE_BYTES) == 2048
+        assert codec.records_per_page(16) == 1
+
+    def test_page_too_small(self):
+        codec = RecordCodec(Schema.categorical([5] * 10))
+        with pytest.raises(StorageError, match="cannot hold"):
+            codec.records_per_page(16)
+
+    def test_pages_for(self):
+        codec = RecordCodec(Schema.categorical([5] * 3))  # 16B -> 4/page at 64B
+        assert codec.pages_for(0, 64) == 0
+        assert codec.pages_for(4, 64) == 1
+        assert codec.pages_for(5, 64) == 2
+
+    def test_negative_count(self):
+        codec = RecordCodec(Schema.categorical([5]))
+        with pytest.raises(StorageError):
+            codec.dataset_bytes(-1)
+
+
+class TestIoStats:
+    def test_totals(self):
+        s = IoStats(1, 2, 3, 4)
+        assert s.sequential == 4 and s.random == 6 and s.total == 10
+
+    def test_snapshot_delta(self):
+        s = IoStats(5, 5, 0, 0)
+        before = s.snapshot()
+        s.sequential_reads += 3
+        delta = s.delta(before)
+        assert delta.sequential_reads == 3 and delta.random_reads == 0
+
+    def test_reset_and_add(self):
+        s = IoStats(1, 1, 1, 1)
+        total = s + IoStats(1, 0, 0, 0)
+        assert total.sequential_reads == 2
+        s.reset()
+        assert s.total == 0
+
+    def test_cost_model(self):
+        model = IoCostModel(sequential_ms=1.0, random_ms=10.0)
+        assert model.cost_ms(IoStats(2, 3, 0, 0)) == 2 + 30
+
+
+class TestPageFile:
+    def make_disk(self, page_bytes=64):
+        disk = DiskSimulator(page_bytes)
+        codec = RecordCodec(Schema.categorical([5] * 3))  # 16B -> 4 rec/page
+        return disk, disk.create_file("f", codec)
+
+    def test_writer_packs_full_pages(self):
+        disk, pf = self.make_disk()
+        with pf.writer() as w:
+            for i in range(10):
+                w.append(i, (0, 0, 0))
+        assert pf.num_pages == 3
+        assert pf.num_records == 10
+        assert [rid for rid, _ in pf.peek_all_records()] == list(range(10))
+
+    def test_sequential_vs_random_classification(self):
+        disk, pf = self.make_disk()
+        with pf.writer() as w:
+            for i in range(12):
+                w.append(i, (0, 0, 0))
+        disk.stats.reset()
+        pf.read_page(0)  # random (first access)
+        pf.read_page(1)  # sequential
+        pf.read_page(2)  # sequential
+        pf.read_page(0)  # random (backwards)
+        assert disk.stats.random_reads == 2
+        assert disk.stats.sequential_reads == 2
+
+    def test_switching_files_breaks_sequentiality(self):
+        disk = DiskSimulator(64)
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        a = disk.create_file("a", codec)
+        b = disk.create_file("b", codec)
+        for f in (a, b):
+            with f.writer() as w:
+                for i in range(8):
+                    w.append(i, (0, 0, 0))
+        disk.stats.reset()
+        a.read_page(0)
+        b.read_page(0)
+        a.read_page(1)  # would be sequential, but the head moved to b
+        assert disk.stats.random_reads == 3
+
+    def test_out_of_range_page(self):
+        disk, pf = self.make_disk()
+        with pytest.raises(StorageError, match="out of range"):
+            pf.read_page(0)
+        with pytest.raises(StorageError, match="out of range"):
+            pf.write_page(5, [])
+
+    def test_page_overflow_rejected(self):
+        disk, pf = self.make_disk()
+        too_many = [(i, (0, 0, 0)) for i in range(5)]
+        with pytest.raises(StorageError, match="capacity"):
+            pf.write_page(0, too_many)
+
+    def test_scan_yields_everything_in_order(self):
+        disk, pf = self.make_disk()
+        with pf.writer() as w:
+            for i in range(9):
+                w.append(i, (i % 5, 0, 0))
+        seen = [rid for rid, _ in pf.scan_records()]
+        assert seen == list(range(9))
+
+    def test_truncate(self):
+        disk, pf = self.make_disk()
+        with pf.writer() as w:
+            w.append(0, (0, 0, 0))
+        pf.truncate()
+        assert pf.num_pages == 0 and pf.num_records == 0
+
+    def test_closed_writer_rejects_appends(self):
+        disk, pf = self.make_disk()
+        w = pf.writer()
+        w.close()
+        with pytest.raises(StorageError, match="closed"):
+            w.append(0, (0, 0, 0))
+
+
+class TestDiskSimulator:
+    def test_duplicate_file_name(self):
+        disk = DiskSimulator()
+        codec = RecordCodec(Schema.categorical([2]))
+        disk.create_file("x", codec)
+        with pytest.raises(StorageError, match="exists"):
+            disk.create_file("x", codec)
+
+    def test_unknown_file(self):
+        with pytest.raises(StorageError, match="no file"):
+            DiskSimulator().file("ghost")
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(StorageError):
+            DiskSimulator(4)
+
+    def test_load_dataset_free_and_complete(self):
+        ds = synthetic_dataset(100, [5, 5], seed=1)
+        disk = DiskSimulator(64)
+        pf = disk.load_dataset(ds)
+        assert disk.stats.total == 0  # staging charges no IO
+        assert pf.num_records == 100
+        assert [r for _, r in pf.peek_all_records()] == ds.records
+
+
+class TestMemoryBudget:
+    def test_minimum_one_page(self):
+        with pytest.raises(MemoryBudgetError):
+            MemoryBudget(0)
+
+    def test_fraction_of(self):
+        ds = synthetic_dataset(1000, [5, 5], seed=1)  # 12B records
+        budget = MemoryBudget.fraction_of(ds, 0.10, page_bytes=120)  # 100 pages
+        assert budget.pages == 10
+
+    def test_fraction_minimum(self):
+        ds = synthetic_dataset(10, [5, 5], seed=1)
+        budget = MemoryBudget.fraction_of(ds, 0.01, page_bytes=120, minimum_pages=2)
+        assert budget.pages == 2
+
+    def test_bad_fraction(self):
+        ds = synthetic_dataset(10, [5, 5], seed=1)
+        with pytest.raises(MemoryBudgetError):
+            MemoryBudget.fraction_of(ds, 0.0)
+
+    def test_second_phase_split(self):
+        assert MemoryBudget(5).split_for_second_phase() == (1, 4)
+        with pytest.raises(MemoryBudgetError, match="2 pages"):
+            MemoryBudget(1).split_for_second_phase()
+
+    def test_records_capacity(self):
+        codec = RecordCodec(Schema.categorical([5, 5]))  # 12B
+        assert MemoryBudget(3).records_capacity(codec, 120) == 30

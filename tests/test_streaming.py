@@ -1,0 +1,127 @@
+"""Streaming reverse-skyline maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.streaming.window import StreamingReverseSkyline
+
+
+def make_stream(seed=61, cards=(5, 4, 3)):
+    ds = synthetic_dataset(0, list(cards), seed=seed)
+    rng = np.random.default_rng(seed)
+    query = tuple(int(rng.integers(0, c)) for c in cards)
+    return ds, query, rng
+
+
+class TestBasics:
+    def test_insert_and_result(self):
+        ds, query, rng = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        ids = win.extend(
+            tuple(int(rng.integers(0, c)) for c in (5, 4, 3)) for _ in range(50)
+        )
+        assert len(win) == 50
+        assert win.result() == win.recompute_naive()
+        assert all(i in win for i in ids)
+
+    def test_expire_restores_members(self):
+        ds, query, rng = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        for _ in range(60):
+            win.insert(tuple(int(rng.integers(0, c)) for c in (5, 4, 3)))
+        while len(win) > 10:
+            win.expire_oldest()
+            assert win.result() == win.recompute_naive()
+
+    def test_capacity_slides(self):
+        ds, query, rng = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query, capacity=20)
+        first = win.insert((0, 0, 0))
+        for _ in range(25):
+            win.insert(tuple(int(rng.integers(0, c)) for c in (5, 4, 3)))
+        assert len(win) == 20
+        assert first not in win
+        assert win.result() == win.recompute_naive()
+
+    def test_duplicates_prune_each_other(self):
+        ds, query, _ = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        other = tuple((v + 1) % c for v, c in zip(query, (5, 4, 3)))
+        a = win.insert(other)
+        assert win.result() == [a]
+        b = win.insert(other)
+        # Twins at nonzero query distance prune each other.
+        assert win.result() == []
+        win.expire_oldest()
+        assert win.result() == [b]
+
+    def test_query_valued_objects_never_pruned(self):
+        ds, query, rng = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        qid = win.insert(query)
+        for _ in range(30):
+            win.insert(tuple(int(rng.integers(0, c)) for c in (5, 4, 3)))
+        assert qid in set(win.result())
+
+    def test_pruner_count_accessor(self):
+        ds, query, _ = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        oid = win.insert((0, 0, 0))
+        assert win.pruner_count(oid) == 0
+        with pytest.raises(AlgorithmError, match="not in the window"):
+            win.pruner_count(999)
+
+
+class TestValidation:
+    def test_empty_expire(self):
+        ds, query, _ = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        with pytest.raises(AlgorithmError, match="empty"):
+            win.expire_oldest()
+
+    def test_bad_capacity(self):
+        ds, query, _ = make_stream()
+        with pytest.raises(AlgorithmError):
+            StreamingReverseSkyline(ds.schema, ds.space, query, capacity=0)
+
+    def test_numeric_schema_rejected(self):
+        ds = mixed_dataset(5, [3], [(0.0, 1.0)], seed=1)
+        with pytest.raises(AlgorithmError, match="categorical"):
+            StreamingReverseSkyline(ds.schema, ds.space, (0, 0.5))
+
+    def test_invalid_record_rejected(self):
+        ds, query, _ = make_stream()
+        win = StreamingReverseSkyline(ds.schema, ds.space, query)
+        with pytest.raises(Exception):
+            win.insert((99, 0, 0))
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.integers(0, 3), st.integers(0, 2)),  # insert
+            st.just("expire"),
+        ),
+        max_size=80,
+    ),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_operation_sequences_match_naive(ops, seed):
+    """After ANY insert/expire sequence, the incremental result equals a
+    from-scratch recomputation."""
+    ds = synthetic_dataset(0, [4, 3], seed=seed)
+    rng = np.random.default_rng(seed)
+    query = (int(rng.integers(0, 4)), int(rng.integers(0, 3)))
+    win = StreamingReverseSkyline(ds.schema, ds.space, query)
+    for op in ops:
+        if op == "expire":
+            if len(win):
+                win.expire_oldest()
+        else:
+            win.insert(op)
+    assert win.result() == win.recompute_naive()

@@ -1,0 +1,101 @@
+"""Synthetic data generators (Section 5.2 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    NORMAL,
+    UNIFORM,
+    ZIPF,
+    mixed_dataset,
+    normal_value_sampler,
+    synthetic_dataset,
+)
+from repro.errors import SchemaError
+
+
+class TestNormalSampler:
+    def test_values_in_domain(self, rng):
+        sample = normal_value_sampler(11, rng)
+        draws = [sample() for _ in range(500)]
+        assert all(0 <= d < 11 for d in draws)
+
+    def test_concentrated_around_middle(self, rng):
+        # variance 3 over 11 values: the middle index must dominate.
+        sample = normal_value_sampler(11, rng)
+        draws = [sample() for _ in range(3000)]
+        counts = np.bincount(draws, minlength=11)
+        assert counts[5] > counts[0] * 3
+        assert counts[5] > counts[10] * 3
+
+    def test_single_value_domain(self, rng):
+        sample = normal_value_sampler(1, rng)
+        assert sample() == 0
+
+
+class TestSyntheticDataset:
+    def test_shape(self):
+        ds = synthetic_dataset(100, [5, 7, 3], seed=1)
+        assert len(ds) == 100
+        assert ds.num_attributes == 3
+        for r in ds.records:
+            ds.schema.validate_record(r)
+
+    def test_reproducible(self):
+        a = synthetic_dataset(50, [5, 5], seed=9)
+        b = synthetic_dataset(50, [5, 5], seed=9)
+        assert a.records == b.records
+        assert (a.space[0].matrix == b.space[0].matrix).all()
+
+    def test_different_seeds_differ(self):
+        a = synthetic_dataset(50, [5, 5], seed=9)
+        b = synthetic_dataset(50, [5, 5], seed=10)
+        assert a.records != b.records
+
+    def test_empty(self):
+        ds = synthetic_dataset(0, [4], seed=1)
+        assert len(ds) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            synthetic_dataset(-1, [4])
+
+    def test_unknown_distribution(self):
+        with pytest.raises(SchemaError, match="unknown distribution"):
+            synthetic_dataset(10, [4], distribution="cauchy")
+
+    def test_normal_marginal_is_centered(self):
+        ds = synthetic_dataset(4000, [21], seed=3, distribution=NORMAL)
+        values = [r[0] for r in ds.records]
+        counts = np.bincount(values, minlength=21)
+        # Middle bucket must beat the tails decisively.
+        assert counts[10] > counts[0] * 2
+        assert counts[10] > counts[20] * 2
+
+    def test_uniform_marginal_is_flat(self):
+        ds = synthetic_dataset(8000, [8], seed=3, distribution=UNIFORM)
+        counts = np.bincount([r[0] for r in ds.records], minlength=8)
+        assert counts.min() > 0.7 * counts.mean()
+
+    def test_zipf_marginal_is_skewed(self):
+        ds = synthetic_dataset(8000, [10], seed=3, distribution=ZIPF)
+        counts = np.bincount([r[0] for r in ds.records], minlength=10)
+        assert counts.max() > 4 * np.median(counts)
+
+
+class TestMixedDataset:
+    def test_schema_layout(self):
+        ds = mixed_dataset(30, [4, 3], [(0.0, 10.0)], seed=2)
+        assert ds.num_attributes == 3
+        assert ds.schema[0].is_categorical
+        assert ds.schema[2].is_numeric
+        for r in ds.records:
+            assert 0.0 <= r[2] <= 10.0
+
+    def test_empty_numeric_range_rejected(self):
+        with pytest.raises(SchemaError, match="empty"):
+            mixed_dataset(10, [3], [(5.0, 5.0)])
+
+    def test_queries_validate(self):
+        ds = mixed_dataset(30, [4], [(0.0, 1.0)], seed=2)
+        ds.validate_query((2, 0.5))

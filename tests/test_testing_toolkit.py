@@ -1,0 +1,101 @@
+"""The public verification toolkit itself."""
+
+import pytest
+
+from repro.core.brs import BRS
+from repro.core.naive import NaiveRS
+from repro.core.srs import SRS
+from repro.core.tiled import TSRS, TTRS
+from repro.core.trs import TRS
+from repro.errors import ExperimentError
+from repro.testing.verify import random_workload, verify_algorithm
+
+
+class TestRandomWorkload:
+    def test_reproducible(self):
+        a = random_workload(42)
+        b = random_workload(42)
+        assert a.dataset.records == b.dataset.records
+        assert a.query == b.query
+        assert a.budget_pages == b.budget_pages
+
+    def test_page_fits_a_record(self):
+        for seed in range(30):
+            case = random_workload(seed)
+            record_bytes = 4 + 4 * case.dataset.num_attributes
+            assert case.page_bytes >= record_bytes
+
+    def test_describe_mentions_seed(self):
+        assert "seed=7" in random_workload(7).describe()
+
+
+class TestVerifyAlgorithm:
+    @pytest.mark.parametrize("cls", [NaiveRS, BRS, SRS, TRS, TSRS, TTRS])
+    def test_all_production_algorithms_verify(self, cls):
+        report = verify_algorithm(
+            lambda ds, budget, page: cls(ds, budget=budget, page_bytes=page),
+            trials=20,
+            seed=1000,
+        )
+        assert report.ok, str(report.failures[0])
+        assert report.trials == 20
+
+    def test_oracle_cross_check(self):
+        report = verify_algorithm(
+            lambda ds, budget, page: TRS(ds, budget=budget, page_bytes=page),
+            trials=8,
+            seed=2000,
+            check_definition_oracle=True,
+        )
+        assert report.ok
+
+    def test_catches_a_broken_algorithm(self):
+        class BrokenTRS(TRS):
+            def _execute(self, disk, data_file, query, stats):
+                ids = super()._execute(disk, data_file, query, stats)
+                return ids[1:]  # drop a result
+
+        report = verify_algorithm(
+            lambda ds, budget, page: BrokenTRS(ds, budget=budget, page_bytes=page),
+            trials=40,
+            seed=3000,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.got is not None
+        assert set(failure.got) < set(failure.expected)
+        assert "missing" in str(failure)
+
+    def test_catches_a_crashing_algorithm(self):
+        class CrashingTRS(TRS):
+            def _execute(self, disk, data_file, query, stats):
+                raise RuntimeError("kaboom")
+
+        report = verify_algorithm(
+            lambda ds, budget, page: CrashingTRS(ds, budget=budget, page_bytes=page),
+            trials=3,
+            seed=4000,
+        )
+        assert not report.ok
+        assert "kaboom" in report.failures[0].error
+        assert "raised" in str(report.failures[0])
+
+    def test_max_failures_caps_work(self):
+        class AlwaysWrong(TRS):
+            def _execute(self, disk, data_file, query, stats):
+                return []
+
+        report = verify_algorithm(
+            lambda ds, budget, page: AlwaysWrong(ds, budget=budget, page_bytes=page),
+            trials=50,
+            seed=5000,
+            max_failures=3,
+        )
+        # Empty results are wrong only when the expected set is non-empty,
+        # so a few trials may pass; the cap must still bound the failures.
+        assert len(report.failures) == 3
+        assert report.trials <= 50
+
+    def test_invalid_trials(self):
+        with pytest.raises(ExperimentError):
+            verify_algorithm(lambda *a: None, trials=0)

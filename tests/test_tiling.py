@@ -1,0 +1,121 @@
+"""Z-order curve and multi-dimensional tiling."""
+
+import pytest
+
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.tiling.order import tile_order_dataset
+from repro.tiling.tiles import TileGrid
+from repro.tiling.zorder import bits_needed, z_decode, z_encode
+
+
+class TestZOrder:
+    def test_roundtrip_2d(self):
+        for x in range(8):
+            for y in range(8):
+                code = z_encode((x, y), 3)
+                assert z_decode(code, 2, 3) == (x, y)
+
+    def test_roundtrip_high_dim(self):
+        coords = (3, 1, 0, 2, 3)
+        assert z_decode(z_encode(coords, 2), 5, 2) == coords
+
+    def test_bijection_2d(self):
+        codes = {z_encode((x, y), 2) for x in range(4) for y in range(4)}
+        assert len(codes) == 16
+        assert codes == set(range(16))
+
+    def test_locality_first_quadrant_contiguous(self):
+        # The 2x2 block at the origin occupies Morton codes 0..3.
+        block = {z_encode((x, y), 2) for x in range(2) for y in range(2)}
+        assert block == {0, 1, 2, 3}
+
+    def test_out_of_range_coordinate(self):
+        with pytest.raises(AlgorithmError, match="fit"):
+            z_encode((4,), 2)
+
+    def test_empty_coords(self):
+        with pytest.raises(AlgorithmError):
+            z_encode((), 2)
+
+    def test_bits_needed(self):
+        assert bits_needed(0) == 1
+        assert bits_needed(1) == 1
+        assert bits_needed(7) == 3
+        assert bits_needed(8) == 4
+        with pytest.raises(AlgorithmError):
+            bits_needed(-1)
+
+
+class TestTileGrid:
+    def test_categorical_striping(self):
+        ds = synthetic_dataset(20, [8, 4], seed=1)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
+        assert grid.tile_of((0, 0)) == (0, 0)
+        assert grid.tile_of((7, 3)) == (3, 3)
+        assert grid.tile_of((4, 2)) == (2, 2)
+
+    def test_small_domain_clamped(self):
+        ds = synthetic_dataset(20, [2, 16], seed=1)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
+        assert grid.num_tiles == 2 * 4
+        assert grid.tile_of((1, 15)) == (1, 3)
+
+    def test_numeric_bounds_derived(self):
+        ds = mixed_dataset(50, [4], [(0.0, 10.0)], seed=2)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
+        column = [r[1] for r in ds.records]
+        lo_tile = grid.tile_of((0, min(column)))[1]
+        hi_tile = grid.tile_of((0, max(column)))[1]
+        assert lo_tile == 0
+        assert hi_tile == 3
+
+    def test_numeric_out_of_bounds_clamped(self):
+        ds = mixed_dataset(50, [4], [(0.0, 10.0)], seed=2)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
+        assert grid.tile_of((0, -99.0))[1] == 0
+        assert grid.tile_of((0, 99.0))[1] == 3
+
+    def test_numeric_needs_bounds(self):
+        ds = mixed_dataset(10, [4], [(0.0, 1.0)], seed=2)
+        with pytest.raises(AlgorithmError, match="bounds"):
+            TileGrid(ds.schema, 4)
+
+    def test_zero_tiles_rejected(self):
+        ds = synthetic_dataset(5, [4], seed=1)
+        with pytest.raises(AlgorithmError):
+            TileGrid(ds.schema, 0)
+
+    def test_z_index_consistent_with_tile(self):
+        ds = synthetic_dataset(100, [8, 8], seed=3)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
+        for r in ds.records[:20]:
+            assert grid.z_index(r) == z_encode(grid.tile_of(r), 2)
+
+
+class TestTileOrderDataset:
+    def test_is_permutation(self):
+        ds = synthetic_dataset(200, [8, 8, 4], seed=4)
+        out = tile_order_dataset(ds, tiles_per_dim=2)
+        assert sorted(out.records) == sorted(ds.records)
+
+    def test_tiles_are_contiguous(self):
+        ds = synthetic_dataset(300, [8, 8], seed=4)
+        out = tile_order_dataset(ds, tiles_per_dim=2)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=2)
+        zs = [grid.z_index(r) for r in out.records]
+        assert zs == sorted(zs)
+
+    def test_sorted_within_tile(self):
+        ds = synthetic_dataset(300, [8, 8], seed=4)
+        out = tile_order_dataset(ds, tiles_per_dim=2)
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=2)
+        current = None
+        prev = None
+        for r in out.records:
+            z = grid.z_index(r)
+            if z != current:
+                current, prev = z, None
+            if prev is not None:
+                assert r >= prev
+            prev = r

@@ -1,0 +1,95 @@
+"""AL-Tree-accelerated skyline and top-k (the paper's cited substrates)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.skyline.dynamic import bnl_skyline
+from repro.skyline.treeops import tree_skyline, tree_top_k
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(250, [6, 5, 4], seed=71)
+
+
+class TestTreeSkyline:
+    def test_matches_bnl(self, ds):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            ref = tuple(int(rng.integers(0, c)) for c in (6, 5, 4))
+            assert tree_skyline(ds.space, ds.records, ref) == bnl_skyline(
+                ds.space, ds.records, ref
+            )
+
+    def test_duplicate_heavy(self):
+        base = synthetic_dataset(1, [3, 3], seed=2)
+        records = [base.records[0]] * 10 + [(0, 0), (1, 1), (2, 2)]
+        ref = (1, 0)
+        assert tree_skyline(base.space, records, ref) == bnl_skyline(
+            base.space, records, ref
+        )
+
+    def test_empty(self, ds):
+        assert tree_skyline(ds.space, [], (0, 0, 0)) == []
+
+    def test_explicit_order(self, ds):
+        ref = (2, 2, 2)
+        assert tree_skyline(
+            ds.space, ds.records, ref, attribute_order=[2, 1, 0]
+        ) == bnl_skyline(ds.space, ds.records, ref)
+
+    def test_rejects_numeric(self):
+        ds = mixed_dataset(10, [3], [(0.0, 1.0)], seed=1)
+        with pytest.raises(AlgorithmError, match="categorical"):
+            tree_skyline(ds.space, ds.records, (0, 0.5))
+
+
+class TestTreeTopK:
+    def exhaustive(self, space, records, ref, weights, k):
+        scored = sorted(
+            (
+                sum(
+                    w * space.d(i, ref[i], r[i])
+                    for i, w in enumerate(weights)
+                ),
+                rid,
+            )
+            for rid, r in enumerate(records)
+        )
+        return [(rid, score) for score, rid in scored[:k]]
+
+    def test_matches_exhaustive_scores(self, ds):
+        rng = np.random.default_rng(8)
+        weights = [0.5, 0.3, 0.2]
+        for _ in range(4):
+            ref = tuple(int(rng.integers(0, c)) for c in (6, 5, 4))
+            got = tree_top_k(ds.space, ds.records, ref, weights, 10)
+            want = self.exhaustive(ds.space, ds.records, ref, weights, 10)
+            assert [round(s, 12) for _, s in got] == [round(s, 12) for _, s in want]
+            # Ascending scores.
+            scores = [s for _, s in got]
+            assert scores == sorted(scores)
+
+    def test_k_larger_than_data(self, ds):
+        got = tree_top_k(ds.space, ds.records[:5], (0, 0, 0), [1, 1, 1], 50)
+        assert len(got) == 5
+
+    def test_k_zero(self, ds):
+        assert tree_top_k(ds.space, ds.records, (0, 0, 0), [1, 1, 1], 0) == []
+
+    def test_self_is_top1_with_zero_distance(self, ds):
+        ref = ds.records[0]
+        top = tree_top_k(ds.space, ds.records, ref, [1, 1, 1], 1)
+        assert top[0][1] == pytest.approx(0.0)
+
+    def test_negative_k(self, ds):
+        with pytest.raises(AlgorithmError):
+            tree_top_k(ds.space, ds.records, (0, 0, 0), [1, 1, 1], -1)
+
+    def test_bad_weights(self, ds):
+        with pytest.raises(AlgorithmError, match="weights"):
+            tree_top_k(ds.space, ds.records, (0, 0, 0), [1, 1], 3)
+        with pytest.raises(AlgorithmError, match="non-negative"):
+            tree_top_k(ds.space, ds.records, (0, 0, 0), [1, 1, -1], 3)

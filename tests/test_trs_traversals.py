@@ -1,0 +1,144 @@
+"""The TRS traversals (Algorithms 4 and 5) in isolation."""
+
+import pytest
+
+from repro.altree.tree import ALTree
+from repro.core.trs import is_prunable, prune_tree
+from repro.data.examples import running_example, running_example_query
+from repro.data.synthetic import synthetic_dataset
+from repro.skyline.domination import dominates
+
+
+@pytest.fixture(scope="module")
+def example():
+    return running_example(), running_example_query()
+
+
+def build_tree(dataset, ids=None, order=None):
+    order = order or list(range(dataset.num_attributes))
+    tree = ALTree(order)
+    for i in ids if ids is not None else range(len(dataset)):
+        tree.insert(i, dataset[i])
+    return tree
+
+
+def qd_of(dataset, c, q):
+    tables = dataset.space.tables()
+    return [tables[i][c[i]][q[i]] for i in range(dataset.num_attributes)]
+
+
+class TestIsPrunable:
+    def test_finds_pruner_in_example(self, example):
+        ds, q = example
+        tables = ds.space.tables()
+        # Batch {O1, O4, O6} sorted (paper Figure 2, first batch); check O1
+        # with itself removed: O4 remains and prunes it.
+        tree = build_tree(ds, ids=[3, 5])
+        ok, checks = is_prunable(tree, ds[0], qd_of(ds, ds[0], q), tables)
+        assert ok
+        assert checks >= 1
+
+    def test_o6_not_prunable_in_first_batch(self, example):
+        ds, q = example
+        tables = ds.space.tables()
+        tree = build_tree(ds, ids=[0, 3])  # O1, O4
+        ok, checks = is_prunable(tree, ds[5], qd_of(ds, ds[5], q), tables)
+        assert not ok
+        # Group-level elimination: one check discharges both O1 and O4
+        # (they share the full path). Paper Section 4.3: 2 checks.
+        assert checks == 2
+
+    def test_group_level_saves_checks(self, example):
+        ds, q = example
+        tables = ds.space.tables()
+        # 50 copies of O1's path: the shared prefix means the check count
+        # cannot scale with the number of objects.
+        tree = ALTree([0, 1, 2])
+        for i in range(50):
+            tree.insert(100 + i, ds[0])
+        ok, checks = is_prunable(tree, ds[5], qd_of(ds, ds[5], q), tables)
+        assert not ok
+        assert checks == 2  # same as with 2 objects
+
+    def test_empty_tree(self, example):
+        ds, q = example
+        tree = ALTree([0, 1, 2])
+        ok, checks = is_prunable(tree, ds[0], qd_of(ds, ds[0], q), ds.space.tables())
+        assert not ok and checks == 0
+
+    def test_agrees_with_pairwise_domination(self):
+        ds = synthetic_dataset(150, [5, 4, 6], seed=13)
+        tables = ds.space.tables()
+        q = (2, 1, 3)
+        tree = build_tree(ds)
+        for c_id in range(0, 60):
+            c = ds[c_id]
+            tree.remove_object(c_id, c)
+            got, _ = is_prunable(tree, c, qd_of(ds, c, q), tables)
+            want = any(
+                dominates(ds.space, ds[y], q, c)
+                for y in range(len(ds))
+                if y != c_id
+            )
+            tree.insert(c_id, c)
+            assert got == want, f"object {c_id}"
+
+    def test_child_ordering_flag_same_answer(self):
+        ds = synthetic_dataset(120, [5, 5], seed=14)
+        tables = ds.space.tables()
+        q = (0, 0)
+        tree = build_tree(ds, order=[0, 1])
+        for c_id in range(30):
+            c = ds[c_id]
+            tree.remove_object(c_id, c)
+            a, _ = is_prunable(tree, c, qd_of(ds, c, q), tables, order_children=True)
+            b, _ = is_prunable(tree, c, qd_of(ds, c, q), tables, order_children=False)
+            tree.insert(c_id, c)
+            assert a == b
+
+
+class TestPruneTree:
+    def test_removes_exactly_the_dominated(self):
+        ds = synthetic_dataset(120, [5, 4, 6], seed=15)
+        tables = ds.space.tables()
+        q = (1, 2, 0)
+        for e_id in (0, 7, 33):
+            tree = build_tree(ds)
+            e = ds[e_id]
+            expected_removed = {
+                x_id
+                for x_id in range(len(ds))
+                if x_id != e_id and dominates(ds.space, e, q, ds[x_id])
+            }
+            removed, checks = prune_tree(tree, e_id, e, q, tables)
+            remaining = {rid for rid, _ in tree.iter_entries()}
+            assert removed == len(expected_removed)
+            assert remaining == set(range(len(ds))) - expected_removed
+            tree.check_invariants()
+
+    def test_never_removes_e_itself(self, example):
+        ds, q = example
+        tables = ds.space.tables()
+        tree = build_tree(ds)
+        # O1 prunes its duplicate O4 but must survive itself.
+        prune_tree(tree, 0, ds[0], q, tables)
+        remaining = {rid for rid, _ in tree.iter_entries()}
+        assert 0 in remaining
+        assert 3 not in remaining
+
+    def test_e_absent_from_tree(self, example):
+        ds, q = example
+        tables = ds.space.tables()
+        tree = build_tree(ds, ids=[2, 5])  # the result set {O3, O6}
+        removed, _ = prune_tree(tree, 0, ds[0], q, tables)
+        assert removed == 0
+        assert tree.num_objects == 2
+
+    def test_idempotent(self):
+        ds = synthetic_dataset(80, [4, 4], seed=16)
+        tables = ds.space.tables()
+        q = (0, 1)
+        tree = build_tree(ds, order=[0, 1])
+        first, _ = prune_tree(tree, 0, ds[0], q, tables)
+        second, _ = prune_tree(tree, 0, ds[0], q, tables)
+        assert second == 0

@@ -1,0 +1,87 @@
+"""Probabilistic reverse skyline (existential uncertainty)."""
+
+import numpy as np
+import pytest
+
+from repro.data.queries import query_batch
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.errors import AlgorithmError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.uncertain.probabilistic import (
+    monte_carlo_membership,
+    probabilistic_reverse_skyline,
+)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(120, [5, 4, 6], seed=221)
+
+
+@pytest.fixture(scope="module")
+def q(ds):
+    return query_batch(ds, 1, seed=2)[0]
+
+
+class TestExact:
+    def test_certain_world_reduces_to_deterministic_rs(self, ds, q):
+        result = probabilistic_reverse_skyline(ds, [1.0] * len(ds), q, threshold=0.999)
+        assert list(result.record_ids) == reverse_skyline_by_pruners(ds, q)
+        for rid, p in enumerate(result.probabilities):
+            assert p in (0.0, 1.0)
+
+    def test_probability_formula_spotcheck(self, ds, q):
+        from repro.skyline.domination import dominates
+
+        rng = np.random.default_rng(5)
+        ps = rng.uniform(0.2, 0.9, size=len(ds)).tolist()
+        result = probabilistic_reverse_skyline(ds, ps, q, threshold=0.0)
+        for x_id in range(0, len(ds), 17):
+            expected = ps[x_id]
+            for y_id, y in enumerate(ds.records):
+                if y_id != x_id and dominates(ds.space, y, q, ds[x_id]):
+                    expected *= 1 - ps[y_id]
+            assert result.probabilities[x_id] == pytest.approx(expected)
+
+    def test_threshold_monotone(self, ds, q):
+        ps = [0.7] * len(ds)
+        low = set(probabilistic_reverse_skyline(ds, ps, q, threshold=0.1).record_ids)
+        high = set(probabilistic_reverse_skyline(ds, ps, q, threshold=0.6).record_ids)
+        assert high <= low
+
+    def test_zero_probability_object_never_member(self, ds, q):
+        ps = [0.8] * len(ds)
+        ps[3] = 0.0
+        result = probabilistic_reverse_skyline(ds, ps, q, threshold=0.0)
+        assert result.probabilities[3] == 0.0
+        assert result.probability_of(3) == 0.0
+
+    def test_mixed_schema_falls_back_to_pairwise(self):
+        ds = mixed_dataset(60, [4], [(0.0, 1.0)], seed=6)
+        q = query_batch(ds, 1, seed=7)[0]
+        result = probabilistic_reverse_skyline(ds, [1.0] * len(ds), q, threshold=0.9)
+        assert list(result.record_ids) == reverse_skyline_by_pruners(ds, q)
+
+    def test_validation(self, ds, q):
+        with pytest.raises(AlgorithmError, match="probabilities"):
+            probabilistic_reverse_skyline(ds, [0.5], q)
+        with pytest.raises(AlgorithmError, match="outside"):
+            probabilistic_reverse_skyline(ds, [1.5] * len(ds), q)
+        with pytest.raises(AlgorithmError, match="threshold"):
+            probabilistic_reverse_skyline(ds, [0.5] * len(ds), q, threshold=2.0)
+
+
+class TestMonteCarloAgreement:
+    def test_closed_form_matches_sampling(self):
+        ds = synthetic_dataset(40, [4, 3], seed=222)
+        q = query_batch(ds, 1, seed=3)[0]
+        rng = np.random.default_rng(9)
+        ps = rng.uniform(0.3, 0.9, size=len(ds)).tolist()
+        exact = probabilistic_reverse_skyline(ds, ps, q, threshold=0.0).probabilities
+        estimate = monte_carlo_membership(ds, ps, q, trials=1500, seed=11)
+        for e, s in zip(exact, estimate):
+            assert s == pytest.approx(e, abs=0.06)
+
+    def test_trials_validated(self, ds, q):
+        with pytest.raises(AlgorithmError):
+            monte_carlo_membership(ds, [0.5] * len(ds), q, trials=0)
