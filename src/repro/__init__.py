@@ -46,6 +46,7 @@ from repro.core.skyband import ReverseSkybandTRS, reverse_skyband_naive
 from repro.core.vectorized import VectorBRS
 from repro.data.stats import DatasetProfile, estimate_pruner_rate, profile_dataset
 from repro.engine import QueryLogEntry, ReverseSkylineEngine
+from repro.exec import BatchReport, QueryExecutor, QuerySpec, ResultCache
 from repro.influence import InfluenceReport, gini, influence_analysis, self_influence
 from repro.persist import load_dataset, save_dataset
 from repro.streaming import StreamingReverseSkyline
@@ -105,6 +106,10 @@ __all__ = [
     "AlgorithmError",
     "Attribute",
     "BRS",
+    "BatchReport",
+    "QueryExecutor",
+    "QuerySpec",
+    "ResultCache",
     "CostStats",
     "Dataset",
     "DiskSimulator",

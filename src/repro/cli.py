@@ -100,6 +100,46 @@ def _cmd_influence(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.engine import ReverseSkylineEngine
+
+    ds = load_dataset(args.dataset)
+    texts = list(args.queries or [])
+    if args.queries_file:
+        try:
+            with open(args.queries_file, encoding="utf-8") as fh:
+                texts += [line.strip() for line in fh if line.strip()]
+        except OSError as exc:
+            raise ReproError(f"cannot read --queries-file: {exc}") from exc
+    if not texts:
+        raise ReproError("no queries given; use --queries and/or --queries-file")
+    queries = [_parse_query(text, ds) for text in texts] * args.repeat
+    engine = ReverseSkylineEngine(
+        ds, algorithm=args.algorithm, memory_fraction=args.memory
+    )
+    report = engine.query_many(
+        queries,
+        kind="skyband" if args.k > 1 else "query",
+        k=args.k,
+        pool=args.pool,
+        workers=args.workers,
+        cache=not args.no_cache,
+    )
+    if args.show_results:
+        for spec, result in zip(report.specs, report.results):
+            print(f"{','.join(map(str, spec.query))} -> {list(result.record_ids)}")
+    s = report.summary()
+    print(f"queries     : {s['queries']} ({s['computed']} computed, "
+          f"{s['cache_hits']} cache hits)")
+    print(f"pool        : {s['pool']} x {s['workers']}")
+    print(f"checks      : {s['checks']:,}")
+    print(f"page ios    : {s['page_ios']:,}")
+    print(f"batch time  : {s['batch_wall_time_s'] * 1000:.1f} ms "
+          f"({s['queries'] / s['batch_wall_time_s']:.0f} queries/s)")
+    print(f"speedup     : {s['speedup_vs_serial_sum']:.2f}x vs summed query time")
+    return 0
+
+
 def _cmd_skyband(args) -> int:
     ds = load_dataset(args.dataset)
     query = _parse_query(args.query, ds)
@@ -205,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
     infl.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
     infl.add_argument("--memory", type=float, default=0.10)
     infl.set_defaults(func=_cmd_influence)
+
+    batch = sub.add_parser(
+        "batch", help="answer a batch of queries over a pooled, cached executor"
+    )
+    batch.add_argument("dataset")
+    batch.add_argument("--queries", nargs="+", help="comma-separated query objects")
+    batch.add_argument("--queries-file", help="file with one query per line")
+    batch.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    batch.add_argument("--memory", type=float, default=0.10)
+    batch.add_argument("--pool", choices=("serial", "thread", "process"), default="thread")
+    batch.add_argument("--workers", type=int, default=None)
+    batch.add_argument("--no-cache", action="store_true")
+    batch.add_argument("-k", type=int, default=1, help="k>1 answers reverse k-skybands")
+    batch.add_argument("--repeat", type=int, default=1, help="replay the batch N times")
+    batch.add_argument("--show-results", action="store_true")
+    batch.set_defaults(func=_cmd_batch)
 
     band = sub.add_parser("skyband", help="run a reverse k-skyband query")
     band.add_argument("dataset")

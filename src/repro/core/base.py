@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.data.dataset import Dataset
@@ -25,7 +26,34 @@ from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
 from repro.storage.iostats import IoStats
 from repro.storage.pagefile import PageFile
 
-__all__ = ["CostStats", "RSResult", "ReverseSkylineAlgorithm"]
+__all__ = ["CostStats", "RSResult", "ReverseSkylineAlgorithm", "Stopwatch"]
+
+
+class Stopwatch:
+    """The single wall-clock source for every timed path.
+
+    Both the algorithms' ``run`` loop and the engine's query log measure
+    through this class, so timings recorded sequentially and under the
+    concurrent executor are directly comparable (always
+    ``time.perf_counter``, never ``time.time``).
+    """
+
+    __slots__ = ("started", "elapsed_s")
+
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+        self.elapsed_s = 0.0
+
+    def stop(self) -> float:
+        self.elapsed_s = time.perf_counter() - self.started
+        return self.elapsed_s
+
+    def __enter__(self) -> "Stopwatch":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
 
 
 @dataclass
@@ -72,6 +100,42 @@ class CostStats:
             self.per_object_phase2[record_id] = (
                 self.per_object_phase2.get(record_id, 0) + checks
             )
+
+    # -- merging (batch executor support) ----------------------------------
+    def add(self, other: "CostStats") -> None:
+        """Accumulate ``other`` into this instance (in place).
+
+        Counters sum; wall times sum (total work, not elapsed span — the
+        executor reports batch wall-clock separately); per-object trace
+        dicts merge additively.
+        """
+        self.checks_phase1 += other.checks_phase1
+        self.checks_phase2 += other.checks_phase2
+        self.pruner_tests += other.pruner_tests
+        self.phase1_pruned += other.phase1_pruned
+        self.intermediate_count += other.intermediate_count
+        self.phase1_batches += other.phase1_batches
+        self.phase2_batches += other.phase2_batches
+        self.db_passes += other.db_passes
+        self.result_count += other.result_count
+        self.wall_time_s += other.wall_time_s
+        self.io = self.io + other.io
+        for d_self, d_other in (
+            (self.per_object_phase1, other.per_object_phase1),
+            (self.per_object_phase2, other.per_object_phase2),
+        ):
+            for rid, c in d_other.items():
+                d_self[rid] = d_self.get(rid, 0) + c
+
+    @classmethod
+    def merged(cls, parts: Iterable["CostStats"]) -> "CostStats":
+        """Deterministic sum of per-query stats — identical regardless of
+        which worker answered which query (addition commutes; callers pass
+        parts in input order anyway)."""
+        total = cls()
+        for part in parts:
+            total.add(part)
+        return total
 
 
 @dataclass(frozen=True)
@@ -184,9 +248,9 @@ class ReverseSkylineAlgorithm(ABC):
         try:
             data_file = disk.load_entries(self.dataset.schema, self.layout, "data")
             stats = CostStats()
-            started = time.perf_counter()
-            ids = self._execute(disk, data_file, q, stats)
-            stats.wall_time_s = time.perf_counter() - started
+            with Stopwatch() as watch:
+                ids = self._execute(disk, data_file, q, stats)
+            stats.wall_time_s = watch.elapsed_s
             stats.io = disk.stats.snapshot()
             stats.result_count = len(ids)
         finally:

@@ -10,19 +10,29 @@ queries, and accumulates a query log for observability.
     engine.skyband((1, 2, 0), k=3)                      # graded influence
     engine.query_subset(["price", "distance"], (2, 0))  # Section 5.6
     engine.influence({"offer-A": (1, 2, 0), ...})       # Section 1
+    engine.query_many(batch, workers=4)                 # pooled + cached
 
 Attribute-subset queries follow the paper's Section 5.6 discipline: the
 physical order is fixed once from the *full* attribute set (re-sorting
 per query is infeasible); per-subset algorithm instances reuse that order
 via projected layouts.
+
+Thread-safety contract (relied on by :mod:`repro.exec`): the instance
+caches (``_algorithms``, ``_skybands``, ``_subset_engines``) are created
+under ``_lock`` and never mutated afterwards; prepared algorithms are
+read-only during ``run`` (each run stages its own simulated disk); the
+query log and aggregate counters are guarded by their own lock. Any
+number of threads may call the query methods concurrently.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.core.base import RSResult
+from repro.core.base import RSResult, Stopwatch
 from repro.core.registry import make_algorithm
 from repro.core.skyband import ReverseSkybandTRS
 from repro.core.trs import TRS
@@ -37,7 +47,14 @@ __all__ = ["QueryLogEntry", "ReverseSkylineEngine"]
 
 @dataclass(frozen=True)
 class QueryLogEntry:
-    """One answered query, for observability."""
+    """One answered query, for observability.
+
+    ``wall_time_s`` is the full engine-path time for the query (measured
+    with :class:`~repro.core.base.Stopwatch`, i.e. ``time.perf_counter``
+    — the same clock the algorithms use — so sequential and concurrent
+    entries are directly comparable). ``cached`` entries report zero
+    checks and IO: a cache hit does no work.
+    """
 
     kind: str
     algorithm: str
@@ -47,6 +64,7 @@ class QueryLogEntry:
     seq_io: int
     rand_io: int
     wall_time_s: float
+    cached: bool = False
 
 
 @dataclass
@@ -54,7 +72,11 @@ class _EngineStats:
     queries: int = 0
     total_checks: int = 0
     total_io: int = 0
+    cache_hits: int = 0
     log: list[QueryLogEntry] = field(default_factory=list)
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
 
 class ReverseSkylineEngine:
@@ -78,6 +100,12 @@ class ReverseSkylineEngine:
         self._subset_engines: dict[tuple[int, ...], "ReverseSkylineEngine"] = {}
         self._skybands: dict[int, ReverseSkybandTRS] = {}
         self._stats = _EngineStats()
+        #: Guards creation of the instance caches above (and the result
+        #: cache / fingerprint); held only during construction of the
+        #: cached objects, never while answering a query.
+        self._lock = threading.RLock()
+        self._fingerprint: str | None = None
+        self._result_cache = None  # lazily built repro.exec.cache.ResultCache
         # The full-attribute physical order, shared by subset queries.
         key = multiattribute_key(schema_order(dataset.schema))
         self._full_order_entries = sorted(
@@ -129,29 +157,101 @@ class ReverseSkylineEngine:
     def _algorithm(self, name: str):
         algo = self._algorithms.get(name)
         if algo is None:
-            algo = self._make_algorithm_shell(name)
-            algo.prepare()
-            self._algorithms[name] = algo
+            with self._lock:
+                algo = self._algorithms.get(name)
+                if algo is None:
+                    algo = self._make_algorithm_shell(name)
+                    algo.prepare()
+                    self._algorithms[name] = algo
         return algo
 
-    def _record(self, kind: str, result: RSResult) -> RSResult:
+    def _skyband_algorithm(self, k: int) -> ReverseSkybandTRS:
+        algo = self._skybands.get(k)
+        if algo is None:
+            with self._lock:
+                algo = self._skybands.get(k)
+                if algo is None:
+                    algo = ReverseSkybandTRS(
+                        self.dataset,
+                        k=k,
+                        memory_fraction=self.memory_fraction,
+                        page_bytes=self.page_bytes,
+                    )
+                    algo.prepare()
+                    self._skybands[k] = algo
+        return algo
+
+    def _resolve_indices(self, attributes: Sequence[str | int]) -> tuple[int, ...]:
+        indices = tuple(
+            a if isinstance(a, int) else self.dataset.schema.index_of(a)
+            for a in attributes
+        )
+        if not indices:
+            raise AlgorithmError("attribute subset must be non-empty")
+        return indices
+
+    def _subset_engine(self, indices: tuple[int, ...]) -> "ReverseSkylineEngine":
+        engine = self._subset_engines.get(indices)
+        if engine is None:
+            with self._lock:
+                engine = self._subset_engines.get(indices)
+                if engine is None:
+                    projected = self.dataset.project(list(indices))
+                    algo = TRS(
+                        projected,
+                        memory_fraction=self.memory_fraction,
+                        page_bytes=self.page_bytes,
+                    )
+                    algo.use_layout(
+                        [
+                            (rid, tuple(values[i] for i in indices))
+                            for rid, values in self._full_order_entries
+                        ]
+                    )
+                    engine = ReverseSkylineEngine(
+                        projected,
+                        memory_fraction=self.memory_fraction,
+                        page_bytes=self.page_bytes,
+                        log_queries=False,
+                    )
+                    engine._algorithms["TRS"] = algo
+                    self._subset_engines[indices] = engine
+        return engine
+
+    def _record(
+        self,
+        kind: str,
+        result: RSResult,
+        *,
+        wall_time_s: float | None = None,
+        cached: bool = False,
+    ) -> RSResult:
         s = result.stats
-        self._stats.queries += 1
-        self._stats.total_checks += s.checks
-        self._stats.total_io += s.io.total
-        if self.log_queries:
-            self._stats.log.append(
-                QueryLogEntry(
-                    kind=kind,
-                    algorithm=result.algorithm,
-                    query=result.query,
-                    result_size=len(result.record_ids),
-                    checks=s.checks,
-                    seq_io=s.io.sequential,
-                    rand_io=s.io.random,
-                    wall_time_s=s.wall_time_s,
+        checks = 0 if cached else s.checks
+        seq_io = 0 if cached else s.io.sequential
+        rand_io = 0 if cached else s.io.random
+        with self._stats.lock:
+            self._stats.queries += 1
+            self._stats.total_checks += checks
+            self._stats.total_io += seq_io + rand_io
+            if cached:
+                self._stats.cache_hits += 1
+            if self.log_queries:
+                self._stats.log.append(
+                    QueryLogEntry(
+                        kind=kind,
+                        algorithm=result.algorithm,
+                        query=result.query,
+                        result_size=len(result.record_ids),
+                        checks=checks,
+                        seq_io=seq_io,
+                        rand_io=rand_io,
+                        wall_time_s=(
+                            wall_time_s if wall_time_s is not None else s.wall_time_s
+                        ),
+                        cached=cached,
+                    )
                 )
-            )
         return result
 
     # -- queries -------------------------------------------------------------
@@ -170,28 +270,23 @@ class ReverseSkylineEngine:
         ``RS(Q) ∩ {x : where(x)}`` (the constrained reverse skyline) and is
         answered by filtering the unconstrained result.
         """
-        algo = self._algorithm(algorithm or self.default_algorithm)
-        result = algo.run(query)
-        if where is not None:
-            kept = tuple(
-                rid for rid in result.record_ids if where(self.dataset[rid])
-            )
-            result = RSResult(result.algorithm, result.query, kept, result.stats)
-        return self._record("reverse-skyline", result)
+        with Stopwatch() as watch:
+            algo = self._algorithm(algorithm or self.default_algorithm)
+            result = algo.run(query)
+            if where is not None:
+                kept = tuple(
+                    rid for rid in result.record_ids if where(self.dataset[rid])
+                )
+                result = RSResult(result.algorithm, result.query, kept, result.stats)
+        return self._record("reverse-skyline", result, wall_time_s=watch.stop())
 
     def skyband(self, query: tuple, k: int) -> RSResult:
         """The reverse k-skyband of ``query`` (``k=1`` is the skyline)."""
-        algo = self._skybands.get(k)
-        if algo is None:
-            algo = ReverseSkybandTRS(
-                self.dataset,
-                k=k,
-                memory_fraction=self.memory_fraction,
-                page_bytes=self.page_bytes,
-            )
-            algo.prepare()
-            self._skybands[k] = algo
-        return self._record(f"reverse-{k}-skyband", algo.run(query))
+        with Stopwatch() as watch:
+            result = self._skyband_algorithm(k).run(query)
+        return self._record(
+            f"reverse-{k}-skyband", result, wall_time_s=watch.stop()
+        )
 
     def query_subset(
         self, attributes: Sequence[str | int], query_values: tuple
@@ -203,36 +298,13 @@ class ReverseSkylineEngine:
         attributes, in the same order. The data's physical order remains
         the full-attribute sort.
         """
-        indices = tuple(
-            a if isinstance(a, int) else self.dataset.schema.index_of(a)
-            for a in attributes
+        with Stopwatch() as watch:
+            indices = self._resolve_indices(attributes)
+            engine = self._subset_engine(indices)
+            result = engine.query(tuple(query_values), algorithm="TRS")
+        return self._record(
+            "subset-reverse-skyline", result, wall_time_s=watch.stop()
         )
-        if not indices:
-            raise AlgorithmError("attribute subset must be non-empty")
-        engine = self._subset_engines.get(indices)
-        if engine is None:
-            projected = self.dataset.project(list(indices))
-            algo = TRS(
-                projected,
-                memory_fraction=self.memory_fraction,
-                page_bytes=self.page_bytes,
-            )
-            algo.use_layout(
-                [
-                    (rid, tuple(values[i] for i in indices))
-                    for rid, values in self._full_order_entries
-                ]
-            )
-            engine = ReverseSkylineEngine(
-                projected,
-                memory_fraction=self.memory_fraction,
-                page_bytes=self.page_bytes,
-                log_queries=False,
-            )
-            engine._algorithms["TRS"] = algo
-            self._subset_engines[indices] = engine
-        result = engine.query(tuple(query_values), algorithm="TRS")
-        return self._record("subset-reverse-skyline", result)
 
     def influence(
         self, probes: Mapping[str, tuple] | Sequence[tuple]
@@ -244,27 +316,165 @@ class ReverseSkylineEngine:
             self._record("influence-probe", result)
         return report
 
+    # -- batch / concurrent queries ----------------------------------------
+    def query_many(
+        self,
+        queries: Sequence,
+        *,
+        kind: str = "query",
+        k: int = 1,
+        algorithm: str | None = None,
+        attributes: Sequence[str | int] | None = None,
+        pool: str = "thread",
+        workers: int | None = None,
+        cache: bool = True,
+    ):
+        """Answer a batch of queries through a pooled, cached executor.
+
+        ``queries`` may be plain query tuples (all interpreted with the
+        keyword defaults) or :class:`repro.exec.QuerySpec` objects mixing
+        kinds, k values and algorithms freely. Returns a
+        :class:`repro.exec.BatchReport` whose ``results`` are in input
+        order and bit-identical to a sequential run; merged stats and the
+        query log stay deterministic under any pool size.
+
+        ``cache=True`` uses the engine-owned :class:`repro.exec.ResultCache`
+        which persists across ``query_many`` calls; call
+        :meth:`invalidate_caches` after mutating the dataset.
+        """
+        from repro.exec.executor import QueryExecutor
+
+        executor = QueryExecutor(
+            self,
+            pool=pool,
+            workers=workers,
+            cache=self.result_cache() if cache else None,
+        )
+        return executor.run_batch(
+            queries, kind=kind, k=k, algorithm=algorithm, attributes=attributes
+        )
+
+    def result_cache(self):
+        """The engine-owned result cache (created on first use)."""
+        if self._result_cache is None:
+            with self._lock:
+                if self._result_cache is None:
+                    from repro.exec.cache import ResultCache
+
+                    self._result_cache = ResultCache()
+        return self._result_cache
+
+    def layout_fingerprint(self) -> str:
+        """Content hash of the dataset and its full-attribute physical
+        order. Cache keys embed it, so results memoised for one dataset
+        state can never answer for another; recomputed by
+        :meth:`invalidate_caches`."""
+        if self._fingerprint is None:
+            with self._lock:
+                if self._fingerprint is None:
+                    h = hashlib.sha1()
+                    h.update(
+                        f"{self.dataset.name}|{len(self.dataset)}|"
+                        f"{self.dataset.num_attributes}|".encode()
+                    )
+                    for rid, values in self._full_order_entries:
+                        h.update(repr((rid, values)).encode())
+                    self._fingerprint = h.hexdigest()[:16]
+        return self._fingerprint
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived structure after a dataset change: prepared
+        algorithm instances, subset engines, skyband instances, the result
+        cache and the layout fingerprint. The next query rebuilds them
+        from the current records."""
+        with self._lock:
+            self._algorithms.clear()
+            self._skybands.clear()
+            self._subset_engines.clear()
+            self._fingerprint = None
+            if self._result_cache is not None:
+                self._result_cache.invalidate()
+            key = multiattribute_key(schema_order(self.dataset.schema))
+            self._full_order_entries = sorted(
+                enumerate(self.dataset.records), key=lambda e: key(e[1])
+            )
+
+    # -- executor support ----------------------------------------------------
+    def _prepare_for(self, spec) -> None:
+        """Build (under lock) whatever prepared instance ``spec`` needs, so
+        pooled workers only ever *read* the instance caches."""
+        if spec.kind == "query":
+            self._algorithm(spec.algorithm or self.default_algorithm)
+        elif spec.kind == "skyband":
+            self._skyband_algorithm(spec.k)
+        elif spec.kind == "subset":
+            self._subset_engine(self._resolve_indices(spec.attributes))
+
+    def _execute_spec(self, spec) -> RSResult:
+        """Answer one spec without recording (the executor records the
+        whole batch afterwards, in input order)."""
+        if spec.kind == "query":
+            algo = self._algorithm(spec.algorithm or self.default_algorithm)
+            return algo.run(spec.query)
+        if spec.kind == "skyband":
+            return self._skyband_algorithm(spec.k).run(spec.query)
+        if spec.kind == "subset":
+            indices = self._resolve_indices(spec.attributes)
+            sub = self._subset_engine(indices)
+            algo = sub._algorithm("TRS")
+            return algo.run(spec.query)
+        raise AlgorithmError(f"unknown query kind {spec.kind!r}")
+
+    def _timed_execute(self, spec) -> tuple[RSResult, float]:
+        """``_execute_spec`` plus the engine-path wall time, measured with
+        the same Stopwatch the sequential query methods use."""
+        with Stopwatch() as watch:
+            result = self._execute_spec(spec)
+        return result, watch.stop()
+
+    def _record_batch(self, specs, results, cached, wall_times) -> None:
+        """Append one log entry per batch slot, in input order."""
+        labels = {
+            "query": "reverse-skyline",
+            "subset": "subset-reverse-skyline",
+        }
+        for spec, result, hit, wall in zip(specs, results, cached, wall_times):
+            kind = labels.get(spec.kind) or f"reverse-{spec.k}-skyband"
+            self._record(kind, result, wall_time_s=wall, cached=hit)
+
     # -- observability -----------------------------------------------------
     @property
     def log(self) -> list[QueryLogEntry]:
-        return list(self._stats.log)
+        with self._stats.lock:
+            return list(self._stats.log)
 
     def summary(self) -> dict:
         """Aggregate engine statistics."""
+        with self._stats.lock:
+            queries = self._stats.queries
+            total_checks = self._stats.total_checks
+            total_io = self._stats.total_io
+            cache_hits = self._stats.cache_hits
+        with self._lock:
+            prepared = sorted(self._algorithms)
+            subsets = [list(s) for s in sorted(self._subset_engines)]
         return {
             "dataset": self.dataset.describe(),
-            "queries": self._stats.queries,
-            "total_checks": self._stats.total_checks,
-            "total_page_ios": self._stats.total_io,
-            "prepared_algorithms": sorted(self._algorithms),
-            "prepared_subsets": [list(s) for s in sorted(self._subset_engines)],
+            "queries": queries,
+            "total_checks": total_checks,
+            "total_page_ios": total_io,
+            "cache_hits": cache_hits,
+            "prepared_algorithms": prepared,
+            "prepared_subsets": subsets,
         }
 
     def latency_summary(self) -> dict[str, float]:
         """Wall-time percentiles (milliseconds) over the query log."""
-        if not self._stats.log:
+        with self._stats.lock:
+            entries = list(self._stats.log)
+        if not entries:
             raise AlgorithmError("no logged queries yet")
-        times = sorted(e.wall_time_s * 1000 for e in self._stats.log)
+        times = sorted(e.wall_time_s * 1000 for e in entries)
 
         def pct(p: float) -> float:
             idx = min(len(times) - 1, max(0, round(p / 100 * (len(times) - 1))))

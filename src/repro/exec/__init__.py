@@ -1,0 +1,29 @@
+"""Concurrent batch-query execution with result caching.
+
+The scale-out layer over :class:`~repro.engine.ReverseSkylineEngine`:
+
+- :class:`~repro.exec.executor.QueryExecutor` — fans a batch of queries
+  over a serial / thread / process pool.
+- :class:`~repro.exec.cache.ResultCache` — thread-safe LRU memoisation
+  keyed by (kind, algorithm, layout fingerprint, query, k, attributes).
+- :class:`~repro.exec.merge.BatchReport` — deterministic, input-ordered
+  merge of per-query results and :class:`~repro.core.base.CostStats`.
+
+Verified differentially against the sequential engine by
+:func:`repro.testing.verify.verify_executor`.
+"""
+
+from repro.exec.cache import CacheKey, CacheStats, ResultCache
+from repro.exec.executor import QueryExecutor, QuerySpec, as_spec
+from repro.exec.merge import BatchReport, merge_batch
+
+__all__ = [
+    "BatchReport",
+    "CacheKey",
+    "CacheStats",
+    "QueryExecutor",
+    "QuerySpec",
+    "ResultCache",
+    "as_spec",
+    "merge_batch",
+]

@@ -1,0 +1,285 @@
+"""Concurrent batch-query execution.
+
+The paper's scan-based algorithms are embarrassingly parallel across
+*queries*: each ``run`` stages its own simulated disk, builds its own
+trees and touches only read-only prepared state (the layout and the
+dissimilarity lookup tables). :class:`QueryExecutor` exploits that by
+fanning a batch of reverse-skyline / skyband / attribute-subset queries
+over a thread or process pool, with an optional :class:`ResultCache`
+memoising repeated queries and deduplicating identical queries *within*
+a batch (the first occurrence in input order is computed; the rest reuse
+its result).
+
+Determinism contract: answers depend only on the spec, never on the
+pool, the worker count, the cache state, or the batch order —
+``tests/test_exec.py`` and ``repro.testing.verify.verify_executor``
+enforce this differentially against the sequential engine.
+
+Pools
+-----
+``serial``
+    An inline loop — the baseline the differential tests compare against.
+``thread``
+    ``ThreadPoolExecutor``; shares the engine's prepared algorithm
+    instances (safe: ``run`` only reads them). Best when the cache absorbs
+    most of the batch or ``backing_dir`` makes queries IO-bound.
+``process``
+    ``ProcessPoolExecutor``; each worker builds its own engine over the
+    (pickled or forked) dataset, sidestepping the GIL for CPU-bound
+    batches. Worker engines are constructed once per pool, so the layout
+    sort is paid per worker, not per query.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.base import Stopwatch
+from repro.errors import AlgorithmError
+from repro.exec.cache import CacheKey, ResultCache
+from repro.exec.merge import BatchReport, merge_batch
+
+__all__ = ["QuerySpec", "QueryExecutor", "as_spec"]
+
+_KINDS = ("query", "skyband", "subset")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query in a batch: what to ask, not how to run it."""
+
+    query: tuple
+    kind: str = "query"
+    k: int = 1
+    algorithm: str | None = None
+    #: Attribute names or indices for ``kind="subset"`` (Section 5.6).
+    attributes: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise AlgorithmError(
+                f"unknown query kind {self.kind!r}; known: {', '.join(_KINDS)}"
+            )
+        if self.kind == "skyband" and self.k < 1:
+            raise AlgorithmError(f"skyband needs k >= 1, got {self.k}")
+        if self.kind == "subset" and not self.attributes:
+            raise AlgorithmError("subset queries need a non-empty attribute tuple")
+
+
+def as_spec(
+    item,
+    *,
+    kind: str = "query",
+    k: int = 1,
+    algorithm: str | None = None,
+    attributes: Sequence | None = None,
+) -> QuerySpec:
+    """Coerce a plain query tuple (or a ready spec) into a QuerySpec."""
+    if isinstance(item, QuerySpec):
+        return item
+    return QuerySpec(
+        query=tuple(item),
+        kind=kind,
+        k=k if kind == "skyband" else 1,
+        algorithm=algorithm,
+        attributes=tuple(attributes) if attributes is not None else None,
+    )
+
+
+# -- process-pool plumbing ----------------------------------------------------
+# Workers hold their own engine (module global set by the pool initializer);
+# specs go over the wire, RSResults come back — both are plain picklable
+# dataclasses.
+_WORKER_ENGINE = None
+
+
+def _process_worker_init(dataset, algorithm, memory_fraction, page_bytes) -> None:
+    global _WORKER_ENGINE
+    from repro.engine import ReverseSkylineEngine
+
+    _WORKER_ENGINE = ReverseSkylineEngine(
+        dataset,
+        algorithm=algorithm,
+        memory_fraction=memory_fraction,
+        page_bytes=page_bytes,
+        log_queries=False,
+    )
+
+
+def _process_worker_run(spec: QuerySpec):
+    assert _WORKER_ENGINE is not None, "pool initializer did not run"
+    return _WORKER_ENGINE._timed_execute(spec)
+
+
+class QueryExecutor:
+    """Fan batches of queries over a pool, memoising through a cache.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.ReverseSkylineEngine` that owns the
+        dataset and the prepared algorithm instances.
+    pool:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    workers:
+        Pool size; defaults to ``min(4, cpu_count)``.
+    cache:
+        ``True`` for a private :class:`ResultCache`, an existing cache to
+        share (e.g. the engine's), or ``None``/``False`` for no caching.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        pool: str = "thread",
+        workers: int | None = None,
+        cache: ResultCache | bool | None = None,
+        cache_capacity: int = 1024,
+    ) -> None:
+        if pool not in ("serial", "thread", "process"):
+            raise AlgorithmError(
+                f"unknown pool kind {pool!r}; known: serial, thread, process"
+            )
+        self.engine = engine
+        self.pool = pool
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if workers < 1:
+            raise AlgorithmError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if cache is True:
+            cache = ResultCache(cache_capacity)
+        elif cache is False:
+            cache = None
+        self.cache = cache
+
+    # -- public API ---------------------------------------------------------
+    def run_batch(
+        self,
+        queries: Sequence,
+        *,
+        kind: str = "query",
+        k: int = 1,
+        algorithm: str | None = None,
+        attributes: Sequence | None = None,
+    ) -> BatchReport:
+        """Answer every query; results come back in input order.
+
+        ``queries`` may mix plain tuples (interpreted with the keyword
+        defaults) and explicit :class:`QuerySpec` objects.
+        """
+        specs = [
+            as_spec(q, kind=kind, k=k, algorithm=algorithm, attributes=attributes)
+            for q in queries
+        ]
+        if not specs:
+            raise AlgorithmError("need at least one query")
+        engine = self.engine
+        batch_watch = Stopwatch()
+
+        n = len(specs)
+        results: list = [None] * n
+        cached = [False] * n
+        wall_times = [0.0] * n
+
+        # Partition the batch into cache hits and unique pending jobs.
+        # Identical specs collapse onto one job whenever a cache is
+        # attached (in-flight dedup); the first occurrence is the computed
+        # one, later occurrences count as hits.
+        jobs: list[tuple[QuerySpec, list[int]]] = []
+        keys: list[CacheKey | None] = [None] * n
+        if self.cache is not None:
+            fingerprint = engine.layout_fingerprint()
+            job_of: dict[CacheKey, int] = {}
+            for i, spec in enumerate(specs):
+                key = self._cache_key(spec, fingerprint)
+                keys[i] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    cached[i] = True
+                    continue
+                j = job_of.get(key)
+                if j is None:
+                    job_of[key] = len(jobs)
+                    jobs.append((spec, [i]))
+                else:
+                    jobs[j][1].append(i)
+                    cached[i] = True
+        else:
+            jobs = [(spec, [i]) for i, spec in enumerate(specs)]
+
+        outcomes = self._execute([spec for spec, _ in jobs])
+        for (spec, indices), (result, elapsed) in zip(jobs, outcomes):
+            first = indices[0]
+            results[first] = result
+            wall_times[first] = elapsed
+            for i in indices[1:]:
+                results[i] = result
+            if self.cache is not None:
+                self.cache.put(keys[first], result)
+
+        # One pass in input order keeps the engine's query log and
+        # aggregate counters deterministic under any pool.
+        engine._record_batch(specs, results, cached, wall_times)
+        return merge_batch(
+            specs,
+            results,
+            cached,
+            wall_times,
+            batch_wall_time_s=batch_watch.stop(),
+            pool=self.pool,
+            workers=self.workers,
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _cache_key(self, spec: QuerySpec, fingerprint: str) -> CacheKey:
+        return CacheKey(
+            kind=spec.kind,
+            algorithm=spec.algorithm or self.engine.default_algorithm,
+            fingerprint=fingerprint,
+            query=tuple(spec.query),
+            k=spec.k,
+            attributes=(
+                self.engine._resolve_indices(spec.attributes)
+                if spec.attributes is not None
+                else None
+            ),
+        )
+
+    def _execute(self, job_specs: list[QuerySpec]) -> list:
+        """Run the pending jobs, returning ``(RSResult, wall_s)`` pairs in
+        job order (``map`` preserves order on every pool)."""
+        if not job_specs:
+            return []
+        engine = self.engine
+        if self.pool == "process" and self.workers > 1 and len(job_specs) > 1:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_worker_init,
+                initargs=(
+                    engine.dataset,
+                    engine.default_algorithm,
+                    engine.memory_fraction,
+                    engine.page_bytes,
+                ),
+            ) as pool:
+                chunk = max(1, len(job_specs) // (self.workers * 4))
+                return list(
+                    pool.map(_process_worker_run, job_specs, chunksize=chunk)
+                )
+        # Warm the shared algorithm instances sequentially so worker
+        # threads never race on prepare() work (creation is lock-guarded
+        # anyway; this avoids redundant layout sorts).
+        for spec in job_specs:
+            engine._prepare_for(spec)
+        if self.pool == "thread" and self.workers > 1 and len(job_specs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            ) as pool:
+                return list(pool.map(engine._timed_execute, job_specs))
+        return [engine._timed_execute(spec) for spec in job_specs]

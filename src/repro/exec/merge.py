@@ -1,0 +1,104 @@
+"""Deterministic merging of per-query outcomes into one batch report.
+
+Concurrency must not make observability lie. Whatever pool answered the
+queries, and in whatever completion order, the merged view is defined
+purely by the *input* order of the batch:
+
+- ``results[i]`` is the answer to ``specs[i]`` — always.
+- ``stats`` is the commutative sum of the stats of the queries that were
+  actually *computed*; cache hits contribute zero work (they cost no
+  checks and no page IOs), so totals match what the machine really did.
+- ``wall_time_s`` is the elapsed wall-clock of the whole batch, which
+  under a pool is less than the summed per-query wall time — the
+  difference is the speed-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import CostStats, RSResult
+
+__all__ = ["BatchReport", "merge_batch"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one ``query_many`` batch, in input order."""
+
+    specs: tuple
+    results: tuple[RSResult, ...]
+    cached: tuple[bool, ...]
+    #: Per-query engine-path wall time (0.0 for cache hits).
+    wall_times_s: tuple[float, ...]
+    #: Summed cost of the computed queries (cache hits cost nothing).
+    stats: CostStats
+    #: Elapsed wall-clock for the whole batch.
+    wall_time_s: float
+    pool: str
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> RSResult:
+        return self.results[i]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(self.cached)
+
+    @property
+    def computed(self) -> int:
+        return len(self.results) - self.cache_hits
+
+    def record_id_sets(self) -> list[tuple[int, ...]]:
+        """The per-query answers, for equality checks against a
+        sequential run."""
+        return [r.record_ids for r in self.results]
+
+    def summary(self) -> dict:
+        total_query_time = sum(self.wall_times_s)
+        return {
+            "queries": len(self.results),
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "pool": self.pool,
+            "workers": self.workers,
+            "checks": self.stats.checks,
+            "page_ios": self.stats.io.total,
+            "batch_wall_time_s": self.wall_time_s,
+            "summed_query_time_s": total_query_time,
+            "speedup_vs_serial_sum": (
+                total_query_time / self.wall_time_s if self.wall_time_s > 0 else 0.0
+            ),
+        }
+
+
+def merge_batch(
+    specs,
+    results,
+    cached,
+    wall_times_s,
+    *,
+    batch_wall_time_s: float,
+    pool: str,
+    workers: int,
+) -> BatchReport:
+    """Assemble the deterministic batch view (everything in input order)."""
+    stats = CostStats.merged(
+        r.stats for r, hit in zip(results, cached) if not hit
+    )
+    return BatchReport(
+        specs=tuple(specs),
+        results=tuple(results),
+        cached=tuple(cached),
+        wall_times_s=tuple(wall_times_s),
+        stats=stats,
+        wall_time_s=batch_wall_time_s,
+        pool=pool,
+        workers=workers,
+    )

@@ -32,7 +32,7 @@ from repro.skyline.oracle import (
 from repro.storage.disk import MemoryBudget
 
 __all__ = ["WorkloadCase", "VerificationFailure", "VerificationReport",
-           "random_workload", "verify_algorithm"]
+           "random_workload", "verify_algorithm", "verify_executor"]
 
 
 @dataclass(frozen=True)
@@ -154,6 +154,79 @@ def verify_algorithm(
         else:
             if got != expected:
                 report.failures.append(VerificationFailure(case, expected, got))
+        if len(report.failures) >= max_failures:
+            break
+    return report
+
+
+def verify_executor(
+    *,
+    trials: int = 50,
+    seed: int = 0,
+    pool_sizes: tuple[int, ...] = (1, 2, 4),
+    cache_modes: tuple[bool, ...] = (False, True),
+    batch_size: int = 6,
+    max_failures: int = 5,
+) -> VerificationReport:
+    """Differential safety net for the concurrent batch executor.
+
+    Replays every randomized trial through ``query_many`` — for each pool
+    size and cache mode — and asserts the per-query results are
+    **bit-identical** to the sequential engine's answers on the same
+    workload. Each trial's batch contains the workload query, random
+    extras, and a deliberate duplicate so the cache and in-flight dedup
+    paths are exercised on every run.
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be >= 1, got {trials}")
+    if batch_size < 2:
+        raise ExperimentError(f"batch_size must be >= 2, got {batch_size}")
+    from repro.engine import ReverseSkylineEngine
+    from repro.exec.cache import ResultCache
+    from repro.exec.executor import QueryExecutor
+
+    report = VerificationReport()
+    for t in range(trials):
+        case = random_workload(seed + t)
+        report.trials += 1
+        rng = np.random.default_rng((seed + t) * 7919 + 1)
+        cards = case.dataset.schema.cardinalities()
+        queries = [case.query] + [
+            tuple(int(rng.integers(0, c)) for c in cards)
+            for _ in range(batch_size - 2)
+        ]
+        queries.append(case.query)  # duplicate → cache / dedup coverage
+        engine = ReverseSkylineEngine(
+            case.dataset, page_bytes=case.page_bytes, log_queries=False
+        )
+        expected = [tuple(engine.query(q).record_ids) for q in queries]
+        for workers in pool_sizes:
+            for cache_on in cache_modes:
+                executor = QueryExecutor(
+                    engine,
+                    pool="thread",
+                    workers=workers,
+                    cache=ResultCache() if cache_on else None,
+                )
+                try:
+                    batch = executor.run_batch(queries)
+                    got = [tuple(r.record_ids) for r in batch.results]
+                except Exception as exc:  # noqa: BLE001 - the point is to report it
+                    report.failures.append(
+                        VerificationFailure(
+                            case,
+                            expected[0],
+                            None,
+                            error=f"workers={workers}, cache={cache_on}: {exc!r}",
+                        )
+                    )
+                    continue
+                for want, have in zip(expected, got):
+                    if want != have:
+                        report.failures.append(
+                            VerificationFailure(case, want, have)
+                        )
+                        break
         if len(report.failures) >= max_failures:
             break
     return report

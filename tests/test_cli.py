@@ -55,6 +55,7 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "result" in out and "checks" in out
 
+    @pytest.mark.smoke
     def test_query_matches_oracle(self, dataset_dir, capsys):
         from repro.persist.format import load_dataset
         from repro.skyline.oracle import reverse_skyline_by_pruners
@@ -74,6 +75,35 @@ class TestQuery:
     def test_bad_value(self, dataset_dir, capsys):
         rc = main(["query", dataset_dir, "--query", "99,0,0"])
         assert rc == 2
+
+
+class TestBatch:
+    def test_matches_single_query_answers(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0", "0,0,0", "1,2,0",
+                   "--workers", "2", "--show-results"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache hits" in out and "1 cache hits" in out
+        from repro.persist.format import load_dataset
+        from repro.skyline.oracle import reverse_skyline_by_pruners
+
+        ds = load_dataset(dataset_dir)
+        expected = reverse_skyline_by_pruners(ds, (1, 2, 0))
+        assert f"1,2,0 -> {expected}" in out
+
+    def test_queries_file_and_serial_pool(self, dataset_dir, tmp_path, capsys):
+        qfile = tmp_path / "queries.txt"
+        qfile.write_text("1,2,0\n0,0,0\n")
+        rc = main(["batch", dataset_dir, "--queries-file", str(qfile),
+                   "--pool", "serial", "--no-cache", "--repeat", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "queries     : 4 (4 computed, 0 cache hits)" in out
+
+    def test_no_queries_is_an_error(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir])
+        assert rc == 2
+        assert "no queries" in capsys.readouterr().err
 
 
 class TestInfluence:

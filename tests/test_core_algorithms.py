@@ -28,6 +28,7 @@ def example():
     return running_example(), running_example_query()
 
 
+@pytest.mark.smoke
 @pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
 def test_running_example(example, algo_cls):
     ds, q = example
@@ -36,6 +37,7 @@ def test_running_example(example, algo_cls):
     assert result.algorithm == algo_cls.name
 
 
+@pytest.mark.smoke
 @pytest.mark.parametrize("algo_cls", CATEGORICAL_ALGOS)
 @pytest.mark.parametrize("budget_pages", [2, 3, 7])
 def test_small_random_all_budgets(algo_cls, budget_pages):

@@ -22,6 +22,7 @@ def engine(ds):
 
 
 class TestQueries:
+    @pytest.mark.smoke
     def test_query_matches_oracle(self, ds, engine):
         for q in query_batch(ds, 3, seed=1):
             assert list(engine.query(q).record_ids) == reverse_skyline_by_pruners(ds, q)

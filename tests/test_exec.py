@@ -1,0 +1,231 @@
+"""The concurrent batch executor and its differential-equivalence layer.
+
+Invariants (each property-style, over randomized query batches):
+
+- pooled/cached ``query_many`` is bit-identical to the sequential engine;
+- a cache hit returns the same object-id set as a cold run;
+- ``skyband(k=1)`` equals ``query``;
+- shuffling a batch never changes any individual result;
+- stats merged across workers equal the sum of the per-query stats.
+"""
+
+import random
+
+import pytest
+
+from repro.core.base import CostStats
+from repro.data.queries import query_batch
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.errors import AlgorithmError, ReproError
+from repro.exec import CacheKey, QueryExecutor, QuerySpec, ResultCache, as_spec
+from repro.testing.verify import verify_executor
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(350, [7, 6, 5], seed=77)
+
+
+@pytest.fixture
+def engine(ds):
+    return ReverseSkylineEngine(ds, memory_fraction=0.2, page_bytes=256)
+
+
+def batch_for(ds, n, *, seed=5, repeats=2):
+    qs = query_batch(ds, n, seed=seed)
+    return qs * repeats
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.smoke
+    def test_pooled_matches_sequential(self, ds, engine):
+        queries = batch_for(ds, 6)
+        expected = [tuple(engine.query(q).record_ids) for q in queries]
+        for workers in (1, 2, 4):
+            for cache in (False, True):
+                report = engine.query_many(queries, workers=workers, cache=cache)
+                assert [tuple(r.record_ids) for r in report.results] == expected
+
+    def test_verify_executor_reports_zero_divergences(self):
+        report = verify_executor(trials=50)
+        assert report.trials == 50
+        assert report.ok, str(report.failures[0])
+
+    def test_shuffling_never_changes_individual_results(self, ds, engine):
+        queries = batch_for(ds, 8, repeats=1)
+        baseline = {
+            q: tuple(r.record_ids)
+            for q, r in zip(queries, engine.query_many(queries, workers=2).results)
+        }
+        for seed in range(3):
+            shuffled = list(queries)
+            random.Random(seed).shuffle(shuffled)
+            report = engine.query_many(shuffled, workers=4)
+            for q, r in zip(shuffled, report.results):
+                assert tuple(r.record_ids) == baseline[q]
+
+    def test_mixed_kind_specs(self, ds, engine):
+        q = query_batch(ds, 1, seed=11)[0]
+        specs = [
+            QuerySpec(q),
+            QuerySpec(q, kind="skyband", k=3),
+            QuerySpec((2, 1), kind="subset", attributes=("A1", "A3")),
+        ]
+        report = engine.query_many(specs, workers=2)
+        assert tuple(report.results[0].record_ids) == tuple(
+            engine.query(q).record_ids
+        )
+        assert tuple(report.results[1].record_ids) == tuple(
+            engine.skyband(q, k=3).record_ids
+        )
+        assert tuple(report.results[2].record_ids) == tuple(
+            engine.query_subset(["A1", "A3"], (2, 1)).record_ids
+        )
+
+
+class TestCache:
+    @pytest.mark.smoke
+    def test_cache_hit_returns_same_ids_as_cold_run(self, ds, engine):
+        queries = batch_for(ds, 5, repeats=1)
+        cold = engine.query_many(queries, workers=2)
+        assert cold.cache_hits == 0
+        warm = engine.query_many(queries, workers=2)
+        assert warm.cache_hits == len(queries)
+        assert warm.record_id_sets() == cold.record_id_sets()
+
+    def test_in_flight_dedup_within_one_batch(self, ds, engine):
+        q = query_batch(ds, 1, seed=21)[0]
+        report = engine.query_many([q, q, q, q], workers=4)
+        assert report.computed == 1
+        assert report.cache_hits == 3
+        assert len({tuple(r.record_ids) for r in report.results}) == 1
+
+    def test_cache_off_computes_everything(self, ds, engine):
+        q = query_batch(ds, 1, seed=22)[0]
+        report = engine.query_many([q, q, q], workers=2, cache=False)
+        assert report.computed == 3 and report.cache_hits == 0
+
+    def test_invalidate_caches_forces_recompute(self, ds, engine):
+        queries = batch_for(ds, 3, repeats=1)
+        engine.query_many(queries)
+        engine.invalidate_caches()
+        report = engine.query_many(queries)
+        assert report.cache_hits == 0
+
+    def test_fingerprint_changes_with_records(self, ds):
+        a = ReverseSkylineEngine(ds)
+        mutated = ds.with_records(list(ds.records[:-1]))
+        b = ReverseSkylineEngine(mutated)
+        assert a.layout_fingerprint() != b.layout_fingerprint()
+        assert a.layout_fingerprint() == ReverseSkylineEngine(ds).layout_fingerprint()
+
+    def test_lru_eviction_and_stats(self):
+        cache = ResultCache(capacity=2)
+        keys = [
+            CacheKey("query", "TRS", "fp", (i,), 1, None) for i in range(3)
+        ]
+        sentinel = object()
+        cache.put(keys[0], sentinel)
+        cache.put(keys[1], sentinel)
+        assert cache.get(keys[0]) is sentinel  # 0 now most-recent
+        cache.put(keys[2], sentinel)  # evicts 1
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is sentinel
+        s = cache.stats()
+        assert s.evictions == 1 and s.hits == 2 and s.misses == 1
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        with pytest.raises(ReproError):
+            ResultCache(capacity=0)
+
+
+class TestStatsMerging:
+    def test_merged_stats_equal_sum_of_per_query_stats(self, ds, engine):
+        queries = batch_for(ds, 6, repeats=1)
+        report = engine.query_many(queries, workers=4, cache=False)
+        by_hand = CostStats.merged(r.stats for r in report.results)
+        assert report.stats.checks == by_hand.checks == sum(
+            r.stats.checks for r in report.results
+        )
+        assert report.stats.io.total == sum(r.stats.io.total for r in report.results)
+        assert report.stats.result_count == sum(len(r) for r in report.results)
+
+    def test_merged_stats_match_sequential_totals(self, ds, engine):
+        queries = batch_for(ds, 5, repeats=1)
+        seq_engine = ReverseSkylineEngine(ds, memory_fraction=0.2, page_bytes=256)
+        seq = [seq_engine.query(q) for q in queries]
+        report = engine.query_many(queries, workers=3, cache=False)
+        assert report.stats.checks == sum(r.stats.checks for r in seq)
+        assert report.stats.io.total == sum(r.stats.io.total for r in seq)
+
+    def test_cache_hits_cost_nothing_in_log_and_totals(self, ds, engine):
+        queries = batch_for(ds, 4, repeats=1)
+        engine.query_many(queries, workers=2)
+        before = engine.summary()["total_checks"]
+        engine.query_many(queries, workers=2)
+        after = engine.summary()
+        assert after["total_checks"] == before  # all hits, zero new work
+        assert after["cache_hits"] == len(queries)
+        hits = [e for e in engine.log if e.cached]
+        assert len(hits) == len(queries)
+        assert all(e.checks == 0 and e.seq_io == 0 and e.rand_io == 0 for e in hits)
+
+    def test_log_order_is_batch_input_order(self, ds, engine):
+        queries = batch_for(ds, 6, repeats=1)
+        engine.query_many(queries, workers=4)
+        assert [e.query for e in engine.log] == [tuple(q) for q in queries]
+
+    def test_skyband_k1_equals_query(self, ds, engine):
+        queries = batch_for(ds, 4, repeats=1)
+        plain = engine.query_many(queries, cache=False)
+        band = engine.query_many(queries, kind="skyband", k=1, cache=False)
+        assert band.record_id_sets() == plain.record_id_sets()
+
+
+class TestPoolsAndSpecs:
+    def test_serial_pool(self, ds, engine):
+        queries = batch_for(ds, 3, repeats=1)
+        report = engine.query_many(queries, pool="serial", cache=False)
+        assert report.pool == "serial"
+        assert report.record_id_sets() == [
+            tuple(engine.query(q).record_ids) for q in queries
+        ]
+
+    def test_process_pool_matches_thread_pool(self, ds, engine):
+        queries = batch_for(ds, 4, repeats=1)
+        expected = engine.query_many(queries, cache=False).record_id_sets()
+        executor = QueryExecutor(engine, pool="process", workers=2)
+        try:
+            report = executor.run_batch(queries)
+        except (OSError, PermissionError) as exc:  # sandboxed CI: no semaphores
+            pytest.skip(f"process pools unavailable here: {exc}")
+        assert report.record_id_sets() == expected
+
+    def test_spec_validation(self):
+        with pytest.raises(AlgorithmError):
+            QuerySpec((1,), kind="nope")
+        with pytest.raises(AlgorithmError):
+            QuerySpec((1,), kind="skyband", k=0)
+        with pytest.raises(AlgorithmError):
+            QuerySpec((1,), kind="subset")
+        spec = as_spec((1, 2), kind="skyband", k=3)
+        assert spec.k == 3 and as_spec(spec) is spec
+
+    def test_executor_validation(self, engine):
+        with pytest.raises(AlgorithmError):
+            QueryExecutor(engine, pool="fiber")
+        with pytest.raises(AlgorithmError):
+            QueryExecutor(engine, workers=0)
+        with pytest.raises(AlgorithmError):
+            QueryExecutor(engine).run_batch([])
+
+    def test_wall_times_use_shared_clock(self, ds, engine):
+        q = query_batch(ds, 1, seed=31)[0]
+        result = engine.query(q)
+        entry = engine.log[-1]
+        # The logged engine-path time contains the algorithm-body time,
+        # both measured by core.base.Stopwatch (perf_counter).
+        assert entry.wall_time_s >= result.stats.wall_time_s > 0.0
+        report = engine.query_many([q], cache=False)
+        assert report.wall_times_s[0] >= report.results[0].stats.wall_time_s > 0.0

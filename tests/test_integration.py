@@ -79,6 +79,7 @@ def test_repeated_runs_are_deterministic(wl):
     assert first.stats.io.total == second.stats.io.total
 
 
+@pytest.mark.smoke
 @pytest.mark.parametrize("num_buckets", [3, 10])
 def test_numeric_trs_against_oracle_mixed(num_buckets):
     ds = mixed_dataset(120, [4], [(0.0, 1.0)], seed=77)

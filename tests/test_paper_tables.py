@@ -19,6 +19,10 @@ from repro.data.examples import (
 )
 from repro.storage.disk import MemoryBudget
 
+# The whole running-example walkthrough finishes in milliseconds — it is
+# part of the pre-merge smoke gate.
+pytestmark = pytest.mark.smoke
+
 # One record = 4B id + 3 x 4B values = 16B: a 16-byte page holds exactly
 # one object, matching the paper's "hypothetical page size that can hold
 # only one object, and a memory size of 3 pages".

@@ -23,6 +23,7 @@ def dataset():
     return synthetic_dataset(350, [7, 5, 6, 4], seed=201)
 
 
+@pytest.mark.smoke
 def test_full_lifecycle(home, dataset):
     # 1. Persist the raw dataset.
     save_dataset(dataset, home / "db")
