@@ -100,6 +100,19 @@ def _cmd_influence(args) -> int:
     return 0
 
 
+def _parse_subset_query(text: str, dataset, indices) -> tuple:
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != len(indices):
+        raise ReproError(
+            f"query has {len(parts)} values; --attributes selects {len(indices)}"
+        )
+    values = []
+    for part, i in zip(parts, indices):
+        attr = dataset.schema[i]
+        values.append(int(part) if attr.is_categorical else float(part))
+    return tuple(values)
+
+
 def _cmd_batch(args) -> int:
     from repro.engine import ReverseSkylineEngine
 
@@ -113,31 +126,64 @@ def _cmd_batch(args) -> int:
             raise ReproError(f"cannot read --queries-file: {exc}") from exc
     if not texts:
         raise ReproError("no queries given; use --queries and/or --queries-file")
-    queries = [_parse_query(text, ds) for text in texts] * args.repeat
+    if args.attributes:
+        if args.k > 1:
+            raise ReproError("--attributes cannot be combined with -k > 1")
+        # Resolve names up front: an unknown attribute is one readable
+        # batch-level error, not a traceback and not N per-query failures.
+        indices = [ds.schema.index_of(name) for name in args.attributes]
+        queries = [_parse_subset_query(t, ds, indices) for t in texts] * args.repeat
+        kind = "subset"
+    else:
+        queries = [_parse_query(text, ds) for text in texts] * args.repeat
+        kind = "skyband" if args.k > 1 else "query"
+    fault_injector = None
+    retry_policy = None
+    if args.inject_faults:
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.storm(args.inject_faults)
+        fault_injector = FaultInjector(plan, seed=args.fault_seed)
+    if args.retries is not None:
+        from repro.faults import RetryPolicy
+
+        retry_policy = RetryPolicy(max_attempts=args.retries)
     engine = ReverseSkylineEngine(
-        ds, algorithm=args.algorithm, memory_fraction=args.memory
+        ds,
+        algorithm=args.algorithm,
+        memory_fraction=args.memory,
+        fault_injector=fault_injector,
+        retry_policy=retry_policy,
     )
     report = engine.query_many(
         queries,
-        kind="skyband" if args.k > 1 else "query",
+        kind=kind,
         k=args.k,
+        attributes=args.attributes,
         pool=args.pool,
         workers=args.workers,
         cache=not args.no_cache,
     )
     if args.show_results:
         for spec, result in zip(report.specs, report.results):
-            print(f"{','.join(map(str, spec.query))} -> {list(result.record_ids)}")
+            answer = "FAILED" if result is None else list(result.record_ids)
+            print(f"{','.join(map(str, spec.query))} -> {answer}")
     s = report.summary()
     print(f"queries     : {s['queries']} ({s['computed']} computed, "
-          f"{s['cache_hits']} cache hits)")
+          f"{s['cache_hits']} cache hits, {s['failed']} failed)")
     print(f"pool        : {s['pool']} x {s['workers']}")
     print(f"checks      : {s['checks']:,}")
     print(f"page ios    : {s['page_ios']:,}")
+    if fault_injector is not None:
+        print(f"fault model : rate={args.inject_faults}, seed={args.fault_seed}")
+        print(f"recovery    : {s['faults_seen']} storage faults seen, "
+              f"{s['io_retries']} page-IO retries")
     print(f"batch time  : {s['batch_wall_time_s'] * 1000:.1f} ms "
           f"({s['queries'] / s['batch_wall_time_s']:.0f} queries/s)")
     print(f"speedup     : {s['speedup_vs_serial_sum']:.2f}x vs summed query time")
-    return 0
+    for i, error in report.failures():
+        print(f"failed [{i}]: {error.describe()}", file=sys.stderr)
+    return 3 if report.failed else 0
 
 
 def _cmd_skyband(args) -> int:
@@ -260,6 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("-k", type=int, default=1, help="k>1 answers reverse k-skybands")
     batch.add_argument("--repeat", type=int, default=1, help="replay the batch N times")
     batch.add_argument("--show-results", action="store_true")
+    batch.add_argument(
+        "--attributes", nargs="+", metavar="NAME",
+        help="answer over this attribute subset (queries give values for "
+             "exactly these attributes, in order)",
+    )
+    batch.add_argument(
+        "--inject-faults", type=float, default=0.0, metavar="RATE",
+        help="chaos-test the batch: inject transient storage/worker faults "
+             "at RATE and recover via retries",
+    )
+    batch.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault schedule")
+    batch.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per faulting operation before a query is "
+             "reported failed (default 4)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     band = sub.add_parser("skyband", help="run a reverse k-skyband query")

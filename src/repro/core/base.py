@@ -206,6 +206,11 @@ class ReverseSkylineAlgorithm(ABC):
         #: then includes genuine filesystem IO, the paper's Section 5.1
         #: response-time methodology).
         self.backing_dir = None
+        #: Optional :class:`~repro.faults.FaultInjector` staged onto every
+        #: per-query disk, plus the :class:`~repro.faults.RetryPolicy`
+        #: governing recovery (``None`` uses the disk's default policy).
+        self.fault_injector = None
+        self.retry_policy = None
 
     # -- physical design ----------------------------------------------------
     def prepare(self) -> None:
@@ -244,7 +249,12 @@ class ReverseSkylineAlgorithm(ABC):
         """Answer one reverse-skyline query."""
         q = self.dataset.validate_query(query)
         self.prepare()
-        disk = DiskSimulator(self.page_bytes, backing_dir=self.backing_dir)
+        disk = DiskSimulator(
+            self.page_bytes,
+            backing_dir=self.backing_dir,
+            fault_injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+        )
         try:
             data_file = disk.load_entries(self.dataset.schema, self.layout, "data")
             stats = CostStats()

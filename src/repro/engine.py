@@ -65,6 +65,8 @@ class QueryLogEntry:
     rand_io: int
     wall_time_s: float
     cached: bool = False
+    #: Set (to the error description) when the query failed past recovery.
+    error: str | None = None
 
 
 @dataclass
@@ -90,12 +92,19 @@ class ReverseSkylineEngine:
         memory_fraction: float = 0.10,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         log_queries: bool = True,
+        fault_injector=None,
+        retry_policy=None,
     ) -> None:
         self.dataset = dataset
         self.default_algorithm = algorithm
         self.memory_fraction = memory_fraction
         self.page_bytes = page_bytes
         self.log_queries = log_queries
+        #: Optional :class:`~repro.faults.FaultInjector` staged onto every
+        #: prepared algorithm's per-query disks, plus the retry policy
+        #: used there and by the batch executor (see :mod:`repro.faults`).
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
         self._algorithms: dict[str, object] = {}
         self._subset_engines: dict[tuple[int, ...], "ReverseSkylineEngine"] = {}
         self._skybands: dict[int, ReverseSkybandTRS] = {}
@@ -146,12 +155,20 @@ class ReverseSkylineEngine:
             save_layouts(directory, layouts)
 
     def _make_algorithm_shell(self, name: str):
-        return make_algorithm(
+        algo = make_algorithm(
             name,
             self.dataset,
             memory_fraction=self.memory_fraction,
             page_bytes=self.page_bytes,
         )
+        self._arm(algo)
+        return algo
+
+    def _arm(self, algo) -> None:
+        """Stage the engine's fault machinery onto one algorithm instance
+        (its per-query disks then inject/retry accordingly)."""
+        algo.fault_injector = self.fault_injector
+        algo.retry_policy = self.retry_policy
 
     # -- internals ----------------------------------------------------------
     def _algorithm(self, name: str):
@@ -177,6 +194,7 @@ class ReverseSkylineEngine:
                         memory_fraction=self.memory_fraction,
                         page_bytes=self.page_bytes,
                     )
+                    self._arm(algo)
                     algo.prepare()
                     self._skybands[k] = algo
         return algo
@@ -202,6 +220,7 @@ class ReverseSkylineEngine:
                         memory_fraction=self.memory_fraction,
                         page_bytes=self.page_bytes,
                     )
+                    self._arm(algo)
                     algo.use_layout(
                         [
                             (rid, tuple(values[i] for i in indices))
@@ -213,6 +232,8 @@ class ReverseSkylineEngine:
                         memory_fraction=self.memory_fraction,
                         page_bytes=self.page_bytes,
                         log_queries=False,
+                        fault_injector=self.fault_injector,
+                        retry_policy=self.retry_policy,
                     )
                     engine._algorithms["TRS"] = algo
                     self._subset_engines[indices] = engine
@@ -432,15 +453,44 @@ class ReverseSkylineEngine:
             result = self._execute_spec(spec)
         return result, watch.stop()
 
-    def _record_batch(self, specs, results, cached, wall_times) -> None:
-        """Append one log entry per batch slot, in input order."""
+    def _record_batch(self, specs, results, cached, wall_times, errors=None) -> None:
+        """Append one log entry per batch slot, in input order. Failed
+        slots (``results[i] is None``) log an error entry with zero cost."""
+        if errors is None:
+            errors = [None] * len(specs)
         labels = {
             "query": "reverse-skyline",
             "subset": "subset-reverse-skyline",
         }
-        for spec, result, hit, wall in zip(specs, results, cached, wall_times):
+        for spec, result, hit, wall, error in zip(
+            specs, results, cached, wall_times, errors
+        ):
             kind = labels.get(spec.kind) or f"reverse-{spec.k}-skyband"
+            if result is None:
+                self._record_failure(kind, spec, error)
+                continue
             self._record(kind, result, wall_time_s=wall, cached=hit)
+
+    def _record_failure(self, kind: str, spec, error) -> None:
+        """Log one query that failed past recovery (costs nothing: the
+        work its attempts did is accounted in retry counters, not here)."""
+        with self._stats.lock:
+            self._stats.queries += 1
+            if self.log_queries:
+                self._stats.log.append(
+                    QueryLogEntry(
+                        kind=kind,
+                        algorithm=spec.algorithm or self.default_algorithm,
+                        query=tuple(spec.query),
+                        result_size=0,
+                        checks=0,
+                        seq_io=0,
+                        rand_io=0,
+                        wall_time_s=0.0,
+                        cached=False,
+                        error=error.describe() if error is not None else "failed",
+                    )
+                )
 
     # -- observability -----------------------------------------------------
     @property

@@ -25,6 +25,56 @@ class StorageError(ReproError):
     """A simulated-disk operation failed (bad page id, closed file, ...)."""
 
 
+class TransientError(ReproError):
+    """A failure that may succeed if the operation is retried (the base of
+    the fault-injection / recovery hierarchy, see :mod:`repro.faults`)."""
+
+
+class TransientIOError(TransientError, StorageError):
+    """One page IO failed transiently (injected or a real ``OSError``).
+
+    Carries the failing site so retry accounting and error reports can
+    name it: ``op`` (``"read"``/``"write"``), ``file`` and ``page_id``.
+    """
+
+    def __init__(self, message: str, *, op: str, file: str, page_id: int) -> None:
+        super().__init__(message)
+        self.op = op
+        self.file = file
+        self.page_id = page_id
+
+
+class WorkerCrashError(TransientError):
+    """A pool worker died (or timed out) while answering one query.
+
+    Carries the ``query`` it was answering and the crash ``reason``
+    (``"crash"`` or ``"timeout"``).
+    """
+
+    def __init__(self, message: str, *, query: tuple, reason: str = "crash") -> None:
+        super().__init__(message)
+        self.query = query
+        self.reason = reason
+
+
+class RetryExhaustedError(ReproError):
+    """A transient failure persisted through every allowed retry.
+
+    Deliberately **not** a :class:`TransientError`: once the retry budget
+    is spent the failure is final and must surface as a structured
+    per-query error, never trigger another retry loop. Carries the
+    ``attempts`` made and the ``last_error`` (the final transient
+    failure, whose own context names the failing site).
+    """
+
+    def __init__(
+        self, message: str, *, attempts: int, last_error: Exception | None = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class MemoryBudgetError(ReproError):
     """The configured memory budget is too small for the requested operation
     (for example, smaller than a single disk page)."""

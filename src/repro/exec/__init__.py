@@ -15,12 +15,13 @@ Verified differentially against the sequential engine by
 
 from repro.exec.cache import CacheKey, CacheStats, ResultCache
 from repro.exec.executor import QueryExecutor, QuerySpec, as_spec
-from repro.exec.merge import BatchReport, merge_batch
+from repro.exec.merge import BatchReport, QueryError, merge_batch
 
 __all__ = [
     "BatchReport",
     "CacheKey",
     "CacheStats",
+    "QueryError",
     "QueryExecutor",
     "QuerySpec",
     "ResultCache",

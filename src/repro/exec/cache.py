@@ -52,6 +52,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Inserts dropped because the cache was invalidated between the
+    #: caller's miss and its ``put`` (see :meth:`ResultCache.put`).
+    stale_rejects: int = 0
 
     @property
     def lookups(self) -> int:
@@ -72,6 +75,16 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, RSResult] = OrderedDict()
         self._stats = CacheStats()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by :meth:`invalidate`. Snapshot it
+        before computing a missed entry and pass it to :meth:`put` so an
+        invalidation that happened in between drops the insert instead of
+        resurrecting a result computed against the old dataset state."""
+        with self._lock:
+            return self._version
 
     def get(self, key: CacheKey) -> RSResult | None:
         with self._lock:
@@ -83,8 +96,16 @@ class ResultCache:
             self._stats.hits += 1
             return result
 
-    def put(self, key: CacheKey, result: RSResult) -> None:
+    def put(self, key: CacheKey, result: RSResult, *, version: int | None = None) -> None:
+        """Insert one entry. ``version`` (from :attr:`version`, read at
+        miss time) makes the insert conditional: if :meth:`invalidate`
+        ran since, the entry is stale — its fingerprint was computed
+        against the pre-invalidation dataset state — and is rejected
+        rather than re-inserted under the old key."""
         with self._lock:
+            if version is not None and version != self._version:
+                self._stats.stale_rejects += 1
+                return
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = result
@@ -99,6 +120,7 @@ class ResultCache:
             dropped = len(self._entries)
             self._entries.clear()
             self._stats.invalidations += 1
+            self._version += 1
             return dropped
 
     def __len__(self) -> int:
@@ -116,4 +138,5 @@ class ResultCache:
                 self._stats.misses,
                 self._stats.evictions,
                 self._stats.invalidations,
+                self._stats.stale_rejects,
             )

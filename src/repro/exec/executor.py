@@ -38,9 +38,10 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.base import Stopwatch
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, ReproError, TransientError
 from repro.exec.cache import CacheKey, ResultCache
-from repro.exec.merge import BatchReport, merge_batch
+from repro.exec.merge import BatchReport, QueryError, merge_batch
+from repro.faults.retry import RetryPolicy
 
 __all__ = ["QuerySpec", "QueryExecutor", "as_spec"]
 
@@ -89,29 +90,104 @@ def as_spec(
     )
 
 
+@dataclass(frozen=True)
+class _JobOutcome:
+    """What one pending job produced — success or structured failure.
+
+    Plain picklable dataclass: it is also the wire format coming back
+    from process-pool workers, so per-worker cost stats (inside
+    ``result.stats``, including the IO retry counters) and failures are
+    never silently dropped when a pool is torn down.
+    """
+
+    result: object | None  # RSResult on success
+    wall_s: float
+    error: QueryError | None = None
+    attempts: int = 1
+
+
+def _run_with_recovery(
+    engine, spec: QuerySpec, injector, policy: RetryPolicy
+) -> _JobOutcome:
+    """Answer one spec, retrying transient failures, capturing the rest.
+
+    The recovery contract the chaos harness asserts: a transient fault
+    (worker crash/timeout from the injector, or a raw transient that
+    escaped the storage layer) is retried under ``policy``; retry
+    exhaustion and every other library error become a structured
+    :class:`QueryError` outcome. Nothing an individual query does can
+    abort the batch — only genuine bugs (non-``ReproError``) propagate.
+    """
+    attempt = 0
+    while True:
+        try:
+            if injector is not None:
+                injector.query_fault(spec.query)
+            result, wall = engine._timed_execute(spec)
+            return _JobOutcome(result, wall, None, attempts=attempt + 1)
+        except TransientError as exc:
+            attempt += 1
+            try:
+                policy.backoff(attempt, exc)
+            except ReproError as final:
+                return _JobOutcome(
+                    None,
+                    0.0,
+                    QueryError.from_exception(final, spec.query, attempts=attempt),
+                    attempts=attempt,
+                )
+        except ReproError as exc:
+            # Includes RetryExhaustedError escalated by the storage layer:
+            # its retry budget is spent, so it is terminal here.
+            return _JobOutcome(
+                None,
+                0.0,
+                QueryError.from_exception(exc, spec.query, attempts=attempt + 1),
+                attempts=attempt + 1,
+            )
+
+
 # -- process-pool plumbing ----------------------------------------------------
-# Workers hold their own engine (module global set by the pool initializer);
-# specs go over the wire, RSResults come back — both are plain picklable
-# dataclasses.
+# Workers hold their own engine plus fault machinery (module globals set
+# by the pool initializer); specs go over the wire, _JobOutcomes come
+# back — all plain picklable dataclasses.
 _WORKER_ENGINE = None
+_WORKER_INJECTOR = None
+_WORKER_POLICY = RetryPolicy()
 
 
-def _process_worker_init(dataset, algorithm, memory_fraction, page_bytes) -> None:
-    global _WORKER_ENGINE
+def _process_worker_init(
+    dataset,
+    algorithm,
+    memory_fraction,
+    page_bytes,
+    fault_plan=None,
+    fault_seed=0,
+    retry_args=None,
+) -> None:
+    global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
 
+    _WORKER_INJECTOR = None
+    if fault_plan is not None:
+        from repro.faults.inject import FaultInjector
+
+        _WORKER_INJECTOR = FaultInjector(fault_plan, fault_seed)
+    _WORKER_POLICY = RetryPolicy(**retry_args) if retry_args else RetryPolicy()
     _WORKER_ENGINE = ReverseSkylineEngine(
         dataset,
         algorithm=algorithm,
         memory_fraction=memory_fraction,
         page_bytes=page_bytes,
         log_queries=False,
+        fault_injector=_WORKER_INJECTOR,
+        retry_policy=_WORKER_POLICY,
     )
 
 
-def _process_worker_run(spec: QuerySpec):
+def _process_worker_run(spec: QuerySpec) -> _JobOutcome:
     assert _WORKER_ENGINE is not None, "pool initializer did not run"
-    return _WORKER_ENGINE._timed_execute(spec)
+    return _run_with_recovery(_WORKER_ENGINE, spec, _WORKER_INJECTOR, _WORKER_POLICY)
 
 
 class QueryExecutor:
@@ -129,6 +205,10 @@ class QueryExecutor:
     cache:
         ``True`` for a private :class:`ResultCache`, an existing cache to
         share (e.g. the engine's), or ``None``/``False`` for no caching.
+    fault_injector / retry_policy:
+        Fault machinery for worker-level faults and query retries;
+        default to the engine's own (set when the engine was constructed
+        with a :class:`~repro.faults.FaultInjector`).
     """
 
     def __init__(
@@ -139,6 +219,8 @@ class QueryExecutor:
         workers: int | None = None,
         cache: ResultCache | bool | None = None,
         cache_capacity: int = 1024,
+        fault_injector=None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if pool not in ("serial", "thread", "process"):
             raise AlgorithmError(
@@ -156,6 +238,12 @@ class QueryExecutor:
         elif cache is False:
             cache = None
         self.cache = cache
+        if fault_injector is None:
+            fault_injector = getattr(engine, "fault_injector", None)
+        self.fault_injector = fault_injector
+        if retry_policy is None:
+            retry_policy = getattr(engine, "retry_policy", None) or RetryPolicy()
+        self.retry_policy = retry_policy
 
     # -- public API ---------------------------------------------------------
     def run_batch(
@@ -170,7 +258,10 @@ class QueryExecutor:
         """Answer every query; results come back in input order.
 
         ``queries`` may mix plain tuples (interpreted with the keyword
-        defaults) and explicit :class:`QuerySpec` objects.
+        defaults) and explicit :class:`QuerySpec` objects. A query that
+        fails past recovery becomes a structured error entry in the
+        report (``results[i] is None``, ``errors[i]`` set) — it never
+        aborts the rest of the batch.
         """
         specs = [
             as_spec(q, kind=kind, k=k, algorithm=algorithm, attributes=attributes)
@@ -185,6 +276,7 @@ class QueryExecutor:
         results: list = [None] * n
         cached = [False] * n
         wall_times = [0.0] * n
+        errors: list[QueryError | None] = [None] * n
 
         # Partition the batch into cache hits and unique pending jobs.
         # Identical specs collapse onto one job whenever a cache is
@@ -192,11 +284,23 @@ class QueryExecutor:
         # one, later occurrences count as hits.
         jobs: list[tuple[QuerySpec, list[int]]] = []
         keys: list[CacheKey | None] = [None] * n
+        cache_version: int | None = None
         if self.cache is not None:
             fingerprint = engine.layout_fingerprint()
+            # Snapshot the cache version with the fingerprint: an
+            # invalidate() racing this batch must drop our later put()s,
+            # not let them re-insert results keyed by the old fingerprint.
+            cache_version = self.cache.version
             job_of: dict[CacheKey, int] = {}
             for i, spec in enumerate(specs):
-                key = self._cache_key(spec, fingerprint)
+                try:
+                    key = self._cache_key(spec, fingerprint)
+                except ReproError:
+                    # An unresolvable spec (e.g. unknown attribute) is
+                    # uncacheable; run it as its own job so the failure
+                    # is captured per-query, not thrown at the batch.
+                    jobs.append((spec, [i]))
+                    continue
                 keys[i] = key
                 hit = self.cache.get(key)
                 if hit is not None:
@@ -214,18 +318,26 @@ class QueryExecutor:
             jobs = [(spec, [i]) for i, spec in enumerate(specs)]
 
         outcomes = self._execute([spec for spec, _ in jobs])
-        for (spec, indices), (result, elapsed) in zip(jobs, outcomes):
+        for (spec, indices), outcome in zip(jobs, outcomes):
             first = indices[0]
-            results[first] = result
-            wall_times[first] = elapsed
+            if outcome.error is not None:
+                # The whole dedup group shares the failure; none of its
+                # slots counts as a cache hit and nothing is cached.
+                for i in indices:
+                    results[i] = None
+                    errors[i] = outcome.error
+                    cached[i] = False
+                continue
+            results[first] = outcome.result
+            wall_times[first] = outcome.wall_s
             for i in indices[1:]:
-                results[i] = result
-            if self.cache is not None:
-                self.cache.put(keys[first], result)
+                results[i] = outcome.result
+            if self.cache is not None and keys[first] is not None:
+                self.cache.put(keys[first], outcome.result, version=cache_version)
 
         # One pass in input order keeps the engine's query log and
         # aggregate counters deterministic under any pool.
-        engine._record_batch(specs, results, cached, wall_times)
+        engine._record_batch(specs, results, cached, wall_times, errors)
         return merge_batch(
             specs,
             results,
@@ -234,6 +346,7 @@ class QueryExecutor:
             batch_wall_time_s=batch_watch.stop(),
             pool=self.pool,
             workers=self.workers,
+            errors=errors,
         )
 
     # -- internals ----------------------------------------------------------
@@ -251,13 +364,28 @@ class QueryExecutor:
             ),
         )
 
-    def _execute(self, job_specs: list[QuerySpec]) -> list:
-        """Run the pending jobs, returning ``(RSResult, wall_s)`` pairs in
+    def _retry_args(self) -> dict:
+        """The retry policy as picklable constructor kwargs for process
+        workers (a custom ``sleep`` hook stays local — workers use the
+        real ``time.sleep``)."""
+        p = self.retry_policy
+        return {
+            "max_attempts": p.max_attempts,
+            "base_delay_s": p.base_delay_s,
+            "multiplier": p.multiplier,
+            "max_delay_s": p.max_delay_s,
+        }
+
+    def _execute(self, job_specs: list[QuerySpec]) -> list[_JobOutcome]:
+        """Run the pending jobs, returning :class:`_JobOutcome` objects in
         job order (``map`` preserves order on every pool)."""
         if not job_specs:
             return []
         engine = self.engine
+        injector, policy = self.fault_injector, self.retry_policy
         if self.pool == "process" and self.workers > 1 and len(job_specs) > 1:
+            fault_plan = injector.plan if injector is not None else None
+            fault_seed = injector.seed if injector is not None else 0
             with ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_process_worker_init,
@@ -266,6 +394,9 @@ class QueryExecutor:
                     engine.default_algorithm,
                     engine.memory_fraction,
                     engine.page_bytes,
+                    fault_plan,
+                    fault_seed,
+                    self._retry_args(),
                 ),
             ) as pool:
                 chunk = max(1, len(job_specs) // (self.workers * 4))
@@ -276,10 +407,17 @@ class QueryExecutor:
         # threads never race on prepare() work (creation is lock-guarded
         # anyway; this avoids redundant layout sorts).
         for spec in job_specs:
-            engine._prepare_for(spec)
+            try:
+                engine._prepare_for(spec)
+            except ReproError:
+                pass  # resurfaces inside the job as a structured QueryError
+
+        def run_one(spec: QuerySpec) -> _JobOutcome:
+            return _run_with_recovery(engine, spec, injector, policy)
+
         if self.pool == "thread" and self.workers > 1 and len(job_specs) > 1:
             with ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-exec"
             ) as pool:
-                return list(pool.map(engine._timed_execute, job_specs))
-        return [engine._timed_execute(spec) for spec in job_specs]
+                return list(pool.map(run_one, job_specs))
+        return [run_one(spec) for spec in job_specs]

@@ -11,6 +11,10 @@ purely by the *input* order of the batch:
 - ``wall_time_s`` is the elapsed wall-clock of the whole batch, which
   under a pool is less than the summed per-query wall time — the
   difference is the speed-up.
+- a query that failed past recovery (see :mod:`repro.faults`) occupies
+  its slot as ``results[i] is None`` plus a structured
+  :class:`QueryError` in ``errors[i]`` — one bad query never aborts the
+  batch and never shifts another query's position.
 """
 
 from __future__ import annotations
@@ -19,7 +23,48 @@ from dataclasses import dataclass
 
 from repro.core.base import CostStats, RSResult
 
-__all__ = ["BatchReport", "merge_batch"]
+__all__ = ["BatchReport", "QueryError", "merge_batch"]
+
+
+@dataclass(frozen=True)
+class QueryError:
+    """Structured capture of one query's terminal failure.
+
+    Picklable (it crosses the process-pool boundary) and carries the
+    context a caller needs to triage without a traceback: the query, the
+    error class, how many attempts recovery made, and — for storage
+    failures — the failing file/page site.
+    """
+
+    query: tuple
+    error_type: str
+    message: str
+    attempts: int = 1
+    file: str | None = None
+    page_id: int | None = None
+
+    @classmethod
+    def from_exception(
+        cls, exc: Exception, query: tuple, *, attempts: int = 1
+    ) -> "QueryError":
+        # RetryExhaustedError wraps the final transient failure; surface
+        # the inner site context when it has one.
+        site = getattr(exc, "last_error", None) or exc
+        return cls(
+            query=tuple(query),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=getattr(exc, "attempts", attempts),
+            file=getattr(site, "file", None),
+            page_id=getattr(site, "page_id", None),
+        )
+
+    def describe(self) -> str:
+        where = f" at {self.file!r} page {self.page_id}" if self.file else ""
+        return (
+            f"query {self.query}: {self.error_type}{where} "
+            f"after {self.attempts} attempt(s): {self.message}"
+        )
 
 
 @dataclass(frozen=True)
@@ -27,7 +72,8 @@ class BatchReport:
     """Outcome of one ``query_many`` batch, in input order."""
 
     specs: tuple
-    results: tuple[RSResult, ...]
+    #: ``None`` in a slot means that query failed; see ``errors``.
+    results: tuple[RSResult | None, ...]
     cached: tuple[bool, ...]
     #: Per-query engine-path wall time (0.0 for cache hits).
     wall_times_s: tuple[float, ...]
@@ -37,6 +83,8 @@ class BatchReport:
     wall_time_s: float
     pool: str
     workers: int
+    #: Per-slot terminal failures (``None`` where the query succeeded).
+    errors: tuple[QueryError | None, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -44,7 +92,7 @@ class BatchReport:
     def __iter__(self):
         return iter(self.results)
 
-    def __getitem__(self, i: int) -> RSResult:
+    def __getitem__(self, i: int) -> RSResult | None:
         return self.results[i]
 
     @property
@@ -52,13 +100,26 @@ class BatchReport:
         return sum(self.cached)
 
     @property
-    def computed(self) -> int:
-        return len(self.results) - self.cache_hits
+    def failed(self) -> int:
+        return sum(1 for e in self.errors if e is not None)
 
-    def record_id_sets(self) -> list[tuple[int, ...]]:
+    @property
+    def ok(self) -> bool:
+        """Every query in the batch was answered."""
+        return self.failed == 0
+
+    @property
+    def computed(self) -> int:
+        return len(self.results) - self.cache_hits - self.failed
+
+    def failures(self) -> list[tuple[int, QueryError]]:
+        """The failed slots as ``(batch_index, error)`` pairs."""
+        return [(i, e) for i, e in enumerate(self.errors) if e is not None]
+
+    def record_id_sets(self) -> list[tuple[int, ...] | None]:
         """The per-query answers, for equality checks against a
-        sequential run."""
-        return [r.record_ids for r in self.results]
+        sequential run (``None`` marks a failed query)."""
+        return [None if r is None else r.record_ids for r in self.results]
 
     def summary(self) -> dict:
         total_query_time = sum(self.wall_times_s)
@@ -66,10 +127,13 @@ class BatchReport:
             "queries": len(self.results),
             "cache_hits": self.cache_hits,
             "computed": self.computed,
+            "failed": self.failed,
             "pool": self.pool,
             "workers": self.workers,
             "checks": self.stats.checks,
             "page_ios": self.stats.io.total,
+            "io_retries": self.stats.io.retries,
+            "faults_seen": self.stats.io.faults_seen,
             "batch_wall_time_s": self.wall_time_s,
             "summed_query_time_s": total_query_time,
             "speedup_vs_serial_sum": (
@@ -87,10 +151,13 @@ def merge_batch(
     batch_wall_time_s: float,
     pool: str,
     workers: int,
+    errors=None,
 ) -> BatchReport:
     """Assemble the deterministic batch view (everything in input order)."""
+    if errors is None:
+        errors = [None] * len(results)
     stats = CostStats.merged(
-        r.stats for r, hit in zip(results, cached) if not hit
+        r.stats for r, hit in zip(results, cached) if r is not None and not hit
     )
     return BatchReport(
         specs=tuple(specs),
@@ -101,4 +168,5 @@ def merge_batch(
         wall_time_s=batch_wall_time_s,
         pool=pool,
         workers=workers,
+        errors=tuple(errors),
     )

@@ -1,0 +1,30 @@
+"""Fault injection and recovery for the query stack.
+
+The paper's algorithms are scan-based over a paged disk; there is no
+index to fall back on, so the scan/IO substrate has to survive failures
+on its own. This package provides the two halves of that hardening:
+
+- :class:`FaultPlan` / :class:`FaultInjector` — a deterministic,
+  seedable source of transient read/write errors, torn appends, latency
+  spikes and worker crashes, wired into
+  :class:`~repro.storage.disk.DiskSimulator` and
+  :class:`~repro.exec.executor.QueryExecutor`.
+- :class:`RetryPolicy` — exponential-backoff retries for the transient
+  failures (injected *or* real ``OSError`` from the file-backed store),
+  escalating to :class:`~repro.errors.RetryExhaustedError` when spent.
+
+``repro.testing.chaos`` replays randomized workloads under injection and
+asserts the recovered answers are bit-identical to fault-free runs.
+"""
+
+from repro.faults.inject import FaultInjector, FaultPlan, FaultStats, PageAction
+from repro.faults.retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "NO_RETRY",
+    "PageAction",
+    "RetryPolicy",
+]

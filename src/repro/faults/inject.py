@@ -1,0 +1,300 @@
+"""Deterministic, seedable fault injection for the query stack.
+
+A :class:`FaultPlan` says *what* can go wrong and how often; a
+:class:`FaultInjector` decides, per operation, *whether* it goes wrong —
+by hashing ``(seed, site, attempt)`` rather than drawing from a shared
+RNG stream, so every decision is a pure function of the seed and the
+site's own consultation history. Replaying the same serial workload with
+the same seed injects exactly the same faults; under a concurrent pool
+the per-site decisions stay deterministic while interleaving may vary,
+and the recovery machinery guarantees the *answers* never depend on the
+schedule (see ``repro.testing.chaos``).
+
+Fault model
+-----------
+- **transient read/write errors** — a page IO raises
+  :class:`~repro.errors.TransientIOError`; the storage layer retries it
+  under the :class:`~repro.faults.retry.RetryPolicy`.
+- **torn appends** — an appending page write persists only a prefix of
+  the page's records before failing; the retry re-commits the full page
+  over the torn slot (page commits are idempotent).
+- **latency spikes** — an IO stalls for ``latency_s`` before succeeding.
+- **worker crash / timeout** — a pool worker raises
+  :class:`~repro.errors.WorkerCrashError` mid-query; the executor
+  retries the whole query and, if retries run out, degrades it into a
+  structured error entry in the batch report.
+
+``max_consecutive`` caps how many times in a row one site may fail, so
+any retry policy with ``max_attempts > max_consecutive`` is guaranteed to
+recover (the chaos harness relies on this to assert bit-identical
+results); plans with ``max_consecutive >= max_attempts`` force the
+retry-exhausted path instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, TransientIOError, WorkerCrashError
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultStats", "PageAction"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Static description of the faults to inject (all rates in [0, 1])."""
+
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_append_rate: float = 0.0
+    latency_rate: float = 0.0
+    #: Stall length for one injected latency spike (kept tiny by default
+    #: so chaos runs stay fast; the *accounting* is what tests assert).
+    latency_s: float = 0.0002
+    crash_rate: float = 0.0
+    timeout_rate: float = 0.0
+    #: Per-site cap on consecutive failures. Recovery is guaranteed when
+    #: the retry policy allows more attempts than this.
+    max_consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "torn_append_rate",
+            "latency_rate",
+            "crash_rate",
+            "timeout_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_s < 0:
+            raise ReproError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.max_consecutive < 0:
+            raise ReproError(
+                f"max_consecutive must be >= 0, got {self.max_consecutive}"
+            )
+
+    @classmethod
+    def storm(cls, rate: float = 0.05) -> "FaultPlan":
+        """Every fault kind enabled at ``rate`` — the chaos-harness default."""
+        return cls(
+            read_error_rate=rate,
+            write_error_rate=rate,
+            torn_append_rate=rate,
+            latency_rate=rate,
+            crash_rate=rate,
+            timeout_rate=rate / 2,
+        )
+
+    @classmethod
+    def io_only(cls, rate: float = 0.1) -> "FaultPlan":
+        """Storage faults only (no worker crashes) — isolates the disk
+        retry path."""
+        return cls(read_error_rate=rate, write_error_rate=rate, torn_append_rate=rate)
+
+    @property
+    def any_io_faults(self) -> bool:
+        return bool(
+            self.read_error_rate
+            or self.write_error_rate
+            or self.torn_append_rate
+            or self.latency_rate
+        )
+
+    @property
+    def any_query_faults(self) -> bool:
+        return bool(self.crash_rate or self.timeout_rate)
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults (snapshot via :meth:`FaultInjector.stats`)."""
+
+    read_errors: int = 0
+    write_errors: int = 0
+    torn_appends: int = 0
+    latency_spikes: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.read_errors
+            + self.write_errors
+            + self.torn_appends
+            + self.latency_spikes
+            + self.crashes
+            + self.timeouts
+        )
+
+
+@dataclass(frozen=True)
+class PageAction:
+    """The injector's verdict for one page IO. ``"torn"`` (appends only)
+    means the store persists a prefix of the page and then fails."""
+
+    kind: str = "ok"  # "ok" | "fail" | "torn"
+    latency_s: float = 0.0
+
+
+_OK = PageAction()
+
+
+class FaultInjector:
+    """Seeded decision-maker consulted by the storage layer and executor.
+
+    Thread-safe; picklable (process-pool workers rebuild it from
+    ``(plan, seed)`` with fresh per-site counters, keeping worker-side
+    decisions deterministic per worker).
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        #: site -> (total consults, consecutive failures so far)
+        self._sites: dict[tuple, tuple[int, int]] = {}
+        self._stats = FaultStats()
+
+    def __reduce__(self):
+        return (type(self), (self.plan, self.seed))
+
+    # -- deterministic draws -------------------------------------------------
+    def _uniform(self, *site) -> float:
+        """A pure-function draw in [0, 1) for this site consultation."""
+        token = f"{self.seed}|" + "|".join(map(str, site))
+        digest = hashlib.blake2b(token.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def _consult(self, site: tuple, rate: float) -> bool:
+        """Should this consultation of ``site`` fail? Applies the
+        ``max_consecutive`` cap and updates the site history."""
+        return self._consult_kinds(site, (("fail", rate),)) is not None
+
+    def _consult_kinds(
+        self, site: tuple, kinds: tuple[tuple[str, float], ...]
+    ) -> str | None:
+        """One site-level failure decision covering several fault kinds.
+
+        All kinds that can hit an operation MUST share one site: separate
+        sites would keep separate ``max_consecutive`` streaks that reset
+        each other, letting the *combined* failure streak exceed the cap
+        and silently void the recovery guarantee. Returns the failing
+        kind's name (chosen by a rate-weighted secondary draw) or ``None``.
+        """
+        survive = 1.0
+        for _, rate in kinds:
+            survive *= 1.0 - rate
+        combined = 1.0 - survive
+        if combined <= 0.0:
+            return None
+        with self._lock:
+            consults, consecutive = self._sites.get(site, (0, 0))
+            if consecutive >= self.plan.max_consecutive:
+                fail = False  # cap reached: this attempt must succeed
+            else:
+                fail = self._uniform(*site, consults) < combined
+            self._sites[site] = (consults + 1, consecutive + 1 if fail else 0)
+        if not fail:
+            return None
+        pick = self._uniform("kind", *site, consults) * sum(r for _, r in kinds)
+        acc = 0.0
+        for name, rate in kinds:
+            acc += rate
+            if pick < acc:
+                return name
+        return kinds[-1][0]  # float round-off fallback
+
+    # -- storage hooks -------------------------------------------------------
+    def page_io_action(
+        self, file: str, page_id: int, *, write: bool, appending: bool = False
+    ) -> PageAction:
+        """Verdict for one page IO (called by
+        :meth:`repro.storage.disk.DiskSimulator.execute_page_io`)."""
+        plan = self.plan
+        latency = 0.0
+        if plan.latency_rate and self._consult(
+            ("latency", file, page_id), plan.latency_rate
+        ):
+            latency = plan.latency_s
+            with self._lock:
+                self._stats.latency_spikes += 1
+        if write:
+            torn_rate = plan.torn_append_rate if appending else 0.0
+            kind = self._consult_kinds(
+                ("write", file, page_id),
+                (("torn", torn_rate), ("fail", plan.write_error_rate)),
+            )
+            if kind == "torn":
+                with self._lock:
+                    self._stats.torn_appends += 1
+                return PageAction("torn", latency_s=latency)
+            if kind == "fail":
+                with self._lock:
+                    self._stats.write_errors += 1
+                return PageAction("fail", latency_s=latency)
+        elif self._consult(("read", file, page_id), plan.read_error_rate):
+            with self._lock:
+                self._stats.read_errors += 1
+            return PageAction("fail", latency_s=latency)
+        if latency:
+            return PageAction("ok", latency_s=latency)
+        return _OK
+
+    def io_error(self, op: str, file: str, page_id: int) -> TransientIOError:
+        """The transient error for a failed page IO (context included)."""
+        return TransientIOError(
+            f"injected {op} fault on {file!r} page {page_id}",
+            op=op,
+            file=file,
+            page_id=page_id,
+        )
+
+    # -- executor hooks ------------------------------------------------------
+    def query_fault(self, query: tuple) -> None:
+        """Maybe kill the worker answering ``query`` (raises
+        :class:`~repro.errors.WorkerCrashError`)."""
+        plan = self.plan
+        kind = self._consult_kinds(
+            ("queryfault", tuple(query)),
+            (("crash", plan.crash_rate), ("timeout", plan.timeout_rate)),
+        )
+        if kind is None:
+            return
+        with self._lock:
+            if kind == "crash":
+                self._stats.crashes += 1
+            else:
+                self._stats.timeouts += 1
+        raise WorkerCrashError(
+            f"injected worker {kind} while answering {tuple(query)}",
+            query=tuple(query),
+            reason=kind,
+        )
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> FaultStats:
+        with self._lock:
+            s = self._stats
+            return FaultStats(
+                s.read_errors,
+                s.write_errors,
+                s.torn_appends,
+                s.latency_spikes,
+                s.crashes,
+                s.timeouts,
+            )
+
+    def reset(self) -> None:
+        """Forget all site history and counters (a fresh schedule)."""
+        with self._lock:
+            self._sites.clear()
+            self._stats = FaultStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector(seed={self.seed}, injected={self.stats().total})"

@@ -1,0 +1,80 @@
+"""Retry-with-exponential-backoff policy for transient failures.
+
+One policy object serves both recovery sites: the storage layer retries
+individual page IOs (:meth:`repro.storage.disk.DiskSimulator.execute_page_io`)
+and the batch executor retries whole queries after a worker crash
+(:func:`repro.exec.executor._run_with_recovery`). Delays grow
+geometrically from ``base_delay_s`` up to ``max_delay_s``; when
+``max_attempts`` is spent the policy raises
+:class:`~repro.errors.RetryExhaustedError` wrapping the last transient
+failure, so callers see one final, structured error instead of the raw
+fault.
+
+The ``sleep`` hook is injectable so tests and the deterministic chaos
+harness can run with zero real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError, RetryExhaustedError
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how long to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first one (``1`` disables retries).
+    base_delay_s:
+        Backoff before the first retry; attempt ``n`` waits
+        ``base_delay_s * multiplier**(n-1)``, capped at ``max_delay_s``.
+    sleep:
+        The wait primitive (``time.sleep``); tests pass a no-op.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.001
+    multiplier: float = 2.0
+    max_delay_s: float = 0.050
+    sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"retry policy needs max_attempts >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ReproError("retry delays must be non-negative")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1))
+
+    def backoff(self, attempt: int, error: Exception) -> None:
+        """Wait before retry ``attempt``, or raise when the budget is spent.
+
+        ``attempt`` counts the failures seen so far; when it reaches
+        ``max_attempts`` the transient ``error`` is wrapped in a
+        :class:`~repro.errors.RetryExhaustedError` and re-raised.
+        """
+        if attempt >= self.max_attempts:
+            raise RetryExhaustedError(
+                f"gave up after {attempt} attempts: {error}",
+                attempts=attempt,
+                last_error=error,
+            ) from error
+        delay = self.delay_for(attempt)
+        if delay > 0:
+            self.sleep(delay)
+
+
+#: Fail on the first transient error (the pre-faults behaviour).
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -65,65 +65,79 @@ def external_sort(
 
     io_before = disk.stats.snapshot()
 
-    # --- Stage 1: run generation -----------------------------------------
-    capacity_pages = budget.pages
-    run_files: list[PageFile] = []
-    buffer: list[tuple[int, tuple]] = []
-    buffered_pages = 0
+    # Scratch files created so far; an aborted sort drops them all in the
+    # except path below so no (possibly real) file handles leak.
+    scratch: list[str] = []
 
-    def flush_run() -> None:
-        nonlocal buffer, buffered_pages
-        if not buffer:
-            return
-        buffer.sort(key=entry_key)
-        run = disk.create_file(f"{output_name}.run{len(run_files)}", source.codec)
-        with run.writer() as w:
-            w.extend(buffer)
-        stats.run_lengths.append(len(buffer))
-        run_files.append(run)
-        buffer = []
+    def scratch_file(name: str) -> PageFile:
+        pf = disk.create_file(name, source.codec)
+        scratch.append(name)
+        return pf
+
+    try:
+        # --- Stage 1: run generation -------------------------------------
+        capacity_pages = budget.pages
+        run_files: list[PageFile] = []
+        buffer: list[tuple[int, tuple]] = []
         buffered_pages = 0
 
-    for _, page_records in source.scan():
-        buffer.extend(page_records)
-        buffered_pages += 1
-        if buffered_pages >= capacity_pages:
-            flush_run()
-    flush_run()
-    stats.initial_runs = len(run_files)
+        def flush_run() -> None:
+            nonlocal buffer, buffered_pages
+            if not buffer:
+                return
+            buffer.sort(key=entry_key)
+            run = scratch_file(f"{output_name}.run{len(run_files)}")
+            with run.writer() as w:
+                w.extend(buffer)
+            stats.run_lengths.append(len(buffer))
+            run_files.append(run)
+            buffer = []
+            buffered_pages = 0
 
-    # --- Stage 2: k-way merge passes --------------------------------------
-    fan_in = budget.pages - 1
-    if fan_in < 1:
-        if len(run_files) > 1:
-            raise MemoryBudgetError(
-                "merging needs >= 2 pages of memory (1 input + 1 output)"
-            )
-        fan_in = 1
-    generation = 0
-    while len(run_files) > 1:
-        stats.merge_passes += 1
-        next_runs: list[PageFile] = []
-        for group_start in range(0, len(run_files), fan_in):
-            group = run_files[group_start : group_start + fan_in]
-            merged = disk.create_file(
-                f"{output_name}.gen{generation}.m{len(next_runs)}", source.codec
-            )
-            _merge_runs(group, merged, entry_key)
-            next_runs.append(merged)
-            for run in group:
-                run.truncate()
-                disk.drop_file(run.name)
-        run_files = next_runs
-        generation += 1
+        for _, page_records in source.scan():
+            buffer.extend(page_records)
+            buffered_pages += 1
+            if buffered_pages >= capacity_pages:
+                flush_run()
+        flush_run()
+        stats.initial_runs = len(run_files)
 
-    # --- Finalise ----------------------------------------------------------
-    if run_files:
-        result = run_files[0]
-    else:  # empty source
-        result = disk.create_file(f"{output_name}.run0", source.codec)
-    # Present the output under a stable name.
-    disk.rename_file(result.name, output_name)
+        # --- Stage 2: k-way merge passes ----------------------------------
+        fan_in = budget.pages - 1
+        if fan_in < 1:
+            if len(run_files) > 1:
+                raise MemoryBudgetError(
+                    "merging needs >= 2 pages of memory (1 input + 1 output)"
+                )
+            fan_in = 1
+        generation = 0
+        while len(run_files) > 1:
+            stats.merge_passes += 1
+            next_runs: list[PageFile] = []
+            for group_start in range(0, len(run_files), fan_in):
+                group = run_files[group_start : group_start + fan_in]
+                merged = scratch_file(
+                    f"{output_name}.gen{generation}.m{len(next_runs)}"
+                )
+                _merge_runs(group, merged, entry_key)
+                next_runs.append(merged)
+                for run in group:
+                    run.truncate()
+                    disk.drop_file(run.name)
+            run_files = next_runs
+            generation += 1
+
+        # --- Finalise ------------------------------------------------------
+        if run_files:
+            result = run_files[0]
+        else:  # empty source
+            result = scratch_file(f"{output_name}.run0")
+        # Present the output under a stable name.
+        disk.rename_file(result.name, output_name)
+    except BaseException:
+        for name in scratch:
+            disk.drop_file(name)  # no-op for names already dropped/renamed
+        raise
 
     io_delta = disk.stats.delta(io_before)
     stats.pages_read = io_delta.sequential_reads + io_delta.random_reads

@@ -7,7 +7,7 @@ memory as a percentage of the dataset size; both knobs live here.
 from __future__ import annotations
 
 from repro.data.dataset import Dataset
-from repro.errors import MemoryBudgetError, StorageError
+from repro.errors import MemoryBudgetError, StorageError, TransientIOError
 from repro.storage.codec import RecordCodec
 from repro.storage.iostats import IoStats
 from repro.storage.pagefile import PageFile
@@ -30,15 +30,34 @@ class DiskSimulator:
     records — wall-clock times then include genuine filesystem IO, the
     paper's Section 5.1 response-time methodology. Without it (default),
     pages live in memory and only the counts are simulated.
+
+    ``fault_injector`` (a :class:`~repro.faults.FaultInjector`) makes
+    page IOs fail transiently; every page IO then runs under
+    ``retry_policy`` (exponential backoff, default
+    :class:`~repro.faults.RetryPolicy`), with retries accounted in
+    ``stats`` and exhaustion surfacing as
+    :class:`~repro.errors.RetryExhaustedError`. Real ``OSError`` from a
+    file-backed store takes the same retry path.
     """
 
     def __init__(
-        self, page_bytes: int = DEFAULT_PAGE_BYTES, backing_dir=None
+        self,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        backing_dir=None,
+        *,
+        fault_injector=None,
+        retry_policy=None,
     ) -> None:
         if page_bytes < 16:
             raise StorageError(f"page size {page_bytes}B is unusably small")
         self.page_bytes = page_bytes
         self.backing_dir = backing_dir
+        self.fault_injector = fault_injector
+        if retry_policy is None:
+            from repro.faults.retry import RetryPolicy
+
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
         self.stats = IoStats()
         self._files: dict[str, object] = {}
         self._head: tuple[int, int] | None = None  # (file id, page id)
@@ -76,6 +95,56 @@ class DiskSimulator:
         for pf in self._files.values():
             if hasattr(pf, "close"):
                 pf.close()
+
+    def __enter__(self) -> "DiskSimulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def execute_page_io(self, pagefile, page_id: int, *, write: bool, fn):
+        """Run one page IO under fault injection and the retry policy.
+
+        ``fn(torn)`` performs (or re-performs) the raw operation; when
+        ``torn`` is true the store must persist only a prefix of the
+        page's records and then raise the transient failure itself (the
+        commit must be idempotent so a retry repairs the torn slot).
+        Transient failures
+        — injected or raised by ``fn`` as
+        :class:`~repro.errors.TransientIOError` — are retried with
+        backoff; exhaustion raises
+        :class:`~repro.errors.RetryExhaustedError`. Retries are counted
+        in ``stats`` while the sequential/random page counts stay the
+        logical (fault-free) cost.
+        """
+        injector = self.fault_injector
+        appending = write and page_id == pagefile.num_pages
+        attempt = 0
+        while True:
+            try:
+                torn = False
+                if injector is not None:
+                    action = injector.page_io_action(
+                        pagefile.name, page_id, write=write, appending=appending
+                    )
+                    if action.latency_s > 0:
+                        self.retry_policy.sleep(action.latency_s)
+                    if action.kind == "fail":
+                        self.stats.faults_seen += 1
+                        raise injector.io_error(
+                            "write" if write else "read", pagefile.name, page_id
+                        )
+                    if action.kind == "torn":
+                        self.stats.faults_seen += 1
+                        torn = True
+                return fn(torn)
+            except TransientIOError as exc:
+                attempt += 1
+                if write:
+                    self.stats.write_retries += 1
+                else:
+                    self.stats.read_retries += 1
+                self.retry_policy.backoff(attempt, exc)
 
     def file(self, name: str) -> PageFile:
         try:

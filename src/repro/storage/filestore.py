@@ -25,7 +25,7 @@ import pathlib
 import struct
 from collections.abc import Iterable, Iterator
 
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientIOError
 from repro.storage.codec import RecordCodec
 from repro.storage.pagefile import PageWriter
 
@@ -85,12 +85,40 @@ class FilePageStore:
             offset += size
         return out
 
+    def _check_open(self) -> None:
+        if self._fh.closed:
+            raise StorageError(f"{self.name}: store is closed")
+
+    def _set_count(self, page_id: int, count: int) -> None:
+        """Idempotently commit one page-directory slot, keeping
+        ``num_records`` derived from the directory itself (same contract
+        as ``PageFile._set_page``)."""
+        if page_id == len(self._page_counts):
+            self._page_counts.append(count)
+            self._num_records += count
+        else:
+            self._num_records += count - self._page_counts[page_id]
+            self._page_counts[page_id] = count
+
     def read_page(self, page_id: int) -> list[tuple[int, tuple]]:
         if not 0 <= page_id < self.num_pages:
             raise StorageError(f"{self.name}: page {page_id} out of range")
+        self._check_open()
+
+        def do_read(torn: bool) -> bytes:
+            try:
+                self._fh.seek(page_id * self.page_bytes)
+                return self._fh.read(self.page_bytes)
+            except OSError as exc:  # a real disk fault: retryable
+                raise TransientIOError(
+                    f"read failed on {self.name!r} page {page_id}: {exc}",
+                    op="read",
+                    file=self.name,
+                    page_id=page_id,
+                ) from exc
+
+        blob = self._disk.execute_page_io(self, page_id, write=False, fn=do_read)
         self._disk.count_access(self, page_id, write=False)
-        self._fh.seek(page_id * self.page_bytes)
-        blob = self._fh.read(self.page_bytes)
         return self._unpack_page(blob, self._page_counts[page_id])
 
     def write_page(self, page_id: int, records: list[tuple[int, tuple]]) -> None:
@@ -99,17 +127,39 @@ class FilePageStore:
                 f"{self.name}: {len(records)} records exceed page capacity "
                 f"{self.records_per_page}"
             )
-        if page_id == self.num_pages:
-            self._page_counts.append(len(records))
-            self._num_records += len(records)
-        elif 0 <= page_id < self.num_pages:
-            self._num_records += len(records) - self._page_counts[page_id]
-            self._page_counts[page_id] = len(records)
-        else:
+        if not 0 <= page_id <= self.num_pages:
             raise StorageError(f"{self.name}: page {page_id} out of range for write")
-        blob = self._pack_page(list(records))
-        self._fh.seek(page_id * self.page_bytes)
-        self._fh.write(blob)
+        self._check_open()
+        records = list(records)
+        blob = self._pack_page(records)
+
+        def do_write(torn: bool) -> None:
+            try:
+                self._fh.seek(page_id * self.page_bytes)
+                if torn:
+                    # Persist a prefix of the records (and their bytes),
+                    # then fail; the retry rewrites the full page over
+                    # the torn slot.
+                    keep = len(records) // 2
+                    self._fh.write(self._pack_page(records[:keep]))
+                    self._set_count(page_id, keep)
+                    raise TransientIOError(
+                        f"torn append on {self.name!r} page {page_id}",
+                        op="write",
+                        file=self.name,
+                        page_id=page_id,
+                    )
+                self._fh.write(blob)
+                self._set_count(page_id, len(records))
+            except OSError as exc:  # a real disk fault: retryable
+                raise TransientIOError(
+                    f"write failed on {self.name!r} page {page_id}: {exc}",
+                    op="write",
+                    file=self.name,
+                    page_id=page_id,
+                ) from exc
+
+        self._disk.execute_page_io(self, page_id, write=True, fn=do_write)
         self._disk.count_access(self, page_id, write=True)
 
     # -- scanning -----------------------------------------------------------
@@ -125,6 +175,7 @@ class FilePageStore:
         return PageWriter(self)
 
     def truncate(self) -> None:
+        self._check_open()
         self._fh.truncate(0)
         self._page_counts.clear()
         self._num_records = 0
@@ -150,6 +201,7 @@ class FilePageStore:
             self._write_unmetered(page)
 
     def _write_unmetered(self, records: list[tuple[int, tuple]]) -> None:
+        self._check_open()
         blob = self._pack_page(records)
         self._fh.seek(self.num_pages * self.page_bytes)
         self._fh.write(blob)
@@ -157,9 +209,24 @@ class FilePageStore:
         self._num_records += len(records)
 
     def close(self) -> None:
+        """Release the file handle. Idempotent: double-close (e.g. an
+        explicit close followed by ``__exit__`` or a ``finally`` sweep)
+        is a no-op, and a flush failure can never leak the descriptor."""
         if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+            try:
+                self._fh.flush()
+            finally:
+                self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -18,12 +18,24 @@ __all__ = ["IoStats", "IoCostModel"]
 
 @dataclass
 class IoStats:
-    """Mutable counters of simulated page IOs."""
+    """Mutable counters of simulated page IOs.
+
+    The retry counters account for the recovery machinery in
+    :mod:`repro.faults`: ``read_retries``/``write_retries`` count page
+    IOs re-attempted after a transient fault, ``faults_seen`` counts the
+    transient faults themselves (injected or real). Successful retries do
+    **not** inflate the sequential/random counts — those stay the
+    *logical* IO cost, so fault-free and recovered runs report identical
+    page IOs and the overhead of recovery is visible separately.
+    """
 
     sequential_reads: int = 0
     random_reads: int = 0
     sequential_writes: int = 0
     random_writes: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    faults_seen: int = 0
 
     @property
     def sequential(self) -> int:
@@ -37,11 +49,18 @@ class IoStats:
     def total(self) -> int:
         return self.sequential + self.random
 
+    @property
+    def retries(self) -> int:
+        return self.read_retries + self.write_retries
+
     def reset(self) -> None:
         self.sequential_reads = 0
         self.random_reads = 0
         self.sequential_writes = 0
         self.random_writes = 0
+        self.read_retries = 0
+        self.write_retries = 0
+        self.faults_seen = 0
 
     def snapshot(self) -> "IoStats":
         """An immutable-by-convention copy for before/after accounting."""
@@ -50,6 +69,9 @@ class IoStats:
             self.random_reads,
             self.sequential_writes,
             self.random_writes,
+            self.read_retries,
+            self.write_retries,
+            self.faults_seen,
         )
 
     def delta(self, before: "IoStats") -> "IoStats":
@@ -59,6 +81,9 @@ class IoStats:
             self.random_reads - before.random_reads,
             self.sequential_writes - before.sequential_writes,
             self.random_writes - before.random_writes,
+            self.read_retries - before.read_retries,
+            self.write_retries - before.write_retries,
+            self.faults_seen - before.faults_seen,
         )
 
     def __add__(self, other: "IoStats") -> "IoStats":
@@ -67,6 +92,9 @@ class IoStats:
             self.random_reads + other.random_reads,
             self.sequential_writes + other.sequential_writes,
             self.random_writes + other.random_writes,
+            self.read_retries + other.read_retries,
+            self.write_retries + other.write_retries,
+            self.faults_seen + other.faults_seen,
         )
 
 

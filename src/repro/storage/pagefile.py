@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientIOError
 from repro.storage.codec import RecordCodec
 
 __all__ = ["PageFile", "PageWriter"]
@@ -39,12 +39,29 @@ class PageFile:
     def num_records(self) -> int:
         return self._num_records
 
+    def _set_page(self, page_id: int, records: list[tuple[int, tuple]]) -> None:
+        """Idempotently commit one page slot, keeping ``num_records``
+        derived from actual page contents — overwriting a page with
+        fewer/more records (or re-committing over a torn append) always
+        leaves the count equal to what :meth:`scan_records` yields."""
+        if page_id == len(self._pages):
+            self._pages.append(records)
+            self._num_records += len(records)
+        else:
+            self._num_records += len(records) - len(self._pages[page_id])
+            self._pages[page_id] = records
+
     def read_page(self, page_id: int) -> list[tuple[int, tuple]]:
         """Read one page, counting the IO. Returns the page's records."""
         if not 0 <= page_id < len(self._pages):
             raise StorageError(f"{self.name}: page {page_id} out of range")
+
+        def do_read(torn: bool) -> list[tuple[int, tuple]]:
+            return list(self._pages[page_id])
+
+        records = self._disk.execute_page_io(self, page_id, write=False, fn=do_read)
         self._disk.count_access(self, page_id, write=False)
-        return list(self._pages[page_id])
+        return records
 
     def write_page(self, page_id: int, records: list[tuple[int, tuple]]) -> None:
         """Overwrite or append (``page_id == num_pages``) one page."""
@@ -53,14 +70,25 @@ class PageFile:
                 f"{self.name}: {len(records)} records exceed page capacity "
                 f"{self.records_per_page}"
             )
-        if page_id == len(self._pages):
-            self._pages.append(list(records))
-            self._num_records += len(records)
-        elif 0 <= page_id < len(self._pages):
-            self._num_records += len(records) - len(self._pages[page_id])
-            self._pages[page_id] = list(records)
-        else:
+        if not 0 <= page_id <= len(self._pages):
             raise StorageError(f"{self.name}: page {page_id} out of range for write")
+        records = list(records)
+
+        def do_write(torn: bool) -> None:
+            if torn:
+                # A torn append persists only a prefix; the accounting
+                # stays consistent and the retry re-commits the full page
+                # over the torn slot.
+                self._set_page(page_id, records[: len(records) // 2])
+                raise TransientIOError(
+                    f"torn append on {self.name!r} page {page_id}",
+                    op="write",
+                    file=self.name,
+                    page_id=page_id,
+                )
+            self._set_page(page_id, list(records))
+
+        self._disk.execute_page_io(self, page_id, write=True, fn=do_write)
         self._disk.count_access(self, page_id, write=True)
 
     def scan(self, start_page: int = 0) -> Iterator[tuple[int, list[tuple[int, tuple]]]]:

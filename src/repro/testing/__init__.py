@@ -1,22 +1,33 @@
 """Public verification toolkit for reverse-skyline implementations.
 
-Public surface: :func:`verify_algorithm`, :func:`random_workload`,
+Public surface: :func:`verify_algorithm`, :func:`verify_executor`,
+:func:`verify_chaos_equivalence`, :func:`random_workload`,
 :class:`WorkloadCase`, :class:`VerificationReport`,
-:class:`VerificationFailure`.
+:class:`VerificationFailure`, :class:`ChaosReport`, :class:`ChaosFailure`.
 """
 
+from repro.testing.chaos import (
+    ChaosFailure,
+    ChaosReport,
+    verify_chaos_equivalence,
+)
 from repro.testing.verify import (
     VerificationFailure,
     VerificationReport,
     WorkloadCase,
     random_workload,
     verify_algorithm,
+    verify_executor,
 )
 
 __all__ = [
+    "ChaosFailure",
+    "ChaosReport",
     "VerificationFailure",
     "VerificationReport",
     "WorkloadCase",
     "random_workload",
     "verify_algorithm",
+    "verify_chaos_equivalence",
+    "verify_executor",
 ]

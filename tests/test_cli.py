@@ -98,12 +98,69 @@ class TestBatch:
                    "--pool", "serial", "--no-cache", "--repeat", "2"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "queries     : 4 (4 computed, 0 cache hits)" in out
+        assert "queries     : 4 (4 computed, 0 cache hits, 0 failed)" in out
 
     def test_no_queries_is_an_error(self, dataset_dir, capsys):
         rc = main(["batch", dataset_dir])
         assert rc == 2
         assert "no queries" in capsys.readouterr().err
+
+    def test_attribute_subset_batch(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--attributes", "A1", "A3",
+                   "--queries", "1,0", "--show-results"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        from repro.persist.format import load_dataset
+
+        ds = load_dataset(dataset_dir)
+        from repro.engine import ReverseSkylineEngine
+
+        expected = ReverseSkylineEngine(ds).query_subset(["A1", "A3"], (1, 0))
+        assert f"1,0 -> {list(expected.record_ids)}" in out
+
+    def test_unknown_attribute_is_readable_not_a_traceback(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--attributes", "A1", "BOGUS",
+                   "--queries", "1,0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "BOGUS" in err
+        assert "Traceback" not in err
+
+    def test_subset_arity_checked_against_attributes(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--attributes", "A1", "A3",
+                   "--queries", "1,0,2"])
+        assert rc == 2
+        assert "--attributes" in capsys.readouterr().err
+
+    def test_inject_faults_recovers_with_identical_answers(self, dataset_dir, capsys):
+        main(["batch", dataset_dir, "--queries", "1,2,0", "0,0,0",
+              "--pool", "serial", "--show-results"])
+        clean = capsys.readouterr().out
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0", "0,0,0",
+                   "--pool", "serial", "--show-results",
+                   "--inject-faults", "0.4", "--fault-seed", "3"])
+        assert rc == 0
+        chaotic = capsys.readouterr().out
+        assert "fault model : rate=0.4, seed=3" in chaotic
+        for line in clean.splitlines():
+            if "->" in line:  # every answer identical under the storm
+                assert line in chaotic
+
+    def test_exhausted_retries_fail_the_batch_legibly(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0",
+                   "--pool", "serial", "--inject-faults", "1.0",
+                   "--retries", "2"])
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "failed [0]:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_fault_rate_is_an_error(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0",
+                   "--inject-faults", "1.5"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestInfluence:

@@ -8,8 +8,12 @@ from repro.errors import (
     ExperimentError,
     MemoryBudgetError,
     ReproError,
+    RetryExhaustedError,
     SchemaError,
     StorageError,
+    TransientError,
+    TransientIOError,
+    WorkerCrashError,
 )
 
 ALL_ERRORS = [
@@ -19,6 +23,15 @@ ALL_ERRORS = [
     MemoryBudgetError,
     SchemaError,
     StorageError,
+    TransientError,
+]
+
+#: Exceptions whose constructors require context keywords, with a sample
+#: instantiation each — they must still be plain ReproErrors to callers.
+CONTEXTUAL_ERRORS = [
+    lambda: TransientIOError("boom", op="read", file="data", page_id=3),
+    lambda: WorkerCrashError("boom", query=(1, 2), reason="timeout"),
+    lambda: RetryExhaustedError("boom", attempts=4),
 ]
 
 
@@ -32,6 +45,35 @@ def test_subclass_of_repro_error(exc):
 def test_catchable_as_repro_error(exc):
     with pytest.raises(ReproError):
         raise exc("boom")
+
+
+@pytest.mark.parametrize("make", CONTEXTUAL_ERRORS)
+def test_contextual_errors_catchable_as_repro_error(make):
+    with pytest.raises(ReproError, match="boom"):
+        raise make()
+
+
+@pytest.mark.parametrize(
+    "make, attrs",
+    [
+        (CONTEXTUAL_ERRORS[0], {"op": "read", "file": "data", "page_id": 3}),
+        (CONTEXTUAL_ERRORS[1], {"query": (1, 2), "reason": "timeout"}),
+        (CONTEXTUAL_ERRORS[2], {"attempts": 4, "last_error": None}),
+    ],
+)
+def test_contextual_errors_carry_their_context(make, attrs):
+    exc = make()
+    for name, value in attrs.items():
+        assert getattr(exc, name) == value
+
+
+def test_transient_hierarchy():
+    # Transient failures are retryable; exhaustion is terminal; the IO
+    # variant is still catchable by storage-level handlers.
+    assert issubclass(TransientIOError, TransientError)
+    assert issubclass(TransientIOError, StorageError)
+    assert issubclass(WorkerCrashError, TransientError)
+    assert not issubclass(RetryExhaustedError, TransientError)
 
 
 def test_library_errors_are_not_builtin_aliases():

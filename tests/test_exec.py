@@ -120,6 +120,54 @@ class TestCache:
         assert a.layout_fingerprint() != b.layout_fingerprint()
         assert a.layout_fingerprint() == ReverseSkylineEngine(ds).layout_fingerprint()
 
+    def test_put_racing_an_invalidate_is_rejected(self):
+        # Regression: a thread that misses, computes, and puts must not
+        # resurrect its entry if the cache was invalidated in between.
+        cache = ResultCache()
+        key = CacheKey("query", "TRS", "fp", (1,), 1, None)
+        version = cache.version
+        assert cache.get(key) is None  # the miss
+        cache.invalidate()  # ...concurrent invalidation...
+        cache.put(key, object(), version=version)  # ...then the late put
+        assert key not in cache
+        assert cache.stats().stale_rejects == 1
+        cache.put(key, object(), version=cache.version)  # fresh snapshot: ok
+        assert key in cache
+
+    def test_two_thread_invalidate_put_stress(self):
+        import threading
+
+        cache = ResultCache()
+        rounds = 300
+        start = threading.Barrier(2)
+        sentinel = object()
+
+        def putter():
+            start.wait()
+            for i in range(rounds):
+                key = CacheKey("query", "TRS", "fp", (i,), 1, None)
+                version = cache.version
+                cache.get(key)
+                cache.put(key, sentinel, version=version)
+
+        def invalidator():
+            start.wait()
+            for _ in range(rounds // 3):
+                cache.invalidate()
+
+        threads = [threading.Thread(target=putter), threading.Thread(target=invalidator)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        # Every put either landed or was counted as a stale reject; after
+        # a final invalidate nothing can linger.
+        assert len(cache) + stats.stale_rejects <= rounds
+        assert stats.invalidations == rounds // 3
+        cache.invalidate()
+        assert len(cache) == 0
+
     def test_lru_eviction_and_stats(self):
         cache = ResultCache(capacity=2)
         keys = [
@@ -150,6 +198,21 @@ class TestStatsMerging:
         )
         assert report.stats.io.total == sum(r.stats.io.total for r in report.results)
         assert report.stats.result_count == sum(len(r) for r in report.results)
+
+    @pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+    def test_stats_additive_on_every_pool(self, ds, engine, pool):
+        # Regression: the process pool used to drop per-worker stats on
+        # the floor; all three pools must report the same summed cost.
+        queries = batch_for(ds, 4, repeats=1)
+        seq = [engine.query(q) for q in queries]
+        executor = QueryExecutor(engine, pool=pool, workers=2)
+        try:
+            report = executor.run_batch(queries)
+        except (OSError, PermissionError) as exc:  # sandboxed CI
+            pytest.skip(f"{pool} pool unavailable here: {exc}")
+        assert report.stats.checks == sum(r.stats.checks for r in seq)
+        assert report.stats.io.total == sum(r.stats.io.total for r in seq)
+        assert report.stats.result_count == sum(len(r) for r in seq)
 
     def test_merged_stats_match_sequential_totals(self, ds, engine):
         queries = batch_for(ds, 5, repeats=1)

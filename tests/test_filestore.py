@@ -94,6 +94,78 @@ class TestFilePageStore:
         assert pf.num_pages == 0 and pf.num_records == 0
         real_disk.close()
 
+    def test_mid_file_overwrite_keeps_record_accounting(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))  # 4 rec/page
+        pf = real_disk.create_file("m", codec)
+        pf.stage_entries((i, (0, 0, 0)) for i in range(12))
+        pf.write_page(1, [(99, (1, 1, 1))])  # 4 -> 1 records
+        assert pf.num_records == 9
+        pf.write_page(1, [(99, (1, 1, 1)), (98, (2, 2, 2))])
+        assert pf.num_records == 10
+        assert pf.num_records == sum(
+            len(pf.read_page(p)) for p in range(pf.num_pages)
+        )
+
+
+class TestLifecycle:
+    """Handle hygiene: context managers, idempotent close, closed-file
+    errors (the file-handle-leak regression)."""
+
+    def test_disk_context_manager_closes_real_handles(self, tmp_path):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        with DiskSimulator(page_bytes=64, backing_dir=tmp_path / "cm") as disk:
+            pf = disk.create_file("f", codec)
+            pf.stage_entries((i, (0, 0, 0)) for i in range(8))
+            assert not pf.closed
+        assert pf.closed
+
+    def test_store_context_manager_and_double_close(self, real_disk):
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("n", codec)
+        with pf as same:
+            assert same is pf
+            pf.stage_entries((i, (0, 0, 0)) for i in range(4))
+        assert pf.closed
+        pf.close()  # idempotent: second close is a no-op
+        pf.close()
+        real_disk.close()  # disk close after store close is fine too
+
+    def test_closed_store_raises_storage_error(self, real_disk):
+        from repro.errors import StorageError, TransientError
+
+        codec = RecordCodec(Schema.categorical([5] * 3))
+        pf = real_disk.create_file("o", codec)
+        pf.stage_entries((i, (0, 0, 0)) for i in range(4))
+        pf.close()
+        with pytest.raises(StorageError) as info:
+            pf.read_page(0)
+        # Closed-file misuse is terminal, never a retryable fault.
+        assert not isinstance(info.value, TransientError)
+        with pytest.raises(StorageError):
+            pf.write_page(0, [(0, (0, 0, 0))])
+        with pytest.raises(StorageError):
+            pf.truncate()
+
+    def test_aborted_external_sort_drops_scratch_files(self, tmp_path):
+        from repro.errors import RetryExhaustedError
+        from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+
+        ds = synthetic_dataset(300, [6, 5, 4], seed=9)
+        plan = FaultPlan(read_error_rate=1.0, max_consecutive=99)
+        disk = DiskSimulator(
+            page_bytes=64,
+            backing_dir=tmp_path / "abort",
+            fault_injector=FaultInjector(plan, seed=0),
+            retry_policy=RetryPolicy(max_attempts=2, sleep=lambda _: None),
+        )
+        source = disk.load_dataset(ds)
+        with pytest.raises(RetryExhaustedError):
+            external_sort(disk, source, MemoryBudget(4), [0, 1, 2])
+        # Every scratch file the sort created was dropped on the abort
+        # path; only the source registration survives.
+        assert set(disk._files) == {"data"}
+        disk.close()  # and the handles it held are closed, not leaked
+
 
 class TestEndToEnd:
     @pytest.mark.parametrize("cls", [BRS, SRS, TRS])

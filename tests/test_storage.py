@@ -137,6 +137,24 @@ class TestPageFile:
         pf.truncate()
         assert pf.num_pages == 0 and pf.num_records == 0
 
+    def test_mid_file_overwrite_keeps_record_accounting(self):
+        # Regression: overwriting a mid-file page with fewer (or more)
+        # records must keep num_records equal to the sum of page lengths.
+        disk, pf = self.make_disk()  # 4 records per page
+        with pf.writer() as w:
+            for i in range(12):
+                w.append(i, (0, 0, 0))
+        assert pf.num_records == 12
+        pf.write_page(1, [(99, (1, 1, 1))])  # 4 -> 1 records
+        assert pf.num_records == 9
+        pf.write_page(1, [(99, (1, 1, 1)), (98, (2, 2, 2)), (97, (3, 3, 3))])
+        assert pf.num_records == 11
+        pf.write_page(1, pf.read_page(1))  # rewrite in place: no drift
+        assert pf.num_records == 11
+        assert pf.num_records == sum(
+            len(pf.read_page(p)) for p in range(pf.num_pages)
+        )
+
     def test_closed_writer_rejects_appends(self):
         disk, pf = self.make_disk()
         w = pf.writer()
