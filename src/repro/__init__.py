@@ -48,6 +48,18 @@ from repro.data.stats import DatasetProfile, estimate_pruner_rate, profile_datas
 from repro.engine import QueryLogEntry, ReverseSkylineEngine
 from repro.exec import BatchReport, QueryExecutor, QuerySpec, ResultCache
 from repro.influence import InfluenceReport, gini, influence_analysis, self_influence
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    PhaseStat,
+    QueryProfiler,
+    SpanRecord,
+    Tracer,
+    phase_breakdown,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    trace_to_json,
+)
 from repro.persist import load_dataset, save_dataset
 from repro.streaming import StreamingReverseSkyline
 from repro.uncertain import (
@@ -122,6 +134,12 @@ __all__ = [
     "MatrixDissimilarity",
     "MemoryBudget",
     "MemoryBudgetError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PhaseStat",
+    "QueryProfiler",
+    "SpanRecord",
+    "Tracer",
     "DatasetProfile",
     "InfluenceReport",
     "MultiQueryResult",
@@ -166,6 +184,7 @@ __all__ = [
     "make_algorithm",
     "mixed_dataset",
     "monte_carlo_membership",
+    "phase_breakdown",
     "probabilistic_reverse_skyline",
     "query_batch",
     "query_from_labels",
@@ -177,8 +196,11 @@ __all__ = [
     "running_example_query",
     "save_dataset",
     "self_influence",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
     "sorted_skyline",
     "synthetic_dataset",
+    "trace_to_json",
     "tree_skyline",
     "tree_top_k",
     "__version__",

@@ -155,15 +155,27 @@ def _cmd_batch(args) -> int:
         fault_injector=fault_injector,
         retry_policy=retry_policy,
     )
-    report = engine.query_many(
-        queries,
-        kind=kind,
-        k=args.k,
-        attributes=args.attributes,
-        pool=args.pool,
-        workers=args.workers,
-        cache=not args.no_cache,
-    )
+    instrument = bool(args.trace or args.metrics_out)
+    if instrument:
+        from repro.obs import QueryProfiler
+
+        profile_cm = QueryProfiler()
+    else:
+        from contextlib import nullcontext
+
+        profile_cm = nullcontext()
+    with profile_cm as prof:
+        report = engine.query_many(
+            queries,
+            kind=kind,
+            k=args.k,
+            attributes=args.attributes,
+            pool=args.pool,
+            workers=args.workers,
+            cache=not args.no_cache,
+        )
+    if instrument:
+        _write_obs_artifacts(args, prof)
     if args.show_results:
         for spec, result in zip(report.specs, report.results):
             answer = "FAILED" if result is None else list(result.record_ids)
@@ -183,6 +195,79 @@ def _cmd_batch(args) -> int:
     print(f"speedup     : {s['speedup_vs_serial_sum']:.2f}x vs summed query time")
     for i, error in report.failures():
         print(f"failed [{i}]: {error.describe()}", file=sys.stderr)
+    return 3 if report.failed else 0
+
+
+def _write_obs_artifacts(args, prof) -> None:
+    """Persist a batch's captured trace / metrics (``batch --trace`` /
+    ``--metrics-out``)."""
+    from repro.obs import snapshot_to_prometheus, trace_to_json
+
+    if args.trace:
+        try:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                fh.write(trace_to_json(prof.trace))
+        except OSError as exc:
+            raise ReproError(f"cannot write --trace file: {exc}") from exc
+        print(f"trace       : {len(prof.trace)} spans -> {args.trace}")
+    if args.metrics_out:
+        try:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(snapshot_to_prometheus(prof.snapshot))
+        except OSError as exc:
+            raise ReproError(f"cannot write --metrics-out file: {exc}") from exc
+        print(f"metrics     : prometheus exposition -> {args.metrics_out}")
+
+
+def _cmd_metrics(args) -> int:
+    """Run an instrumented batch and emit the metrics exposition."""
+    from repro.engine import ReverseSkylineEngine
+    from repro.obs import (
+        QueryProfiler,
+        render_trace,
+        snapshot_to_json,
+        snapshot_to_prometheus,
+    )
+
+    ds = load_dataset(args.dataset)
+    texts = list(args.queries or [])
+    if args.queries_file:
+        try:
+            with open(args.queries_file, encoding="utf-8") as fh:
+                texts += [line.strip() for line in fh if line.strip()]
+        except OSError as exc:
+            raise ReproError(f"cannot read --queries-file: {exc}") from exc
+    if not texts:
+        raise ReproError("no queries given; use --queries and/or --queries-file")
+    queries = [_parse_query(text, ds) for text in texts]
+    engine = ReverseSkylineEngine(
+        ds, algorithm=args.algorithm, memory_fraction=args.memory
+    )
+    with QueryProfiler() as prof:
+        report = engine.query_many(
+            queries, pool=args.pool, workers=args.workers, cache=not args.no_cache
+        )
+    render = snapshot_to_json if args.format == "json" else snapshot_to_prometheus
+    text = render(prof.snapshot)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        except OSError as exc:
+            raise ReproError(f"cannot write --out file: {exc}") from exc
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(text, end="")
+    if args.breakdown:
+        print("# per-phase attribution (self time)", file=sys.stderr)
+        for row in prof.breakdown():
+            print(
+                f"# {row.name}: n={row.count} total={row.total_s * 1000:.1f}ms "
+                f"self={row.self_s * 1000:.1f}ms",
+                file=sys.stderr,
+            )
+    if args.show_trace:
+        print(render_trace(prof.trace), file=sys.stderr)
     return 3 if report.failed else 0
 
 
@@ -323,7 +408,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="max attempts per faulting operation before a query is "
              "reported failed (default 4)",
     )
+    batch.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="capture the batch's span tree and write it as JSON",
+    )
+    batch.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the batch's metrics in Prometheus exposition format",
+    )
     batch.set_defaults(func=_cmd_batch)
+
+    metrics = sub.add_parser(
+        "metrics", help="run an instrumented batch and emit its metrics"
+    )
+    metrics.add_argument("dataset")
+    metrics.add_argument("--queries", nargs="+", help="comma-separated query objects")
+    metrics.add_argument("--queries-file", help="file with one query per line")
+    metrics.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    metrics.add_argument("--memory", type=float, default=0.10)
+    metrics.add_argument("--pool", choices=("serial", "thread", "process"),
+                         default="serial")
+    metrics.add_argument("--workers", type=int, default=None)
+    metrics.add_argument("--no-cache", action="store_true")
+    metrics.add_argument("--format", choices=("prom", "json"), default="prom")
+    metrics.add_argument("--out", metavar="FILE", default=None,
+                         help="write the exposition here instead of stdout")
+    metrics.add_argument("--breakdown", action="store_true",
+                         help="print per-phase wall-time attribution to stderr")
+    metrics.add_argument("--show-trace", action="store_true",
+                         help="print the span tree to stderr")
+    metrics.set_defaults(func=_cmd_metrics)
 
     band = sub.add_parser("skyband", help="run a reverse k-skyband query")
     band.add_argument("dataset")

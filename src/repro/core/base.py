@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.data.dataset import Dataset
 from repro.errors import AlgorithmError
+from repro.obs import hooks as _obs
 from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
 from repro.storage.iostats import IoStats
 from repro.storage.pagefile import PageFile
@@ -256,15 +257,28 @@ class ReverseSkylineAlgorithm(ABC):
             retry_policy=self.retry_policy,
         )
         try:
-            data_file = disk.load_entries(self.dataset.schema, self.layout, "data")
-            stats = CostStats()
-            with Stopwatch() as watch:
-                ids = self._execute(disk, data_file, q, stats)
-            stats.wall_time_s = watch.elapsed_s
-            stats.io = disk.stats.snapshot()
-            stats.result_count = len(ids)
+            # The observability spans and the post-run flush are no-ops
+            # when repro.obs is disabled (one attribute load + branch);
+            # they never touch the result, so instrumented runs stay
+            # bit-identical to plain ones.
+            with _obs.span("algorithm.run", algorithm=self.name) as span:
+                with _obs.span("algorithm.stage"):
+                    data_file = disk.load_entries(
+                        self.dataset.schema, self.layout, "data"
+                    )
+                stats = CostStats()
+                with Stopwatch() as watch:
+                    ids = self._execute(disk, data_file, q, stats)
+                stats.wall_time_s = watch.elapsed_s
+                stats.io = disk.stats.snapshot()
+                stats.result_count = len(ids)
+                span.annotate("checks", stats.checks)
+                span.annotate("page_ios", stats.io.total)
+                span.annotate("results", stats.result_count)
         finally:
             disk.close()
+        if _obs.enabled:
+            _obs.record_query(self.name, stats)
         return RSResult(self.name, q, tuple(sorted(ids)), stats)
 
     @abstractmethod

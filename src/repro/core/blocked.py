@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.core.base import CostStats, ReverseSkylineAlgorithm
+from repro.obs import hooks as _obs
 from repro.storage.disk import DiskSimulator
 from repro.storage.pagefile import PageFile
 
@@ -48,9 +49,12 @@ class BlockedRS(ReverseSkylineAlgorithm):
         self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
     ) -> list[int]:
         scratch = disk.create_file("phase1-results", data_file.codec)
-        self._phase1(data_file, scratch, query, stats)
+        with _obs.span("phase1") as span:
+            self._phase1(data_file, scratch, query, stats)
+            span.annotate("survivors", scratch.num_records)
         stats.intermediate_count = scratch.num_records
-        return self._phase2(data_file, scratch, query, stats)
+        with _obs.span("phase2"):
+            return self._phase2(data_file, scratch, query, stats)
 
     def _phase1(
         self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats

@@ -26,6 +26,7 @@ from collections.abc import Sequence
 from repro.altree.tree import ALTree
 from repro.core.base import CostStats, ReverseSkylineAlgorithm
 from repro.data.dataset import Dataset
+from repro.obs import hooks as _obs
 from repro.sorting.keys import ascending_cardinality_order, multiattribute_key
 from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
 from repro.storage.pagefile import PageFile
@@ -187,9 +188,12 @@ class TRS(ReverseSkylineAlgorithm):
         self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
     ) -> list[int]:
         scratch = disk.create_file("phase1-results", data_file.codec)
-        self._phase1(data_file, scratch, query, stats)
+        with _obs.span("phase1") as span:
+            self._phase1(data_file, scratch, query, stats)
+            span.annotate("survivors", scratch.num_records)
         stats.intermediate_count = scratch.num_records
-        return self._phase2(data_file, scratch, query, stats)
+        with _obs.span("phase2"):
+            return self._phase2(data_file, scratch, query, stats)
 
     def _new_tree(self) -> ALTree:
         return ALTree(self.attribute_order)

@@ -39,6 +39,7 @@ from repro.core.trs import TRS
 from repro.data.dataset import Dataset
 from repro.errors import AlgorithmError
 from repro.influence.analysis import InfluenceReport, influence_analysis
+from repro.obs import hooks as _obs
 from repro.sorting.keys import multiattribute_key, schema_order
 from repro.storage.disk import DEFAULT_PAGE_BYTES
 
@@ -273,6 +274,10 @@ class ReverseSkylineEngine:
                         cached=cached,
                     )
                 )
+        if _obs.enabled:
+            _obs.inc("repro_engine_queries_total", 1, kind=kind)
+            if cached:
+                _obs.inc("repro_engine_cache_hits_total")
         return result
 
     # -- queries -------------------------------------------------------------
@@ -491,6 +496,8 @@ class ReverseSkylineEngine:
                         error=error.describe() if error is not None else "failed",
                     )
                 )
+        if _obs.enabled:
+            _obs.inc("repro_engine_failures_total", 1, kind=kind)
 
     # -- observability -----------------------------------------------------
     @property
@@ -508,6 +515,7 @@ class ReverseSkylineEngine:
         with self._lock:
             prepared = sorted(self._algorithms)
             subsets = [list(s) for s in sorted(self._subset_engines)]
+        latency = self.latency_summary()
         return {
             "dataset": self.dataset.describe(),
             "queries": queries,
@@ -516,14 +524,29 @@ class ReverseSkylineEngine:
             "cache_hits": cache_hits,
             "prepared_algorithms": prepared,
             "prepared_subsets": subsets,
+            "latency_p50_ms": latency["p50_ms"],
+            "latency_p95_ms": latency["p95_ms"],
+            "latency_p99_ms": latency["p99_ms"],
         }
 
     def latency_summary(self) -> dict[str, float]:
-        """Wall-time percentiles (milliseconds) over the query log."""
+        """Wall-time percentiles (milliseconds) over the query log.
+
+        An empty log yields all-zero percentiles (``count`` 0.0) rather
+        than raising — dashboards poll this before traffic arrives.
+        """
         with self._stats.lock:
             entries = list(self._stats.log)
         if not entries:
-            raise AlgorithmError("no logged queries yet")
+            return {
+                "count": 0.0,
+                "p50_ms": 0.0,
+                "p90_ms": 0.0,
+                "p95_ms": 0.0,
+                "p99_ms": 0.0,
+                "max_ms": 0.0,
+                "mean_ms": 0.0,
+            }
         times = sorted(e.wall_time_s * 1000 for e in entries)
 
         def pct(p: float) -> float:
@@ -534,6 +557,7 @@ class ReverseSkylineEngine:
             "count": float(len(times)),
             "p50_ms": pct(50),
             "p90_ms": pct(90),
+            "p95_ms": pct(95),
             "p99_ms": pct(99),
             "max_ms": times[-1],
             "mean_ms": sum(times) / len(times),

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.base import RSResult
 from repro.errors import ReproError
+from repro.obs import hooks as _obs
 
 __all__ = ["CacheKey", "CacheStats", "ResultCache"]
 
@@ -91,10 +92,15 @@ class ResultCache:
             result = self._entries.get(key)
             if result is None:
                 self._stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._stats.hits += 1
-            return result
+            else:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+        if _obs.enabled:
+            _obs.inc(
+                "repro_result_cache_lookups_total",
+                outcome="miss" if result is None else "hit",
+            )
+        return result
 
     def put(self, key: CacheKey, result: RSResult, *, version: int | None = None) -> None:
         """Insert one entry. ``version`` (from :attr:`version`, read at
@@ -102,9 +108,12 @@ class ResultCache:
         ran since, the entry is stale — its fingerprint was computed
         against the pre-invalidation dataset state — and is rejected
         rather than re-inserted under the old key."""
+        evicted = 0
         with self._lock:
             if version is not None and version != self._version:
                 self._stats.stale_rejects += 1
+                if _obs.enabled:
+                    _obs.inc("repro_result_cache_stale_rejects_total")
                 return
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -112,6 +121,13 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
+                evicted += 1
+            size = len(self._entries)
+        if _obs.enabled:
+            _obs.inc("repro_result_cache_inserts_total")
+            if evicted:
+                _obs.inc("repro_result_cache_evictions_total", evicted)
+            _obs.set_gauge("repro_result_cache_size", size)
 
     def invalidate(self) -> int:
         """Drop every entry (call when the dataset changes). Returns the
@@ -121,7 +137,10 @@ class ResultCache:
             self._entries.clear()
             self._stats.invalidations += 1
             self._version += 1
-            return dropped
+        if _obs.enabled:
+            _obs.inc("repro_result_cache_invalidations_total")
+            _obs.set_gauge("repro_result_cache_size", 0)
+        return dropped
 
     def __len__(self) -> int:
         with self._lock:

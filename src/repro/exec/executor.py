@@ -35,13 +35,14 @@ from __future__ import annotations
 import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.base import Stopwatch
 from repro.errors import AlgorithmError, ReproError, TransientError
 from repro.exec.cache import CacheKey, ResultCache
 from repro.exec.merge import BatchReport, QueryError, merge_batch
 from repro.faults.retry import RetryPolicy
+from repro.obs import hooks as _obs
 
 __all__ = ["QuerySpec", "QueryExecutor", "as_spec"]
 
@@ -104,6 +105,13 @@ class _JobOutcome:
     wall_s: float
     error: QueryError | None = None
     attempts: int = 1
+    #: The job's span records (``repro.obs``), ids local to the job; the
+    #: executor grafts them under the batch span in job order so the
+    #: merged trace tree is identical whatever pool answered the batch.
+    trace: tuple = ()
+    #: Worker-local :class:`~repro.obs.metrics.MetricsSnapshot` (process
+    #: pool only; serial/thread jobs write the shared registry directly).
+    metrics: object | None = None
 
 
 def _run_with_recovery(
@@ -118,33 +126,49 @@ def _run_with_recovery(
     :class:`QueryError` outcome. Nothing an individual query does can
     abort the batch — only genuine bugs (non-``ReproError``) propagate.
     """
+    handle = _obs.begin_job("exec.query", kind=spec.kind)
     attempt = 0
-    while True:
-        try:
-            if injector is not None:
-                injector.query_fault(spec.query)
-            result, wall = engine._timed_execute(spec)
-            return _JobOutcome(result, wall, None, attempts=attempt + 1)
-        except TransientError as exc:
-            attempt += 1
+    outcome: _JobOutcome | None = None
+    try:
+        while outcome is None:
             try:
-                policy.backoff(attempt, exc)
-            except ReproError as final:
-                return _JobOutcome(
+                if injector is not None:
+                    injector.query_fault(spec.query)
+                result, wall = engine._timed_execute(spec)
+                outcome = _JobOutcome(result, wall, None, attempts=attempt + 1)
+            except TransientError as exc:
+                attempt += 1
+                if _obs.enabled:
+                    _obs.inc("repro_query_retries_total")
+                try:
+                    policy.backoff(attempt, exc)
+                except ReproError as final:
+                    outcome = _JobOutcome(
+                        None,
+                        0.0,
+                        QueryError.from_exception(final, spec.query, attempts=attempt),
+                        attempts=attempt,
+                    )
+            except ReproError as exc:
+                # Includes RetryExhaustedError escalated by the storage layer:
+                # its retry budget is spent, so it is terminal here.
+                outcome = _JobOutcome(
                     None,
                     0.0,
-                    QueryError.from_exception(final, spec.query, attempts=attempt),
-                    attempts=attempt,
+                    QueryError.from_exception(exc, spec.query, attempts=attempt + 1),
+                    attempts=attempt + 1,
                 )
-        except ReproError as exc:
-            # Includes RetryExhaustedError escalated by the storage layer:
-            # its retry budget is spent, so it is terminal here.
-            return _JobOutcome(
-                None,
-                0.0,
-                QueryError.from_exception(exc, spec.query, attempts=attempt + 1),
-                attempts=attempt + 1,
-            )
+    finally:
+        if handle is not None:
+            root = handle[1]
+            if outcome is not None:
+                root.annotate("attempts", outcome.attempts)
+                if outcome.error is not None:
+                    root.annotate("failed", outcome.error.error_type)
+            trace = _obs.end_job(handle)
+    if handle is not None and outcome is not None:
+        outcome = replace(outcome, trace=trace)
+    return outcome
 
 
 # -- process-pool plumbing ----------------------------------------------------
@@ -164,10 +188,16 @@ def _process_worker_init(
     fault_plan=None,
     fault_seed=0,
     retry_args=None,
+    obs_enabled=False,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
 
+    if obs_enabled:
+        # Mirror the parent's observability state: each job then resets
+        # the worker registry, snapshots after, and ships the snapshot
+        # home inside its _JobOutcome (see _process_worker_run).
+        _obs.enable(reset_state=True)
     _WORKER_INJECTOR = None
     if fault_plan is not None:
         from repro.faults.inject import FaultInjector
@@ -187,7 +217,16 @@ def _process_worker_init(
 
 def _process_worker_run(spec: QuerySpec) -> _JobOutcome:
     assert _WORKER_ENGINE is not None, "pool initializer did not run"
-    return _run_with_recovery(_WORKER_ENGINE, spec, _WORKER_INJECTOR, _WORKER_POLICY)
+    if _obs.enabled:
+        _obs.registry().reset()
+    outcome = _run_with_recovery(
+        _WORKER_ENGINE, spec, _WORKER_INJECTOR, _WORKER_POLICY
+    )
+    if _obs.enabled:
+        # Per-job delta snapshot; the parent merges them in job order
+        # (sums commute, so worker scheduling cannot change the totals).
+        outcome = replace(outcome, metrics=_obs.snapshot())
+    return outcome
 
 
 class QueryExecutor:
@@ -275,79 +314,115 @@ class QueryExecutor:
         n = len(specs)
         results: list = [None] * n
         cached = [False] * n
+        deduped = [False] * n
         wall_times = [0.0] * n
         errors: list[QueryError | None] = [None] * n
 
-        # Partition the batch into cache hits and unique pending jobs.
-        # Identical specs collapse onto one job whenever a cache is
-        # attached (in-flight dedup); the first occurrence is the computed
-        # one, later occurrences count as hits.
-        jobs: list[tuple[QuerySpec, list[int]]] = []
-        keys: list[CacheKey | None] = [None] * n
-        cache_version: int | None = None
-        if self.cache is not None:
-            fingerprint = engine.layout_fingerprint()
-            # Snapshot the cache version with the fingerprint: an
-            # invalidate() racing this batch must drop our later put()s,
-            # not let them re-insert results keyed by the old fingerprint.
-            cache_version = self.cache.version
-            job_of: dict[CacheKey, int] = {}
-            for i, spec in enumerate(specs):
-                try:
-                    key = self._cache_key(spec, fingerprint)
-                except ReproError:
-                    # An unresolvable spec (e.g. unknown attribute) is
-                    # uncacheable; run it as its own job so the failure
-                    # is captured per-query, not thrown at the batch.
-                    jobs.append((spec, [i]))
-                    continue
-                keys[i] = key
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[i] = hit
-                    cached[i] = True
-                    continue
-                j = job_of.get(key)
-                if j is None:
-                    job_of[key] = len(jobs)
-                    jobs.append((spec, [i]))
-                else:
-                    jobs[j][1].append(i)
-                    cached[i] = True
-        else:
-            jobs = [(spec, [i]) for i, spec in enumerate(specs)]
-
-        outcomes = self._execute([spec for spec, _ in jobs])
-        for (spec, indices), outcome in zip(jobs, outcomes):
-            first = indices[0]
-            if outcome.error is not None:
-                # The whole dedup group shares the failure; none of its
-                # slots counts as a cache hit and nothing is cached.
-                for i in indices:
-                    results[i] = None
-                    errors[i] = outcome.error
-                    cached[i] = False
-                continue
-            results[first] = outcome.result
-            wall_times[first] = outcome.wall_s
-            for i in indices[1:]:
-                results[i] = outcome.result
-            if self.cache is not None and keys[first] is not None:
-                self.cache.put(keys[first], outcome.result, version=cache_version)
-
-        # One pass in input order keeps the engine's query log and
-        # aggregate counters deterministic under any pool.
-        engine._record_batch(specs, results, cached, wall_times, errors)
-        return merge_batch(
-            specs,
-            results,
-            cached,
-            wall_times,
-            batch_wall_time_s=batch_watch.stop(),
-            pool=self.pool,
-            workers=self.workers,
-            errors=errors,
+        batch_span = _obs.span(
+            "exec.batch", pool=self.pool, workers=self.workers, queries=n
         )
+        batch_span.__enter__()
+        try:
+
+            # Partition the batch into cache hits and unique pending jobs.
+            # Identical specs collapse onto one job whenever a cache is
+            # attached (in-flight dedup); the first occurrence is the computed
+            # one, later occurrences count as hits.
+            jobs: list[tuple[QuerySpec, list[int]]] = []
+            keys: list[CacheKey | None] = [None] * n
+            cache_version: int | None = None
+            if self.cache is not None:
+                fingerprint = engine.layout_fingerprint()
+                # Snapshot the cache version with the fingerprint: an
+                # invalidate() racing this batch must drop our later put()s,
+                # not let them re-insert results keyed by the old fingerprint.
+                cache_version = self.cache.version
+                job_of: dict[CacheKey, int] = {}
+                for i, spec in enumerate(specs):
+                    try:
+                        key = self._cache_key(spec, fingerprint)
+                    except ReproError:
+                        # An unresolvable spec (e.g. unknown attribute) is
+                        # uncacheable; run it as its own job so the failure
+                        # is captured per-query, not thrown at the batch.
+                        jobs.append((spec, [i]))
+                        continue
+                    keys[i] = key
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[i] = hit
+                        cached[i] = True
+                        continue
+                    j = job_of.get(key)
+                    if j is None:
+                        job_of[key] = len(jobs)
+                        jobs.append((spec, [i]))
+                    else:
+                        jobs[j][1].append(i)
+                        cached[i] = True
+                        deduped[i] = True
+            else:
+                jobs = [(spec, [i]) for i, spec in enumerate(specs)]
+
+            outcomes = self._execute([spec for spec, _ in jobs])
+            for (spec, indices), outcome in zip(jobs, outcomes):
+                if _obs.enabled:
+                    # Job order, not completion order: grafted span ids
+                    # and merged counters come out identical for serial,
+                    # thread and process pools.
+                    if outcome.trace:
+                        # getattr: if obs was flipped on mid-batch the
+                        # batch span is the null span; graft as roots.
+                        _obs.adopt_job_trace(
+                            outcome.trace,
+                            parent_id=getattr(batch_span, "span_id", None),
+                        )
+                    if outcome.metrics is not None:
+                        _obs.registry().merge(outcome.metrics)
+                first = indices[0]
+                if outcome.error is not None:
+                    # The whole dedup group shares the failure; none of its
+                    # slots counts as a cache hit and nothing is cached.
+                    for i in indices:
+                        results[i] = None
+                        errors[i] = outcome.error
+                        cached[i] = False
+                        deduped[i] = False
+                    continue
+                results[first] = outcome.result
+                wall_times[first] = outcome.wall_s
+                for i in indices[1:]:
+                    results[i] = outcome.result
+                if self.cache is not None and keys[first] is not None:
+                    self.cache.put(keys[first], outcome.result, version=cache_version)
+
+            # One pass in input order keeps the engine's query log and
+            # aggregate counters deterministic under any pool.
+            engine._record_batch(specs, results, cached, wall_times, errors)
+            report = merge_batch(
+                specs,
+                results,
+                cached,
+                wall_times,
+                batch_wall_time_s=batch_watch.stop(),
+                pool=self.pool,
+                workers=self.workers,
+                errors=errors,
+                deduped=deduped,
+            )
+            if _obs.enabled:
+                batch_span.annotate("memo_hits", report.memo_hits)
+                batch_span.annotate("dedup_hits", report.dedup_hits)
+                batch_span.annotate("failed", report.failed)
+                _obs.inc("repro_batches_total", 1, pool=self.pool)
+                _obs.inc("repro_batch_queries_total", n)
+                _obs.inc("repro_batch_memo_hits_total", report.memo_hits)
+                _obs.inc("repro_batch_dedup_hits_total", report.dedup_hits)
+                _obs.inc("repro_batch_failures_total", report.failed)
+                _obs.observe("repro_batch_wall_seconds", report.wall_time_s)
+            return report
+        finally:
+            batch_span.__exit__(None, None, None)
 
     # -- internals ----------------------------------------------------------
     def _cache_key(self, spec: QuerySpec, fingerprint: str) -> CacheKey:
@@ -397,6 +472,7 @@ class QueryExecutor:
                     fault_plan,
                     fault_seed,
                     self._retry_args(),
+                    _obs.enabled,
                 ),
             ) as pool:
                 chunk = max(1, len(job_specs) // (self.workers * 4))

@@ -75,6 +75,10 @@ class BatchReport:
     #: ``None`` in a slot means that query failed; see ``errors``.
     results: tuple[RSResult | None, ...]
     cached: tuple[bool, ...]
+    #: Which of the ``cached`` slots were satisfied by *in-batch* dedup
+    #: (an identical spec earlier in this batch) rather than by the
+    #: cross-batch memo. ``cached[i] and not deduped[i]`` is a memo hit.
+    deduped: tuple[bool, ...]
     #: Per-query engine-path wall time (0.0 for cache hits).
     wall_times_s: tuple[float, ...]
     #: Summed cost of the computed queries (cache hits cost nothing).
@@ -97,7 +101,19 @@ class BatchReport:
 
     @property
     def cache_hits(self) -> int:
+        """All slots satisfied without engine work — memo hits plus
+        in-batch dedup followers (``memo_hits + dedup_hits``)."""
         return sum(self.cached)
+
+    @property
+    def memo_hits(self) -> int:
+        """Slots answered by the cross-batch :class:`ResultCache` memo."""
+        return sum(1 for hit, dup in zip(self.cached, self.deduped) if hit and not dup)
+
+    @property
+    def dedup_hits(self) -> int:
+        """Slots answered by an identical spec earlier in this batch."""
+        return sum(1 for hit, dup in zip(self.cached, self.deduped) if hit and dup)
 
     @property
     def failed(self) -> int:
@@ -126,6 +142,8 @@ class BatchReport:
         return {
             "queries": len(self.results),
             "cache_hits": self.cache_hits,
+            "memo_hits": self.memo_hits,
+            "dedup_hits": self.dedup_hits,
             "computed": self.computed,
             "failed": self.failed,
             "pool": self.pool,
@@ -152,10 +170,13 @@ def merge_batch(
     pool: str,
     workers: int,
     errors=None,
+    deduped=None,
 ) -> BatchReport:
     """Assemble the deterministic batch view (everything in input order)."""
     if errors is None:
         errors = [None] * len(results)
+    if deduped is None:
+        deduped = [False] * len(results)
     stats = CostStats.merged(
         r.stats for r, hit in zip(results, cached) if r is not None and not hit
     )
@@ -163,6 +184,7 @@ def merge_batch(
         specs=tuple(specs),
         results=tuple(results),
         cached=tuple(cached),
+        deduped=tuple(deduped),
         wall_times_s=tuple(wall_times_s),
         stats=stats,
         wall_time_s=batch_wall_time_s,

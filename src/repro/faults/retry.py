@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ReproError, RetryExhaustedError
+from repro.obs import hooks as _obs
 
 __all__ = ["RetryPolicy", "NO_RETRY"]
 
@@ -66,11 +67,15 @@ class RetryPolicy:
         :class:`~repro.errors.RetryExhaustedError` and re-raised.
         """
         if attempt >= self.max_attempts:
+            if _obs.enabled:
+                _obs.inc("repro_retry_exhausted_total")
             raise RetryExhaustedError(
                 f"gave up after {attempt} attempts: {error}",
                 attempts=attempt,
                 last_error=error,
             ) from error
+        if _obs.enabled:
+            _obs.inc("repro_retry_backoffs_total")
         delay = self.delay_for(attempt)
         if delay > 0:
             self.sleep(delay)

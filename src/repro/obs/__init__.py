@@ -1,0 +1,88 @@
+"""repro.obs — observability: metrics, structured tracing, profiling.
+
+The production-visibility subsystem for the query stack. Three layers:
+
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms; lock-protected, snapshot/reset
+  semantics, and snapshots merge across process-pool workers.
+- :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer` structured
+  tracing with monotonic timestamps and parent/child nesting; the batch
+  executor propagates trace context through its serial/thread/process
+  pools so one batch yields one coherent trace tree.
+- :mod:`repro.obs.profile` — :class:`QueryProfiler`, the per-phase
+  "where did the time go" view over a captured trace.
+
+Everything is **off by default**: the hook points threaded through
+``repro.core``, ``repro.exec``, ``repro.storage`` and ``repro.faults``
+guard on :data:`repro.obs.hooks.enabled` (one attribute load + branch
+when disabled) and never alter query results — instrumented runs are
+bit-identical to plain ones (asserted by ``benchmarks/test_ext_obs.py``
+and ``tests/test_obs.py``).
+
+Quickstart::
+
+    from repro.obs import QueryProfiler, snapshot_to_prometheus
+
+    with QueryProfiler() as prof:
+        engine.query_many(queries, pool="thread", workers=4)
+    print(snapshot_to_prometheus(prof.snapshot))   # metrics
+    for phase in prof.breakdown():                 # time attribution
+        print(phase.name, phase.count, phase.self_s)
+
+See ``docs/observability.md`` for the metric catalogue and the span
+taxonomy.
+"""
+
+from repro.obs.export import (
+    render_trace,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    trace_to_json,
+)
+from repro.obs.hooks import (
+    disable,
+    enable,
+    is_enabled,
+    registry,
+    reset,
+    snapshot,
+    tracer,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.profile import PhaseStat, QueryProfiler, phase_breakdown
+from repro.obs.trace import Span, SpanRecord, Tracer, graft, span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PhaseStat",
+    "QueryProfiler",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "disable",
+    "enable",
+    "graft",
+    "is_enabled",
+    "phase_breakdown",
+    "registry",
+    "render_trace",
+    "reset",
+    "snapshot",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "span_tree",
+    "trace_to_json",
+    "tracer",
+]

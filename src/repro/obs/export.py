@@ -1,0 +1,149 @@
+"""Exporters: JSON snapshots and Prometheus text exposition.
+
+Both exporters are pure functions over the picklable value objects
+(:class:`~repro.obs.metrics.MetricsSnapshot`,
+:class:`~repro.obs.trace.SpanRecord`), so anything that can be snapshot
+can be shipped — to a file via the CLI (``repro-skyline metrics``,
+``repro-skyline batch --trace``), to a scrape endpoint, or into a CI
+artifact. Output is deterministic: series are emitted in sorted name
+order and floats render via ``repr`` (shortest round-trip form).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.trace import span_tree
+
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "trace_to_json",
+    "render_trace",
+]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers bare, floats via repr."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _series_with_label(key: str, extra: str) -> str:
+    """Append one rendered label to a series name that may already carry
+    a label set: ``x{a="b"}`` + ``le="1"`` -> ``x{a="b",le="1"}``."""
+    if key.endswith("}"):
+        return f"{key[:-1]},{extra}}}"
+    return f"{key}{{{extra}}}"
+
+
+def _suffixed(key: str, suffix: str) -> str:
+    """Insert a name suffix before any label set: ``x{a="b"}`` + ``_sum``
+    -> ``x_sum{a="b"}`` (the exposition convention for histograms)."""
+    family, sep, rest = key.partition("{")
+    return f"{family}{suffix}{sep}{rest}"
+
+
+def _family_of(key: str) -> str:
+    return key.partition("{")[0]
+
+
+def snapshot_to_prometheus(snap: MetricsSnapshot) -> str:
+    """The snapshot in Prometheus text exposition format (version 0.0.4).
+
+    Histograms expand to cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``, per the exposition conventions.
+    """
+    lines: list[str] = []
+    emitted_header: set[str] = set()
+
+    def header(family: str, kind: str) -> None:
+        if family in emitted_header:
+            return
+        emitted_header.add(family)
+        help_text = snap.families.get(family, (kind, ""))[1]
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+
+    for key in sorted(snap.counters):
+        header(_family_of(key), "counter")
+        lines.append(f"{key} {_fmt(snap.counters[key])}")
+    for key in sorted(snap.gauges):
+        header(_family_of(key), "gauge")
+        lines.append(f"{key} {_fmt(snap.gauges[key])}")
+    for key in sorted(snap.histograms):
+        h = snap.histograms[key]
+        family = _family_of(key)
+        header(family, "histogram")
+        for bound, cumulative in h.cumulative():
+            le = "+Inf" if bound == float("inf") else _fmt(bound)
+            series = _series_with_label(_suffixed(key, "_bucket"), f'le="{le}"')
+            lines.append(f"{series} {cumulative}")
+        lines.append(f"{_suffixed(key, '_sum')} {_fmt(h.sum)}")
+        lines.append(f"{_suffixed(key, '_count')} {h.count}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_to_json(snap: MetricsSnapshot, *, indent: int | None = 2) -> str:
+    """The snapshot as a JSON document (sorted keys, stable)."""
+    doc = {
+        "counters": dict(sorted(snap.counters.items())),
+        "gauges": dict(sorted(snap.gauges.items())),
+        "histograms": {
+            key: {
+                "buckets": [
+                    {"le": "+Inf" if b == float("inf") else b, "count": c}
+                    for b, c in h.cumulative()
+                ],
+                "sum": h.sum,
+                "count": h.count,
+            }
+            for key, h in sorted(snap.histograms.items())
+        },
+    }
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def trace_to_json(records, *, indent: int | None = 2) -> str:
+    """Span records as a JSON trace document (spans sorted by id)."""
+    doc = {
+        "spans": [
+            {
+                "id": r.span_id,
+                "parent": r.parent_id,
+                "name": r.name,
+                "start_s": r.start_s,
+                "duration_s": r.duration_s,
+                "attrs": {k: v for k, v in r.attrs},
+            }
+            for r in sorted(records, key=lambda x: x.span_id)
+        ]
+    }
+    return json.dumps(doc, indent=indent, default=str)
+
+
+def render_trace(records, *, max_spans: int = 200) -> str:
+    """A human-readable indented tree of a trace (for CLI/debug output)."""
+    tree = span_tree(records)
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for r in tree.get(parent, ()):
+            if len(lines) >= max_spans:
+                return
+            attrs = "".join(f" {k}={v}" for k, v in r.attrs)
+            lines.append(
+                f"{'  ' * depth}{r.name} [{r.span_id}] "
+                f"{r.duration_s * 1000:.2f}ms{attrs}"
+            )
+            walk(r.span_id, depth + 1)
+
+    walk(None, 0)
+    if len(lines) >= max_spans:
+        lines.append(f"... ({len(list(records))} spans total)")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Global observability state and the cheap hook-site API.
+
+Every instrumented module (``core/base``, ``exec/executor``,
+``exec/cache``, ``storage/disk``, ``faults/retry``) imports this module
+once and guards each emission with::
+
+    from repro.obs import hooks as _obs
+    ...
+    if _obs.enabled:
+        _obs.inc("repro_...", ...)
+
+``enabled`` is a plain module attribute, so a disabled hook site costs
+one attribute load and one branch — nothing is allocated, no lock is
+taken. :func:`span` additionally returns the shared
+:data:`~repro.obs.trace.NULL_SPAN` when disabled, so ``with``-style
+phase hooks are equally free.
+
+State model
+-----------
+One process-global :class:`~repro.obs.metrics.MetricsRegistry` and one
+process-global :class:`~repro.obs.trace.Tracer`. Batch jobs additionally
+get a *per-job* tracer installed as this thread's span sink
+(:func:`begin_job`), so concurrently executing jobs never interleave
+their spans; the executor grafts the per-job records back under the
+batch span (:func:`adopt_job_trace`) with deterministic ids.
+
+Enabling/disabling is idempotent and cheap; it never touches query
+semantics — the differential and chaos harnesses assert instrumented
+runs are bit-identical to plain ones.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "registry",
+    "tracer",
+    "snapshot",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+    "begin_job",
+    "end_job",
+    "adopt_job_trace",
+    "record_query",
+    "record_io",
+]
+
+#: THE module-level enabled flag. Hot paths read it directly.
+enabled: bool = False
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+#: The span sink for the current job, when a batch job is executing in
+#: this thread/process (see :func:`begin_job`); ``None`` -> global tracer.
+_JOB_SINK: ContextVar[Tracer | None] = ContextVar("repro_obs_job_sink", default=None)
+
+
+def enable(*, reset_state: bool = False) -> None:
+    """Turn observability on (idempotent). ``reset_state=True`` also
+    zeroes the registry and clears collected spans first, giving a clean
+    capture window (what :class:`repro.obs.profile.QueryProfiler` does)."""
+    global enabled
+    if reset_state:
+        reset()
+    enabled = True
+
+
+def disable() -> None:
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    return enabled
+
+
+def reset() -> None:
+    """Zero every metric and drop every collected span."""
+    _REGISTRY.reset()
+    _TRACER.reset()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    return _TRACER
+
+
+def snapshot() -> MetricsSnapshot:
+    return _REGISTRY.snapshot()
+
+
+# -- spans ------------------------------------------------------------------
+def span(name: str, **attrs):
+    """Open a span under the current context (job sink if inside a batch
+    job, else the global tracer); the shared null span when disabled."""
+    if not enabled:
+        return NULL_SPAN
+    sink = _JOB_SINK.get() or _TRACER
+    return sink.span(name, **attrs)
+
+
+def begin_job(name: str, **attrs):
+    """Start an isolated trace capture for one batch job in this thread.
+
+    Creates a private tracer, installs it as this thread's span sink,
+    and opens the job's root span (parent ``None`` — the executor
+    re-parents the whole subtree under the batch span afterwards).
+    Returns an opaque handle for :func:`end_job`, or ``None`` when
+    observability is disabled.
+    """
+    if not enabled:
+        return None
+    job_tracer = Tracer()
+    token = _JOB_SINK.set(job_tracer)
+    root = job_tracer.span(name, parent=None, **attrs)
+    root.__enter__()
+    return (job_tracer, root, token)
+
+
+def end_job(handle) -> tuple[SpanRecord, ...]:
+    """Close a job capture started by :func:`begin_job`; returns the
+    job's finished spans (picklable, ids local to the job)."""
+    if handle is None:
+        return ()
+    job_tracer, root, token = handle
+    root.__exit__(None, None, None)
+    _JOB_SINK.reset(token)
+    return job_tracer.records()
+
+
+def adopt_job_trace(records, *, parent_id: int | None) -> None:
+    """Graft one job's span records into the global tracer under
+    ``parent_id`` (ids re-based deterministically; see
+    :func:`repro.obs.trace.graft`)."""
+    if records:
+        _TRACER.adopt(records, parent_id=parent_id)
+
+
+# -- metrics ----------------------------------------------------------------
+def inc(name: str, n: int = 1, **labels) -> None:
+    _REGISTRY.inc(name, n, **labels)
+
+
+def observe(name: str, value: float, *, buckets=None, **labels) -> None:
+    _REGISTRY.observe(name, value, buckets=buckets, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    _REGISTRY.set_gauge(name, value, **labels)
+
+
+# -- aggregate flush points (called once per query / per disk) --------------
+def record_query(algorithm: str, stats) -> None:
+    """Flush one finished algorithm run's :class:`~repro.core.base.CostStats`
+    into the registry (called from ``ReverseSkylineAlgorithm.run``; the
+    domination-check and phase counters were accumulated lock-free in the
+    per-query ``CostStats``, so the hot loops pay nothing extra)."""
+    r = _REGISTRY
+    r.inc("repro_queries_total", 1, algorithm=algorithm)
+    r.inc("repro_domination_checks_total", stats.checks_phase1, phase="1")
+    r.inc("repro_domination_checks_total", stats.checks_phase2, phase="2")
+    r.inc("repro_pruner_tests_total", stats.pruner_tests)
+    r.observe("repro_query_wall_seconds", stats.wall_time_s)
+    r.observe(
+        "repro_query_checks", float(stats.checks), buckets=DEFAULT_COUNT_BUCKETS
+    )
+
+
+def record_io(io) -> None:
+    """Flush one disk's :class:`~repro.storage.iostats.IoStats` into the
+    registry (called from ``DiskSimulator.close`` — once per staged
+    disk, never per page access)."""
+    r = _REGISTRY
+    r.inc("repro_page_io_total", io.sequential_reads, kind="sequential_read")
+    r.inc("repro_page_io_total", io.random_reads, kind="random_read")
+    r.inc("repro_page_io_total", io.sequential_writes, kind="sequential_write")
+    r.inc("repro_page_io_total", io.random_writes, kind="random_write")
+    r.inc("repro_io_retries_total", io.read_retries, op="read")
+    r.inc("repro_io_retries_total", io.write_retries, op="write")
+    r.inc("repro_io_faults_total", io.faults_seen)

@@ -1,0 +1,357 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Production observability for the query stack (NMSLIB-style: the library
+carries its own instrumentation rather than hoping callers add it). The
+design constraints, in order:
+
+1. **Cheap.** One lock per instrument, taken only on updates; the hot
+   paths of the query stack guard every emission behind the module-level
+   enabled flag in :mod:`repro.obs.hooks`, so a disabled build pays one
+   attribute load + branch per hook site.
+2. **Mergeable.** :class:`MetricsSnapshot` is a plain picklable value
+   object; process-pool workers ship per-job snapshots back over the
+   wire and :meth:`MetricsRegistry.merge` folds them in (sums commute,
+   so the merged totals are deterministic under any worker schedule).
+3. **Deterministic.** Snapshots iterate series in sorted name order and
+   bucket bounds are fixed at registration, so two runs doing the same
+   work export byte-identical text (timings aside).
+
+Histograms use Prometheus ``le`` semantics: an observation equal to a
+bucket's upper bound lands **in** that bucket; values above the last
+bound fall into the implicit ``+Inf`` overflow bucket.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_COUNT_BUCKETS",
+    "series_name",
+]
+
+#: Wall-time buckets (seconds) sized for pure-Python query latencies:
+#: sub-millisecond cache hits up to multi-second scans.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
+
+#: Work-count buckets (checks, page IOs): decades.
+DEFAULT_COUNT_BUCKETS = (10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+
+def series_name(name: str, labels: dict | None) -> str:
+    """Render ``name{k="v",...}`` with label keys sorted (deterministic)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotone counter (one series, labels already bound)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ReproError(f"counters are monotone; cannot add {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A settable instantaneous value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus ``le`` semantics).
+
+    ``bounds`` are the finite upper bounds, strictly increasing; one
+    implicit ``+Inf`` overflow bucket is appended. Counts are stored
+    per-bucket (non-cumulative) and cumulated only at export time.
+    """
+
+    __slots__ = ("bounds", "_lock", "_counts", "_sum")
+
+    def __init__(self, bounds=DEFAULT_LATENCY_BUCKETS_S) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ReproError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ReproError(f"histogram bounds must strictly increase: {bounds}")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        # bisect_left: value == bounds[i] lands in bucket i (le semantics);
+        # value > bounds[-1] lands in the +Inf overflow bucket.
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+
+    def snapshot(self) -> "HistogramSnapshot":
+        with self._lock:
+            return HistogramSnapshot(self.bounds, tuple(self._counts), self._sum)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Picklable value view of one histogram series."""
+
+    bounds: tuple[float, ...]
+    #: Per-bucket (non-cumulative) counts; ``len(bounds) + 1`` entries,
+    #: the last being the ``+Inf`` overflow bucket.
+    counts: tuple[int, ...]
+    sum: float
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self.counts):
+            running += c
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def merged(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        if other.bounds != self.bounds:
+            raise ReproError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        return HistogramSnapshot(
+            self.bounds,
+            tuple(a + b for a, b in zip(self.counts, other.counts)),
+            self.sum + other.sum,
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time copy of every registered series.
+
+    Plain picklable data: the wire format for process-pool workers and
+    the input to the JSON / Prometheus exporters in
+    :mod:`repro.obs.export`. Keys are rendered series names
+    (``name{label="value"}``); ``families`` maps the bare family name to
+    its ``(type, help)`` pair for exposition headers.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+    families: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def merged(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The commutative sum of two snapshots (gauges: ``other`` wins)."""
+        counters = dict(self.counters)
+        for name, v in other.counters.items():
+            counters[name] = counters.get(name, 0) + v
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        histograms = dict(self.histograms)
+        for name, h in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = h if mine is None else mine.merged(h)
+        families = dict(self.families)
+        families.update(other.families)
+        return MetricsSnapshot(counters, gauges, histograms, families)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    One series per ``(name, labels)`` pair; re-registering an existing
+    series returns the same instrument, while re-registering a name as a
+    different *type* raises (a silent type flip would corrupt exports).
+    ``snapshot`` / ``reset`` / ``merge`` give the batch executor its
+    cross-process aggregation semantics.
+    """
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # series name -> (kind, instrument); family name -> (kind, help)
+        self._series: dict[str, tuple[str, object]] = {}
+        self._families: dict[str, tuple[str, str]] = {}
+
+    # -- registration -------------------------------------------------------
+    def _get_or_create(self, kind, name, help_text, labels, factory):
+        key = series_name(name, labels)
+        with self._lock:
+            existing = self._series.get(key)
+            if existing is not None:
+                found_kind, instrument = existing
+                if found_kind != kind:
+                    raise ReproError(
+                        f"metric {key!r} already registered as {found_kind}, "
+                        f"not {kind}"
+                    )
+                return instrument
+            family = self._families.get(name)
+            if family is not None and family[0] != kind:
+                raise ReproError(
+                    f"metric family {name!r} already registered as "
+                    f"{family[0]}, not {kind}"
+                )
+            instrument = factory()
+            self._series[key] = (kind, instrument)
+            if family is None or (help_text and not family[1]):
+                self._families[name] = (kind, help_text)
+            return instrument
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        return self._get_or_create("counter", name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        return self._get_or_create("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        buckets=DEFAULT_LATENCY_BUCKETS_S,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    # -- convenience emitters (the hook-site API) ---------------------------
+    def inc(self, name: str, n: int = 1, **labels) -> None:
+        self.counter(name, **labels).inc(n)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, *, buckets=None, **labels) -> None:
+        if buckets is None:
+            self.histogram(name, **labels).observe(value)
+        else:
+            self.histogram(name, buckets=buckets, **labels).observe(value)
+
+    # -- snapshot / reset / merge ------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Copy every series (sorted by name, so exports are stable)."""
+        with self._lock:
+            series = sorted(self._series.items())
+            families = dict(sorted(self._families.items()))
+        snap = MetricsSnapshot(families=families)
+        for key, (kind, instrument) in series:
+            if kind == "counter":
+                snap.counters[key] = instrument.value
+            elif kind == "gauge":
+                snap.gauges[key] = instrument.value
+            else:
+                snap.histograms[key] = instrument.snapshot()
+        return snap
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations (and help text)."""
+        with self._lock:
+            instruments = [inst for _, inst in self._series.values()]
+        for inst in instruments:
+            inst._reset()
+
+    def merge(self, snap: MetricsSnapshot | None) -> None:
+        """Fold a worker's snapshot into this registry (counters and
+        histogram buckets add; gauges take the snapshot's value)."""
+        if snap is None:
+            return
+        for key, value in snap.counters.items():
+            name, labels = _parse_series(key)
+            self.counter(name, snap.families.get(name, ("", ""))[1], **labels).inc(
+                value
+            )
+        for key, value in snap.gauges.items():
+            name, labels = _parse_series(key)
+            self.gauge(name, **labels).set(value)
+        for key, h in snap.histograms.items():
+            name, labels = _parse_series(key)
+            mine = self.histogram(name, buckets=h.bounds, **labels)
+            if mine.bounds != h.bounds:
+                raise ReproError(
+                    f"cannot merge {key!r}: bucket bounds differ "
+                    f"({mine.bounds} vs {h.bounds})"
+                )
+            with mine._lock:
+                for i, c in enumerate(h.counts):
+                    mine._counts[i] += c
+                mine._sum += h.sum
+
+
+def _parse_series(key: str) -> tuple[str, dict]:
+    """Invert :func:`series_name` (labels never contain ``{`` or ``,``
+    in this codebase's metric catalogue)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels

@@ -1,0 +1,102 @@
+"""Per-phase query profiling built on the tracing hooks.
+
+:class:`QueryProfiler` is the "where did the time go" facade: a context
+manager that enables observability for its body (restoring the previous
+state after), then answers with the captured trace, the metrics
+snapshot, and a per-phase wall-time attribution computed from the span
+tree — the breakdown the PM-tree evaluation methodology reports per
+pruning stage, generalised over the whole engine → executor → algorithm
+→ storage path.
+
+    with QueryProfiler() as prof:
+        engine.query_many(queries, pool="thread", workers=4)
+    for row in prof.breakdown():
+        print(row.name, row.count, f"{row.total_s * 1000:.1f}ms")
+
+Attribution uses *self time*: a span's duration minus its children's,
+so ``algorithm.run`` does not double-count the phases nested inside it
+and the shares sum to ~100% of traced time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import hooks
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.trace import SpanRecord, span_tree
+
+__all__ = ["PhaseStat", "QueryProfiler", "phase_breakdown"]
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate wall-time attribution for one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    #: Duration minus children's durations, summed over spans of this name.
+    self_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_s * 1000 / self.count if self.count else 0.0
+
+
+def phase_breakdown(records) -> list[PhaseStat]:
+    """Group a trace's spans by name into per-phase totals.
+
+    Returns one :class:`PhaseStat` per span name, ordered by descending
+    self time (ties broken by name, so output is deterministic).
+    """
+    children = span_tree(records)
+    total: dict[str, float] = {}
+    self_time: dict[str, float] = {}
+    count: dict[str, int] = {}
+    for r in records:
+        nested = sum(c.duration_s for c in children.get(r.span_id, ()))
+        total[r.name] = total.get(r.name, 0.0) + r.duration_s
+        self_time[r.name] = self_time.get(r.name, 0.0) + max(
+            0.0, r.duration_s - nested
+        )
+        count[r.name] = count.get(r.name, 0) + 1
+    rows = [
+        PhaseStat(name, count[name], total[name], self_time[name])
+        for name in total
+    ]
+    rows.sort(key=lambda s: (-s.self_s, s.name))
+    return rows
+
+
+class QueryProfiler:
+    """Enable observability for a block and capture what it emitted.
+
+    Parameters
+    ----------
+    reset:
+        Zero the registry and drop prior spans on entry (default), so
+        the capture covers exactly the body. Pass ``False`` to
+        accumulate across several profiled blocks.
+    """
+
+    def __init__(self, *, reset: bool = True) -> None:
+        self.reset = reset
+        self._was_enabled = False
+        self.trace: tuple[SpanRecord, ...] = ()
+        self.snapshot: MetricsSnapshot | None = None
+
+    def __enter__(self) -> "QueryProfiler":
+        self._was_enabled = hooks.is_enabled()
+        hooks.enable(reset_state=self.reset)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.trace = hooks.tracer().records()
+        self.snapshot = hooks.snapshot()
+        if not self._was_enabled:
+            hooks.disable()
+
+    def breakdown(self) -> list[PhaseStat]:
+        """Per-phase wall-time attribution of the captured trace."""
+        return phase_breakdown(self.trace)

@@ -1,0 +1,207 @@
+"""Structured tracing: spans with monotonic timestamps and parent links.
+
+A :class:`Span` covers one timed region (a batch, a query, an algorithm
+phase); a :class:`Tracer` collects finished spans. Nesting uses a
+:mod:`contextvars` context variable, so spans opened anywhere below a
+parent — including in code that has never heard of the tracer, like the
+algorithm phase hooks in :mod:`repro.core` — attach to the innermost
+open span *of the same thread*.
+
+Pool propagation is explicit, not ambient: thread and process pools do
+not inherit the submitting thread's context, so the batch executor gives
+every job its own private :class:`Tracer` (installed as the thread's
+span sink via :func:`repro.obs.hooks.begin_job`), ships the finished
+records back with the job outcome — they are plain picklable tuples —
+and grafts them under the batch span afterwards with :func:`graft`.
+Grafting re-bases span ids deterministically in job order, so one batch
+yields one coherent trace tree with identical ids whatever pool ran it.
+
+Timestamps are ``time.perf_counter`` (the same clock as
+:class:`repro.core.base.Stopwatch`), monotonic within a process but not
+comparable across processes; cross-process spans keep their *durations*
+and their structure, which is what per-phase attribution needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+
+__all__ = ["SpanRecord", "Span", "Tracer", "graft", "span_tree", "NULL_SPAN"]
+
+#: The innermost open span id in this thread's context (None at top level).
+_CURRENT_SPAN: ContextVar[int | None] = ContextVar("repro_obs_span", default=None)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span — plain picklable data (the wire/export format)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    end_s: float
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def attr(self, key: str, default=None):
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+
+class Span:
+    """An open span; use as a context manager (annotate before exit)."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "start_s", "_attrs", "_token")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int | None, name: str) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = time.perf_counter()
+        self._attrs: list[tuple[str, object]] = []
+        self._token = None
+
+    def annotate(self, key: str, value) -> "Span":
+        self._attrs.append((key, value))
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._attrs.append(("error", exc_type.__name__))
+        end_s = time.perf_counter()
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        self._tracer._finish(
+            SpanRecord(
+                self.span_id,
+                self.parent_id,
+                self.name,
+                self.start_s,
+                end_s,
+                tuple(self._attrs),
+            )
+        )
+
+
+class _NullSpan:
+    """The do-nothing span returned when observability is disabled; a
+    single shared instance, so a disabled hook site allocates nothing."""
+
+    __slots__ = ()
+
+    def annotate(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans; allocates ids monotonically.
+
+    Ids are assigned at span *creation* under a lock. Within one thread
+    of execution they increase in program order, which is what
+    :func:`graft` relies on to renumber worker spans deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._next_id = 0
+
+    def span(self, name: str, *, parent: int | None = -1, **attrs) -> Span:
+        """Open a span. ``parent`` defaults to the current context span;
+        pass ``None`` to force a root."""
+        if parent == -1:
+            parent = _CURRENT_SPAN.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        s = Span(self, span_id, parent, name)
+        for k, v in attrs.items():
+            s.annotate(k, v)
+        return s
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def adopt(self, records, *, parent_id: int | None) -> None:
+        """Graft foreign (e.g. worker-produced) span records into this
+        tracer under ``parent_id``, re-basing their ids onto fresh ids
+        from this tracer (see :func:`graft`)."""
+        if not records:
+            return
+        with self._lock:
+            base = self._next_id
+            grafted = graft(records, parent_id=parent_id, base_id=base)
+            self._next_id = base + len(grafted)
+            self._records.extend(grafted)
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        """Finished spans, sorted by id (stable export order)."""
+        with self._lock:
+            return tuple(sorted(self._records, key=lambda r: r.span_id))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._next_id = 0
+
+
+def graft(
+    records, *, parent_id: int | None, base_id: int
+) -> list[SpanRecord]:
+    """Re-base a self-contained span forest onto new ids.
+
+    ``records`` come from a private per-job tracer (ids 0..n in that
+    job's creation order). Old ids map to ``base_id + rank`` in old-id
+    order — deterministic, since creation order within a job is the
+    job's own sequential execution order — and roots (``parent_id is
+    None``) are re-parented onto ``parent_id``. Returns the grafted
+    records sorted by new id.
+    """
+    by_old = sorted(records, key=lambda r: r.span_id)
+    id_map = {r.span_id: base_id + rank for rank, r in enumerate(by_old)}
+    out = []
+    for r in by_old:
+        out.append(
+            replace(
+                r,
+                span_id=id_map[r.span_id],
+                parent_id=(
+                    parent_id if r.parent_id is None else id_map[r.parent_id]
+                ),
+            )
+        )
+    return out
+
+
+def span_tree(records) -> dict[int | None, list[SpanRecord]]:
+    """Index records as ``parent_id -> [children sorted by id]``; the
+    ``None`` key holds the roots."""
+    tree: dict[int | None, list[SpanRecord]] = {}
+    for r in sorted(records, key=lambda x: x.span_id):
+        tree.setdefault(r.parent_id, []).append(r)
+    return tree

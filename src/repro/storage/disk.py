@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from repro.data.dataset import Dataset
 from repro.errors import MemoryBudgetError, StorageError, TransientIOError
+from repro.obs import hooks as _obs
 from repro.storage.codec import RecordCodec
 from repro.storage.iostats import IoStats
 from repro.storage.pagefile import PageFile
@@ -61,6 +62,7 @@ class DiskSimulator:
         self.stats = IoStats()
         self._files: dict[str, object] = {}
         self._head: tuple[int, int] | None = None  # (file id, page id)
+        self._io_flushed = False  # close() exports stats to repro.obs once
 
     def create_file(self, name: str, codec: RecordCodec):
         """Create an empty page file with the given record layout."""
@@ -91,10 +93,20 @@ class DiskSimulator:
         self._files[new] = pf
 
     def close(self) -> None:
-        """Release any real file handles (no-op for in-memory files)."""
+        """Release any real file handles (no-op for in-memory files).
+
+        Also the disk's observability hook point: the accumulated
+        :class:`~repro.storage.iostats.IoStats` are flushed to the
+        :mod:`repro.obs` registry exactly once per disk — aggregate
+        export on close instead of per-access hooks keeps the page-IO
+        hot path untouched.
+        """
         for pf in self._files.values():
             if hasattr(pf, "close"):
                 pf.close()
+        if _obs.enabled and not self._io_flushed:
+            self._io_flushed = True
+            _obs.record_io(self.stats)
 
     def __enter__(self) -> "DiskSimulator":
         return self

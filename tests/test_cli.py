@@ -244,3 +244,43 @@ class TestSweep:
         assert rc == 0
         out = capsys.readouterr().out
         assert "TRS" in out and "memory" in out
+
+
+class TestObservability:
+    def test_batch_trace_and_metrics_out(self, dataset_dir, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0", "2,1,1",
+                   "--pool", "serial", "--trace", str(trace),
+                   "--metrics-out", str(prom)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        names = [s["name"] for s in doc["spans"]]
+        assert names.count("exec.batch") == 1
+        assert names.count("exec.query") == 2
+        assert "phase1" in names and "phase2" in names
+        text = prom.read_text()
+        assert "# TYPE repro_batches_total counter" in text
+        assert 'repro_batches_total{pool="serial"} 1' in text
+
+    def test_metrics_subcommand_prom_and_json(self, dataset_dir, tmp_path, capsys):
+        import json
+
+        rc = main(["metrics", dataset_dir, "--queries", "1,2,0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert 'repro_queries_total{algorithm="TRS"} 1' in out
+        out_file = tmp_path / "m.json"
+        rc = main(["metrics", dataset_dir, "--queries", "1,2,0",
+                   "--format", "json", "--out", str(out_file), "--breakdown"])
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["counters"]['repro_queries_total{algorithm="TRS"}'] == 1
+        assert "per-phase attribution" in capsys.readouterr().err
+
+    def test_metrics_needs_queries(self, dataset_dir, capsys):
+        rc = main(["metrics", dataset_dir])
+        assert rc == 2
+        assert "no queries" in capsys.readouterr().err

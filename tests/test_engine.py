@@ -108,12 +108,22 @@ class TestLatencySummary:
         assert 0 <= summary["p50_ms"] <= summary["p90_ms"] <= summary["max_ms"]
         assert summary["mean_ms"] > 0
 
-    def test_no_queries_yet(self, ds):
+    def test_no_queries_yet_returns_zeros(self, ds):
         engine = ReverseSkylineEngine(ds)
-        from repro.errors import AlgorithmError
+        summary = engine.latency_summary()
+        assert summary["count"] == 0.0
+        assert summary["p50_ms"] == 0.0
+        assert summary["p95_ms"] == 0.0
+        assert summary["p99_ms"] == 0.0
+        assert summary["mean_ms"] == 0.0
 
-        with pytest.raises(AlgorithmError, match="no logged queries"):
-            engine.latency_summary()
+    def test_p95_present_and_ordered(self, ds):
+        engine = ReverseSkylineEngine(ds, memory_fraction=0.2)
+        for q in query_batch(ds, 5, seed=12):
+            engine.query(q)
+        summary = engine.latency_summary()
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+        assert engine.summary()["latency_p95_ms"] == summary["p95_ms"]
 
 
 class TestObservability:

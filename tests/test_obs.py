@@ -1,0 +1,402 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the metrics registry (types, labels, histogram bucket edges,
+snapshot/merge/reset), structured tracing (nesting, graft determinism,
+trace-context propagation across serial/thread/process pools), the
+exporters (Prometheus exposition and JSON), the per-phase profiler, the
+memo-vs-dedup cache accounting split, and the hard invariant the whole
+subsystem is built around: instrumented runs are bit-identical to plain
+ones.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine import ReverseSkylineEngine
+from repro.errors import ReproError
+from repro.exec.executor import QueryExecutor
+from repro.data.queries import query_batch
+from repro.obs import hooks
+from repro.obs.export import (
+    render_trace,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    trace_to_json,
+)
+from repro.obs.metrics import MetricsRegistry, series_name
+from repro.obs.profile import QueryProfiler, phase_breakdown
+from repro.obs.trace import SpanRecord, Tracer, graft, span_tree
+
+
+@pytest.fixture
+def obs_on():
+    """Enable observability with clean state; restore afterwards."""
+    was = hooks.is_enabled()
+    hooks.enable(reset_state=True)
+    yield hooks
+    hooks.reset()
+    if not was:
+        hooks.disable()
+
+
+@pytest.fixture
+def obs_off():
+    """Guarantee observability is off (and state clean) for the test."""
+    was = hooks.is_enabled()
+    hooks.disable()
+    hooks.reset()
+    yield hooks
+    if was:
+        hooks.enable()
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 2)
+        reg.inc("c_total", 3)
+        reg.set_gauge("g", 7.5)
+        reg.observe("h_seconds", 0.02)
+        snap = reg.snapshot()
+        assert snap.counters["c_total"] == 5
+        assert snap.gauges["g"] == 7.5
+        assert snap.histograms["h_seconds"].count == 1
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("io_total", 1, kind="read")
+        reg.inc("io_total", 2, kind="write")
+        snap = reg.snapshot()
+        assert snap.counters[series_name("io_total", {"kind": "read"})] == 1
+        assert snap.counters[series_name("io_total", {"kind": "write"})] == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", 1, b="2", a="1")
+        reg.inc("x_total", 1, a="1", b="2")
+        snap = reg.snapshot()
+        assert snap.counters['x_total{a="1",b="2"}'] == 2
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("thing", 1)
+        with pytest.raises(ReproError):
+            reg.set_gauge("thing", 1.0)
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 9)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap.counters["c_total"] == 0
+
+    def test_histogram_bucket_edges_use_le_semantics(self):
+        # An observation exactly equal to a bound belongs to that bucket.
+        reg = MetricsRegistry()
+        bounds = (1.0, 2.0, 5.0)
+        for v in (0.5, 1.0, 2.0, 2.0001, 5.0, 99.0):
+            reg.observe("h", v, buckets=bounds)
+        h = reg.snapshot().histograms["h"]
+        assert h.bounds == bounds
+        # Raw per-bucket counts: (-inf,1], (1,2], (2,5], (5,+inf)
+        assert h.counts == (2, 1, 2, 1)
+        cumulative = dict(h.cumulative())
+        assert cumulative[1.0] == 2
+        assert cumulative[2.0] == 3
+        assert cumulative[5.0] == 5
+        assert cumulative[float("inf")] == 6
+        assert h.sum == pytest.approx(0.5 + 1.0 + 2.0 + 2.0001 + 5.0 + 99.0)
+
+    def test_snapshot_pickles_and_merges(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 4)
+        reg.observe("h", 1.5, buckets=(1.0, 2.0))
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        other = MetricsRegistry()
+        other.inc("c_total", 6)
+        other.observe("h", 0.5, buckets=(1.0, 2.0))
+        other.merge(snap)
+        merged = other.snapshot()
+        assert merged.counters["c_total"] == 10
+        assert merged.histograms["h"].count == 2
+
+    def test_merge_mismatched_histogram_bounds_raises(self):
+        a = MetricsRegistry()
+        a.observe("h", 1.0, buckets=(1.0, 2.0))
+        b = MetricsRegistry()
+        b.observe("h", 1.0, buckets=(3.0,))
+        with pytest.raises(ReproError):
+            b.merge(a.snapshot())
+
+
+class TestTracer:
+    def test_nesting_follows_context(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        recs = tr.records()
+        assert [r.name for r in recs] == ["outer", "inner"]
+        assert recs[0].parent_id is None
+        assert recs[1].parent_id == recs[0].span_id
+
+    def test_error_recorded_as_attr(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        (rec,) = tr.records()
+        assert rec.attr("error") == "ValueError"
+
+    def test_graft_rebases_ids_and_reparents_roots(self):
+        records = (
+            SpanRecord(0, None, "root", 0.0, 1.0),
+            SpanRecord(1, 0, "child", 0.1, 0.9),
+        )
+        grafted = graft(records, parent_id=50, base_id=100)
+        assert [(r.span_id, r.parent_id) for r in grafted] == [(100, 50), (101, 100)]
+
+    def test_span_tree_groups_children(self):
+        records = (
+            SpanRecord(0, None, "a", 0.0, 1.0),
+            SpanRecord(1, 0, "b", 0.0, 0.5),
+            SpanRecord(2, 0, "c", 0.5, 1.0),
+        )
+        tree = span_tree(records)
+        assert [r.name for r in tree[0]] == ["b", "c"]
+        assert [r.name for r in tree[None]] == ["a"]
+
+
+def _batch_trace(dataset, queries, *, pool, workers=2, cache=True):
+    """Run one batch instrumented; return (report, trace records)."""
+    engine = ReverseSkylineEngine(dataset, memory_fraction=0.2)
+    executor = QueryExecutor(engine, pool=pool, workers=workers, cache=cache)
+    hooks.reset()
+    report = executor.run_batch(queries)
+    return report, hooks.tracer().records()
+
+
+class TestTracePropagation:
+    """One batch -> one coherent trace tree, whatever pool ran it."""
+
+    @pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+    def test_per_query_spans_reparent_under_batch_span(
+        self, small_dataset, obs_on, pool
+    ):
+        queries = query_batch(small_dataset, 4, seed=5)
+        try:
+            report, recs = _batch_trace(small_dataset, queries, pool=pool)
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            pytest.skip(f"pool unavailable in sandbox: {exc}")
+        assert report.ok
+        tree = span_tree(recs)
+        roots = tree[None]
+        assert [r.name for r in roots] == ["exec.batch"]
+        batch = roots[0]
+        job_roots = tree[batch.span_id]
+        # Every computed query contributes exactly one exec.query child.
+        assert [r.name for r in job_roots] == ["exec.query"] * report.computed
+        for job in job_roots:
+            names = [r.name for r in tree[job.span_id]]
+            assert names == ["algorithm.run"]
+            run = tree[job.span_id][0]
+            phases = [r.name for r in tree[run.span_id]]
+            assert phases == ["algorithm.stage", "phase1", "phase2"]
+
+    def test_trace_ids_identical_across_pools(self, small_dataset, obs_on):
+        queries = query_batch(small_dataset, 4, seed=6)
+        shapes = {}
+        for pool in ("serial", "thread", "process"):
+            try:
+                _, recs = _batch_trace(small_dataset, queries, pool=pool)
+            except (OSError, PermissionError) as exc:  # pragma: no cover
+                pytest.skip(f"pool unavailable in sandbox: {exc}")
+            shapes[pool] = tuple(
+                (r.span_id, r.parent_id, r.name) for r in recs
+            )
+        assert shapes["serial"] == shapes["thread"] == shapes["process"]
+
+    def test_process_pool_worker_metrics_merge_home(self, small_dataset, obs_on):
+        queries = query_batch(small_dataset, 4, seed=7)
+        try:
+            report, _ = _batch_trace(
+                small_dataset, queries, pool="process", cache=False
+            )
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            pytest.skip(f"process pool unavailable in sandbox: {exc}")
+        assert report.ok
+        snap = hooks.snapshot()
+        key = series_name("repro_queries_total", {"algorithm": "TRS"})
+        assert snap.counters[key] == len(queries)
+        # Worker-side domination checks must equal the merged report's.
+        total_checks = (
+            snap.counters[series_name("repro_domination_checks_total", {"phase": "1"})]
+            + snap.counters[
+                series_name("repro_domination_checks_total", {"phase": "2"})
+            ]
+        )
+        assert total_checks == report.stats.checks
+
+
+class TestBitIdenticalResults:
+    def test_instrumented_run_matches_plain(self, small_dataset, obs_off):
+        queries = query_batch(small_dataset, 5, seed=9)
+        engine = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+        plain = engine.query_many(queries, pool="serial", cache=False)
+        with QueryProfiler():
+            engine2 = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+            traced = engine2.query_many(queries, pool="serial", cache=False)
+        assert plain.record_id_sets() == traced.record_id_sets()
+        assert plain.stats.checks == traced.stats.checks
+        assert plain.stats.io.total == traced.stats.io.total
+
+    def test_disabled_hooks_emit_nothing(self, small_dataset, obs_off):
+        engine = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+        engine.query_many(query_batch(small_dataset, 2, seed=10), pool="serial")
+        snap = hooks.snapshot()
+        # reset() keeps registrations but zeroes them; a disabled run must
+        # not have bumped anything or recorded any spans.
+        assert all(v == 0 for v in snap.counters.values())
+        assert all(h.count == 0 for h in snap.histograms.values())
+        assert not hooks.tracer().records()
+
+
+class TestCacheAccounting:
+    def test_memo_vs_dedup_hits_are_distinct(self, small_dataset):
+        queries = query_batch(small_dataset, 3, seed=11)
+        engine = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+        executor = QueryExecutor(engine, pool="serial", cache=True)
+        first = executor.run_batch(list(queries) + [queries[0]])
+        # queries[0] repeats within the cold batch: in-batch dedup.
+        assert first.memo_hits == 0
+        assert first.dedup_hits == 1
+        assert first.cache_hits == 1
+        second = executor.run_batch(queries)
+        # Warm rerun: every hit comes from the cross-batch memo.
+        assert second.memo_hits == len(queries)
+        assert second.dedup_hits == 0
+        summary = second.summary()
+        assert summary["memo_hits"] == len(queries)
+        assert summary["dedup_hits"] == 0
+
+    def test_counters_exposed_through_registry(self, small_dataset, obs_on):
+        queries = query_batch(small_dataset, 2, seed=12)
+        engine = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+        executor = QueryExecutor(engine, pool="serial", cache=True)
+        executor.run_batch(list(queries) + [queries[0]])
+        executor.run_batch(queries)
+        snap = hooks.snapshot()
+        assert snap.counters["repro_batch_dedup_hits_total"] == 1
+        assert snap.counters["repro_batch_memo_hits_total"] == 2
+        hit_key = series_name(
+            "repro_result_cache_lookups_total", {"outcome": "hit"}
+        )
+        assert snap.counters[hit_key] == 2
+
+    def test_no_cache_reports_zero_hits_of_either_kind(self, small_dataset):
+        queries = query_batch(small_dataset, 2, seed=13)
+        engine = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+        executor = QueryExecutor(engine, pool="serial", cache=None)
+        report = executor.run_batch(list(queries) + [queries[0]])
+        assert report.memo_hits == 0
+        assert report.dedup_hits == 0
+        assert report.cache_hits == 0
+
+
+class TestExporters:
+    def test_prometheus_format(self, obs_on):
+        hooks.inc("repro_demo_total", 3, kind="x")
+        hooks.observe("repro_demo_seconds", 0.002)
+        text = snapshot_to_prometheus(hooks.snapshot())
+        assert "# TYPE repro_demo_total counter" in text
+        assert 'repro_demo_total{kind="x"} 3' in text
+        assert "# TYPE repro_demo_seconds histogram" in text
+        assert 'repro_demo_seconds_bucket{le="0.0025"} 1' in text
+        assert 'repro_demo_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_demo_seconds_count 1" in text
+
+    def test_prometheus_histogram_with_labels_keeps_suffix_convention(
+        self, obs_on
+    ):
+        hooks.observe("h_seconds", 0.1, op="read")
+        text = snapshot_to_prometheus(hooks.snapshot())
+        assert 'h_seconds_bucket{op="read",le="0.1"} 1' in text
+        assert 'h_seconds_sum{op="read"}' in text
+
+    def test_exports_are_deterministic(self, obs_on):
+        for name in ("b_total", "a_total"):
+            hooks.inc(name, 1)
+        one = snapshot_to_prometheus(hooks.snapshot())
+        two = snapshot_to_prometheus(hooks.snapshot())
+        assert one == two
+        assert one.index("a_total") < one.index("b_total")
+        assert snapshot_to_json(hooks.snapshot()) == snapshot_to_json(
+            hooks.snapshot()
+        )
+
+    def test_trace_json_and_render(self, obs_on):
+        with hooks.span("outer", tag="t"):
+            with hooks.span("inner"):
+                pass
+        recs = hooks.tracer().records()
+        doc = trace_to_json(recs)
+        assert '"name": "outer"' in doc
+        rendered = render_trace(recs)
+        assert rendered.splitlines()[0].startswith("outer")
+        assert rendered.splitlines()[1].startswith("  inner")
+
+
+class TestProfiler:
+    def test_breakdown_attributes_phase_time(self, small_dataset):
+        engine = ReverseSkylineEngine(small_dataset, memory_fraction=0.2)
+        queries = query_batch(small_dataset, 3, seed=14)
+        with QueryProfiler() as prof:
+            engine.query_many(queries, pool="serial", cache=False)
+        assert not hooks.is_enabled()
+        names = {row.name for row in prof.breakdown()}
+        assert {"exec.batch", "exec.query", "algorithm.run", "phase1", "phase2"} <= names
+        by_name = {row.name: row for row in prof.breakdown()}
+        assert by_name["phase1"].count == len(queries)
+        # Self time never exceeds total time.
+        for row in prof.breakdown():
+            assert 0.0 <= row.self_s <= row.total_s + 1e-9
+
+    def test_phase_breakdown_self_time_subtracts_children(self):
+        records = (
+            SpanRecord(0, None, "parent", 0.0, 1.0),
+            SpanRecord(1, 0, "child", 0.0, 0.75),
+        )
+        rows = {r.name: r for r in phase_breakdown(records)}
+        assert rows["parent"].self_s == pytest.approx(0.25)
+        assert rows["child"].self_s == pytest.approx(0.75)
+
+    def test_profiler_restores_prior_enabled_state(self, obs_on):
+        with QueryProfiler():
+            pass
+        assert hooks.is_enabled()
+
+
+class TestEngineCounters:
+    def test_retry_counters_on_faulty_batch(self, small_dataset, obs_on):
+        from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+
+        plan = FaultPlan.storm(0.05)
+        engine = ReverseSkylineEngine(
+            small_dataset,
+            memory_fraction=0.2,
+            fault_injector=FaultInjector(plan, seed=3),
+            retry_policy=RetryPolicy(sleep=lambda s: None),
+        )
+        executor = QueryExecutor(engine, pool="serial", cache=False)
+        report = executor.run_batch(query_batch(small_dataset, 4, seed=15))
+        snap = hooks.snapshot()
+        io_retries = snap.counters.get(
+            series_name("repro_io_retries_total", {"op": "read"}), 0
+        ) + snap.counters.get(
+            series_name("repro_io_retries_total", {"op": "write"}), 0
+        )
+        assert io_retries == report.stats.io.retries
+        assert snap.counters.get("repro_io_faults_total", 0) >= 0
