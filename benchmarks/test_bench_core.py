@@ -1,0 +1,135 @@
+"""Canonical core-kernel benchmark — scalar vs numpy backends.
+
+Runs the standard 125-query batch workload (25 distinct queries x 5
+repeats, the same shape as the executor and observability benchmarks)
+through scalar TRS, VectorTRS and VectorBRS, and writes the measurements
+to ``BENCH_core.json`` at the repository root — the canonical artifact CI
+uploads and gates on.
+
+The gate: VectorTRS must answer the batch at least 3x faster than scalar
+TRS. The differential suite (tests/test_kernels.py) separately enforces
+that the speedup changes *nothing* observable — results, batch structure
+and page IOs stay bit-identical; only the checks accounting granularity
+differs (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+from repro.core.trs import TRS
+from repro.core.vector_trs import VectorTRS
+from repro.core.vectorized import VectorBRS
+from repro.data.synthetic import synthetic_dataset
+from repro.experiments.tables import format_table
+from repro.experiments.workloads import queries_for, scale_factor, scaled
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_core.json"
+
+#: Minimum required VectorTRS-over-TRS batch speedup (the CI gate).
+MIN_SPEEDUP = 3.0
+
+ALGORITHMS = (TRS, VectorTRS, VectorBRS)
+
+
+def _run_batch(cls, dataset, batch):
+    """Time one algorithm over the whole batch (prepare paid outside the
+    timer — physical design is offline in the paper's cost model)."""
+    algo = cls(dataset, memory_fraction=0.10, page_bytes=512)
+    algo.prepare()
+    checks = 0
+    page_ios = 0
+    results = []
+    t0 = time.perf_counter()
+    for q in batch:
+        r = algo.run(q)
+        checks += r.stats.checks
+        page_ios += r.stats.io.total
+        results.append(r.record_ids)
+    seconds = time.perf_counter() - t0
+    return {
+        "algorithm": cls.name,
+        "backend": cls.backend,
+        "queries": len(batch),
+        "wall_time_s": seconds,
+        "ms_per_query": seconds * 1000 / len(batch),
+        "queries_per_s": len(batch) / seconds,
+        "checks": checks,
+        "page_ios": page_ios,
+    }, results
+
+
+def test_bench_core_backends(emit):
+    dataset = synthetic_dataset(scaled(3000), [12] * 4, seed=202)
+    distinct = queries_for(dataset, 25)
+    batch = [q for q in distinct for _ in range(5)]  # 125 queries
+
+    measurements = []
+    answers = {}
+    for cls in ALGORITHMS:
+        row, results = _run_batch(cls, dataset, batch)
+        measurements.append(row)
+        answers[cls.name] = results
+
+    # The benchmark only counts if every backend computed the same thing.
+    assert answers["VectorTRS"] == answers["TRS"]
+    assert answers["VectorBRS"] == answers["TRS"]
+
+    base = measurements[0]["wall_time_s"]
+    for row in measurements:
+        row["speedup_vs_trs"] = base / row["wall_time_s"]
+
+    doc = {
+        "workload": {
+            "dataset": dataset.describe(),
+            "records": len(dataset),
+            "attributes": dataset.num_attributes,
+            "distinct_queries": len(distinct),
+            "repeats": 5,
+            "queries": len(batch),
+            "memory_fraction": 0.10,
+            "page_bytes": 512,
+            "repro_scale": scale_factor(),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "gate": {"min_vector_trs_speedup": MIN_SPEEDUP},
+        "measurements": measurements,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    rows = [
+        [
+            m["algorithm"],
+            m["backend"],
+            f"{m['wall_time_s'] * 1000:.0f}",
+            f"{m['ms_per_query']:.2f}",
+            f"{m['queries_per_s']:.0f}",
+            f"{m['checks']:,}",
+            f"{m['page_ios']:,}",
+            f"{m['speedup_vs_trs']:.2f}x",
+        ]
+        for m in measurements
+    ]
+    emit(
+        "bench_core",
+        "Core kernels: 125-query batch, scalar vs numpy backends",
+        format_table(
+            ["algorithm", "backend", "batch ms", "ms/query", "q/s",
+             "checks", "page ios", "speedup"],
+            rows,
+        )
+        + f"\n(canonical artifact: {BENCH_PATH.name})",
+    )
+
+    vec_trs = next(m for m in measurements if m["algorithm"] == "VectorTRS")
+    assert vec_trs["speedup_vs_trs"] >= MIN_SPEEDUP, (
+        f"VectorTRS speedup {vec_trs['speedup_vs_trs']:.2f}x "
+        f"below the {MIN_SPEEDUP}x gate"
+    )

@@ -186,6 +186,26 @@ class ALTree:
         for leaf in self.leaves():
             yield from leaf.entries
 
+    def bfs_levels(self) -> Iterator[list[tuple[int, ALTreeNode]]]:
+        """The tree one level at a time, as ``(parent_index, node)`` pairs.
+
+        ``parent_index`` is the node's parent's position within the
+        *previous* yielded level (0 for level 0: the virtual root), and
+        each node's children appear consecutively — the contiguity the
+        columnar flattening (:mod:`repro.kernels.columnar`) turns into
+        CSR child slices. Yields exactly ``depth`` levels; the last one
+        holds the leaves.
+        """
+        frontier = [self.root]
+        for _ in range(self.depth):
+            level = [
+                (pi, child)
+                for pi, node in enumerate(frontier)
+                for child in node.children.values()
+            ]
+            yield level
+            frontier = [child for _, child in level]
+
     def node_count(self) -> int:
         """Total number of nodes (root included) — the tree's memory
         footprint driver; shared prefixes make this far smaller than

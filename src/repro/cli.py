@@ -27,6 +27,7 @@ from repro.experiments.sweeps import attrs_sweep, memory_sweep, size_sweep, valu
 from repro.experiments.tables import format_measurements
 from repro.experiments.workloads import ci_dataset, fc_dataset, queries_for, standard_synthetic
 from repro.influence.analysis import influence_analysis
+from repro.kernels import BACKENDS
 from repro.persist.format import load_dataset, save_dataset
 
 __all__ = ["main", "build_parser"]
@@ -77,10 +78,13 @@ def _cmd_info(args) -> int:
 def _cmd_query(args) -> int:
     ds = load_dataset(args.dataset)
     query = _parse_query(args.query, ds)
-    algo = make_algorithm(args.algorithm, ds, memory_fraction=args.memory)
+    algo = make_algorithm(
+        args.algorithm, ds, backend=args.backend, memory_fraction=args.memory
+    )
     result = algo.run(query)
     s = result.stats
     print(f"algorithm : {result.algorithm}")
+    print(f"backend   : {result.backend}")
     print(f"result    : {list(result.record_ids)}")
     print(f"checks    : {s.checks:,}")
     print(f"io        : {s.io.sequential} sequential + {s.io.random} random page IOs")
@@ -154,6 +158,7 @@ def _cmd_batch(args) -> int:
         memory_fraction=args.memory,
         fault_injector=fault_injector,
         retry_policy=retry_policy,
+        backend=args.backend,
     )
     instrument = bool(args.trace or args.metrics_out)
     if instrument:
@@ -184,6 +189,7 @@ def _cmd_batch(args) -> int:
     print(f"queries     : {s['queries']} ({s['computed']} computed, "
           f"{s['cache_hits']} cache hits, {s['failed']} failed)")
     print(f"pool        : {s['pool']} x {s['workers']}")
+    print(f"backend     : {', '.join(s['backends']) or 'n/a'}")
     print(f"checks      : {s['checks']:,}")
     print(f"page ios    : {s['page_ios']:,}")
     if fault_injector is not None:
@@ -367,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("dataset")
     query.add_argument("--query", required=True, help="comma-separated attribute values")
     query.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    query.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="compute backend: python (scalar), numpy (vectorised kernels), "
+             "or auto (numpy when the algorithm/dataset qualify)",
+    )
     query.add_argument("--memory", type=float, default=0.10)
     query.set_defaults(func=_cmd_query)
 
@@ -384,6 +395,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--queries", nargs="+", help="comma-separated query objects")
     batch.add_argument("--queries-file", help="file with one query per line")
     batch.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    batch.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="compute backend: python (scalar), numpy (vectorised kernels), "
+             "or auto (numpy when the algorithm/dataset qualify)",
+    )
     batch.add_argument("--memory", type=float, default=0.10)
     batch.add_argument("--pool", choices=("serial", "thread", "process"), default="thread")
     batch.add_argument("--workers", type=int, default=None)

@@ -147,6 +147,8 @@ class RSResult:
     query: tuple
     record_ids: tuple[int, ...]
     stats: CostStats
+    #: Compute backend that produced this result (``python`` or ``numpy``).
+    backend: str = "python"
 
     @property
     def result_set(self) -> frozenset[int]:
@@ -176,6 +178,8 @@ class ReverseSkylineAlgorithm(ABC):
     """
 
     name: str = "abstract"
+    #: Compute backend this class implements; numpy variants override.
+    backend: str = "python"
 
     def __init__(
         self,
@@ -279,7 +283,7 @@ class ReverseSkylineAlgorithm(ABC):
             disk.close()
         if _obs.enabled:
             _obs.record_query(self.name, stats)
-        return RSResult(self.name, q, tuple(sorted(ids)), stats)
+        return RSResult(self.name, q, tuple(sorted(ids)), stats, backend=self.backend)
 
     @abstractmethod
     def _execute(

@@ -17,6 +17,21 @@ only the traversals do. So:
 
 IO therefore stays at ~2 sequential passes *total* instead of ~2 per
 query; computation is unchanged (the per-query traversals still happen).
+
+Backends
+--------
+``run_batch`` honours the same backend selection as single-query TRS
+(see :mod:`repro.kernels`): the ``python`` backend runs the scalar
+traversals (with the per-scanned-object dissimilarity columns gathered
+once and shared across every query's phase-2 traversal), while the
+``numpy`` backend flattens each batch tree once and routes both phases
+through the frontier kernels — one :func:`~repro.kernels.frontier.\
+batch_is_prunable` sweep per (query, batch) in phase 1, one
+:func:`~repro.kernels.frontier.page_prune` per (query, page) in phase 2,
+with the per-query ``qd`` vectors and per-node ``d(u, q)`` rows gathered
+once per (query, batch). Results, batch structure and page IOs are
+bit-identical across backends; ``checks_*`` follow each backend's
+documented accounting.
 """
 
 from __future__ import annotations
@@ -25,11 +40,30 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.altree.tree import ALTree
 from repro.core.base import CostStats
-from repro.core.trs import ENTRY_BYTES, NODE_BYTES, TRS, is_prunable, prune_tree
+from repro.core.trs import (
+    ENTRY_BYTES,
+    NODE_BYTES,
+    TRS,
+    is_prunable,
+    prune_tree_cols,
+)
 from repro.data.dataset import Dataset
 from repro.errors import AlgorithmError
+from repro.kernels.backend import normalize_backend, numpy_ready
+from repro.kernels.columnar import ColumnarALTree, dissimilarity_matrices
+from repro.kernels.frontier import (
+    batch_is_prunable,
+    candidate_paths,
+    leaf_min_tables,
+    page_prune,
+    query_distances,
+    query_node_rows,
+)
+from repro.obs import hooks as _obs
 from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
 
 __all__ = ["MultiQueryResult", "SharedScanTRS"]
@@ -45,6 +79,8 @@ class MultiQueryResult:
     stats: CostStats
     #: Attribute checks attributable to each query.
     per_query_checks: tuple[int, ...] = field(default=())
+    #: Compute backend that produced this batch (``python`` or ``numpy``).
+    backend: str = "python"
 
     def result_for(self, query: tuple) -> tuple[int, ...]:
         try:
@@ -58,6 +94,8 @@ class SharedScanTRS:
 
     Construction mirrors :class:`~repro.core.trs.TRS` (same layout step,
     same memory model); :meth:`run_batch` answers any number of queries.
+    ``backend`` selects the compute backend (``python``, ``numpy`` or
+    ``auto``; ``None`` keeps the scalar path).
     """
 
     name = "SharedScanTRS"
@@ -70,6 +108,7 @@ class SharedScanTRS:
         memory_fraction: float = 0.10,
         budget: MemoryBudget | None = None,
         page_bytes: int = DEFAULT_PAGE_BYTES,
+        backend: str | None = None,
     ) -> None:
         # Reuse TRS for layout and configuration handling.
         self._trs = TRS(
@@ -83,9 +122,20 @@ class SharedScanTRS:
         self.page_bytes = self._trs.page_bytes
         self.budget = self._trs.budget
         self.attribute_order = self._trs.attribute_order
+        self.backend = normalize_backend(backend)
 
     def prepare(self) -> None:
         self._trs.prepare()
+
+    def _resolve_backend(self) -> str:
+        """The concrete backend for this run (``python`` or ``numpy``)."""
+        if self.backend in (None, "python"):
+            return "python"
+        if self.backend == "numpy":
+            return "numpy"  # unfit datasets rejected by dissimilarity_matrices
+        if numpy_ready() and self.dataset.space.is_fully_categorical():
+            return "numpy"
+        return "python"
 
     def run_batch(self, queries: Sequence[tuple]) -> MultiQueryResult:
         """Answer every query, sharing all database passes."""
@@ -93,7 +143,9 @@ class SharedScanTRS:
             raise AlgorithmError("need at least one query")
         qs = [self.dataset.validate_query(q) for q in queries]
         self.prepare()
+        backend = self._resolve_backend()
         tables = self._trs._tables()
+        mats = dissimilarity_matrices(self.dataset, self.name) if backend == "numpy" else None
         m = self.dataset.num_attributes
         order = self.attribute_order
 
@@ -113,7 +165,7 @@ class SharedScanTRS:
         tree = ALTree(order)
         batch: list[tuple] = []  # (record_id, values, leaf)
 
-        def process_batch() -> None:
+        def process_batch_python() -> None:
             for c_id, c, leaf in batch:
                 has_duplicate = leaf.count >= 2
                 rows = [tables[i][c[i]] for i in range(m)]
@@ -141,6 +193,63 @@ class SharedScanTRS:
                     tree.soft_restore(leaf, entry)
             stats.phase1_batches += 1
 
+        def process_batch_numpy() -> None:
+            # Flatten once per batch; everything below that depends only
+            # on the batch — the columnar tree, candidate paths, the
+            # collapsed leaf tables — is shared by every query.
+            with _obs.span("kernel.phase1", backend=backend) as span:
+                col = ColumnarALTree.from_tree(tree)
+                b = len(batch)
+                vals = np.asarray([c for _, c, _ in batch], dtype=np.intp).reshape(
+                    b, -1
+                )
+                leaf_idx = col.leaf_indices_for([leaf for _, _, leaf in batch])
+                dup = col.leaf_count[leaf_idx] >= 2
+                rest = np.flatnonzero(~dup)
+                rest_paths = candidate_paths(col, leaf_idx[rest])
+                rest_vals = vals[rest]
+                lmins = leaf_min_tables(col, mats, order)
+                survive = np.zeros((b, len(qs)), dtype=bool)
+                for qi, q in enumerate(qs):
+                    qd = query_distances(mats, vals, q)
+                    prunable = np.zeros(b, dtype=bool)
+                    checks = np.zeros(b, dtype=np.int64)
+                    if dup.any():
+                        positive = qd[dup] > 0.0
+                        hit = positive.any(axis=1)
+                        prunable[dup] = hit
+                        checks[dup] = np.where(
+                            hit, np.argmax(positive, axis=1) + 1, m
+                        )
+                    if rest.size:
+                        prunable[rest], checks[rest] = batch_is_prunable(
+                            col,
+                            mats,
+                            order,
+                            rest_vals,
+                            qd[rest],
+                            rest_paths,
+                            leaf_mins=lmins,
+                        )
+                    total = int(checks.sum())
+                    stats.checks_phase1 += total
+                    per_query_checks[qi] += total
+                    stats.pruner_tests += b
+                    survive[:, qi] = ~prunable
+                # Append survivors candidate-major (query-minor) — the
+                # scalar append order — so writer page flushes hit the
+                # disk-head model in the same sequence.
+                for bi in np.flatnonzero(survive.any(axis=1)):
+                    c_id, c, _ = batch[bi]
+                    for qi in np.flatnonzero(survive[bi]):
+                        writers[qi].append(c_id, c)
+                stats.phase1_batches += 1
+                span.annotate("candidates", b)
+                span.annotate("queries", len(qs))
+
+        process_batch = (
+            process_batch_numpy if backend == "numpy" else process_batch_python
+        )
         for _, page in data_file.scan():
             for record_id, values in page:
                 leaf = tree.insert(record_id, values)
@@ -161,6 +270,18 @@ class SharedScanTRS:
         round_bytes = batch_pages * self.page_bytes
         results: list[list[int]] = [[] for _ in qs]
         positions = [0] * len(qs)  # next unread page per scratch
+
+        # Per-query d_i(u, q_i) columns, gathered once for the whole run
+        # and shared by every scanned object's traversal (python backend).
+        qcols: list[list[list[float]]] | None = None
+        if backend == "python":
+            qcols = [
+                [
+                    [tables[i][u][q[i]] for u in range(len(tables[i]))]
+                    for i in range(m)
+                ]
+                for q in qs
+            ]
 
         while any(positions[qi] < scratches[qi].num_pages for qi in range(len(qs))):
             trees: dict[int, ALTree] = {}
@@ -185,18 +306,16 @@ class SharedScanTRS:
                         break
             stats.phase2_batches += 1
             stats.db_passes += 1
-            for _, dpage in data_file.scan():
-                if all(t.num_objects == 0 for t in trees.values()):
-                    break
-                for e_id, e in dpage:
-                    for qi, t in trees.items():
-                        if t.num_objects == 0:
-                            continue
-                        _, checks = prune_tree(t, e_id, e, qs[qi], tables)
-                        stats.checks_phase2 += checks
-                        per_query_checks[qi] += checks
-            for qi, t in trees.items():
-                results[qi].extend(rid for rid, _ in t.iter_entries())
+            if backend == "numpy":
+                self._phase2_round_numpy(
+                    data_file, trees, qs, mats, order, results, stats,
+                    per_query_checks,
+                )
+            else:
+                self._phase2_round_python(
+                    data_file, trees, qs, tables, m, qcols, results, stats,
+                    per_query_checks,
+                )
 
         stats.wall_time_s = time.perf_counter() - started
         stats.io = disk.stats.snapshot()
@@ -206,4 +325,74 @@ class SharedScanTRS:
             results=tuple(tuple(sorted(r)) for r in results),
             stats=stats,
             per_query_checks=tuple(per_query_checks),
+            backend=backend,
         )
+
+    @staticmethod
+    def _phase2_round_python(
+        data_file, trees, qs, tables, m, qcols, results, stats, per_query_checks
+    ) -> None:
+        for _, dpage in data_file.scan():
+            if all(t.num_objects == 0 for t in trees.values()):
+                break
+            for e_id, e in dpage:
+                # One gather of d_i(u, e_i) per scanned object, shared
+                # across every query's traversal (hoisted out of the
+                # per-query loop; built lazily so fully-drained pages
+                # cost nothing).
+                ecols = None
+                for qi, t in trees.items():
+                    if t.num_objects == 0:
+                        continue
+                    if ecols is None:
+                        ecols = [
+                            [tables[i][u][e[i]] for u in range(len(tables[i]))]
+                            for i in range(m)
+                        ]
+                    _, checks = prune_tree_cols(t, e_id, ecols, qcols[qi])
+                    stats.checks_phase2 += checks
+                    per_query_checks[qi] += checks
+        for qi, t in trees.items():
+            results[qi].extend(rid for rid, _ in t.iter_entries())
+
+    @staticmethod
+    def _phase2_round_numpy(
+        data_file, trees, qs, mats, order, results, stats, per_query_checks
+    ) -> None:
+        with _obs.span("kernel.phase2", backend="numpy") as span:
+            states: dict[int, list] = {}
+            for qi, t in trees.items():
+                col = ColumnarALTree.from_tree(t)
+                states[qi] = [
+                    col,
+                    query_node_rows(col, mats, order, qs[qi]),
+                    np.ones(col.entry_ids.size, dtype=bool),
+                    [d.copy() for d in col.desc],
+                    col.num_objects,
+                ]
+            for _, dpage in data_file.scan():
+                if all(st[4] == 0 for st in states.values()):
+                    break
+                # The page's id/value arrays are built once and shared by
+                # every query's kernel call.
+                e_ids = np.asarray([rid for rid, _ in dpage], dtype=np.intp)
+                e_vals = np.asarray([v for _, v in dpage], dtype=np.intp)
+                for qi, st in states.items():
+                    if st[4] == 0:
+                        continue
+                    col, q_rows, alive, desc_live, _ = st
+                    alive, desc_live, checks = page_prune(
+                        col, mats, order, q_rows, e_ids, e_vals, alive, desc_live
+                    )
+                    total = int(checks.sum())
+                    stats.checks_phase2 += total
+                    per_query_checks[qi] += total
+                    st[2] = alive
+                    st[3] = desc_live
+                    st[4] = int(desc_live[0].sum()) if desc_live else 0
+            survivors = 0
+            for qi, st in states.items():
+                ids = st[0].entry_ids[st[2]]
+                survivors += ids.size
+                results[qi].extend(int(rid) for rid in ids)
+            span.annotate("survivors", survivors)

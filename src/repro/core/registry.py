@@ -1,4 +1,11 @@
-"""Algorithm registry: name -> class, for the experiment harness and CLI."""
+"""Algorithm registry: name -> class, for the experiment harness and CLI.
+
+Scalar algorithms and their numpy variants live side by side; the
+scalar/vector pairing itself is declared with
+:func:`repro.kernels.register_variant`, so every backend-aware entry
+point (``make_algorithm``'s ``backend=``, the engine, the CLI) resolves
+names through one shared dispatch table.
+"""
 
 from __future__ import annotations
 
@@ -9,15 +16,21 @@ from repro.core.numeric import NumericTRS
 from repro.core.srs import SRS
 from repro.core.tiled import TSRS, TTRS
 from repro.core.trs import TRS
+from repro.core.vector_trs import VectorTRS
 from repro.core.vectorized import VectorBRS
 from repro.errors import AlgorithmError
+from repro.kernels import register_variant, resolve_algorithm
 
 __all__ = ["ALGORITHMS", "get_algorithm", "make_algorithm"]
 
 ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
     cls.name: cls
-    for cls in (NaiveRS, BRS, SRS, TRS, TSRS, TTRS, NumericTRS, VectorBRS)
+    for cls in (NaiveRS, BRS, SRS, TRS, TSRS, TTRS, NumericTRS, VectorBRS, VectorTRS)
 }
+
+# Scalar/vector pairings for backend dispatch (idempotent).
+register_variant("BRS", "VectorBRS")
+register_variant("TRS", "VectorTRS")
 
 
 def get_algorithm(name: str) -> type[ReverseSkylineAlgorithm]:
@@ -29,6 +42,15 @@ def get_algorithm(name: str) -> type[ReverseSkylineAlgorithm]:
         raise AlgorithmError(f"unknown algorithm {name!r}; known: {known}") from None
 
 
-def make_algorithm(name: str, dataset, **kwargs) -> ReverseSkylineAlgorithm:
-    """Instantiate an algorithm by name."""
-    return get_algorithm(name)(dataset, **kwargs)
+def make_algorithm(
+    name: str, dataset, *, backend: str | None = None, **kwargs
+) -> ReverseSkylineAlgorithm:
+    """Instantiate an algorithm by name.
+
+    ``backend`` (``python`` / ``numpy`` / ``auto``) resolves ``name``
+    through the kernels dispatch table first: ``python`` maps vector
+    names back to their scalar family, ``numpy`` requires a vectorised
+    variant, ``auto`` upgrades to it when the dataset qualifies.
+    """
+    resolved = resolve_algorithm(name, backend, dataset)
+    return get_algorithm(resolved)(dataset, **kwargs)

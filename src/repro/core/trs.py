@@ -31,7 +31,7 @@ from repro.sorting.keys import ascending_cardinality_order, multiattribute_key
 from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
 from repro.storage.pagefile import PageFile
 
-__all__ = ["TRS", "is_prunable", "prune_tree"]
+__all__ = ["TRS", "is_prunable", "prune_tree", "prune_tree_cols"]
 
 # Modeled AL-Tree memory costs (see ALTree.memory_bytes): a non-root node
 # stores a value id and a descendant counter; a leaf entry stores a record id.
@@ -125,6 +125,46 @@ def prune_tree(
             row = tables[i][child.key]
             d_pe = row[e[i]]
             d_pq = row[q[i]]
+            checks += 1
+            if d_pe <= d_pq:
+                push((child, found_closer or d_pe < d_pq))
+    return removed, checks
+
+
+def prune_tree_cols(
+    tree: ALTree,
+    e_id: int,
+    ecols: list,
+    qcols: list,
+) -> tuple[int, int]:
+    """:func:`prune_tree` with the dissimilarity lookups pre-gathered.
+
+    ``ecols[i][u] = d_i(u, e_i)`` and ``qcols[i][u] = d_i(u, q_i)`` for
+    every value ``u`` of attribute ``i``. Gathering ``ecols`` once per
+    scanned object lets a multi-query phase 2 share it across *all*
+    queries' traversals (and ``qcols`` across all scanned objects),
+    instead of re-indexing the dissimilarity tables per (object, query,
+    node). Traversal order, removals and check counts are identical to
+    :func:`prune_tree`.
+    """
+    order = tree.attribute_order
+    checks = 0
+    removed = 0
+    stack: list[tuple] = [(tree.root, False)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        node, found_closer = pop()
+        if node.parent is None and node is not tree.root:
+            continue  # detached by an earlier removal while queued
+        if node.entries:
+            if found_closer:
+                removed += tree.remove_entries(node, keep=lambda ent: ent[0] == e_id)
+            continue
+        for child in list(node.children.values()):
+            i = order[child.position]
+            d_pe = ecols[i][child.key]
+            d_pq = qcols[i][child.key]
             checks += 1
             if d_pe <= d_pq:
                 push((child, found_closer or d_pe < d_pq))

@@ -1,0 +1,308 @@
+"""Vectorised (numpy) TRS over the columnar AL-Tree.
+
+``VectorTRS`` is TRS — Algorithms 3–5 over the multi-attribute-sorted
+layout — with both pruning phases executed through the
+:mod:`repro.kernels` frontier kernels instead of node-at-a-time Python
+traversals:
+
+- **Batch structure is inherited, not re-derived.** Each batch is still
+  accumulated in the pointer :class:`~repro.altree.tree.ALTree` under
+  the same modeled memory budget, so batch boundaries, database passes
+  and every page IO are bit-identical to TRS. The tree is then flattened
+  once per batch (:class:`~repro.kernels.columnar.ColumnarALTree`) and
+  all traversals for that batch run on the flat arrays.
+- **Phase 1** answers ``IsPrunable`` for the *whole batch at once*:
+  one frontier sweep carries every (candidate, node) pair down the
+  levels, with the candidate's own soft-removed path handled by an
+  effective-descendant subtraction. The exact-duplicate fast path is
+  reproduced bit-for-bit (including its check counts).
+- **Phase 2** answers ``Prune`` for a *whole scanned page at once*,
+  reusing the per-node ``d(u, q)`` thresholds gathered once per
+  (tree, query) — the scalar code recomputes them per scanned object.
+
+Results and page-IO counts are bit-identical to TRS; ``checks_*``
+follow the frontier accounting documented in ``docs/performance.md``
+(no early abort, no promising-subtree order ⇒ at least the scalar
+counts). ``tests/test_kernels.py`` enforces the equivalence
+differentially on randomized non-metric workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import CostStats
+from repro.core.trs import ENTRY_BYTES, NODE_BYTES, TRS
+from repro.kernels.columnar import ColumnarALTree, dissimilarity_matrices
+from repro.kernels.frontier import (
+    batch_is_prunable,
+    candidate_paths,
+    leaf_min_tables,
+    query_distances,
+    query_node_rows,
+    scan_prune,
+)
+from repro.obs import hooks as _obs
+from repro.storage.pagefile import PageFile
+
+__all__ = ["VectorTRS"]
+
+
+@dataclass(frozen=True)
+class _Phase1Batch:
+    """One phase-1 batch, fully preprocessed for query replay.
+
+    Everything here depends only on (layout, budget, page size) — never
+    on the query — so it is built once per layout and reused by every
+    subsequent query on the same instance. ``trigger_page`` records the
+    data page whose insertion tripped the memory budget (``None`` for
+    the trailing partial batch), so replayed runs process each batch at
+    the *same scan position* as TRS does: the disk head model classifies
+    sequential vs random IO globally, and moving scratch-file writes
+    relative to data-file reads would change those counts.
+    """
+
+    trigger_page: int | None
+    col: ColumnarALTree
+    entries: list[tuple]  # (record_id, values) in batch order
+    vals: np.ndarray  # B x m value ids
+    dup: np.ndarray  # B bools: exact duplicate present in batch
+    rest: np.ndarray  # indices of non-duplicate candidates
+    rest_vals: np.ndarray  # vals[rest]
+    rest_paths: np.ndarray  # candidate_paths(col, leaf_idx[rest])
+    leaf_mins: tuple[np.ndarray, np.ndarray] | None  # leaf_min_tables(col)
+
+
+class VectorTRS(TRS):
+    """TRS with frontier-vectorised pruning phases (numpy backend)."""
+
+    name = "VectorTRS"
+    backend = "numpy"
+
+    def _matrices(self) -> list[np.ndarray]:
+        mats = getattr(self, "_mats_cache", None)
+        if mats is None:
+            mats = self._mats_cache = dissimilarity_matrices(self.dataset, self.name)
+        return mats
+
+    # -- phase-1 batch cache -------------------------------------------------
+    def _phase1_batches(self, data_file: PageFile) -> list[_Phase1Batch]:
+        """The phase-1 batch structure, flattened and preprocessed.
+
+        TRS rebuilds its AL-Trees from the scan on *every* query, yet
+        nothing about them depends on the query: batch boundaries come
+        from the modeled memory budget, tree shape from the layout. So
+        the first query on a layout builds the pointer trees once,
+        flattens each batch to a :class:`ColumnarALTree`, and snapshots
+        the per-candidate arrays; subsequent queries replay the cached
+        batches and pay only for the query-dependent gathers.
+        """
+        cached = getattr(self, "_p1_cache", None)
+        if cached is not None and self._p1_cache_layout is self._layout:
+            return cached
+        budget_bytes = self.budget.pages * self.page_bytes
+        batches: list[_Phase1Batch] = []
+        tree = self._new_tree()
+        batch: list[tuple] = []  # (record_id, values, leaf)
+
+        def snapshot(trigger_page: int | None) -> None:
+            col = ColumnarALTree.from_tree(tree)
+            vals = np.asarray([c for _, c, _ in batch], dtype=np.intp).reshape(
+                len(batch), -1
+            )
+            leaf_idx = col.leaf_indices_for([leaf for _, _, leaf in batch])
+            dup = col.leaf_count[leaf_idx] >= 2
+            rest = np.flatnonzero(~dup)
+            batches.append(
+                _Phase1Batch(
+                    trigger_page=trigger_page,
+                    col=col,
+                    entries=[(c_id, c) for c_id, c, _ in batch],
+                    vals=vals,
+                    dup=dup,
+                    rest=rest,
+                    rest_vals=vals[rest],
+                    rest_paths=candidate_paths(col, leaf_idx[rest]),
+                    leaf_mins=leaf_min_tables(col, self._matrices(), self.attribute_order),
+                )
+            )
+
+        # Iterate raw pages without charging IO: the cache build is an
+        # offline preprocessing step; every query still scans (and is
+        # billed for) the data file itself in _phase1.
+        for page_id in range(data_file.num_pages):
+            for record_id, values in data_file.peek_page(page_id):
+                leaf = tree.insert(record_id, values)
+                batch.append((record_id, values, leaf))
+            if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= budget_bytes:
+                snapshot(page_id)
+                tree = self._new_tree()
+                batch = []
+        if batch:
+            snapshot(None)
+        self._p1_cache = batches
+        self._p1_cache_layout = self._layout
+        return batches
+
+    def _scan_arrays(self, data_file: PageFile):
+        """The data file as flat arrays in scan order — ``(ids, vals,
+        page)`` with ``page[j]`` the page holding record ``j``. Built once
+        per layout (uncharged peek; every query still pays for its own
+        scans) and shared by phase 2's whole-scan kernel.
+        """
+        cached = getattr(self, "_scan_cache", None)
+        if cached is not None and self._scan_cache_layout is self._layout:
+            return cached
+        ids: list[int] = []
+        vals: list[tuple] = []
+        pages: list[int] = []
+        for page_id in range(data_file.num_pages):
+            for record_id, values in data_file.peek_page(page_id):
+                ids.append(record_id)
+                vals.append(values)
+                pages.append(page_id)
+        arrays = (
+            np.asarray(ids, dtype=np.intp),
+            np.asarray(vals, dtype=np.intp).reshape(
+                len(ids), self.dataset.num_attributes
+            ),
+            np.asarray(pages, dtype=np.intp),
+        )
+        self._scan_cache = arrays
+        self._scan_cache_layout = self._layout
+        return arrays
+
+    # -- phase 1 -------------------------------------------------------------
+    def _phase1(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> None:
+        mats = self._matrices()
+        order = self.attribute_order
+        m = self.dataset.num_attributes
+        trace = self.trace_checks
+        writer = scratch.writer()
+        stats.db_passes += 1
+        batches = self._phase1_batches(data_file)
+
+        def process_batch(pb: _Phase1Batch) -> None:
+            with _obs.span("kernel.phase1", backend=self.backend) as span:
+                b = len(pb.entries)
+                qd = query_distances(mats, pb.vals, query)
+                prunable = np.zeros(b, dtype=bool)
+                checks = np.zeros(b, dtype=np.int64)
+                # Exact-duplicate fast path (same decision AND same check
+                # accounting as TRS): a duplicate of c sits at distance 0
+                # everywhere, so c is prunable iff the query is strictly
+                # farther on some attribute — found at the first qd > 0.
+                if pb.dup.any():
+                    positive = qd[pb.dup] > 0.0
+                    hit = positive.any(axis=1)
+                    prunable[pb.dup] = hit
+                    checks[pb.dup] = np.where(
+                        hit, np.argmax(positive, axis=1) + 1, m
+                    )
+                if pb.rest.size:
+                    prunable[pb.rest], checks[pb.rest] = batch_is_prunable(
+                        pb.col,
+                        mats,
+                        order,
+                        pb.rest_vals,
+                        qd[pb.rest],
+                        pb.rest_paths,
+                        leaf_mins=pb.leaf_mins,
+                    )
+                stats.pruner_tests += b
+                stats.checks_phase1 += int(checks.sum())
+                if trace:
+                    for (c_id, _), c_checks in zip(pb.entries, checks):
+                        stats.per_object_phase1[c_id] = (
+                            stats.per_object_phase1.get(c_id, 0) + int(c_checks)
+                        )
+                for (c_id, c), is_pruned in zip(pb.entries, prunable):
+                    if not is_pruned:
+                        writer.append(c_id, c)
+                stats.phase1_batches += 1
+                span.annotate("candidates", b)
+                span.annotate("nodes", sum(int(k.size) for k in pb.col.keys))
+
+        # Replay: scan the data file (charging the same sequential reads
+        # as TRS) and fire each cached batch at its recorded trigger
+        # position, so scratch writes interleave with data reads exactly
+        # as in the scalar run.
+        next_batch = 0
+        for page_id, _page in data_file.scan():
+            if (
+                next_batch < len(batches)
+                and batches[next_batch].trigger_page == page_id
+            ):
+                process_batch(batches[next_batch])
+                next_batch += 1
+        while next_batch < len(batches):
+            process_batch(batches[next_batch])
+            next_batch += 1
+        writer.close()
+        stats.phase1_pruned = len(self.dataset) - scratch.num_records
+
+    # -- phase 2 -------------------------------------------------------------
+    def _phase2(
+        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        mats = self._matrices()
+        order = self.attribute_order
+        trace = self.trace_checks
+        _, batch_pages = self.budget.split_for_second_phase()
+        batch_bytes = batch_pages * self.page_bytes
+        e_ids_all, e_vals_all, e_page = self._scan_arrays(data_file)
+        result: list[int] = []
+
+        page_idx = 0
+        while page_idx < scratch.num_pages:
+            tree = self._new_tree()
+            # Same fill rule as TRS: identical batch boundaries, identical
+            # random reads from the first-phase scratch file.
+            while page_idx < scratch.num_pages:
+                for record_id, values in scratch.read_page(page_idx):
+                    tree.insert(record_id, values)
+                page_idx += 1
+                if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= batch_bytes:
+                    break
+            stats.phase2_batches += 1
+            stats.db_passes += 1
+            with _obs.span("kernel.phase2", backend=self.backend) as span:
+                col = ColumnarALTree.from_tree(tree)
+                q_rows = query_node_rows(col, mats, order, query)
+                # One whole-scan sweep decides every removal: phase-2
+                # deletions are value-based and monotone, so each entry
+                # dies at its first identity-valid dominator regardless
+                # of per-page processing order.
+                first_kill, checks = scan_prune(
+                    col, mats, order, q_rows, e_ids_all, e_vals_all, e_page
+                )
+                num_pages = data_file.num_pages
+                if first_kill.size and int(first_kill.max()) < num_pages:
+                    # Every entry dies: the scalar scan finds its tree
+                    # empty right after the latest first-kill page and
+                    # stops there (before fetching another page).
+                    stop_page = int(first_kill.max())
+                else:
+                    stop_page = num_pages - 1
+                alive = first_kill > stop_page
+                # Replay the charged scan to the same stopping page, so
+                # sequential/random IO classification matches TRS exactly.
+                for page_id, _dpage in data_file.scan():
+                    if page_id == stop_page:
+                        break
+                read = e_page <= stop_page
+                stats.checks_phase2 += int(checks[read].sum())
+                if trace:
+                    for e_id, e_checks in zip(e_ids_all[read], checks[read]):
+                        if e_checks:
+                            stats.per_object_phase2[int(e_id)] = (
+                                stats.per_object_phase2.get(int(e_id), 0)
+                                + int(e_checks)
+                            )
+                span.annotate("survivors", int(alive.sum()))
+                result.extend(int(rid) for rid in col.entry_ids[alive])
+        return result

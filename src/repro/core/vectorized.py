@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import CostStats, ReverseSkylineAlgorithm
-from repro.errors import AlgorithmError
+from repro.kernels.columnar import dissimilarity_matrices
 from repro.storage.disk import DiskSimulator
 from repro.storage.pagefile import PageFile
 
@@ -42,23 +42,10 @@ class VectorBRS(ReverseSkylineAlgorithm):
     """BRS with numpy-vectorised pruning phases."""
 
     name = "VectorBRS"
+    backend = "numpy"
 
     def _matrices(self) -> list[np.ndarray]:
-        from repro.dissim.matrix import MatrixDissimilarity
-
-        mats = []
-        for i, d in enumerate(self.dataset.space.dissims):
-            if not isinstance(d, MatrixDissimilarity):
-                raise AlgorithmError(
-                    f"{self.name}: attribute {i} is not matrix-backed; "
-                    "VectorBRS requires categorical attributes"
-                )
-            if np.diagonal(d.matrix).any():
-                raise AlgorithmError(
-                    f"{self.name}: attribute {i} has non-zero self-dissimilarity"
-                )
-            mats.append(np.asarray(d.matrix))
-        return mats
+        return dissimilarity_matrices(self.dataset, self.name)
 
     def _execute(
         self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats

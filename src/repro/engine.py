@@ -35,10 +35,10 @@ from dataclasses import dataclass, field
 from repro.core.base import RSResult, Stopwatch
 from repro.core.registry import make_algorithm
 from repro.core.skyband import ReverseSkybandTRS
-from repro.core.trs import TRS
 from repro.data.dataset import Dataset
 from repro.errors import AlgorithmError
 from repro.influence.analysis import InfluenceReport, influence_analysis
+from repro.kernels import normalize_backend
 from repro.obs import hooks as _obs
 from repro.sorting.keys import multiattribute_key, schema_order
 from repro.storage.disk import DEFAULT_PAGE_BYTES
@@ -90,6 +90,7 @@ class ReverseSkylineEngine:
         dataset: Dataset,
         *,
         algorithm: str = "TRS",
+        backend: str | None = None,
         memory_fraction: float = 0.10,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         log_queries: bool = True,
@@ -98,6 +99,10 @@ class ReverseSkylineEngine:
     ) -> None:
         self.dataset = dataset
         self.default_algorithm = algorithm
+        #: Compute-backend preference (``python``/``numpy``/``auto``;
+        #: ``None`` keeps each algorithm's own class). Applied whenever an
+        #: algorithm instance is built, including subset engines.
+        self.backend = normalize_backend(backend)
         self.memory_fraction = memory_fraction
         self.page_bytes = page_bytes
         self.log_queries = log_queries
@@ -159,6 +164,7 @@ class ReverseSkylineEngine:
         algo = make_algorithm(
             name,
             self.dataset,
+            backend=self.backend,
             memory_fraction=self.memory_fraction,
             page_bytes=self.page_bytes,
         )
@@ -216,8 +222,10 @@ class ReverseSkylineEngine:
                 engine = self._subset_engines.get(indices)
                 if engine is None:
                     projected = self.dataset.project(list(indices))
-                    algo = TRS(
+                    algo = make_algorithm(
+                        "TRS",
                         projected,
+                        backend=self.backend,
                         memory_fraction=self.memory_fraction,
                         page_bytes=self.page_bytes,
                     )
@@ -230,6 +238,7 @@ class ReverseSkylineEngine:
                     )
                     engine = ReverseSkylineEngine(
                         projected,
+                        backend=self.backend,
                         memory_fraction=self.memory_fraction,
                         page_bytes=self.page_bytes,
                         log_queries=False,
@@ -303,7 +312,13 @@ class ReverseSkylineEngine:
                 kept = tuple(
                     rid for rid in result.record_ids if where(self.dataset[rid])
                 )
-                result = RSResult(result.algorithm, result.query, kept, result.stats)
+                result = RSResult(
+                    result.algorithm,
+                    result.query,
+                    kept,
+                    result.stats,
+                    backend=result.backend,
+                )
         return self._record("reverse-skyline", result, wall_time_s=watch.stop())
 
     def skyband(self, query: tuple, k: int) -> RSResult:

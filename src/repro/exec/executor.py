@@ -189,6 +189,7 @@ def _process_worker_init(
     fault_seed=0,
     retry_args=None,
     obs_enabled=False,
+    backend=None,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
@@ -212,6 +213,7 @@ def _process_worker_init(
         log_queries=False,
         fault_injector=_WORKER_INJECTOR,
         retry_policy=_WORKER_POLICY,
+        backend=backend,
     )
 
 
@@ -473,6 +475,7 @@ class QueryExecutor:
                     fault_seed,
                     self._retry_args(),
                     _obs.enabled,
+                    getattr(engine, "backend", None),
                 ),
             ) as pool:
                 chunk = max(1, len(job_specs) // (self.workers * 4))

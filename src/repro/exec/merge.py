@@ -137,10 +137,19 @@ class BatchReport:
         sequential run (``None`` marks a failed query)."""
         return [None if r is None else r.record_ids for r in self.results]
 
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """Distinct compute backends that produced this batch's results
+        (normally one; mixed per-spec algorithm overrides can yield two)."""
+        return tuple(
+            sorted({r.backend for r in self.results if r is not None})
+        )
+
     def summary(self) -> dict:
         total_query_time = sum(self.wall_times_s)
         return {
             "queries": len(self.results),
+            "backends": list(self.backends),
             "cache_hits": self.cache_hits,
             "memo_hits": self.memo_hits,
             "dedup_hits": self.dedup_hits,

@@ -117,6 +117,14 @@ class PageFile:
         """All records **without** IO accounting — for assertions/tests only."""
         return [entry for page in self._pages for entry in page]
 
+    def peek_page(self, page_id: int) -> list[tuple[int, tuple]]:
+        """One page's records **without** IO accounting — for offline
+        preprocessing that models work done outside the measured query
+        (e.g. the numpy backend's batch-structure cache)."""
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(f"{self.name}: page {page_id} out of range")
+        return list(self._pages[page_id])
+
     def stage_entries(self, entries: Iterable[tuple[int, tuple]]) -> None:
         """Fill the file with records **without** charging IO — models data
         already resident on disk before a query starts."""
