@@ -133,3 +133,121 @@ def test_bench_core_backends(emit):
         f"VectorTRS speedup {vec_trs['speedup_vs_trs']:.2f}x "
         f"below the {MIN_SPEEDUP}x gate"
     )
+
+
+#: Minimum planned-over-unplanned process-pool batch speedup (CI gate).
+MIN_PLANNED_SPEEDUP = 2.0
+
+#: (pool, plan, shm) cells for the executor throughput table. The shm
+#: column only matters on the process pool; the planned process cell
+#: runs the full tentpole configuration (planner + shared memory).
+BATCH_CELLS = (
+    ("serial", False, False),
+    ("serial", True, False),
+    ("thread", False, False),
+    ("thread", True, False),
+    ("process", False, False),
+    ("process", True, True),
+)
+
+
+def test_bench_core_batch_pools(emit):
+    """Executor batch throughput per pool, planner off vs on.
+
+    Same 125-query workload as the backend benchmark, answered through
+    ``QueryExecutor`` with a fresh engine per cell (no result cache — the
+    point is compute throughput, not memoization). Every cell must be
+    bit-identical to the serial unplanned reference; the gate requires
+    the planned process pool to beat the unplanned one by
+    ``MIN_PLANNED_SPEEDUP``x.
+    """
+    from repro.engine import ReverseSkylineEngine
+    from repro.exec.executor import QueryExecutor
+
+    dataset = synthetic_dataset(scaled(3000), [12] * 4, seed=202)
+    distinct = queries_for(dataset, 25)
+    batch = [q for q in distinct for _ in range(5)]  # 125 queries
+
+    reference = None
+    measurements = []
+    for pool, plan, shm in BATCH_CELLS:
+        engine = ReverseSkylineEngine(
+            dataset,
+            algorithm="TRS",
+            memory_fraction=0.10,
+            page_bytes=512,
+            log_queries=False,
+        )
+        executor = QueryExecutor(
+            engine, pool=pool, workers=4, cache=None, plan=plan, shm=shm
+        )
+        report = executor.run_batch(batch)
+        assert report.ok
+        answers = report.record_id_sets()
+        if reference is None:
+            reference = answers
+        assert answers == reference  # bit-identical whatever the path
+        measurements.append(
+            {
+                "pool": pool,
+                "workers": 4,
+                "plan": plan,
+                "shm": shm,
+                "queries": len(batch),
+                "planned_queries": report.planned_count,
+                "wall_time_s": report.wall_time_s,
+                "ms_per_query": report.wall_time_s * 1000 / len(batch),
+                "queries_per_s": len(batch) / report.wall_time_s,
+            }
+        )
+
+    base = measurements[0]["wall_time_s"]
+    for row in measurements:
+        row["speedup_vs_serial"] = base / row["wall_time_s"]
+
+    # Fold the rows into the canonical artifact next to the backend
+    # measurements (this test runs after test_bench_core_backends in
+    # file order; standalone runs start a fresh skeleton).
+    doc = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    doc.setdefault("gate", {})["min_planned_process_speedup"] = (
+        MIN_PLANNED_SPEEDUP
+    )
+    doc["batch_measurements"] = measurements
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    rows = [
+        [
+            m["pool"],
+            "on" if m["plan"] else "off",
+            "on" if m["shm"] else "off",
+            str(m["planned_queries"]),
+            f"{m['wall_time_s'] * 1000:.0f}",
+            f"{m['queries_per_s']:.0f}",
+            f"{m['speedup_vs_serial']:.2f}x",
+        ]
+        for m in measurements
+    ]
+    emit(
+        "bench_core_batch",
+        "Executor throughput: 125-query batch per pool, planner off/on",
+        format_table(
+            ["pool", "plan", "shm", "planned", "batch ms", "q/s", "vs serial"],
+            rows,
+        )
+        + f"\n(canonical artifact: {BENCH_PATH.name})",
+    )
+
+    unplanned = next(
+        m for m in measurements if m["pool"] == "process" and not m["plan"]
+    )
+    planned = next(
+        m for m in measurements if m["pool"] == "process" and m["plan"]
+    )
+    speedup = unplanned["wall_time_s"] / planned["wall_time_s"]
+    planned["speedup_vs_unplanned_process"] = speedup
+    doc["batch_measurements"] = measurements
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    assert speedup >= MIN_PLANNED_SPEEDUP, (
+        f"planned process-pool batch only {speedup:.2f}x over unplanned "
+        f"(gate {MIN_PLANNED_SPEEDUP}x)"
+    )

@@ -178,6 +178,8 @@ def _cmd_batch(args) -> int:
             pool=args.pool,
             workers=args.workers,
             cache=not args.no_cache,
+            plan=args.plan,
+            shm=args.shm,
         )
     if instrument:
         _write_obs_artifacts(args, prof)
@@ -189,6 +191,8 @@ def _cmd_batch(args) -> int:
     print(f"queries     : {s['queries']} ({s['computed']} computed, "
           f"{s['cache_hits']} cache hits, {s['failed']} failed)")
     print(f"pool        : {s['pool']} x {s['workers']}")
+    if args.plan:
+        print(f"planned     : {s['planned']} answered via shared scans")
     print(f"backend     : {', '.join(s['backends']) or 'n/a'}")
     print(f"checks      : {s['checks']:,}")
     print(f"page ios    : {s['page_ios']:,}")
@@ -404,6 +408,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--pool", choices=("serial", "thread", "process"), default="thread")
     batch.add_argument("--workers", type=int, default=None)
     batch.add_argument("--no-cache", action="store_true")
+    batch.add_argument(
+        "--plan", action=argparse.BooleanOptionalAction, default=False,
+        help="group compatible queries and answer each group through one "
+             "shared multi-query scan (results stay bit-identical)",
+    )
+    batch.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=False,
+        help="process pool: publish the dataset and built plans to "
+             "workers over shared memory instead of pickling",
+    )
     batch.add_argument("-k", type=int, default=1, help="k>1 answers reverse k-skybands")
     batch.add_argument("--repeat", type=int, default=1, help="replay the batch N times")
     batch.add_argument("--show-results", action="store_true")

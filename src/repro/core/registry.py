@@ -28,8 +28,11 @@ ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
     for cls in (NaiveRS, BRS, SRS, TRS, TSRS, TTRS, NumericTRS, VectorBRS, VectorTRS)
 }
 
-# Scalar/vector pairings for backend dispatch (idempotent).
-register_variant("BRS", "VectorBRS")
+# Scalar/vector pairings for backend dispatch (idempotent). VectorBRS
+# is demoted from `auto` dispatch: BENCH_core.json pins it at ~0.46x of
+# scalar TRS on the core workload, so `auto` would be a slowdown —
+# explicit backend="numpy" still selects it.
+register_variant("BRS", "VectorBRS", auto=False)
 register_variant("TRS", "VectorTRS")
 
 

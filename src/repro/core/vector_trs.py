@@ -44,10 +44,11 @@ from repro.kernels.frontier import (
     query_node_rows,
     scan_prune,
 )
+from repro.kernels.plancache import PlanKey, plan_cache, plan_fingerprint
 from repro.obs import hooks as _obs
 from repro.storage.pagefile import PageFile
 
-__all__ = ["VectorTRS"]
+__all__ = ["VectorTRS", "export_plan", "import_plan"]
 
 
 @dataclass(frozen=True)
@@ -81,10 +82,31 @@ class VectorTRS(TRS):
     name = "VectorTRS"
     backend = "numpy"
 
+    # -- plan-cache plumbing -------------------------------------------------
+    # Two cache tiers serve the query-independent artifacts: per-instance
+    # attributes (L1, identity-checked against the prepared layout) and
+    # the process-wide repro.kernels.plancache (L2, content-keyed), so a
+    # second engine/executor/forked worker over the same layout skips the
+    # build entirely.
+    def _plan_fp(self) -> str:
+        fp = getattr(self, "_plan_fp_cache", None)
+        if fp is None or self._plan_fp_layout is not self._layout:
+            fp = plan_fingerprint(self.dataset, self._layout)
+            self._plan_fp_cache = fp
+            self._plan_fp_layout = self._layout
+        return fp
+
     def _matrices(self) -> list[np.ndarray]:
         mats = getattr(self, "_mats_cache", None)
         if mats is None:
-            mats = self._mats_cache = dissimilarity_matrices(self.dataset, self.name)
+            if getattr(self, "_layout", None) is not None:
+                mats = plan_cache().get_or_build(
+                    PlanKey("dissim", self._plan_fp()),
+                    lambda: dissimilarity_matrices(self.dataset, self.name),
+                )
+            else:  # pre-prepare call: no layout to key on yet
+                mats = dissimilarity_matrices(self.dataset, self.name)
+            self._mats_cache = mats
         return mats
 
     # -- phase-1 batch cache -------------------------------------------------
@@ -97,11 +119,21 @@ class VectorTRS(TRS):
         the first query on a layout builds the pointer trees once,
         flattens each batch to a :class:`ColumnarALTree`, and snapshots
         the per-candidate arrays; subsequent queries replay the cached
-        batches and pay only for the query-dependent gathers.
+        batches and pay only for the query-dependent gathers. The built
+        plan is also published to the process-wide plan cache, keyed by
+        content fingerprint plus (budget, page size).
         """
         cached = getattr(self, "_p1_cache", None)
         if cached is not None and self._p1_cache_layout is self._layout:
             return cached
+        key = PlanKey(
+            "phase1", self._plan_fp(), (self.budget.pages, self.page_bytes)
+        )
+        shared = plan_cache().get(key)
+        if shared is not None:
+            self._p1_cache = shared
+            self._p1_cache_layout = self._layout
+            return shared
         budget_bytes = self.budget.pages * self.page_bytes
         batches: list[_Phase1Batch] = []
         tree = self._new_tree()
@@ -142,6 +174,7 @@ class VectorTRS(TRS):
                 batch = []
         if batch:
             snapshot(None)
+        plan_cache().put(key, batches)
         self._p1_cache = batches
         self._p1_cache_layout = self._layout
         return batches
@@ -150,11 +183,18 @@ class VectorTRS(TRS):
         """The data file as flat arrays in scan order — ``(ids, vals,
         page)`` with ``page[j]`` the page holding record ``j``. Built once
         per layout (uncharged peek; every query still pays for its own
-        scans) and shared by phase 2's whole-scan kernel.
+        scans), shared by phase 2's whole-scan kernel, and published to
+        the process-wide plan cache.
         """
         cached = getattr(self, "_scan_cache", None)
         if cached is not None and self._scan_cache_layout is self._layout:
             return cached
+        key = PlanKey("scan", self._plan_fp(), (self.page_bytes,))
+        shared = plan_cache().get(key)
+        if shared is not None:
+            self._scan_cache = shared
+            self._scan_cache_layout = self._layout
+            return shared
         ids: list[int] = []
         vals: list[tuple] = []
         pages: list[int] = []
@@ -170,6 +210,7 @@ class VectorTRS(TRS):
             ),
             np.asarray(pages, dtype=np.intp),
         )
+        plan_cache().put(key, arrays)
         self._scan_cache = arrays
         self._scan_cache_layout = self._layout
         return arrays
@@ -306,3 +347,103 @@ class VectorTRS(TRS):
                 span.annotate("survivors", int(alive.sum()))
                 result.extend(int(rid) for rid in col.entry_ids[alive])
         return result
+
+
+# -- plan serialisation (shared-memory publication) ---------------------------
+# A built phase-1 plan is a pile of numpy arrays plus tiny metadata, so
+# it flattens losslessly into a named-array dict — the wire format
+# repro.exec.shm packs into one shared-memory segment. ``import_plan``
+# reassembles _Phase1Batch objects over the (read-only, zero-copy) views
+# a worker attached; the pointer trees are never rebuilt.
+
+
+def export_plan(batches: list[_Phase1Batch]) -> tuple[list[dict], dict]:
+    """Flatten a phase-1 plan into ``(meta, arrays)``.
+
+    ``meta`` is a small picklable list (one dict per batch); ``arrays``
+    maps unique names to numpy arrays. Together they round-trip through
+    :func:`import_plan` bit-identically.
+    """
+    meta: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for ib, pb in enumerate(batches):
+        col = pb.col
+        p = f"p1b{ib}."
+        meta.append(
+            {
+                "trigger_page": pb.trigger_page,
+                "levels": col.num_levels,
+                "has_lmins": pb.leaf_mins is not None,
+            }
+        )
+        arrays[p + "ids"] = np.asarray(
+            [rid for rid, _ in pb.entries], dtype=np.intp
+        )
+        arrays[p + "vals"] = pb.vals
+        arrays[p + "dup"] = pb.dup
+        arrays[p + "rest"] = pb.rest
+        arrays[p + "rest_vals"] = pb.rest_vals
+        arrays[p + "rest_paths"] = pb.rest_paths
+        if pb.leaf_mins is not None:
+            arrays[p + "lmin0"], arrays[p + "lmin1"] = pb.leaf_mins
+        arrays[p + "leaf_start"] = col.leaf_start
+        arrays[p + "leaf_count"] = col.leaf_count
+        arrays[p + "entry_ids"] = col.entry_ids
+        arrays[p + "entry_leaf"] = col.entry_leaf
+        for lv in range(col.num_levels):
+            arrays[f"{p}keys{lv}"] = col.keys[lv]
+            arrays[f"{p}desc{lv}"] = col.desc[lv]
+            arrays[f"{p}parent{lv}"] = col.parent[lv]
+        for lv in range(len(col.child_start)):
+            arrays[f"{p}cs{lv}"] = col.child_start[lv]
+            arrays[f"{p}ce{lv}"] = col.child_end[lv]
+    return meta, arrays
+
+
+def import_plan(meta: list[dict], arrays: dict) -> list[_Phase1Batch]:
+    """Reassemble a phase-1 plan from :func:`export_plan` output (the
+    arrays may be zero-copy shared-memory views)."""
+    batches: list[_Phase1Batch] = []
+    for ib, info in enumerate(meta):
+        p = f"p1b{ib}."
+        levels = int(info["levels"])
+        col = ColumnarALTree.from_arrays(
+            keys=[arrays[f"{p}keys{lv}"] for lv in range(levels)],
+            desc=[arrays[f"{p}desc{lv}"] for lv in range(levels)],
+            parent=[arrays[f"{p}parent{lv}"] for lv in range(levels)],
+            child_start=[
+                arrays[f"{p}cs{lv}"] for lv in range(max(0, levels - 1))
+            ],
+            child_end=[
+                arrays[f"{p}ce{lv}"] for lv in range(max(0, levels - 1))
+            ],
+            leaf_start=arrays[p + "leaf_start"],
+            leaf_count=arrays[p + "leaf_count"],
+            entry_ids=arrays[p + "entry_ids"],
+            entry_leaf=arrays[p + "entry_leaf"],
+        )
+        ids = arrays[p + "ids"]
+        vals = arrays[p + "vals"]
+        entries = [
+            (int(rid), tuple(int(v) for v in row))
+            for rid, row in zip(ids, vals)
+        ]
+        leaf_mins = (
+            (arrays[p + "lmin0"], arrays[p + "lmin1"])
+            if info["has_lmins"]
+            else None
+        )
+        batches.append(
+            _Phase1Batch(
+                trigger_page=info["trigger_page"],
+                col=col,
+                entries=entries,
+                vals=vals,
+                dup=arrays[p + "dup"],
+                rest=arrays[p + "rest"],
+                rest_vals=arrays[p + "rest_vals"],
+                rest_paths=arrays[p + "rest_paths"],
+                leaf_mins=leaf_mins,
+            )
+        )
+    return batches

@@ -369,6 +369,8 @@ class ReverseSkylineEngine:
         pool: str = "thread",
         workers: int | None = None,
         cache: bool = True,
+        plan: bool = False,
+        shm: bool = False,
     ):
         """Answer a batch of queries through a pooled, cached executor.
 
@@ -382,6 +384,11 @@ class ReverseSkylineEngine:
         ``cache=True`` uses the engine-owned :class:`repro.exec.ResultCache`
         which persists across ``query_many`` calls; call
         :meth:`invalidate_caches` after mutating the dataset.
+
+        ``plan=True`` enables the batch planner (compatible queries are
+        answered through shared multi-query scans); ``shm=True``
+        additionally publishes the dataset and built plans to process
+        workers over shared memory. See :class:`repro.exec.QueryExecutor`.
         """
         from repro.exec.executor import QueryExecutor
 
@@ -390,6 +397,8 @@ class ReverseSkylineEngine:
             pool=pool,
             workers=workers,
             cache=self.result_cache() if cache else None,
+            plan=plan,
+            shm=shm,
         )
         return executor.run_batch(
             queries, kind=kind, k=k, algorithm=algorithm, attributes=attributes
@@ -433,6 +442,11 @@ class ReverseSkylineEngine:
             self._skybands.clear()
             self._subset_engines.clear()
             self._fingerprint = None
+            # Planner-side derived state (see repro.exec.executor): the
+            # shared-scan instances and the warmed plan holder both bake
+            # in the old layout.
+            self.__dict__.pop("_shared_scans", None)
+            self.__dict__.pop("_plan_warm", None)
             if self._result_cache is not None:
                 self._result_cache.invalidate()
             key = multiattribute_key(schema_order(self.dataset.schema))

@@ -8,6 +8,13 @@ The scale-out layer over :class:`~repro.engine.ReverseSkylineEngine`:
   keyed by (kind, algorithm, layout fingerprint, query, k, attributes).
 - :class:`~repro.exec.merge.BatchReport` — deterministic, input-ordered
   merge of per-query results and :class:`~repro.core.base.CostStats`.
+- :mod:`repro.exec.shm` — zero-copy publication of the dataset and the
+  built numpy plans to process-pool workers over
+  ``multiprocessing.shared_memory``.
+
+``QueryExecutor(plan=True)`` adds the batch planner: compatible specs
+are grouped and answered through shared multi-query scans (results stay
+bit-identical; see ``docs/performance.md``).
 
 Verified differentially against the sequential engine by
 :func:`repro.testing.verify.verify_executor`.
@@ -16,6 +23,7 @@ Verified differentially against the sequential engine by
 from repro.exec.cache import CacheKey, CacheStats, ResultCache
 from repro.exec.executor import QueryExecutor, QuerySpec, as_spec
 from repro.exec.merge import BatchReport, QueryError, merge_batch
+from repro.exec.shm import ShmManifest
 
 __all__ = [
     "BatchReport",
@@ -25,6 +33,7 @@ __all__ = [
     "QueryExecutor",
     "QuerySpec",
     "ResultCache",
+    "ShmManifest",
     "as_spec",
     "merge_batch",
 ]

@@ -37,7 +37,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
-from repro.core.base import Stopwatch
+from repro.core.base import CostStats, RSResult, Stopwatch
 from repro.errors import AlgorithmError, ReproError, TransientError
 from repro.exec.cache import CacheKey, ResultCache
 from repro.exec.merge import BatchReport, QueryError, merge_batch
@@ -45,6 +45,11 @@ from repro.faults.retry import RetryPolicy
 from repro.obs import hooks as _obs
 
 __all__ = ["QuerySpec", "QueryExecutor", "as_spec"]
+
+#: The only shared-scan family today. Group membership keys on the
+#: *scalar* family name (backends never change answers), so TRS and
+#: VectorTRS requests group together.
+_GROUP_FAMILY = "TRS"
 
 _KINDS = ("query", "skyband", "subset")
 
@@ -190,6 +195,7 @@ def _process_worker_init(
     retry_args=None,
     obs_enabled=False,
     backend=None,
+    manifest=None,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
@@ -199,6 +205,15 @@ def _process_worker_init(
         # the worker registry, snapshots after, and ships the snapshot
         # home inside its _JobOutcome (see _process_worker_run).
         _obs.enable(reset_state=True)
+    if manifest is not None:
+        # Zero-copy path: the dataset slot arrived empty; rebuild it over
+        # the parent's shared-memory segment and seed the worker's plan
+        # cache from the published plan arrays (attach keeps the segment
+        # mapped for the worker's lifetime — record views alias it).
+        from repro.exec import shm as _shm
+
+        dataset = _shm.dataset_from_manifest(manifest)
+        _shm.seed_plan_cache(manifest)
     _WORKER_INJECTOR = None
     if fault_plan is not None:
         from repro.faults.inject import FaultInjector
@@ -231,6 +246,186 @@ def _process_worker_run(spec: QuerySpec) -> _JobOutcome:
     return outcome
 
 
+def _process_worker_run_payload(wire):
+    """Run one planner payload in a pool worker: a plain spec, or a
+    group routed through the shared multi-query scan."""
+    if wire[0] == "single":
+        return _process_worker_run(wire[1])
+    _, specs, backend = wire
+    assert _WORKER_ENGINE is not None, "pool initializer did not run"
+    if _obs.enabled:
+        _obs.registry().reset()
+    outcomes = _run_group(
+        _WORKER_ENGINE, specs, backend, _WORKER_INJECTOR, _WORKER_POLICY
+    )
+    if _obs.enabled:
+        outcomes[0] = replace(outcomes[0], metrics=_obs.snapshot())
+    return outcomes
+
+
+# -- planner group execution --------------------------------------------------
+
+
+def _shared_scan_for(engine, backend):
+    """The engine's cached :class:`SharedScanTRS` for ``backend`` (one
+    per engine per backend — the layout sort and the plan-cache keys are
+    then paid once, whatever pool answers the groups)."""
+    from repro.core.multiquery import SharedScanTRS
+
+    scans = engine.__dict__.get("_shared_scans")
+    if scans is None:
+        with engine._lock:
+            scans = engine.__dict__.setdefault("_shared_scans", {})
+    inst = scans.get(backend)
+    if inst is None:
+        with engine._lock:
+            inst = scans.get(backend)
+            if inst is None:
+                inst = SharedScanTRS(
+                    engine.dataset,
+                    memory_fraction=engine.memory_fraction,
+                    page_bytes=engine.page_bytes,
+                    backend=backend,
+                    fault_injector=engine.fault_injector,
+                    retry_policy=engine.retry_policy,
+                )
+                inst.prepare()
+                scans[backend] = inst
+    return inst
+
+
+def _group_outcomes(specs, mq, wall_s: float) -> list:
+    """Split one :class:`MultiQueryResult` into per-query outcomes whose
+    stats sum exactly to the shared run's stats.
+
+    Per-query attributable cost (the phase-split check counts) lands on
+    its owner; shared cost (the scan IO, the batch/pass counters, the
+    group wall time, the pruner-test remainder) lands on the group's
+    first member — so ``CostStats.merged`` over the members reproduces
+    the shared totals and batch-level accounting stays truthful.
+    """
+    nq = len(specs)
+    g = mq.stats
+    pqc1 = mq.per_query_checks_phase1 or mq.per_query_checks or (0,) * nq
+    pqc2 = mq.per_query_checks_phase2 or (0,) * nq
+    tests_each = g.pruner_tests // nq
+    outcomes = []
+    for i in range(nq):
+        stats = CostStats()
+        stats.checks_phase1 = pqc1[i]
+        stats.checks_phase2 = pqc2[i]
+        stats.pruner_tests = tests_each
+        stats.result_count = len(mq.results[i])
+        if i == 0:
+            stats.pruner_tests += g.pruner_tests - tests_each * nq
+            stats.db_passes = g.db_passes
+            stats.phase1_batches = g.phase1_batches
+            stats.phase2_batches = g.phase2_batches
+            stats.intermediate_count = g.intermediate_count
+            stats.phase1_pruned = g.phase1_pruned
+            stats.wall_time_s = g.wall_time_s
+            stats.io = g.io
+        result = RSResult(
+            "SharedScanTRS", mq.queries[i], mq.results[i], stats,
+            backend=mq.backend,
+        )
+        outcomes.append(
+            _JobOutcome(result, wall_s if i == 0 else 0.0, None)
+        )
+    return outcomes
+
+
+def _run_group(engine, specs, backend, injector, policy) -> list:
+    """Answer a planner group through one shared scan.
+
+    Fault contract mirrors :func:`_run_with_recovery`: every member's
+    scheduled worker fault is consulted before the scan, transient
+    failures retry the whole group under ``policy``, and anything
+    terminal falls back to per-member recovery — so one misbehaving
+    member degrades the group to individual runs instead of aborting
+    the batch (or poisoning its neighbours' answers).
+    """
+    handle = _obs.begin_job("exec.group", kind="group")
+    outcomes: list | None = None
+    try:
+        attempt = 0
+        mq = None
+        wall = 0.0
+        while mq is None:
+            try:
+                if injector is not None:
+                    for spec in specs:
+                        injector.query_fault(spec.query)
+                shared = _shared_scan_for(engine, backend)
+                with Stopwatch() as watch:
+                    mq = shared.run_batch([s.query for s in specs])
+                wall = watch.elapsed_s
+            except TransientError as exc:
+                attempt += 1
+                if _obs.enabled:
+                    _obs.inc("repro_query_retries_total")
+                try:
+                    policy.backoff(attempt, exc)
+                except ReproError:
+                    break
+            except ReproError:
+                break
+        grouped = mq is not None
+        if grouped:
+            outcomes = _group_outcomes(specs, mq, wall)
+        else:
+            if _obs.enabled:
+                _obs.inc("repro_plan_fallbacks_total")
+            outcomes = [
+                _run_with_recovery(engine, s, injector, policy) for s in specs
+            ]
+    finally:
+        if handle is not None:
+            root = handle[1]
+            root.annotate("queries", len(specs))
+            trace = _obs.end_job(handle)
+    if handle is not None and outcomes and grouped:
+        # Fallback members carry their own per-query recovery traces;
+        # only a genuinely shared run reports the group trace.
+        outcomes[0] = replace(outcomes[0], trace=trace)
+    return outcomes
+
+
+def _warm_plan_cache(engine) -> None:
+    """Best-effort: build the family's phase-1/scan plans into the
+    process-wide plan cache *before* a pool starts, so forked workers
+    inherit them for free (copy-on-write) and the shm publisher has
+    concrete arrays to export for spawn-style workers. The warmed
+    instance is kept on the engine so repeat batches skip the rebuild
+    (``invalidate_caches`` drops it); a dataset the numpy kernels cannot
+    serve is simply skipped."""
+    from repro.core.vector_trs import VectorTRS
+    from repro.storage.disk import DiskSimulator
+
+    if engine.__dict__.get("_plan_warm") is not None:
+        return
+    try:
+        algo = VectorTRS(
+            engine.dataset,
+            memory_fraction=engine.memory_fraction,
+            page_bytes=engine.page_bytes,
+        )
+        algo.prepare()
+        disk = DiskSimulator(algo.page_bytes)
+        try:
+            data_file = disk.load_entries(
+                engine.dataset.schema, algo.layout, "data"
+            )
+            algo._phase1_batches(data_file)
+            algo._scan_arrays(data_file)
+        finally:
+            disk.close()
+        with engine._lock:
+            engine.__dict__["_plan_warm"] = algo
+    except ReproError:
+        pass
+
+
 class QueryExecutor:
     """Fan batches of queries over a pool, memoising through a cache.
 
@@ -250,6 +445,20 @@ class QueryExecutor:
         Fault machinery for worker-level faults and query retries;
         default to the engine's own (set when the engine was constructed
         with a :class:`~repro.faults.FaultInjector`).
+    plan:
+        Enable the batch planner: compatible specs (same layout
+        fingerprint, same scalar algorithm family, same backend) are
+        grouped and answered through one shared
+        :class:`~repro.core.multiquery.SharedScanTRS` scan per group
+        chunk, instead of one engine run per query. Answers stay
+        bit-identical; per-query stats carry the attributable check
+        counts while shared IO lands on each group's first member.
+    shm:
+        Process pool only: publish the dataset and the already-built
+        numpy plans to workers over ``multiprocessing.shared_memory``
+        (see :mod:`repro.exec.shm`) instead of pickling the dataset
+        into every worker. Falls back to the pickle path (and counts
+        the fallback) for datasets the flat-array codec cannot carry.
     """
 
     def __init__(
@@ -262,6 +471,8 @@ class QueryExecutor:
         cache_capacity: int = 1024,
         fault_injector=None,
         retry_policy: RetryPolicy | None = None,
+        plan: bool = False,
+        shm: bool = False,
     ) -> None:
         if pool not in ("serial", "thread", "process"):
             raise AlgorithmError(
@@ -285,6 +496,8 @@ class QueryExecutor:
         if retry_policy is None:
             retry_policy = getattr(engine, "retry_policy", None) or RetryPolicy()
         self.retry_policy = retry_policy
+        self.plan = bool(plan)
+        self.shm = bool(shm)
 
     # -- public API ---------------------------------------------------------
     def run_batch(
@@ -366,8 +579,16 @@ class QueryExecutor:
             else:
                 jobs = [(spec, [i]) for i, spec in enumerate(specs)]
 
-            outcomes = self._execute([spec for spec, _ in jobs])
-            for (spec, indices), outcome in zip(jobs, outcomes):
+            planned_flags = [False] * n
+            job_specs = [spec for spec, _ in jobs]
+            if self.plan:
+                outcomes, planned_jobs = self._execute_planned(job_specs)
+            else:
+                outcomes, planned_jobs = self._execute(job_specs), set()
+            for j, ((spec, indices), outcome) in enumerate(zip(jobs, outcomes)):
+                if j in planned_jobs and outcome.error is None:
+                    for i in indices:
+                        planned_flags[i] = True
                 if _obs.enabled:
                     # Job order, not completion order: grafted span ids
                     # and merged counters come out identical for serial,
@@ -411,6 +632,7 @@ class QueryExecutor:
                 workers=self.workers,
                 errors=errors,
                 deduped=deduped,
+                planned=planned_flags,
             )
             if _obs.enabled:
                 batch_span.annotate("memo_hits", report.memo_hits)
@@ -453,6 +675,193 @@ class QueryExecutor:
             "max_delay_s": p.max_delay_s,
         }
 
+    def _process_initargs(self, *, warm: bool = False):
+        """The process-pool initializer arguments, plus the shm manifest
+        to unlink once the pool is gone (``None`` on the pickle path).
+
+        With ``shm`` enabled the dataset slot ships as ``None`` and a
+        :class:`~repro.exec.shm.ShmManifest` rides along instead; the
+        worker attaches, rebuilds the dataset over the shared arrays and
+        seeds its plan cache from the published plans. ``warm`` builds
+        the family plans in *this* process first, so forked workers
+        inherit them and the publisher has them to export.
+        """
+        engine = self.engine
+        injector = self.fault_injector
+        fault_plan = injector.plan if injector is not None else None
+        fault_seed = injector.seed if injector is not None else 0
+        if warm:
+            _warm_plan_cache(engine)
+        manifest = None
+        if self.shm:
+            from repro.exec import shm as _shm
+
+            manifest = _shm.publish_engine(engine)
+            if manifest is None and _obs.enabled:
+                _obs.inc("repro_shm_fallbacks_total")
+        return manifest, (
+            None if manifest is not None else engine.dataset,
+            engine.default_algorithm,
+            engine.memory_fraction,
+            engine.page_bytes,
+            fault_plan,
+            fault_seed,
+            self._retry_args(),
+            _obs.enabled,
+            getattr(engine, "backend", None),
+            manifest,
+        )
+
+    def _group_key(self, spec: QuerySpec):
+        """The planner compatibility key for ``spec``, or ``None`` when it
+        must run as an individual job.
+
+        Groupable means: a plain reverse-skyline query (no skyband k, no
+        attribute subset) whose algorithm resolves into the shared-scan
+        family. The key is ``(layout fingerprint, family, backend)`` —
+        exactly the inputs :class:`SharedScanTRS` answers under, so every
+        member of a group is guaranteed the same answer it would get from
+        its own engine run.
+        """
+        if spec.kind != "query" or spec.attributes is not None:
+            return None
+        from repro.kernels import scalar_variant
+
+        name = spec.algorithm or self.engine.default_algorithm
+        if scalar_variant(name) != _GROUP_FAMILY:
+            return None
+        if name != scalar_variant(name):
+            # An explicit vector-variant request pins the numpy backend.
+            backend = "numpy"
+        else:
+            backend = getattr(self.engine, "backend", None) or "auto"
+        return (self.engine.layout_fingerprint(), _GROUP_FAMILY, backend)
+
+    def _execute_planned(self, job_specs: list[QuerySpec]):
+        """Plan + run the pending jobs: compatible specs are grouped and
+        answered through shared scans, the rest run individually.
+
+        Returns ``(outcomes, planned_jobs)`` with outcomes in job order
+        and ``planned_jobs`` the set of job indices genuinely answered by
+        a shared scan (group members that degraded to per-query recovery
+        are *not* in it — the ``planned`` column never lies).
+
+        Grouping is deterministic: groups keep their members in job
+        order, each group is split into at most ``workers`` contiguous
+        chunks (one chunk when serial — there is nothing to overlap),
+        never more than ``members // 2`` so every chunk keeps at least
+        two queries per shared scan, and payloads are dispatched ordered
+        by their first member's job index. A chunk that still ends up
+        with a single member runs as a plain single; a one-query
+        "shared" scan would only add overhead.
+        """
+        if not job_specs:
+            return [], set()
+        groups: dict[tuple, list[int]] = {}
+        singles: list[int] = []
+        for j, spec in enumerate(job_specs):
+            key = self._group_key(spec)
+            if key is None:
+                singles.append(j)
+            else:
+                groups.setdefault(key, []).append(j)
+
+        payloads: list[tuple[tuple, list[int]]] = []
+        for key, members in groups.items():
+            if len(members) < 2:
+                singles.extend(members)
+                continue
+            if self.pool == "serial":
+                chunks = 1
+            else:
+                # Cap at members // 2 so no chunk degenerates to a
+                # single: with fewer members than 2*workers, a shared
+                # scan per pair still beats per-query rebuilds.
+                chunks = max(1, min(self.workers, len(members) // 2))
+            base, rem = divmod(len(members), chunks)
+            start = 0
+            for c in range(chunks):
+                size = base + (1 if c < rem else 0)
+                part = members[start : start + size]
+                start += size
+                if len(part) < 2:
+                    singles.extend(part)
+                    continue
+                wire = ("group", tuple(job_specs[j] for j in part), key[2])
+                payloads.append((wire, part))
+                if _obs.enabled:
+                    _obs.inc("repro_plan_groups_total")
+                    _obs.observe("repro_plan_group_size", len(part))
+        if _obs.enabled and singles:
+            _obs.inc("repro_plan_singles_total", len(singles))
+        for j in singles:
+            payloads.append((("single", job_specs[j]), [j]))
+        payloads.sort(key=lambda p: p[1][0])
+
+        outs = self._execute_payloads([wire for wire, _ in payloads])
+        outcomes: list = [None] * len(job_specs)
+        planned_jobs: set[int] = set()
+        for (wire, idxs), out in zip(payloads, outs):
+            if wire[0] == "single":
+                outcomes[idxs[0]] = out
+                continue
+            for j, oc in zip(idxs, out):
+                outcomes[j] = oc
+                if (
+                    oc.error is None
+                    and oc.result is not None
+                    and oc.result.algorithm == "SharedScanTRS"
+                ):
+                    planned_jobs.add(j)
+        return outcomes, planned_jobs
+
+    def _execute_payloads(self, wires: list) -> list:
+        """Dispatch planner payloads over the configured pool. Returns
+        one entry per wire: a :class:`_JobOutcome` for ``single`` wires,
+        a list of them (member order) for ``group`` wires."""
+        engine = self.engine
+        injector, policy = self.fault_injector, self.retry_policy
+        if self.pool == "process" and self.workers > 1 and len(wires) > 1:
+            # Warm the plan cache first: forked workers inherit the built
+            # plans via copy-on-write, and the shm publisher (when on)
+            # ships them to spawn-style workers explicitly.
+            manifest, initargs = self._process_initargs(warm=True)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_process_worker_init,
+                    initargs=initargs,
+                ) as pool:
+                    # chunksize=1: payloads are few and coarse; one group
+                    # per dispatch keeps workers evenly loaded.
+                    return list(
+                        pool.map(_process_worker_run_payload, wires, chunksize=1)
+                    )
+            finally:
+                if manifest is not None:
+                    from repro.exec import shm as _shm
+
+                    _shm.unlink_manifest(manifest)
+        for wire in wires:
+            if wire[0] == "single":
+                try:
+                    engine._prepare_for(wire[1])
+                except ReproError:
+                    pass  # resurfaces inside the job as a structured QueryError
+
+        def run_payload(wire):
+            if wire[0] == "single":
+                return _run_with_recovery(engine, wire[1], injector, policy)
+            _, specs, backend = wire
+            return _run_group(engine, specs, backend, injector, policy)
+
+        if self.pool == "thread" and self.workers > 1 and len(wires) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            ) as pool:
+                return list(pool.map(run_payload, wires))
+        return [run_payload(w) for w in wires]
+
     def _execute(self, job_specs: list[QuerySpec]) -> list[_JobOutcome]:
         """Run the pending jobs, returning :class:`_JobOutcome` objects in
         job order (``map`` preserves order on every pool)."""
@@ -461,27 +870,22 @@ class QueryExecutor:
         engine = self.engine
         injector, policy = self.fault_injector, self.retry_policy
         if self.pool == "process" and self.workers > 1 and len(job_specs) > 1:
-            fault_plan = injector.plan if injector is not None else None
-            fault_seed = injector.seed if injector is not None else 0
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_process_worker_init,
-                initargs=(
-                    engine.dataset,
-                    engine.default_algorithm,
-                    engine.memory_fraction,
-                    engine.page_bytes,
-                    fault_plan,
-                    fault_seed,
-                    self._retry_args(),
-                    _obs.enabled,
-                    getattr(engine, "backend", None),
-                ),
-            ) as pool:
-                chunk = max(1, len(job_specs) // (self.workers * 4))
-                return list(
-                    pool.map(_process_worker_run, job_specs, chunksize=chunk)
-                )
+            manifest, initargs = self._process_initargs()
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_process_worker_init,
+                    initargs=initargs,
+                ) as pool:
+                    chunk = max(1, len(job_specs) // (self.workers * 4))
+                    return list(
+                        pool.map(_process_worker_run, job_specs, chunksize=chunk)
+                    )
+            finally:
+                if manifest is not None:
+                    from repro.exec import shm as _shm
+
+                    _shm.unlink_manifest(manifest)
         # Warm the shared algorithm instances sequentially so worker
         # threads never race on prepare() work (creation is lock-guarded
         # anyway; this avoids redundant layout sorts).

@@ -89,6 +89,10 @@ class BatchReport:
     workers: int
     #: Per-slot terminal failures (``None`` where the query succeeded).
     errors: tuple[QueryError | None, ...] = ()
+    #: Which slots were answered by a planner group (one shared
+    #: multi-query scan) rather than an individual engine run. Empty
+    #: when the executor ran without ``plan=True``.
+    planned: tuple[bool, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -138,6 +142,11 @@ class BatchReport:
         return [None if r is None else r.record_ids for r in self.results]
 
     @property
+    def planned_count(self) -> int:
+        """Slots answered through a planner group."""
+        return sum(self.planned)
+
+    @property
     def backends(self) -> tuple[str, ...]:
         """Distinct compute backends that produced this batch's results
         (normally one; mixed per-spec algorithm overrides can yield two)."""
@@ -155,6 +164,7 @@ class BatchReport:
             "dedup_hits": self.dedup_hits,
             "computed": self.computed,
             "failed": self.failed,
+            "planned": self.planned_count,
             "pool": self.pool,
             "workers": self.workers,
             "checks": self.stats.checks,
@@ -180,12 +190,15 @@ def merge_batch(
     workers: int,
     errors=None,
     deduped=None,
+    planned=None,
 ) -> BatchReport:
     """Assemble the deterministic batch view (everything in input order)."""
     if errors is None:
         errors = [None] * len(results)
     if deduped is None:
         deduped = [False] * len(results)
+    if planned is None:
+        planned = [False] * len(results)
     stats = CostStats.merged(
         r.stats for r, hit in zip(results, cached) if r is not None and not hit
     )
@@ -200,4 +213,5 @@ def merge_batch(
         pool=pool,
         workers=workers,
         errors=tuple(errors),
+        planned=tuple(planned),
     )

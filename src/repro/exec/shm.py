@@ -1,0 +1,373 @@
+"""Zero-copy publication of plan artifacts to process-pool workers.
+
+The process pool used to ship the *whole dataset* to every worker by
+pickle (``initargs``) and let each worker rebuild its dissimilarity
+matrices, columnar AL-Tree plans and scan arrays from scratch.  All of
+those are immutable numpy arrays, so this module packs them into **one**
+``multiprocessing.shared_memory`` segment that every worker maps
+read-only:
+
+- :func:`publish_engine` flattens the engine's dataset (records as an
+  ``n x m`` int array, per-attribute dissimilarity matrices) together
+  with every already-built :class:`~repro.core.vector_trs.VectorTRS`
+  plan into named arrays, packs them 64-byte aligned into a fresh
+  segment, and returns a small picklable :class:`ShmManifest`.
+- Workers call :func:`attach_arrays` (zero-copy views into the mapping),
+  :func:`dataset_from_manifest` (tuples are materialised — the scalar
+  hot loops want plain Python values — but every array stays a view)
+  and :func:`seed_plan_cache`, which drops the imported plans straight
+  into :mod:`repro.kernels.plancache` under the *same* content keys the
+  worker's own ``VectorTRS`` instances would compute, so no worker ever
+  rebuilds a plan the parent already has.
+
+Segment lifecycle (the crash-cleanup story):
+
+- The creating process owns the segment: it appears in
+  :func:`active_segments` until :func:`unlink_manifest` runs, which the
+  executor calls in a ``finally`` around the pool — a crashed worker
+  (or a ``BrokenProcessPool``) therefore cannot leak the segment.
+- Workers only ever *attach*.  Attachment unregisters the mapping from
+  the ``resource_tracker`` (otherwise every worker exit would unlink a
+  segment it does not own) and closes it via ``atexit``.
+- If the creating process itself dies before unlinking, its own
+  ``resource_tracker`` reclaims the segment; ``unlink_manifest`` treats
+  an already-gone segment as success so the paths compose.
+
+All names carry the ``repro-shm-`` prefix so CI leak gates can audit
+``/dev/shm`` directly.  Segment count and bytes are exported as
+``repro_shm_segments`` / ``repro_shm_bytes`` gauges.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.obs import hooks as _obs
+
+__all__ = [
+    "SHM_PREFIX",
+    "ShmManifest",
+    "active_segments",
+    "attach_arrays",
+    "dataset_from_manifest",
+    "publish_arrays",
+    "publish_engine",
+    "seed_plan_cache",
+    "unlink_manifest",
+]
+
+SHM_PREFIX = "repro-shm-"
+_ALIGN = 64
+
+#: Segments created (and not yet unlinked) by this process.
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+#: Segments this process attached to (worker side); closed at exit.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class ShmManifest:
+    """Picklable description of one packed segment.
+
+    ``entries`` maps each array to its slot: ``(key, dtype_str, shape,
+    offset)``.  ``meta`` carries whatever small picklable metadata the
+    publisher attached (schema description, plan keys, ...).
+    """
+
+    shm_name: str
+    total_bytes: int
+    entries: tuple
+    meta: dict
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _gauges() -> None:
+    if _obs.enabled:
+        _obs.set_gauge("repro_shm_segments", float(len(_OWNED)))
+        _obs.set_gauge(
+            "repro_shm_bytes", float(sum(s.size for s in _OWNED.values()))
+        )
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of segments this process created and has not unlinked —
+    the quantity the chaos leak gate asserts is empty after a batch."""
+    return tuple(_OWNED)
+
+
+def publish_arrays(arrays: dict, meta: dict | None = None) -> ShmManifest:
+    """Pack named numpy arrays into one fresh shared-memory segment."""
+    entries = []
+    offset = 0
+    contig = {}
+    for key, arr in arrays.items():
+        a = np.ascontiguousarray(arr)
+        contig[key] = a
+        entries.append((key, a.dtype.str, tuple(a.shape), offset))
+        offset = _aligned(offset + a.nbytes)
+    name = f"{SHM_PREFIX}{os.getpid()}-{next(_COUNTER)}-{secrets.token_hex(4)}"
+    seg = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+    for (key, _dt, _shape, off) in entries:
+        a = contig[key]
+        if a.nbytes:
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=off)
+            dst[...] = a
+    _OWNED[name] = seg
+    if _obs.enabled:
+        _obs.inc("repro_shm_publish_total")
+    _gauges()
+    return ShmManifest(
+        shm_name=name,
+        total_bytes=seg.size,
+        entries=tuple(entries),
+        meta=dict(meta or {}),
+    )
+
+
+def attach_arrays(manifest: ShmManifest) -> dict:
+    """Zero-copy, read-only views of a published segment's arrays.
+
+    The mapping is cached per segment name (so repeated calls in one
+    worker share it), unregistered from the ``resource_tracker`` (the
+    attacher does not own the segment) and closed at interpreter exit.
+    """
+    seg = _OWNED.get(manifest.shm_name) or _ATTACHED.get(manifest.shm_name)
+    if seg is None:
+        # Attachers must not register with the resource tracker: pools
+        # share the parent's tracker process, so a second registration
+        # for the same name turns the parent's eventual unlink into a
+        # double-remove (noisy KeyError) — or worse, lets a worker exit
+        # unlink a segment it does not own. Python 3.13 has track=False
+        # for exactly this; on older interpreters suppress the
+        # registration call for the duration of the attach.
+        try:
+            seg = shared_memory.SharedMemory(
+                name=manifest.shm_name, create=False, track=False
+            )
+        except TypeError:
+            orig = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+            try:
+                seg = shared_memory.SharedMemory(
+                    name=manifest.shm_name, create=False
+                )
+            finally:
+                resource_tracker.register = orig
+        _ATTACHED[manifest.shm_name] = seg
+        if _obs.enabled:
+            _obs.inc("repro_shm_attach_total")
+    out = {}
+    for key, dtype_str, shape, off in manifest.entries:
+        view = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf, offset=off)
+        view.flags.writeable = False
+        out[key] = view
+    return out
+
+
+def unlink_manifest(manifest: ShmManifest | str) -> None:
+    """Close and unlink a segment this process created.  Idempotent, and
+    an already-reclaimed segment (crashed creator, double close) counts
+    as success."""
+    name = manifest if isinstance(manifest, str) else manifest.shm_name
+    seg = _OWNED.pop(name, None)
+    if seg is None:
+        _gauges()
+        return
+    try:
+        seg.close()
+    except Exception:
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+    if _obs.enabled:
+        _obs.inc("repro_shm_unlink_total")
+    _gauges()
+
+
+@atexit.register
+def _cleanup() -> None:  # pragma: no cover - interpreter teardown
+    for name in list(_OWNED):
+        unlink_manifest(name)
+    for seg in _ATTACHED.values():
+        try:
+            seg.close()
+        except Exception:
+            pass
+    _ATTACHED.clear()
+
+
+# -- engine publication -------------------------------------------------------
+
+
+def publish_engine(engine) -> ShmManifest | None:
+    """Publish an engine's dataset plus every built VectorTRS plan.
+
+    Returns ``None`` when the dataset cannot be represented as flat
+    arrays (numeric attributes / non-matrix dissimilarities) — callers
+    fall back to the pickle ``initargs`` path and count the fallback.
+    """
+    from repro.core.vector_trs import VectorTRS, export_plan
+    from repro.dissim.matrix import MatrixDissimilarity
+
+    dataset = engine.dataset
+    schema = dataset.schema
+    if not all(a.is_categorical for a in schema):
+        return None
+    if not all(
+        isinstance(d, MatrixDissimilarity) for d in dataset.space.dissims
+    ):
+        return None
+
+    arrays: dict = {
+        "data.values": np.asarray(dataset.records, dtype=np.int64)
+    }
+    meta: dict = {
+        "dataset_name": dataset.name,
+        "num_records": len(dataset.records),
+        "cardinalities": [a.cardinality for a in schema],
+        "attr_names": [a.name for a in schema],
+        "attr_labels": [list(a.labels) if a.labels else None for a in schema],
+        "dissim_labels": [],
+        "plans": [],
+    }
+    for i, d in enumerate(dataset.space.dissims):
+        arrays[f"dissim{i}"] = np.ascontiguousarray(d.matrix, dtype=float)
+        labels = getattr(d, "labels", None)
+        meta["dissim_labels"].append(list(labels) if labels else None)
+
+    # Ship every phase-1/scan plan the parent has already paid for, so
+    # workers import instead of rebuilding. The planner's warmed holder
+    # (see ``repro.exec.executor._warm_plan_cache``) counts too; dedupe
+    # on the plan-cache identity so it and a prepared engine VectorTRS
+    # do not publish the same arrays twice.
+    holders = list(getattr(engine, "_algorithms", {}).values())
+    warm = engine.__dict__.get("_plan_warm")
+    if warm is not None:
+        holders.append(warm)
+    published: set = set()
+    for j, algo in enumerate(holders):
+        if not isinstance(algo, VectorTRS):
+            continue
+        batches = getattr(algo, "_p1_cache", None)
+        if not batches or algo._p1_cache_layout is not algo._layout:
+            continue
+        identity = (algo._plan_fp(), algo.budget.pages, algo.page_bytes)
+        if identity in published:
+            continue
+        published.add(identity)
+        prefix = f"plan{j}."
+        p1_meta, p1_arrays = export_plan(batches)
+        for key, arr in p1_arrays.items():
+            arrays[prefix + key] = arr
+        plan_info = {
+            "prefix": prefix,
+            "fingerprint": algo._plan_fp(),
+            "budget_pages": algo.budget.pages,
+            "page_bytes": algo.page_bytes,
+            "p1_meta": p1_meta,
+            "scan": False,
+        }
+        scan = getattr(algo, "_scan_cache", None)
+        if scan is not None and algo._scan_cache_layout is algo._layout:
+            ids, vals, pages = scan
+            arrays[prefix + "scan_ids"] = ids
+            arrays[prefix + "scan_vals"] = vals
+            arrays[prefix + "scan_pages"] = pages
+            plan_info["scan"] = True
+        meta["plans"].append(plan_info)
+    return publish_arrays(arrays, meta)
+
+
+def dataset_from_manifest(manifest: ShmManifest):
+    """Rebuild the dataset from an attached segment.
+
+    Records become plain Python tuples (the scalar algorithms and the
+    storage codec iterate them in tight loops); the dissimilarity
+    matrices stay zero-copy shared views.
+    """
+    from repro.data.dataset import Dataset
+    from repro.data.schema import CATEGORICAL, Attribute, Schema
+    from repro.dissim.matrix import MatrixDissimilarity
+    from repro.dissim.space import DissimilaritySpace
+
+    arrays = attach_arrays(manifest)
+    meta = manifest.meta
+    attributes = [
+        Attribute(
+            name,
+            CATEGORICAL,
+            card,
+            labels=tuple(labels) if labels else None,
+        )
+        for name, card, labels in zip(
+            meta["attr_names"], meta["cardinalities"], meta["attr_labels"]
+        )
+    ]
+    dissims = [
+        MatrixDissimilarity(
+            arrays[f"dissim{i}"],
+            labels=meta["dissim_labels"][i],
+            require_zero_diagonal=False,
+        )
+        for i in range(len(attributes))
+    ]
+    records = [tuple(map(int, row)) for row in arrays["data.values"]]
+    return Dataset(
+        Schema(attributes),
+        records,
+        DissimilaritySpace(dissims),
+        validate=False,
+        name=meta["dataset_name"],
+    )
+
+
+def seed_plan_cache(manifest: ShmManifest) -> int:
+    """Import every published plan into the process-wide plan cache
+    under the keys the worker's own ``VectorTRS`` would compute.
+    Returns the number of artifacts seeded."""
+    from repro.core.vector_trs import import_plan
+    from repro.kernels.plancache import PlanKey, plan_cache
+
+    arrays = attach_arrays(manifest)
+    cache = plan_cache()
+    seeded = 0
+    for plan in manifest.meta.get("plans", ()):
+        prefix = plan["prefix"]
+        fp = plan["fingerprint"]
+        sub = {
+            key[len(prefix):]: arr
+            for key, arr in arrays.items()
+            if key.startswith(prefix)
+        }
+        mats = [
+            arrays[f"dissim{i}"]
+            for i in range(len(manifest.meta["cardinalities"]))
+        ]
+        cache.put(PlanKey("dissim", fp), mats)
+        seeded += 1
+        batches = import_plan(plan["p1_meta"], sub)
+        cache.put(
+            PlanKey("phase1", fp, (plan["budget_pages"], plan["page_bytes"])),
+            batches,
+        )
+        seeded += 1
+        if plan["scan"]:
+            cache.put(
+                PlanKey("scan", fp, (plan["page_bytes"],)),
+                (sub["scan_ids"], sub["scan_vals"], sub["scan_pages"]),
+            )
+            seeded += 1
+    return seeded

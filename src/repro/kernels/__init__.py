@@ -33,6 +33,12 @@ from repro.kernels.backend import (
     vector_variant,
 )
 from repro.kernels.columnar import ColumnarALTree
+from repro.kernels.plancache import (
+    PlanCache,
+    PlanKey,
+    plan_cache,
+    plan_fingerprint,
+)
 from repro.kernels.frontier import (
     batch_is_prunable,
     candidate_paths,
@@ -45,12 +51,16 @@ from repro.kernels.frontier import (
 __all__ = [
     "BACKENDS",
     "ColumnarALTree",
+    "PlanCache",
+    "PlanKey",
     "available_backends",
     "batch_is_prunable",
     "candidate_paths",
     "normalize_backend",
     "numpy_ready",
     "page_prune",
+    "plan_cache",
+    "plan_fingerprint",
     "query_distances",
     "query_node_rows",
     "register_variant",

@@ -35,16 +35,28 @@ BACKENDS = ("python", "numpy", "auto")
 _VECTOR_OF: dict[str, str] = {}
 #: numpy-variant algorithm name -> scalar algorithm name.
 _SCALAR_OF: dict[str, str] = {}
+#: vector names ``auto`` is allowed to pick. Registration opts out the
+#: variants that are *correct* but not a default win (BENCH_core.json
+#: showed VectorBRS at ~0.46x of the scalar path: BRS re-scans dominate
+#: and its per-page batches are too small to amortise the numpy
+#: dispatch), so ``auto`` only upgrades where it is also a speedup.
+_AUTO_OK: set[str] = set()
 
 
-def register_variant(scalar: str, vector: str) -> None:
+def register_variant(scalar: str, vector: str, *, auto: bool = True) -> None:
     """Declare ``vector`` as the numpy-backend variant of ``scalar``.
 
     Called at import time by :mod:`repro.core.registry` for each pair;
-    idempotent so re-imports are harmless.
+    idempotent so re-imports are harmless. ``auto=False`` keeps the
+    variant reachable via an explicit ``backend="numpy"`` request but
+    excludes it from ``auto`` dispatch.
     """
     _VECTOR_OF[scalar] = vector
     _SCALAR_OF[vector] = scalar
+    if auto:
+        _AUTO_OK.add(vector)
+    else:
+        _AUTO_OK.discard(vector)
 
 
 def vector_variant(name: str) -> str | None:
@@ -112,8 +124,10 @@ def resolve_algorithm(name: str, backend: str | None, dataset=None) -> str:
         if not numpy_ready():  # pragma: no cover - numpy is a hard dep today
             raise AlgorithmError("numpy backend requested but numpy is not importable")
         return vector
-    # auto: upgrade when it is guaranteed safe, fall back silently otherwise.
-    if vector is None or not numpy_ready():
+    # auto: upgrade when it is guaranteed safe AND a known win, fall
+    # back silently otherwise (explicit backend="numpy" still honours
+    # demoted variants).
+    if vector is None or vector not in _AUTO_OK or not numpy_ready():
         return scalar_variant(name)
     if dataset is not None and not dataset.space.is_fully_categorical():
         return scalar_variant(name)

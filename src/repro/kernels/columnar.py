@@ -94,6 +94,42 @@ class ColumnarALTree:
         self._leaf_index: dict[int, int] = {}
 
     @classmethod
+    def from_arrays(
+        cls,
+        *,
+        keys: list[np.ndarray],
+        desc: list[np.ndarray],
+        parent: list[np.ndarray],
+        child_start: list[np.ndarray],
+        child_end: list[np.ndarray],
+        leaf_start: np.ndarray,
+        leaf_count: np.ndarray,
+        entry_ids: np.ndarray,
+        entry_leaf: np.ndarray,
+    ) -> "ColumnarALTree":
+        """Reassemble a flattening from its raw arrays (zero-copy views
+        are fine — the kernels never mutate them).
+
+        The pointer-tree leaf index is **not** reconstructed: it exists
+        only to bridge :meth:`from_tree` to the builder that flattened
+        the tree, so an imported flattening (plan cache, shared memory)
+        supports every kernel but not :meth:`leaf_index_of`.
+        """
+        col = cls()
+        col.num_levels = len(keys)
+        col.keys = list(keys)
+        col.desc = list(desc)
+        col.parent = list(parent)
+        col.child_start = list(child_start)
+        col.child_end = list(child_end)
+        col.leaf_start = leaf_start
+        col.leaf_count = leaf_count
+        col.entry_ids = entry_ids
+        col.entry_leaf = entry_leaf
+        col.num_objects = int(entry_ids.size)
+        return col
+
+    @classmethod
     def from_tree(cls, tree: ALTree) -> "ColumnarALTree":
         """Flatten ``tree`` (breadth-first, children contiguous)."""
         col = cls()

@@ -197,3 +197,6 @@ def record_io(io) -> None:
     r.inc("repro_io_retries_total", io.read_retries, op="read")
     r.inc("repro_io_retries_total", io.write_retries, op="write")
     r.inc("repro_io_faults_total", io.faults_seen)
+    # Uncharged prepare-time reads: separate series on purpose, so the
+    # charged repro_page_io_total stays the paper's logical IO metric.
+    r.inc("repro_page_peeks_total", io.peek_reads)

@@ -184,6 +184,12 @@ class DiskSimulator:
                 self.stats.random_reads += 1
         self._head = position
 
+    def count_peek(self) -> None:
+        """Record one uncharged ``peek_page`` read. Never moves the scan
+        head, so a peek cannot turn a neighbouring charged access from
+        sequential into random (or vice versa)."""
+        self.stats.peek_reads += 1
+
     def load_dataset(self, dataset: Dataset, name: str = "data") -> PageFile:
         """Materialise a dataset into a page file **without** charging IO —
         this models data already resident on disk before the query starts.

@@ -180,6 +180,19 @@ class FilePageStore:
         self._page_counts.clear()
         self._num_records = 0
 
+    def peek_page(self, page_id: int) -> list[tuple[int, tuple]]:
+        """One page's records without *charged* IO accounting (counted as
+        ``IoStats.peek_reads``); mirrors :meth:`PageFile.peek_page` so the
+        numpy plan builders work against file-backed stores too. Bypasses
+        the fault injector: peeks model offline preprocessing."""
+        if not 0 <= page_id < self.num_pages:
+            raise StorageError(f"{self.name}: page {page_id} out of range")
+        self._check_open()
+        self._disk.count_peek()
+        self._fh.seek(page_id * self.page_bytes)
+        blob = self._fh.read(self.page_bytes)
+        return self._unpack_page(blob, self._page_counts[page_id])
+
     def peek_all_records(self) -> list[tuple[int, tuple]]:
         """All records without IO accounting — assertions/tests only."""
         out = []

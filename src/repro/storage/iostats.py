@@ -36,6 +36,12 @@ class IoStats:
     read_retries: int = 0
     write_retries: int = 0
     faults_seen: int = 0
+    #: Uncharged page reads (``peek_page``) made by offline preprocessing
+    #: such as the numpy backend's plan builds. Deliberately **excluded**
+    #: from ``sequential``/``random``/``total`` — those stay the paper's
+    #: logical IO metric — but counted so the hidden prepare-time IO is
+    #: observable (kept last: callers construct IoStats positionally).
+    peek_reads: int = 0
 
     @property
     def sequential(self) -> int:
@@ -61,6 +67,7 @@ class IoStats:
         self.read_retries = 0
         self.write_retries = 0
         self.faults_seen = 0
+        self.peek_reads = 0
 
     def snapshot(self) -> "IoStats":
         """An immutable-by-convention copy for before/after accounting."""
@@ -72,6 +79,7 @@ class IoStats:
             self.read_retries,
             self.write_retries,
             self.faults_seen,
+            self.peek_reads,
         )
 
     def delta(self, before: "IoStats") -> "IoStats":
@@ -84,6 +92,7 @@ class IoStats:
             self.read_retries - before.read_retries,
             self.write_retries - before.write_retries,
             self.faults_seen - before.faults_seen,
+            self.peek_reads - before.peek_reads,
         )
 
     def __add__(self, other: "IoStats") -> "IoStats":
@@ -95,6 +104,7 @@ class IoStats:
             self.read_retries + other.read_retries,
             self.write_retries + other.write_retries,
             self.faults_seen + other.faults_seen,
+            self.peek_reads + other.peek_reads,
         )
 
 

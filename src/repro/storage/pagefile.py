@@ -118,11 +118,14 @@ class PageFile:
         return [entry for page in self._pages for entry in page]
 
     def peek_page(self, page_id: int) -> list[tuple[int, tuple]]:
-        """One page's records **without** IO accounting — for offline
-        preprocessing that models work done outside the measured query
-        (e.g. the numpy backend's batch-structure cache)."""
+        """One page's records **without charged** IO accounting — for
+        offline preprocessing that models work done outside the measured
+        query (e.g. the numpy backend's batch-structure cache). Counted
+        separately as ``IoStats.peek_reads`` so prepare-time reads stay
+        observable without polluting the paper's IO metric."""
         if not 0 <= page_id < len(self._pages):
             raise StorageError(f"{self.name}: page {page_id} out of range")
+        self._disk.count_peek()
         return list(self._pages[page_id])
 
     def stage_entries(self, entries: Iterable[tuple[int, tuple]]) -> None:

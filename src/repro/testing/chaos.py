@@ -85,6 +85,8 @@ def verify_chaos_equivalence(
     batch_size: int = 5,
     workers: int = 2,
     use_cache: bool = True,
+    use_plan: bool = False,
+    use_shm: bool = False,
     max_failures: int = 5,
 ) -> ChaosReport:
     """Replay ``trials`` randomized workloads under fault injection on
@@ -94,6 +96,14 @@ def verify_chaos_equivalence(
     that essentially every trial injects something. Pools that cannot
     run in this environment (sandboxes without process primitives) are
     recorded in ``skipped_pools`` rather than failing the report.
+
+    ``use_plan`` routes every batch through the shared-scan planner
+    (``plan`` is already taken — it is the FaultPlan) and ``use_shm``
+    publishes datasets to process workers over shared memory; both must
+    uphold the same contract, and with ``use_shm`` the harness
+    additionally asserts **zero leaked shared-memory segments** after
+    every batch — even when workers crashed mid-run (kind
+    ``"shm-leak"``).
     """
     if trials < 1:
         raise ExperimentError(f"trials must be >= 1, got {trials}")
@@ -137,7 +147,12 @@ def verify_chaos_equivalence(
             )
             try:
                 batch = engine.query_many(
-                    queries, pool=pool, workers=workers, cache=use_cache
+                    queries,
+                    pool=pool,
+                    workers=workers,
+                    cache=use_cache,
+                    plan=use_plan,
+                    shm=use_shm,
                 )
             except (OSError, PermissionError) as exc:
                 # The environment, not the contract: no process primitives.
@@ -150,6 +165,19 @@ def verify_chaos_equivalence(
                 )
                 continue
             report.runs += 1
+            if use_shm:
+                from repro.exec import shm as _shm
+
+                leaked = _shm.active_segments()
+                if leaked:
+                    report.failures.append(
+                        ChaosFailure(
+                            case,
+                            pool,
+                            "shm-leak",
+                            f"segments still owned after batch: {leaked}",
+                        )
+                    )
             # Process-pool workers rebuild the injector on their side of the
             # pickle, so the parent's counters stay zero there; the merged IO
             # stats carry the worker-side fault count home.

@@ -165,17 +165,20 @@ def verify_executor(
     seed: int = 0,
     pool_sizes: tuple[int, ...] = (1, 2, 4),
     cache_modes: tuple[bool, ...] = (False, True),
+    plan_modes: tuple[bool, ...] = (False, True),
     batch_size: int = 6,
     max_failures: int = 5,
 ) -> VerificationReport:
     """Differential safety net for the concurrent batch executor.
 
     Replays every randomized trial through ``query_many`` — for each pool
-    size and cache mode — and asserts the per-query results are
-    **bit-identical** to the sequential engine's answers on the same
+    size, cache mode and planner mode — and asserts the per-query results
+    are **bit-identical** to the sequential engine's answers on the same
     workload. Each trial's batch contains the workload query, random
     extras, and a deliberate duplicate so the cache and in-flight dedup
-    paths are exercised on every run.
+    paths are exercised on every run; ``plan_modes`` additionally routes
+    the batch through the shared-scan planner and must not change a
+    single answer.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be >= 1, got {trials}")
@@ -202,31 +205,36 @@ def verify_executor(
         expected = [tuple(engine.query(q).record_ids) for q in queries]
         for workers in pool_sizes:
             for cache_on in cache_modes:
-                executor = QueryExecutor(
-                    engine,
-                    pool="thread",
-                    workers=workers,
-                    cache=ResultCache() if cache_on else None,
-                )
-                try:
-                    batch = executor.run_batch(queries)
-                    got = [tuple(r.record_ids) for r in batch.results]
-                except Exception as exc:  # noqa: BLE001 - the point is to report it
-                    report.failures.append(
-                        VerificationFailure(
-                            case,
-                            expected[0],
-                            None,
-                            error=f"workers={workers}, cache={cache_on}: {exc!r}",
-                        )
+                for plan_on in plan_modes:
+                    executor = QueryExecutor(
+                        engine,
+                        pool="thread",
+                        workers=workers,
+                        cache=ResultCache() if cache_on else None,
+                        plan=plan_on,
                     )
-                    continue
-                for want, have in zip(expected, got):
-                    if want != have:
+                    try:
+                        batch = executor.run_batch(queries)
+                        got = [tuple(r.record_ids) for r in batch.results]
+                    except Exception as exc:  # noqa: BLE001 - the point is to report it
                         report.failures.append(
-                            VerificationFailure(case, want, have)
+                            VerificationFailure(
+                                case,
+                                expected[0],
+                                None,
+                                error=(
+                                    f"workers={workers}, cache={cache_on}, "
+                                    f"plan={plan_on}: {exc!r}"
+                                ),
+                            )
                         )
-                        break
+                        continue
+                    for want, have in zip(expected, got):
+                        if want != have:
+                            report.failures.append(
+                                VerificationFailure(case, want, have)
+                            )
+                            break
         if len(report.failures) >= max_failures:
             break
     return report

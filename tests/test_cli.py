@@ -91,6 +91,29 @@ class TestBatch:
         expected = reverse_skyline_by_pruners(ds, (1, 2, 0))
         assert f"1,2,0 -> {expected}" in out
 
+    def test_plan_flag_groups_and_matches(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0", "0,0,0", "2,1,1",
+                   "--pool", "serial", "--no-cache", "--plan",
+                   "--show-results"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planned     : 3 answered via shared scans" in out
+        from repro.persist.format import load_dataset
+        from repro.skyline.oracle import reverse_skyline_by_pruners
+
+        ds = load_dataset(dataset_dir)
+        expected = reverse_skyline_by_pruners(ds, (1, 2, 0))
+        assert f"1,2,0 -> {expected}" in out
+
+    def test_shm_flag_accepted_and_leak_free(self, dataset_dir, capsys):
+        rc = main(["batch", dataset_dir, "--queries", "1,2,0", "0,0,0",
+                   "2,1,1", "1,1,1", "--pool", "process", "--workers", "2",
+                   "--no-cache", "--plan", "--shm"])
+        assert rc == 0
+        from repro.exec import shm as _shm
+
+        assert _shm.active_segments() == ()
+
     def test_queries_file_and_serial_pool(self, dataset_dir, tmp_path, capsys):
         qfile = tmp_path / "queries.txt"
         qfile.write_text("1,2,0\n0,0,0\n")

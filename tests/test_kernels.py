@@ -217,6 +217,21 @@ class TestBackendDispatch:
         algo = make_algorithm("TRS", ds, backend="auto", budget=MemoryBudget(2))
         assert isinstance(algo, VectorTRS)
 
+    @pytest.mark.smoke
+    def test_auto_never_picks_demoted_vector_brs(self):
+        # Regression pin for the dispatch demotion: VectorBRS benches at
+        # ~0.46x of scalar BRS on the core workload (BENCH_core.json), so
+        # `auto` must keep answering BRS with the scalar class even on a
+        # fully categorical dataset. Explicit numpy requests still get it.
+        ds = synthetic_dataset(50, [4, 4], seed=1)
+        assert resolve_algorithm("BRS", "auto", ds) == "BRS"
+        algo = make_algorithm("BRS", ds, backend="auto", budget=MemoryBudget(2))
+        assert type(algo).name == "BRS" and not isinstance(algo, VectorBRS)
+        assert resolve_algorithm("BRS", "numpy", ds) == "VectorBRS"
+        # The demotion is dispatch-local: available_backends still
+        # advertises numpy for callers who ask for it by name.
+        assert available_backends("BRS") == ("python", "numpy", "auto")
+
     def test_auto_falls_back_on_mixed_schema(self):
         ds = mixed_dataset(30, [4], [(0.0, 1.0)], seed=2)
         assert resolve_algorithm("TRS", "auto", ds) == "TRS"

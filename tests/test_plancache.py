@@ -1,0 +1,146 @@
+"""Tests for the process-wide plan cache (repro.kernels.plancache).
+
+Covers the LRU/byte-bound mechanics in isolation plus the integration
+contract that matters to the planner: two independent ``VectorTRS``
+instances over the same (dataset, layout) share one build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.kernels.plancache import (
+    PlanCache,
+    PlanKey,
+    artifact_nbytes,
+    configure,
+    plan_cache,
+    plan_fingerprint,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Isolate every test from the process-wide cache state."""
+    configure(256 * 1024 * 1024)
+    yield
+    configure(256 * 1024 * 1024)
+
+
+def _key(i: int) -> PlanKey:
+    return PlanKey("phase1", f"fp{i}", (4, 4096))
+
+
+class TestPlanCacheMechanics:
+    @pytest.mark.smoke
+    def test_hit_miss_and_lru_eviction(self):
+        cache = PlanCache(capacity_bytes=4096)
+        a = np.zeros(128, dtype=np.int64)  # ~1 KiB + overhead
+        assert cache.get(_key(0)) is None  # miss
+        cache.put(_key(0), a)
+        assert cache.get(_key(0)) is a  # hit
+        # Fill past capacity: the least recently used entry must go.
+        cache.put(_key(1), np.zeros(128, dtype=np.int64))
+        cache.put(_key(2), np.zeros(128, dtype=np.int64))
+        cache.get(_key(0))  # refresh key 0 → key 1 is now LRU
+        cache.put(_key(3), np.zeros(128, dtype=np.int64))
+        cache.put(_key(4), np.zeros(128, dtype=np.int64))
+        s = cache.stats()
+        assert s.evictions >= 1
+        assert s.bytes <= cache.capacity_bytes
+        assert cache.get(_key(0)) is not None  # refreshed survivor
+        assert cache.get(_key(1)) is None  # evicted
+        assert s.hits >= 2 and s.misses >= 1
+
+    def test_oversize_artifact_skipped_not_cached(self):
+        cache = PlanCache(capacity_bytes=512)
+        cache.put(_key(0), np.zeros(4096, dtype=np.int64))
+        assert cache.get(_key(0)) is None
+        assert cache.stats().oversize_skips == 1
+        assert cache.stats().entries == 0
+
+    def test_put_same_key_replaces_without_leaking_bytes(self):
+        cache = PlanCache(capacity_bytes=1 << 20)
+        cache.put(_key(0), np.zeros(64, dtype=np.int64))
+        before = cache.stats().bytes
+        cache.put(_key(0), np.zeros(64, dtype=np.int64))
+        assert cache.stats().bytes == before
+        assert cache.stats().entries == 1
+
+    def test_get_or_build_builds_once(self):
+        cache = PlanCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.arange(8)
+
+        first = cache.get_or_build(_key(0), build)
+        second = cache.get_or_build(_key(0), build)
+        assert first is second and len(calls) == 1
+
+    def test_configure_replaces_process_cache(self):
+        c1 = plan_cache()
+        c1.put(_key(0), np.arange(4))
+        c2 = configure(1 << 20)
+        assert plan_cache() is c2 and c2 is not c1
+        assert c2.get(_key(0)) is None
+
+    def test_artifact_nbytes_counts_nested_arrays_once(self):
+        arr = np.zeros(1000, dtype=np.int64)  # 8000 payload bytes
+        size = artifact_nbytes([arr, (arr, {"x": arr})])
+        assert 8000 <= size < 16000  # shared array counted once
+
+
+class TestPlanFingerprint:
+    def test_dissimilarities_change_the_fingerprint(self):
+        # Same records, different non-metric space → different plans.
+        ds = synthetic_dataset(40, [4, 4], seed=3)
+        layout = list(enumerate(ds.records))
+        fp1 = plan_fingerprint(ds, layout)
+        mat = np.array(ds.space.dissims[0].matrix, dtype=float)
+        mat[0, 1] += 1.0
+        mat[1, 0] += 1.0
+        from repro.data.dataset import Dataset
+        from repro.dissim.matrix import MatrixDissimilarity
+        from repro.dissim.space import DissimilaritySpace
+
+        other = Dataset(
+            ds.schema,
+            list(ds.records),
+            DissimilaritySpace(
+                [MatrixDissimilarity(mat)] + list(ds.space.dissims[1:])
+            ),
+            name=ds.name,
+        )
+        assert plan_fingerprint(other, layout) != fp1
+
+    def test_layout_order_changes_the_fingerprint(self):
+        ds = synthetic_dataset(40, [4, 4], seed=3)
+        layout = list(enumerate(ds.records))
+        assert plan_fingerprint(ds, layout) != plan_fingerprint(
+            ds, list(reversed(layout))
+        )
+
+
+class TestPlanCacheIntegration:
+    def test_two_instances_share_one_phase1_build(self):
+        from repro.core.vector_trs import VectorTRS
+        from repro.storage.disk import DiskSimulator
+
+        ds = synthetic_dataset(150, [5, 5, 5], seed=11)
+
+        def run(q):
+            algo = VectorTRS(ds)
+            return algo.run(q).record_ids
+
+        q = tuple(0 for _ in range(3))
+        before = plan_cache().stats()
+        first = run(q)
+        mid = plan_cache().stats()
+        assert mid.misses > before.misses  # cold build populated the cache
+        second = run(q)
+        after = plan_cache().stats()
+        assert second == first
+        assert after.hits > mid.hits  # warm instance imported the plan
+        assert after.misses == mid.misses  # ... without rebuilding anything

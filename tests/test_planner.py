@@ -1,0 +1,172 @@
+"""Tests for the batch planner (QueryExecutor plan=True) and its shm path.
+
+The planner's whole contract is "same answers, fewer scans": compatible
+specs are grouped through one SharedScanTRS pass per chunk, and nothing
+about grouping may leak into results, stats totals, fault recovery or
+report shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import CostStats
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.exec.executor import QueryExecutor, QuerySpec
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(260, [6, 5, 5], seed=21)
+
+
+@pytest.fixture()
+def engine(ds):
+    return ReverseSkylineEngine(ds, algorithm="TRS", log_queries=False)
+
+
+def _queries(ds, n, seed=5):
+    rng = np.random.default_rng(seed)
+    cards = ds.schema.cardinalities()
+    return [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+
+
+class TestPlannedEquivalence:
+    @pytest.mark.smoke
+    def test_planned_serial_matches_unplanned(self, ds, engine):
+        queries = _queries(ds, 12)
+        want = [engine.query(q).record_ids for q in queries]
+        ex = QueryExecutor(engine, pool="serial", cache=None, plan=True)
+        report = ex.run_batch(queries)
+        assert report.record_id_sets() == want
+        assert report.planned == (True,) * len(queries)
+        assert report.summary()["planned"] == len(queries)
+
+    @pytest.mark.parametrize("pool", ["serial", "thread"])
+    def test_planned_matches_across_pools(self, ds, engine, pool):
+        queries = _queries(ds, 10, seed=8)
+        want = [engine.query(q).record_ids for q in queries]
+        ex = QueryExecutor(engine, pool=pool, workers=3, cache=None, plan=True)
+        assert ex.run_batch(queries).record_id_sets() == want
+
+    @pytest.mark.parametrize("shm", [False, True])
+    def test_planned_process_pool_matches(self, ds, engine, shm):
+        queries = _queries(ds, 9, seed=13)
+        want = [engine.query(q).record_ids for q in queries]
+        ex = QueryExecutor(
+            engine, pool="process", workers=2, cache=None, plan=True, shm=shm
+        )
+        try:
+            report = ex.run_batch(queries)
+        except (OSError, PermissionError) as exc:
+            pytest.skip(f"process pools unavailable here: {exc}")
+        assert report.record_id_sets() == want
+        assert report.planned_count == len(queries)
+        from repro.exec import shm as _shm
+
+        assert _shm.active_segments() == ()
+
+    def test_incompatible_specs_run_as_singles(self, ds, engine):
+        queries = _queries(ds, 4, seed=3)
+        specs = [QuerySpec(q) for q in queries]
+        specs.append(QuerySpec(queries[0], kind="skyband", k=2))
+        specs.append(QuerySpec(queries[1], algorithm="BRS"))
+        want = [
+            engine.query(q).record_ids for q in queries
+        ] + [
+            engine.skyband(queries[0], k=2).record_ids,
+            engine.query(queries[1], algorithm="BRS").record_ids,
+        ]
+        ex = QueryExecutor(engine, pool="serial", cache=None, plan=True)
+        report = ex.run_batch(specs)
+        assert report.record_id_sets() == want
+        # TRS queries grouped; the skyband and the BRS run stayed single.
+        assert report.planned == (True, True, True, True, False, False)
+
+    def test_cache_and_planner_compose(self, ds, engine):
+        queries = _queries(ds, 6, seed=4)
+        batch = queries + [queries[0]]  # in-batch duplicate
+        ex = QueryExecutor(engine, pool="serial", cache=True, plan=True)
+        first = ex.run_batch(batch)
+        assert first.dedup_hits == 1
+        second = ex.run_batch(batch)
+        assert second.cache_hits == len(batch)  # everything memoised
+        assert second.record_id_sets() == first.record_id_sets()
+
+
+class TestGroupAccounting:
+    def test_member_stats_sum_to_shared_scan_stats(self, ds, engine):
+        from repro.core.multiquery import SharedScanTRS
+
+        queries = _queries(ds, 7, seed=6)
+        ex = QueryExecutor(engine, pool="serial", cache=None, plan=True)
+        report = ex.run_batch(queries)
+        shared = SharedScanTRS(ds, backend="auto")
+        mq = shared.run_batch(queries)
+        merged = CostStats.merged(r.stats for r in report.results)
+        assert merged.checks == mq.stats.checks
+        assert merged.pruner_tests == mq.stats.pruner_tests
+        assert merged.io.total == mq.stats.io.total
+        assert merged.db_passes == mq.stats.db_passes
+        assert merged.result_count == mq.stats.result_count
+
+    def test_planner_emits_group_metrics(self, ds, engine):
+        from repro.obs import hooks as _obs
+
+        _obs.enable(reset_state=True)
+        try:
+            ex = QueryExecutor(engine, pool="serial", cache=None, plan=True)
+            ex.run_batch(_queries(ds, 8, seed=9))
+            from repro.obs import snapshot_to_prometheus
+
+            text = snapshot_to_prometheus(_obs.snapshot())
+            assert "repro_plan_groups_total" in text
+            assert "repro_plan_group_size" in text
+        finally:
+            _obs.disable()
+
+
+class TestPlannerUnderFaults:
+    def test_group_degrades_to_singles_not_batch_abort(self, ds):
+        from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+
+        plan = FaultPlan.storm(0.25)
+        injector = FaultInjector(plan, seed=3)
+        engine = ReverseSkylineEngine(
+            ds,
+            algorithm="TRS",
+            log_queries=False,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(
+                max_attempts=plan.max_consecutive + 2,
+                base_delay_s=0.0,
+                sleep=lambda _s: None,
+            ),
+        )
+        reference = ReverseSkylineEngine(ds, algorithm="TRS", log_queries=False)
+        queries = _queries(ds, 8, seed=10)
+        want = [reference.query(q).record_ids for q in queries]
+        ex = QueryExecutor(engine, pool="serial", cache=None, plan=True)
+        report = ex.run_batch(queries)  # must not raise
+        assert report.ok
+        assert report.record_id_sets() == want
+
+    def test_chaos_equivalence_with_planner_and_shm(self):
+        from repro.testing.chaos import verify_chaos_equivalence
+
+        report = verify_chaos_equivalence(
+            trials=3,
+            seed=17,
+            pools=("serial", "process"),
+            use_plan=True,
+            use_shm=True,
+        )
+        assert report.ok, [str(f) for f in report.failures]
+
+    def test_executor_differential_covers_plan_modes(self):
+        from repro.testing.verify import verify_executor
+
+        report = verify_executor(
+            trials=4, seed=23, pool_sizes=(2,), cache_modes=(False,)
+        )
+        assert report.ok, report.failures[:1]

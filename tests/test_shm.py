@@ -1,0 +1,129 @@
+"""Tests for the zero-copy shared-memory layer (repro.exec.shm).
+
+Everything here runs in one process — attach works on the publishing
+process too, so the pack/attach/rebuild codec and the segment lifecycle
+are testable without a pool. Cross-process behaviour is exercised by the
+planner tests and the chaos harness (``use_shm=True``).
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import mixed_dataset, synthetic_dataset
+from repro.exec import shm as _shm
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test must end with zero owned segments."""
+    yield
+    for name in _shm.active_segments():
+        _shm.unlink_manifest(name)
+    assert _shm.active_segments() == ()
+    assert not glob.glob("/dev/shm/repro-shm-*")
+
+
+class TestSegmentLifecycle:
+    def test_publish_attach_roundtrip_bitwise(self):
+        arrays = {
+            "a": np.arange(100, dtype=np.int64).reshape(10, 10),
+            "b": np.linspace(0.0, 1.0, 7),
+            "c": np.array([], dtype=np.int64),
+        }
+        manifest = _shm.publish_arrays(arrays, {"tag": "t"})
+        try:
+            assert manifest.shm_name.startswith(_shm.SHM_PREFIX)
+            assert manifest.meta["tag"] == "t"
+            assert manifest.shm_name in _shm.active_segments()
+            views = _shm.attach_arrays(manifest)
+            for key, arr in arrays.items():
+                got = views[key]
+                assert got.dtype == arr.dtype and got.shape == arr.shape
+                assert np.array_equal(got, arr)
+                assert not got.flags.writeable  # shared views are read-only
+        finally:
+            _shm.unlink_manifest(manifest)
+        assert manifest.shm_name not in _shm.active_segments()
+
+    def test_unlink_is_idempotent(self):
+        manifest = _shm.publish_arrays({"x": np.arange(4)})
+        _shm.unlink_manifest(manifest)
+        _shm.unlink_manifest(manifest)  # second unlink: no-op, no raise
+        _shm.unlink_manifest(manifest.shm_name)
+
+    def test_manifest_is_picklable(self):
+        import pickle
+
+        manifest = _shm.publish_arrays({"x": np.arange(4)})
+        try:
+            clone = pickle.loads(pickle.dumps(manifest))
+            assert np.array_equal(_shm.attach_arrays(clone)["x"], np.arange(4))
+        finally:
+            _shm.unlink_manifest(manifest)
+
+
+class TestEnginePublication:
+    def _engine(self, ds):
+        from repro.engine import ReverseSkylineEngine
+
+        return ReverseSkylineEngine(ds, algorithm="TRS", log_queries=False)
+
+    def test_dataset_roundtrips_and_answers_identically(self):
+        ds = synthetic_dataset(120, [5, 4, 4], seed=7)
+        engine = self._engine(ds)
+        manifest = _shm.publish_engine(engine)
+        assert manifest is not None
+        try:
+            rebuilt = _shm.dataset_from_manifest(manifest)
+            assert rebuilt.records == ds.records
+            assert rebuilt.schema.cardinalities() == ds.schema.cardinalities()
+            for d0, d1 in zip(ds.space.dissims, rebuilt.space.dissims):
+                assert np.array_equal(
+                    np.asarray(d0.matrix), np.asarray(d1.matrix)
+                )
+            q = tuple(0 for _ in range(3))
+            want = self._engine(ds).query(q).record_ids
+            got = self._engine(rebuilt).query(q).record_ids
+            assert got == want
+        finally:
+            _shm.unlink_manifest(manifest)
+
+    def test_numeric_dataset_falls_back_to_none(self):
+        ds = mixed_dataset(30, [4], [(0.0, 1.0)], seed=2)
+        assert _shm.publish_engine(self._engine(ds)) is None
+        assert _shm.active_segments() == ()
+
+    def test_warmed_plans_ship_and_seed_the_worker_cache(self):
+        from repro.exec.executor import _warm_plan_cache
+        from repro.kernels.plancache import configure, plan_cache
+
+        ds = synthetic_dataset(150, [5, 5, 5], seed=9)
+        engine = self._engine(ds)
+        configure(256 * 1024 * 1024)
+        _warm_plan_cache(engine)
+        manifest = _shm.publish_engine(engine)
+        assert manifest is not None
+        try:
+            assert len(manifest.meta["plans"]) == 1
+            assert manifest.meta["plans"][0]["scan"] is True
+            # Simulate the worker side: empty cache, seed from the segment.
+            configure(256 * 1024 * 1024)
+            seeded = _shm.seed_plan_cache(manifest)
+            assert seeded == 3  # dissim + phase1 + scan
+            before = plan_cache().stats()
+            rebuilt = _shm.dataset_from_manifest(manifest)
+            from repro.core.vector_trs import VectorTRS
+
+            algo = VectorTRS(rebuilt)
+            result = algo.run(tuple(0 for _ in range(3)))
+            after = plan_cache().stats()
+            assert after.misses == before.misses  # imported, not rebuilt
+            assert after.hits > before.hits
+            want = VectorTRS(ds).run(tuple(0 for _ in range(3)))
+            assert result.record_ids == want.record_ids
+            assert result.stats.io.total == want.stats.io.total
+        finally:
+            _shm.unlink_manifest(manifest)
+            configure(256 * 1024 * 1024)

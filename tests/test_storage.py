@@ -65,6 +65,70 @@ class TestIoStats:
         model = IoCostModel(sequential_ms=1.0, random_ms=10.0)
         assert model.cost_ms(IoStats(2, 3, 0, 0)) == 2 + 30
 
+    def test_peek_reads_tracked_but_never_charged(self):
+        s = IoStats(1, 2, 3, 4, peek_reads=7)
+        assert s.total == 10  # peeks excluded from the paper's IO metric
+        assert (s + IoStats(peek_reads=2)).peek_reads == 9
+        assert s.delta(IoStats(peek_reads=5)).peek_reads == 2
+        s.reset()
+        assert s.peek_reads == 0
+
+
+class TestPeekAccounting:
+    def _staged(self, tmp_path=None):
+        ds = synthetic_dataset(64, [4, 4], seed=5)
+        disk = DiskSimulator(page_bytes=64)
+        pf = disk.load_dataset(ds)
+        return disk, pf
+
+    def test_peek_counts_separately_and_leaves_charges_alone(self):
+        disk, pf = self._staged()
+        pf.read_page(0)
+        charged = disk.stats.snapshot()
+        for page_id in range(pf.num_pages):
+            pf.peek_page(page_id)
+        assert disk.stats.peek_reads == pf.num_pages
+        after = disk.stats
+        assert (after.sequential_reads, after.random_reads) == (
+            charged.sequential_reads,
+            charged.random_reads,
+        )
+        assert after.total == charged.total
+
+    def test_peek_does_not_move_the_sequential_head(self):
+        disk, pf = self._staged()
+        pf.read_page(0)
+        pf.peek_page(5)  # a charged read would make the next access random
+        pf.read_page(1)
+        assert disk.stats.sequential_reads == 1  # page 1 still sequential
+        assert disk.stats.peek_reads == 1
+
+    def test_filestore_peek_page_matches_read_page(self, tmp_path):
+        ds = synthetic_dataset(64, [4, 4], seed=5)
+        disk = DiskSimulator(page_bytes=64, backing_dir=tmp_path)
+        pf = disk.load_dataset(ds)
+        want = pf.read_page(2)
+        charged = disk.stats.total
+        assert pf.peek_page(2) == want
+        assert disk.stats.total == charged
+        assert disk.stats.peek_reads == 1
+        with pytest.raises(StorageError, match="out of range"):
+            pf.peek_page(pf.num_pages)
+
+    def test_peeks_exported_to_metrics(self):
+        from repro.obs import hooks as _obs
+        from repro.obs import snapshot_to_prometheus
+
+        _obs.enable(reset_state=True)
+        try:
+            disk, pf = self._staged()
+            pf.peek_page(0)
+            disk.close()
+            text = snapshot_to_prometheus(_obs.snapshot())
+            assert "repro_page_peeks_total 1" in text
+        finally:
+            _obs.disable()
+
 
 class TestPageFile:
     def make_disk(self, page_bytes=64):
