@@ -1,0 +1,142 @@
+"""Scatter-gather scan-scaling benchmark — the sharding CI gate.
+
+Runs a query batch through ``SGTRS`` at K = 1, 2 and 4 shards over a
+10x core workload (30k records at default scale) and writes the
+measurements to ``BENCH_shard.json`` at the repository root.
+
+This machine has no spare cores, so the distributed claim is measured
+with the cost model's own currency: every shard job runs serially and
+reports its private scan wall (``ShardStats.scan_wall_s`` — "each shard
+is a machine"), and the modelled response time of one round is the
+**critical path**, the slowest shard. The gate requires the K=4 critical
+path to beat the K=1 scan wall by ``MIN_SCAN_SPEEDUP``x — near-linear
+scaling, with slack for the merge round the single-shard run never pays.
+
+Answers at every K must be bit-identical to the unsharded oracle run
+before any timing counts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+from repro.core.trs import TRS
+from repro.data.synthetic import synthetic_dataset
+from repro.experiments.tables import format_table
+from repro.experiments.workloads import queries_for, scale_factor, scaled
+from repro.shard import ScatterGatherTRS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_shard.json"
+
+#: Minimum required K=1 -> K=4 critical-path scan speedup (the CI gate).
+MIN_SCAN_SPEEDUP = 2.5
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _run_cell(dataset, batch, shards):
+    """Answer the batch at one shard count; aggregate the per-shard walls."""
+    algo = ScatterGatherTRS(
+        dataset, shards=shards, memory_fraction=0.10, page_bytes=512
+    )
+    algo.prepare()
+    scan_critical = 0.0  # sum over queries of the slowest shard's scan
+    scan_total = 0.0  # sum of all shard scan walls (total work)
+    merge_critical = 0.0
+    results = []
+    t0 = time.perf_counter()
+    for q in batch:
+        r = algo.run(q)
+        scan_critical += max(p.scan_wall_s for p in r.shard_stats)
+        scan_total += sum(p.scan_wall_s for p in r.shard_stats)
+        merge_critical += max(p.merge_wall_s for p in r.shard_stats)
+        results.append(r.record_ids)
+    seconds = time.perf_counter() - t0
+    return {
+        "shards": shards,
+        "strategy": algo.shard_plan.strategy,
+        "queries": len(batch),
+        "wall_time_s": seconds,
+        "scan_critical_path_s": scan_critical,
+        "scan_total_work_s": scan_total,
+        "merge_critical_path_s": merge_critical,
+        "modelled_response_s": scan_critical + merge_critical,
+    }, results
+
+
+def test_bench_shard_scaling(emit):
+    dataset = synthetic_dataset(scaled(3000) * 10, [12] * 4, seed=202)
+    distinct = queries_for(dataset, 5)
+    batch = [q for q in distinct for _ in range(2)]  # 10 queries
+
+    oracle = TRS(dataset, memory_fraction=0.10, page_bytes=512)
+    oracle.prepare()
+    expected = [oracle.run(q).record_ids for q in batch]
+
+    measurements = []
+    for k in SHARD_COUNTS:
+        row, results = _run_cell(dataset, batch, k)
+        assert results == expected  # sharding must be invisible
+        measurements.append(row)
+
+    base = measurements[0]["scan_critical_path_s"]
+    for row in measurements:
+        row["scan_speedup_vs_one_shard"] = base / row["scan_critical_path_s"]
+
+    doc = {
+        "workload": {
+            "dataset": dataset.describe(),
+            "records": len(dataset),
+            "attributes": dataset.num_attributes,
+            "distinct_queries": len(distinct),
+            "repeats": 2,
+            "queries": len(batch),
+            "memory_fraction": 0.10,
+            "page_bytes": 512,
+            "repro_scale": scale_factor(),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "model": (
+            "shard jobs run serially; per-round response is the critical "
+            "path max(ShardStats.scan_wall_s) — each shard is a machine"
+        ),
+        "gate": {"min_scan_speedup_k4": MIN_SCAN_SPEEDUP},
+        "measurements": measurements,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    rows = [
+        [
+            str(m["shards"]),
+            m["strategy"],
+            f"{m['scan_critical_path_s'] * 1000:.0f}",
+            f"{m['scan_total_work_s'] * 1000:.0f}",
+            f"{m['merge_critical_path_s'] * 1000:.0f}",
+            f"{m['modelled_response_s'] * 1000:.0f}",
+            f"{m['scan_speedup_vs_one_shard']:.2f}x",
+        ]
+        for m in measurements
+    ]
+    emit(
+        "bench_shard",
+        "Scatter-gather scan scaling: 10-query batch, 30k records, K=1/2/4",
+        format_table(
+            ["K", "strategy", "scan crit ms", "scan work ms",
+             "merge crit ms", "response ms", "scan speedup"],
+            rows,
+        )
+        + f"\n(canonical artifact: {BENCH_PATH.name})",
+    )
+
+    k4 = next(m for m in measurements if m["shards"] == 4)
+    assert k4["scan_speedup_vs_one_shard"] >= MIN_SCAN_SPEEDUP, (
+        f"K=4 critical-path scan speedup {k4['scan_speedup_vs_one_shard']:.2f}x "
+        f"below the {MIN_SCAN_SPEEDUP}x gate"
+    )

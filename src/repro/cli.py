@@ -78,13 +78,25 @@ def _cmd_info(args) -> int:
 def _cmd_query(args) -> int:
     ds = load_dataset(args.dataset)
     query = _parse_query(args.query, ds)
+    algorithm = args.algorithm
+    if args.shards and algorithm == "TRS":
+        # Sharding with the stock default routes through scatter-gather;
+        # explicitly chosen non-shardable algorithms error (exit 2).
+        algorithm = "SGTRS"
     algo = make_algorithm(
-        args.algorithm, ds, backend=args.backend, memory_fraction=args.memory
+        algorithm,
+        ds,
+        backend=args.backend,
+        shards=args.shards,
+        memory_fraction=args.memory,
     )
     result = algo.run(query)
     s = result.stats
     print(f"algorithm : {result.algorithm}")
     print(f"backend   : {result.backend}")
+    if getattr(result, "num_shards", 0):
+        sizes = ",".join(str(p.records) for p in result.shard_stats)
+        print(f"shards    : {result.num_shards} ({result.strategy}; sizes {sizes})")
     print(f"result    : {list(result.record_ids)}")
     print(f"checks    : {s.checks:,}")
     print(f"io        : {s.io.sequential} sequential + {s.io.random} random page IOs")
@@ -159,6 +171,7 @@ def _cmd_batch(args) -> int:
         fault_injector=fault_injector,
         retry_policy=retry_policy,
         backend=args.backend,
+        shards=args.shards,
     )
     instrument = bool(args.trace or args.metrics_out)
     if instrument:
@@ -383,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
              "or auto (numpy when the algorithm/dataset qualify)",
     )
     query.add_argument("--memory", type=float, default=0.10)
+    query.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="partition the dataset into K shards and answer via the "
+             "scatter-gather algorithm (SGTRS)",
+    )
     query.set_defaults(func=_cmd_query)
 
     infl = sub.add_parser("influence", help="rank probe objects by RS size")
@@ -417,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--shm", action=argparse.BooleanOptionalAction, default=False,
         help="process pool: publish the dataset and built plans to "
              "workers over shared memory instead of pickling",
+    )
+    batch.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="answer reverse-skyline queries through K-shard scatter-gather",
     )
     batch.add_argument("-k", type=int, default=1, help="k>1 answers reverse k-skybands")
     batch.add_argument("--repeat", type=int, default=1, help="replay the batch N times")

@@ -20,12 +20,24 @@ from repro.core.vector_trs import VectorTRS
 from repro.core.vectorized import VectorBRS
 from repro.errors import AlgorithmError
 from repro.kernels import register_variant, resolve_algorithm
+from repro.shard.scatter import ScatterGatherTRS
 
 __all__ = ["ALGORITHMS", "get_algorithm", "make_algorithm"]
 
 ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
     cls.name: cls
-    for cls in (NaiveRS, BRS, SRS, TRS, TSRS, TTRS, NumericTRS, VectorBRS, VectorTRS)
+    for cls in (
+        NaiveRS,
+        BRS,
+        SRS,
+        TRS,
+        TSRS,
+        TTRS,
+        NumericTRS,
+        VectorBRS,
+        VectorTRS,
+        ScatterGatherTRS,
+    )
 }
 
 # Scalar/vector pairings for backend dispatch (idempotent). VectorBRS
@@ -34,6 +46,10 @@ ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
 # explicit backend="numpy" still selects it.
 register_variant("BRS", "VectorBRS", auto=False)
 register_variant("TRS", "VectorTRS")
+# SGTRS is its own variant on every backend: the backend choice applies
+# to the per-shard scan algorithms it builds internally, so dispatch
+# must hand the name back unchanged and let the class forward `backend`.
+register_variant("SGTRS", "SGTRS", auto=False)
 
 
 def get_algorithm(name: str) -> type[ReverseSkylineAlgorithm]:
@@ -46,7 +62,12 @@ def get_algorithm(name: str) -> type[ReverseSkylineAlgorithm]:
 
 
 def make_algorithm(
-    name: str, dataset, *, backend: str | None = None, **kwargs
+    name: str,
+    dataset,
+    *,
+    backend: str | None = None,
+    shards: int | None = None,
+    **kwargs,
 ) -> ReverseSkylineAlgorithm:
     """Instantiate an algorithm by name.
 
@@ -54,6 +75,20 @@ def make_algorithm(
     through the kernels dispatch table first: ``python`` maps vector
     names back to their scalar family, ``numpy`` requires a vectorised
     variant, ``auto`` upgrades to it when the dataset qualifies.
+    Classes that resolve to themselves and declare ``accepts_backend``
+    (the sharded family) receive the backend as a constructor argument
+    instead. ``shards`` is forwarded to shard-capable classes
+    (``accepts_shards``) and rejected for everything else.
     """
     resolved = resolve_algorithm(name, backend, dataset)
-    return get_algorithm(resolved)(dataset, **kwargs)
+    cls = get_algorithm(resolved)
+    if getattr(cls, "accepts_backend", False) and backend is not None:
+        kwargs["backend"] = backend
+    if shards is not None:
+        if not getattr(cls, "accepts_shards", False):
+            raise AlgorithmError(
+                f"algorithm {resolved!r} does not support sharded execution; "
+                "use SGTRS (or drop shards=)"
+            )
+        kwargs["shards"] = shards
+    return cls(dataset, **kwargs)

@@ -91,6 +91,7 @@ class ReverseSkylineEngine:
         *,
         algorithm: str = "TRS",
         backend: str | None = None,
+        shards: int | None = None,
         memory_fraction: float = 0.10,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         log_queries: bool = True,
@@ -98,7 +99,15 @@ class ReverseSkylineEngine:
         retry_policy=None,
     ) -> None:
         self.dataset = dataset
+        if shards is not None and algorithm == "TRS":
+            # Sharding requested with the stock default: route reverse-
+            # skyline queries through the scatter-gather family (explicit
+            # non-capable algorithm choices still error in make_algorithm).
+            algorithm = "SGTRS"
         self.default_algorithm = algorithm
+        #: Shard count forwarded to shard-capable algorithms (``None``
+        #: keeps everything single-partition).
+        self.shards = shards
         #: Compute-backend preference (``python``/``numpy``/``auto``;
         #: ``None`` keeps each algorithm's own class). Applied whenever an
         #: algorithm instance is built, including subset engines.
@@ -161,12 +170,23 @@ class ReverseSkylineEngine:
             save_layouts(directory, layouts)
 
     def _make_algorithm_shell(self, name: str):
+        kwargs = {}
+        if self.shards is not None:
+            from repro.core.registry import get_algorithm
+            from repro.kernels import resolve_algorithm
+
+            resolved = resolve_algorithm(name, self.backend, self.dataset)
+            # Only shard-capable families take the count; the rest keep
+            # their single-partition behaviour (skyband, tiled, ...).
+            if getattr(get_algorithm(resolved), "accepts_shards", False):
+                kwargs["shards"] = self.shards
         algo = make_algorithm(
             name,
             self.dataset,
             backend=self.backend,
             memory_fraction=self.memory_fraction,
             page_bytes=self.page_bytes,
+            **kwargs,
         )
         self._arm(algo)
         return algo

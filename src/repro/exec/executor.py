@@ -196,6 +196,7 @@ def _process_worker_init(
     obs_enabled=False,
     backend=None,
     manifest=None,
+    shards=None,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
@@ -229,6 +230,7 @@ def _process_worker_init(
         fault_injector=_WORKER_INJECTOR,
         retry_policy=_WORKER_POLICY,
         backend=backend,
+        shards=shards,
     )
 
 
@@ -710,6 +712,7 @@ class QueryExecutor:
             _obs.enabled,
             getattr(engine, "backend", None),
             manifest,
+            getattr(engine, "shards", None),
         )
 
     def _group_key(self, spec: QuerySpec):

@@ -58,6 +58,7 @@ __all__ = [
     "attach_arrays",
     "dataset_from_manifest",
     "publish_arrays",
+    "publish_dataset",
     "publish_engine",
     "seed_plan_cache",
     "unlink_manifest",
@@ -212,17 +213,15 @@ def _cleanup() -> None:  # pragma: no cover - interpreter teardown
 # -- engine publication -------------------------------------------------------
 
 
-def publish_engine(engine) -> ShmManifest | None:
-    """Publish an engine's dataset plus every built VectorTRS plan.
+def _dataset_arrays(dataset) -> tuple[dict, dict] | None:
+    """Flatten a dataset into publishable arrays plus manifest meta.
 
     Returns ``None`` when the dataset cannot be represented as flat
     arrays (numeric attributes / non-matrix dissimilarities) — callers
-    fall back to the pickle ``initargs`` path and count the fallback.
+    fall back to the pickle path and count the fallback.
     """
-    from repro.core.vector_trs import VectorTRS, export_plan
     from repro.dissim.matrix import MatrixDissimilarity
 
-    dataset = engine.dataset
     schema = dataset.schema
     if not all(a.is_categorical for a in schema):
         return None
@@ -232,7 +231,9 @@ def publish_engine(engine) -> ShmManifest | None:
         return None
 
     arrays: dict = {
-        "data.values": np.asarray(dataset.records, dtype=np.int64)
+        "data.values": np.asarray(dataset.records, dtype=np.int64).reshape(
+            len(dataset.records), len(schema)
+        )
     }
     meta: dict = {
         "dataset_name": dataset.name,
@@ -247,6 +248,34 @@ def publish_engine(engine) -> ShmManifest | None:
         arrays[f"dissim{i}"] = np.ascontiguousarray(d.matrix, dtype=float)
         labels = getattr(d, "labels", None)
         meta["dissim_labels"].append(list(labels) if labels else None)
+    return arrays, meta
+
+
+def publish_dataset(dataset) -> ShmManifest | None:
+    """Publish one dataset (records + dissimilarity matrices, no plans)
+    into its own segment — the per-shard unit of sharing for
+    :class:`repro.shard.scatter.ScatterGatherTRS`. Returns ``None`` when
+    the dataset cannot be flattened (see :func:`_dataset_arrays`)."""
+    packed = _dataset_arrays(dataset)
+    if packed is None:
+        return None
+    arrays, meta = packed
+    return publish_arrays(arrays, meta)
+
+
+def publish_engine(engine) -> ShmManifest | None:
+    """Publish an engine's dataset plus every built VectorTRS plan.
+
+    Returns ``None`` when the dataset cannot be represented as flat
+    arrays — callers fall back to the pickle ``initargs`` path and count
+    the fallback.
+    """
+    from repro.core.vector_trs import VectorTRS, export_plan
+
+    packed = _dataset_arrays(engine.dataset)
+    if packed is None:
+        return None
+    arrays, meta = packed
 
     # Ship every phase-1/scan plan the parent has already paid for, so
     # workers import instead of rebuilding. The planner's warmed holder

@@ -1,0 +1,20 @@
+"""Sharded scatter-gather reverse-skyline execution.
+
+Partition a dataset into K shards (:class:`ShardPlanner`, Z-order tiles
+with a round-robin fallback), run the TRS machinery locally on every
+shard, then exchange the cross-shard candidate sets in a merge round
+(:class:`ScatterGatherTRS`). Correctness is pinned differentially by
+:mod:`repro.testing.differential`.
+"""
+
+from repro.shard.planner import Shard, ShardPlan, ShardPlanner
+from repro.shard.scatter import ScatterGatherTRS, ShardedRSResult, ShardStats
+
+__all__ = [
+    "ScatterGatherTRS",
+    "Shard",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardStats",
+    "ShardedRSResult",
+]

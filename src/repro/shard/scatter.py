@@ -1,0 +1,722 @@
+"""Scatter-gather TRS: reverse skylines over K shards plus a merge round.
+
+Decomposition
+-------------
+``RS_D(Q)`` decomposes cleanly over any partition ``D = S_1 ∪ ... ∪ S_K``:
+
+1. **Scatter** — every shard runs the full two-phase TRS machinery over
+   its own records. A shard's local reverse skyline is a *superset* of
+   its contribution to the global answer (removing records can only grow
+   a reverse skyline), so the union of local results is exactly the
+   global candidate set, and everything a shard pruned locally is
+   discharged for good.
+2. **Gather** — shards exchange candidates: shard ``k`` receives every
+   *foreign* candidate (one owned by a different shard), loads them into
+   AL-Trees and streams its own records through ``Prune`` (Algorithm 5)
+   — the same group-level machinery TRS phase 2 uses — deleting each
+   candidate some local record prunes. A candidate survives iff no shard
+   deletes it; local pruners were already applied in the scatter phase.
+
+Identity semantics carry over untouched: shards partition the *record
+ids*, so a scanned record can never be the same identity as a foreign
+candidate, and exact-value duplicates across shards prune each other
+exactly as the oracle demands.
+
+Execution fans out shards as jobs over the familiar pool kinds
+(serial / thread / process, mirroring :mod:`repro.exec.executor`), with
+optional per-shard shared-memory manifests for process workers, per-shard
+fault-injection sites with the executor's retry contract, and per-shard
+observability traces grafted deterministically (shard order) under
+``shard.scatter`` / ``shard.gather`` spans.
+
+Cost accounting invariant (enforced by
+:func:`repro.testing.differential.verify_sharded_equivalence`): the
+per-shard :class:`~repro.core.base.CostStats` sum **exactly** to the
+reported global stats on every counter; only ``wall_time_s`` differs —
+the global value is the elapsed run time while shard values are each
+shard's own compute time (their sum is total work, the distributed
+cost model's numerator).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.altree.tree import ALTree
+from repro.core.base import CostStats, RSResult, ReverseSkylineAlgorithm, Stopwatch
+from repro.core.trs import ENTRY_BYTES, NODE_BYTES, prune_tree
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError, ReproError, TransientError
+from repro.faults.retry import RetryPolicy
+from repro.obs import hooks as _obs
+from repro.shard.planner import ShardPlan, ShardPlanner
+from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
+
+__all__ = ["ScatterGatherTRS", "ShardStats", "ShardedRSResult"]
+
+_POOLS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's contribution to a scatter-gather run."""
+
+    index: int
+    #: Records the shard owns.
+    records: int
+    #: Local reverse-skyline size (the shard's candidate contribution).
+    local_candidates: int
+    #: Foreign candidates this shard's merge scan deleted.
+    killed: int
+    #: The shard's own compute walls ("each shard is a machine").
+    scan_wall_s: float
+    merge_wall_s: float
+    #: Combined scan+merge cost counters; ``result_count`` holds the
+    #: shard's *final* owned results so per-shard parts sum exactly to
+    #: the global stats.
+    stats: CostStats = field(default_factory=CostStats)
+
+
+@dataclass(frozen=True)
+class ShardedRSResult(RSResult):
+    """An :class:`RSResult` plus the per-shard breakdown."""
+
+    shard_stats: tuple = ()
+    num_shards: int = 0
+    strategy: str = ""
+    #: Elapsed wall of each round in *this* process (pool-dependent).
+    scatter_wall_s: float = 0.0
+    gather_wall_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """Wire format for one shard job (picklable, mirrors
+    :class:`repro.exec.executor._JobOutcome`)."""
+
+    shard_index: int
+    ids: tuple  # scan: global candidate ids; merge: global killed ids
+    stats: CostStats
+    wall_s: float
+    attempts: int = 1
+    trace: tuple = ()
+    metrics: object | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """Picklable payload for one shard job on a process pool."""
+
+    token: str
+    shard_index: int
+    phase: str  # "scan" | "merge"
+    query: tuple
+    record_ids: tuple
+    dataset: Dataset | None  # None when a shm manifest rides along
+    manifest: object | None
+    inner_name: str
+    budget_pages: int
+    page_bytes: int
+    trace_checks: bool
+    foreign: tuple = ()  # merge only: ((global_id, values), ...)
+    fault_plan: object | None = None
+    fault_seed: int = 0
+    retry_args: dict | None = None
+    obs_enabled: bool = False
+
+
+# -- shard job bodies ---------------------------------------------------------
+
+
+def _remap_trace(d: dict, record_ids: tuple) -> dict:
+    """Translate a per-object trace dict from shard-local to global ids."""
+    return {record_ids[lid]: c for lid, c in d.items()}
+
+
+def _scan_once(algo, record_ids: tuple, query: tuple):
+    """Run the shard's local TRS and express the result in global ids."""
+    result = algo.run(query)
+    stats = result.stats
+    if stats.per_object_phase1:
+        stats.per_object_phase1 = _remap_trace(stats.per_object_phase1, record_ids)
+    if stats.per_object_phase2:
+        stats.per_object_phase2 = _remap_trace(stats.per_object_phase2, record_ids)
+    ids = tuple(record_ids[lid] for lid in result.record_ids)
+    return ids, stats, stats.wall_time_s
+
+
+def _merge_once(algo, record_ids: tuple, foreign: tuple, query: tuple):
+    """Scan this shard's records against the foreign candidates.
+
+    Foreign candidates are batched into AL-Trees under the same
+    second-phase memory split TRS uses; the shard's (laid-out) records
+    stream from a staged disk through :func:`~repro.core.trs.prune_tree`.
+    Returns the killed global ids plus this round's cost counters.
+    """
+    stats = CostStats()
+    killed: list[int] = []
+    if not foreign or not record_ids:
+        return tuple(killed), stats, 0.0
+    tables = algo._tables()
+    trace = algo.trace_checks
+    _, batch_pages = algo.budget.split_for_second_phase()
+    batch_bytes = batch_pages * algo.page_bytes
+    # The scan must carry *global* ids: shard-local ids could collide
+    # with foreign candidate ids and trip prune_tree's identity keep.
+    layout = [(record_ids[lid], values) for lid, values in algo.layout]
+    ordered = sorted(foreign)  # deterministic batching, by global id
+    disk = DiskSimulator(
+        algo.page_bytes,
+        fault_injector=algo.fault_injector,
+        retry_policy=algo.retry_policy,
+    )
+    try:
+        with Stopwatch() as watch:
+            data_file = disk.load_entries(algo.dataset.schema, layout, "data")
+            pos = 0
+            while pos < len(ordered):
+                tree = ALTree(algo.attribute_order)
+                batch: list[tuple[int, tuple]] = []
+                while pos < len(ordered):
+                    gid, values = ordered[pos]
+                    tree.insert(gid, values)
+                    batch.append(ordered[pos])
+                    pos += 1
+                    if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= batch_bytes:
+                        break
+                stats.phase2_batches += 1
+                stats.db_passes += 1
+                for _, dpage in data_file.scan():
+                    if tree.num_objects == 0:
+                        break
+                    for e_id, e in dpage:
+                        _, checks = prune_tree(tree, e_id, e, query, tables)
+                        if checks:
+                            stats.charge_phase2(e_id, checks, trace=trace)
+                    if tree.num_objects == 0:
+                        break
+                survivors = {gid for gid, _ in tree.iter_entries()}
+                killed.extend(gid for gid, _ in batch if gid not in survivors)
+        stats.wall_time_s = watch.elapsed_s
+        stats.io = disk.stats.snapshot()
+    finally:
+        disk.close()
+    return tuple(killed), stats, stats.wall_time_s
+
+
+def _execute_shard_phase(
+    algo,
+    shard_index: int,
+    phase: str,
+    query: tuple,
+    record_ids: tuple,
+    foreign: tuple,
+    injector,
+    policy: RetryPolicy,
+) -> _ShardOutcome:
+    """One shard job with the executor's recovery contract: transient
+    faults (including an injected kill of this very shard job) retry
+    under ``policy``; exhaustion and other library errors degrade into a
+    structured error outcome instead of a raw traceback."""
+    handle = _obs.begin_job(f"shard.{phase}", shard=shard_index)
+    outcome: _ShardOutcome | None = None
+    attempt = 0
+    try:
+        while outcome is None:
+            try:
+                if injector is not None:
+                    # A shard-specific fault site: killing shard k's scan
+                    # must not also kill shard k's merge or shard j's scan.
+                    injector.query_fault(("shard", phase, shard_index) + query)
+                if phase == "scan":
+                    ids, stats, wall = _scan_once(algo, record_ids, query)
+                else:
+                    ids, stats, wall = _merge_once(algo, record_ids, foreign, query)
+                outcome = _ShardOutcome(
+                    shard_index, ids, stats, wall, attempts=attempt + 1
+                )
+            except TransientError as exc:
+                attempt += 1
+                if _obs.enabled:
+                    _obs.inc("repro_shard_retries_total")
+                try:
+                    policy.backoff(attempt, exc)
+                except ReproError as final:
+                    outcome = _ShardOutcome(
+                        shard_index,
+                        (),
+                        CostStats(),
+                        0.0,
+                        attempts=attempt,
+                        error=f"{type(final).__name__}: {final}",
+                    )
+            except ReproError as exc:
+                outcome = _ShardOutcome(
+                    shard_index,
+                    (),
+                    CostStats(),
+                    0.0,
+                    attempts=attempt + 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+    finally:
+        if handle is not None:
+            root = handle[1]
+            if outcome is not None:
+                root.annotate("attempts", outcome.attempts)
+                if outcome.error is not None:
+                    root.annotate("failed", outcome.error)
+            trace = _obs.end_job(handle)
+    if handle is not None and outcome is not None:
+        outcome = replace(outcome, trace=trace)
+    return outcome
+
+
+# -- process-pool plumbing ----------------------------------------------------
+# Shard algorithms are cached per (run token, shard index) so a worker
+# that answered a shard's scan reuses the prepared layout for its merge.
+_WORKER_ALGOS: dict = {}
+
+
+def _worker_algo(job: _ShardJob):
+    key = (job.token, job.shard_index)
+    algo = _WORKER_ALGOS.get(key)
+    if algo is None:
+        from repro.core.registry import get_algorithm
+
+        dataset = job.dataset
+        if dataset is None:
+            from repro.exec import shm as _shm
+
+            dataset = _shm.dataset_from_manifest(job.manifest)
+        algo = get_algorithm(job.inner_name)(
+            dataset,
+            budget=MemoryBudget(job.budget_pages),
+            page_bytes=job.page_bytes,
+            trace_checks=job.trace_checks,
+        )
+        algo.prepare()
+        if len(_WORKER_ALGOS) >= 64:  # stale runs' entries
+            _WORKER_ALGOS.clear()
+        _WORKER_ALGOS[key] = algo
+    return algo
+
+
+def _run_shard_job(job: _ShardJob) -> _ShardOutcome:
+    """Process-pool entry point for one shard job."""
+    if job.obs_enabled and not _obs.enabled:
+        _obs.enable(reset_state=True)
+    if _obs.enabled:
+        _obs.registry().reset()
+    injector = None
+    if job.fault_plan is not None:
+        from repro.faults.inject import FaultInjector
+
+        injector = FaultInjector(job.fault_plan, job.fault_seed)
+    policy = RetryPolicy(**job.retry_args) if job.retry_args else RetryPolicy()
+    algo = _worker_algo(job)
+    algo.fault_injector = injector
+    algo.retry_policy = policy
+    outcome = _execute_shard_phase(
+        algo,
+        job.shard_index,
+        job.phase,
+        job.query,
+        job.record_ids,
+        job.foreign,
+        injector,
+        policy,
+    )
+    if _obs.enabled:
+        outcome = replace(outcome, metrics=_obs.snapshot())
+    return outcome
+
+
+_TOKEN_COUNTER = 0
+
+
+def _next_token() -> str:
+    global _TOKEN_COUNTER
+    _TOKEN_COUNTER += 1
+    return f"{os.getpid()}-{_TOKEN_COUNTER}"
+
+
+class ScatterGatherTRS(ReverseSkylineAlgorithm):
+    """TRS scattered over K shards with a candidate-exchange merge round.
+
+    Parameters (beyond the base class)
+    ----------------------------------
+    shards:
+        Number of partitions K.
+    strategy / tiles_per_dim:
+        Forwarded to :class:`~repro.shard.planner.ShardPlanner`.
+    backend:
+        Compute backend for the per-shard scan phase (``python`` /
+        ``numpy`` / ``auto``; the merge round always uses the scalar
+        ``prune_tree``). ``None`` keeps the scalar reference path.
+    pool / workers:
+        How shard jobs fan out: ``serial`` (default — safe when this
+        algorithm itself runs inside an executor pool), ``thread`` or
+        ``process``.
+    shm:
+        Process pool only: publish each shard's sub-dataset to workers
+        over one shared-memory segment per shard (manifests are created
+        once per run and reused by the scan and merge rounds, then
+        unlinked in a ``finally`` so crashed workers cannot leak them).
+
+    Every shard receives the full memory budget — the cost model treats
+    each shard as its own machine, which is what the 1→K scan-scaling
+    benchmark measures.
+    """
+
+    name = "SGTRS"
+    #: make_algorithm forwards ``backend=`` / ``shards=`` to this class.
+    accepts_backend = True
+    accepts_shards = True
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        shards: int = 2,
+        strategy: str = "auto",
+        tiles_per_dim: int = 4,
+        backend: str | None = None,
+        pool: str = "serial",
+        workers: int | None = None,
+        shm: bool = False,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            dataset,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+            trace_checks=trace_checks,
+        )
+        if pool not in _POOLS:
+            raise AlgorithmError(
+                f"unknown pool kind {pool!r}; known: " + ", ".join(_POOLS)
+            )
+        if workers is not None and workers < 1:
+            raise AlgorithmError(f"workers must be >= 1, got {workers}")
+        self.shards = shards  # validated by ShardPlanner in prepare()
+        self.strategy = strategy
+        self.tiles_per_dim = tiles_per_dim
+        self.pool = pool
+        self.workers = workers
+        self.shm = bool(shm)
+        self._backend_pref = backend
+        self._plan: ShardPlan | None = None
+        self._inner: list = []
+        self._inner_name = "TRS"
+
+    # -- physical design ----------------------------------------------------
+    def prepare(self) -> None:
+        super().prepare()
+        if self._plan is not None:
+            return
+        planner = ShardPlanner(
+            self.shards, strategy=self.strategy, tiles_per_dim=self.tiles_per_dim
+        )
+        plan = planner.plan(self.dataset)
+        from repro.core.registry import get_algorithm
+        from repro.kernels import resolve_algorithm
+
+        self._inner_name = resolve_algorithm("TRS", self._backend_pref, self.dataset)
+        cls = get_algorithm(self._inner_name)
+        self.backend = cls.backend
+        inner = []
+        for shard in plan.shards:
+            algo = cls(
+                shard.dataset,
+                budget=self.budget,
+                page_bytes=self.page_bytes,
+                trace_checks=self.trace_checks,
+            )
+            algo.prepare()
+            inner.append(algo)
+        self._inner = inner
+        self._plan = plan
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        self.prepare()
+        assert self._plan is not None
+        return self._plan
+
+    # -- query processing ----------------------------------------------------
+    def run(self, query: tuple) -> ShardedRSResult:
+        """Answer one reverse-skyline query through the scatter-gather
+        protocol. Overrides the base ``run``: each shard job stages its
+        own simulated disk, so there is no single algorithm-level disk."""
+        q = self.dataset.validate_query(query)
+        self.prepare()
+        plan = self._plan
+        assert plan is not None
+        policy = self.retry_policy or RetryPolicy()
+        for algo in self._inner:
+            algo.fault_injector = self.fault_injector
+            algo.retry_policy = self.retry_policy
+        total = Stopwatch()
+        with _obs.span(
+            "algorithm.run", algorithm=self.name, shards=plan.num_shards
+        ) as span:
+            with total:
+                pool_cm = self._make_pool()
+                manifests: list = []
+                try:
+                    datasets, manifests = self._publish_shards(plan)
+                    token = _next_token()
+                    with _obs.span("shard.scatter") as scatter_span:
+                        scatter = Stopwatch()
+                        with scatter:
+                            scans = self._run_round(
+                                "scan", q, plan, policy, pool_cm, token,
+                                datasets, manifests,
+                            )
+                        self._graft(scans, scatter_span)
+                    self._raise_failures(scans, "scan")
+                    candidates = self._collect_candidates(plan, scans)
+                    with _obs.span("shard.gather") as gather_span:
+                        gather = Stopwatch()
+                        with gather:
+                            merges = self._run_round(
+                                "merge",
+                                q,
+                                plan,
+                                policy,
+                                pool_cm,
+                                token,
+                                datasets,
+                                manifests,
+                                candidates=candidates,
+                            )
+                        self._graft(merges, gather_span)
+                    self._raise_failures(merges, "merge")
+                finally:
+                    if pool_cm is not None:
+                        pool_cm.shutdown(wait=True)
+                    if manifests:
+                        from repro.exec import shm as _shm
+
+                        for manifest in manifests:
+                            if manifest is not None:
+                                _shm.unlink_manifest(manifest)
+            result = self._assemble(
+                q, plan, scans, merges, candidates, total, scatter, gather
+            )
+            span.annotate("checks", result.stats.checks)
+            span.annotate("page_ios", result.stats.io.total)
+            span.annotate("results", result.stats.result_count)
+        if _obs.enabled:
+            _obs.record_query(self.name, result.stats)
+        return result
+
+    def _execute(self, disk, data_file, query, stats):  # pragma: no cover
+        raise AlgorithmError(
+            f"{self.name} drives its own scatter-gather execution; "
+            "call run() instead"
+        )
+
+    # -- round orchestration -------------------------------------------------
+    def _make_pool(self):
+        if self.pool != "process":
+            return None
+        workers = self.workers or min(self.shards, os.cpu_count() or 1)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _publish_shards(self, plan: ShardPlan):
+        """For process pools with ``shm`` on: one manifest per shard,
+        published once and reused by both rounds. Returns the pickled
+        dataset (or ``None``) and the manifest (or ``None``) per shard."""
+        datasets: list = [shard.dataset for shard in plan.shards]
+        manifests: list = [None] * plan.num_shards
+        if self.pool == "process" and self.shm:
+            from repro.exec import shm as _shm
+
+            for k, shard in enumerate(plan.shards):
+                manifest = _shm.publish_dataset(shard.dataset)
+                manifests[k] = manifest
+                if manifest is not None:
+                    datasets[k] = None
+                elif _obs.enabled:
+                    _obs.inc("repro_shm_fallbacks_total")
+        return datasets, manifests
+
+    def _run_round(
+        self,
+        phase: str,
+        query: tuple,
+        plan: ShardPlan,
+        policy: RetryPolicy,
+        pool_cm,
+        token: str,
+        datasets: list,
+        manifests: list,
+        *,
+        candidates: list | None = None,
+    ) -> list[_ShardOutcome]:
+        """Fan one round's shard jobs over the configured pool; outcomes
+        come back in shard order on every pool kind."""
+        foreign = self._foreign_sets(plan, candidates) if phase == "merge" else None
+
+        if self.pool == "process":
+            injector = self.fault_injector
+            jobs = [
+                _ShardJob(
+                    token=token,
+                    shard_index=k,
+                    phase=phase,
+                    query=query,
+                    record_ids=plan.shards[k].record_ids,
+                    dataset=datasets[k],
+                    manifest=None if datasets[k] is not None else manifests[k],
+                    inner_name=self._inner_name,
+                    budget_pages=self.budget.pages,
+                    page_bytes=self.page_bytes,
+                    trace_checks=self.trace_checks,
+                    foreign=foreign[k] if foreign is not None else (),
+                    fault_plan=injector.plan if injector is not None else None,
+                    fault_seed=injector.seed if injector is not None else 0,
+                    retry_args={
+                        "max_attempts": policy.max_attempts,
+                        "base_delay_s": policy.base_delay_s,
+                        "multiplier": policy.multiplier,
+                        "max_delay_s": policy.max_delay_s,
+                    },
+                    obs_enabled=_obs.enabled,
+                )
+                for k in range(plan.num_shards)
+            ]
+            return list(pool_cm.map(_run_shard_job, jobs, chunksize=1))
+
+        def run_one(k: int) -> _ShardOutcome:
+            return _execute_shard_phase(
+                self._inner[k],
+                k,
+                phase,
+                query,
+                plan.shards[k].record_ids,
+                foreign[k] if foreign is not None else (),
+                self.fault_injector,
+                policy,
+            )
+
+        indices = range(plan.num_shards)
+        if self.pool == "thread" and plan.num_shards > 1:
+            workers = self.workers or min(plan.num_shards, 4)
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            ) as tpool:
+                return list(tpool.map(run_one, indices))
+        return [run_one(k) for k in indices]
+
+    def _foreign_sets(self, plan: ShardPlan, candidates: list) -> list[tuple]:
+        """Per shard: every candidate owned by a *different* shard."""
+        out: list[tuple] = []
+        for k in range(plan.num_shards):
+            out.append(
+                tuple(
+                    (gid, values)
+                    for owner, gid, values in candidates
+                    if owner != k
+                )
+            )
+        return out
+
+    def _collect_candidates(
+        self, plan: ShardPlan, scans: list[_ShardOutcome]
+    ) -> list[tuple]:
+        """The exchanged candidate set: ``(owner_shard, gid, values)``
+        triples in deterministic (shard, gid) order."""
+        candidates: list[tuple] = []
+        for outcome in scans:
+            for gid in outcome.ids:
+                candidates.append(
+                    (outcome.shard_index, gid, self.dataset.records[gid])
+                )
+        return candidates
+
+    def _graft(self, outcomes: list[_ShardOutcome], parent_span) -> None:
+        if not _obs.enabled:
+            return
+        for outcome in outcomes:  # shard order: deterministic trace tree
+            if outcome.trace:
+                _obs.adopt_job_trace(
+                    outcome.trace,
+                    parent_id=getattr(parent_span, "span_id", None),
+                )
+            if outcome.metrics is not None:
+                _obs.registry().merge(outcome.metrics)
+
+    def _raise_failures(self, outcomes: list[_ShardOutcome], phase: str) -> None:
+        failed = [o for o in outcomes if o.error is not None]
+        if failed:
+            detail = "; ".join(
+                f"shard {o.shard_index}: {o.error}" for o in failed
+            )
+            raise AlgorithmError(
+                f"{self.name}: {len(failed)} {phase} job(s) failed past "
+                f"recovery — {detail}"
+            )
+
+    # -- result assembly -----------------------------------------------------
+    def _assemble(
+        self,
+        query: tuple,
+        plan: ShardPlan,
+        scans: list[_ShardOutcome],
+        merges: list[_ShardOutcome],
+        candidates: list[tuple],
+        total: Stopwatch,
+        scatter: Stopwatch,
+        gather: Stopwatch,
+    ) -> ShardedRSResult:
+        killed: set[int] = set()
+        for outcome in merges:
+            killed.update(outcome.ids)
+        final = sorted(
+            gid for _, gid, _ in candidates if gid not in killed
+        )
+        owned_final = [0] * plan.num_shards
+        for gid in final:
+            owned_final[plan.shard_of[gid]] += 1
+        shard_stats = []
+        for k in range(plan.num_shards):
+            part = CostStats()
+            part.add(scans[k].stats)
+            part.add(merges[k].stats)
+            part.result_count = owned_final[k]
+            shard_stats.append(
+                ShardStats(
+                    index=k,
+                    records=len(plan.shards[k]),
+                    local_candidates=len(scans[k].ids),
+                    killed=len(merges[k].ids),
+                    scan_wall_s=scans[k].wall_s,
+                    merge_wall_s=merges[k].wall_s,
+                    stats=part,
+                )
+            )
+        stats = CostStats.merged(part.stats for part in shard_stats)
+        # Elapsed run time, not summed shard work (the parts keep that).
+        stats.wall_time_s = total.elapsed_s
+        return ShardedRSResult(
+            self.name,
+            query,
+            tuple(final),
+            stats,
+            backend=self.backend,
+            shard_stats=tuple(shard_stats),
+            num_shards=plan.num_shards,
+            strategy=plan.strategy,
+            scatter_wall_s=scatter.elapsed_s,
+            gather_wall_s=gather.elapsed_s,
+        )

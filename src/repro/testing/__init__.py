@@ -1,7 +1,8 @@
 """Public verification toolkit for reverse-skyline implementations.
 
 Public surface: :func:`verify_algorithm`, :func:`verify_executor`,
-:func:`verify_chaos_equivalence`, :func:`random_workload`,
+:func:`verify_chaos_equivalence`, :func:`verify_sharded_equivalence`,
+:func:`random_workload`,
 :class:`WorkloadCase`, :class:`VerificationReport`,
 :class:`VerificationFailure`, :class:`ChaosReport`, :class:`ChaosFailure`.
 """
@@ -11,6 +12,7 @@ from repro.testing.chaos import (
     ChaosReport,
     verify_chaos_equivalence,
 )
+from repro.testing.differential import verify_sharded_equivalence
 from repro.testing.verify import (
     VerificationFailure,
     VerificationReport,
@@ -30,4 +32,5 @@ __all__ = [
     "verify_algorithm",
     "verify_chaos_equivalence",
     "verify_executor",
+    "verify_sharded_equivalence",
 ]

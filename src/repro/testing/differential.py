@@ -1,0 +1,149 @@
+"""Oracle-differential harness for sharded scatter-gather execution.
+
+Sharding must be **invisible** in the answer: for any dataset, query,
+shard count and backend, the sharded run has to return the exact record
+ids the unsharded oracle returns — same set, same order — and its cost
+accounting has to decompose exactly into the per-shard parts it reports.
+This module verifies that behaviourally, the same way
+:mod:`repro.testing.verify` does for single-partition algorithms: a
+storm of randomized workloads, each replayed across every shard count
+and backend, with three invariants asserted per run:
+
+- **bit-identical results** against the pruner oracle
+  (:func:`repro.skyline.oracle.reverse_skyline_by_pruners`);
+- **exact cost decomposition**: ``CostStats.merged`` over the reported
+  per-shard stats equals the global stats on every counter — pruner
+  candidates, dominance checks, phase-2 IO, result count — except wall
+  time (shard walls sum to total *work*, the global wall is elapsed
+  time);
+- **exact partitioning**: the shard plan covers every record id exactly
+  once (:meth:`~repro.shard.planner.ShardPlan.check_partition`).
+
+    report = verify_sharded_equivalence(trials=50, seed=0)
+    assert report.ok, report.failures[0]
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+from repro.testing.verify import (
+    VerificationFailure,
+    VerificationReport,
+    random_workload,
+)
+
+__all__ = ["verify_sharded_equivalence"]
+
+#: CostStats counters that must decompose exactly across shards.
+#: ``wall_time_s`` is deliberately absent: per-shard walls sum to total
+#: work, while the global figure is elapsed time under the stopwatch.
+_EXACT_COUNTERS = (
+    "checks_phase1",
+    "checks_phase2",
+    "pruner_tests",
+    "phase1_pruned",
+    "intermediate_count",
+    "phase1_batches",
+    "phase2_batches",
+    "db_passes",
+    "result_count",
+)
+
+
+def _cost_mismatch(result) -> str | None:
+    """Return a description of the first violated cost invariant, if any."""
+    from repro.core.base import CostStats
+
+    merged = CostStats.merged(part.stats for part in result.shard_stats)
+    for counter in _EXACT_COUNTERS:
+        want = getattr(merged, counter)
+        have = getattr(result.stats, counter)
+        if want != have:
+            return f"{counter}: shards sum to {want}, global reports {have}"
+    if merged.io != result.stats.io:
+        return f"io: shards sum to {merged.io}, global reports {result.stats.io}"
+    return None
+
+
+def verify_sharded_equivalence(
+    *,
+    trials: int = 50,
+    seed: int = 0,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    backends: tuple[str | None, ...] = ("python", "numpy"),
+    strategy: str = "auto",
+    max_failures: int = 5,
+) -> VerificationReport:
+    """Replay ``trials`` randomized workloads through ``SGTRS`` for every
+    shard count and backend, asserting bit-identical results against the
+    unsharded pruner oracle plus the exact cost-decomposition and
+    partition invariants (module docstring).
+
+    Each (trial, K, backend) combination is an independent run; the
+    first divergence per combination is recorded as a
+    :class:`~repro.testing.verify.VerificationFailure` carrying the full
+    reproducible :class:`~repro.testing.verify.WorkloadCase`.
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be >= 1, got {trials}")
+    if not shard_counts or any(k < 1 for k in shard_counts):
+        raise ExperimentError(
+            f"shard_counts must be positive, got {shard_counts!r}"
+        )
+    from repro.core.registry import make_algorithm
+
+    report = VerificationReport()
+    for t in range(trials):
+        case = random_workload(seed + t)
+        expected = tuple(reverse_skyline_by_pruners(case.dataset, case.query))
+        report.trials += 1
+        for shards in shard_counts:
+            for backend in backends:
+                try:
+                    algo = make_algorithm(
+                        "SGTRS",
+                        case.dataset,
+                        backend=backend,
+                        shards=shards,
+                        strategy=strategy,
+                        budget=MemoryBudget(case.budget_pages),
+                        page_bytes=case.page_bytes,
+                    )
+                    algo.prepare()
+                    # Raises AlgorithmError when the plan is not a partition.
+                    algo.shard_plan.check_partition(len(case.dataset))
+                    result = algo.run(case.query)
+                    got = tuple(result.record_ids)
+                except Exception as exc:  # noqa: BLE001 - the point is to report it
+                    report.failures.append(
+                        VerificationFailure(
+                            case,
+                            expected,
+                            None,
+                            error=f"K={shards}, backend={backend}: {exc!r}",
+                        )
+                    )
+                else:
+                    if got != expected:
+                        report.failures.append(
+                            VerificationFailure(case, expected, got)
+                        )
+                    else:
+                        mismatch = _cost_mismatch(result)
+                        if mismatch is not None:
+                            report.failures.append(
+                                VerificationFailure(
+                                    case,
+                                    expected,
+                                    got,
+                                    error=(
+                                        f"K={shards}, backend={backend}: "
+                                        f"cost invariant violated — {mismatch}"
+                                    ),
+                                )
+                            )
+                if len(report.failures) >= max_failures:
+                    return report
+    return report

@@ -30,7 +30,12 @@ class TileGrid:
         Number of stripes per attribute (clamped to the attribute's
         cardinality for small categorical domains).
     numeric_bounds:
-        ``attribute_index -> (lo, hi)`` for numeric attributes.
+        ``attribute_index -> (lo, hi)`` for numeric attributes. Degenerate
+        bounds (``lo == hi`` — a constant column) collapse the dimension
+        to a single zero-width stripe instead of erroring: every record
+        maps to coordinate 0 there and the dimension contributes nothing
+        to the Morton index, which is exactly the clustering a constant
+        attribute deserves.
     """
 
     def __init__(
@@ -54,9 +59,9 @@ class TileGrid:
                         f"numeric attribute {attr.name!r} needs bounds for tiling"
                     )
                 lo, hi = self._numeric_bounds[i]
-                if lo >= hi:
-                    raise AlgorithmError(f"empty numeric bounds for {attr.name!r}")
-                self._dim_tiles.append(tiles_per_dim)
+                if lo > hi:
+                    raise AlgorithmError(f"inverted numeric bounds for {attr.name!r}")
+                self._dim_tiles.append(1 if lo == hi else tiles_per_dim)
         self._bits = bits_needed(max(self._dim_tiles) - 1)
 
     @classmethod
@@ -68,8 +73,7 @@ class TileGrid:
                 column = [r[i] for r in dataset.records]
                 if not column:
                     raise AlgorithmError("cannot derive numeric bounds from empty data")
-                lo, hi = min(column), max(column)
-                bounds[i] = (lo, hi if hi > lo else lo + 1.0)
+                bounds[i] = (min(column), max(column))
         return cls(dataset.schema, tiles_per_dim, bounds)
 
     def tile_of(self, values: tuple) -> tuple[int, ...]:
@@ -81,8 +85,11 @@ class TileGrid:
                 coord = values[i] * stripes // attr.cardinality
             else:
                 lo, hi = self._numeric_bounds[i]
-                frac = (values[i] - lo) / (hi - lo)
-                coord = min(stripes - 1, max(0, int(frac * stripes)))
+                if lo == hi:
+                    coord = 0
+                else:
+                    frac = (values[i] - lo) / (hi - lo)
+                    coord = min(stripes - 1, max(0, int(frac * stripes)))
             coords.append(coord)
         return tuple(coords)
 

@@ -1,0 +1,518 @@
+"""Sharded scatter-gather reverse skylines (repro.shard).
+
+Covers the partitioner invariants, oracle equivalence across shard
+counts / strategies / backends / pools, the exact cost-decomposition
+invariant, the differential and chaos harness integration (including a
+killed shard job), per-shard shared-memory manifests, observability
+grafting, and dispatch through registry / engine / executor / CLI.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import CostStats
+from repro.core.registry import make_algorithm
+from repro.core.trs import TRS
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.errors import AlgorithmError
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.shard import (
+    ScatterGatherTRS,
+    ShardedRSResult,
+    ShardPlanner,
+)
+from repro.skyline.oracle import reverse_skyline_by_pruners
+from repro.storage.disk import MemoryBudget
+from repro.testing import verify_sharded_equivalence
+from repro.testing.verify import random_workload
+
+
+def no_sleep(_):
+    pass
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(240, [6, 5, 4], seed=17)
+
+
+@pytest.fixture(scope="module")
+def oracle(ds):
+    return tuple(reverse_skyline_by_pruners(ds, (1, 2, 0)))
+
+
+QUERY = (1, 2, 0)
+
+
+class TestShardPlanner:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_partition_invariant(self, ds, k):
+        plan = ShardPlanner(k).plan(ds)
+        plan.check_partition(len(ds))  # raises on violation
+        assert plan.num_shards == k
+        sizes = [len(s) for s in plan.shards]
+        assert sum(sizes) == len(ds)
+        assert max(sizes) - min(sizes) <= 1  # near-equal chunks
+
+    def test_zorder_chunks_are_contiguous_on_the_curve(self, ds):
+        from repro.tiling.tiles import TileGrid
+
+        plan = ShardPlanner(4, strategy="zorder").plan(ds)
+        assert plan.strategy == "zorder"
+        grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
+        # Max z-index of shard k never exceeds min z-index of shard k+1.
+        ranges = []
+        for shard in plan.shards:
+            zs = [grid.z_index(ds.records[rid]) for rid in shard.record_ids]
+            ranges.append((min(zs), max(zs)))
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi <= lo
+
+    def test_round_robin_deals_cyclically(self, ds):
+        plan = ShardPlanner(3, strategy="round-robin").plan(ds)
+        assert plan.strategy == "round-robin"
+        for shard in plan.shards:
+            assert all(rid % 3 == shard.index for rid in shard.record_ids)
+
+    def test_auto_falls_back_when_tiling_degenerates(self):
+        # Numeric bounds cannot be derived from empty data, so the tile
+        # grid fails and auto falls back to round-robin.
+        from repro.data.dataset import Dataset
+        from repro.data.synthetic import mixed_dataset
+
+        base = mixed_dataset(10, [4], [(0.0, 1.0)], seed=1)
+        empty = Dataset(base.schema, [], base.space, validate=False)
+        plan = ShardPlanner(2).plan(empty)
+        assert plan.strategy == "round-robin"
+        assert all(len(s) == 0 for s in plan.shards)
+
+    def test_empty_categorical_dataset_still_plans(self):
+        from repro.data.dataset import Dataset
+
+        base = synthetic_dataset(10, [4, 4], seed=1)
+        empty = Dataset(base.schema, [], base.space, validate=False)
+        plan = ShardPlanner(2).plan(empty)
+        plan.check_partition(0)
+        assert all(len(s) == 0 for s in plan.shards)
+
+    def test_more_shards_than_records_gives_empty_shards(self):
+        tiny = synthetic_dataset(3, [4, 4], seed=2)
+        plan = ShardPlanner(8).plan(tiny)
+        plan.check_partition(3)
+        assert sum(len(s) == 0 for s in plan.shards) == 5
+
+    def test_sub_datasets_carry_global_ids(self, ds):
+        plan = ShardPlanner(4).plan(ds)
+        for shard in plan.shards:
+            for local, gid in enumerate(shard.record_ids):
+                assert shard.dataset.records[local] == ds.records[gid]
+                assert plan.shard_of[gid] == shard.index
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(AlgorithmError, match=">= 1"):
+            ShardPlanner(0)
+        with pytest.raises(AlgorithmError, match="strategy"):
+            ShardPlanner(2, strategy="hash")
+
+
+class TestScatterGatherEquivalence:
+    @pytest.mark.smoke
+    def test_single_shard_matches_trs(self, ds, oracle):
+        trs = TRS(ds, budget=MemoryBudget(8), page_bytes=128)
+        sg = ScatterGatherTRS(ds, shards=1, budget=MemoryBudget(8), page_bytes=128)
+        assert tuple(sg.run(QUERY).record_ids) == tuple(trs.run(QUERY).record_ids)
+        assert tuple(sg.run(QUERY).record_ids) == oracle
+
+    @pytest.mark.smoke
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_oracle_across_shard_counts(self, ds, oracle, k):
+        sg = ScatterGatherTRS(ds, shards=k, budget=MemoryBudget(6), page_bytes=128)
+        result = sg.run(QUERY)
+        assert isinstance(result, ShardedRSResult)
+        assert tuple(result.record_ids) == oracle
+        assert result.num_shards == k
+
+    @pytest.mark.parametrize("strategy", ["zorder", "round-robin"])
+    def test_answer_is_strategy_independent(self, ds, oracle, strategy):
+        sg = ScatterGatherTRS(ds, shards=3, strategy=strategy)
+        assert tuple(sg.run(QUERY).record_ids) == oracle
+
+    @pytest.mark.parametrize("backend", ["python", "numpy", "auto"])
+    def test_backend_applies_to_scan_phase(self, ds, oracle, backend):
+        sg = ScatterGatherTRS(ds, shards=2, backend=backend)
+        result = sg.run(QUERY)
+        assert tuple(result.record_ids) == oracle
+        want = "VectorTRS" if backend in ("numpy", "auto") else "TRS"
+        assert sg._inner_name == want
+
+    @pytest.mark.parametrize("pool", ["thread", "process"])
+    def test_pools_are_bit_identical(self, ds, oracle, pool):
+        sg = ScatterGatherTRS(ds, shards=2, pool=pool, workers=2)
+        try:
+            result = sg.run(QUERY)
+        except (OSError, PermissionError) as exc:
+            pytest.skip(f"no {pool} primitives here: {exc}")
+        assert tuple(result.record_ids) == oracle
+
+    def test_cost_stats_decompose_exactly(self, ds):
+        sg = ScatterGatherTRS(ds, shards=4, budget=MemoryBudget(6), page_bytes=128)
+        result = sg.run(QUERY)
+        merged = CostStats.merged(p.stats for p in result.shard_stats)
+        assert merged.checks_phase1 == result.stats.checks_phase1
+        assert merged.checks_phase2 == result.stats.checks_phase2
+        assert merged.pruner_tests == result.stats.pruner_tests
+        assert merged.result_count == result.stats.result_count == len(
+            result.record_ids
+        )
+        assert merged.io == result.stats.io
+        # Shard walls sum to total work; the global wall is elapsed time.
+        assert result.stats.wall_time_s > 0
+
+    def test_shard_breakdown_is_consistent(self, ds):
+        sg = ScatterGatherTRS(ds, shards=3)
+        result = sg.run(QUERY)
+        assert sum(p.records for p in result.shard_stats) == len(ds)
+        assert sum(p.stats.result_count for p in result.shard_stats) == len(
+            result.record_ids
+        )
+        # Every shard's local candidates bound its final contribution.
+        for part in result.shard_stats:
+            assert part.stats.result_count <= part.local_candidates
+
+    def test_trace_checks_remap_to_global_ids(self, ds):
+        sg = ScatterGatherTRS(ds, shards=3, trace_checks=True)
+        result = sg.run(QUERY)
+        for rid in result.stats.per_object_phase1:
+            assert 0 <= rid < len(ds)
+
+    def test_empty_dataset(self):
+        from repro.data.dataset import Dataset
+
+        base = synthetic_dataset(5, [3, 3], seed=9)
+        empty = Dataset(base.schema, [], base.space, validate=False)
+        sg = ScatterGatherTRS(empty, shards=2)
+        result = sg.run((0, 0))
+        assert result.record_ids == ()
+
+    def test_bad_pool_rejected(self, ds):
+        with pytest.raises(AlgorithmError, match="pool"):
+            ScatterGatherTRS(ds, shards=2, pool="fork-bomb")
+
+
+class TestDifferentialHarness:
+    @pytest.mark.smoke
+    def test_passes_on_randomized_workloads(self):
+        report = verify_sharded_equivalence(trials=6, seed=400)
+        assert report.ok, str(report.failures[0])
+        assert report.trials == 6
+
+    def test_covers_duplicates_across_shard_boundaries(self):
+        # Seeds with duplicate_boost exercise exact-value duplicates that
+        # land on different shards and must prune each other remotely.
+        for seed in range(40):
+            case = random_workload(seed)
+            if len(set(case.dataset.records)) < len(case.dataset.records):
+                break
+        else:  # pragma: no cover - generator guarantees duplicates appear
+            pytest.fail("no duplicate-bearing workload in 40 seeds")
+        expected = tuple(reverse_skyline_by_pruners(case.dataset, case.query))
+        sg = ScatterGatherTRS(
+            case.dataset,
+            shards=3,
+            budget=MemoryBudget(case.budget_pages),
+            page_bytes=case.page_bytes,
+        )
+        assert tuple(sg.run(case.query).record_ids) == expected
+
+    def test_rejects_bad_parameters(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            verify_sharded_equivalence(trials=0)
+        with pytest.raises(ExperimentError):
+            verify_sharded_equivalence(shard_counts=())
+
+
+# --- property-based: the merge protocol against random non-metric tables ----
+
+
+@st.composite
+def sharded_case(draw):
+    import numpy as np
+
+    from repro.data.dataset import Dataset
+    from repro.data.schema import Schema
+    from repro.dissim.generators import random_dissimilarity
+    from repro.dissim.space import DissimilaritySpace
+
+    m = draw(st.integers(1, 3))
+    cards = [draw(st.integers(2, 5)) for _ in range(m)]
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(0, 40))
+    k = draw(st.integers(2, 4))
+    rng = np.random.default_rng(seed)
+    schema = Schema.categorical(cards)
+    space = DissimilaritySpace([random_dissimilarity(c, rng) for c in cards])
+    records = [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+    if records and draw(st.booleans()):  # force cross-shard duplicates
+        records += records[: n // 2]
+    ds = Dataset(schema, records, space, validate=False)
+    query = tuple(int(rng.integers(0, c)) for c in cards)
+    return ds, query, k
+
+
+@given(sharded_case())
+@settings(max_examples=30, deadline=None)
+def test_property_sharded_union_equals_oracle(case):
+    """For random non-metric dissimilarity tables: the union of per-shard
+    reverse skylines, after the pruner-exchange merge, equals the oracle
+    reverse skyline — and the pre-merge candidate union is a superset."""
+    ds, query, k = case
+    expected = tuple(reverse_skyline_by_pruners(ds, query))
+    sg = ScatterGatherTRS(ds, shards=k)
+    result = sg.run(query)
+    assert tuple(result.record_ids) == expected
+    # Scatter-phase candidates (local RS union) must cover the answer.
+    candidates = sum(p.local_candidates for p in result.shard_stats)
+    assert candidates >= len(expected)
+
+
+class TestChaosWithShards:
+    @pytest.mark.smoke
+    def test_chaos_harness_sharded_dimension(self):
+        from repro.testing import verify_chaos_equivalence
+
+        report = verify_chaos_equivalence(
+            trials=4, seed=500, pools=("serial",), shards=2
+        )
+        assert report.ok, str(report.failures[0])
+        assert report.faults_injected > 0
+        assert report.exhausted_queries == 0  # serial recovery guaranteed
+
+    def test_killed_shard_job_recovers_bit_identically(self, ds, oracle):
+        # Storm rate high enough that shard jobs themselves get killed;
+        # max_attempts > max_consecutive guarantees recovery.
+        plan = FaultPlan.storm(0.4)
+        sg = ScatterGatherTRS(ds, shards=3, budget=MemoryBudget(6), page_bytes=128)
+        sg.fault_injector = FaultInjector(plan, seed=11)
+        sg.retry_policy = RetryPolicy(
+            max_attempts=plan.max_consecutive + 2, base_delay_s=0.0, sleep=no_sleep
+        )
+        result = sg.run(QUERY)
+        assert tuple(result.record_ids) == oracle
+        assert sg.fault_injector.stats().total > 0
+
+    def test_dead_shard_degrades_to_structured_error(self, ds):
+        # Crash every attempt: the shard job must exhaust its retries and
+        # surface as a structured AlgorithmError naming the shard — never
+        # a wrong answer, never a raw worker traceback.
+        plan = FaultPlan(crash_rate=1.0, max_consecutive=10)
+        sg = ScatterGatherTRS(ds, shards=2)
+        sg.fault_injector = FaultInjector(plan, seed=3)
+        sg.retry_policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, sleep=no_sleep
+        )
+        with pytest.raises(AlgorithmError, match="shard .*RetryExhaustedError"):
+            sg.run(QUERY)
+
+    def test_engine_degrades_shard_death_to_query_error(self, ds):
+        plan = FaultPlan(crash_rate=1.0, max_consecutive=10)
+        engine = ReverseSkylineEngine(
+            ds,
+            shards=2,
+            log_queries=False,
+            fault_injector=FaultInjector(plan, seed=3),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0, sleep=no_sleep),
+        )
+        batch = engine.query_many([QUERY], pool="serial")
+        assert batch.results[0] is None
+        # Structured degradation: either the executor's own retry loop
+        # exhausts first (RetryExhaustedError) or the shard round reports
+        # the dead shards (AlgorithmError) — never an unstructured abort.
+        error = batch.errors[0]
+        assert error is not None
+        assert error.error_type in ("AlgorithmError", "RetryExhaustedError")
+
+
+class TestSharedMemoryPerShard:
+    @pytest.fixture(autouse=True)
+    def _no_leaks(self):
+        from repro.exec import shm as _shm
+
+        yield
+        for name in _shm.active_segments():
+            _shm.unlink_manifest(name)
+        assert _shm.active_segments() == ()
+        assert not glob.glob("/dev/shm/repro-shm-*")
+
+    def test_publish_dataset_roundtrip(self, ds):
+        from repro.exec import shm as _shm
+
+        plan = ShardPlanner(2).plan(ds)
+        manifest = _shm.publish_dataset(plan.shards[0].dataset)
+        if manifest is None:
+            pytest.skip("shared memory unavailable here")
+        try:
+            rebuilt = _shm.dataset_from_manifest(manifest)
+            assert rebuilt.records == plan.shards[0].dataset.records
+            assert len(_shm.active_segments()) == 1  # one segment per shard
+        finally:
+            _shm.unlink_manifest(manifest)
+
+    def test_process_shm_run_publishes_once_per_shard(self, ds, oracle, monkeypatch):
+        from repro.exec import shm as _shm
+
+        calls = []
+        real = _shm.publish_dataset
+
+        def counting(dataset):
+            calls.append(len(dataset))
+            return real(dataset)
+
+        monkeypatch.setattr(_shm, "publish_dataset", counting)
+        sg = ScatterGatherTRS(ds, shards=2, pool="process", shm=True, workers=2)
+        try:
+            result = sg.run(QUERY)
+        except (OSError, PermissionError) as exc:
+            pytest.skip(f"no process/shm primitives here: {exc}")
+        assert tuple(result.record_ids) == oracle
+        # One manifest per shard, created once and reused by scan + merge.
+        assert len(calls) == 2
+        assert _shm.active_segments() == ()
+
+    def test_no_residue_after_crash_injection(self, ds):
+        from repro.exec import shm as _shm
+
+        plan = FaultPlan.storm(0.5)
+        sg = ScatterGatherTRS(ds, shards=2, pool="process", shm=True, workers=2)
+        sg.fault_injector = FaultInjector(plan, seed=21)
+        sg.retry_policy = RetryPolicy(max_attempts=plan.max_consecutive + 2)
+        try:
+            sg.run(QUERY)
+        except (OSError, PermissionError) as exc:
+            pytest.skip(f"no process/shm primitives here: {exc}")
+        except AlgorithmError:
+            pass  # concurrent interleavings may exhaust retries: still no leak
+        assert _shm.active_segments() == ()
+        assert not glob.glob("/dev/shm/repro-shm-*")
+
+
+class TestObservability:
+    @pytest.fixture
+    def obs_on(self):
+        from repro.obs import hooks
+
+        was = hooks.is_enabled()
+        hooks.enable(reset_state=True)
+        yield hooks
+        hooks.reset()
+        if not was:
+            hooks.disable()
+
+    def test_per_shard_spans_graft_under_round_spans(self, ds, obs_on):
+        from repro.obs.trace import span_tree
+
+        sg = ScatterGatherTRS(ds, shards=2)
+        sg.run(QUERY)
+        records = obs_on.tracer().records()
+        by_name = {}
+        for rec in records:
+            by_name.setdefault(rec.name, []).append(rec)
+        assert len(by_name["shard.scatter"]) == 1
+        assert len(by_name["shard.gather"]) == 1
+        assert len(by_name["shard.scan"]) == 2
+        assert len(by_name["shard.merge"]) == 2
+        tree = span_tree(records)
+        scatter = by_name["shard.scatter"][0]
+        gather = by_name["shard.gather"][0]
+        scan_parents = {r.parent_id for r in by_name["shard.scan"]}
+        merge_parents = {r.parent_id for r in by_name["shard.merge"]}
+        assert scan_parents == {scatter.span_id}
+        assert merge_parents == {gather.span_id}
+        # Shard children appear in shard order (deterministic grafting).
+        scans = [r for r in tree[scatter.span_id] if r.name == "shard.scan"]
+        assert [dict(r.attrs)["shard"] for r in scans] == [0, 1]
+
+    def test_instrumented_run_is_bit_identical(self, ds, oracle, obs_on):
+        sg = ScatterGatherTRS(ds, shards=3)
+        assert tuple(sg.run(QUERY).record_ids) == oracle
+
+    def test_metrics_record_query(self, ds, obs_on):
+        ScatterGatherTRS(ds, shards=2).run(QUERY)
+        snap = obs_on.snapshot()
+        assert any("repro_queries" in name for name in snap.counters)
+
+
+class TestDispatch:
+    def test_make_algorithm_forwards_shards(self, ds, oracle):
+        algo = make_algorithm("SGTRS", ds, shards=3)
+        assert isinstance(algo, ScatterGatherTRS)
+        assert tuple(algo.run(QUERY).record_ids) == oracle
+
+    def test_make_algorithm_backend_and_shards(self, ds):
+        algo = make_algorithm("SGTRS", ds, backend="numpy", shards=2)
+        algo.prepare()
+        assert algo._inner_name == "VectorTRS"
+
+    def test_make_algorithm_rejects_shards_on_unsharded(self, ds):
+        with pytest.raises(AlgorithmError, match="sharded"):
+            make_algorithm("BRS", ds, shards=2)
+
+    def test_engine_auto_upgrades_trs_to_sgtrs(self, ds, oracle):
+        engine = ReverseSkylineEngine(ds, shards=2, log_queries=False)
+        result = engine.query(QUERY)
+        assert result.algorithm == "SGTRS"
+        assert result.num_shards == 2
+        assert tuple(result.record_ids) == oracle
+
+    def test_engine_leaves_other_algorithms_unsharded(self, ds):
+        engine = ReverseSkylineEngine(
+            ds, algorithm="BRS", shards=2, log_queries=False
+        )
+        result = engine.query(QUERY)
+        assert result.algorithm == "BRS"
+
+    def test_executor_batch_matches_sequential(self, ds):
+        engine = ReverseSkylineEngine(ds, shards=2, log_queries=False)
+        reference = ReverseSkylineEngine(ds, log_queries=False)
+        queries = [(1, 2, 0), (0, 0, 0), (5, 4, 3), (1, 2, 0)]
+        batch = engine.query_many(queries, pool="thread", workers=2)
+        for q, result in zip(queries, batch.results):
+            assert tuple(result.record_ids) == tuple(
+                reference.query(q).record_ids
+            )
+
+
+class TestCLI:
+    @pytest.fixture
+    def dataset_dir(self, tmp_path):
+        from repro.persist.format import save_dataset
+
+        ds = synthetic_dataset(80, [5, 4, 3], seed=81)
+        return str(save_dataset(ds, tmp_path / "data"))
+
+    def test_query_with_shards(self, dataset_dir, capsys):
+        from repro.cli import main
+
+        rc = main(["query", dataset_dir, "--query", "1,2,0", "--shards", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "result" in out
+
+    def test_sharded_answer_matches_unsharded(self, dataset_dir, capsys):
+        from repro.cli import main
+
+        rc = main(["query", dataset_dir, "--query", "1,2,0"])
+        assert rc == 0
+        plain = capsys.readouterr().out
+        rc = main(["query", dataset_dir, "--query", "1,2,0", "--shards", "4"])
+        assert rc == 0
+        sharded = capsys.readouterr().out
+        line = next(ln for ln in plain.splitlines() if ln.startswith("result"))
+        assert line in sharded

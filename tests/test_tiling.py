@@ -86,6 +86,33 @@ class TestTileGrid:
         with pytest.raises(AlgorithmError):
             TileGrid(ds.schema, 0)
 
+    def test_constant_numeric_column_collapses_to_one_stripe(self):
+        # Regression: a numeric attribute with a single distinct value used
+        # to produce zero-width tile bins. It must collapse to one stripe.
+        ds = mixed_dataset(30, [4], [(0.0, 10.0)], seed=7)
+        records = [(r[0], 5.0) for r in ds.records]
+        from repro.data.dataset import Dataset
+
+        const = Dataset(ds.schema, records, ds.space, validate=False, name="const")
+        grid = TileGrid.for_dataset(const, tiles_per_dim=4)
+        assert grid.num_tiles == 4  # 4 categorical stripes x 1 numeric stripe
+        coords = {grid.tile_of(r)[1] for r in const.records}
+        assert coords == {0}
+        # And the Morton index still works (no division by zero).
+        for r in const.records[:5]:
+            assert grid.z_index(r) >= 0
+
+    def test_explicit_degenerate_bounds_accepted(self):
+        ds = mixed_dataset(10, [4], [(0.0, 1.0)], seed=2)
+        grid = TileGrid(ds.schema, 4, numeric_bounds={1: (5.0, 5.0)})
+        assert grid.tile_of((2, 5.0))[1] == 0
+        assert grid.tile_of((2, 99.0))[1] == 0  # out-of-range clamps too
+
+    def test_inverted_numeric_bounds_rejected(self):
+        ds = mixed_dataset(10, [4], [(0.0, 1.0)], seed=2)
+        with pytest.raises(AlgorithmError, match="inverted"):
+            TileGrid(ds.schema, 4, numeric_bounds={1: (2.0, 1.0)})
+
     def test_z_index_consistent_with_tile(self):
         ds = synthetic_dataset(100, [8, 8], seed=3)
         grid = TileGrid.for_dataset(ds, tiles_per_dim=4)
