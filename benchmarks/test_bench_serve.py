@@ -1,0 +1,214 @@
+"""Resident-service throughput benchmark — the serving CI gate.
+
+Drives the real ``repro.serve`` stack (background server, real
+sockets, the closed-loop load driver) at 1, 4 and 16 concurrent
+clients over *distinct* queries with the result cache off, and writes
+``BENCH_serve.json`` at the repository root.
+
+This machine has one core, so the multi-client gain cannot come from
+parallelism: it comes from the micro-batcher coalescing concurrent
+strangers into shared multi-query scans (one scan amortised over the
+whole window — the PR-5 planner's economics applied continuously).
+The single-client run cannot coalesce (closed loop: its next query
+only exists after its previous answer) and sets the baseline; the
+gate requires 16 clients to deliver ``MIN_CLIENT_SCALING``x its qps.
+
+Also measured: warm vs cold plan-cache first-request latency, and a
+deliberately saturated run (tiny admission queue) proving overload
+turns into typed sheds with retry-after hints, not unbounded latency.
+
+Answers served under concurrency are checked bit-identical to the
+sequential engine before any timing counts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.experiments.tables import format_table
+from repro.experiments.workloads import scale_factor, scaled
+from repro.serve import (
+    ServeClient,
+    ServiceConfig,
+    run_closed_loop,
+    serve_in_background,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_serve.json"
+
+#: The CI gate: minimum 16-client qps over 1-client qps.
+MIN_CLIENT_SCALING = 3.0
+
+CLIENT_POINTS = ((1, 24), (4, 12), (16, 8))  # (clients, requests each)
+WINDOW_S = 0.005
+
+
+def _dataset():
+    return synthetic_dataset(scaled(3000), [8, 8, 6, 6], seed=77)
+
+
+def _queries():
+    """64 distinct queries — concurrent clients never repeat each
+    other's requests, so coalescing (not memoisation) is what's timed."""
+    return [(i % 8, (i // 2) % 8, i % 6, (i // 3) % 6) for i in range(64)]
+
+
+def _fresh_server(ds, **overrides):
+    base = dict(
+        pool="thread", workers=2, batch_window_s=WINDOW_S, cache=False
+    )
+    base.update(overrides)
+    config = ServiceConfig(**base)
+    engine = ReverseSkylineEngine(ds, algorithm="TRS", log_queries=False)
+    return serve_in_background(engine, config)
+
+
+def test_bench_serve_throughput(emit):
+    ds = _dataset()
+    queries = _queries()
+
+    # -- correctness before timing: served answers == sequential engine
+    oracle = ReverseSkylineEngine(ds, algorithm="TRS", log_queries=False)
+    handle = _fresh_server(ds)
+    try:
+        with ServeClient("127.0.0.1", handle.port) as client:
+            for q in queries[:6]:
+                resp = client.query(q)
+                assert resp["ok"]
+                assert resp["records"] == list(oracle.query(q).record_ids)
+    finally:
+        handle.stop()
+
+    # -- client scaling sweep (fresh server per point: no carry-over) --
+    measurements = []
+    for clients, rpc in CLIENT_POINTS:
+        handle = _fresh_server(ds)
+        try:
+            report = run_closed_loop(
+                "127.0.0.1",
+                handle.port,
+                queries,
+                clients=clients,
+                requests_per_client=rpc,
+            )
+        finally:
+            handle.stop()
+        assert report.failed == 0 and report.shed == 0
+        assert report.ok == clients * rpc
+        row = report.as_dict()
+        row["coalesced"] = row.pop("planned")
+        measurements.append(row)
+
+    qps1 = measurements[0]["qps"]
+    for row in measurements:
+        row["scaling_vs_one_client"] = row["qps"] / qps1
+
+    # -- warm vs cold plan cache: first coalesced burst ----------------
+    # The plan cache only matters on the shared-scan path, so the probe
+    # is a 4-client burst (one group scan), and the process-wide cache
+    # is emptied first — otherwise "cold" inherits the sweep's plans.
+    import time as _time
+
+    from repro.kernels.plancache import configure as _reset_plan_cache
+
+    first_ms = {}
+    for label, plan in (("cold", False), ("warm", True)):
+        _reset_plan_cache(256 * 1024 * 1024)
+        handle = _fresh_server(ds, plan=plan)
+        try:
+            t0 = _time.perf_counter()
+            burst = run_closed_loop(
+                "127.0.0.1",
+                handle.port,
+                queries,
+                clients=4,
+                requests_per_client=1,
+            )
+            first_ms[label] = (_time.perf_counter() - t0) * 1000.0
+            assert burst.ok == 4 and burst.planned == 4
+        finally:
+            handle.stop()
+    _reset_plan_cache(256 * 1024 * 1024)
+
+    # -- saturation: overload must shed (typed), not queue unboundedly -
+    handle = _fresh_server(ds, workers=1, queue_depth=2, batch_window_s=0.05)
+    try:
+        saturated = run_closed_loop(
+            "127.0.0.1", handle.port, queries, clients=16, requests_per_client=4
+        )
+    finally:
+        handle.stop()
+    assert saturated.shed > 0, "saturated service must shed load"
+    assert all(r > 0 for r in saturated.retry_after_s)
+    assert saturated.failed == 0
+
+    doc = {
+        "workload": {
+            "dataset": ds.describe(),
+            "records": len(ds),
+            "attributes": ds.num_attributes,
+            "distinct_queries": len(queries),
+            "result_cache": False,
+            "batch_window_ms": WINDOW_S * 1000,
+            "pool": "thread x 2",
+            "repro_scale": scale_factor(),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": 1,
+        },
+        "model": (
+            "closed-loop clients over real sockets; multi-client gain is "
+            "micro-batch coalescing into shared scans, not parallelism"
+        ),
+        "gate": {"min_16_client_scaling": MIN_CLIENT_SCALING},
+        "measurements": measurements,
+        "plan_cache_first_burst_ms": {
+            "warm": round(first_ms["warm"], 3),
+            "cold": round(first_ms["cold"], 3),
+        },
+        "saturation": saturated.as_dict(),
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    rows = [
+        [
+            str(m["clients"]),
+            f"{m['qps']:.0f}",
+            f"{m['p50_ms']:.1f}",
+            f"{m['p95_ms']:.1f}",
+            f"{m['p99_ms']:.1f}",
+            str(m["coalesced"]),
+            f"{m['scaling_vs_one_client']:.2f}x",
+        ]
+        for m in measurements
+    ]
+    emit(
+        "bench_serve",
+        "Resident service: closed-loop scaling, 64 distinct queries, cache off",
+        format_table(
+            ["clients", "qps", "p50 ms", "p95 ms", "p99 ms",
+             "coalesced", "scaling"],
+            rows,
+        )
+        + (
+            f"\nfirst coalesced burst: warm plans {first_ms['warm']:.1f} ms, "
+            f"cold plans {first_ms['cold']:.1f} ms"
+            f"\nsaturated (queue_depth=2): {saturated.ok} ok, "
+            f"{saturated.shed} shed with retry-after, p95 "
+            f"{saturated.p95_ms:.1f} ms"
+            f"\n(canonical artifact: {BENCH_PATH.name})"
+        ),
+    )
+
+    c16 = next(m for m in measurements if m["clients"] == 16)
+    assert c16["scaling_vs_one_client"] >= MIN_CLIENT_SCALING, (
+        f"16-client scaling {c16['scaling_vs_one_client']:.2f}x is below the "
+        f"{MIN_CLIENT_SCALING}x gate — micro-batch coalescing regressed"
+    )

@@ -242,6 +242,88 @@ def _write_obs_artifacts(args, prof) -> None:
         print(f"metrics     : prometheus exposition -> {args.metrics_out}")
 
 
+def _cmd_serve(args) -> int:
+    """Run the resident query service until shutdown."""
+    from repro.engine import ReverseSkylineEngine
+    from repro.serve import ServiceConfig
+    from repro.serve.server import run_server
+
+    ds = load_dataset(args.dataset)
+    engine = ReverseSkylineEngine(
+        ds,
+        algorithm=args.algorithm,
+        memory_fraction=args.memory,
+        backend=args.backend,
+        log_queries=True,
+    )
+    config = ServiceConfig(
+        pool=args.pool,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        tenant_rate=args.rate,
+        tenant_burst=args.burst,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        plan=args.plan,
+        shm=args.shm,
+        cache=not args.no_cache,
+    )
+    print(
+        f"serving {ds.describe()} on {args.host}:{args.port or '<ephemeral>'} "
+        f"({config.pool} x {config.workers}, window {args.window_ms}ms)"
+    )
+    run_server(
+        engine,
+        config,
+        host=args.host,
+        port=args.port,
+        max_requests=args.max_requests,
+        port_file=args.port_file,
+    )
+    return 0
+
+
+def _cmd_serve_load(args) -> int:
+    """Closed-loop load driver against a running serve endpoint."""
+    from repro.serve.client import run_closed_loop
+
+    ds = load_dataset(args.dataset)
+    texts = list(args.queries or [])
+    if args.queries_file:
+        try:
+            with open(args.queries_file, encoding="utf-8") as fh:
+                texts += [line.strip() for line in fh if line.strip()]
+        except OSError as exc:
+            raise ReproError(f"cannot read --queries-file: {exc}") from exc
+    if texts:
+        queries = [_parse_query(text, ds) for text in texts]
+    else:
+        queries = list(queries_for(ds, args.auto_queries))
+    report = run_closed_loop(
+        args.host,
+        args.port,
+        queries,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        tenant_per_client=args.tenant_per_client,
+        deadline_ms=args.deadline_ms,
+    )
+    d = report.as_dict()
+    print(f"clients     : {d['clients']} x {args.requests} requests")
+    print(f"outcomes    : {d['ok']} ok, {d['shed']} shed, "
+          f"{d['deadline']} deadline, {d['failed']} failed")
+    print(f"throughput  : {d['qps']:.1f} qps over {d['wall_s'] * 1000:.0f} ms")
+    print(f"latency     : p50 {d['p50_ms']:.2f} ms, p95 {d['p95_ms']:.2f} ms, "
+          f"p99 {d['p99_ms']:.2f} ms")
+    print(f"server path : {d['planned']} shared-scan, {d['cached']} cached")
+    if "retry_after_min_s" in d:
+        print(f"retry-after : {d['retry_after_min_s']}s .. {d['retry_after_max_s']}s")
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     """Run an instrumented batch and emit the metrics exposition."""
     from repro.engine import ReverseSkylineEngine
@@ -469,6 +551,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the batch's metrics in Prometheus exposition format",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="run the resident query service over a dataset"
+    )
+    serve.add_argument("dataset")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; see --port-file)")
+    serve.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TRS")
+    serve.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="compute backend preference for the warm engine",
+    )
+    serve.add_argument("--memory", type=float, default=0.10)
+    serve.add_argument("--pool", choices=("thread", "process"), default="thread")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admitted-but-unfinished requests before shedding")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batch collection window")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-tenant token-bucket refill (req/s; 0 = off)")
+    serve.add_argument("--burst", type=float, default=0.0,
+                       help="per-tenant bucket capacity (default max(1, rate))")
+    serve.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="default per-request deadline (0 = unbounded)")
+    serve.add_argument(
+        "--plan", action=argparse.BooleanOptionalAction, default=True,
+        help="warm the numpy plan cache and coalesce via shared scans",
+    )
+    serve.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=True,
+        help="process pool: feed workers through shared memory",
+    )
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="shut down after N query responses (CI/tests)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here once listening")
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "serve-load", help="drive closed-loop load against a serve endpoint"
+    )
+    load.add_argument("dataset", help="dataset the server is serving "
+                      "(for query parsing/generation)")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument("--queries", nargs="+", help="comma-separated query objects")
+    load.add_argument("--queries-file", help="file with one query per line")
+    load.add_argument("--auto-queries", type=int, default=16,
+                      help="generate N workload queries when none are given")
+    load.add_argument("--clients", type=int, default=4)
+    load.add_argument("--requests", type=int, default=25,
+                      help="requests per client")
+    load.add_argument("--deadline-ms", type=float, default=None)
+    load.add_argument("--tenant-per-client", action="store_true",
+                      help="each client claims its own tenant id")
+    load.set_defaults(func=_cmd_serve_load)
 
     metrics = sub.add_parser(
         "metrics", help="run an instrumented batch and emit its metrics"

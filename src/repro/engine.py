@@ -424,6 +424,18 @@ class ReverseSkylineEngine:
             queries, kind=kind, k=k, algorithm=algorithm, attributes=attributes
         )
 
+    def warm(self, *, algorithm: str | None = None, plans: bool = False) -> None:
+        """Pay the one-time preparation cost up front (layout sort, tree
+        build, optionally the numpy phase-1/scan plans) so the first real
+        query does not. The resident service (:mod:`repro.serve`) calls
+        this at startup; it is also what makes ``fork``-style pool
+        workers inherit warm plans for free."""
+        self._algorithm(algorithm or self.default_algorithm)
+        if plans:
+            from repro.exec.executor import _warm_plan_cache
+
+            _warm_plan_cache(self)
+
     def result_cache(self):
         """The engine-owned result cache (created on first use)."""
         if self._result_cache is None:

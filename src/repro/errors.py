@@ -75,6 +75,41 @@ class RetryExhaustedError(ReproError):
         self.last_error = last_error
 
 
+class ServiceError(ReproError):
+    """A resident query-service request failed before/around execution
+    (admission, deadline, shutdown — see :mod:`repro.serve`)."""
+
+
+class OverloadError(ServiceError):
+    """The service shed this request instead of queueing it unboundedly.
+
+    Carries ``retry_after_s`` — the client's backpressure signal: how
+    long to wait before retrying — and the shedding ``reason``
+    (``"queue-full"``, ``"tenant-throttled"``, ``"shutdown"``).
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_s: float, reason: str = "queue-full"
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.reason = reason
+
+
+class DeadlineError(ServiceError):
+    """A request's deadline expired before its answer was produced.
+
+    ``stage`` names where the deadline hit: ``"queue"`` (dropped before
+    any work ran), ``"dispatch"`` (dropped at the worker just before
+    execution) or ``"execute"`` (the response timed out while the pool
+    was computing; the discarded result is thrown away).
+    """
+
+    def __init__(self, message: str, *, stage: str = "execute") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
 class MemoryBudgetError(ReproError):
     """The configured memory budget is too small for the requested operation
     (for example, smaller than a single disk page)."""

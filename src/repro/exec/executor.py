@@ -44,7 +44,7 @@ from repro.exec.merge import BatchReport, QueryError, merge_batch
 from repro.faults.retry import RetryPolicy
 from repro.obs import hooks as _obs
 
-__all__ = ["QuerySpec", "QueryExecutor", "as_spec"]
+__all__ = ["QuerySpec", "QueryExecutor", "as_spec", "planner_group_key"]
 
 #: The only shared-scan family today. Group membership keys on the
 #: *scalar* family name (backends never change answers), so TRS and
@@ -266,6 +266,33 @@ def _process_worker_run_payload(wire):
 
 
 # -- planner group execution --------------------------------------------------
+
+
+def planner_group_key(engine, spec: QuerySpec):
+    """The planner compatibility key for ``spec`` on ``engine``, or
+    ``None`` when it must run as an individual job.
+
+    Groupable means: a plain reverse-skyline query (no skyband k, no
+    attribute subset) whose algorithm resolves into the shared-scan
+    family. The key is ``(layout fingerprint, family, backend)`` —
+    exactly the inputs :class:`SharedScanTRS` answers under, so every
+    member of a group is guaranteed the same answer it would get from
+    its own engine run. Shared by :class:`QueryExecutor` and the
+    resident service's micro-batcher (:mod:`repro.serve.batcher`).
+    """
+    if spec.kind != "query" or spec.attributes is not None:
+        return None
+    from repro.kernels import scalar_variant
+
+    name = spec.algorithm or engine.default_algorithm
+    if scalar_variant(name) != _GROUP_FAMILY:
+        return None
+    if name != scalar_variant(name):
+        # An explicit vector-variant request pins the numpy backend.
+        backend = "numpy"
+    else:
+        backend = getattr(engine, "backend", None) or "auto"
+    return (engine.layout_fingerprint(), _GROUP_FAMILY, backend)
 
 
 def _shared_scan_for(engine, backend):
@@ -675,6 +702,10 @@ class QueryExecutor:
             "base_delay_s": p.base_delay_s,
             "multiplier": p.multiplier,
             "max_delay_s": p.max_delay_s,
+            "jitter": p.jitter,
+            # A None salt stays None on the wire: each worker then jitters
+            # from its *own* pid, which is the whole decorrelation point.
+            "jitter_salt": p.jitter_salt,
         }
 
     def _process_initargs(self, *, warm: bool = False):
@@ -716,29 +747,8 @@ class QueryExecutor:
         )
 
     def _group_key(self, spec: QuerySpec):
-        """The planner compatibility key for ``spec``, or ``None`` when it
-        must run as an individual job.
-
-        Groupable means: a plain reverse-skyline query (no skyband k, no
-        attribute subset) whose algorithm resolves into the shared-scan
-        family. The key is ``(layout fingerprint, family, backend)`` —
-        exactly the inputs :class:`SharedScanTRS` answers under, so every
-        member of a group is guaranteed the same answer it would get from
-        its own engine run.
-        """
-        if spec.kind != "query" or spec.attributes is not None:
-            return None
-        from repro.kernels import scalar_variant
-
-        name = spec.algorithm or self.engine.default_algorithm
-        if scalar_variant(name) != _GROUP_FAMILY:
-            return None
-        if name != scalar_variant(name):
-            # An explicit vector-variant request pins the numpy backend.
-            backend = "numpy"
-        else:
-            backend = getattr(self.engine, "backend", None) or "auto"
-        return (self.engine.layout_fingerprint(), _GROUP_FAMILY, backend)
+        """See :func:`planner_group_key` (shared with the micro-batcher)."""
+        return planner_group_key(self.engine, spec)
 
     def _execute_planned(self, job_specs: list[QuerySpec]):
         """Plan + run the pending jobs: compatible specs are grouped and

@@ -44,6 +44,7 @@ import atexit
 import itertools
 import os
 import secrets
+import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
@@ -56,7 +57,9 @@ __all__ = [
     "ShmManifest",
     "active_segments",
     "attach_arrays",
+    "attached_segments",
     "dataset_from_manifest",
+    "detach_manifest",
     "publish_arrays",
     "publish_dataset",
     "publish_engine",
@@ -66,6 +69,13 @@ __all__ = [
 
 SHM_PREFIX = "repro-shm-"
 _ALIGN = 64
+
+#: Guards ``_OWNED``/``_ATTACHED`` mutation and — critically — the
+#: pre-3.13 ``resource_tracker.register`` monkey-patch in
+#: :func:`attach_arrays`: two threads attaching concurrently without it
+#: can capture the no-op as ``orig`` and restore it permanently,
+#: silently disabling tracker registration process-wide.
+_LOCK = threading.Lock()
 
 #: Segments created (and not yet unlinked) by this process.
 _OWNED: dict[str, shared_memory.SharedMemory] = {}
@@ -95,16 +105,27 @@ def _aligned(n: int) -> int:
 
 def _gauges() -> None:
     if _obs.enabled:
-        _obs.set_gauge("repro_shm_segments", float(len(_OWNED)))
-        _obs.set_gauge(
-            "repro_shm_bytes", float(sum(s.size for s in _OWNED.values()))
-        )
+        with _LOCK:
+            count = len(_OWNED)
+            total = sum(s.size for s in _OWNED.values())
+        _obs.set_gauge("repro_shm_segments", float(count))
+        _obs.set_gauge("repro_shm_bytes", float(total))
 
 
 def active_segments() -> tuple[str, ...]:
     """Names of segments this process created and has not unlinked —
     the quantity the chaos leak gate asserts is empty after a batch."""
-    return tuple(_OWNED)
+    with _LOCK:
+        return tuple(_OWNED)
+
+
+def attached_segments() -> tuple[str, ...]:
+    """Names of segments this process has attached to (and not yet
+    detached) — the resident-server counterpart of
+    :func:`active_segments`: a long-lived process that republishes
+    datasets must see this stay bounded, not grow per swap."""
+    with _LOCK:
+        return tuple(_ATTACHED)
 
 
 def publish_arrays(arrays: dict, meta: dict | None = None) -> ShmManifest:
@@ -124,7 +145,8 @@ def publish_arrays(arrays: dict, meta: dict | None = None) -> ShmManifest:
         if a.nbytes:
             dst = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=off)
             dst[...] = a
-    _OWNED[name] = seg
+    with _LOCK:
+        _OWNED[name] = seg
     if _obs.enabled:
         _obs.inc("repro_shm_publish_total")
     _gauges()
@@ -143,31 +165,35 @@ def attach_arrays(manifest: ShmManifest) -> dict:
     worker share it), unregistered from the ``resource_tracker`` (the
     attacher does not own the segment) and closed at interpreter exit.
     """
-    seg = _OWNED.get(manifest.shm_name) or _ATTACHED.get(manifest.shm_name)
-    if seg is None:
-        # Attachers must not register with the resource tracker: pools
-        # share the parent's tracker process, so a second registration
-        # for the same name turns the parent's eventual unlink into a
-        # double-remove (noisy KeyError) — or worse, lets a worker exit
-        # unlink a segment it does not own. Python 3.13 has track=False
-        # for exactly this; on older interpreters suppress the
-        # registration call for the duration of the attach.
-        try:
-            seg = shared_memory.SharedMemory(
-                name=manifest.shm_name, create=False, track=False
-            )
-        except TypeError:
-            orig = resource_tracker.register
-            resource_tracker.register = lambda *a, **k: None
+    with _LOCK:
+        seg = _OWNED.get(manifest.shm_name) or _ATTACHED.get(manifest.shm_name)
+        if seg is None:
+            # Attachers must not register with the resource tracker: pools
+            # share the parent's tracker process, so a second registration
+            # for the same name turns the parent's eventual unlink into a
+            # double-remove (noisy KeyError) — or worse, lets a worker exit
+            # unlink a segment it does not own. Python 3.13 has track=False
+            # for exactly this; on older interpreters suppress the
+            # registration call for the duration of the attach. The whole
+            # patch/attach/restore sequence runs under ``_LOCK``: without
+            # it a second thread could capture the no-op as ``orig`` and
+            # restore it permanently.
             try:
                 seg = shared_memory.SharedMemory(
-                    name=manifest.shm_name, create=False
+                    name=manifest.shm_name, create=False, track=False
                 )
-            finally:
-                resource_tracker.register = orig
-        _ATTACHED[manifest.shm_name] = seg
-        if _obs.enabled:
-            _obs.inc("repro_shm_attach_total")
+            except TypeError:
+                orig = resource_tracker.register
+                resource_tracker.register = lambda *a, **k: None
+                try:
+                    seg = shared_memory.SharedMemory(
+                        name=manifest.shm_name, create=False
+                    )
+                finally:
+                    resource_tracker.register = orig
+            _ATTACHED[manifest.shm_name] = seg
+            if _obs.enabled:
+                _obs.inc("repro_shm_attach_total")
     out = {}
     for key, dtype_str, shape, off in manifest.entries:
         view = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf, offset=off)
@@ -181,7 +207,8 @@ def unlink_manifest(manifest: ShmManifest | str) -> None:
     an already-reclaimed segment (crashed creator, double close) counts
     as success."""
     name = manifest if isinstance(manifest, str) else manifest.shm_name
-    seg = _OWNED.pop(name, None)
+    with _LOCK:
+        seg = _OWNED.pop(name, None)
     if seg is None:
         _gauges()
         return
@@ -198,16 +225,69 @@ def unlink_manifest(manifest: ShmManifest | str) -> None:
     _gauges()
 
 
+def detach_manifest(manifest: ShmManifest | str) -> bool:
+    """Drop this process's *attachment* to a segment it does not own.
+
+    The attach cache (:data:`_ATTACHED`) otherwise grows monotonically
+    until interpreter exit — harmless in a one-shot batch worker, a real
+    mapping leak in a resident server that republishes datasets across
+    swaps/reloads. The server calls this for the outgoing manifest when
+    it swaps datasets.
+
+    Deliberately **not** ``seg.close()``: numpy releases its buffer
+    export when a view is constructed and keeps only a reference to the
+    underlying ``mmap`` object, so CPython happily unmaps a segment that
+    live views still alias — turning a late reader into a segfault.
+    Instead the file descriptor is closed eagerly and our references are
+    dropped; the mapping itself is torn down by refcount the moment the
+    last view dies. Detach is therefore always safe to call, even with
+    views outstanding.
+
+    Returns ``True`` when an attachment was dropped, ``False`` when this
+    process never attached ``manifest`` (owners unlink instead — their
+    lifecycle is :func:`unlink_manifest`, which this does not touch).
+    """
+    name = manifest if isinstance(manifest, str) else manifest.shm_name
+    with _LOCK:
+        seg = _ATTACHED.pop(name, None)
+    if seg is None:
+        return False
+    buf = getattr(seg, "_buf", None)
+    if buf is not None:
+        try:
+            buf.release()
+        except BufferError:  # pragma: no cover - exported memoryview
+            pass
+        else:
+            seg._buf = None
+    fd = getattr(seg, "_fd", -1)
+    if fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
+        seg._fd = -1
+    # Drop the mmap reference: live views keep the mapping alive until
+    # they die; with none left it unmaps immediately.
+    seg._mmap = None
+    if _obs.enabled:
+        _obs.inc("repro_shm_detach_total")
+    return True
+
+
 @atexit.register
 def _cleanup() -> None:  # pragma: no cover - interpreter teardown
-    for name in list(_OWNED):
+    with _LOCK:
+        owned = list(_OWNED)
+        attached = list(_ATTACHED.values())
+        _ATTACHED.clear()
+    for name in owned:
         unlink_manifest(name)
-    for seg in _ATTACHED.values():
+    for seg in attached:
         try:
             seg.close()
         except Exception:
             pass
-    _ATTACHED.clear()
 
 
 # -- engine publication -------------------------------------------------------

@@ -1,0 +1,153 @@
+"""Admission control for the resident query service.
+
+Two gates run before a request is allowed to queue:
+
+1. A per-tenant :class:`TokenBucket` — a misbehaving tenant exhausts
+   its own budget and gets throttled without starving the others.
+2. A bounded admission-queue depth check — once the service has
+   ``queue_depth`` requests in flight, new arrivals are shed instead
+   of growing an unbounded backlog.
+
+Both gates fail with :class:`repro.errors.OverloadError`, which
+carries a ``retry_after_s`` hint so clients can back off sensibly
+(combined with the jittered :class:`repro.faults.retry.RetryPolicy`
+this avoids a synchronized retry herd). The hint is derived from an
+EWMA of recent service times scaled by the current backlog — an
+honest "when will a slot plausibly free up", not a constant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import OverloadError
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+# Bounds for the retry-after hint (seconds). The lower bound stops a
+# fast service from telling clients "retry in 40µs" (a herd by another
+# name); the upper bound keeps a saturated service from parking
+# clients forever.
+_RETRY_AFTER_MIN_S = 0.005
+_RETRY_AFTER_MAX_S = 5.0
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` cap.
+
+    ``try_acquire`` never blocks — it either takes the tokens and
+    returns ``0.0``, or returns the seconds until enough tokens will
+    have refilled. ``rate <= 0`` disables the bucket (unlimited).
+    """
+
+    rate: float
+    burst: float
+    clock: Callable[[], float] = time.monotonic
+    _tokens: float = field(init=False, default=0.0)
+    _stamp: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate > 0 and self.burst <= 0:
+            raise ValueError("burst must be positive when rate > 0")
+        self._tokens = self.burst
+        self._stamp = self.clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available; else seconds until they are."""
+        if self.rate <= 0:
+            return 0.0
+        now = self.clock()
+        self._refill(now)
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Front door of the service: tenant buckets + bounded queue.
+
+    The controller does not own the queue — the service reports its
+    depth through ``depth_probe`` so admission and dispatch cannot
+    deadlock on a shared lock. All methods are called from the single
+    event-loop thread; no internal locking is needed.
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_depth: int,
+        workers: int,
+        tenant_rate: float = 0.0,
+        tenant_burst: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.queue_depth = queue_depth
+        self.workers = max(1, workers)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst if tenant_burst > 0 else max(1.0, tenant_rate)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        # EWMA of observed service time, seeded pessimistically so the
+        # first shed (before any completions) still gives a sane hint.
+        self._ewma_service_s = 0.05
+        self.shed_total = 0
+        self.shed_by_reason: dict[str, int] = {}
+
+    # -- learning --------------------------------------------------
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed a completed request's wall time into the EWMA."""
+        if seconds > 0:
+            self._ewma_service_s = 0.8 * self._ewma_service_s + 0.2 * seconds
+
+    def retry_after(self, backlog: int) -> float:
+        """Estimate seconds until a queue slot frees up."""
+        est = self._ewma_service_s * (backlog + 1) / self.workers
+        return min(_RETRY_AFTER_MAX_S, max(_RETRY_AFTER_MIN_S, est))
+
+    # -- gating ----------------------------------------------------
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                rate=self.tenant_rate, burst=self.tenant_burst, clock=self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _shed(self, reason: str, retry_after_s: float, message: str) -> OverloadError:
+        self.shed_total += 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+        return OverloadError(message, retry_after_s=retry_after_s, reason=reason)
+
+    def admit(self, tenant: str, backlog: int) -> None:
+        """Raise :class:`OverloadError` if the request must be shed.
+
+        ``backlog`` is the current number of admitted-but-unfinished
+        requests (queued + executing), probed by the caller.
+        """
+        wait = self._bucket(tenant).try_acquire()
+        if wait > 0:
+            raise self._shed(
+                "tenant-throttled",
+                max(_RETRY_AFTER_MIN_S, wait),
+                f"tenant {tenant!r} exceeded its rate budget",
+            )
+        if backlog >= self.queue_depth:
+            raise self._shed(
+                "queue-full",
+                self.retry_after(backlog),
+                f"admission queue full ({backlog}/{self.queue_depth})",
+            )

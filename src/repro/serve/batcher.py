@@ -1,0 +1,218 @@
+"""Continuous micro-batching for the resident query service.
+
+The PR-5 batch planner groups *whole batches* handed to it at once;
+a server never sees whole batches, only a trickle of concurrent
+requests. The :class:`MicroBatcher` closes that gap: admitted
+requests land on an asyncio queue, and the batcher drains it in
+rounds — the first request opens a window of ``window_s`` seconds
+(or ``max_batch`` requests, whichever fills first), then everything
+collected is partitioned by the planner's compatibility key
+(:func:`repro.exec.executor.planner_group_key` — layout fingerprint,
+algorithm family, backend) and dispatched.
+
+Groups of two or more compatible queries ride one shared
+:class:`~repro.core.multiquery.SharedScanTRS` scan, which is where
+the service's multi-client throughput comes from: N concurrent
+clients cost one scan, not N. Dispatch is fire-and-forget — the next
+window starts forming while the previous round executes, so the
+window bounds *added latency*, never throughput.
+
+Deadline discipline: a request whose budget expired while queued is
+resolved with :class:`~repro.errors.DeadlineError` (``stage="queue"``)
+at dispatch time and is **never** handed to a worker — cancelled work
+stops costing anything at the first opportunity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DeadlineError
+from repro.obs import hooks as _obs
+
+__all__ = ["PendingQuery", "MicroBatcher"]
+
+_STOP = object()
+
+
+@dataclass
+class PendingQuery:
+    """One admitted request waiting for (or in) execution."""
+
+    spec: Any  # QuerySpec
+    future: asyncio.Future
+    #: Absolute loop-clock deadline, or None for no deadline.
+    deadline: float | None
+    tenant: str = "default"
+    request_id: str = ""
+    admitted_at: float = 0.0
+
+    def resolve(self, result: Any) -> None:
+        if not self.future.done():
+            self.future.set_result(result)
+
+    def fail(self, exc: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+
+@dataclass
+class BatcherStats:
+    rounds: int = 0
+    #: Queries that went through a shared-scan group (group size >= 2).
+    coalesced: int = 0
+    #: Queries dispatched individually.
+    singles: int = 0
+    #: Queries whose deadline expired while queued (never executed).
+    expired_in_queue: int = 0
+    group_sizes: list[int] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Collect admitted queries into windows; dispatch planner payloads.
+
+    Parameters
+    ----------
+    group_key:
+        ``spec -> key | None`` — the planner compatibility key
+        (``None`` means the spec must run alone).
+    dispatch:
+        ``(wire, members) -> None`` — called once per payload with the
+        executor wire format (``("single", spec)`` or ``("group",
+        specs, backend)``) and the :class:`PendingQuery` members in
+        spec order. Must not block: the service wraps execution in a
+        task so the batcher can keep collecting.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float,
+        max_batch: int,
+        group_key: Callable[[Any], Any],
+        dispatch: Callable[[Any, list[PendingQuery]], None],
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window_s = max(0.0, window_s)
+        self.max_batch = max_batch
+        self._group_key = group_key
+        self._dispatch = dispatch
+        self._clock = clock
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self.stats = BatcherStats()
+
+    # -- lifecycle -------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-serve-batcher"
+            )
+
+    async def stop(self) -> None:
+        """Stop collecting; requests still queued fail at dispatch in
+        the service's shutdown path (it drains the queue itself)."""
+        if self._task is None:
+            return
+        self._queue.put_nowait(_STOP)
+        await self._task
+        self._task = None
+
+    def drain(self) -> list[PendingQuery]:
+        """Remove and return everything still queued (shutdown path)."""
+        out: list[PendingQuery] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return out
+            if item is not _STOP:
+                out.append(item)
+
+    # -- ingest ----------------------------------------------------
+
+    def put(self, pending: PendingQuery) -> None:
+        self._queue.put_nowait(pending)
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- the collection loop ---------------------------------------
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_running_loop().time()
+
+    async def _run(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            # The window opens when the first query of the round lands;
+            # later arrivals do not extend it (no starvation).
+            closes_at = self._now() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = closes_at - self._now()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    self._round(batch)
+                    return
+                batch.append(item)
+            self._round(batch)
+
+    def _round(self, batch: list[PendingQuery]) -> None:
+        """Partition one window's worth of queries and dispatch."""
+        self.stats.rounds += 1
+        now = self._now()
+        live: list[PendingQuery] = []
+        for p in batch:
+            if p.future.done():
+                continue  # client gave up (e.g. wait_for timeout) — drop
+            if p.deadline is not None and now >= p.deadline:
+                self.stats.expired_in_queue += 1
+                if _obs.enabled:
+                    _obs.inc("repro_serve_deadline_total", 1, stage="queue")
+                p.fail(
+                    DeadlineError(
+                        "deadline expired while queued", stage="queue"
+                    )
+                )
+                continue
+            live.append(p)
+        if not live:
+            return
+
+        groups: dict[Any, list[PendingQuery]] = {}
+        singles: list[PendingQuery] = []
+        for p in live:
+            key = self._group_key(p.spec)
+            if key is None:
+                singles.append(p)
+            else:
+                groups.setdefault(key, []).append(p)
+        for key, members in groups.items():
+            if len(members) < 2:
+                singles.extend(members)
+                continue
+            self.stats.coalesced += len(members)
+            self.stats.group_sizes.append(len(members))
+            if _obs.enabled:
+                _obs.inc("repro_serve_groups_total")
+                _obs.observe("repro_serve_group_size", len(members))
+            wire = ("group", tuple(p.spec for p in members), key[2])
+            self._dispatch(wire, members)
+        for p in singles:
+            self.stats.singles += 1
+            self._dispatch(("single", p.spec), [p])

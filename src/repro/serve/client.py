@@ -1,0 +1,229 @@
+"""Blocking client + closed-loop load driver for the resident service.
+
+:class:`ServeClient` is the minimal correct counterpart of the wire
+protocol — a socket, a buffered line reader, JSON in/out. It is what
+the tests, the benchmark and ``repro-skyline serve-load`` all use, so
+measured numbers exercise the same path real clients would.
+
+:func:`run_closed_loop` drives N closed-loop clients (each thread
+waits for its response before sending the next request — the standard
+saturation-free load model) and reduces per-request observations into
+a :class:`LoadReport` with latency percentiles and outcome counts.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ServeClient", "LoadReport", "run_closed_loop"]
+
+
+class ServeClient:
+    """One connection to a serve endpoint; not thread-safe (use one
+    client per thread, as the load driver does)."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout_s: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- wire ------------------------------------------------------
+
+    def request(self, obj: dict[str, Any]) -> dict[str, Any]:
+        if "id" not in obj:
+            self._next_id += 1
+            obj = {**obj, "id": str(self._next_id)}
+        self._file.write(json.dumps(obj).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def query(
+        self,
+        query: Sequence,
+        *,
+        kind: str = "query",
+        k: int | None = None,
+        algorithm: str | None = None,
+        attributes: Sequence | None = None,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        obj: dict[str, Any] = {
+            "op": "query",
+            "query": list(query),
+            "kind": kind,
+            "tenant": tenant,
+        }
+        if k is not None:
+            obj["k"] = k
+        if algorithm is not None:
+            obj["algorithm"] = algorithm
+        if attributes is not None:
+            obj["attributes"] = list(attributes)
+        if deadline_ms is not None:
+            obj["deadline_ms"] = deadline_ms
+        return self.request(obj)
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(1, round(q / 100.0 * len(sorted_vals)))
+    return sorted_vals[min(rank, len(sorted_vals)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """What one closed-loop run observed."""
+
+    clients: int
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    deadline: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    qps: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    #: Retry-after hints observed on shed responses (seconds).
+    retry_after_s: list[float] = field(default_factory=list)
+    #: Server-reported planned (shared-scan) answers among the oks.
+    planned: int = 0
+    cached: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "deadline": self.deadline,
+            "failed": self.failed,
+            "wall_s": round(self.wall_s, 6),
+            "qps": round(self.qps, 3),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "planned": self.planned,
+            "cached": self.cached,
+        }
+        if self.retry_after_s:
+            out["retry_after_min_s"] = round(min(self.retry_after_s), 4)
+            out["retry_after_max_s"] = round(max(self.retry_after_s), 4)
+        return out
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    queries: Sequence[Sequence],
+    *,
+    clients: int = 4,
+    requests_per_client: int = 25,
+    tenant_per_client: bool = False,
+    deadline_ms: float | None = None,
+    algorithm: str | None = None,
+) -> LoadReport:
+    """Drive ``clients`` concurrent closed-loop connections.
+
+    Client ``c`` sends ``requests_per_client`` requests, walking the
+    query list round-robin from offset ``c`` (so concurrent clients
+    send *different* queries — throughput gains must come from shared
+    scans, not result-cache hits). A barrier aligns the start so the
+    measured window covers genuinely concurrent load.
+    """
+    if not queries:
+        raise ValueError("need at least one query")
+    lock = threading.Lock()
+    report = LoadReport(clients=clients)
+    latencies: list[float] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def drive(c: int) -> None:
+        client = ServeClient(host, port)
+        tenant = f"tenant-{c}" if tenant_per_client else "default"
+        try:
+            client.ping()  # connection warm before the measured window
+            barrier.wait()
+            for i in range(requests_per_client):
+                q = queries[(c + i * clients) % len(queries)]
+                t0 = time.perf_counter()
+                resp = client.query(
+                    q,
+                    tenant=tenant,
+                    deadline_ms=deadline_ms,
+                    algorithm=algorithm,
+                )
+                dt_ms = (time.perf_counter() - t0) * 1000.0
+                with lock:
+                    report.requests += 1
+                    if resp.get("ok"):
+                        report.ok += 1
+                        latencies.append(dt_ms)
+                        if resp.get("planned"):
+                            report.planned += 1
+                        if resp.get("cached"):
+                            report.cached += 1
+                    else:
+                        err = resp.get("error", {})
+                        if err.get("type") == "overload":
+                            report.shed += 1
+                            report.retry_after_s.append(
+                                float(err.get("retry_after_s", 0.0))
+                            )
+                        elif err.get("type") == "deadline":
+                            report.deadline += 1
+                        else:
+                            report.failed += 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=drive, args=(c,), name=f"serve-load-{c}")
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    report.wall_s = time.perf_counter() - t0
+    if report.wall_s > 0:
+        report.qps = report.ok / report.wall_s
+    latencies.sort()
+    report.p50_ms = _percentile(latencies, 50)
+    report.p95_ms = _percentile(latencies, 95)
+    report.p99_ms = _percentile(latencies, 99)
+    return report

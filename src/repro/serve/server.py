@@ -1,0 +1,272 @@
+"""Asyncio TCP front end for :class:`~repro.serve.service.QueryService`.
+
+One connection = one line-oriented session; requests on a connection
+are answered in order (each line is awaited before the next is read,
+which gives natural per-connection backpressure — concurrency comes
+from concurrent *connections*, matching the closed-loop load driver).
+
+:func:`serve_in_background` runs a full server on a private event
+loop in a daemon thread and returns a handle with ``port`` and
+``stop()`` — the harness tests and the benchmark drive real sockets
+against it from the main thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from repro.obs import hooks as _obs
+from repro.serve import protocol
+from repro.serve.protocol import BadRequest
+from repro.serve.service import QueryService, ServiceConfig
+
+__all__ = ["ServeServer", "run_server", "serve_in_background", "BackgroundServer"]
+
+#: A request line larger than this is a protocol violation, not a query.
+_MAX_LINE_BYTES = 1 << 20
+
+
+class ServeServer:
+    """Bind, accept, decode, delegate to the service, encode."""
+
+    def __init__(
+        self,
+        engine,
+        config: ServiceConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = QueryService(engine, config)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._max_requests: int | None = None
+        self._handled = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=_MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle connection handlers sit in readline() forever; cancel
+        # them so the loop shuts down without destroying pending tasks.
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.service.stop()
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self, max_requests: int | None = None) -> None:
+        """Run until :meth:`stop` is called (or ``max_requests`` query
+        responses have been written — a test/CI convenience)."""
+        self._max_requests = max_requests
+        await self._shutdown.wait()
+
+    # -- connection handling ---------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if _obs.enabled:
+            _obs.inc("repro_serve_connections_total")
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionResetError,
+                ):
+                    break
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+                if (
+                    self._max_requests is not None
+                    and self._handled >= self._max_requests
+                ):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict[str, Any]:
+        try:
+            req = protocol.decode_request(line)
+        except BadRequest as exc:
+            return protocol.error_response("", exc)
+        if req.op == "ping":
+            return protocol.ok_response(req.request_id, {"pong": True})
+        if req.op == "stats":
+            return protocol.ok_response(
+                req.request_id, {"stats": self.service.stats_payload()}
+            )
+        try:
+            payload = await self.service.submit(req)
+        except Exception as exc:  # typed service errors -> wire errors
+            return protocol.error_response(req.request_id, exc)
+        finally:
+            self._handled += 1
+        return protocol.ok_response(req.request_id, payload)
+
+
+async def _run(
+    engine,
+    config: ServiceConfig | None,
+    host: str,
+    port: int,
+    *,
+    max_requests: int | None = None,
+    port_file: str | None = None,
+    started: "threading.Event | None" = None,
+    handle: "BackgroundServer | None" = None,
+) -> None:
+    server = ServeServer(engine, config, host=host, port=port)
+    await server.start()
+    if port_file:
+        with open(port_file, "w") as fh:
+            fh.write(str(server.port))
+    if handle is not None:
+        handle._server = server
+        handle.port = server.port
+    if started is not None:
+        started.set()
+    try:
+        await server.serve_until_shutdown(max_requests)
+    finally:
+        await server.stop()
+
+
+def run_server(
+    engine,
+    config: ServiceConfig | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_requests: int | None = None,
+    port_file: str | None = None,
+) -> None:
+    """Blocking entry point for ``repro-skyline serve``."""
+    try:
+        asyncio.run(
+            _run(
+                engine,
+                config,
+                host,
+                port,
+                max_requests=max_requests,
+                port_file=port_file,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """Handle for a server running on a daemon-thread event loop."""
+
+    def __init__(self) -> None:
+        self.port: int = 0
+        self._server: ServeServer | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def service(self) -> QueryService:
+        assert self._server is not None
+        return self._server.service
+
+    def call(self, coro_factory):
+        """Run a coroutine on the server loop from any thread."""
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(
+            coro_factory(), self._loop
+        ).result(timeout=60)
+
+    def stop(self) -> None:
+        if self._loop is None or self._server is None:
+            return
+        loop, server = self._loop, self._server
+
+        def _request_stop() -> None:
+            server._shutdown.set()
+
+        loop.call_soon_threadsafe(_request_stop)
+        assert self._thread is not None
+        self._thread.join(timeout=60)
+        self._loop = None
+
+
+def serve_in_background(
+    engine,
+    config: ServiceConfig | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> BackgroundServer:
+    """Start a server on its own loop in a daemon thread; returns once
+    the socket is bound (``handle.port`` is real)."""
+    handle = BackgroundServer()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def main() -> None:
+        loop = asyncio.new_event_loop()
+        handle._loop = loop
+        try:
+            loop.run_until_complete(
+                _run(
+                    engine,
+                    config,
+                    host,
+                    port,
+                    started=started,
+                    handle=handle,
+                )
+            )
+        except BaseException as exc:  # surface startup failures to the caller
+            failure.append(exc)
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=main, name="repro-serve", daemon=True)
+    handle._thread = thread
+    thread.start()
+    if not started.wait(timeout=120):
+        raise RuntimeError("server did not start within 120s")
+    if failure:
+        raise failure[0]
+    return handle

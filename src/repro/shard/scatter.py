@@ -590,6 +590,8 @@ class ScatterGatherTRS(ReverseSkylineAlgorithm):
                         "base_delay_s": policy.base_delay_s,
                         "multiplier": policy.multiplier,
                         "max_delay_s": policy.max_delay_s,
+                        "jitter": policy.jitter,
+                        "jitter_salt": policy.jitter_salt,
                     },
                     obs_enabled=_obs.enabled,
                 )

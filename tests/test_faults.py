@@ -131,7 +131,9 @@ class TestFaultInjector:
 
 class TestRetryPolicy:
     def test_delays_grow_geometrically_and_cap(self):
-        policy = RetryPolicy(base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03)
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03, jitter=0.0
+        )
         assert policy.delay_for(1) == pytest.approx(0.01)
         assert policy.delay_for(2) == pytest.approx(0.02)
         assert policy.delay_for(3) == pytest.approx(0.03)  # capped
@@ -139,7 +141,9 @@ class TestRetryPolicy:
 
     def test_backoff_sleeps_then_exhausts(self):
         slept = []
-        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, sleep=slept.append)
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, jitter=0.0, sleep=slept.append
+        )
         boom = TransientIOError("x", op="read", file="f", page_id=0)
         policy.backoff(1, boom)
         policy.backoff(2, boom)
@@ -157,6 +161,70 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ReproError):
             RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRetryJitter:
+    """The thundering-herd fix: delays decorrelate deterministically."""
+
+    def test_fixed_salt_is_deterministic(self):
+        a = RetryPolicy(base_delay_s=0.01, max_delay_s=0.08, jitter_salt=7)
+        b = RetryPolicy(base_delay_s=0.01, max_delay_s=0.08, jitter_salt=7)
+        assert [a.delay_for(n) for n in range(1, 6)] == [
+            b.delay_for(n) for n in range(1, 6)
+        ]
+
+    def test_different_salts_decorrelate(self):
+        delays = {
+            salt: tuple(
+                RetryPolicy(
+                    base_delay_s=0.01, max_delay_s=0.08, jitter_salt=salt
+                ).delay_for(n)
+                for n in range(1, 5)
+            )
+            for salt in range(8)
+        }
+        # Workers with distinct salts must not back off in lockstep.
+        assert len(set(delays.values())) == len(delays)
+
+    def test_jitter_respects_existing_bounds(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03, jitter_salt=3
+        )
+        plain = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03, jitter=0.0
+        )
+        for attempt in range(1, 10):
+            d = policy.delay_for(attempt)
+            full = plain.delay_for(attempt)
+            assert 0.0 <= d <= full <= policy.max_delay_s
+            assert d >= full * (1.0 - policy.jitter)
+
+    def test_default_salt_is_per_process(self):
+        import os
+
+        policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.08)
+        pinned = RetryPolicy(
+            base_delay_s=0.01, max_delay_s=0.08, jitter_salt=os.getpid()
+        )
+        assert policy.delay_for(2) == pytest.approx(pinned.delay_for(2))
+
+    def test_executor_ships_jitter_to_workers(self):
+        from repro.data.examples import running_example
+        from repro.engine import ReverseSkylineEngine
+        from repro.exec.executor import QueryExecutor
+
+        engine = ReverseSkylineEngine(running_example())
+        ex = QueryExecutor(
+            engine,
+            retry_policy=RetryPolicy(jitter=0.25, jitter_salt=None),
+        )
+        args = ex._retry_args()
+        assert args["jitter"] == 0.25
+        # None stays None so each worker jitters from its own pid.
+        assert args["jitter_salt"] is None
+        assert RetryPolicy(**args).jitter == 0.25
 
 
 def make_disk(plan=None, seed=0, attempts=4, **kwargs):

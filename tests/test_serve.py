@@ -1,0 +1,384 @@
+"""Closed-loop tests for the resident query service (repro.serve).
+
+Every test drives the real stack — a background server on its own
+event loop, real sockets, the real protocol — because the service's
+contracts are about behaviour *under concurrency*: deadlines cancel
+work that has not run yet, sheds carry honest retry-after hints,
+token buckets isolate tenants, the micro-batcher coalesces strangers'
+queries into shared scans, and a SIGKILLed pool worker costs one
+rebuild, never a hang or a wrong answer.
+"""
+
+import glob
+import os
+import signal
+import time
+
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.engine import ReverseSkylineEngine
+from repro.errors import OverloadError
+from repro.serve import (
+    ServeClient,
+    ServiceConfig,
+    run_closed_loop,
+    serve_in_background,
+)
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.protocol import BadRequest, decode_request, error_response
+
+
+def _engine(n=200, values=(5, 5, 4), seed=3, **kw):
+    ds = synthetic_dataset(n, list(values), seed=seed)
+    kw.setdefault("log_queries", False)
+    return ReverseSkylineEngine(ds, algorithm="TRS", **kw)
+
+
+@pytest.fixture
+def server_factory():
+    """Start background servers; always stop them and audit /dev/shm."""
+    handles = []
+
+    def start(engine, config):
+        handle = serve_in_background(engine, config)
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        handle.stop()
+    assert not glob.glob("/dev/shm/repro-shm-*")
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_query_roundtrip_fields(self):
+        req = decode_request(
+            b'{"op": "query", "query": [1, 2], "tenant": "t9", '
+            b'"deadline_ms": 40, "id": "r1"}'
+        )
+        assert req.query == (1, 2)
+        assert req.tenant == "t9"
+        assert req.deadline_ms == 40.0
+        assert req.request_id == "r1"
+        assert req.kind == "query"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b"[1, 2]",
+            b'{"op": "nope"}',
+            b'{"op": "query"}',
+            b'{"op": "query", "query": []}',
+            b'{"op": "query", "query": [1], "kind": "wat"}',
+            b'{"op": "query", "query": [1], "k": 0}',
+            b'{"op": "query", "query": [1], "k": 2}',
+            b'{"op": "query", "query": [1], "kind": "subset"}',
+            b'{"op": "query", "query": [1], "deadline_ms": -5}',
+        ],
+    )
+    def test_malformed_lines_are_bad_requests(self, line):
+        with pytest.raises(BadRequest):
+            decode_request(line)
+
+    def test_error_mapping_carries_retry_after(self):
+        exc = OverloadError("full", retry_after_s=0.25, reason="queue-full")
+        err = error_response("id7", exc)["error"]
+        assert err["type"] == "overload"
+        assert err["reason"] == "queue-full"
+        assert err["retry_after_s"] == 0.25
+
+
+# -- admission ---------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_token_bucket_refills_at_rate(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        now[0] += 0.5
+        assert bucket.try_acquire() == 0.0
+
+    def test_tenant_buckets_are_independent(self):
+        now = [0.0]
+        ctl = AdmissionController(
+            queue_depth=10, workers=1, tenant_rate=1.0, tenant_burst=1.0,
+            clock=lambda: now[0],
+        )
+        ctl.admit("a", 0)
+        with pytest.raises(OverloadError) as info:
+            ctl.admit("a", 0)
+        assert info.value.reason == "tenant-throttled"
+        assert info.value.retry_after_s > 0
+        ctl.admit("b", 0)  # unaffected by a's exhaustion
+
+    def test_queue_full_retry_after_scales_with_backlog(self):
+        ctl = AdmissionController(queue_depth=4, workers=2)
+        ctl.observe_service_time(0.1)
+        with pytest.raises(OverloadError) as info:
+            ctl.admit("t", 4)
+        assert info.value.reason == "queue-full"
+        assert info.value.retry_after_s >= ctl.retry_after(0) / 2
+        assert ctl.shed_by_reason == {"queue-full": 1}
+
+
+# -- service behaviour over real sockets -------------------------------------
+
+
+class TestServiceRoundTrip:
+    def test_query_ping_stats_and_cache(self, server_factory):
+        engine = _engine()
+        handle = server_factory(
+            engine, ServiceConfig(pool="thread", workers=2)
+        )
+        want = list(_engine().query((0, 0, 0)).record_ids)
+        with ServeClient("127.0.0.1", handle.port) as client:
+            assert client.ping()
+            first = client.query((0, 0, 0))
+            assert first["ok"] and first["records"] == want
+            again = client.query((0, 0, 0))
+            assert again["cached"] and again["records"] == want
+            stats = client.stats()
+            assert stats["admitted"] == 2
+            assert stats["cache_hits"] == 1
+
+    def test_bad_query_is_typed_and_connection_survives(self, server_factory):
+        handle = server_factory(_engine(), ServiceConfig(pool="thread"))
+        with ServeClient("127.0.0.1", handle.port) as client:
+            resp = client.query((0, 0))  # wrong arity for the schema
+            assert not resp["ok"]
+            assert resp["error"]["type"] == "bad-request"
+            resp = client.query((99, 0, 0))  # out-of-domain label
+            assert not resp["ok"]
+            assert resp["error"]["type"] == "bad-request"
+            assert client.query((0, 0, 0))["ok"]  # still serving
+
+    def test_deadline_cancellation_stops_work(self, server_factory):
+        """A request whose deadline expires while queued is never
+        executed: the client gets a typed deadline error and the
+        engine's query log stays empty."""
+        engine = _engine(log_queries=True)
+        handle = server_factory(
+            engine,
+            # Window far longer than the deadline: the request *will*
+            # still be queued when its budget runs out.
+            ServiceConfig(
+                pool="thread", batch_window_s=0.3, cache=False
+            ),
+        )
+        with ServeClient("127.0.0.1", handle.port) as client:
+            resp = client.query((0, 0, 0), deadline_ms=30)
+            assert not resp["ok"]
+            assert resp["error"]["type"] == "deadline"
+            assert resp["error"]["stage"] in ("queue", "dispatch", "execute")
+        # Allow the still-open window to close, then prove nothing ran.
+        time.sleep(0.4)
+        svc = handle.service
+        assert svc.stats.served == 0
+        assert engine.latency_summary()["count"] == 0.0
+
+    def test_saturation_sheds_with_retry_after(self, server_factory):
+        handle = server_factory(
+            _engine(400, (6, 6, 5), seed=5),
+            ServiceConfig(
+                pool="thread",
+                workers=1,
+                queue_depth=2,
+                batch_window_s=0.05,
+                cache=False,
+            ),
+        )
+        queries = [(i % 6, (i // 6) % 6, i % 5) for i in range(48)]
+        report = run_closed_loop(
+            "127.0.0.1", handle.port, queries, clients=8, requests_per_client=6
+        )
+        assert report.ok > 0
+        assert report.shed > 0, "saturated service must shed, not queue"
+        assert all(r > 0 for r in report.retry_after_s)
+        assert report.failed == 0
+
+    def test_token_buckets_isolate_tenants(self, server_factory):
+        handle = server_factory(
+            _engine(),
+            ServiceConfig(
+                pool="thread", tenant_rate=0.5, tenant_burst=2.0
+            ),
+        )
+        with ServeClient("127.0.0.1", handle.port) as client:
+            # Tenant a burns its burst of 2, then gets throttled...
+            outcomes = [
+                client.query((0, 0, 0), tenant="a") for _ in range(4)
+            ]
+            throttled = [r for r in outcomes if not r["ok"]]
+            assert len(throttled) == 2
+            assert all(
+                r["error"]["reason"] == "tenant-throttled" for r in throttled
+            )
+            assert all(r["error"]["retry_after_s"] > 0 for r in throttled)
+            # ...while tenant b is untouched by a's exhaustion.
+            assert client.query((0, 0, 0), tenant="b")["ok"]
+
+    def test_microbatcher_coalesces_concurrent_strangers(self, server_factory):
+        """Distinct queries from concurrent clients (cache off) must be
+        answered through shared scans — the planner group path."""
+        handle = server_factory(
+            _engine(300),
+            ServiceConfig(
+                pool="thread", workers=2, batch_window_s=0.01, cache=False
+            ),
+        )
+        queries = [(i % 5, (i // 5) % 5, i % 4) for i in range(40)]
+        report = run_closed_loop(
+            "127.0.0.1", handle.port, queries, clients=4, requests_per_client=8
+        )
+        assert report.ok == 32
+        assert report.planned > 0
+        batcher = handle.service._batcher.stats
+        assert batcher.coalesced >= 2
+        assert max(batcher.group_sizes, default=0) >= 2
+
+    def test_grouped_answers_match_sequential_engine(self, server_factory):
+        """Coalescing must never change answers: everything served under
+        concurrency equals the sequential engine's result."""
+        handle = server_factory(
+            _engine(250),
+            ServiceConfig(
+                pool="thread", workers=2, batch_window_s=0.02, cache=False
+            ),
+        )
+        queries = [(i % 5, (i // 5) % 5, i % 4) for i in range(24)]
+        oracle = _engine(250)
+        want = {q: list(oracle.query(q).record_ids) for q in queries}
+
+        import threading
+
+        got: dict = {}
+        errors: list = []
+
+        def drive(offset: int) -> None:
+            try:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    for i in range(offset, len(queries), 4):
+                        q = queries[i]
+                        resp = client.query(q)
+                        assert resp["ok"], resp
+                        got[q] = resp["records"]
+            except Exception as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(c,)) for c in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert got == want
+
+
+class TestProcessPoolChaos:
+    def test_killed_worker_rebuilds_and_answers_identically(
+        self, server_factory
+    ):
+        """SIGKILL a pool worker mid-service: the affected request is
+        retried on a rebuilt pool and every answer stays bit-identical
+        to the sequential engine — never a hang, never a wrong answer."""
+        engine = _engine()
+        handle = server_factory(
+            engine,
+            ServiceConfig(pool="process", workers=2, batch_window_s=0.005),
+        )
+        svc = handle.service
+        oracle = _engine()
+        with ServeClient("127.0.0.1", handle.port) as client:
+            baseline = client.query((0, 0, 0))
+            assert baseline["ok"]
+            pids = svc.worker_pids()
+            assert len(pids) >= 1
+            os.kill(pids[0], signal.SIGKILL)
+            time.sleep(0.05)
+            resp = client.query((1, 1, 1))
+            # Either the structured-retry succeeded (the strong outcome)
+            # or the failure is typed — the forbidden outcomes are a hang
+            # (the request timeout would trip) and a wrong answer.
+            assert resp["ok"], resp
+            assert resp["records"] == list(oracle.query((1, 1, 1)).record_ids)
+            assert svc.stats.pool_rebuilds == 1
+            again = client.query((2, 0, 1))
+            assert again["ok"]
+            assert again["records"] == list(oracle.query((2, 0, 1)).record_ids)
+
+    def test_shm_manifest_released_on_stop(self):
+        engine = _engine()
+        handle = serve_in_background(
+            engine, ServiceConfig(pool="process", workers=1)
+        )
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                assert client.query((0, 0, 0))["ok"]
+            assert glob.glob("/dev/shm/repro-shm-*")  # published while up
+        finally:
+            handle.stop()
+        assert not glob.glob("/dev/shm/repro-shm-*")  # audit: clean exit
+
+
+class TestSwapDataset:
+    def test_swap_requiesces_and_serves_new_data(self, server_factory):
+        engine = _engine(150, (5, 5, 4), seed=3)
+        handle = server_factory(
+            engine, ServiceConfig(pool="process", workers=1)
+        )
+        with ServeClient("127.0.0.1", handle.port) as client:
+            assert client.query((0, 0, 0))["ok"]
+        new_ds = synthetic_dataset(120, [4, 4], seed=11)
+        handle.call(lambda: handle.service.swap_dataset(new_ds))
+        oracle = ReverseSkylineEngine(new_ds, algorithm="TRS", log_queries=False)
+        with ServeClient("127.0.0.1", handle.port) as client:
+            old_shape = client.query((0, 0, 0))  # 3 values: now invalid
+            assert not old_shape["ok"]
+            assert old_shape["error"]["type"] == "bad-request"
+            resp = client.query((0, 0))
+            assert resp["ok"]
+            assert resp["records"] == list(oracle.query((0, 0)).record_ids)
+
+
+class TestCLI:
+    def test_serve_load_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.persist.format import save_dataset
+
+        ds = synthetic_dataset(150, [5, 5, 4], seed=3)
+        path = str(tmp_path / "ds")
+        save_dataset(ds, path)
+        engine = ReverseSkylineEngine(ds, algorithm="TRS", log_queries=False)
+        handle = serve_in_background(
+            engine, ServiceConfig(pool="thread", workers=2)
+        )
+        try:
+            rc = main(
+                [
+                    "serve-load",
+                    path,
+                    "--port",
+                    str(handle.port),
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "4",
+                ]
+            )
+        finally:
+            handle.stop()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 ok, 0 shed" in out
+        assert "throughput" in out

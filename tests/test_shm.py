@@ -127,3 +127,95 @@ class TestEnginePublication:
         finally:
             _shm.unlink_manifest(manifest)
             configure(256 * 1024 * 1024)
+
+
+class TestAttachRaceAndDetach:
+    """Regressions for the resident-server concurrency bugs: the
+    resource-tracker monkey-patch race and the attached-mapping leak."""
+
+    @staticmethod
+    def _forced_attach(manifest):
+        """Take the real attach path even in the publishing process by
+        hiding the owned entry (attach_arrays short-circuits on it)."""
+        seg = _shm._OWNED.pop(manifest.shm_name)
+        return seg
+
+    def test_threaded_attach_storm_keeps_tracker_intact(self):
+        """100 iterations of 8 threads attaching the same segment at
+        once: resource_tracker.register must survive bit-identical.
+
+        Before the module lock, two threads could both enter the
+        pre-3.13 fallback, one capturing the other's no-op as ``orig``
+        and restoring it permanently — silently disabling tracker
+        registration for the whole process.
+        """
+        import threading
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        manifest = _shm.publish_arrays({"x": np.arange(64, dtype=np.int64)})
+        seg = self._forced_attach(manifest)
+        try:
+            for _ in range(100):
+                views: list = []
+                errors: list = []
+                barrier = threading.Barrier(8)
+
+                def attach():
+                    try:
+                        barrier.wait()
+                        views.append(_shm.attach_arrays(manifest)["x"])
+                    except Exception as exc:  # pragma: no cover - fail path
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=attach) for _ in range(8)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not errors
+                assert len(views) == 8
+                assert all(int(v[3]) == 3 for v in views)
+                # THE assertion: the tracker hook is the original function.
+                assert resource_tracker.register is orig_register
+                del views
+                assert _shm.detach_manifest(manifest) is True
+            assert _shm.attached_segments() == ()
+        finally:
+            _shm.detach_manifest(manifest)
+            _shm._OWNED[manifest.shm_name] = seg
+            _shm.unlink_manifest(manifest)
+        assert resource_tracker.register is orig_register
+
+    def test_detach_manifest_drops_attachment(self):
+        manifest = _shm.publish_arrays({"x": np.arange(8, dtype=np.int64)})
+        seg = self._forced_attach(manifest)
+        try:
+            views = _shm.attach_arrays(manifest)
+            assert manifest.shm_name in _shm.attached_segments()
+            assert _shm.detach_manifest(manifest) is True
+            assert manifest.shm_name not in _shm.attached_segments()
+            # Live views outlast the detach safely: the mapping is torn
+            # down by refcount when the last view dies, not before.
+            assert int(views["x"][5]) == 5
+            del views
+            # Idempotent: a second detach (or an unknown name) is False.
+            assert _shm.detach_manifest(manifest) is False
+            assert _shm.detach_manifest("repro-shm-never-existed") is False
+        finally:
+            _shm.detach_manifest(manifest)
+            _shm._OWNED[manifest.shm_name] = seg
+            _shm.unlink_manifest(manifest)
+
+    def test_detach_never_touches_owned_segments(self):
+        manifest = _shm.publish_arrays({"x": np.arange(4)})
+        try:
+            # The owner's mapping is not an attachment; detach is a no-op
+            # and the segment stays published.
+            assert _shm.detach_manifest(manifest) is False
+            assert manifest.shm_name in _shm.active_segments()
+            views = _shm.attach_arrays(manifest)  # owner attach: owned seg
+            assert _shm.attached_segments() == ()
+            del views
+        finally:
+            _shm.unlink_manifest(manifest)
