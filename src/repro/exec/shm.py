@@ -252,7 +252,36 @@ def detach_manifest(manifest: ShmManifest | str) -> bool:
         seg = _ATTACHED.pop(name, None)
     if seg is None:
         return False
-    buf = getattr(seg, "_buf", None)
+    if not _posix_detach(seg):
+        # Unknown SharedMemory internals (non-CPython, Windows, a future
+        # layout change): fall back to the public close(). It raises
+        # BufferError when live views still alias the mapping — in that
+        # case the mapping survives until the views die, which is merely
+        # the pre-detach status quo, never a crash.
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - live views outstanding
+            pass
+    if _obs.enabled:
+        _obs.inc("repro_shm_detach_total")
+    return True
+
+
+def _posix_detach(seg) -> bool:
+    """Release a mapping through CPython's POSIX ``SharedMemory``
+    internals (``_buf``/``_fd``/``_mmap``), which — unlike the public
+    ``close()`` — stays safe with live numpy views outstanding: the fd
+    closes now, our references drop, and the mapping itself is unmapped
+    by refcount the moment the last view dies.
+
+    Returns ``False`` without touching anything when the object does not
+    have the expected shape (no ``_fd`` on Windows, alternative
+    interpreters, future stdlib layouts), so the caller can fall back to
+    the public API instead of silently leaking.
+    """
+    if not (hasattr(seg, "_buf") and hasattr(seg, "_mmap") and hasattr(seg, "_fd")):
+        return False
+    buf = seg._buf
     if buf is not None:
         try:
             buf.release()
@@ -260,8 +289,8 @@ def detach_manifest(manifest: ShmManifest | str) -> bool:
             pass
         else:
             seg._buf = None
-    fd = getattr(seg, "_fd", -1)
-    if fd >= 0:
+    fd = seg._fd
+    if isinstance(fd, int) and fd >= 0:
         try:
             os.close(fd)
         except OSError:  # pragma: no cover - already closed
@@ -270,8 +299,6 @@ def detach_manifest(manifest: ShmManifest | str) -> bool:
     # Drop the mmap reference: live views keep the mapping alive until
     # they die; with none left it unmaps immediately.
     seg._mmap = None
-    if _obs.enabled:
-        _obs.inc("repro_shm_detach_total")
     return True
 
 

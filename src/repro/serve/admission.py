@@ -33,6 +33,13 @@ __all__ = ["TokenBucket", "AdmissionController"]
 _RETRY_AFTER_MIN_S = 0.005
 _RETRY_AFTER_MAX_S = 5.0
 
+#: Cap on distinct per-tenant buckets. The tenant string arrives off
+#: the wire, so an adversarial (or merely sloppy) client sending a
+#: fresh tenant per request would otherwise grow ``_buckets`` without
+#: bound in a long-lived server. Past the cap the least-recently-seen
+#: tenant is evicted — it just re-earns a full burst on its next visit.
+_MAX_TENANT_BUCKETS = 4096
+
 
 @dataclass
 class TokenBucket:
@@ -119,12 +126,15 @@ class AdmissionController:
     # -- gating ----------------------------------------------------
 
     def _bucket(self, tenant: str) -> TokenBucket:
-        bucket = self._buckets.get(tenant)
+        bucket = self._buckets.pop(tenant, None)
         if bucket is None:
+            if len(self._buckets) >= _MAX_TENANT_BUCKETS:
+                self._buckets.pop(next(iter(self._buckets)))
             bucket = TokenBucket(
                 rate=self.tenant_rate, burst=self.tenant_burst, clock=self._clock
             )
-            self._buckets[tenant] = bucket
+        # Re-insert on every touch: dict order doubles as the LRU order.
+        self._buckets[tenant] = bucket
         return bucket
 
     def _shed(self, reason: str, retry_after_s: float, message: str) -> OverloadError:
@@ -138,13 +148,17 @@ class AdmissionController:
         ``backlog`` is the current number of admitted-but-unfinished
         requests (queued + executing), probed by the caller.
         """
-        wait = self._bucket(tenant).try_acquire()
-        if wait > 0:
-            raise self._shed(
-                "tenant-throttled",
-                max(_RETRY_AFTER_MIN_S, wait),
-                f"tenant {tenant!r} exceeded its rate budget",
-            )
+        if self.tenant_rate > 0:
+            # rate <= 0 (the default) means no throttling at all — do
+            # not even allocate a bucket, or wire-supplied tenant
+            # strings would grow the map unboundedly for no effect.
+            wait = self._bucket(tenant).try_acquire()
+            if wait > 0:
+                raise self._shed(
+                    "tenant-throttled",
+                    max(_RETRY_AFTER_MIN_S, wait),
+                    f"tenant {tenant!r} exceeded its rate budget",
+                )
         if backlog >= self.queue_depth:
             raise self._shed(
                 "queue-full",

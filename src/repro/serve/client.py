@@ -154,6 +154,7 @@ def run_closed_loop(
     tenant_per_client: bool = False,
     deadline_ms: float | None = None,
     algorithm: str | None = None,
+    start_timeout_s: float = 30.0,
 ) -> LoadReport:
     """Drive ``clients`` concurrent closed-loop connections.
 
@@ -161,7 +162,9 @@ def run_closed_loop(
     query list round-robin from offset ``c`` (so concurrent clients
     send *different* queries — throughput gains must come from shared
     scans, not result-cache hits). A barrier aligns the start so the
-    measured window covers genuinely concurrent load.
+    measured window covers genuinely concurrent load; a client that
+    fails before reaching it (connection refused, dead server) aborts
+    the barrier so the run raises instead of hanging forever.
     """
     if not queries:
         raise ValueError("need at least one query")
@@ -169,13 +172,28 @@ def run_closed_loop(
     report = LoadReport(clients=clients)
     latencies: list[float] = []
     barrier = threading.Barrier(clients + 1)
+    setup_errors: list[BaseException] = []
 
     def drive(c: int) -> None:
-        client = ServeClient(host, port)
+        try:
+            client = ServeClient(host, port)
+        except BaseException as exc:
+            with lock:
+                setup_errors.append(exc)
+            barrier.abort()
+            return
         tenant = f"tenant-{c}" if tenant_per_client else "default"
         try:
-            client.ping()  # connection warm before the measured window
-            barrier.wait()
+            try:
+                client.ping()  # connection warm before the measured window
+                barrier.wait(timeout=start_timeout_s)
+            except threading.BrokenBarrierError:
+                return  # another client aborted the start; bail quietly
+            except BaseException as exc:
+                with lock:
+                    setup_errors.append(exc)
+                barrier.abort()
+                return
             for i in range(requests_per_client):
                 q = queries[(c + i * clients) % len(queries)]
                 t0 = time.perf_counter()
@@ -215,7 +233,16 @@ def run_closed_loop(
     ]
     for t in threads:
         t.start()
-    barrier.wait()
+    try:
+        barrier.wait(timeout=start_timeout_s)
+    except threading.BrokenBarrierError:
+        for t in threads:
+            t.join()
+        if setup_errors:
+            raise setup_errors[0]
+        raise RuntimeError(
+            f"load clients failed to start within {start_timeout_s}s"
+        ) from None
     t0 = time.perf_counter()
     for t in threads:
         t.join()

@@ -40,7 +40,13 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro.errors import AlgorithmError, DeadlineError, OverloadError, ReproError
+from repro.errors import (
+    AlgorithmError,
+    DeadlineError,
+    OverloadError,
+    ReproError,
+    ServiceError,
+)
 from repro.exec.cache import CacheKey
 from repro.exec.executor import (
     QueryExecutor,
@@ -165,6 +171,11 @@ class QueryService:
             dispatch=self._dispatch,
         )
         self._pool = None
+        #: Bumped on every successful rebuild; payload tasks remember the
+        #: epoch they submitted against so concurrent BrokenProcessPool
+        #: failures trigger exactly one rebuild (see :meth:`_ensure_pool`).
+        self._pool_epoch = 0
+        self._rebuild_lock = asyncio.Lock()
         self._manifest = None
         self._initargs = None
         self._inflight = 0
@@ -471,6 +482,22 @@ class QueryService:
                 p.fail(exc)
             self.stats.failed += len(live)
             return
+        except BaseException as exc:
+            # Anything non-library that escapes the pool path (a second
+            # BrokenProcessPool on the post-rebuild retry, a rebuild that
+            # could not respawn workers, cancellation at teardown) must
+            # still settle every member future — a client with no
+            # deadline would otherwise await forever.
+            err = ServiceError(f"query execution failed in the pool: {exc!r}")
+            err.__cause__ = exc if isinstance(exc, Exception) else None
+            for p in live:
+                p.fail(err)
+            self.stats.failed += len(live)
+            if _obs.enabled:
+                _obs.inc("repro_serve_failures_total", len(live))
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            return
         wall_s = loop.time() - start
         self._admission.observe_service_time(wall_s / len(live))
         if _obs.enabled:
@@ -500,25 +527,59 @@ class QueryService:
         rebuild + retry if a worker died mid-request."""
         loop = asyncio.get_running_loop()
         if self.config.pool == "process":
+            pool, epoch = self._pool, self._pool_epoch
+            if pool is None:
+                raise ServiceError("process pool unavailable (rebuild failed)")
             try:
                 return await loop.run_in_executor(
-                    self._pool, _process_worker_run_payload, wire
+                    pool, _process_worker_run_payload, wire
                 )
-            except BrokenProcessPool:
-                self.stats.pool_rebuilds += 1
-                if _obs.enabled:
-                    _obs.inc("repro_serve_pool_rebuilds_total")
-                await loop.run_in_executor(None, self._rebuild_pool)
+            except (BrokenProcessPool, asyncio.CancelledError, RuntimeError) as exc:
+                # BrokenProcessPool: a worker died under us. The other
+                # two are collateral of a *concurrent* rebuild tearing
+                # down the pool we submitted to (cancel_futures cancels
+                # our future; submit-after-shutdown raises RuntimeError)
+                # — but only when the pool really was swapped out; a
+                # cancellation or RuntimeError with our pool still
+                # current is not ours to absorb.
+                if not isinstance(exc, BrokenProcessPool) and pool is self._pool:
+                    raise
+                await self._ensure_pool(epoch)
+                pool = self._pool
+                if pool is None:
+                    raise ServiceError(
+                        "process pool unavailable (rebuild failed)"
+                    ) from None
                 # Retry once: answers depend only on the spec, so the
                 # retried result is bit-identical to an undisturbed run.
                 return await loop.run_in_executor(
-                    self._pool, _process_worker_run_payload, wire
+                    pool, _process_worker_run_payload, wire
                 )
         return await loop.run_in_executor(self._pool, self._run_inline, wire)
 
+    async def _ensure_pool(self, epoch: int) -> None:
+        """Serialize pool rebuilds. One dead worker fails *every*
+        in-flight payload with ``BrokenProcessPool``, so several tasks
+        arrive here at once; only the first to take the lock rebuilds,
+        the rest see the epoch has moved on and simply retry against the
+        replacement — a second rebuild would tear down a healthy pool
+        mid-verification."""
+        async with self._rebuild_lock:
+            if self._pool_epoch != epoch and self._pool is not None:
+                return  # someone else already replaced the pool we saw break
+            self.stats.pool_rebuilds += 1
+            if _obs.enabled:
+                _obs.inc("repro_serve_pool_rebuilds_total")
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._rebuild_pool
+            )
+            self._pool_epoch += 1
+
     def _rebuild_pool(self) -> None:
         """Replace a broken process pool, reusing the published manifest
-        and initargs (the shared segment survived the worker)."""
+        and initargs (the shared segment survived the worker). On a
+        failed rebuild ``self._pool`` stays ``None`` and callers surface
+        a typed error instead of executing on the default executor."""
         broken, self._pool = self._pool, None
         if broken is not None:
             broken.shutdown(wait=False, cancel_futures=True)

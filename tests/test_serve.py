@@ -9,6 +9,7 @@ queries into shared scans, and a SIGKILLed pool worker costs one
 rebuild, never a hang or a wrong answer.
 """
 
+import asyncio
 import glob
 import os
 import signal
@@ -128,6 +129,32 @@ class TestAdmission:
         assert info.value.reason == "queue-full"
         assert info.value.retry_after_s >= ctl.retry_after(0) / 2
         assert ctl.shed_by_reason == {"queue-full": 1}
+
+    def test_disabled_rate_allocates_no_buckets(self):
+        """Regression: with tenant_rate<=0 (the default) the buckets are
+        pure no-ops, so wire-supplied tenant strings must not grow the
+        bucket map — an adversarial client sending a fresh tenant per
+        request would otherwise leak memory in a long-lived server."""
+        ctl = AdmissionController(queue_depth=8, workers=1)  # rate 0
+        for i in range(500):
+            ctl.admit(f"tenant-{i}", 0)
+        assert ctl._buckets == {}
+
+    def test_bucket_map_is_bounded_lru(self, monkeypatch):
+        from repro.serve import admission as _adm
+
+        monkeypatch.setattr(_adm, "_MAX_TENANT_BUCKETS", 4)
+        ctl = AdmissionController(
+            queue_depth=8, workers=1, tenant_rate=100.0, tenant_burst=100.0
+        )
+        for i in range(10):
+            ctl.admit(f"t{i}", 0)
+        assert len(ctl._buckets) == 4
+        # Least-recently-seen tenants were evicted, the newest survive.
+        assert set(ctl._buckets) == {"t6", "t7", "t8", "t9"}
+        ctl.admit("t6", 0)  # touch: t6 becomes most-recently-used...
+        ctl.admit("t99", 0)  # ...so the eviction victim is t7, not t6
+        assert "t6" in ctl._buckets and "t7" not in ctl._buckets
 
 
 # -- service behaviour over real sockets -------------------------------------
@@ -283,6 +310,79 @@ class TestServiceRoundTrip:
             t.join()
         assert not errors
         assert got == want
+
+
+class TestFailureSettlement:
+    def test_internal_failure_settles_futures_with_typed_error(
+        self, server_factory
+    ):
+        """Regression: a non-ReproError escaping the pool path (second
+        BrokenProcessPool on the retry, a rebuild that could not respawn
+        workers) used to escape the dispatch task without settling the
+        member futures — a client with no deadline hung forever. It must
+        surface as a typed query-error instead."""
+        handle = server_factory(_engine(), ServiceConfig(pool="thread"))
+        svc = handle.service
+
+        async def explode(wire):
+            raise RuntimeError("simulated pool loss past recovery")
+
+        async def patch():
+            svc._run_wire = explode
+
+        handle.call(patch)
+        with ServeClient("127.0.0.1", handle.port, timeout_s=10) as client:
+            resp = client.query((0, 0, 0))  # no deadline: would hang before
+            assert not resp["ok"]
+            assert resp["error"]["type"] == "query-error"
+            assert "simulated pool loss" in resp["error"]["message"]
+        assert svc.stats.failed == 1
+
+    def test_concurrent_broken_pool_rebuilds_exactly_once(self):
+        """Regression: one dead worker fails every in-flight payload with
+        BrokenProcessPool, so several tasks race into the rebuild path;
+        only the first may rebuild — a second rebuild would tear down the
+        freshly built (healthy) pool mid-verification."""
+        from repro.serve.service import QueryService
+
+        svc = QueryService(_engine(), ServiceConfig(pool="process", workers=1))
+        rebuilds = []
+
+        def fake_rebuild():
+            rebuilds.append(1)
+            svc._pool = object()  # "a fresh healthy pool"
+
+        svc._rebuild_pool = fake_rebuild
+        svc._pool = object()  # the broken pool every task saw
+
+        async def storm():
+            await asyncio.gather(*(svc._ensure_pool(0) for _ in range(6)))
+
+        asyncio.run(storm())
+        assert rebuilds == [1]
+        assert svc.stats.pool_rebuilds == 1
+        assert svc._pool_epoch == 1
+
+    def test_closed_loop_raises_on_dead_server_instead_of_hanging(self):
+        """Regression: a client thread failing before the start barrier
+        (connection refused) left the main thread parked on an untimed
+        barrier.wait() forever."""
+        import socket
+
+        with socket.socket() as s:  # grab a port nothing listens on
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        t0 = time.monotonic()
+        with pytest.raises(OSError):
+            run_closed_loop(
+                "127.0.0.1",
+                port,
+                [(0, 0, 0)],
+                clients=3,
+                requests_per_client=1,
+                start_timeout_s=5.0,
+            )
+        assert time.monotonic() - t0 < 5.0
 
 
 class TestProcessPoolChaos:

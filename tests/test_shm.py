@@ -207,6 +207,58 @@ class TestAttachRaceAndDetach:
             _shm._OWNED[manifest.shm_name] = seg
             _shm.unlink_manifest(manifest)
 
+    def test_detach_actually_unmaps_the_segment(self):
+        """Regression for the private-internals dance in detach: the
+        point of detach is that the *mapping* goes away, not just the
+        dict entry. /proc/self/maps names every mapped /dev/shm file, so
+        the segment must vanish from it once detach runs with no live
+        views — if a stdlib change silently turns detach into a no-op,
+        this catches it."""
+        import os
+
+        if not os.path.exists("/proc/self/maps"):
+            pytest.skip("needs /proc/self/maps (Linux)")
+
+        def mappings(name: str) -> int:
+            with open("/proc/self/maps") as fh:
+                return sum(name in line for line in fh)
+
+        manifest = _shm.publish_arrays(
+            {"x": np.arange(65536, dtype=np.int64)}
+        )
+        # The owner's own mapping (held by ``seg``) stays put throughout;
+        # what must come and go is the *attachment's* extra mapping.
+        seg = self._forced_attach(manifest)
+        try:
+            baseline = mappings(manifest.shm_name)
+            views = _shm.attach_arrays(manifest)
+            assert mappings(manifest.shm_name) > baseline
+            del views
+            assert _shm.detach_manifest(manifest) is True
+            assert mappings(manifest.shm_name) == baseline
+        finally:
+            _shm.detach_manifest(manifest)
+            _shm._OWNED[manifest.shm_name] = seg
+            _shm.unlink_manifest(manifest)
+
+    def test_detach_falls_back_to_close_on_unknown_internals(self):
+        """A SharedMemory whose private attributes are not the expected
+        CPython/POSIX shape must still detach via the public close(),
+        never become a silent no-op."""
+
+        class OpaqueSeg:
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        opaque = OpaqueSeg()
+        with _shm._LOCK:
+            _shm._ATTACHED["fake-opaque-seg"] = opaque
+        assert _shm.detach_manifest("fake-opaque-seg") is True
+        assert opaque.closed
+        assert "fake-opaque-seg" not in _shm.attached_segments()
+
     def test_detach_never_touches_owned_segments(self):
         manifest = _shm.publish_arrays({"x": np.arange(4)})
         try:
