@@ -1,0 +1,281 @@
+"""Candidate-generation index benchmark — the ``repro.index`` CI gate.
+
+Two claims, measured in the cost model's own currency (candidate
+fraction: index candidates over the ``n²`` all-pairs pruner scan) and
+written to ``BENCH_index.json`` at the repository root:
+
+- **Sublinear candidates (exact mode).**  On a quasimetric growth
+  workload whose value space grows with the data (``c ≈ 4√n``), the
+  exact candidate fraction must *shrink* as n grows — constant leaf
+  size means tree depth, and with it the value rule's precision, grows
+  with n.  Gate: strictly decreasing across a 16x size sweep, largest
+  size at most ``MAX_FRACTION_RATIO`` of the smallest.
+- **Approximate mode pays for itself.**  On a single wide Gaussian
+  cluster with independent attributes — the regime where the value
+  rule is weakest, because every leaf satisfies every attribute
+  through *different* entries — a ``recall_target=0.95`` run must cut
+  candidates at least ``MIN_CANDIDATE_REDUCTION``x below the exact
+  mode while keeping mean pruning recall at or above
+  ``MIN_PRUNING_RECALL``.  Pruning recall is computed exactly from the
+  two survivor sets (no sampling); the result's own audited
+  ``measured_recall`` estimate is reported per query alongside it.
+
+Exact-mode answers are asserted bit-identical to the plain TRS oracle
+before anything is measured, and approximate answers must be supersets
+of exact ones.  Everything here is deterministic: fractions and recalls
+are pure functions of the workload seeds, so the gates are stable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.core.indexed import IndexedTRS
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.dissim.matrix import MatrixDissimilarity
+from repro.dissim.space import DissimilaritySpace
+from repro.experiments.tables import format_table
+from repro.experiments.workloads import scale_factor, scaled
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_index.json"
+
+#: Sublinear gate: largest-size fraction over smallest-size fraction.
+MAX_FRACTION_RATIO = 0.85
+#: Approximate gate: exact candidates over approximate candidates.
+MIN_CANDIDATE_REDUCTION = 2.0
+#: Approximate gate: mean pruning recall across the query batch.
+MIN_PRUNING_RECALL = 0.95
+
+GROWTH_SIZES = (1000, 4000, 16000)
+RECALL_TARGET = 0.95
+
+
+def _quasimetric_matrix(c: int, rng: np.random.Generator, jitter: float) -> np.ndarray:
+    """|a−b|/(c−1) with multiplicative asymmetric jitter: a quasimetric —
+    zero diagonal, positive off-diagonal, no symmetry, no triangle
+    inequality.  Exactly the 'arbitrary non-metric measure' setting."""
+    a = np.arange(c, dtype=np.float64)
+    base = np.abs(a[:, None] - a[None, :]) / (c - 1)
+    arr = base * (1.0 + jitter * rng.uniform(-1.0, 1.0, (c, c)))
+    np.fill_diagonal(arr, 0.0)
+    return arr
+
+
+def _space(cards: list[int], rng: np.random.Generator, jitter: float):
+    return DissimilaritySpace(
+        [MatrixDissimilarity(_quasimetric_matrix(c, rng, jitter)) for c in cards]
+    )
+
+
+def _perturbed_queries(records, c: int, count: int, spread: int = 2):
+    """Queries near the data (the non-trivial reverse-skyline regime)."""
+    qr = np.random.default_rng(17)
+    queries = []
+    for _ in range(count):
+        base = records[int(qr.integers(0, len(records)))]
+        queries.append(
+            tuple(
+                int(min(c - 1, max(0, v + qr.integers(-spread, spread + 1))))
+                for v in base
+            )
+        )
+    return queries
+
+
+def _growth_workload(n: int, m: int = 4, seed: int = 5):
+    """Uniform records over a value space that grows with n (c ≈ 4√n):
+    constant density regime, so fraction changes isolate the tree-depth
+    effect rather than a density artefact."""
+    c = max(8, int(round(4 * np.sqrt(n))))
+    rng = np.random.default_rng(seed)
+    space = _space([c] * m, rng, 0.25)  # matrices first: fixed rng order
+    vals = rng.integers(0, c, size=(n, m))
+    records = [tuple(int(v) for v in row) for row in vals]
+    ds = Dataset(
+        Schema.categorical([c] * m), records, space,
+        validate=False, name=f"quasi-growth-{n}",
+    )
+    return ds, _perturbed_queries(records, c, 2)
+
+
+def _cluster_workload(n: int, m: int = 4, c: int = 64, sigma: float = 8.0, seed: int = 5):
+    """One wide Gaussian cluster with independent attributes — the value
+    rule's worst case and the leaf-score rule's best."""
+    rng = np.random.default_rng(seed)
+    space = _space([c] * m, rng, 0.10)  # matrices first: fixed rng order
+    vals = np.clip(np.round(rng.normal(c / 2, sigma, size=(n, m))), 0, c - 1)
+    records = [tuple(int(v) for v in row) for row in vals.astype(int)]
+    ds = Dataset(
+        Schema.categorical([c] * m), records, space,
+        validate=False, name=f"gauss-cluster-{n}",
+    )
+    return ds, _perturbed_queries(records, c, 5)
+
+
+def _pruning_recall(n: int, exact_ids, approx_ids) -> float:
+    """Exact pruning recall from the two survivor sets: the share of
+    exactly-pruned objects the approximate run also pruned."""
+    pruned_exact = set(range(n)) - set(exact_ids)
+    pruned_approx = set(range(n)) - set(approx_ids)
+    if not pruned_exact:
+        return 1.0
+    return len(pruned_exact & pruned_approx) / len(pruned_exact)
+
+
+def test_bench_index_gates(emit):
+    # -- exact mode: sublinear candidate growth -----------------------------
+    growth = []
+    for base_n in GROWTH_SIZES:
+        ds, queries = _growth_workload(scaled(base_n))
+        algo = IndexedTRS(ds, backend="numpy", index_leaf_size=16)
+        oracle = TRS(ds) if base_n <= 4000 else None
+        fractions = []
+        t0 = time.perf_counter()
+        for q in queries:
+            r = algo.run(q)
+            fractions.append(r.candidate_fraction)
+            if oracle is not None:  # results must match before timing counts
+                assert list(r.record_ids) == list(oracle.run(q).record_ids)
+        growth.append(
+            {
+                "records": len(ds),
+                "cardinality": ds.schema.cardinalities()[0],
+                "queries": len(queries),
+                "candidate_fraction": float(np.mean(fractions)),
+                "index_nodes": algo.index().num_nodes,
+                "wall_time_s": time.perf_counter() - t0,
+            }
+        )
+
+    # -- approximate mode: recall vs candidate reduction --------------------
+    ds, queries = _cluster_workload(scaled(4000))
+    n = len(ds)
+    exact = IndexedTRS(ds, backend="numpy", index_leaf_size=32, index_fanout=8)
+    approx = IndexedTRS(
+        ds, backend="numpy", index_leaf_size=32, index_fanout=8,
+        recall_target=RECALL_TARGET,
+    )
+    oracle = TRS(ds)
+    per_query = []
+    t0 = time.perf_counter()
+    for q in queries:
+        re_ = exact.run(q)
+        assert list(re_.record_ids) == list(oracle.run(q).record_ids)
+        ra = approx.run(q)
+        assert set(re_.record_ids) <= set(ra.record_ids)  # never lose a member
+        per_query.append(
+            {
+                "query": list(q),
+                "exact_fraction": re_.candidate_fraction,
+                "approx_fraction": ra.candidate_fraction,
+                "pruning_recall": _pruning_recall(n, re_.record_ids, ra.record_ids),
+                "measured_recall": ra.measured_recall,
+                "result_size_exact": len(re_.record_ids),
+                "result_size_approx": len(ra.record_ids),
+            }
+        )
+    approx_wall = time.perf_counter() - t0
+    exact_frac = float(np.mean([r["exact_fraction"] for r in per_query]))
+    approx_frac = float(np.mean([r["approx_fraction"] for r in per_query]))
+    reduction = exact_frac / approx_frac
+    mean_recall = float(np.mean([r["pruning_recall"] for r in per_query]))
+
+    doc = {
+        "workloads": {
+            "growth": {
+                "model": "uniform quasimetric, c = max(8, 4*sqrt(n)), m=4, "
+                         "jitter 0.25, leaf_size 16, exact mode",
+                "sizes": [scaled(s) for s in GROWTH_SIZES],
+            },
+            "approximate": {
+                "model": "single Gaussian cluster, c=64, sigma=8, m=4, "
+                         "jitter 0.10, leaf_size 32, fanout 8",
+                "records": n,
+                "recall_target": RECALL_TARGET,
+                "queries": len(queries),
+                "wall_time_s": approx_wall,
+            },
+            "repro_scale": scale_factor(),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "gate": {
+            "max_fraction_ratio": MAX_FRACTION_RATIO,
+            "min_candidate_reduction": MIN_CANDIDATE_REDUCTION,
+            "min_pruning_recall": MIN_PRUNING_RECALL,
+        },
+        "growth": growth,
+        "approximate": {
+            "exact_fraction": exact_frac,
+            "approx_fraction": approx_frac,
+            "candidate_reduction": reduction,
+            "mean_pruning_recall": mean_recall,
+            "per_query": per_query,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    growth_rows = [
+        [
+            str(g["records"]),
+            str(g["cardinality"]),
+            f"{g['candidate_fraction']:.4f}",
+            str(g["index_nodes"]),
+            f"{g['wall_time_s']:.1f}",
+        ]
+        for g in growth
+    ]
+    approx_rows = [
+        [
+            f"{r['exact_fraction']:.4f}",
+            f"{r['approx_fraction']:.4f}",
+            f"{r['exact_fraction'] / r['approx_fraction']:.2f}x",
+            f"{r['pruning_recall']:.4f}",
+            f"{r['measured_recall']:.4f}",
+        ]
+        for r in per_query
+    ]
+    emit(
+        "bench_index",
+        "Candidate-generation index: sublinear exact candidates + "
+        "approximate recall/reduction",
+        format_table(
+            ["n", "card", "exact fraction", "nodes", "wall s"], growth_rows
+        )
+        + "\n\napproximate mode (recall_target "
+        + f"{RECALL_TARGET}, mean reduction {reduction:.2f}x, "
+        + f"mean pruning recall {mean_recall:.4f}):\n"
+        + format_table(
+            ["exact frac", "approx frac", "reduction", "pruning recall",
+             "audited recall"],
+            approx_rows,
+        )
+        + f"\n(canonical artifact: {BENCH_PATH.name})",
+    )
+
+    fracs = [g["candidate_fraction"] for g in growth]
+    assert all(b < a for a, b in zip(fracs, fracs[1:])), (
+        f"candidate fraction not strictly decreasing with n: {fracs}"
+    )
+    assert fracs[-1] <= MAX_FRACTION_RATIO * fracs[0], (
+        f"16x growth only moved the candidate fraction {fracs[0]:.4f} -> "
+        f"{fracs[-1]:.4f}; gate requires ratio <= {MAX_FRACTION_RATIO}"
+    )
+    assert reduction >= MIN_CANDIDATE_REDUCTION, (
+        f"approximate mode reduced candidates only {reduction:.2f}x "
+        f"(gate {MIN_CANDIDATE_REDUCTION}x)"
+    )
+    assert mean_recall >= MIN_PRUNING_RECALL, (
+        f"mean pruning recall {mean_recall:.4f} below the "
+        f"{MIN_PRUNING_RECALL} gate"
+    )

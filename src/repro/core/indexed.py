@@ -1,0 +1,338 @@
+"""Index-accelerated reverse skylines — ITRS.
+
+``IndexedTRS`` replaces TRS's two scan phases with candidate generation
+over the :mod:`repro.index` pruning tree: for each database object X it
+asks the index for a superset of X's possible pruners and verifies only
+those pairwise.  One sequential database pass (``db_passes == 1``)
+instead of TRS's two-plus, and — on dissimilarity measures with any
+locality — far fewer attribute checks than the O(n) pruner scan per
+object, which is the sublinear-candidates axis ``BENCH_index.json``
+gates on.
+
+Two modes:
+
+- **exact** (``recall_target=None``): only the sound value rule prunes
+  subtrees, so the candidate set provably contains every true pruner
+  and the verified result is the complete reverse skyline —
+  bit-identical to the AL-Tree oracle
+  (:func:`repro.testing.verify_index_equivalence` pins this across
+  pools and backends).  Costs may differ from TRS; results may not.
+- **approximate** (``recall_target=q``): the calibrated triangle-defect
+  band rules and the calibrated leaf-score rule additionally discard
+  subtrees and leaves.  Missing a pruner can only
+  *add* survivors (the result is a superset of the exact reverse
+  skyline — no true member is ever lost), so the interesting quantity
+  is **pruning recall**: the fraction of objects the exact mode prunes
+  that the approximate mode also prunes.  Every result reports a
+  ``measured_recall`` estimate from a bounded, deterministic exact
+  audit of its survivors, so callers see what they paid.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import CostStats, RSResult
+from repro.core.trs import TRS
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+from repro.index.candidates import (
+    scalar_candidates,
+    scalar_has_pruner,
+    vector_candidates,
+    vector_has_pruner,
+)
+from repro.index.tree import IndexParams, PruningIndex, build_index
+from repro.obs import hooks as _obs
+from repro.storage.disk import DEFAULT_PAGE_BYTES, DiskSimulator, MemoryBudget
+from repro.storage.pagefile import PageFile
+
+__all__ = ["IndexedRSResult", "IndexedTRS"]
+
+
+@dataclass(frozen=True)
+class IndexedRSResult(RSResult):
+    """An :class:`RSResult` plus the index's speed/recall accounting."""
+
+    #: ``"exact"`` or ``"approximate"``.
+    mode: str = "exact"
+    #: The requested pruning-recall quantile (``None`` in exact mode).
+    recall_target: float | None = None
+    #: Estimated pruning recall (1.0 in exact mode): the fraction of
+    #: exact-mode prunings this run also made, estimated by exactly
+    #: auditing a deterministic sample of the survivors.
+    measured_recall: float = 1.0
+    #: Pairwise pruner candidates the index produced across all objects.
+    candidates_total: int = 0
+    #: ``candidates_total / n²`` — the fraction of the full all-pairs
+    #: scan the index left standing (the sublinear-gate currency).
+    candidate_fraction: float = 0.0
+    #: Tree size, for observability.
+    index_nodes: int = 0
+
+
+class IndexedTRS(TRS):
+    """TRS with index-generated candidate supersets (family ``ITRS``).
+
+    Parameters (beyond :class:`~repro.core.trs.TRS`)
+    ------------------------------------------------
+    backend:
+        ``python`` walks the tree per object with early aborts;
+        ``numpy`` / ``auto`` evaluate whole node frontiers as matrix
+        ops.  Candidate sets — and therefore results — are identical;
+        only charged costs differ.  ``None`` keeps the scalar path.
+    recall_target:
+        ``None`` = exact mode.  A quantile in [0, 1] enables the
+        approximate band rule; higher targets give nested-larger
+        candidate sets (monotone recall).
+    index_seed / index_leaf_size / index_fanout / calibration_samples:
+        Forwarded to :class:`repro.index.IndexParams`.
+    audit_sample:
+        Survivors exactly re-checked per query to estimate
+        ``measured_recall`` in approximate mode.
+    """
+
+    name = "ITRS"
+    #: make_algorithm forwards ``backend=`` / index args to this class.
+    accepts_backend = True
+    accepts_index = True
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        backend: str | None = None,
+        recall_target: float | None = None,
+        index_seed: int = 0,
+        index_leaf_size: int = 32,
+        index_fanout: int = 4,
+        calibration_samples: int = 512,
+        audit_sample: int = 24,
+        attribute_order: Sequence[int] | None = None,
+        presort: bool = True,
+        memory_fraction: float = 0.10,
+        budget: MemoryBudget | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        trace_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            dataset,
+            attribute_order=attribute_order,
+            presort=presort,
+            memory_fraction=memory_fraction,
+            budget=budget,
+            page_bytes=page_bytes,
+            trace_checks=trace_checks,
+        )
+        if recall_target is not None and not 0.0 <= recall_target <= 1.0:
+            raise AlgorithmError(
+                f"{self.name}: recall_target must be in [0, 1], got {recall_target!r}"
+            )
+        self.recall_target = recall_target
+        self.index_params = IndexParams(
+            seed=index_seed,
+            leaf_size=index_leaf_size,
+            fanout=index_fanout,
+            calibration_samples=calibration_samples,
+        )
+        self.audit_sample = int(audit_sample)
+        from repro.kernels import normalize_backend
+
+        self._backend_pref = normalize_backend(backend)
+        self._index_cache: PruningIndex | None = None
+        self._index_fp: str | None = None
+        self._mats: list[np.ndarray] | None = None
+        self._tls = threading.local()
+
+    # -- physical design ----------------------------------------------------
+    def prepare(self) -> None:
+        super().prepare()
+        if self._index_cache is not None:
+            return
+        # Racing preparers (base.run is lock-free) build identical
+        # artifacts — the index is a pure function of (dataset, params).
+        self._tables()  # reject non-categorical / non-zero-diagonal spaces
+        from repro.kernels.plancache import PlanKey, plan_cache, plan_fingerprint
+
+        assert self._layout is not None  # super().prepare() just built it
+        fp = plan_fingerprint(self.dataset, self._layout)
+        key = PlanKey("index", fp, self.index_params.key())
+        index = plan_cache().get(key)
+        if index is None:
+            index = build_index(self.dataset, self.index_params)
+            plan_cache().put(key, index, nbytes=index.memory_bytes())
+        use_numpy = self._backend_pref in ("numpy", "auto")
+        if use_numpy:
+            self._mats = [
+                np.asarray(t, dtype=np.float64) for t in self.dataset.space.tables()
+            ]
+        self.backend = "numpy" if use_numpy else "python"
+        self._index_fp = fp
+        self._index_cache = index
+
+    def index(self) -> PruningIndex:
+        """The built pruning index (building it on first use)."""
+        self.prepare()
+        assert self._index_cache is not None
+        return self._index_cache
+
+    def index_fingerprint(self) -> str:
+        """Plan fingerprint the index artifact is keyed under (shm
+        publication and worker-side cache seeding both reuse it)."""
+        self.prepare()
+        assert self._index_fp is not None
+        return self._index_fp
+
+    # -- query processing ----------------------------------------------------
+    def run(self, query: tuple) -> IndexedRSResult:
+        base = super().run(query)
+        info = getattr(self._tls, "info", None) or {}
+        self._tls.info = None
+        return IndexedRSResult(
+            base.algorithm,
+            base.query,
+            base.record_ids,
+            base.stats,
+            backend=base.backend,
+            mode=info.get("mode", "exact"),
+            recall_target=self.recall_target,
+            measured_recall=info.get("measured_recall", 1.0),
+            candidates_total=info.get("candidates_total", 0),
+            candidate_fraction=info.get("candidate_fraction", 0.0),
+            index_nodes=info.get("index_nodes", 0),
+        )
+
+    def _execute(
+        self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
+    ) -> list[int]:
+        tables = self._tables()
+        index = self.index()
+        n = len(self.dataset)
+        m = self.dataset.num_attributes
+        trace = self.trace_checks
+        slack = (
+            None
+            if self.recall_target is None
+            else (
+                index.slack(self.recall_target),
+                index.slack_out(self.recall_target),
+                index.score_cutoff(self.recall_target),
+            )
+        )
+        stats.db_passes += 1
+        stats.phase1_batches += 1
+        survivors: list[int] = []
+        total_candidates = 0
+
+        if self.backend == "numpy":
+            mats = self._mats
+            assert mats is not None
+            with _obs.span("index.candidates"):
+                cand_lists, total_candidates, node_evals = vector_candidates(
+                    index, mats, query, slack
+                )
+            stats.pruner_tests += node_evals
+            with _obs.span("index.verify"):
+                for _, page in data_file.scan():
+                    for record_id, values in page:
+                        thresholds = np.empty(m, dtype=np.float64)
+                        for i in range(m):
+                            thresholds[i] = mats[i][values[i], query[i]]
+                        prunable, tests = vector_has_pruner(
+                            mats, index.values, record_id, thresholds,
+                            cand_lists[record_id],
+                        )
+                        stats.pruner_tests += tests
+                        stats.charge_phase1(record_id, (tests + 1) * m, trace=trace)
+                        if not prunable:
+                            survivors.append(record_id)
+        else:
+            with _obs.span("index.scan"):
+                for _, page in data_file.scan():
+                    for record_id, values in page:
+                        thresholds = [
+                            tables[i][values[i]][query[i]] for i in range(m)
+                        ]
+                        threshold_sum = 0.0
+                        for t in thresholds:
+                            threshold_sum += t
+                        cands, checks, visited = scalar_candidates(
+                            index, tables, values, thresholds, threshold_sum,
+                            slack, {},
+                        )
+                        total_candidates += len(cands)
+                        prunable, vchecks, tests = scalar_has_pruner(
+                            tables, index.values, record_id, values, thresholds,
+                            cands,
+                        )
+                        stats.pruner_tests += visited + tests
+                        stats.charge_phase1(
+                            record_id, checks + vchecks + m, trace=trace
+                        )
+                        if not prunable:
+                            survivors.append(record_id)
+
+        stats.intermediate_count = total_candidates
+        stats.phase1_pruned = n - len(survivors)
+
+        measured_recall = 1.0
+        if slack is not None:
+            measured_recall = self._audit_recall(
+                tables, index, query, survivors, n, m, stats
+            )
+
+        pruned_fraction = (n - len(survivors)) / n if n else 0.0
+        self._tls.info = {
+            "mode": "exact" if slack is None else "approximate",
+            "measured_recall": measured_recall,
+            "candidates_total": total_candidates,
+            "candidate_fraction": total_candidates / (n * n) if n else 0.0,
+            "index_nodes": index.num_nodes,
+        }
+        if _obs.enabled:
+            _obs.inc("repro_index_candidates_total", total_candidates)
+            _obs.observe("repro_index_pruned_fraction", pruned_fraction)
+            if slack is not None:
+                _obs.observe("repro_index_recall", measured_recall)
+        return survivors
+
+    def _audit_recall(
+        self,
+        tables: list,
+        index: PruningIndex,
+        query: tuple,
+        survivors: list[int],
+        n: int,
+        m: int,
+        stats: CostStats,
+    ) -> float:
+        """Estimate pruning recall by exactly re-checking a bounded,
+        deterministic (evenly strided) sample of the survivors: a
+        survivor with a true pruner is one the exact mode would have
+        removed.  The estimate scales the sampled false-survivor rate
+        to the whole survivor set; it reports, never changes, results.
+        """
+        pruned = n - len(survivors)
+        if not survivors or self.audit_sample <= 0:
+            return 1.0
+        stride = max(1, len(survivors) // self.audit_sample)
+        sample = survivors[::stride][: self.audit_sample]
+        values = index.values
+        false_survivors = 0
+        for x_id in sample:
+            x = tuple(values[x_id])
+            thresholds = [tables[i][x[i]][query[i]] for i in range(m)]
+            prunable, checks, tests = scalar_has_pruner(
+                tables, values, x_id, x, thresholds, range(n)
+            )
+            stats.pruner_tests += tests
+            stats.charge_phase2(x_id, checks, trace=self.trace_checks)
+            if prunable:
+                false_survivors += 1
+        estimated_missed = false_survivors / len(sample) * len(survivors)
+        denominator = pruned + estimated_missed
+        return 1.0 if denominator <= 0 else pruned / denominator

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.base import ReverseSkylineAlgorithm
 from repro.core.brs import BRS
+from repro.core.indexed import IndexedTRS
 from repro.core.naive import NaiveRS
 from repro.core.numeric import NumericTRS
 from repro.core.srs import SRS
@@ -37,6 +38,7 @@ ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
         VectorBRS,
         VectorTRS,
         ScatterGatherTRS,
+        IndexedTRS,
     )
 }
 
@@ -50,6 +52,10 @@ register_variant("TRS", "VectorTRS")
 # to the per-shard scan algorithms it builds internally, so dispatch
 # must hand the name back unchanged and let the class forward `backend`.
 register_variant("SGTRS", "SGTRS", auto=False)
+# ITRS likewise self-pairs: the backend selects the candidate-generation
+# kernel (scalar traversal vs whole-frontier matrix ops) inside the one
+# class, so dispatch hands the name back and the class takes `backend`.
+register_variant("ITRS", "ITRS", auto=False)
 
 
 def get_algorithm(name: str) -> type[ReverseSkylineAlgorithm]:
@@ -67,6 +73,7 @@ def make_algorithm(
     *,
     backend: str | None = None,
     shards: int | None = None,
+    recall_target: float | None = None,
     **kwargs,
 ) -> ReverseSkylineAlgorithm:
     """Instantiate an algorithm by name.
@@ -76,9 +83,11 @@ def make_algorithm(
     names back to their scalar family, ``numpy`` requires a vectorised
     variant, ``auto`` upgrades to it when the dataset qualifies.
     Classes that resolve to themselves and declare ``accepts_backend``
-    (the sharded family) receive the backend as a constructor argument
-    instead. ``shards`` is forwarded to shard-capable classes
-    (``accepts_shards``) and rejected for everything else.
+    (the sharded and indexed families) receive the backend as a
+    constructor argument instead. ``shards`` is forwarded to
+    shard-capable classes (``accepts_shards``) and ``recall_target`` to
+    index-capable ones (``accepts_index``); both are rejected for
+    everything else.
     """
     resolved = resolve_algorithm(name, backend, dataset)
     cls = get_algorithm(resolved)
@@ -91,4 +100,11 @@ def make_algorithm(
                 "use SGTRS (or drop shards=)"
             )
         kwargs["shards"] = shards
+    if recall_target is not None:
+        if not getattr(cls, "accepts_index", False):
+            raise AlgorithmError(
+                f"algorithm {resolved!r} does not support approximate index "
+                "retrieval; use ITRS (or drop recall_target=)"
+            )
+        kwargs["recall_target"] = recall_target
     return cls(dataset, **kwargs)

@@ -92,6 +92,8 @@ class ReverseSkylineEngine:
         algorithm: str = "TRS",
         backend: str | None = None,
         shards: int | None = None,
+        index: bool = False,
+        recall_target: float | None = None,
         memory_fraction: float = 0.10,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         log_queries: bool = True,
@@ -104,10 +106,17 @@ class ReverseSkylineEngine:
             # skyline queries through the scatter-gather family (explicit
             # non-capable algorithm choices still error in make_algorithm).
             algorithm = "SGTRS"
+        if (index or recall_target is not None) and algorithm == "TRS":
+            # Candidate-index requested with the stock default: route
+            # through the indexed family the same way sharding does.
+            algorithm = "ITRS"
         self.default_algorithm = algorithm
         #: Shard count forwarded to shard-capable algorithms (``None``
         #: keeps everything single-partition).
         self.shards = shards
+        #: Approximate-mode pruning-recall target forwarded to
+        #: index-capable algorithms (``None`` keeps exact mode).
+        self.recall_target = recall_target
         #: Compute-backend preference (``python``/``numpy``/``auto``;
         #: ``None`` keeps each algorithm's own class). Applied whenever an
         #: algorithm instance is built, including subset engines.
@@ -171,15 +180,21 @@ class ReverseSkylineEngine:
 
     def _make_algorithm_shell(self, name: str):
         kwargs = {}
-        if self.shards is not None:
+        if self.shards is not None or self.recall_target is not None:
             from repro.core.registry import get_algorithm
             from repro.kernels import resolve_algorithm
 
             resolved = resolve_algorithm(name, self.backend, self.dataset)
+            cls = get_algorithm(resolved)
             # Only shard-capable families take the count; the rest keep
             # their single-partition behaviour (skyband, tiled, ...).
-            if getattr(get_algorithm(resolved), "accepts_shards", False):
+            if self.shards is not None and getattr(cls, "accepts_shards", False):
                 kwargs["shards"] = self.shards
+            # Likewise only index-capable families take the recall knob.
+            if self.recall_target is not None and getattr(
+                cls, "accepts_index", False
+            ):
+                kwargs["recall_target"] = self.recall_target
         algo = make_algorithm(
             name,
             self.dataset,

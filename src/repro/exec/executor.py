@@ -197,6 +197,7 @@ def _process_worker_init(
     backend=None,
     manifest=None,
     shards=None,
+    recall_target=None,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
@@ -231,6 +232,7 @@ def _process_worker_init(
         retry_policy=_WORKER_POLICY,
         backend=backend,
         shards=shards,
+        recall_target=recall_target,
     )
 
 
@@ -744,6 +746,7 @@ class QueryExecutor:
             getattr(engine, "backend", None),
             manifest,
             getattr(engine, "shards", None),
+            getattr(engine, "recall_target", None),
         )
 
     def _group_key(self, spec: QuerySpec):

@@ -377,12 +377,15 @@ def publish_engine(engine) -> ShmManifest | None:
     arrays — callers fall back to the pickle ``initargs`` path and count
     the fallback.
     """
+    from repro.core.indexed import IndexedTRS
     from repro.core.vector_trs import VectorTRS, export_plan
+    from repro.index.tree import export_index
 
     packed = _dataset_arrays(engine.dataset)
     if packed is None:
         return None
     arrays, meta = packed
+    meta["indexes"] = []
 
     # Ship every phase-1/scan plan the parent has already paid for, so
     # workers import instead of rebuilding. The planner's warmed holder
@@ -394,7 +397,27 @@ def publish_engine(engine) -> ShmManifest | None:
     if warm is not None:
         holders.append(warm)
     published: set = set()
+    published_indexes: set = set()
     for j, algo in enumerate(holders):
+        # Prepared ITRS holders ship their pruning tree too, so pool
+        # workers import the index instead of rebuilding it per process.
+        if isinstance(algo, IndexedTRS):
+            index = algo._index_cache
+            fp = algo._index_fp
+            if index is None or fp is None:
+                continue
+            identity = (fp, index.params.key())
+            if identity in published_indexes:
+                continue
+            published_indexes.add(identity)
+            prefix = f"idx{j}."
+            idx_meta, idx_arrays = export_index(index)
+            for key, arr in idx_arrays.items():
+                arrays[prefix + key] = arr
+            meta["indexes"].append(
+                {"prefix": prefix, "fingerprint": fp, "meta": idx_meta}
+            )
+            continue
         if not isinstance(algo, VectorTRS):
             continue
         batches = getattr(algo, "_p1_cache", None)
@@ -506,4 +529,20 @@ def seed_plan_cache(manifest: ShmManifest) -> int:
                 (sub["scan_ids"], sub["scan_vals"], sub["scan_pages"]),
             )
             seeded += 1
+    for idx in manifest.meta.get("indexes", ()):
+        from repro.index.tree import import_index
+
+        prefix = idx["prefix"]
+        sub = {
+            key[len(prefix):]: arr
+            for key, arr in arrays.items()
+            if key.startswith(prefix)
+        }
+        index = import_index(idx["meta"], sub, arrays["data.values"])
+        cache.put(
+            PlanKey("index", idx["fingerprint"], index.params.key()),
+            index,
+            nbytes=index.memory_bytes(),
+        )
+        seeded += 1
     return seeded

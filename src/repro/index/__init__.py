@@ -1,0 +1,35 @@
+"""repro.index — non-metric candidate-generation index.
+
+A VP-tree-shaped pruning tree whose per-node decision rules are
+calibrated against the dataset's actual dissimilarity distribution,
+yielding for each (object, query) pair a superset of its possible
+pruners.  :class:`repro.core.indexed.IndexedTRS` drives it as the
+``ITRS`` algorithm family; see :doc:`docs/indexing` for the exact /
+approximate contract.
+"""
+
+from repro.index.candidates import (
+    scalar_candidates,
+    scalar_has_pruner,
+    vector_candidates,
+    vector_has_pruner,
+)
+from repro.index.tree import (
+    IndexParams,
+    PruningIndex,
+    build_index,
+    export_index,
+    import_index,
+)
+
+__all__ = [
+    "IndexParams",
+    "PruningIndex",
+    "build_index",
+    "export_index",
+    "import_index",
+    "scalar_candidates",
+    "scalar_has_pruner",
+    "vector_candidates",
+    "vector_has_pruner",
+]

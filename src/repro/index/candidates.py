@@ -1,0 +1,355 @@
+"""Candidate generation over the pruning tree.
+
+For a database object ``X`` and query ``Q`` the pruner condition is
+``∀i d_i(x_i, y_i) <= t_i`` with ``t_i = d_i(x_i, q_i)`` (and strict
+somewhere) — see :mod:`repro.skyline.domination`.  Two per-node rules
+decide whether a subtree can still hold such a ``Y``:
+
+**Exact value rule (sound).**  A node stores, per attribute, the set of
+values present beneath it.  If some attribute ``i`` has *no* stored
+value ``u`` with ``d_i(x_i, u) <= t_i``, then every descendant ``Y``
+has ``d_i(x_i, y_i) > t_i`` and the subtree is discarded.  The rule is
+monotone along the tree (a child's value sets are subsets of its
+parent's), so the surviving-leaf set — the candidate set — is the same
+whether a traversal skips subtrees or every node is evaluated.  Every
+true pruner's leaf path survives the rule, so the candidate set is
+always a **superset of the true pruner set**; candidates are then
+verified pairwise, which is why the exact mode's results are
+bit-identical to the AL-Tree oracle's.
+
+**Approximate band rules (calibrated).**  The two classic VP exclusions,
+each with a slack drawn from its own triangle-defect quantile table
+(:meth:`~repro.index.tree.PruningIndex.slack` /
+:meth:`~repro.index.tree.PruningIndex.slack_out`).  A pruner satisfies
+``D(x→y) <= Σ_i t_i``, so a band is discarded when it lies wholly
+*below* the object — ``D(x→v) − band_hi − slack > Σ_i t_i`` — or wholly
+*above* it — ``band_lo − D(v→x) − slack_out > Σ_i t_i``.  The lower cut
+removes bands hugging a vantage the object is far from; the upper cut
+removes far-out bands for an object sitting near the vantage, which is
+what lets cluster-resident objects skip remote outlier mass the
+per-attribute value rule cannot see.  Non-metric measures void each
+bound for the defect tail above the chosen quantile — that tail is
+exactly the recall the caller traded away.
+
+**Approximate leaf-score rule (calibrated).**  The value rule's one
+blind spot is a leaf whose attributes are each satisfied by *different*
+entries — per-attribute presence holds, yet no single entry is jointly
+within every threshold.  At each surviving leaf the approximate mode
+computes the **bottleneck score**: leaf entry count times the product
+of the two smallest per-attribute within-threshold entry fractions (an
+expected-pruner estimate under attribute independence, restricted to
+the two most selective attributes because vantage-ring leaves are
+anti-correlated across attributes).  Leaves scoring below
+:meth:`~repro.index.tree.PruningIndex.score_cutoff` — a low quantile of
+the scores truly-prunable calibration objects saw at their best pruner
+leaf — are dropped.  The quantile level bounds the pruning recall
+surrendered, and the cutoff is monotone in ``recall_target``, so
+candidate sets stay nested.
+
+Both backends evaluate the *same* rules on the same float64 values in
+the same accumulation order, so their candidate sets are identical;
+only the charged costs differ (the scalar path early-aborts, the
+vectorized path evaluates whole frontiers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.tree import PruningIndex
+
+__all__ = [
+    "scalar_candidates",
+    "scalar_has_pruner",
+    "vector_candidates",
+    "vector_has_pruner",
+]
+
+
+def scalar_candidates(
+    index: PruningIndex,
+    tables: list,
+    x: tuple,
+    thresholds: list,
+    threshold_sum: float,
+    slacks: tuple[float, float, float] | None,
+    dxv_cache: dict,
+) -> tuple[list[int], int, int]:
+    """Candidate record ids for one object ``x`` by depth-first
+    traversal with subtree skipping.  Returns ``(candidates,
+    attr_checks, nodes_visited)``; ``slacks`` is ``None`` for exact mode
+    or ``(slack, slack_out, score_cutoff)`` for the two band cuts plus
+    the leaf-score cut; ``dxv_cache`` memoises ``(D(x→v), D(v→x))`` per
+    vantage across the traversal (callers pass a per-object dict).
+    """
+    m = index.num_attributes
+    values = index.values
+    band_vantage = index.band_vantage
+    band_hi = index.band_hi
+    band_lo = index.band_lo
+    child_start = index.child_start
+    child_count = index.child_count
+    leaf_start = index.leaf_start
+    leaf_count = index.leaf_count
+    entry_ids = index.entry_ids
+    value_counts = index.value_counts
+    off = index.attr_offsets
+    vlists = index.value_lists()
+    rows = [tables[i][x[i]] for i in range(m)]
+
+    candidates: list[int] = []
+    checks = 0
+    visited = 0
+    stack = [0]
+    while stack:
+        j = stack.pop()
+        visited += 1
+        if slacks is not None:
+            v = int(band_vantage[j])
+            if v >= 0:
+                pair = dxv_cache.get(v)
+                if pair is None:
+                    vv = values[v]
+                    dxv = 0.0
+                    dvx = 0.0
+                    for i in range(m):
+                        dxv += rows[i][vv[i]]
+                        dvx += tables[i][vv[i]][x[i]]
+                    checks += 2 * m
+                    dxv_cache[v] = pair = (dxv, dvx)
+                else:
+                    dxv, dvx = pair
+                checks += 2
+                if dxv - band_hi[j] - slacks[0] > threshold_sum:
+                    continue
+                if band_lo[j] - dvx - slacks[1] > threshold_sum:
+                    continue
+        node_vals = vlists[j]
+        cc = int(child_count[j])
+        if slacks is not None and cc == 0:
+            # Leaf in approximate mode: one full pass over the value
+            # lists yields both the value verdict (some count > 0 per
+            # attribute) and the bottleneck score.
+            lc = float(leaf_count[j])
+            counts_row = value_counts[j]
+            base = off
+            fracs = []
+            ok = True
+            for i in range(m):
+                row = rows[i]
+                ti = thresholds[i]
+                oi = base[i]
+                cnt = 0
+                for u in node_vals[i]:
+                    checks += 1
+                    if row[u] <= ti:
+                        cnt += int(counts_row[oi + u])
+                if cnt == 0:
+                    ok = False
+                    break
+                fracs.append(cnt / lc)
+            if not ok:
+                continue
+            fracs.sort()
+            score = lc * fracs[0]
+            if m > 1:
+                score = score * fracs[1]
+            checks += 1
+            if score < slacks[2]:
+                continue
+            ls = int(leaf_start[j])
+            candidates.extend(int(r) for r in entry_ids[ls : ls + int(leaf_count[j])])
+            continue
+        ok = True
+        for i in range(m):
+            row = rows[i]
+            ti = thresholds[i]
+            hit = False
+            for u in node_vals[i]:
+                checks += 1
+                if row[u] <= ti:
+                    hit = True
+                    break
+            if not hit:
+                ok = False
+                break
+        if not ok:
+            continue
+        if cc:
+            cs = int(child_start[j])
+            stack.extend(range(cs + cc - 1, cs - 1, -1))
+        else:
+            ls = int(leaf_start[j])
+            candidates.extend(int(r) for r in entry_ids[ls : ls + int(leaf_count[j])])
+    return candidates, checks, visited
+
+
+def scalar_has_pruner(
+    tables: list,
+    values: np.ndarray,
+    x_id: int,
+    x: tuple,
+    thresholds: list,
+    candidates: list[int],
+) -> tuple[bool, int, int]:
+    """Exact pairwise verification of a candidate list, early-aborting
+    per pair and short-circuiting on the first verified pruner.
+    Returns ``(prunable, attr_checks, pair_tests)``."""
+    m = len(thresholds)
+    rows = [tables[i][x[i]] for i in range(m)]
+    checks = 0
+    tests = 0
+    for y_id in candidates:
+        if y_id == x_id:
+            continue  # identity, not value: duplicates still count
+        tests += 1
+        yv = values[y_id]
+        strictly_closer = False
+        dominated = True
+        for i in range(m):
+            checks += 1
+            d = rows[i][yv[i]]
+            ti = thresholds[i]
+            if d > ti:
+                dominated = False
+                break
+            if d < ti:
+                strictly_closer = True
+        if dominated and strictly_closer:
+            return True, checks, tests
+    return False, checks, tests
+
+
+def vector_candidates(
+    index: PruningIndex,
+    mats: list[np.ndarray],
+    query: tuple,
+    slacks: tuple[float, float, float] | None,
+) -> tuple[list, int, int]:
+    """Candidate lists for **every** record at once.
+
+    Returns ``(cand_lists, total_candidates, node_evaluations)`` where
+    ``cand_lists[record_id]`` is a list of entry-id arrays (possibly
+    empty).  Evaluates the per-node rules as whole-frontier matrix ops:
+    for each attribute, one (nodes × values) ∕ (values × values) product
+    answers "does node N hold any value within x's threshold" for every
+    value class of x simultaneously; a single ascending pass then ANDs
+    each node's verdict with its parent's (BFS order guarantees parents
+    precede children), which is exactly the scalar traversal's subtree
+    skipping."""
+    n = index.num_records
+    num_nodes = index.num_nodes
+    m = index.num_attributes
+    values = index.values
+    off = index.attr_offsets
+    cand_lists: list[list] = [[] for _ in range(n)]
+    if n == 0:
+        return cand_lists, 0, 0
+
+    passing = np.ones((n, num_nodes), dtype=bool)
+    cnt_by_attr: list[np.ndarray] = []
+    for i in range(m):
+        c = index.cardinalities[i]
+        mat = mats[i]
+        # allowed[a, u]: is value u within the threshold of an object
+        # whose attribute-i value is a (t_i depends on x only through a).
+        allowed = mat <= mat[:, query[i]][:, None]
+        if slacks is not None:
+            # Entry counts drive both the value verdict (count > 0) and
+            # the leaf scores.  float32 matmul is exact here: every
+            # partial sum is an integer bounded by the subtree size.
+            vc = index.value_counts[:, off[i] : off[i + 1]]
+            counts = vc.astype(np.float32) @ allowed.T.astype(np.float32)
+            cnt_by_attr.append(counts)
+            node_ok = counts > 0.0  # (num_nodes, c): node x class verdicts
+        else:
+            vm = index.value_masks[:, off[i] : off[i + 1]]
+            node_ok = (
+                vm.astype(np.float32) @ allowed.T.astype(np.float32)
+            ) > 0.0  # (num_nodes, c): node x value-class verdicts
+        passing &= node_ok[:, values[:, i]].T
+
+    if slacks is not None:
+        threshold_sum = np.zeros(n, dtype=np.float64)
+        for i in range(m):
+            threshold_sum += mats[i][values[:, i], query[i]]
+        vantages = np.unique(index.band_vantage[index.band_vantage >= 0])
+        dxv = {}
+        dvx = {}
+        for v in vantages:
+            acc = np.zeros(n, dtype=np.float64)
+            acc_out = np.zeros(n, dtype=np.float64)
+            for i in range(m):
+                acc += mats[i][values[:, i], values[v, i]]
+                acc_out += mats[i][values[v, i], values[:, i]]
+            dxv[int(v)] = acc
+            dvx[int(v)] = acc_out
+
+    node_parent = index.node_parent
+    band_vantage = index.band_vantage
+    band_hi = index.band_hi
+    band_lo = index.band_lo
+    for j in range(1, num_nodes):
+        col = passing[:, j]
+        col &= passing[:, node_parent[j]]
+        if slacks is not None:
+            v = int(band_vantage[j])
+            if v >= 0:
+                col &= (dxv[v] - band_hi[j] - slacks[0]) <= threshold_sum
+                col &= (band_lo[j] - dvx[v] - slacks[1]) <= threshold_sum
+        passing[:, j] = col
+
+    total = 0
+    leaf_start = index.leaf_start
+    leaf_count = index.leaf_count
+    entry_ids = index.entry_ids
+    for j in np.nonzero(index.child_count == 0)[0]:
+        lc = int(leaf_count[j])
+        if lc == 0:
+            continue
+        objs = np.nonzero(passing[:, j])[0]
+        if len(objs) == 0:
+            continue
+        if slacks is not None:
+            lc_f = float(lc)
+            fr = np.empty((m, len(objs)), dtype=np.float64)
+            for i in range(m):
+                fr[i] = cnt_by_attr[i][j, values[objs, i]].astype(np.float64) / lc_f
+            fr.sort(axis=0)
+            score = lc_f * fr[0]
+            if m > 1:
+                score = score * fr[1]
+            objs = objs[score >= slacks[2]]
+            if len(objs) == 0:
+                continue
+        ent = entry_ids[leaf_start[j] : leaf_start[j] + lc]
+        total += lc * len(objs)
+        for o in objs:
+            cand_lists[o].append(ent)
+    return cand_lists, total, n * num_nodes
+
+
+def vector_has_pruner(
+    mats: list[np.ndarray],
+    values: np.ndarray,
+    x_id: int,
+    thresholds: np.ndarray,
+    cand_parts: list,
+) -> tuple[bool, int]:
+    """Vectorized pairwise verification for one object. Returns
+    ``(prunable, pair_tests)``."""
+    if not cand_parts:
+        return False, 0
+    cand = np.concatenate(cand_parts)
+    cand = cand[cand != x_id]
+    if len(cand) == 0:
+        return False, 0
+    m = len(thresholds)
+    x = values[x_id]
+    dmat = np.empty((len(cand), m), dtype=np.float64)
+    for i in range(m):
+        dmat[:, i] = mats[i][x[i], values[cand, i]]
+    within = dmat <= thresholds
+    closer = dmat < thresholds
+    dominated = within.all(axis=1) & closer.any(axis=1)
+    return bool(dominated.any()), int(len(cand))

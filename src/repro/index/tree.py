@@ -1,0 +1,633 @@
+"""The non-metric pruning tree (paper Section 3 setting; ROADMAP item).
+
+The paper argues no *metric* index applies to arbitrary non-metric
+dissimilarities and therefore every reverse-skyline query pays an O(n)
+scan.  NMSLIB and Boytsov & Nyberg's low-dimensional non-metric k-NN
+study show the weaker claim is the useful one: a VP-tree *shape* needs
+no metric axioms — only a decision rule calibrated against the measure
+actually in use.  This module builds exactly that:
+
+- **Vantage points** are records drawn deterministically from a seeded
+  RNG (same seed + same dataset → bit-identical tree).
+- **Split radii** are quantiles of the *observed* aggregate
+  dissimilarity ``D(v→y) = Σ_i d_i(v_i, y_i)`` from the node's vantage
+  to its members — calibrated against the data's actual dissimilarity
+  distribution, never against metric assumptions.
+- Every node stores, per attribute, the **set of attribute values**
+  present beneath it.  This supports a *sound* group-elimination rule
+  (see :mod:`repro.index.candidates`): if some attribute has no stored
+  value within the pruner threshold, no descendant can prune — the
+  AL-Tree's level-wise elimination generalised to arbitrary groupings.
+- A **triangle-defect table**: sampled defects
+  ``δ = D(x→v) − D(v→y) − D(x→y)`` quantify how badly the measure
+  violates the triangle inequality.  The approximate mode turns a
+  chosen quantile of this table into a slack term for a VP-style band
+  bound; the quantile *is* the ``recall_target`` knob, and quantiles
+  are monotone — so candidate sets are nested in the target.
+- A **leaf-score calibration table**: per-leaf, per-attribute *entry
+  counts* support an expected-pruner score (see
+  :mod:`repro.index.candidates`) that targets the value rule's one
+  blind spot — leaves whose attributes are each satisfied by
+  *different* entries.  Self-queries drawn from the data calibrate the
+  score each truly-prunable object needs at its best pruner leaf; the
+  ``recall_target`` quantile of that table is the approximate mode's
+  score cutoff, monotone in the target like the defect slacks.
+
+The built tree is flattened to plain numpy arrays (BFS order, children
+contiguous, parent id < child id) so it can live in the process-wide
+plan cache and be published zero-copy over shared memory to pool
+workers, exactly like the phase-1 plans of :mod:`repro.core.vector_trs`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+
+__all__ = [
+    "IndexParams",
+    "PruningIndex",
+    "build_index",
+    "export_index",
+    "import_index",
+]
+
+#: Offsets the calibration RNG stream away from the tree-build stream so
+#: the two draws never alias (golden-ratio constant, arbitrary but fixed).
+_CALIBRATION_STREAM = 0x9E3779B1
+
+
+@dataclass(frozen=True)
+class IndexParams:
+    """Build inputs the index artifact depends on (beyond the dataset)."""
+
+    seed: int = 0
+    #: Stop splitting below this member count; constant leaf size makes
+    #: tree depth — and with it the group-elimination power — grow with n.
+    leaf_size: int = 32
+    #: Children per split: quantile bands of the vantage dissimilarity.
+    fanout: int = 4
+    #: Triples sampled for the triangle-defect calibration table.
+    calibration_samples: int = 512
+
+    def key(self) -> tuple:
+        """Flat tuple for :class:`~repro.kernels.plancache.PlanKey`."""
+        return (self.seed, self.leaf_size, self.fanout, self.calibration_samples)
+
+
+class _BuildNode:
+    __slots__ = ("ids", "band_vantage", "band_hi", "band_lo", "children", "index")
+
+    def __init__(
+        self, ids, band_vantage: int, band_hi: float, band_lo: float
+    ) -> None:
+        self.ids = ids
+        self.band_vantage = band_vantage
+        self.band_hi = band_hi
+        self.band_lo = band_lo
+        self.children: list[_BuildNode] = []
+        self.index = -1
+
+
+class PruningIndex:
+    """Flattened pruning tree over one dataset.
+
+    Array layout (all nodes in BFS order; root is node 0; every node's
+    children occupy a contiguous id range and a parent's id is always
+    smaller than its children's — traversals and rule propagation are a
+    single ascending pass):
+
+    ``node_parent``        parent node id (-1 for the root)
+    ``child_start/count``  the children's node-id range (count 0 = leaf)
+    ``leaf_start/count``   the leaf's slice of ``entry_ids`` (internal: -1/0)
+    ``entry_ids``          record ids, concatenated leaf by leaf
+    ``band_vantage``       record id of the *parent's* vantage (-1 at root)
+    ``band_hi``            max ``D(vantage→y)`` over the node's members
+    ``band_lo``            min ``D(vantage→y)`` over the node's members
+    ``value_masks``        (num_nodes, Σ cardinalities) presence booleans
+    ``value_counts``       (num_nodes, Σ cardinalities) entry counts —
+                           how many subtree entries hold each value
+                           (the masks are exactly ``value_counts > 0``)
+    ``defects``            sorted samples of ``D(x→v) − D(v→y) − D(x→y)``
+                           (calibrates the lower-side cut)
+    ``defects_out``        sorted samples of ``D(v→y) − D(v→x) − D(x→y)``
+                           (calibrates the upper-side cut; asymmetric
+                           measures make the two orientations distinct)
+    ``cal_scores``         sorted per-object calibration scores: for each
+                           sampled truly-prunable object under a
+                           self-query, the best leaf score among the
+                           leaves holding its pruners (calibrates the
+                           approximate leaf-score cutoff)
+
+    ``values`` is the (n, m) record-value matrix in original dataset id
+    order; it is *not* exported (shared-memory workers reuse the dataset
+    arrays already published by :mod:`repro.exec.shm`).
+    """
+
+    __slots__ = (
+        "params",
+        "cardinalities",
+        "attr_offsets",
+        "values",
+        "node_parent",
+        "child_start",
+        "child_count",
+        "leaf_start",
+        "leaf_count",
+        "entry_ids",
+        "band_vantage",
+        "band_hi",
+        "band_lo",
+        "value_masks",
+        "value_counts",
+        "defects",
+        "defects_out",
+        "cal_scores",
+        "_value_lists",
+    )
+
+    def __init__(
+        self,
+        *,
+        params: IndexParams,
+        cardinalities: tuple[int, ...],
+        attr_offsets: np.ndarray,
+        values: np.ndarray,
+        node_parent: np.ndarray,
+        child_start: np.ndarray,
+        child_count: np.ndarray,
+        leaf_start: np.ndarray,
+        leaf_count: np.ndarray,
+        entry_ids: np.ndarray,
+        band_vantage: np.ndarray,
+        band_hi: np.ndarray,
+        band_lo: np.ndarray,
+        value_masks: np.ndarray,
+        value_counts: np.ndarray,
+        defects: np.ndarray,
+        defects_out: np.ndarray,
+        cal_scores: np.ndarray,
+    ) -> None:
+        self.params = params
+        self.cardinalities = cardinalities
+        self.attr_offsets = attr_offsets
+        self.values = values
+        self.node_parent = node_parent
+        self.child_start = child_start
+        self.child_count = child_count
+        self.leaf_start = leaf_start
+        self.leaf_count = leaf_count
+        self.entry_ids = entry_ids
+        self.band_vantage = band_vantage
+        self.band_hi = band_hi
+        self.band_lo = band_lo
+        self.value_masks = value_masks
+        self.value_counts = value_counts
+        self.defects = defects
+        self.defects_out = defects_out
+        self.cal_scores = cal_scores
+        self._value_lists: list | None = None
+
+    # -- shape ---------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.child_start)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.values)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.cardinalities)
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for name in (
+            "values",
+            "node_parent",
+            "child_start",
+            "child_count",
+            "leaf_start",
+            "leaf_count",
+            "entry_ids",
+            "band_vantage",
+            "band_hi",
+            "band_lo",
+            "value_masks",
+            "value_counts",
+            "defects",
+            "defects_out",
+            "cal_scores",
+        ):
+            total += int(getattr(self, name).nbytes)
+        return total
+
+    # -- calibration ---------------------------------------------------------
+    def slack(self, recall_target: float) -> float:
+        """The inbound triangle-defect slack for a recall target in [0, 1].
+
+        Returns the ``recall_target`` quantile of the sampled defect
+        distribution ``D(x→v) − D(v→y) − D(x→y)`` — the slack of the
+        lower-side cut (discard bands wholly *below* ``D(x→v) − Σt``).
+        Quantiles are monotone non-decreasing in the level, so a higher
+        target always yields a looser band bound — fewer (never more)
+        subtrees discarded, hence nested candidate sets (the property
+        :mod:`tests.test_index` pins).
+        """
+        return self._quantile(self.defects, recall_target)
+
+    def slack_out(self, recall_target: float) -> float:
+        """The outbound-defect slack ``D(v→y) − D(v→x) − D(x→y)`` for the
+        upper-side cut (discard bands wholly *above* ``D(v→x) + Σt``).
+        Calibrated separately because asymmetric measures make the two
+        triangle orientations genuinely different distributions."""
+        return self._quantile(self.defects_out, recall_target)
+
+    def score_cutoff(self, recall_target: float) -> float:
+        """The leaf-score cutoff for a recall target in [0, 1].
+
+        Returns the ``1 − recall_target`` quantile of the calibration
+        scores — the leaf score below which only the worst
+        ``1 − recall_target`` share of sampled truly-prunable objects
+        found their best pruner leaf.  Discarding leaves scoring below
+        the cutoff therefore loses roughly that share of prunings.
+        Non-increasing in the target (a higher target cuts fewer
+        leaves), which together with the monotone defect slacks keeps
+        candidate sets nested in ``recall_target``.  When calibration
+        found no prunable objects the table is the sentinel ``[-1.0]``
+        and no leaf is ever cut (scores are non-negative).
+        """
+        if not 0.0 <= recall_target <= 1.0:
+            raise AlgorithmError(
+                f"recall_target must be in [0, 1], got {recall_target!r}"
+            )
+        return self._quantile(self.cal_scores, 1.0 - recall_target)
+
+    @staticmethod
+    def _quantile(samples: np.ndarray, recall_target: float) -> float:
+        if not 0.0 <= recall_target <= 1.0:
+            raise AlgorithmError(
+                f"recall_target must be in [0, 1], got {recall_target!r}"
+            )
+        k = len(samples)
+        idx = min(k - 1, int(round(recall_target * (k - 1))))
+        return float(samples[idx])
+
+    # -- scalar-path helpers --------------------------------------------------
+    def value_lists(self) -> list:
+        """Per-node, per-attribute tuples of present attribute values —
+        the scalar traversal's view of ``value_masks`` (built lazily,
+        once per index instance)."""
+        if self._value_lists is None:
+            off = self.attr_offsets
+            lists = []
+            for node in range(self.num_nodes):
+                row = self.value_masks[node]
+                lists.append(
+                    tuple(
+                        tuple(int(u) for u in np.nonzero(row[off[i] : off[i + 1]])[0])
+                        for i in range(self.num_attributes)
+                    )
+                )
+            self._value_lists = lists
+        return self._value_lists
+
+
+def _leaf_score(
+    counts_row: np.ndarray,
+    attr_offsets: np.ndarray,
+    mats: list[np.ndarray],
+    x_values: np.ndarray,
+    thresholds: np.ndarray,
+    lc: float,
+) -> float:
+    """The expected-pruner **bottleneck score** of one leaf for one
+    object: the leaf's entry count times the product of its two
+    smallest per-attribute within-threshold entry fractions.  The full
+    independence product over-penalises vantage-ring leaves (members
+    share a total dissimilarity, so their per-attribute deviations are
+    anti-correlated); the two most selective attributes carry nearly
+    all the signal.  Must stay arithmetically identical to the query
+    paths in :mod:`repro.index.candidates` — calibration and traversal
+    have to score a leaf the same way."""
+    m = len(thresholds)
+    fracs = []
+    for i in range(m):
+        row = counts_row[attr_offsets[i] : attr_offsets[i + 1]]
+        allowed = mats[i][x_values[i]] <= thresholds[i]
+        fracs.append(float((row * allowed).sum()) / lc)
+    fracs.sort()
+    score = lc * fracs[0]
+    if m > 1:
+        score = score * fracs[1]
+    return score
+
+
+def _dissim_matrices(dataset: Dataset) -> list[np.ndarray]:
+    tables = dataset.space.tables()
+    mats = []
+    for i, t in enumerate(tables):
+        if t is None:
+            raise AlgorithmError(
+                f"repro.index: attribute {i} has no finite lookup table; the "
+                "candidate index requires a fully categorical dissimilarity space"
+            )
+        mats.append(np.asarray(t, dtype=np.float64))
+    return mats
+
+
+def build_index(dataset: Dataset, params: IndexParams | None = None) -> PruningIndex:
+    """Build the pruning tree. Deterministic: a pure function of the
+    dataset contents and ``params`` (the vantage draws come from a
+    seeded generator consumed in a fixed traversal order)."""
+    if params is None:
+        params = IndexParams()
+    if params.leaf_size < 1 or params.fanout < 2:
+        raise AlgorithmError(
+            f"repro.index: need leaf_size >= 1 and fanout >= 2, got "
+            f"leaf_size={params.leaf_size} fanout={params.fanout}"
+        )
+    mats = _dissim_matrices(dataset)
+    cards = tuple(len(t) for t in mats)
+    m = dataset.num_attributes
+    n = len(dataset)
+    if n:
+        values = np.asarray([tuple(r) for r in dataset.records], dtype=np.int64)
+        values = values.reshape(n, m)
+    else:
+        values = np.zeros((0, m), dtype=np.int64)
+
+    def vantage_dissim(vantage: int, ids: np.ndarray) -> np.ndarray:
+        """``D(v→y) = Σ_i d_i(v_i, y_i)`` for every member ``y``."""
+        dist = np.zeros(len(ids), dtype=np.float64)
+        for i in range(m):
+            dist += mats[i][values[vantage, i], values[ids, i]]
+        return dist
+
+    rng = np.random.default_rng(params.seed)
+    root = _BuildNode(np.arange(n, dtype=np.int64), -1, 0.0, 0.0)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if len(node.ids) <= params.leaf_size:
+            continue
+        vantage = int(node.ids[int(rng.integers(len(node.ids)))])
+        dist = vantage_dissim(vantage, node.ids)
+        # Data-calibrated split radii: quantile bands of the observed
+        # vantage dissimilarities (boundary values stay in the lower band).
+        edges = np.quantile(
+            dist, [(b + 1) / params.fanout for b in range(params.fanout - 1)]
+        )
+        assign = np.searchsorted(edges, dist, side="left")
+        kids = []
+        for b in range(params.fanout):
+            sel = assign == b
+            if not sel.any():
+                continue
+            kids.append(
+                _BuildNode(
+                    node.ids[sel],
+                    vantage,
+                    float(dist[sel].max()),
+                    float(dist[sel].min()),
+                )
+            )
+        if len(kids) < 2:
+            continue  # all members equidistant from the vantage: keep as leaf
+        node.children = kids
+        stack.extend(kids)
+
+    # BFS flatten: children enqueued together get contiguous ids.
+    order: list[_BuildNode] = []
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        node.index = len(order)
+        order.append(node)
+        queue.extend(node.children)
+
+    num_nodes = len(order)
+    node_parent = np.full(num_nodes, -1, dtype=np.int32)
+    child_start = np.zeros(num_nodes, dtype=np.int32)
+    child_count = np.zeros(num_nodes, dtype=np.int32)
+    leaf_start = np.full(num_nodes, -1, dtype=np.int32)
+    leaf_count = np.zeros(num_nodes, dtype=np.int32)
+    band_vantage = np.full(num_nodes, -1, dtype=np.int32)
+    band_hi = np.zeros(num_nodes, dtype=np.float64)
+    band_lo = np.zeros(num_nodes, dtype=np.float64)
+    total_card = int(sum(cards))
+    attr_offsets = np.zeros(m + 1, dtype=np.int64)
+    attr_offsets[1:] = np.cumsum(cards)
+    value_masks = np.zeros((num_nodes, total_card), dtype=bool)
+    value_counts = np.zeros((num_nodes, total_card), dtype=np.uint32)
+    entry_chunks: list[np.ndarray] = []
+    next_entry = 0
+    for node in order:
+        j = node.index
+        band_vantage[j] = node.band_vantage
+        band_hi[j] = node.band_hi
+        band_lo[j] = node.band_lo
+        if node.children:
+            child_start[j] = node.children[0].index
+            child_count[j] = len(node.children)
+            for child in node.children:
+                node_parent[child.index] = j
+        else:
+            leaf_start[j] = next_entry
+            leaf_count[j] = len(node.ids)
+            next_entry += len(node.ids)
+            entry_chunks.append(node.ids)
+            for i in range(m):
+                cols = attr_offsets[i] + values[node.ids, i]
+                value_masks[j, cols] = True
+                np.add.at(value_counts[j], cols, 1)
+    # Internal masks/counts aggregate their children's (reverse BFS pass).
+    for node in reversed(order):
+        if node.children:
+            j = node.index
+            lo, hi = child_start[j], child_start[j] + child_count[j]
+            value_masks[j] = value_masks[lo:hi].any(axis=0)
+            value_counts[j] = value_counts[lo:hi].sum(axis=0)
+    entry_ids = (
+        np.concatenate(entry_chunks).astype(np.int32)
+        if entry_chunks
+        else np.zeros(0, dtype=np.int32)
+    )
+
+    # Triangle-defect calibration, both orientations: how badly does the
+    # measure violate the VP bounds D(x→y) >= D(x→v) − D(v→y) (lower-side
+    # cut) and D(x→y) >= D(v→y) − D(v→x) (upper-side cut)?
+    crng = np.random.default_rng(params.seed + _CALIBRATION_STREAM)
+    k = params.calibration_samples
+    if n >= 2 and k > 0:
+        xs = crng.integers(0, n, size=k)
+        vs = crng.integers(0, n, size=k)
+        ys = crng.integers(0, n, size=k)
+        d_xv = np.zeros(k)
+        d_vx = np.zeros(k)
+        d_vy = np.zeros(k)
+        d_xy = np.zeros(k)
+        for i in range(m):
+            d_xv += mats[i][values[xs, i], values[vs, i]]
+            d_vx += mats[i][values[vs, i], values[xs, i]]
+            d_vy += mats[i][values[vs, i], values[ys, i]]
+            d_xy += mats[i][values[xs, i], values[ys, i]]
+        defects = np.sort(d_xv - d_vy - d_xy)
+        defects_out = np.sort(d_vy - d_vx - d_xy)
+    else:
+        defects = np.zeros(1, dtype=np.float64)
+        defects_out = np.zeros(1, dtype=np.float64)
+
+    # Leaf-score calibration: under self-queries (queries drawn from the
+    # data itself — the standard "queries look like data" assumption,
+    # which is also how defect sampling above works), find truly
+    # prunable objects and record the leaf score at their best pruner
+    # leaf.  The approximate cutoff is a low quantile of these scores:
+    # objects whose pruners sit in leaves scoring above it keep at least
+    # one pruner leaf, so the quantile level bounds the pruning recall
+    # given up.
+    scores: list[float] = []
+    if n >= 2 and k > 0:
+        leaf_of = np.empty(n, dtype=np.int64)
+        for j in range(num_nodes):
+            if child_count[j] == 0 and leaf_count[j] > 0:
+                ls = leaf_start[j]
+                leaf_of[entry_ids[ls : ls + leaf_count[j]]] = j
+        pool = (
+            np.arange(n, dtype=np.int64)
+            if n <= 1024
+            else np.sort(crng.choice(n, size=1024, replace=False))
+        )
+        pool_vals = values[pool]
+        cal_x = crng.integers(0, n, size=k)
+        cal_q = crng.integers(0, n, size=k)
+        for x_id, q_id in zip(cal_x, cal_q):
+            xv = values[x_id]
+            qv = values[q_id]
+            thresholds = np.array(
+                [mats[i][xv[i], qv[i]] for i in range(m)], dtype=np.float64
+            )
+            within = np.ones(len(pool), dtype=bool)
+            closer = np.zeros(len(pool), dtype=bool)
+            for i in range(m):
+                d = mats[i][xv[i], pool_vals[:, i]]
+                within &= d <= thresholds[i]
+                closer |= d < thresholds[i]
+            pruners = pool[within & closer & (pool != x_id)]
+            if len(pruners) == 0:
+                continue
+            best = -1.0
+            for j in np.unique(leaf_of[pruners]):
+                score = _leaf_score(
+                    value_counts[j], attr_offsets, mats, xv, thresholds,
+                    float(leaf_count[j]),
+                )
+                if score > best:
+                    best = score
+            scores.append(best)
+    cal_scores = (
+        np.sort(np.asarray(scores, dtype=np.float64))
+        if scores
+        else np.full(1, -1.0, dtype=np.float64)
+    )
+
+    return PruningIndex(
+        params=params,
+        cardinalities=cards,
+        attr_offsets=attr_offsets,
+        values=values,
+        node_parent=node_parent,
+        child_start=child_start,
+        child_count=child_count,
+        leaf_start=leaf_start,
+        leaf_count=leaf_count,
+        entry_ids=entry_ids,
+        band_vantage=band_vantage,
+        band_hi=band_hi,
+        band_lo=band_lo,
+        value_masks=value_masks,
+        value_counts=value_counts,
+        defects=defects,
+        defects_out=defects_out,
+        cal_scores=cal_scores,
+    )
+
+
+# -- zero-copy transport (plan cache / shared memory) ------------------------
+
+def export_index(index: PruningIndex) -> tuple[dict, dict[str, np.ndarray]]:
+    """``(meta, arrays)`` in the shape :func:`repro.exec.shm.publish_arrays`
+    consumes. ``values`` is intentionally omitted — workers already hold
+    the dataset arrays (shm ``data.values`` or the dataset itself)."""
+    meta = {
+        "params": list(index.params.key()),
+        "cardinalities": list(index.cardinalities),
+        "num_records": index.num_records,
+    }
+    arrays = {
+        "node_parent": index.node_parent,
+        "child_start": index.child_start,
+        "child_count": index.child_count,
+        "leaf_start": index.leaf_start,
+        "leaf_count": index.leaf_count,
+        "entry_ids": index.entry_ids,
+        "band_vantage": index.band_vantage,
+        "band_hi": index.band_hi,
+        "band_lo": index.band_lo,
+        "value_masks": index.value_masks.astype(np.uint8),
+        "value_counts": index.value_counts,
+        "defects": index.defects,
+        "defects_out": index.defects_out,
+        "cal_scores": index.cal_scores,
+    }
+    return meta, arrays
+
+
+def import_index(
+    meta: dict, arrays: dict, values: np.ndarray
+) -> PruningIndex:
+    """Rebuild a :class:`PruningIndex` from exported parts. ``arrays``
+    may be read-only shared-memory views — nothing here writes to them
+    (``value_masks`` is reinterpreted, not copied)."""
+    seed, leaf_size, fanout, calibration_samples = meta["params"]
+    params = IndexParams(
+        seed=int(seed),
+        leaf_size=int(leaf_size),
+        fanout=int(fanout),
+        calibration_samples=int(calibration_samples),
+    )
+    cards = tuple(int(c) for c in meta["cardinalities"])
+    attr_offsets = np.zeros(len(cards) + 1, dtype=np.int64)
+    attr_offsets[1:] = np.cumsum(cards)
+    masks = arrays["value_masks"]
+    if masks.dtype != np.bool_:
+        masks = masks.view(np.bool_)
+    values = np.asarray(values, dtype=np.int64).reshape(
+        int(meta["num_records"]), len(cards)
+    )
+    return PruningIndex(
+        params=params,
+        cardinalities=cards,
+        attr_offsets=attr_offsets,
+        values=values,
+        node_parent=np.asarray(arrays["node_parent"]),
+        child_start=np.asarray(arrays["child_start"]),
+        child_count=np.asarray(arrays["child_count"]),
+        leaf_start=np.asarray(arrays["leaf_start"]),
+        leaf_count=np.asarray(arrays["leaf_count"]),
+        entry_ids=np.asarray(arrays["entry_ids"]),
+        band_vantage=np.asarray(arrays["band_vantage"]),
+        band_hi=np.asarray(arrays["band_hi"]),
+        band_lo=np.asarray(arrays["band_lo"]),
+        value_masks=masks,
+        value_counts=np.asarray(arrays["value_counts"]),
+        defects=np.asarray(arrays["defects"]),
+        defects_out=np.asarray(arrays["defects_out"]),
+        cal_scores=np.asarray(arrays["cal_scores"]),
+    )

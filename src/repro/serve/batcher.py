@@ -21,6 +21,21 @@ Deadline discipline: a request whose budget expired while queued is
 resolved with :class:`~repro.errors.DeadlineError` (``stage="queue"``)
 at dispatch time and is **never** handed to a worker — cancelled work
 stops costing anything at the first opportunity.
+
+Adaptive window (``adaptive=True``): the fixed window is the right
+trade only under concurrency — a lone client gains nothing from
+waiting and pays the whole window as added latency on every request.
+The batcher keeps an EWMA of request inter-arrival times; the
+*effective* window collapses to zero unless arrivals are faster than
+one per window **and** the previous round actually collected more
+than one request. Both signals are needed: a lone sequential client
+produces a short gap right after every fast response (which alone
+would re-open the window and re-tax the next request), but its rounds
+are always singletons, so the window stays collapsed. Concurrency is
+still detected with a zero window because requests that land while a
+round executes queue up and are drained together at the next round —
+a multi-member round plus a sub-window EWMA re-opens the full window.
+The window cap never grows, so adaptivity only sheds latency.
 """
 
 from __future__ import annotations
@@ -67,6 +82,8 @@ class BatcherStats:
     singles: int = 0
     #: Queries whose deadline expired while queued (never executed).
     expired_in_queue: int = 0
+    #: Rounds the adaptive window collapsed to zero (sparse arrivals).
+    short_windows: int = 0
     group_sizes: list[int] = field(default_factory=list)
 
 
@@ -84,7 +101,16 @@ class MicroBatcher:
         specs, backend)``) and the :class:`PendingQuery` members in
         spec order. Must not block: the service wraps execution in a
         task so the batcher can keep collecting.
+    adaptive:
+        Collapse the collection window to zero while the observed
+        arrival rate is below one request per window (module
+        docstring); ``window_s`` stays the upper bound either way.
     """
+
+    #: EWMA smoothing for inter-arrival times: heavy enough that one
+    #: stray gap does not re-open the window, light enough that a burst
+    #: restores batching within a few requests.
+    EWMA_ALPHA = 0.2
 
     def __init__(
         self,
@@ -94,16 +120,21 @@ class MicroBatcher:
         group_key: Callable[[Any], Any],
         dispatch: Callable[[Any, list[PendingQuery]], None],
         clock: Callable[[], float] | None = None,
+        adaptive: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.window_s = max(0.0, window_s)
         self.max_batch = max_batch
+        self.adaptive = adaptive
         self._group_key = group_key
         self._dispatch = dispatch
         self._clock = clock
         self._queue: asyncio.Queue = asyncio.Queue()
         self._task: asyncio.Task | None = None
+        self._last_arrival: float | None = None
+        self._ewma_interval: float | None = None
+        self._last_round_size = 0
         self.stats = BatcherStats()
 
     # -- lifecycle -------------------------------------------------
@@ -137,10 +168,36 @@ class MicroBatcher:
     # -- ingest ----------------------------------------------------
 
     def put(self, pending: PendingQuery) -> None:
+        if self.adaptive:
+            now = self._now()
+            if self._last_arrival is not None:
+                gap = now - self._last_arrival
+                if self._ewma_interval is None:
+                    self._ewma_interval = gap
+                else:
+                    self._ewma_interval += self.EWMA_ALPHA * (
+                        gap - self._ewma_interval
+                    )
+            self._last_arrival = now
         self._queue.put_nowait(pending)
 
     def depth(self) -> int:
         return self._queue.qsize()
+
+    def effective_window(self) -> float:
+        """The collection window the next round will use: the full
+        ``window_s`` only when the arrival EWMA says a second request is
+        likely to land inside it *and* the previous round proved there
+        is concurrency to coalesce (module docstring). Before two
+        arrivals there is no rate estimate — assume sparse (zero
+        window), which is the latency-safe default."""
+        if not self.adaptive:
+            return self.window_s
+        if self._ewma_interval is None or self._ewma_interval > self.window_s:
+            return 0.0
+        if self._last_round_size < 2:
+            return 0.0
+        return self.window_s
 
     # -- the collection loop ---------------------------------------
 
@@ -157,7 +214,21 @@ class MicroBatcher:
             batch = [first]
             # The window opens when the first query of the round lands;
             # later arrivals do not extend it (no starvation).
-            closes_at = self._now() + self.window_s
+            window = self.effective_window()
+            if window <= 0.0 and self.window_s > 0.0:
+                self.stats.short_windows += 1
+            closes_at = self._now() + window
+            # A burst that queued up while the previous round executed
+            # coalesces regardless of the window — it costs no waiting.
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _STOP:
+                    self._round(batch)
+                    return
+                batch.append(item)
             while len(batch) < self.max_batch:
                 remaining = closes_at - self._now()
                 if remaining <= 0:
@@ -175,6 +246,7 @@ class MicroBatcher:
     def _round(self, batch: list[PendingQuery]) -> None:
         """Partition one window's worth of queries and dispatch."""
         self.stats.rounds += 1
+        self._last_round_size = len(batch)
         now = self._now()
         live: list[PendingQuery] = []
         for p in batch:

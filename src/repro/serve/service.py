@@ -95,6 +95,10 @@ class ServiceConfig:
     #: Micro-batch collection window (seconds) and size cap.
     batch_window_s: float = 0.002
     max_batch: int = 32
+    #: Collapse the window to zero while arrivals are slower than one
+    #: request per window — a lone client then never pays the window as
+    #: added latency (see :class:`repro.serve.batcher.MicroBatcher`).
+    adaptive_window: bool = True
     #: Per-tenant token bucket; rate 0 disables throttling.
     tenant_rate: float = 0.0
     tenant_burst: float = 0.0
@@ -169,6 +173,7 @@ class QueryService:
             max_batch=self.config.max_batch,
             group_key=lambda spec: planner_group_key(self.engine, spec),
             dispatch=self._dispatch,
+            adaptive=self.config.adaptive_window,
         )
         self._pool = None
         #: Bumped on every successful rebuild; payload tasks remember the
@@ -289,6 +294,7 @@ class QueryService:
             algorithm=old.default_algorithm,
             backend=getattr(old, "backend", None),
             shards=getattr(old, "shards", None),
+            recall_target=getattr(old, "recall_target", None),
             memory_fraction=old.memory_fraction,
             page_bytes=old.page_bytes,
             log_queries=False,
@@ -430,6 +436,8 @@ class QueryService:
             "coalesced": b.coalesced,
             "singles": b.singles,
             "expired_in_queue": b.expired_in_queue,
+            "short_windows": b.short_windows,
+            "effective_window_ms": self._batcher.effective_window() * 1000.0,
             "max_group": max(b.group_sizes, default=0),
         }
         out["latency"] = self.engine.latency_summary()

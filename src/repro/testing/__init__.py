@@ -2,7 +2,7 @@
 
 Public surface: :func:`verify_algorithm`, :func:`verify_executor`,
 :func:`verify_chaos_equivalence`, :func:`verify_sharded_equivalence`,
-:func:`random_workload`,
+:func:`verify_index_equivalence`, :func:`random_workload`,
 :class:`WorkloadCase`, :class:`VerificationReport`,
 :class:`VerificationFailure`, :class:`ChaosReport`, :class:`ChaosFailure`.
 """
@@ -12,7 +12,10 @@ from repro.testing.chaos import (
     ChaosReport,
     verify_chaos_equivalence,
 )
-from repro.testing.differential import verify_sharded_equivalence
+from repro.testing.differential import (
+    verify_index_equivalence,
+    verify_sharded_equivalence,
+)
 from repro.testing.verify import (
     VerificationFailure,
     VerificationReport,
@@ -32,5 +35,6 @@ __all__ = [
     "verify_algorithm",
     "verify_chaos_equivalence",
     "verify_executor",
+    "verify_index_equivalence",
     "verify_sharded_equivalence",
 ]

@@ -1,4 +1,4 @@
-"""Oracle-differential harness for sharded scatter-gather execution.
+"""Oracle-differential harnesses for sharded and indexed execution.
 
 Sharding must be **invisible** in the answer: for any dataset, query,
 shard count and backend, the sharded run has to return the exact record
@@ -21,6 +21,14 @@ and backend, with three invariants asserted per run:
 
     report = verify_sharded_equivalence(trials=50, seed=0)
     assert report.ok, report.failures[0]
+
+:func:`verify_index_equivalence` is the same storm pointed at the
+``ITRS`` candidate-generation index: exact mode must be bit-identical to
+the pruner oracle on every trial, across both compute backends and every
+execution pool (serial / thread / process — the process pool additionally
+exercises the shared-memory index publication path).  Approximate mode
+(``recall_targets``) can only *add* survivors, so those runs assert the
+superset contract plus a sane ``measured_recall``.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from repro.testing.verify import (
     random_workload,
 )
 
-__all__ = ["verify_sharded_equivalence"]
+__all__ = ["verify_index_equivalence", "verify_sharded_equivalence"]
 
 #: CostStats counters that must decompose exactly across shards.
 #: ``wall_time_s`` is deliberately absent: per-shard walls sum to total
@@ -146,4 +154,141 @@ def verify_sharded_equivalence(
                             )
                 if len(report.failures) >= max_failures:
                     return report
+    return report
+
+
+def verify_index_equivalence(
+    *,
+    trials: int = 50,
+    seed: int = 0,
+    backends: tuple[str | None, ...] = ("python", "numpy"),
+    pools: tuple[str, ...] = ("serial", "thread", "process"),
+    recall_targets: tuple[float | None, ...] = (None,),
+    batch_size: int = 3,
+    max_failures: int = 5,
+) -> "VerificationReport":
+    """Replay ``trials`` randomized workloads through ``ITRS`` against
+    the pruner oracle.
+
+    Exact mode (``recall_target=None``, always exercised first) must be
+    **bit-identical** on every trial — same record ids, same order — for
+    every backend, both through a direct :class:`~repro.core.indexed.
+    IndexedTRS` and through the engine's batch executor on every pool in
+    ``pools`` (the process pool publishes the built index over shared
+    memory, so worker-side import is covered too).  Costs may differ
+    between backends; results may not.
+
+    Entries in ``recall_targets`` other than ``None`` run the calibrated
+    band rule and assert the approximate contract instead: the result is
+    a **superset** of the exact reverse skyline (missing a pruner only
+    adds survivors) and ``measured_recall`` is a sane probability.
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be >= 1, got {trials}")
+    if not pools or any(p not in ("serial", "thread", "process") for p in pools):
+        raise ExperimentError(
+            f"pools must be drawn from serial/thread/process, got {pools!r}"
+        )
+    import numpy as np
+
+    from repro.core.registry import make_algorithm
+    from repro.engine import ReverseSkylineEngine
+
+    report = VerificationReport()
+    for t in range(trials):
+        case = random_workload(seed + t)
+        expected = tuple(reverse_skyline_by_pruners(case.dataset, case.query))
+        report.trials += 1
+        rng = np.random.default_rng((seed + t) * 6151 + 3)
+        cards = case.dataset.schema.cardinalities()
+        batch = [case.query] + [
+            tuple(int(rng.integers(0, c)) for c in cards)
+            for _ in range(max(0, batch_size - 1))
+        ]
+        batch_expected = [
+            tuple(reverse_skyline_by_pruners(case.dataset, q)) for q in batch
+        ]
+        for backend in backends:
+            for target in recall_targets:
+                label = f"backend={backend}, recall_target={target}"
+                try:
+                    algo = make_algorithm(
+                        "ITRS",
+                        case.dataset,
+                        backend=backend,
+                        recall_target=target,
+                        budget=MemoryBudget(case.budget_pages),
+                        page_bytes=case.page_bytes,
+                    )
+                    result = algo.run(case.query)
+                    got = tuple(result.record_ids)
+                except Exception as exc:  # noqa: BLE001 - the point is to report it
+                    report.failures.append(
+                        VerificationFailure(
+                            case, expected, None, error=f"{label}: {exc!r}"
+                        )
+                    )
+                    continue
+                if target is None:
+                    if got != expected:
+                        report.failures.append(
+                            VerificationFailure(case, expected, got)
+                        )
+                elif not set(expected) <= set(got) or not (
+                    0.0 <= result.measured_recall <= 1.0
+                ):
+                    report.failures.append(
+                        VerificationFailure(
+                            case,
+                            expected,
+                            got,
+                            error=(
+                                f"{label}: approximate contract violated "
+                                f"(measured_recall={result.measured_recall})"
+                            ),
+                        )
+                    )
+            # Pool coverage runs exact mode only: pools must never change
+            # an answer, and exact answers are pinned to the oracle.
+            for pool in pools:
+                label = f"backend={backend}, pool={pool}"
+                try:
+                    engine = ReverseSkylineEngine(
+                        case.dataset,
+                        algorithm="ITRS",
+                        index=True,
+                        backend=backend,
+                        page_bytes=case.page_bytes,
+                        log_queries=False,
+                    )
+                    batch_report = engine.query_many(
+                        batch,
+                        pool=pool,
+                        workers=2,
+                        cache=False,
+                        shm=(pool == "process"),
+                    )
+                    got_batch = [
+                        tuple(r.record_ids) for r in batch_report.results
+                    ]
+                except Exception as exc:  # noqa: BLE001 - the point is to report it
+                    report.failures.append(
+                        VerificationFailure(
+                            case, expected, None, error=f"{label}: {exc!r}"
+                        )
+                    )
+                    continue
+                for want, have in zip(batch_expected, got_batch):
+                    if want != have:
+                        report.failures.append(
+                            VerificationFailure(
+                                case,
+                                want,
+                                have,
+                                error=f"{label}: pooled result diverged",
+                            )
+                        )
+                        break
+        if len(report.failures) >= max_failures:
+            break
     return report

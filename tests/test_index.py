@@ -1,0 +1,330 @@
+"""The repro.index candidate-generation subsystem.
+
+Unit tests pin the index artifact (determinism, transport, plan-cache
+reuse, backend agreement) and the ITRS contracts; the hypothesis
+properties pin the two soundness claims the whole design rests on:
+
+- **exact superset**: on arbitrary non-metric tables, the value rule's
+  candidate set contains every true pruner of every object — which is
+  why exact-mode results are bit-identical to the oracle's;
+- **monotone recall**: candidate sets are nested non-decreasing in
+  ``recall_target`` (quantile slacks are monotone), and the approximate
+  result never loses a member of the exact reverse skyline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexed import IndexedRSResult, IndexedTRS
+from repro.core.registry import make_algorithm
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.data.synthetic import synthetic_dataset
+from repro.dissim.generators import (
+    nonmetric_dissimilarity,
+    random_dissimilarity,
+)
+from repro.dissim.space import DissimilaritySpace
+from repro.errors import AlgorithmError
+from repro.index import IndexParams, build_index, export_index, import_index
+from repro.index.candidates import scalar_candidates, vector_candidates
+from repro.skyline.oracle import reverse_skyline_by_pruners
+
+
+# --- strategies -------------------------------------------------------------
+
+@st.composite
+def indexed_case(draw, max_records=40, max_attrs=3, max_card=5):
+    """A small fully-categorical dataset with a deliberately non-metric
+    dissimilarity space, plus a query."""
+    m = draw(st.integers(1, max_attrs))
+    cards = [draw(st.integers(3, max_card)) for _ in range(m)]
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(0, max_records))
+    planted = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    schema = Schema.categorical(cards)
+    factory = nonmetric_dissimilarity if planted else random_dissimilarity
+    space = DissimilaritySpace([factory(c, rng) for c in cards])
+    records = [
+        tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)
+    ]
+    ds = Dataset(schema, records, space, validate=False)
+    query = tuple(int(rng.integers(0, c)) for c in cards)
+    return ds, query
+
+
+def _tables(ds):
+    return [np.asarray(t, dtype=np.float64) for t in ds.space.tables()]
+
+
+def _true_pruners(tables, values, x_id, thresholds):
+    """Brute-force pruner set of object ``x_id``: every other record
+    within all thresholds and strictly inside at least one."""
+    pruners = set()
+    for y_id in range(len(values)):
+        if y_id == x_id:
+            continue
+        d = [
+            tables[i][values[x_id, i], values[y_id, i]]
+            for i in range(len(thresholds))
+        ]
+        if all(di <= ti for di, ti in zip(d, thresholds)) and any(
+            di < ti for di, ti in zip(d, thresholds)
+        ):
+            pruners.add(y_id)
+    return pruners
+
+
+def _candidate_sets(ds, query, index, slacks):
+    """Per-object candidate sets from the scalar traversal."""
+    tables = _tables(ds)
+    m = ds.num_attributes
+    out = []
+    for x in ds.records:
+        thresholds = [tables[i][x[i], query[i]] for i in range(m)]
+        cands, _, _ = scalar_candidates(
+            index, tables, tuple(x), thresholds, sum(thresholds), slacks, {}
+        )
+        out.append(set(cands))
+    return out
+
+
+# --- hypothesis: the exact superset property --------------------------------
+
+@given(indexed_case())
+@settings(max_examples=30, deadline=None)
+def test_exact_candidates_contain_every_true_pruner(case):
+    ds, query = case
+    index = build_index(ds, IndexParams(leaf_size=4))
+    tables = _tables(ds)
+    values = index.values
+    m = ds.num_attributes
+    for x_id, x in enumerate(ds.records):
+        thresholds = [tables[i][x[i], query[i]] for i in range(m)]
+        cands, _, _ = scalar_candidates(
+            index, tables, tuple(x), thresholds, sum(thresholds), None, {}
+        )
+        assert _true_pruners(tables, values, x_id, thresholds) <= set(cands)
+
+
+@given(indexed_case())
+@settings(max_examples=20, deadline=None)
+def test_exact_mode_matches_oracle(case):
+    ds, query = case
+    algo = IndexedTRS(ds, index_leaf_size=4)
+    assert list(algo.run(query).record_ids) == reverse_skyline_by_pruners(
+        ds, query
+    )
+
+
+# --- hypothesis: monotone recall in the target ------------------------------
+
+@given(indexed_case(max_records=30), st.integers(0, 4), st.integers(0, 4))
+@settings(max_examples=25, deadline=None)
+def test_candidate_sets_nested_in_recall_target(case, a, b):
+    ds, query = case
+    lo, hi = sorted((a / 4.0, b / 4.0))
+    index = build_index(ds, IndexParams(leaf_size=4))
+    assert index.slack(lo) <= index.slack(hi)
+    assert index.slack_out(lo) <= index.slack_out(hi)
+    assert index.score_cutoff(lo) >= index.score_cutoff(hi)
+    sets_lo = _candidate_sets(
+        ds, query, index,
+        (index.slack(lo), index.slack_out(lo), index.score_cutoff(lo)),
+    )
+    sets_hi = _candidate_sets(
+        ds, query, index,
+        (index.slack(hi), index.slack_out(hi), index.score_cutoff(hi)),
+    )
+    sets_exact = _candidate_sets(ds, query, index, None)
+    for s_lo, s_hi, s_ex in zip(sets_lo, sets_hi, sets_exact):
+        assert s_lo <= s_hi <= s_ex
+
+
+@given(indexed_case(max_records=30), st.integers(0, 10))
+@settings(max_examples=20, deadline=None)
+def test_approximate_result_superset_of_exact(case, tenths):
+    ds, query = case
+    exact = IndexedTRS(ds, index_leaf_size=4).run(query)
+    approx = IndexedTRS(
+        ds, index_leaf_size=4, recall_target=tenths / 10.0
+    ).run(query)
+    assert set(exact.record_ids) <= set(approx.record_ids)
+    assert approx.mode == "approximate"
+    assert 0.0 <= approx.measured_recall <= 1.0
+
+
+# --- unit: artifact determinism and transport -------------------------------
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_dataset(120, [6, 5, 4], seed=23)
+
+
+ARRAY_FIELDS = (
+    "node_parent", "child_start", "child_count", "leaf_start", "leaf_count",
+    "entry_ids", "band_vantage", "band_hi", "band_lo", "value_masks",
+    "value_counts", "defects", "defects_out", "cal_scores",
+)
+
+
+class TestArtifact:
+    def test_build_is_deterministic(self, ds):
+        a = build_index(ds, IndexParams(seed=3, leaf_size=8))
+        b = build_index(ds, IndexParams(seed=3, leaf_size=8))
+        for field in ARRAY_FIELDS:
+            assert np.array_equal(getattr(a, field), getattr(b, field))
+
+    def test_structure_invariants(self, ds):
+        index = build_index(ds, IndexParams(leaf_size=8))
+        assert index.num_records == len(ds)
+        assert index.node_parent[0] == -1
+        # BFS order: every parent id precedes its children's.
+        for j in range(1, index.num_nodes):
+            assert index.node_parent[j] < j
+        # Leaves partition the record ids.
+        assert sorted(index.entry_ids) == list(range(len(ds)))
+        assert index.memory_bytes() > 0
+
+    def test_export_import_round_trip(self, ds):
+        index = build_index(ds, IndexParams(leaf_size=8))
+        meta, arrays = export_index(index)
+        assert "values" not in arrays  # workers reuse the dataset arrays
+        assert arrays["value_masks"].dtype == np.uint8
+        assert arrays["value_counts"].dtype == np.uint32
+        back = import_index(meta, arrays, index.values)
+        assert back.params == index.params
+        for field in ARRAY_FIELDS:
+            assert np.array_equal(getattr(back, field), getattr(index, field))
+        q = tuple(ds.records[0])
+        tables = _tables(ds)
+        assert back.slack(0.5) == index.slack(0.5)
+        assert back.slack_out(0.5) == index.slack_out(0.5)
+        assert back.score_cutoff(0.5) == index.score_cutoff(0.5)
+        for x in ds.records[:5]:
+            t = [tables[i][x[i], q[i]] for i in range(ds.num_attributes)]
+            got, _, _ = scalar_candidates(
+                back, tables, tuple(x), t, sum(t), None, {}
+            )
+            want, _, _ = scalar_candidates(
+                index, tables, tuple(x), t, sum(t), None, {}
+            )
+            assert got == want
+
+    def test_slack_validation(self, ds):
+        index = build_index(ds)
+        with pytest.raises(AlgorithmError):
+            index.slack(1.5)
+        with pytest.raises(AlgorithmError):
+            index.slack_out(-0.1)
+        with pytest.raises(AlgorithmError):
+            index.score_cutoff(1.5)
+        assert index.slack(0.0) <= index.slack(1.0)
+        assert index.score_cutoff(0.0) >= index.score_cutoff(1.0)
+
+    def test_build_rejects_bad_params(self, ds):
+        with pytest.raises(AlgorithmError):
+            build_index(ds, IndexParams(leaf_size=0))
+        with pytest.raises(AlgorithmError):
+            build_index(ds, IndexParams(fanout=1))
+
+    def test_empty_dataset(self):
+        empty = synthetic_dataset(0, [4, 4], seed=1)
+        index = build_index(empty)
+        assert index.num_records == 0
+        assert len(index.entry_ids) == 0
+        result = IndexedTRS(empty).run((0, 0))
+        assert list(result.record_ids) == []
+
+
+# --- unit: backend agreement -------------------------------------------------
+
+class TestBackends:
+    @pytest.mark.parametrize("target", [None, 0.0, 0.5, 1.0])
+    def test_scalar_and_vector_candidates_agree(self, ds, target):
+        index = build_index(ds, IndexParams(leaf_size=8))
+        tables = _tables(ds)
+        query = tuple(ds.records[7])
+        slacks = (
+            None
+            if target is None
+            else (
+                index.slack(target),
+                index.slack_out(target),
+                index.score_cutoff(target),
+            )
+        )
+        cand_lists, total, _ = vector_candidates(index, tables, query, slacks)
+        scalar_sets = _candidate_sets(ds, query, index, slacks)
+        vec_total = 0
+        for x_id, parts in enumerate(cand_lists):
+            got = set(int(r) for part in parts for r in part)
+            vec_total += sum(len(part) for part in parts)
+            assert got == scalar_sets[x_id]
+        assert vec_total == total
+
+    @pytest.mark.parametrize("target", [None, 0.9])
+    def test_backend_results_identical(self, ds, target):
+        query = tuple(ds.records[3])
+        py = IndexedTRS(ds, backend="python", recall_target=target).run(query)
+        nx = IndexedTRS(ds, backend="numpy", recall_target=target).run(query)
+        assert list(py.record_ids) == list(nx.record_ids)
+        assert py.candidates_total == nx.candidates_total
+        assert py.backend == "python" and nx.backend == "numpy"
+
+
+# --- unit: the ITRS algorithm family ----------------------------------------
+
+class TestIndexedTRS:
+    def test_result_accounting(self, ds):
+        result = IndexedTRS(ds).run(tuple(ds.records[0]))
+        assert isinstance(result, IndexedRSResult)
+        assert result.algorithm == "ITRS"
+        assert result.mode == "exact"
+        assert result.measured_recall == 1.0
+        assert result.index_nodes > 1
+        assert result.candidates_total >= 0
+        assert 0.0 <= result.candidate_fraction <= 1.0
+        assert result.stats.db_passes == 1
+
+    def test_rejects_bad_recall_target(self, ds):
+        with pytest.raises(AlgorithmError):
+            IndexedTRS(ds, recall_target=1.5)
+
+    def test_plan_cache_reuses_the_index(self, ds):
+        a = IndexedTRS(ds)
+        b = IndexedTRS(ds)
+        assert a.index() is b.index()
+        assert a.index_fingerprint() == b.index_fingerprint()
+
+    def test_registry_construction(self, ds):
+        algo = make_algorithm("ITRS", ds, backend="numpy", recall_target=0.8)
+        assert isinstance(algo, IndexedTRS)
+        assert algo.recall_target == 0.8
+        with pytest.raises(AlgorithmError):
+            make_algorithm("TRS", ds, recall_target=0.8)
+
+
+# --- the oracle-differential harness ----------------------------------------
+
+class TestDifferential:
+    def test_verify_index_equivalence_smoke(self):
+        from repro.testing import verify_index_equivalence
+
+        report = verify_index_equivalence(
+            trials=4, seed=11, pools=("serial", "thread"),
+            recall_targets=(None, 0.8),
+        )
+        assert report.ok, report.failures
+
+    def test_rejects_unknown_pool(self):
+        from repro.errors import ExperimentError
+        from repro.testing import verify_index_equivalence
+
+        with pytest.raises(ExperimentError):
+            verify_index_equivalence(trials=1, pools=("fiber",))

@@ -196,9 +196,14 @@ class TestServiceRoundTrip:
         handle = server_factory(
             engine,
             # Window far longer than the deadline: the request *will*
-            # still be queued when its budget runs out.
+            # still be queued when its budget runs out. Adaptivity is
+            # pinned off — it would collapse the window for a lone
+            # client, which is exactly what this test must not have.
             ServiceConfig(
-                pool="thread", batch_window_s=0.3, cache=False
+                pool="thread",
+                batch_window_s=0.3,
+                cache=False,
+                adaptive_window=False,
             ),
         )
         with ServeClient("127.0.0.1", handle.port) as client:
@@ -310,6 +315,104 @@ class TestServiceRoundTrip:
             t.join()
         assert not errors
         assert got == want
+
+
+class TestAdaptiveWindow:
+    """The micro-batch window must cost a lone client nothing."""
+
+    def test_effective_window_tracks_arrival_rate(self):
+        from repro.serve.batcher import MicroBatcher, PendingQuery
+
+        now = [0.0]
+        batcher = MicroBatcher(
+            window_s=0.01,
+            max_batch=8,
+            group_key=lambda s: None,
+            dispatch=lambda w, m: None,
+            clock=lambda: now[0],
+            adaptive=True,
+        )
+
+        def arrive():
+            batcher.put(
+                PendingQuery(spec=None, future=_DummyFuture(), deadline=None)
+            )
+
+        # No rate estimate yet: assume sparse, window collapsed.
+        assert batcher.effective_window() == 0.0
+        arrive()
+        assert batcher.effective_window() == 0.0
+        # Sparse traffic (1 req/s >> 10ms window): stays collapsed.
+        for _ in range(4):
+            now[0] += 1.0
+            arrive()
+        assert batcher.effective_window() == 0.0
+        # A sustained burst (1ms gaps) pulls the EWMA under the window,
+        # and once a round actually coalesces the full window is back.
+        for _ in range(30):
+            now[0] += 0.001
+            arrive()
+        assert batcher.effective_window() == 0.0  # no multi-round yet
+        batcher._last_round_size = 2
+        assert batcher.effective_window() == 0.01
+        # Singleton rounds (a lone client) collapse it regardless of the
+        # small gaps its fast responses produce.
+        batcher._last_round_size = 1
+        assert batcher.effective_window() == 0.0
+        # Traffic goes sparse again: collapsed even with coalescing rounds.
+        batcher._last_round_size = 4
+        for _ in range(16):
+            now[0] += 1.0
+            arrive()
+        assert batcher.effective_window() == 0.0
+
+    def test_fixed_mode_keeps_the_window(self):
+        from repro.serve.batcher import MicroBatcher
+
+        batcher = MicroBatcher(
+            window_s=0.01,
+            max_batch=8,
+            group_key=lambda s: None,
+            dispatch=lambda w, m: None,
+            clock=lambda: 0.0,
+            adaptive=False,
+        )
+        assert batcher.effective_window() == 0.01
+
+    def test_single_client_p50_beats_the_window(self, server_factory):
+        """Regression: a lone client's median latency must come in well
+        under the configured window — adaptivity removes the window tax
+        the fixed batcher charged every sequential request."""
+        window_s = 0.08
+        handle = server_factory(
+            _engine(60, (4, 4, 3)),
+            ServiceConfig(
+                pool="thread",
+                workers=1,
+                batch_window_s=window_s,
+                cache=False,
+            ),
+        )
+        walls = []
+        with ServeClient("127.0.0.1", handle.port) as client:
+            for i in range(9):
+                t0 = time.monotonic()
+                resp = client.query((i % 4, i % 4, i % 3))
+                walls.append(time.monotonic() - t0)
+                assert resp["ok"], resp
+        p50 = sorted(walls)[len(walls) // 2]
+        assert p50 < window_s / 2, (
+            f"single-client p50 {p50 * 1000:.1f}ms should beat the "
+            f"{window_s * 1000:.0f}ms window"
+        )
+        assert handle.service._batcher.stats.short_windows > 0
+
+
+class _DummyFuture:
+    """Just enough of a Future for batcher ingest in a loop-free test."""
+
+    def done(self) -> bool:
+        return False
 
 
 class TestFailureSettlement:
