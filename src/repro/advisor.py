@@ -36,7 +36,13 @@ from repro.data.stats import DatasetProfile, profile_dataset
 from repro.errors import ExperimentError
 from repro.sorting.keys import observed_cardinality_order
 
-__all__ = ["IndexSignals", "Recommendation", "index_signals", "recommend"]
+__all__ = [
+    "IndexSignals",
+    "Recommendation",
+    "brs_shape",
+    "index_signals",
+    "recommend",
+]
 
 #: Below this the O(n) scan is cheap enough that building a tree is noise.
 _INDEX_MIN_RECORDS = 2000
@@ -51,6 +57,18 @@ _INDEX_MIN_SPREAD = 0.10
 _APPROX_MIN_RECORDS = 10_000
 _APPROX_MAX_DEFECT_RATE = 0.20
 _APPROX_DEFAULT_TARGET = 0.95
+#: BRS-family recommendations are only honoured on *dense* shapes:
+#: records outnumber the distinct value cells (density >= 1), so block
+#: pruning eliminates most of phase 1 and the scan family can compete
+#: with group reasoning. BENCH_core.json's dense [4,4,4,4] cell records
+#: the measurement behind the threshold.
+_BRS_MIN_DENSITY = 1.0
+
+
+def brs_shape(profile: DatasetProfile) -> bool:
+    """Whether the dataset is the dense low-cardinality shape on which
+    the BRS family is allowed to be recommended."""
+    return profile.density is not None and profile.density >= _BRS_MIN_DENSITY
 
 
 @dataclass(frozen=True)
@@ -206,11 +224,21 @@ def recommend(
             calibration[name] = checks / len(queries)
         cheapest = min(calibration, key=calibration.get)
         if cheapest != algorithm:
-            rationale.append(
-                f"calibration override: {cheapest} measured cheapest "
-                f"({calibration[cheapest]:,.0f} checks/query)"
-            )
-            algorithm = cheapest
+            if cheapest == "BRS" and not brs_shape(profile):
+                rationale.append(
+                    f"calibration favours BRS ({calibration['BRS']:,.0f} "
+                    "checks/query) but the dataset is not dense "
+                    f"low-cardinality (density {profile.density}); the BRS "
+                    "family is only recommended when records outnumber "
+                    f"value cells (density >= {_BRS_MIN_DENSITY:g}) — "
+                    "keeping TRS"
+                )
+            else:
+                rationale.append(
+                    f"calibration override: {cheapest} measured cheapest "
+                    f"({calibration[cheapest]:,.0f} checks/query)"
+                )
+                algorithm = cheapest
         else:
             rationale.append(
                 f"calibration confirms {algorithm} "

@@ -24,14 +24,23 @@ Backends
 (see :mod:`repro.kernels`): the ``python`` backend runs the scalar
 traversals (with the per-scanned-object dissimilarity columns gathered
 once and shared across every query's phase-2 traversal), while the
-``numpy`` backend flattens each batch tree once and routes both phases
-through the frontier kernels — one :func:`~repro.kernels.frontier.\
-batch_is_prunable` sweep per (query, batch) in phase 1, one
-:func:`~repro.kernels.frontier.page_prune` per (query, page) in phase 2,
-with the per-query ``qd`` vectors and per-node ``d(u, q)`` rows gathered
-once per (query, batch). Results, batch structure and page IOs are
-bit-identical across backends; ``checks_*`` follow each backend's
-documented accounting.
+array backends flatten each batch tree once and route both phases
+through kernels. By default the array path is **fused**
+(:mod:`repro.kernels.fused`): one stacked
+:func:`~repro.kernels.frontier.batch_is_prunable` sweep over all
+(candidate, query) rows per batch in phase 1, and one forest descent
+over every member query's survivor tree per page in phase 2 — a single
+kernel invocation per planner group instead of one per query.
+``fused=False`` keeps the PR-4 per-query kernel loop (one sweep per
+(query, batch) / (query, page)), which the benchmarks use as the
+pre-fusion baseline; both produce identical numbers. On top of either
+array shape, ``backend="jit"`` (or ``auto`` escalation) swaps the
+numpy frontier sweeps for the optional compiled tier
+(:mod:`repro.kernels.jit`) when numba is importable, falling back to
+numpy silently otherwise. Results, batch structure and page IOs are
+bit-identical across all of it; ``checks_*`` follow each array shape's
+documented accounting (fused == per-query == jit by construction; only
+``python`` differs, by its early-abort granularity).
 """
 
 from __future__ import annotations
@@ -53,6 +62,8 @@ from repro.core.trs import (
 )
 from repro.data.dataset import Dataset
 from repro.errors import AlgorithmError
+from repro.kernels import fused as fused_kernels
+from repro.kernels import jit as jit_kernels
 from repro.kernels.backend import normalize_backend, numpy_ready
 from repro.kernels.columnar import ColumnarALTree, dissimilarity_matrices
 from repro.kernels.frontier import (
@@ -79,7 +90,8 @@ class MultiQueryResult:
     stats: CostStats
     #: Attribute checks attributable to each query.
     per_query_checks: tuple[int, ...] = field(default=())
-    #: Compute backend that produced this batch (``python`` or ``numpy``).
+    #: Concrete kernel tier that produced this batch (``python``,
+    #: ``numpy``, or ``jit`` when the compiled tier ran).
     backend: str = "python"
     #: Phase split of ``per_query_checks`` (same length; elementwise the
     #: two tuples sum to it). The batch planner uses the split to emit
@@ -99,8 +111,11 @@ class SharedScanTRS:
 
     Construction mirrors :class:`~repro.core.trs.TRS` (same layout step,
     same memory model); :meth:`run_batch` answers any number of queries.
-    ``backend`` selects the compute backend (``python``, ``numpy`` or
-    ``auto``; ``None`` keeps the scalar path).
+    ``backend`` selects the compute backend (``python``, ``numpy``,
+    ``jit`` or ``auto``; ``None`` keeps the scalar path). ``fused``
+    (default) routes the array backends through the fused multi-query
+    kernels — one invocation per (phase, batch/page) for the whole
+    group; ``fused=False`` keeps the per-query kernel loop.
     """
 
     name = "SharedScanTRS"
@@ -114,6 +129,7 @@ class SharedScanTRS:
         budget: MemoryBudget | None = None,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         backend: str | None = None,
+        fused: bool = True,
         fault_injector=None,
         retry_policy=None,
     ) -> None:
@@ -130,6 +146,7 @@ class SharedScanTRS:
         self.budget = self._trs.budget
         self.attribute_order = self._trs.attribute_order
         self.backend = normalize_backend(backend)
+        self.fused = fused
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
 
@@ -144,13 +161,18 @@ class SharedScanTRS:
         self._trs.use_layout(entries)
 
     def _resolve_backend(self) -> str:
-        """The concrete backend for this run (``python`` or ``numpy``)."""
+        """The concrete tier for this run: ``python``, ``numpy``, or
+        ``jit`` (requested or ``auto``-escalated, and only when the
+        compiled tier is importable *and* the fused kernels are in use
+        — the legacy per-query shape has no compiled variant)."""
         if self.backend in (None, "python"):
             return "python"
         if self.backend == "numpy":
             return "numpy"  # unfit datasets rejected by dissimilarity_matrices
+        if self.backend == "jit":
+            return jit_kernels.effective_tier("jit") if self.fused else "numpy"
         if numpy_ready() and self.dataset.space.is_fully_categorical():
-            return "numpy"
+            return jit_kernels.effective_tier("auto") if self.fused else "numpy"
         return "python"
 
     def run_batch(self, queries: Sequence[tuple]) -> MultiQueryResult:
@@ -161,7 +183,11 @@ class SharedScanTRS:
         self.prepare()
         backend = self._resolve_backend()
         tables = self._trs._tables()
-        mats = dissimilarity_matrices(self.dataset, self.name) if backend == "numpy" else None
+        mats = (
+            dissimilarity_matrices(self.dataset, self.name)
+            if backend != "python"
+            else None
+        )
         m = self.dataset.num_attributes
         order = self.attribute_order
 
@@ -183,6 +209,22 @@ class SharedScanTRS:
         pqc1 = [0] * len(qs)
         pqc2 = [0] * len(qs)
         started = time.perf_counter()
+        fused = self.fused and backend != "python"
+        qarr = mats3 = None
+        if fused:
+            qarr = np.asarray(qs, dtype=np.intp).reshape(len(qs), m)
+            if backend == "jit":
+                mats3 = fused_kernels.pad_matrices(mats)
+            fused_kernels.note_fused_group()
+        if _obs.enabled:
+            if fused:
+                _obs.inc("repro_kernel_fused_groups_total", 1, tier=backend)
+            for tier_name in ("python", "numpy", "jit"):
+                _obs.set_gauge(
+                    "repro_kernel_backend_tier",
+                    1.0 if tier_name == backend else 0.0,
+                    tier=tier_name,
+                )
 
         # ---- phase 1: one pass, one tree per batch, k traversals/object --
         scratches = [
@@ -202,7 +244,7 @@ class SharedScanTRS:
         # the batches instead of rebuilding the trees; a cold cache
         # builds them here and publishes for the next run.
         plan_key = plan = None
-        if backend == "numpy":
+        if backend != "python":
             from repro.core.vector_trs import _Phase1Batch  # canonical bundle
             from repro.kernels.plancache import (
                 PlanKey,
@@ -219,36 +261,47 @@ class SharedScanTRS:
         built: list = []
 
         def process_shared(pb) -> None:
-            # One cached-or-fresh bundle, every query's phase-1 sweep.
+            # One cached-or-fresh bundle; fused = one stacked kernel
+            # sweep for the whole group, legacy = one sweep per query.
             with _obs.span("kernel.phase1", backend=backend) as span:
                 b = len(pb.entries)
-                survive = np.zeros((b, len(qs)), dtype=bool)
-                for qi, q in enumerate(qs):
-                    qd = query_distances(mats, pb.vals, q)
-                    prunable = np.zeros(b, dtype=bool)
-                    checks = np.zeros(b, dtype=np.int64)
-                    if pb.dup.any():
-                        positive = qd[pb.dup] > 0.0
-                        hit = positive.any(axis=1)
-                        prunable[pb.dup] = hit
-                        checks[pb.dup] = np.where(
-                            hit, np.argmax(positive, axis=1) + 1, m
-                        )
-                    if pb.rest.size:
-                        prunable[pb.rest], checks[pb.rest] = batch_is_prunable(
-                            pb.col,
-                            mats,
-                            order,
-                            pb.rest_vals,
-                            qd[pb.rest],
-                            pb.rest_paths,
-                            leaf_mins=pb.leaf_mins,
-                        )
-                    total = int(checks.sum())
-                    stats.checks_phase1 += total
-                    pqc1[qi] += total
-                    stats.pruner_tests += b
-                    survive[:, qi] = ~prunable
+                if fused:
+                    survive, checks2d = fused_kernels.fused_phase1(
+                        pb, mats, order, qarr, tier=backend, mats3=mats3
+                    )
+                    per_q = checks2d.sum(axis=0)
+                    for qi in range(len(qs)):
+                        pqc1[qi] += int(per_q[qi])
+                    stats.checks_phase1 += int(per_q.sum())
+                    stats.pruner_tests += b * len(qs)
+                else:
+                    survive = np.zeros((b, len(qs)), dtype=bool)
+                    for qi, q in enumerate(qs):
+                        qd = query_distances(mats, pb.vals, q)
+                        prunable = np.zeros(b, dtype=bool)
+                        checks = np.zeros(b, dtype=np.int64)
+                        if pb.dup.any():
+                            positive = qd[pb.dup] > 0.0
+                            hit = positive.any(axis=1)
+                            prunable[pb.dup] = hit
+                            checks[pb.dup] = np.where(
+                                hit, np.argmax(positive, axis=1) + 1, m
+                            )
+                        if pb.rest.size:
+                            prunable[pb.rest], checks[pb.rest] = batch_is_prunable(
+                                pb.col,
+                                mats,
+                                order,
+                                pb.rest_vals,
+                                qd[pb.rest],
+                                pb.rest_paths,
+                                leaf_mins=pb.leaf_mins,
+                            )
+                        total = int(checks.sum())
+                        stats.checks_phase1 += total
+                        pqc1[qi] += total
+                        stats.pruner_tests += b
+                        survive[:, qi] = ~prunable
                 # Append survivors candidate-major (query-minor) — the
                 # scalar append order — so writer page flushes hit the
                 # disk-head model in the same sequence.
@@ -330,7 +383,7 @@ class SharedScanTRS:
                 next_batch += 1
         else:
             process_batch = (
-                process_batch_numpy if backend == "numpy" else process_batch_python
+                process_batch_python if backend == "python" else process_batch_numpy
             )
             for page_id, page in data_file.scan():
                 for record_id, values in page:
@@ -392,14 +445,19 @@ class SharedScanTRS:
                         break
             stats.phase2_batches += 1
             stats.db_passes += 1
-            if backend == "numpy":
-                self._phase2_round_numpy(
-                    data_file, trees, qs, mats, order, results, stats,
-                    pqc2,
-                )
-            else:
+            if backend == "python":
                 self._phase2_round_python(
                     data_file, trees, qs, tables, m, qcols, results, stats,
+                    pqc2,
+                )
+            elif fused:
+                self._phase2_round_fused(
+                    data_file, trees, qs, mats, order, results, stats,
+                    pqc2, backend, mats3,
+                )
+            else:
+                self._phase2_round_numpy(
+                    data_file, trees, qs, mats, order, results, stats,
                     pqc2,
                 )
 
@@ -442,6 +500,41 @@ class SharedScanTRS:
                     per_query_checks[qi] += checks
         for qi, t in trees.items():
             results[qi].extend(rid for rid, _ in t.iter_entries())
+
+    @staticmethod
+    def _phase2_round_fused(
+        data_file, trees, qs, mats, order, results, stats, per_query_checks,
+        tier, mats3,
+    ) -> None:
+        """One shared pass pruning *every* member tree per page: the
+        round's trees are concatenated into a forest and each scanned
+        page runs one descent (numpy frontier or compiled DFS) instead
+        of one :func:`page_prune` per query. Decisions, IO and the
+        per-query check attribution are identical to the per-query
+        round — see :mod:`repro.kernels.fused`."""
+        with _obs.span("kernel.phase2", backend=tier) as span:
+            forest = fused_kernels.build_forest(
+                (qi, col, query_node_rows(col, mats, order, qs[qi]))
+                for qi, t in trees.items()
+                for col in (ColumnarALTree.from_tree(t),)
+            )
+            for _, dpage in data_file.scan():
+                if forest is None or forest.live_total == 0:
+                    break
+                e_ids = np.asarray([rid for rid, _ in dpage], dtype=np.intp)
+                e_vals = np.asarray([v for _, v in dpage], dtype=np.intp)
+                pq = fused_kernels.fused_page_prune(
+                    forest, mats, order, e_ids, e_vals, tier=tier, mats3=mats3
+                )
+                stats.checks_phase2 += int(pq.sum())
+                for j, qi in enumerate(forest.qis):
+                    per_query_checks[qi] += int(pq[j])
+            survivors = 0
+            if forest is not None:
+                for qi, ids in forest.survivors():
+                    survivors += ids.size
+                    results[qi].extend(int(rid) for rid in ids)
+            span.annotate("survivors", survivors)
 
     @staticmethod
     def _phase2_round_numpy(

@@ -42,11 +42,27 @@ ALGORITHMS: dict[str, type[ReverseSkylineAlgorithm]] = {
     )
 }
 
+def _vector_brs_profitable(dataset) -> bool:
+    """Shape gate for VectorBRS under ``auto`` dispatch.
+
+    The code-table rewrite (see :mod:`repro.core.vectorized`) benches
+    VectorBRS at 1.5-3.7x of scalar BRS across the measured workloads
+    (BENCH_core.json), reversing the ~0.46x regression that originally
+    demoted it. Its per-(candidate, value) tables pay per *distinct
+    value* rather than per object, so the win is only established while
+    every attribute's cardinality stays within the phase-1 column-block
+    width; beyond that the tables outgrow the pair blocks they replace
+    and the measurement no longer covers the shape.
+    """
+    from repro.core.vectorized import _COL_BLOCK
+
+    return max(dataset.schema.cardinalities(), default=0) <= _COL_BLOCK
+
+
 # Scalar/vector pairings for backend dispatch (idempotent). VectorBRS
-# is demoted from `auto` dispatch: BENCH_core.json pins it at ~0.46x of
-# scalar TRS on the core workload, so `auto` would be a slowdown —
-# explicit backend="numpy" still selects it.
-register_variant("BRS", "VectorBRS", auto=False)
+# is re-admitted to `auto` dispatch behind the shape gate above; an
+# explicit backend="numpy" always selects it regardless of shape.
+register_variant("BRS", "VectorBRS", auto=_vector_brs_profitable)
 register_variant("TRS", "VectorTRS")
 # SGTRS is its own variant on every backend: the backend choice applies
 # to the per-shard scan algorithms it builds internally, so dispatch

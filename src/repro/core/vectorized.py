@@ -16,10 +16,15 @@ orders of magnitude faster in Python. It exists for two reasons:
 
 Phase 1 examines candidate pruners in column blocks, dropping objects
 from the row set as soon as a block produces their pruner (the
-vectorised early abort), and propagates surviving pairs as sparse index
-vectors across the remaining attributes. The ``checks`` counters report
-the comparisons actually performed, and ``RSResult``s remain
-bit-identical to BRS's in membership and page IOs.
+vectorised early abort). Within a block the domination test composes
+*dense* per-attribute masks (``all attrs <=`` AND ``some attr <``) —
+the same shape phase 2 uses — rather than propagating surviving pairs
+as sparse index vectors: profiling showed the sparse form's
+``np.nonzero`` pair lists explode precisely on the dense
+low-cardinality workloads where BRS is supposed to shine (most pairs
+survive the first attribute), burying the win under index arithmetic.
+The ``checks`` counters report the comparisons actually performed, and
+``RSResult``s remain bit-identical to BRS's in membership and page IOs.
 """
 
 from __future__ import annotations
@@ -78,40 +83,45 @@ class VectorBRS(ReverseSkylineAlgorithm):
             qd = [mats[i][cols[i], query[i]] for i in range(m)]
             # Candidate pruners are examined in COLUMN BLOCKS; objects
             # whose pruner was found in an earlier block drop out of the
-            # row set — the vectorised analogue of the scalar early abort.
+            # row set — the vectorised analogue of the scalar early
+            # abort. Within a block, dense mask composition: domination
+            # = (all attrs <=) AND (some attr <). The pair comparisons
+            # go through per-(candidate, value) code tables — only
+            # ``cardinality`` columns wide — so each (candidate, object)
+            # pair costs one uint8 column-take instead of a float64
+            # matrix gather: the low-cardinality case pays per distinct
+            # value, not per object.
             undecided = np.arange(b)
             for cstart in range(0, b, _COL_BLOCK):
                 if undecided.size == 0:
                     break
                 cstop = min(cstart + _COL_BLOCK, b)
                 y = np.arange(cstart, cstop)
-                d0 = mats[0][cols[0][undecided][:, None], cols[0][y][None, :]]
-                q0 = qd[0][undecided][:, None]
-                leq = d0 <= q0
+                stats.pruner_tests += int(undecided.size) * (cstop - cstart)
+                leq = None
+                lt = None
+                for i in range(m):
+                    rows_i = mats[i][cols[i][undecided]]  # (U, card)
+                    qv = qd[i][undecided][:, None]
+                    # 0 = not <=, 1 = == threshold, 2 = strictly <.
+                    codes = (rows_i <= qv).view(np.uint8) + (rows_i < qv)
+                    pair = codes[:, cols[i][y]]
+                    stats.checks_phase1 += int(undecided.size) * (cstop - cstart)
+                    if leq is None:
+                        leq, lt = pair > 0, pair > 1
+                    else:
+                        leq &= pair > 0
+                        lt |= pair > 1
+                    if not leq.any():
+                        break  # no pair can dominate; skip later attrs
+                pruner = leq & lt
                 # Self-pairs never prune (identity, not value).
                 in_block = (undecided >= cstart) & (undecided < cstop)
-                leq[np.flatnonzero(in_block), undecided[in_block] - cstart] = False
-                stats.checks_phase1 += int(undecided.size) * (cstop - cstart)
-                stats.pruner_tests += int(undecided.size) * (cstop - cstart)
-                pr, pc = np.nonzero(leq)
-                strict = d0[pr, pc] < qd[0][undecided[pr]]
-                for i in range(1, m):
-                    if pr.size == 0:
-                        break
-                    vals = mats[i][cols[i][undecided[pr]], cols[i][y[pc]]]
-                    qv = qd[i][undecided[pr]]
-                    stats.checks_phase1 += int(pr.size)
-                    keep = vals <= qv
-                    strict = strict[keep] | (vals[keep] < qv[keep])
-                    pr = pr[keep]
-                    pc = pc[keep]
-                if pr.size:
-                    newly = np.unique(pr[strict])
-                    if newly.size:
-                        pruned[undecided[newly]] = True
-                        mask = np.ones(undecided.size, dtype=bool)
-                        mask[newly] = False
-                        undecided = undecided[mask]
+                pruner[np.flatnonzero(in_block), undecided[in_block] - cstart] = False
+                newly = pruner.any(axis=1)
+                if newly.any():
+                    pruned[undecided[newly]] = True
+                    undecided = undecided[~newly]
             for keep_id, keep_values, is_pruned in zip(ids, rows, pruned):
                 if not is_pruned:
                     writer.append(keep_id, keep_values)
@@ -136,6 +146,10 @@ class VectorBRS(ReverseSkylineAlgorithm):
         _, batch_pages = self.budget.split_for_second_phase()
         result: list[int] = []
         page_idx = 0
+        # The data file is re-scanned once per alive batch; the pure
+        # list->array conversion of each page is cached across batches
+        # (the scan itself — and its IO charging — is not short-cut).
+        page_arrays: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         while page_idx < scratch.num_pages:
             rbatch: list[tuple[int, tuple]] = []
             last = min(page_idx + batch_pages, scratch.num_pages)
@@ -149,28 +163,39 @@ class VectorBRS(ReverseSkylineAlgorithm):
             qd = [
                 mats[i][alive_vals[:, i], query[i]] for i in range(m)
             ]
+            # Per-(alive, value) domination code tables — 0 = not <=,
+            # 1 = == threshold, 2 = strictly < — built once per alive
+            # batch so each data page costs one uint8 column-take per
+            # attribute instead of a float64 pair gather.
+            codes = []
+            for i in range(m):
+                rows_i = mats[i][alive_vals[:, i]]
+                qcol = qd[i][:, None]
+                codes.append((rows_i <= qcol).view(np.uint8) + (rows_i < qcol))
             alive_mask = np.ones(len(rbatch), dtype=bool)
-            for _, dpage in data_file.scan():
+            for dpid, dpage in data_file.scan():
                 if not alive_mask.any():
                     break
-                e_ids = np.asarray([rid for rid, _ in dpage], dtype=np.intp)
-                e_vals = np.asarray([v for _, v in dpage], dtype=np.intp)
+                cached = page_arrays.get(dpid)
+                if cached is None:
+                    cached = page_arrays[dpid] = (
+                        np.asarray([rid for rid, _ in dpage], dtype=np.intp),
+                        np.asarray([v for _, v in dpage], dtype=np.intp),
+                    )
+                e_ids, e_vals = cached
                 live = np.flatnonzero(alive_mask)
                 leq = None
                 lt = None
                 for i in range(m):
-                    d = mats[i][alive_vals[live, i][:, None], e_vals[None, :, i]]
-                    qcol = qd[i][live][:, None]
-                    cond_leq = d <= qcol
-                    cond_lt = d < qcol
+                    pair = codes[i][live][:, e_vals[:, i]]
                     if leq is None:
-                        leq, lt = cond_leq, cond_lt
+                        leq, lt = pair > 0, pair > 1
                     else:
                         # Domination = (all attrs <=) and (some attr <);
                         # strict-< implies <=, so OR-ing strictness and
                         # AND-ing the <= masks composes correctly.
-                        leq &= cond_leq
-                        lt |= cond_lt
+                        leq &= pair > 0
+                        lt |= pair > 1
                 stats.checks_phase2 += live.size * e_ids.size * m
                 stats.pruner_tests += live.size * e_ids.size
                 pruner = leq & lt

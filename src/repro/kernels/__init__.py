@@ -9,15 +9,22 @@ structures, selected through a small backend registry:
 - ``python`` — the scalar reference implementations.
 - ``numpy``  — vectorised variants (``VectorTRS``, ``VectorBRS``)
   operating on the :class:`~repro.kernels.columnar.ColumnarALTree` and
-  column-block pair gathers.
+  column-block pair gathers; shared-scan groups additionally run the
+  *fused* multi-query kernels (:mod:`repro.kernels.fused`) — one
+  stacked sweep per batch/page for the whole group.
+- ``jit``    — the numpy classes with the fused shared-scan loops
+  compiled by :mod:`repro.kernels.jit` (optional numba; silently
+  degrades to ``numpy`` when absent — identical numbers either way).
 - ``auto``   — ``numpy`` whenever a vectorised variant exists and the
-  dataset qualifies (fully categorical, numpy importable), else
-  ``python``.
+  dataset qualifies (fully categorical, numpy importable; shape-gated
+  variants additionally need their workload predicate to accept), else
+  ``python``; shared scans escalate to ``jit`` when compiled.
 
 Vectorised variants are **bit-identical** to their scalar counterparts in
 result membership, batch structure, database passes and page-IO counts;
 only the ``checks_*`` accounting differs (frontier/column-block
-granularity — see ``docs/performance.md``).
+granularity — see ``docs/performance.md``). The ``jit`` tier is
+bit-identical to ``numpy`` in *everything*, checks included.
 """
 
 from __future__ import annotations

@@ -29,34 +29,47 @@ __all__ = [
 ]
 
 #: The backend names every ``--backend`` / ``backend=`` site accepts.
-BACKENDS = ("python", "numpy", "auto")
+#: ``jit`` selects the numpy algorithm classes but escalates the fused
+#: shared-scan kernels to compiled loops when :mod:`repro.kernels.jit`
+#: reports numba importable (graceful numpy fallback otherwise).
+BACKENDS = ("python", "numpy", "jit", "auto")
 
 #: scalar algorithm name -> numpy-variant algorithm name.
 _VECTOR_OF: dict[str, str] = {}
 #: numpy-variant algorithm name -> scalar algorithm name.
 _SCALAR_OF: dict[str, str] = {}
-#: vector names ``auto`` is allowed to pick. Registration opts out the
-#: variants that are *correct* but not a default win (BENCH_core.json
-#: showed VectorBRS at ~0.46x of the scalar path: BRS re-scans dominate
-#: and its per-page batches are too small to amortise the numpy
-#: dispatch), so ``auto`` only upgrades where it is also a speedup.
+#: vector names ``auto`` is allowed to pick unconditionally. Variants
+#: that win only on particular workload shapes register a *predicate*
+#: instead (see ``_AUTO_WHEN``): VectorBRS, for example, pays per-page
+#: batch overheads that only amortise on dense low-cardinality schemas,
+#: so ``auto`` upgrades BRS only there (BENCH_core.json records both
+#: the demotion measurement and the shape on which it now wins).
 _AUTO_OK: set[str] = set()
+#: vector name -> predicate(dataset) gating ``auto`` dispatch by
+#: workload shape. A predicate variant with no dataset in hand stays
+#: scalar (conservative: shape unknown).
+_AUTO_WHEN: dict[str, object] = {}
 
 
-def register_variant(scalar: str, vector: str, *, auto: bool = True) -> None:
+def register_variant(scalar: str, vector: str, *, auto=True) -> None:
     """Declare ``vector`` as the numpy-backend variant of ``scalar``.
 
     Called at import time by :mod:`repro.core.registry` for each pair;
-    idempotent so re-imports are harmless. ``auto=False`` keeps the
-    variant reachable via an explicit ``backend="numpy"`` request but
-    excludes it from ``auto`` dispatch.
+    idempotent so re-imports are harmless. ``auto`` may be:
+
+    - ``True``  — ``auto`` dispatch may always pick the variant;
+    - ``False`` — reachable via explicit ``backend="numpy"`` only;
+    - a callable ``predicate(dataset) -> bool`` — ``auto`` picks the
+      variant exactly when the predicate accepts the dataset's shape.
     """
     _VECTOR_OF[scalar] = vector
     _SCALAR_OF[vector] = scalar
-    if auto:
+    _AUTO_OK.discard(vector)
+    _AUTO_WHEN.pop(vector, None)
+    if callable(auto):
+        _AUTO_WHEN[vector] = auto
+    elif auto:
         _AUTO_OK.add(vector)
-    else:
-        _AUTO_OK.discard(vector)
 
 
 def vector_variant(name: str) -> str | None:
@@ -106,8 +119,13 @@ def resolve_algorithm(name: str, backend: str | None, dataset=None) -> str:
       back to their scalar counterparts).
     - ``numpy``    — the vector variant; an explicit request for an
       algorithm with no vectorised implementation is an error.
+    - ``jit``      — the vector variant too: algorithm *classes* are
+      shared between the numpy and jit tiers; the tier split happens
+      inside the fused shared-scan kernels (:mod:`repro.kernels.jit`).
     - ``auto``     — the vector variant when one exists, numpy imports,
-      and ``dataset`` (when given) is fully categorical; else ``name``.
+      ``dataset`` (when given) is fully categorical, and the variant is
+      either unconditionally auto-eligible or its shape predicate
+      accepts the dataset; else ``name``.
     """
     backend = normalize_backend(backend)
     if backend is None:
@@ -115,20 +133,27 @@ def resolve_algorithm(name: str, backend: str | None, dataset=None) -> str:
     if backend == "python":
         return scalar_variant(name)
     vector = vector_variant(name)
-    if backend == "numpy":
+    if backend in ("numpy", "jit"):
         if vector is None:
             raise AlgorithmError(
-                f"algorithm {name!r} has no numpy backend; "
+                f"algorithm {name!r} has no {backend} backend; "
                 f"available backends: {', '.join(available_backends(name))}"
             )
         if not numpy_ready():  # pragma: no cover - numpy is a hard dep today
-            raise AlgorithmError("numpy backend requested but numpy is not importable")
+            raise AlgorithmError(
+                f"{backend} backend requested but numpy is not importable"
+            )
         return vector
     # auto: upgrade when it is guaranteed safe AND a known win, fall
     # back silently otherwise (explicit backend="numpy" still honours
     # demoted variants).
-    if vector is None or vector not in _AUTO_OK or not numpy_ready():
+    if vector is None or not numpy_ready():
         return scalar_variant(name)
     if dataset is not None and not dataset.space.is_fully_categorical():
         return scalar_variant(name)
-    return vector
+    if vector in _AUTO_OK:
+        return vector
+    predicate = _AUTO_WHEN.get(vector)
+    if predicate is not None and dataset is not None and predicate(dataset):
+        return vector
+    return scalar_variant(name)

@@ -1,0 +1,397 @@
+"""Optional numba JIT tier for the fused shared-scan kernels.
+
+The numpy frontier kernels pay one python-level dispatch per tree level
+per chunk; a compiled depth-first walk pays none. This module compiles
+the two fused traversals — phase 1's stacked ``IsPrunable`` and phase
+2's forest ``Prune`` — with :func:`numba.njit` **when numba is
+importable**, and degrades to the numpy tier otherwise. The tier is an
+implementation detail behind the backend registry: ``backend="jit"``
+(or ``auto`` escalation) changes wall time only. Every observable
+number — results, batch structure, page IOs, ``pruner_tests``, even the
+per-query ``checks_*`` decomposition — is identical to the numpy tier,
+because the compiled walks replicate the frontier kernels' accounting
+exactly (live-gated check counting, biggest-root-first chunking, the
+collapsed-leaf probe). ``tests/test_fused.py`` pins that equivalence on
+the *uncompiled* kernels, so it holds in environments without numba;
+the compile-time self-check below proves compiled == uncompiled before
+the tier is ever used.
+
+Fallback semantics
+------------------
+``jit_ready()`` is the single gate. It is False when:
+
+- ``numba`` does not import (the common case: optional dependency), or
+- compilation raises, or
+- the post-compile self-check finds any divergence from the uncompiled
+  kernels (a numba lowering/typing bug — never silently trusted).
+
+All three degrade to the numpy tier without error; the failure reason
+is kept for diagnostics (:func:`status`). Compilation happens at most
+once per process and its cost is exported as
+``repro_kernel_jit_compile_seconds`` when observability is on.
+
+The kernel functions are written as plain, numba-compatible Python
+(explicit stacks, flat arrays, no closures) so they run — slowly — as
+ordinary interpreted code. That is what the differential tests
+exercise when numba is absent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.obs import hooks as _obs
+
+__all__ = [
+    "compile_seconds",
+    "effective_tier",
+    "jit_ready",
+    "kernels",
+    "phase1_descend",
+    "phase2_descend",
+    "reset",
+    "status",
+]
+
+#: Compilation state: "unchecked" -> "ready" | "fallback".
+_state = {
+    "phase": "unchecked",
+    "kernels": None,  # {"phase1": fn, "phase2": fn} when ready
+    "compile_seconds": 0.0,
+    "reason": None,
+}
+
+
+def _import_numba():
+    """Import hook, separated so tests can monkeypatch numba's absence."""
+    import numba
+
+    return numba
+
+
+# ---------------------------------------------------------------------------
+# The kernels. Plain Python, nopython-compilable: flat arrays in, flat
+# arrays out, explicit DFS stacks, no allocation beyond the stacks.
+# ---------------------------------------------------------------------------
+
+
+def phase1_descend(
+    m,
+    level_off,
+    keys,
+    desc,
+    cs,
+    ce,
+    mats3,
+    order_arr,
+    cand_vals,
+    qd,
+    self_paths,
+    root_order,
+    collapse,
+    amin,
+    amin_ex,
+    prunable,
+    checks,
+):
+    """Stacked ``IsPrunable`` (Algorithm 4) as a per-candidate DFS.
+
+    Exactly the decisions and the check accounting of
+    :func:`repro.kernels.frontier.batch_is_prunable`: the biggest root
+    subtree runs alone first (candidates it decides never pay for the
+    rest), a chunk is always traversed to completion once started, a
+    check is counted per live (candidate, node) pair, and with
+    ``collapse`` the leaf level is answered by the ``amin``/``amin_ex``
+    probe (one extra check per surviving pair) instead of expansion.
+    ``prunable``/``checks`` are written in place (one row per stacked
+    candidate — callers pre-fill zeros).
+    """
+    B = cand_vals.shape[0]
+    n_roots = root_order.shape[0]
+    if B == 0 or m == 0 or n_roots == 0:
+        return
+    n_total = level_off[m]
+    stack_level = np.empty(n_total + 1, dtype=np.int64)
+    stack_node = np.empty(n_total + 1, dtype=np.int64)
+    stack_fc = np.empty(n_total + 1, dtype=np.uint8)
+    last = m - 2 if collapse else m - 1
+    i_leaf = order_arr[m - 1]
+    for b in range(B):
+        for chunk in range(2):
+            if chunk == 1 and (prunable[b] or n_roots == 1):
+                break
+            lo = 0 if chunk == 0 else 1
+            hi = 1 if chunk == 0 else n_roots
+            sp = 0
+            for ri in range(hi - 1, lo - 1, -1):
+                stack_level[sp] = 0
+                stack_node[sp] = root_order[ri]
+                stack_fc[sp] = 0
+                sp += 1
+            while sp > 0:
+                sp -= 1
+                level = stack_level[sp]
+                node = stack_node[sp]
+                fc = stack_fc[sp]
+                flat = level_off[level] + node
+                own = 1 if self_paths[b, level] == node else 0
+                if desc[flat] - own <= 0:
+                    continue
+                checks[b] += 1
+                i = order_arr[level]
+                d_cp = mats3[i, cand_vals[b, i], keys[flat]]
+                d_cq = qd[b, i]
+                if d_cp > d_cq:
+                    continue
+                if d_cp < d_cq:
+                    fc = 1
+                if level == last:
+                    if collapse:
+                        checks[b] += 1
+                        lv = cand_vals[b, i_leaf]
+                        if self_paths[b, m - 2] == node:
+                            best = amin_ex[node, lv]
+                        else:
+                            best = amin[node, lv]
+                        d_q = qd[b, i_leaf]
+                        if (best < d_q) or (fc == 1 and best <= d_q):
+                            prunable[b] = True
+                    else:
+                        if fc == 1:
+                            prunable[b] = True
+                    continue
+                for child in range(cs[flat], ce[flat]):
+                    stack_level[sp] = level + 1
+                    stack_node[sp] = child
+                    stack_fc[sp] = fc
+                    sp += 1
+
+
+def phase2_descend(
+    m,
+    level_off,
+    keys,
+    desc_live,
+    cs,
+    ce,
+    mats3,
+    order_arr,
+    query_flat,
+    q_rows_flat,
+    e_ids,
+    e_vals,
+    pq_checks,
+    dom_count,
+    last_dom,
+):
+    """Forest ``Prune`` (Algorithm 5) as a per-object DFS over all
+    member queries' phase-2 trees at once.
+
+    Check accounting matches :func:`repro.kernels.frontier.page_prune`
+    restricted to each query's subtree (live-gated, one check per live
+    (object, node) pair), attributed per query via ``query_flat``.
+    Emits the identity-aware removal inputs — per-leaf dominator counts
+    and the last dominator's record id — for the caller's numpy-side
+    ``sole_dominator`` logic, which is shared with the numpy tier.
+    """
+    E = e_ids.shape[0]
+    if E == 0 or m == 0:
+        return
+    n0 = level_off[1] - level_off[0]
+    if n0 == 0:
+        return
+    n_total = level_off[m]
+    stack_level = np.empty(n_total + 1, dtype=np.int64)
+    stack_node = np.empty(n_total + 1, dtype=np.int64)
+    stack_fc = np.empty(n_total + 1, dtype=np.uint8)
+    for e in range(E):
+        sp = 0
+        for node in range(n0 - 1, -1, -1):
+            stack_level[sp] = 0
+            stack_node[sp] = node
+            stack_fc[sp] = 0
+            sp += 1
+        while sp > 0:
+            sp -= 1
+            level = stack_level[sp]
+            node = stack_node[sp]
+            fc = stack_fc[sp]
+            flat = level_off[level] + node
+            if desc_live[flat] <= 0:
+                continue
+            pq_checks[query_flat[flat]] += 1
+            i = order_arr[level]
+            d_pe = mats3[i, keys[flat], e_vals[e, i]]
+            d_pq = q_rows_flat[flat]
+            if d_pe > d_pq:
+                continue
+            if d_pe < d_pq:
+                fc = 1
+            if level == m - 1:
+                if fc == 1:
+                    dom_count[node] += 1
+                    last_dom[node] = e_ids[e]
+                continue
+            for child in range(cs[flat], ce[flat]):
+                stack_level[sp] = level + 1
+                stack_node[sp] = child
+                stack_fc[sp] = fc
+                sp += 1
+
+
+# ---------------------------------------------------------------------------
+# Compilation, self-check, dispatch.
+# ---------------------------------------------------------------------------
+
+
+def _selfcheck(compiled_p1, compiled_p2) -> None:
+    """Run the compiled kernels against the interpreted originals on a
+    deterministic fixture; any divergence raises (-> numpy fallback).
+
+    This checks *compilation* fidelity (typing/lowering), not algorithm
+    correctness — the latter is pinned against the frontier kernels by
+    the differential tests, which run without numba.
+    """
+    rng = np.random.RandomState(20260808)
+    m, card, n = 3, 4, 14
+    mats3 = rng.rand(m, card, card)
+    for i in range(m):
+        np.fill_diagonal(mats3[i], 0.0)
+    # A tiny synthetic flattening: level sizes 3 / 6 / 9.
+    sizes = [3, 6, 9]
+    level_off = np.zeros(m + 1, dtype=np.int64)
+    for level in range(m):
+        level_off[level + 1] = level_off[level] + sizes[level]
+    n_total = int(level_off[m])
+    keys = rng.randint(0, card, size=n_total).astype(np.int64)
+    desc = rng.randint(0, 4, size=n_total).astype(np.int64)
+    cs = np.zeros(n_total, dtype=np.int64)
+    ce = np.zeros(n_total, dtype=np.int64)
+    for level in range(m - 1):
+        bounds = np.sort(rng.randint(0, sizes[level + 1] + 1, size=sizes[level] - 1))
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [sizes[level + 1]]))
+        cs[level_off[level] : level_off[level + 1]] = starts
+        ce[level_off[level] : level_off[level + 1]] = ends
+    order_arr = np.arange(m, dtype=np.int64)
+    cand_vals = rng.randint(0, card, size=(n, m)).astype(np.int64)
+    qd = rng.rand(n, m)
+    self_paths = np.column_stack(
+        [rng.randint(0, sizes[level], size=n) for level in range(m)]
+    ).astype(np.int64)
+    root_order = np.argsort(-desc[: sizes[0]], kind="stable").astype(np.int64)
+    amin = rng.rand(sizes[m - 2], card)
+    amin_ex = amin + rng.rand(sizes[m - 2], card)
+    for collapse in (True, False):
+        got_p = np.zeros(n, dtype=np.bool_)
+        got_c = np.zeros(n, dtype=np.int64)
+        exp_p = np.zeros(n, dtype=np.bool_)
+        exp_c = np.zeros(n, dtype=np.int64)
+        compiled_p1(
+            m, level_off, keys, desc, cs, ce, mats3, order_arr, cand_vals,
+            qd, self_paths, root_order, collapse, amin, amin_ex, got_p, got_c,
+        )
+        phase1_descend(
+            m, level_off, keys, desc, cs, ce, mats3, order_arr, cand_vals,
+            qd, self_paths, root_order, collapse, amin, amin_ex, exp_p, exp_c,
+        )
+        if not (np.array_equal(got_p, exp_p) and np.array_equal(got_c, exp_c)):
+            raise RuntimeError("jit self-check failed: phase1 kernel diverges")
+    nq = 2
+    query_flat = rng.randint(0, nq, size=n_total).astype(np.int64)
+    q_rows_flat = rng.rand(n_total)
+    e_ids = np.arange(n, dtype=np.int64)
+    e_vals = cand_vals
+    nleaf = sizes[m - 1]
+    got = (
+        np.zeros(nq, dtype=np.int64),
+        np.zeros(nleaf, dtype=np.int64),
+        np.full(nleaf, -1, dtype=np.int64),
+    )
+    exp = (
+        np.zeros(nq, dtype=np.int64),
+        np.zeros(nleaf, dtype=np.int64),
+        np.full(nleaf, -1, dtype=np.int64),
+    )
+    compiled_p2(
+        m, level_off, keys, desc, cs, ce, mats3, order_arr, query_flat,
+        q_rows_flat, e_ids, e_vals, *got,
+    )
+    phase2_descend(
+        m, level_off, keys, desc, cs, ce, mats3, order_arr, query_flat,
+        q_rows_flat, e_ids, e_vals, *exp,
+    )
+    if not all(np.array_equal(g, x) for g, x in zip(got, exp)):
+        raise RuntimeError("jit self-check failed: phase2 kernel diverges")
+
+
+def _ensure() -> None:
+    """Compile once per process; never raises."""
+    if _state["phase"] != "unchecked":
+        return
+    started = time.perf_counter()
+    try:
+        numba = _import_numba()
+        compiled_p1 = numba.njit(cache=False, nogil=True)(phase1_descend)
+        compiled_p2 = numba.njit(cache=False, nogil=True)(phase2_descend)
+        _selfcheck(compiled_p1, compiled_p2)
+    except Exception as exc:  # ImportError, TypingError, self-check, ...
+        _state["phase"] = "fallback"
+        _state["kernels"] = None
+        _state["reason"] = f"{type(exc).__name__}: {exc}"
+    else:
+        _state["phase"] = "ready"
+        _state["kernels"] = {"phase1": compiled_p1, "phase2": compiled_p2}
+        _state["reason"] = None
+    _state["compile_seconds"] = time.perf_counter() - started
+    if _obs.enabled:
+        _obs.observe(
+            "repro_kernel_jit_compile_seconds",
+            _state["compile_seconds"],
+            outcome=_state["phase"],
+        )
+
+
+def jit_ready() -> bool:
+    """Whether the compiled tier is usable in this process (compiles on
+    first call; False means numba is absent or failed its self-check)."""
+    _ensure()
+    return _state["phase"] == "ready"
+
+
+def kernels() -> dict | None:
+    """The compiled kernel table, or ``None`` when falling back."""
+    _ensure()
+    return _state["kernels"]
+
+
+def compile_seconds() -> float:
+    return _state["compile_seconds"]
+
+
+def status() -> dict:
+    """Diagnostic snapshot (the serve stats payload embeds this)."""
+    return {
+        "phase": _state["phase"],
+        "compile_seconds": _state["compile_seconds"],
+        "reason": _state["reason"],
+    }
+
+
+def reset() -> None:
+    """Forget compilation state (test hook: re-probe after monkeypatch)."""
+    _state["phase"] = "unchecked"
+    _state["kernels"] = None
+    _state["compile_seconds"] = 0.0
+    _state["reason"] = None
+
+
+def effective_tier(backend: str | None) -> str:
+    """The concrete kernel tier for a resolved non-python backend:
+    ``jit`` when requested-or-auto and the compiled tier is usable,
+    else ``numpy`` (the guaranteed-identical fallback)."""
+    if backend in ("jit", "auto") and jit_ready():
+        return "jit"
+    return "numpy"

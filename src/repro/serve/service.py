@@ -441,6 +441,20 @@ class QueryService:
             "max_group": max(b.group_sizes, default=0),
         }
         out["latency"] = self.engine.latency_summary()
+        from repro.kernels import fused as fused_kernels
+        from repro.kernels import jit as jit_kernels
+
+        backend = getattr(self.engine, "backend", None)
+        out["kernels"] = {
+            "fused_groups_run": fused_kernels.fused_groups_run(),
+            "jit": jit_kernels.status(),
+            # The concrete kernel tier batches run on right now.
+            "tier": (
+                "python"
+                if backend in (None, "python")
+                else jit_kernels.effective_tier(backend)
+            ),
+        }
         return out
 
     # -- dispatch / execution --------------------------------------

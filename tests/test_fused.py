@@ -1,0 +1,273 @@
+"""Fused multi-query kernels and the optional JIT tier.
+
+The fused tier promises the same contract as every other backend — the
+per-query kernel loop, the scalar path and the fused path must agree on
+results, batch structure and page IOs — plus one stronger guarantee of
+its own: fused and per-query *numpy* runs produce identical
+``per_query_checks`` decompositions (the stacked/forest kernels count
+exactly what the solo kernels count). The jit tier is stronger still:
+bit-identical to numpy in *everything*, checks included, whether the
+kernels run compiled (numba present) or interpreted (the common case in
+CI, and what these tests pin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiquery import SharedScanTRS
+from repro.data.dataset import Dataset
+from repro.data.queries import query_batch
+from repro.data.schema import Schema
+from repro.data.synthetic import synthetic_dataset
+from repro.dissim.generators import (
+    nonmetric_dissimilarity,
+    random_dissimilarity,
+)
+from repro.dissim.space import DissimilaritySpace
+from repro.kernels import fused as fused_kernels
+from repro.kernels import jit as jit_kernels
+from repro.storage.disk import MemoryBudget
+from repro.testing.verify import random_workload
+
+_CONTRACT_STATS = (
+    "db_passes",
+    "phase1_batches",
+    "phase2_batches",
+    "intermediate_count",
+    "phase1_pruned",
+    "pruner_tests",
+    "result_count",
+)
+_CONTRACT_IO = (
+    "sequential_reads",
+    "random_reads",
+    "sequential_writes",
+    "random_writes",
+)
+
+#: The group sizes the fused kernels must be exact on: a singleton
+#: group, a pair, a worker-sized group and one that is none of those.
+GROUP_SIZES = (1, 2, 4, 7)
+
+
+def _run(ds, qs, budget_pages, page_bytes, *, backend, fused=True):
+    algo = SharedScanTRS(
+        ds,
+        backend=backend,
+        fused=fused,
+        budget=MemoryBudget(budget_pages),
+        page_bytes=page_bytes,
+    )
+    return algo.run_batch(qs)
+
+
+def assert_batches_identical(got, ref, label="", checks=True):
+    """``got`` must match ``ref`` on results, contract stats and IO;
+    with ``checks=True`` also on every checks decomposition."""
+    assert got.results == ref.results, label
+    for f in _CONTRACT_STATS:
+        assert getattr(got.stats, f) == getattr(ref.stats, f), f"{label}: {f}"
+    for f in _CONTRACT_IO:
+        assert getattr(got.stats.io, f) == getattr(ref.stats.io, f), (
+            f"{label}: {f}"
+        )
+    if checks:
+        assert got.per_query_checks == ref.per_query_checks, label
+        assert got.per_query_checks_phase1 == ref.per_query_checks_phase1, label
+        assert got.per_query_checks_phase2 == ref.per_query_checks_phase2, label
+        assert got.stats.checks == ref.stats.checks, label
+
+
+@pytest.fixture
+def interpreted_jit(monkeypatch):
+    """Force the jit tier 'ready' with the *interpreted* kernels — the
+    exact code numba would compile, minus numba. Lets every jit code
+    path (flattening, padded matrices, forest DFS, removal hand-off)
+    run in environments without the optional dependency."""
+    monkeypatch.setitem(jit_kernels._state, "phase", "ready")
+    monkeypatch.setitem(
+        jit_kernels._state,
+        "kernels",
+        {
+            "phase1": jit_kernels.phase1_descend,
+            "phase2": jit_kernels.phase2_descend,
+        },
+    )
+    yield
+
+
+@pytest.fixture
+def absent_numba(monkeypatch):
+    """Simulate the optional dependency being uninstalled."""
+
+    def _raise():
+        raise ImportError("No module named 'numba'")
+
+    jit_kernels.reset()
+    monkeypatch.setattr(jit_kernels, "_import_numba", _raise)
+    yield
+    jit_kernels.reset()
+
+
+# --- fused vs per-query vs scalar --------------------------------------------
+
+
+class TestFusedDifferential:
+    def test_randomized_trials(self):
+        for t in range(25):
+            case = random_workload(7100 + t)
+            size = GROUP_SIZES[t % len(GROUP_SIZES)]
+            qs = [case.query] + query_batch(case.dataset, size - 1, seed=t)
+            kw = dict(budget_pages=case.budget_pages, page_bytes=case.page_bytes)
+            py = _run(case.dataset, qs, backend="python", **kw)
+            per_q = _run(case.dataset, qs, backend="numpy", fused=False, **kw)
+            fus = _run(case.dataset, qs, backend="numpy", **kw)
+            assert fus.backend == "numpy"
+            # Fused == per-query numpy on *everything*, checks included.
+            assert_batches_identical(fus, per_q, case.describe())
+            # Both match the scalar contract (checks granularity differs).
+            assert_batches_identical(fus, py, case.describe(), checks=False)
+
+    @pytest.mark.smoke
+    def test_group_sizes_smoke(self):
+        ds = synthetic_dataset(300, [6, 5, 4], seed=77)
+        pool = query_batch(ds, max(GROUP_SIZES), seed=3)
+        for size in GROUP_SIZES:
+            qs = pool[:size]
+            per_q = _run(ds, qs, 3, 256, backend="numpy", fused=False)
+            fus = _run(ds, qs, 3, 256, backend="numpy")
+            assert_batches_identical(fus, per_q, f"group size {size}")
+
+    def test_fused_group_counter_increments(self):
+        ds = synthetic_dataset(120, [5, 5], seed=21)
+        qs = query_batch(ds, 3, seed=5)
+        before = fused_kernels.fused_groups_run()
+        _run(ds, qs, 2, 256, backend="numpy")
+        assert fused_kernels.fused_groups_run() == before + 1
+        # The legacy loop does not count as a fused group.
+        _run(ds, qs, 2, 256, backend="numpy", fused=False)
+        assert fused_kernels.fused_groups_run() == before + 1
+
+
+@st.composite
+def fused_case(draw):
+    m = draw(st.integers(1, 3))
+    cards = [draw(st.integers(3, 6)) for _ in range(m)]
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(0, 50))
+    rng = np.random.default_rng(seed)
+    space = DissimilaritySpace(
+        [
+            nonmetric_dissimilarity(c, rng)
+            if draw(st.booleans())
+            else random_dissimilarity(c, rng, symmetric=draw(st.booleans()))
+            for c in cards
+        ]
+    )
+    records = [tuple(int(rng.integers(0, c)) for c in cards) for _ in range(n)]
+    ds = Dataset(Schema.categorical(cards), records, space, validate=False)
+    size = draw(st.sampled_from(GROUP_SIZES))
+    qs = [
+        tuple(int(rng.integers(0, c)) for c in cards) for _ in range(size)
+    ]
+    budget_pages = draw(st.integers(2, 5))
+    page_bytes = max(draw(st.sampled_from([32, 64, 256])), 4 + 4 * m)
+    return ds, qs, budget_pages, page_bytes
+
+
+@given(fused_case())
+@settings(max_examples=25, deadline=None)
+def test_property_fused_equals_per_query(case):
+    ds, qs, budget_pages, page_bytes = case
+    per_q = _run(ds, qs, budget_pages, page_bytes, backend="numpy", fused=False)
+    fus = _run(ds, qs, budget_pages, page_bytes, backend="numpy")
+    assert_batches_identical(fus, per_q)
+
+
+@given(fused_case())
+@settings(max_examples=15, deadline=None)
+def test_property_fused_matches_scalar_contract(case):
+    ds, qs, budget_pages, page_bytes = case
+    py = _run(ds, qs, budget_pages, page_bytes, backend="python")
+    fus = _run(ds, qs, budget_pages, page_bytes, backend="numpy")
+    assert_batches_identical(fus, py, checks=False)
+
+
+# --- jit tier -----------------------------------------------------------------
+
+
+class TestJitTier:
+    def test_interpreted_jit_bit_identical_to_numpy(self, interpreted_jit):
+        """The jit kernels (run interpreted) must equal the numpy tier in
+        everything, including the per-query checks decomposition."""
+        for t in range(12):
+            case = random_workload(7400 + t)
+            size = GROUP_SIZES[t % len(GROUP_SIZES)]
+            qs = [case.query] + query_batch(case.dataset, size - 1, seed=t)
+            kw = dict(budget_pages=case.budget_pages, page_bytes=case.page_bytes)
+            vec = _run(case.dataset, qs, backend="numpy", **kw)
+            jit = _run(case.dataset, qs, backend="jit", **kw)
+            assert jit.backend == "jit", case.describe()
+            assert_batches_identical(jit, vec, case.describe())
+
+    @pytest.mark.smoke
+    def test_jit_falls_back_cleanly_without_numba(self, absent_numba):
+        ds = synthetic_dataset(200, [6, 5], seed=42)
+        qs = query_batch(ds, 3, seed=1)
+        assert not jit_kernels.jit_ready()
+        status = jit_kernels.status()
+        assert status["phase"] == "fallback"
+        assert "ImportError" in status["reason"]
+        # backend="jit" still runs — on the numpy tier, same numbers.
+        jit = _run(ds, qs, 2, 256, backend="jit")
+        vec = _run(ds, qs, 2, 256, backend="numpy")
+        assert jit.backend == "numpy"
+        assert_batches_identical(jit, vec)
+
+    def test_auto_escalates_only_when_ready(self, absent_numba):
+        ds = synthetic_dataset(120, [5, 5], seed=21)
+        qs = query_batch(ds, 2, seed=5)
+        assert jit_kernels.effective_tier("auto") == "numpy"
+        assert _run(ds, qs, 2, 256, backend="auto").backend == "numpy"
+
+    def test_effective_tier_table(self, interpreted_jit):
+        assert jit_kernels.effective_tier("jit") == "jit"
+        assert jit_kernels.effective_tier("auto") == "jit"
+        assert jit_kernels.effective_tier("numpy") == "numpy"
+        assert jit_kernels.effective_tier("python") == "numpy"
+
+    def test_selfcheck_rejects_broken_compilation(self):
+        """A 'compiler' that mangles the phase-1 kernel must be caught by
+        the self-check and demoted to fallback, never trusted."""
+
+        def broken_phase1(*args):
+            pass  # decides nothing, counts nothing
+
+        class _FakeNumba:
+            @staticmethod
+            def njit(**kw):
+                def deco(fn):
+                    if fn is jit_kernels.phase1_descend:
+                        return broken_phase1
+                    return fn
+
+                return deco
+
+        jit_kernels.reset()
+        try:
+            real_import = jit_kernels._import_numba
+            jit_kernels._import_numba = lambda: _FakeNumba()
+            assert not jit_kernels.jit_ready()
+            assert jit_kernels.status()["phase"] == "fallback"
+            assert "self-check" in jit_kernels.status()["reason"]
+        finally:
+            jit_kernels._import_numba = real_import
+            jit_kernels.reset()
+
+    def test_compile_seconds_recorded(self, absent_numba):
+        assert not jit_kernels.jit_ready()
+        assert jit_kernels.compile_seconds() >= 0.0

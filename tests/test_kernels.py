@@ -208,8 +208,17 @@ class TestBackendDispatch:
             normalize_backend("cuda")
 
     def test_available_backends(self):
-        assert available_backends("TRS") == ("python", "numpy", "auto")
+        assert available_backends("TRS") == ("python", "numpy", "jit", "auto")
         assert available_backends("NaiveRS") == ("python", "auto")
+
+    def test_jit_backend_resolves_to_vector_variant(self):
+        # The jit tier shares the numpy algorithm classes; the tier
+        # split happens inside the fused shared-scan kernels. Requesting
+        # jit for a scalar-only algorithm is an error like numpy.
+        assert resolve_algorithm("TRS", "jit") == "VectorTRS"
+        assert resolve_algorithm("BRS", "jit") == "VectorBRS"
+        with pytest.raises(AlgorithmError, match="no jit backend"):
+            resolve_algorithm("NaiveRS", "jit")
 
     def test_auto_upgrades_categorical(self):
         ds = synthetic_dataset(50, [4, 4], seed=1)
@@ -218,19 +227,27 @@ class TestBackendDispatch:
         assert isinstance(algo, VectorTRS)
 
     @pytest.mark.smoke
-    def test_auto_never_picks_demoted_vector_brs(self):
-        # Regression pin for the dispatch demotion: VectorBRS benches at
-        # ~0.46x of scalar BRS on the core workload (BENCH_core.json), so
-        # `auto` must keep answering BRS with the scalar class even on a
-        # fully categorical dataset. Explicit numpy requests still get it.
+    def test_auto_vector_brs_shape_gate(self):
+        # VectorBRS is re-admitted to `auto` dispatch behind a shape
+        # gate: the code-table rewrite benches it at 1.5-3.7x of scalar
+        # BRS (BENCH_core.json) on shapes whose attribute cardinalities
+        # fit the phase-1 column-block width, so `auto` upgrades those —
+        # and only those.
         ds = synthetic_dataset(50, [4, 4], seed=1)
-        assert resolve_algorithm("BRS", "auto", ds) == "BRS"
+        assert resolve_algorithm("BRS", "auto", ds) == "VectorBRS"
         algo = make_algorithm("BRS", ds, backend="auto", budget=MemoryBudget(2))
-        assert type(algo).name == "BRS" and not isinstance(algo, VectorBRS)
-        assert resolve_algorithm("BRS", "numpy", ds) == "VectorBRS"
-        # The demotion is dispatch-local: available_backends still
-        # advertises numpy for callers who ask for it by name.
-        assert available_backends("BRS") == ("python", "numpy", "auto")
+        assert isinstance(algo, VectorBRS)
+        # Beyond the measured regime (an attribute wider than the
+        # column block) `auto` conservatively stays scalar; an explicit
+        # numpy request is still honoured.
+        from repro.core.vectorized import _COL_BLOCK
+
+        wide = synthetic_dataset(40, [_COL_BLOCK + 1, 4], seed=3)
+        assert resolve_algorithm("BRS", "auto", wide) == "BRS"
+        assert resolve_algorithm("BRS", "numpy", wide) == "VectorBRS"
+        # With no dataset in hand the shape is unknown: stay scalar.
+        assert resolve_algorithm("BRS", "auto", None) == "BRS"
+        assert available_backends("BRS") == ("python", "numpy", "jit", "auto")
 
     def test_auto_falls_back_on_mixed_schema(self):
         ds = mixed_dataset(30, [4], [(0.0, 1.0)], seed=2)
@@ -300,7 +317,8 @@ class TestSharedScanBackends:
         ds = synthetic_dataset(120, [5, 5], seed=21)
         qs = query_batch(ds, 2, seed=5)
         auto = SharedScanTRS(ds, backend="auto", budget=MemoryBudget(2))
-        assert auto.run_batch(qs).backend == "numpy"
+        # auto resolves to numpy, escalating to jit when numba compiled.
+        assert auto.run_batch(qs).backend in ("numpy", "jit")
         mixed = mixed_dataset(40, [4], [(0.0, 1.0)], seed=2)
         with pytest.raises(AlgorithmError):
             # Mixed schemas stay on TRS semantics: SharedScanTRS reuses TRS,

@@ -176,6 +176,10 @@ class TestServiceRoundTrip:
             stats = client.stats()
             assert stats["admitted"] == 2
             assert stats["cache_hits"] == 1
+            kernels = stats["kernels"]
+            assert kernels["fused_groups_run"] >= 0
+            assert kernels["jit"]["phase"] in ("unchecked", "ready", "fallback")
+            assert kernels["tier"] in ("python", "numpy", "jit")
 
     def test_bad_query_is_typed_and_connection_survives(self, server_factory):
         handle = server_factory(_engine(), ServiceConfig(pool="thread"))

@@ -202,3 +202,50 @@ class TestIndexAdvice:
         assert rec.algorithm == "TRS"
         assert not rec.index
         assert any("not indicated" in r for r in rec.rationale)
+
+
+class TestBRSShapeRule:
+    def test_brs_shape_predicate(self):
+        from repro.advisor import brs_shape
+
+        dense = synthetic_dataset(600, [3, 3], seed=9)  # density >> 1
+        sparse = synthetic_dataset(600, [12, 12, 12, 12], seed=9)
+        assert brs_shape(profile_dataset(dense))
+        assert not brs_shape(profile_dataset(sparse))
+        # Mixed schemas have no density — never a BRS shape.
+        mixed = mixed_dataset(30, [4], [(0.0, 1.0)], seed=2)
+        assert not brs_shape(profile_dataset(mixed))
+
+    def test_calibration_brs_win_vetoed_off_shape(self, monkeypatch):
+        # The BRS family is only recommended on dense low-cardinality
+        # shapes, even when a calibration sample happens to measure it
+        # cheapest: rig the measurement so BRS wins and check the veto.
+        import repro.advisor as advisor_mod
+
+        class _Fake:
+            def __init__(self, checks):
+                self._checks = checks
+
+            def run(self, q):
+                class _R:
+                    pass
+
+                r = _R()
+                r.stats = type("S", (), {"checks": self._checks})()
+                return r
+
+        canned = {"BRS": 10, "SRS": 500, "TRS": 900}
+        monkeypatch.setattr(
+            advisor_mod,
+            "make_algorithm",
+            lambda name, ds, **kw: _Fake(canned[name]),
+        )
+        sparse = synthetic_dataset(200, [12, 12, 12, 12], seed=9)
+        rec = recommend(sparse, calibrate=True)
+        assert rec.algorithm == "TRS"
+        assert any("only recommended" in r for r in rec.rationale)
+        # On a dense shape the same measurement is honoured.
+        dense = synthetic_dataset(200, [3, 3], seed=9)
+        rec = recommend(dense, calibrate=True)
+        assert rec.algorithm == "BRS"
+        assert any("calibration override: BRS" in r for r in rec.rationale)
