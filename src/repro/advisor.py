@@ -20,7 +20,12 @@ Heuristics encoded (with their paper sources):
   (:mod:`repro.index`), whose exact mode is always sound; when the
   measure is additionally *near-metric* (sampled triangle-defect rate
   low) and the dataset very large, a ``recall_target`` is suggested so
-  the calibrated band rule can prune further.
+  the calibrated band rule can prune further;
+- an expected ``write_rate`` adds a maintenance verdict: delta-tree
+  maintenance (:mod:`repro.maint`) for read-dominated categorical
+  workloads, rebuild-per-batch when writes dominate or the dataset is
+  small enough that rebuilds are noise (BENCH_maint.json records the
+  measured crossover).
 """
 
 from __future__ import annotations
@@ -63,6 +68,12 @@ _APPROX_DEFAULT_TARGET = 0.95
 #: with group reasoning. BENCH_core.json's dense [4,4,4,4] cell records
 #: the measurement behind the threshold.
 _BRS_MIN_DENSITY = 1.0
+#: Below this a from-scratch rebuild is cheap enough that delta
+#: bookkeeping (tiers, tombstones, wire shipping) is pure overhead.
+_MAINT_MIN_RECORDS = 500
+#: Above this write fraction the base churns faster than compactions
+#: amortise; rebuilding per batch keeps the read path static instead.
+_MAINT_MAX_WRITE_RATE = 0.5
 
 
 def brs_shape(profile: DatasetProfile) -> bool:
@@ -136,6 +147,11 @@ class Recommendation:
     #: The sampled statistics behind ``index``/``recall_target`` (only
     #: populated when the index rules were evaluated).
     signals: IndexSignals | None = None
+    #: Update strategy when a ``write_rate`` was supplied: ``"static"``
+    #: (no writes), ``"maintained"`` (delta trees via
+    #: :class:`repro.maint.MaintainedEngine`) or ``"rebuild"``
+    #: (rebuild per batch). ``None`` when no write rate was given.
+    maintenance: str | None = None
 
     def build(self, dataset: Dataset, **overrides):
         """Instantiate the recommended algorithm."""
@@ -157,12 +173,17 @@ def recommend(
     calibration_sample: int = 600,
     calibration_queries: int = 2,
     seed: int = 7,
+    write_rate: float | None = None,
 ) -> Recommendation:
     """Recommend an algorithm and configuration for ``dataset``.
 
     With ``calibrate=True``, the advisor also measures BRS/SRS/TRS on a
     record sample and reports their check counts; the cheapest measured
     candidate wins if it disagrees with the heuristic choice.
+
+    ``write_rate`` is the expected fraction of operations that are
+    updates (inserts + deletes); supplying it adds a ``maintenance``
+    verdict to the recommendation (module docstring).
     """
     if len(dataset) == 0:
         raise ExperimentError("cannot advise on an empty dataset")
@@ -174,6 +195,49 @@ def recommend(
         f"{list(order)} (Section 5.1 heuristic: large groups near the root)"
     )
 
+    maintenance = None
+    if write_rate is not None:
+        if (
+            not isinstance(write_rate, (int, float))
+            or isinstance(write_rate, bool)
+            or not 0.0 <= write_rate <= 1.0
+        ):
+            raise ExperimentError(
+                f"write_rate must be a number in [0, 1], got {write_rate!r}"
+            )
+        write_rate = float(write_rate)
+        if write_rate == 0.0:
+            maintenance = "static"
+            rationale.append("write_rate=0: no updates expected -> static engine")
+        elif not dataset.schema.is_fully_categorical():
+            maintenance = "rebuild"
+            rationale.append(
+                "updates on a numeric schema -> rebuild per batch "
+                "(delta AL-Trees need categorical domains)"
+            )
+        elif len(dataset) < _MAINT_MIN_RECORDS:
+            maintenance = "rebuild"
+            rationale.append(
+                f"n={len(dataset)} < {_MAINT_MIN_RECORDS}: from-scratch "
+                "rebuilds are cheaper than delta bookkeeping"
+            )
+        elif write_rate > _MAINT_MAX_WRITE_RATE:
+            maintenance = "rebuild"
+            rationale.append(
+                f"write-dominated workload ({write_rate:.0%} writes > "
+                f"{_MAINT_MAX_WRITE_RATE:.0%}): the base churns faster than "
+                "compactions amortise -> rebuild per batch"
+            )
+        else:
+            maintenance = "maintained"
+            rationale.append(
+                f"read-dominated workload ({write_rate:.0%} writes) on "
+                f"n={len(dataset):,} -> delta-tree maintenance "
+                "(repro.maint.MaintainedEngine): caches and plans stay warm "
+                "across batches (BENCH_maint measures >= 3x over "
+                "rebuild-per-batch at 10% writes)"
+            )
+
     if not dataset.schema.is_fully_categorical():
         rationale.append("numeric attributes present -> NumericTRS (Section 6)")
         return Recommendation(
@@ -182,6 +246,7 @@ def recommend(
             memory_fraction=memory_fraction,
             rationale=tuple(rationale),
             profile=profile,
+            maintenance=maintenance,
         )
 
     if subset_queries_expected:
@@ -195,6 +260,7 @@ def recommend(
             memory_fraction=memory_fraction,
             rationale=tuple(rationale),
             profile=profile,
+            maintenance=maintenance,
         )
 
     algorithm = "TRS"
@@ -292,4 +358,5 @@ def recommend(
         index=index,
         recall_target=recall_target,
         signals=signals,
+        maintenance=maintenance,
     )

@@ -49,6 +49,11 @@ class ALTree:
         #: Number of non-root nodes, maintained incrementally (the tree's
         #: memory footprint driver; see :meth:`memory_bytes`).
         self.num_nodes = 0
+        #: Objects removed through :meth:`delete` over this tree's
+        #: lifetime (the maintenance layer's tombstone counter: it drives
+        #: compaction triggers and the ``repro_maint_delta_records``
+        #: gauge; see :mod:`repro.maint`).
+        self.deleted_count = 0
 
     @property
     def depth(self) -> int:
@@ -161,6 +166,35 @@ class ALTree:
                 self._propagate_removal(leaf, 1)
                 return True
         return False
+
+    def delete(self, record_id: int, values: tuple) -> bool:
+        """Remove one object as a *data mutation* (paper §4.3's incremental
+        maintenance, mirror of :meth:`insert`): the removal is counted in
+        :attr:`deleted_count` so maintenance layers can size compaction
+        triggers from churn, not just net growth. Returns True if found.
+        """
+        if self.remove_object(record_id, values):
+            self.deleted_count += 1
+            return True
+        return False
+
+    def merge_from(self, other: "ALTree") -> int:
+        """Merge every object of ``other`` into this tree (the LSM-style
+        size-tiered delta merge: two delta trees over the same attribute
+        order collapse into one, sharing prefix paths). ``other`` is left
+        untouched; churn counters accumulate. Returns objects merged.
+        """
+        if other.attribute_order != self.attribute_order:
+            raise AlgorithmError(
+                "cannot merge AL-Trees with different attribute orders: "
+                f"{other.attribute_order!r} vs {self.attribute_order!r}"
+            )
+        merged = 0
+        for record_id, values in other.iter_entries():
+            self.insert(record_id, values)
+            merged += 1
+        self.deleted_count += other.deleted_count
+        return merged
 
     def memory_bytes(self, node_bytes: int = 8, entry_bytes: int = 4) -> int:
         """Modeled in-memory footprint: shared prefix paths are stored once

@@ -118,6 +118,7 @@ class IndexedTRS(TRS):
         budget: MemoryBudget | None = None,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         trace_checks: bool = False,
+        overlay=None,
     ) -> None:
         super().__init__(
             dataset,
@@ -127,6 +128,7 @@ class IndexedTRS(TRS):
             budget=budget,
             page_bytes=page_bytes,
             trace_checks=trace_checks,
+            overlay=overlay,
         )
         if recall_target is not None and not 0.0 <= recall_target <= 1.0:
             raise AlgorithmError(
@@ -147,6 +149,13 @@ class IndexedTRS(TRS):
         self._index_fp: str | None = None
         self._mats: list[np.ndarray] | None = None
         self._tls = threading.local()
+
+    def with_overlay(self, overlay):
+        clone = super().with_overlay(overlay)
+        # The index and matrices cover the base only and carry over; the
+        # per-query diagnostics slot must not cross epoch instances.
+        clone._tls = threading.local()
+        return clone
 
     # -- physical design ----------------------------------------------------
     def prepare(self) -> None:
@@ -209,6 +218,12 @@ class IndexedTRS(TRS):
     def _execute(
         self, disk: DiskSimulator, data_file: PageFile, query: tuple, stats: CostStats
     ) -> list[int]:
+        if self.overlay is not None:
+            # The pruning index covers the compacted base only; overlay
+            # epochs answer through the overlay-aware TRS scan (exact by
+            # construction) until the next compaction rebuilds the index.
+            self._tls.info = {"mode": "overlay-scan"}
+            return TRS._execute(self, disk, data_file, query, stats)
         tables = self._tables()
         index = self.index()
         n = len(self.dataset)

@@ -1,0 +1,60 @@
+"""Logical update overlay for the TRS family.
+
+An :class:`Overlay` describes the difference between the *base* dataset
+an algorithm was prepared over and the *live* logical dataset:
+
+``live = base ∖ tombstones ∪ entries``
+
+- ``entries`` are inserted records that have not been compacted into the
+  base yet. Their record ids are **synthetic**: ``len(base) + j`` for the
+  j-th delta entry, guaranteed disjoint from base positions so pruner
+  identity tests (``keep entry iff id == candidate id``) stay exact.
+- ``tombstones`` are base record *positions* that have been logically
+  deleted. A tombstoned record must not be a result candidate, must not
+  act as a phase-1 batch pruner, and must not stream as a phase-2 pruner
+  source — but its pages are still read, so base IO counters stay pinned
+  to the overlay-free values.
+
+Cost discipline: every comparison attributable to the overlay (testing a
+delta candidate, or streaming a delta entry as a pruner source) charges
+:attr:`~repro.core.base.CostStats.checks_delta`, never the base phase
+counters, so differential harnesses that pin base cost remain exact.
+
+Overlays are built by :mod:`repro.maint` and are deliberately dumb data:
+frozen, picklable (they cross process-pool boundaries), and cheap to
+compare by ``epoch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Overlay"]
+
+
+@dataclass(frozen=True)
+class Overlay:
+    """An immutable snapshot of uncompacted updates (one epoch)."""
+
+    #: ``(record_id, values)`` pairs with synthetic ids ``len(base) + j``.
+    entries: tuple[tuple[int, tuple], ...] = ()
+    #: Base record positions that are logically deleted.
+    tombstones: frozenset[int] = field(default_factory=frozenset)
+    #: Monotone update-epoch counter (for fingerprints and worker sync).
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "entries",
+            tuple((int(rid), tuple(values)) for rid, values in self.entries),
+        )
+        object.__setattr__(self, "tombstones", frozenset(self.tombstones))
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries and not self.tombstones
+
+    def live_count(self, base_size: int) -> int:
+        """Size of the logical dataset this overlay induces over a base."""
+        return base_size - len(self.tombstones) + len(self.entries)

@@ -21,10 +21,12 @@ record dominates the query for.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Sequence
 
 from repro.altree.tree import ALTree
 from repro.core.base import CostStats, ReverseSkylineAlgorithm
+from repro.core.overlay import Overlay
 from repro.data.dataset import Dataset
 from repro.obs import hooks as _obs
 from repro.sorting.keys import ascending_cardinality_order, multiattribute_key
@@ -184,6 +186,14 @@ class TRS(ReverseSkylineAlgorithm):
         (trees still work, but batches cluster less, weakening phase 1).
     order_children:
         Ablation switch for Algorithm 4's promising-subtree-first order.
+    overlay:
+        Optional :class:`~repro.core.overlay.Overlay` of uncompacted
+        updates. Queries then answer over the logical dataset
+        ``base ∖ tombstones ∪ delta entries``: tombstoned records are
+        neither candidates nor pruners (their pages are still read, so
+        base IO stays pinned), and delta entries are both candidates and
+        pruners, processed in fresh in-memory batches whose comparisons
+        charge ``stats.checks_delta`` instead of the base phase counters.
     """
 
     name = "TRS"
@@ -199,6 +209,7 @@ class TRS(ReverseSkylineAlgorithm):
         budget: MemoryBudget | None = None,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         trace_checks: bool = False,
+        overlay: Overlay | None = None,
     ) -> None:
         super().__init__(
             dataset,
@@ -214,6 +225,22 @@ class TRS(ReverseSkylineAlgorithm):
         )
         self.presort = presort
         self.order_children = order_children
+        if overlay is not None and overlay.empty:
+            overlay = None
+        self.overlay = overlay
+
+    def with_overlay(self, overlay: Overlay | None) -> "TRS":
+        """A shallow clone of this prepared instance answering over a
+        different overlay. Every memo an instance carries — layout,
+        staged pages, plan fingerprint, the vector backend's plan and
+        scan caches — depends only on the immutable base, never on the
+        overlay, so the clone shares them all. The maintenance engine
+        uses this to advance epochs without re-preparing."""
+        clone = copy.copy(self)
+        if overlay is not None and overlay.empty:
+            overlay = None
+        clone.overlay = overlay
+        return clone
 
     # -- layout -----------------------------------------------------------
     def _build_layout(self) -> list[tuple[int, tuple]]:
@@ -229,10 +256,16 @@ class TRS(ReverseSkylineAlgorithm):
     ) -> list[int]:
         scratch = disk.create_file("phase1-results", data_file.codec)
         with _obs.span("phase1") as span:
-            self._phase1(data_file, scratch, query, stats)
-            span.annotate("survivors", scratch.num_records)
-        stats.intermediate_count = scratch.num_records
+            # Subclasses that predate the overlay return None from _phase1;
+            # only overlay-aware implementations return delta survivors.
+            delta_survivors = self._phase1(data_file, scratch, query, stats) or []
+            span.annotate("survivors", scratch.num_records + len(delta_survivors))
+        stats.intermediate_count = scratch.num_records + len(delta_survivors)
         with _obs.span("phase2"):
+            if delta_survivors:
+                return self._phase2(
+                    data_file, scratch, query, stats, delta_survivors=delta_survivors
+                )
             return self._phase2(data_file, scratch, query, stats)
 
     def _new_tree(self) -> ALTree:
@@ -240,13 +273,15 @@ class TRS(ReverseSkylineAlgorithm):
 
     def _phase1(
         self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
-    ) -> None:
+    ) -> list[tuple[int, tuple]]:
         tables = self._tables()
         m = self.dataset.num_attributes
         trace = self.trace_checks
         budget_bytes = self.budget.pages * self.page_bytes
         writer = scratch.writer()
         stats.db_passes += 1
+        overlay = self.overlay
+        tomb = overlay.tombstones if overlay is not None else frozenset()
 
         tree = self._new_tree()
         batch: list[tuple] = []  # (record_id, values, leaf)
@@ -282,6 +317,8 @@ class TRS(ReverseSkylineAlgorithm):
 
         for _, page in data_file.scan():
             for record_id, values in page:
+                if record_id in tomb:
+                    continue  # logically deleted: not a candidate, not a pruner
                 leaf = tree.insert(record_id, values)
                 batch.append((record_id, values, leaf))
             if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= budget_bytes:
@@ -291,19 +328,98 @@ class TRS(ReverseSkylineAlgorithm):
         if batch:
             process_batch()
         writer.close()
-        stats.phase1_pruned = len(self.dataset) - scratch.num_records
+        delta_survivors = self._phase1_delta(query, stats)
+        if overlay is None:
+            stats.phase1_pruned = len(self.dataset) - scratch.num_records
+        else:
+            stats.phase1_pruned = (
+                overlay.live_count(len(self.dataset))
+                - scratch.num_records
+                - len(delta_survivors)
+            )
+        return delta_survivors
+
+    def _phase1_delta(
+        self, query: tuple, stats: CostStats
+    ) -> list[tuple[int, tuple]]:
+        """Phase-1 filter the overlay's delta entries.
+
+        Delta entries always start **fresh** batches, never mixed with
+        base candidates — phase 1 is only a sound filter (survivors ⊇
+        RS), so keeping the base batch structure untouched leaves cached
+        vector phase-1 plans bit-identical to the overlay-free run.
+        VectorTRS reuses this scalar appendix after its vector base pass.
+        Survivors stay in memory (never written to scratch): deltas do
+        not touch the simulated disk, so base IO counters stay pinned.
+        All comparisons charge ``stats.checks_delta``.
+        """
+        overlay = self.overlay
+        if overlay is None or not overlay.entries:
+            return []
+        tables = self._tables()
+        m = self.dataset.num_attributes
+        budget_bytes = self.budget.pages * self.page_bytes
+        survivors: list[tuple[int, tuple]] = []
+
+        tree = self._new_tree()
+        batch: list[tuple] = []
+
+        def process_batch() -> None:
+            for c_id, c, leaf in batch:
+                qd = [tables[i][c[i]][query[i]] for i in range(m)]
+                if leaf.count >= 2:
+                    # Same duplicate fast path as the base loop.
+                    prunable = False
+                    checks = m
+                    for i in range(m):
+                        if qd[i] > 0.0:
+                            prunable = True
+                            checks = i + 1
+                            break
+                else:
+                    entry = tree.soft_remove(leaf, c_id)
+                    prunable, checks = is_prunable(
+                        tree, c, qd, tables, order_children=self.order_children
+                    )
+                    tree.soft_restore(leaf, entry)
+                stats.pruner_tests += 1
+                stats.checks_delta += checks
+                if not prunable:
+                    survivors.append((c_id, c))
+            stats.phase1_batches += 1
+
+        for d_id, d in overlay.entries:
+            leaf = tree.insert(d_id, d)
+            batch.append((d_id, d, leaf))
+            if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= budget_bytes:
+                process_batch()
+                tree = self._new_tree()
+                batch = []
+        if batch:
+            process_batch()
+        return survivors
 
     def _phase2(
-        self, data_file: PageFile, scratch: PageFile, query: tuple, stats: CostStats
+        self,
+        data_file: PageFile,
+        scratch: PageFile,
+        query: tuple,
+        stats: CostStats,
+        delta_survivors: list[tuple[int, tuple]] | None = None,
     ) -> list[int]:
         tables = self._tables()
         trace = self.trace_checks
         _, batch_pages = self.budget.split_for_second_phase()
         batch_bytes = batch_pages * self.page_bytes
         result: list[int] = []
+        overlay = self.overlay
+        tomb = overlay.tombstones if overlay is not None else frozenset()
+        delta_entries = overlay.entries if overlay is not None else ()
+        pending = delta_survivors or []
+        d_idx = 0
 
         page_idx = 0
-        while page_idx < scratch.num_pages:
+        while page_idx < scratch.num_pages or d_idx < len(pending):
             tree = self._new_tree()
             # Fill the tree with first-phase results until the tree's
             # modeled footprint reaches the batch budget.
@@ -313,16 +429,37 @@ class TRS(ReverseSkylineAlgorithm):
                 page_idx += 1
                 if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= batch_bytes:
                     break
+            if page_idx >= scratch.num_pages:
+                # Top the batch up with delta survivors once the scratch
+                # file is exhausted (same insert-then-check rule as the
+                # page loop, so every outer iteration makes progress).
+                while d_idx < len(pending):
+                    rid, vals = pending[d_idx]
+                    tree.insert(rid, vals)
+                    d_idx += 1
+                    if tree.memory_bytes(NODE_BYTES, ENTRY_BYTES) >= batch_bytes:
+                        break
             stats.phase2_batches += 1
             stats.db_passes += 1
             for _, dpage in data_file.scan():
                 if tree.num_objects == 0:
                     break
                 for e_id, e in dpage:
+                    if e_id in tomb:
+                        continue  # deleted records prune nobody
                     _, checks = prune_tree(tree, e_id, e, query, tables)
                     if checks:
                         stats.charge_phase2(e_id, checks, trace=trace)
                 if tree.num_objects == 0:
                     break
+            # Every live delta entry streams as a pruner source too —
+            # phase 2 is exact only if the whole logical dataset streams.
+            for del_id, del_values in delta_entries:
+                if tree.num_objects == 0:
+                    break
+                stats.delta_visits += 1
+                _, checks = prune_tree(tree, del_id, del_values, query, tables)
+                if checks:
+                    stats.checks_delta += checks
             result.extend(record_id for record_id, _ in tree.iter_entries())
         return result

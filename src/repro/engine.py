@@ -178,9 +178,12 @@ class ReverseSkylineEngine:
         if layouts:
             save_layouts(directory, layouts)
 
-    def _make_algorithm_shell(self, name: str):
+    def _make_algorithm_shell(self, name: str, recall_target: float | None = None):
+        # A per-request recall target (QuerySpec.recall_target) overrides
+        # the engine-level default for this instance only.
+        recall = recall_target if recall_target is not None else self.recall_target
         kwargs = {}
-        if self.shards is not None or self.recall_target is not None:
+        if self.shards is not None or recall is not None:
             from repro.core.registry import get_algorithm
             from repro.kernels import resolve_algorithm
 
@@ -191,10 +194,13 @@ class ReverseSkylineEngine:
             if self.shards is not None and getattr(cls, "accepts_shards", False):
                 kwargs["shards"] = self.shards
             # Likewise only index-capable families take the recall knob.
-            if self.recall_target is not None and getattr(
-                cls, "accepts_index", False
-            ):
-                kwargs["recall_target"] = self.recall_target
+            if recall is not None:
+                if not getattr(cls, "accepts_index", False):
+                    raise AlgorithmError(
+                        f"recall_target needs an index-capable algorithm, "
+                        f"not {name!r}"
+                    )
+                kwargs["recall_target"] = recall
         algo = make_algorithm(
             name,
             self.dataset,
@@ -213,16 +219,32 @@ class ReverseSkylineEngine:
         algo.retry_policy = self.retry_policy
 
     # -- internals ----------------------------------------------------------
-    def _algorithm(self, name: str):
-        algo = self._algorithms.get(name)
+    def _algorithm(self, name: str, recall_target: float | None = None):
+        # Per-request recall targets get their own prepared instance,
+        # cached under a qualified key (the instance bakes the target in).
+        key = name if recall_target is None else f"{name}@recall={recall_target}"
+        algo = self._algorithms.get(key)
         if algo is None:
             with self._lock:
-                algo = self._algorithms.get(name)
+                algo = self._algorithms.get(key)
                 if algo is None:
-                    algo = self._make_algorithm_shell(name)
+                    algo = self._make_algorithm_shell(
+                        name, recall_target=recall_target
+                    )
                     algo.prepare()
-                    self._algorithms[name] = algo
+                    self._algorithms[key] = algo
         return algo
+
+    def _spec_routing(self, spec) -> tuple[str, float | None]:
+        """Resolve a query spec's (algorithm name, per-request recall):
+        a recall target on the stock default routes through the indexed
+        family, mirroring what the constructor does for engine-level
+        ``recall_target``."""
+        name = spec.algorithm or self.default_algorithm
+        recall = getattr(spec, "recall_target", None)
+        if recall is not None and name == "TRS":
+            name = "ITRS"
+        return name, recall
 
     def _skyband_algorithm(self, k: int) -> ReverseSkybandTRS:
         algo = self._skybands.get(k)
@@ -506,7 +528,7 @@ class ReverseSkylineEngine:
         """Build (under lock) whatever prepared instance ``spec`` needs, so
         pooled workers only ever *read* the instance caches."""
         if spec.kind == "query":
-            self._algorithm(spec.algorithm or self.default_algorithm)
+            self._algorithm(*self._spec_routing(spec))
         elif spec.kind == "skyband":
             self._skyband_algorithm(spec.k)
         elif spec.kind == "subset":
@@ -516,7 +538,7 @@ class ReverseSkylineEngine:
         """Answer one spec without recording (the executor records the
         whole batch afterwards, in input order)."""
         if spec.kind == "query":
-            algo = self._algorithm(spec.algorithm or self.default_algorithm)
+            algo = self._algorithm(*self._spec_routing(spec))
             return algo.run(spec.query)
         if spec.kind == "skyband":
             return self._skyband_algorithm(spec.k).run(spec.query)

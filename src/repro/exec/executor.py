@@ -64,6 +64,10 @@ class QuerySpec:
     algorithm: str | None = None
     #: Attribute names or indices for ``kind="subset"`` (Section 5.6).
     attributes: tuple | None = None
+    #: Per-request approximate-mode pruning-recall target (``None`` keeps
+    #: exact mode). Part of the result-cache key: an exact answer and an
+    #: approximate one for the same query are different results.
+    recall_target: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -74,6 +78,15 @@ class QuerySpec:
             raise AlgorithmError(f"skyband needs k >= 1, got {self.k}")
         if self.kind == "subset" and not self.attributes:
             raise AlgorithmError("subset queries need a non-empty attribute tuple")
+        if self.recall_target is not None:
+            if self.kind != "query":
+                raise AlgorithmError(
+                    f"recall_target only applies to kind='query', not {self.kind!r}"
+                )
+            if not 0.0 <= self.recall_target <= 1.0:
+                raise AlgorithmError(
+                    f"recall_target must be in [0, 1], got {self.recall_target!r}"
+                )
 
 
 def as_spec(
@@ -83,6 +96,7 @@ def as_spec(
     k: int = 1,
     algorithm: str | None = None,
     attributes: Sequence | None = None,
+    recall_target: float | None = None,
 ) -> QuerySpec:
     """Coerce a plain query tuple (or a ready spec) into a QuerySpec."""
     if isinstance(item, QuerySpec):
@@ -93,6 +107,7 @@ def as_spec(
         k=k if kind == "skyband" else 1,
         algorithm=algorithm,
         attributes=tuple(attributes) if attributes is not None else None,
+        recall_target=recall_target if kind == "query" else None,
     )
 
 
@@ -198,6 +213,7 @@ def _process_worker_init(
     manifest=None,
     shards=None,
     recall_target=None,
+    maint=None,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_INJECTOR, _WORKER_POLICY
     from repro.engine import ReverseSkylineEngine
@@ -222,6 +238,33 @@ def _process_worker_init(
 
         _WORKER_INJECTOR = FaultInjector(fault_plan, fault_seed)
     _WORKER_POLICY = RetryPolicy(**retry_args) if retry_args else RetryPolicy()
+    if maint is not None:
+        # Maintained parent: the worker mirrors it — same base (shm or
+        # pickle), same engine family, plus the parent's delta state
+        # (inline blob, or a published delta segment alongside the base
+        # manifest). Workers never compact; the parent drives their
+        # lifecycle and rebuilds pools at compaction.
+        from repro.maint import MaintainedEngine
+
+        _WORKER_ENGINE = MaintainedEngine(
+            dataset,
+            algorithm=algorithm,
+            memory_fraction=memory_fraction,
+            page_bytes=page_bytes,
+            log_queries=False,
+            fault_injector=_WORKER_INJECTOR,
+            retry_policy=_WORKER_POLICY,
+            backend=backend,
+            recall_target=recall_target,
+        )
+        if maint.get("manifest") is not None:
+            from repro.exec import shm as _shm
+
+            blob = _shm.deltas_from_manifest(maint["manifest"])
+        else:
+            blob = maint["inline"]
+        _WORKER_ENGINE.sync_maint_state(blob)
+        return
     _WORKER_ENGINE = ReverseSkylineEngine(
         dataset,
         algorithm=algorithm,
@@ -252,7 +295,17 @@ def _process_worker_run(spec: QuerySpec) -> _JobOutcome:
 
 def _process_worker_run_payload(wire):
     """Run one planner payload in a pool worker: a plain spec, or a
-    group routed through the shared multi-query scan."""
+    group routed through the shared multi-query scan. A ``("maint",
+    blob, inner)`` envelope first syncs the worker's maintained engine
+    to the parent's delta epoch (idempotent: stale blobs are ignored),
+    then runs the inner payload — this is how the resident service
+    streams updates into a *persistent* pool without republishing."""
+    if wire[0] == "maint":
+        _, blob, wire = wire
+        assert _WORKER_ENGINE is not None, "pool initializer did not run"
+        sync = getattr(_WORKER_ENGINE, "sync_maint_state", None)
+        if sync is not None:
+            sync(blob)
     if wire[0] == "single":
         return _process_worker_run(wire[1])
     _, specs, backend = wire
@@ -283,6 +336,14 @@ def planner_group_key(engine, spec: QuerySpec):
     resident service's micro-batcher (:mod:`repro.serve.batcher`).
     """
     if spec.kind != "query" or spec.attributes is not None:
+        return None
+    if getattr(spec, "recall_target", None) is not None:
+        # Approximate requests carry their own recall contract; the
+        # shared scan only answers exact.
+        return None
+    if getattr(engine, "maint_active", False):
+        # Maintained engines answer in stable ids over base + deltas;
+        # shared scans know neither the overlay nor the id translation.
         return None
     from repro.kernels import scalar_variant
 
@@ -692,6 +753,7 @@ class QueryExecutor:
                 if spec.attributes is not None
                 else None
             ),
+            recall_target=getattr(spec, "recall_target", None),
         )
 
     def _retry_args(self) -> dict:
@@ -711,8 +773,9 @@ class QueryExecutor:
         }
 
     def _process_initargs(self, *, warm: bool = False):
-        """The process-pool initializer arguments, plus the shm manifest
-        to unlink once the pool is gone (``None`` on the pickle path).
+        """The process-pool initializer arguments, plus the shm manifests
+        to unlink once the pool is gone (an empty tuple on the pickle
+        path).
 
         With ``shm`` enabled the dataset slot ships as ``None`` and a
         :class:`~repro.exec.shm.ShmManifest` rides along instead; the
@@ -720,6 +783,13 @@ class QueryExecutor:
         seeds its plan cache from the published plans. ``warm`` builds
         the family plans in *this* process first, so forked workers
         inherit them and the publisher has them to export.
+
+        A maintained engine additionally exports its delta state: over a
+        delta segment published alongside the base manifest when shm is
+        on (same ``repro-shm-`` prefix, same unlink lifecycle, so the
+        leak audits cover it), inline in the initargs otherwise. The base
+        the workers build over is the engine's *compacted* base; deltas
+        ride the wire so worker answers match the parent's epoch exactly.
         """
         engine = self.engine
         injector = self.fault_injector
@@ -734,7 +804,20 @@ class QueryExecutor:
             manifest = _shm.publish_engine(engine)
             if manifest is None and _obs.enabled:
                 _obs.inc("repro_shm_fallbacks_total")
-        return manifest, (
+        manifests = () if manifest is None else (manifest,)
+        maint = None
+        export_wire = getattr(engine, "_export_maint_wire", None)
+        if export_wire is not None:
+            blob = export_wire()
+            maint = {"inline": blob, "manifest": None}
+            if manifest is not None:
+                from repro.exec import shm as _shm
+
+                delta_manifest = _shm.publish_deltas(blob)
+                if delta_manifest is not None:
+                    maint = {"inline": None, "manifest": delta_manifest}
+                    manifests = manifests + (delta_manifest,)
+        return manifests, (
             None if manifest is not None else engine.dataset,
             engine.default_algorithm,
             engine.memory_fraction,
@@ -747,6 +830,7 @@ class QueryExecutor:
             manifest,
             getattr(engine, "shards", None),
             getattr(engine, "recall_target", None),
+            maint,
         )
 
     def _group_key(self, spec: QuerySpec):
@@ -841,7 +925,7 @@ class QueryExecutor:
             # Warm the plan cache first: forked workers inherit the built
             # plans via copy-on-write, and the shm publisher (when on)
             # ships them to spawn-style workers explicitly.
-            manifest, initargs = self._process_initargs(warm=True)
+            manifests, initargs = self._process_initargs(warm=True)
             try:
                 with ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -854,10 +938,11 @@ class QueryExecutor:
                         pool.map(_process_worker_run_payload, wires, chunksize=1)
                     )
             finally:
-                if manifest is not None:
+                if manifests:
                     from repro.exec import shm as _shm
 
-                    _shm.unlink_manifest(manifest)
+                    for m in manifests:
+                        _shm.unlink_manifest(m)
         for wire in wires:
             if wire[0] == "single":
                 try:
@@ -886,7 +971,7 @@ class QueryExecutor:
         engine = self.engine
         injector, policy = self.fault_injector, self.retry_policy
         if self.pool == "process" and self.workers > 1 and len(job_specs) > 1:
-            manifest, initargs = self._process_initargs()
+            manifests, initargs = self._process_initargs()
             try:
                 with ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -898,10 +983,11 @@ class QueryExecutor:
                         pool.map(_process_worker_run, job_specs, chunksize=chunk)
                     )
             finally:
-                if manifest is not None:
+                if manifests:
                     from repro.exec import shm as _shm
 
-                    _shm.unlink_manifest(manifest)
+                    for m in manifests:
+                        _shm.unlink_manifest(m)
         # Warm the shared algorithm instances sequentially so worker
         # threads never race on prepare() work (creation is lock-guarded
         # anyway; this avoids redundant layout sorts).

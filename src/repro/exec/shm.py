@@ -59,9 +59,11 @@ __all__ = [
     "attach_arrays",
     "attached_segments",
     "dataset_from_manifest",
+    "deltas_from_manifest",
     "detach_manifest",
     "publish_arrays",
     "publish_dataset",
+    "publish_deltas",
     "publish_engine",
     "seed_plan_cache",
     "unlink_manifest",
@@ -448,6 +450,68 @@ def publish_engine(engine) -> ShmManifest | None:
             plan_info["scan"] = True
         meta["plans"].append(plan_info)
     return publish_arrays(arrays, meta)
+
+
+def publish_deltas(blob: dict) -> ShmManifest | None:
+    """Publish a maintained engine's delta wire state (see
+    :meth:`repro.maint.MaintStore.wire_state`) as its own segment,
+    alongside the base manifest.
+
+    The segment carries the uncompacted insert ids/values and the
+    tombstoned stable ids as flat int arrays; it shares the
+    ``repro-shm-`` prefix and the owner-unlinks lifecycle with the base
+    segment, so the ``/dev/shm`` leak audits cover delta segments with
+    no extra bookkeeping. Returns ``None`` when the blob is empty (no
+    pending mutations — workers then start from the bare base) or when
+    the delta values cannot be flattened to ints.
+    """
+    deltas = blob.get("deltas") or []
+    tombstones = blob.get("tombstones") or []
+    if not deltas and not tombstones:
+        return None
+    base_ids = blob.get("base_ids")
+    try:
+        ids = np.asarray([sid for sid, _ in deltas], dtype=np.int64)
+        num_attrs = len(deltas[0][1]) if deltas else 0
+        vals = np.asarray(
+            [list(v) for _, v in deltas], dtype=np.int64
+        ).reshape(len(deltas), num_attrs)
+        tomb = np.asarray(list(tombstones), dtype=np.int64)
+        # Non-identity stable-id table (present after a compaction) —
+        # an empty array stands in for None, the identity mapping.
+        bids = np.asarray(
+            list(base_ids) if base_ids is not None else [], dtype=np.int64
+        )
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return publish_arrays(
+        {"delta.ids": ids, "delta.vals": vals, "delta.tomb": tomb,
+         "base.ids": bids},
+        {"kind": "maint-deltas", "epoch": int(blob["epoch"])},
+    )
+
+
+def deltas_from_manifest(manifest: ShmManifest) -> dict:
+    """Rebuild a :func:`publish_deltas` blob from an attached segment
+    (worker side). Values come back as plain tuples — the maintenance
+    store keeps deltas in Python structures, never as array views."""
+    arrays = attach_arrays(manifest)
+    ids = arrays["delta.ids"]
+    vals = arrays["delta.vals"]
+    bids = arrays.get("base.ids")
+    return {
+        "epoch": int(manifest.meta["epoch"]),
+        "deltas": [
+            (int(sid), tuple(int(v) for v in row))
+            for sid, row in zip(ids, vals)
+        ],
+        "tombstones": [int(t) for t in arrays["delta.tomb"]],
+        "base_ids": (
+            tuple(int(i) for i in bids)
+            if bids is not None and len(bids)
+            else None
+        ),
+    }
 
 
 def dataset_from_manifest(manifest: ShmManifest):

@@ -219,6 +219,33 @@ class PlanCache:
             _obs.set_gauge("repro_plan_cache_bytes", 0.0)
             _obs.set_gauge("repro_plan_cache_entries", 0.0)
 
+    def invalidate_fingerprint(self, fingerprint: str) -> tuple[int, int]:
+        """Surgically drop every artifact keyed under ``fingerprint``.
+
+        The maintenance layer calls this at compaction time: only plans
+        built over the compacted base layout are stale; everything else
+        in the process-wide cache (other datasets, other layouts of the
+        same dataset) stays warm. Between compactions nothing is dropped
+        at all — update epochs ride the overlay, and plan keys embed the
+        *base* fingerprint, which mutation batches do not change.
+
+        Returns ``(dropped, retained)`` entry counts.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k.fingerprint == fingerprint]
+            for key in stale:
+                _, nbytes = self._entries.pop(key)
+                self._bytes -= nbytes
+            dropped = len(stale)
+            retained = len(self._entries)
+            total = self._bytes
+        if _obs.enabled:
+            if dropped:
+                _obs.inc("repro_plan_cache_invalidations_total", dropped)
+            _obs.set_gauge("repro_plan_cache_bytes", float(total))
+            _obs.set_gauge("repro_plan_cache_entries", float(retained))
+        return dropped, retained
+
     def stats(self) -> PlanCacheStats:
         with self._lock:
             return PlanCacheStats(

@@ -1,0 +1,25 @@
+"""Incremental maintenance: delta AL-Trees, LSM-style compaction, and a
+maintained engine that answers queries over ``base ⊎ deltas ⊖ tombstones``
+bit-identically to a from-scratch rebuild.
+
+Layering (see ``docs/maintenance.md``):
+
+- :class:`MaintStore` — the write path. Inserts land in small delta
+  AL-Trees (size-tiered merged as they accumulate), deletes become
+  tombstones; every applied batch bumps a monotone *epoch*. When churn
+  crosses the compaction threshold the deltas fold into a new base
+  dataset in one atomic swap.
+- :class:`MaintainedEngine` — a :class:`~repro.engine.ReverseSkylineEngine`
+  whose prepared algorithm instances carry the current epoch's
+  :class:`~repro.core.overlay.Overlay`. Updates never quiesce readers:
+  in-flight queries finish against the epoch they started on.
+- Surgical plan-cache invalidation — plan keys embed the *base*
+  fingerprint, so update epochs drop nothing; only a compaction
+  invalidates, and only the plans of the compacted base
+  (:meth:`repro.kernels.plancache.PlanCache.invalidate_fingerprint`).
+"""
+
+from repro.maint.engine import MaintainedEngine
+from repro.maint.store import MaintStore, UpdateResult
+
+__all__ = ["MaintStore", "MaintainedEngine", "UpdateResult"]

@@ -1,0 +1,357 @@
+"""The maintenance write path: delta AL-Trees, tombstones, compaction.
+
+A :class:`MaintStore` owns a *base* :class:`~repro.data.dataset.Dataset`
+(the compacted, laid-out, plan-cached state) plus the mutations applied
+since the last compaction:
+
+- **inserts** live in small delta AL-Trees, size-tiered LSM-style: every
+  applied batch starts a fresh tier; adjacent tiers merge
+  (:meth:`repro.altree.ALTree.merge_from`) whenever the older one is no
+  more than twice the newer, so tier count stays logarithmic in delta
+  size and merges always move the smaller tree.
+- **deletes** are tombstones. Deleting a base record marks its stable
+  id; deleting a not-yet-compacted insert removes it from its delta tier
+  (counted in the tier's ``deleted_count`` so compaction triggers see
+  churn, not just net growth).
+
+Records are addressed by **stable ids**: the id a record gets on insert
+and keeps across compactions (base records of the seed dataset get ids
+``0..n-1``). Readers see the store through :meth:`snapshot`, which
+returns an immutable :class:`~repro.core.overlay.Overlay` in the *base
+position* coordinate space the scan algorithms use, plus the translation
+tables back to stable ids.
+
+Compaction folds deltas and tombstones into a new base dataset in one
+atomic swap: the new record list, id table and position index are built
+completely off to the side, then published by plain attribute
+assignment under the lock — a crash (or injected fault) mid-build leaves
+the store exactly as it was, still answering correctly from the old
+base + deltas.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.altree.tree import ALTree
+from repro.core.overlay import Overlay
+from repro.data.dataset import Dataset
+from repro.errors import AlgorithmError
+from repro.sorting.keys import ascending_cardinality_order
+
+__all__ = ["MaintStore", "UpdateResult"]
+
+#: Never compact below this much churn (delta records + tombstones).
+DEFAULT_COMPACT_MIN = 64
+#: ... or below this fraction of the base size, whichever is larger.
+DEFAULT_COMPACT_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """What one :meth:`MaintStore.apply` batch did."""
+
+    #: The epoch the store advanced to.
+    epoch: int
+    #: Stable ids assigned to the batch's inserts, in input order.
+    inserted: tuple[int, ...]
+    #: Stable ids the batch actually deleted, in input order.
+    deleted: tuple[int, ...]
+    #: Whether this batch tripped a compaction.
+    compacted: bool
+    #: Uncompacted insert count after the batch.
+    delta_records: int
+    #: Base tombstone count after the batch.
+    tombstones: int
+
+
+class MaintStore:
+    """Base dataset + delta AL-Tree tiers + tombstones, under one lock.
+
+    Parameters
+    ----------
+    dataset:
+        The seed base. Its records get stable ids ``0..n-1``.
+    compact_fraction / compact_min:
+        A batch triggers compaction when total churn (delta records +
+        tombstones + deletes absorbed by delta tiers) reaches
+        ``max(compact_min, compact_fraction * len(base))``. Set
+        ``compact_min`` very large (or call only :meth:`compact`
+        explicitly) to disable automatic compaction — pool workers do
+        exactly that, since the parent drives their lifecycle.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        compact_fraction: float = DEFAULT_COMPACT_FRACTION,
+        compact_min: int = DEFAULT_COMPACT_MIN,
+    ) -> None:
+        self.base = dataset
+        self.compact_fraction = float(compact_fraction)
+        self.compact_min = int(compact_min)
+        #: ``base_ids[p]`` is the stable id of the base record at position
+        #: ``p`` — identity for the seed base, permuted after compactions.
+        self.base_ids: tuple[int, ...] = tuple(range(len(dataset)))
+        self._pos_of: dict[int, int] = {sid: p for p, sid in enumerate(self.base_ids)}
+        self._next_id = len(dataset)
+        #: Delta trees share one attribute order so tiers can merge.
+        self._delta_order = ascending_cardinality_order(dataset.schema, dataset)
+        self._tiers: list[ALTree] = []
+        self._delta: dict[int, tuple] = {}  # stable id -> values, uncompacted inserts
+        self._tomb: set[int] = set()  # stable ids of deleted *base* records
+        #: Deletes absorbed by delta tiers since the last compaction
+        #: (tombstones cover base deletes only; churn needs both).
+        self._delta_deletes = 0
+        self.epoch = 0
+        self.compactions = 0
+        self.tier_merges = 0
+        self._lock = threading.RLock()
+        #: Chaos-test injection point: when set, called after the new
+        #: base is fully built but before it is published — raising there
+        #: simulates a crash mid-compaction, which must leave the store
+        #: untouched (exercised by verify_maint_equivalence).
+        self._crash_hook = None
+
+    # -- write path ----------------------------------------------------------
+    def apply(
+        self,
+        inserts: Iterable[Sequence] = (),
+        deletes: Iterable[int] = (),
+    ) -> UpdateResult:
+        """Apply one batch of mutations; bumps the epoch, may compact.
+
+        ``inserts`` are record value tuples (schema-validated);
+        ``deletes`` are stable ids of live records. Deleting an unknown
+        or already-deleted id raises :class:`~repro.errors.AlgorithmError`
+        with the store unchanged (ids are validated before any state
+        mutates, so a bad batch is a no-op).
+        """
+        ins = [tuple(v) for v in inserts]
+        dels = [int(d) for d in deletes]
+        for values in ins:
+            self.base.schema.validate_record(values)
+        with self._lock:
+            for sid in dels:
+                if sid in self._tomb or (
+                    sid not in self._delta and sid not in self._pos_of
+                ):
+                    raise AlgorithmError(
+                        f"delete of unknown or already-deleted stable id {sid}"
+                    )
+            if len(set(dels)) != len(dels):
+                raise AlgorithmError("duplicate stable id in delete batch")
+            deleted: list[int] = []
+            for sid in dels:
+                values = self._delta.pop(sid, None)
+                if values is not None:
+                    # An insert dying before it ever reached the base:
+                    # remove it from whichever tier holds it.
+                    for tier in self._tiers:
+                        if tier.delete(sid, values):
+                            break
+                    self._delta_deletes += 1
+                    self._tiers = [t for t in self._tiers if len(t)]
+                else:
+                    self._tomb.add(sid)
+                deleted.append(sid)
+            inserted: list[int] = []
+            if ins:
+                tier = ALTree(self._delta_order)
+                for values in ins:
+                    sid = self._next_id
+                    self._next_id += 1
+                    self._delta[sid] = values
+                    tier.insert(sid, values)
+                    inserted.append(sid)
+                self._tiers.append(tier)
+                # Size-tiered merge: fold the older neighbour in while it
+                # is not more than twice the newer tier, keeping tiers
+                # geometrically spaced and merges small-into-large.
+                while (
+                    len(self._tiers) >= 2
+                    and len(self._tiers[-2]) <= 2 * len(self._tiers[-1])
+                ):
+                    small = self._tiers.pop(-2)
+                    if len(small) > len(self._tiers[-1]):
+                        small, self._tiers[-1] = self._tiers[-1], small
+                    self._tiers[-1].merge_from(small)
+                    self.tier_merges += 1
+            self.epoch += 1
+            compacted = False
+            if self._churn() >= self._compact_threshold():
+                self._compact_locked()
+                compacted = True
+            return UpdateResult(
+                epoch=self.epoch,
+                inserted=tuple(inserted),
+                deleted=tuple(deleted),
+                compacted=compacted,
+                delta_records=len(self._delta),
+                tombstones=len(self._tomb),
+            )
+
+    def _churn(self) -> int:
+        return len(self._delta) + len(self._tomb) + self._delta_deletes
+
+    def _compact_threshold(self) -> int:
+        return max(self.compact_min, int(self.compact_fraction * len(self.base)))
+
+    # -- compaction ----------------------------------------------------------
+    def compact(self) -> bool:
+        """Fold deltas and tombstones into a new base now. Returns False
+        when there is nothing to fold."""
+        with self._lock:
+            if not self._delta and not self._tomb:
+                self._delta_deletes = 0
+                return False
+            self._compact_locked()
+            return True
+
+    def _compact_locked(self) -> None:
+        # Build the entire new state off to the side; publish only by the
+        # final plain assignments. An exception anywhere in the build
+        # leaves the store untouched and still correct (crash safety —
+        # exercised by the chaos suite's crash-mid-compaction runs).
+        new_records: list[tuple] = []
+        new_ids: list[int] = []
+        for pos, sid in enumerate(self.base_ids):
+            if sid not in self._tomb:
+                new_records.append(self.base.records[pos])
+                new_ids.append(sid)
+        for sid in sorted(self._delta):
+            new_records.append(self._delta[sid])
+            new_ids.append(sid)
+        new_base = self.base.with_records(new_records)
+        ids = tuple(new_ids)
+        pos_of = {sid: p for p, sid in enumerate(ids)}
+        if self._crash_hook is not None:
+            self._crash_hook()
+        self.base = new_base
+        self.base_ids = ids
+        self._pos_of = pos_of
+        self._tiers = []
+        self._delta = {}
+        self._tomb = set()
+        self._delta_deletes = 0
+        self.compactions += 1
+
+    # -- read-side snapshots -------------------------------------------------
+    def snapshot(self) -> tuple[Overlay, Dataset, tuple[int, ...], tuple[int, ...]]:
+        """One consistent ``(overlay, base, base_ids, delta_sids)`` view.
+
+        The overlay is in base-position coordinates (entry ids are
+        ``len(base) + j`` for the ``j``-th uncompacted insert in stable-id
+        order; tombstones are base *positions*); ``base_ids``/``delta_sids``
+        translate scan result ids back to stable ids. Everything returned
+        is immutable, so later writes never disturb a taken snapshot.
+        """
+        with self._lock:
+            n = len(self.base)
+            delta_sids = tuple(sorted(self._delta))
+            entries = tuple(
+                (n + j, self._delta[sid]) for j, sid in enumerate(delta_sids)
+            )
+            tombstones = frozenset(self._pos_of[sid] for sid in self._tomb)
+            overlay = Overlay(entries=entries, tombstones=tombstones, epoch=self.epoch)
+            return overlay, self.base, self.base_ids, delta_sids
+
+    def live_entries(self) -> list[tuple[int, tuple]]:
+        """All live ``(stable_id, values)`` pairs — the from-scratch
+        rebuild oracle's input (and the equivalence harness's ground
+        truth), in stable-id order."""
+        with self._lock:
+            entries = [
+                (sid, self.base.records[pos])
+                for pos, sid in enumerate(self.base_ids)
+                if sid not in self._tomb
+            ]
+            entries.extend(sorted(self._delta.items()))
+        entries.sort()
+        return entries
+
+    @property
+    def delta_records(self) -> int:
+        with self._lock:
+            return len(self._delta)
+
+    @property
+    def tombstone_count(self) -> int:
+        with self._lock:
+            return len(self._tomb)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "base_records": len(self.base),
+                "delta_records": len(self._delta),
+                "tombstones": len(self._tomb),
+                "delta_tiers": len(self._tiers),
+                "tier_sizes": [len(t) for t in self._tiers],
+                "tier_merges": self.tier_merges,
+                "compactions": self.compactions,
+                "compact_threshold": self._compact_threshold(),
+            }
+
+    # -- worker synchronisation ----------------------------------------------
+    def wire_state(self) -> dict:
+        """Picklable delta state for pool workers: deltas and tombstones
+        are small by design (compaction bounds them), the base travels
+        separately (shm manifest or the fork snapshot)."""
+        with self._lock:
+            ids = self.base_ids
+            return {
+                "epoch": self.epoch,
+                "deltas": sorted(self._delta.items()),
+                "tombstones": sorted(self._tomb),
+                # After a compaction the base order no longer matches
+                # 0..n-1; a worker engine built fresh over the shipped
+                # base must adopt this table or it translates scan
+                # positions to the wrong stable ids. None = identity.
+                "base_ids": ids if ids != tuple(range(len(ids))) else None,
+            }
+
+    def install_wire_state(self, blob: dict) -> bool:
+        """Adopt a :meth:`wire_state` snapshot wholesale (worker side).
+
+        The receiving store must hold the same base the blob's deltas
+        were taken against. Returns True when the epoch advanced (stale
+        or duplicate blobs are ignored, so re-delivery is harmless).
+        """
+        epoch = int(blob["epoch"])
+        with self._lock:
+            if epoch <= self.epoch:
+                return False
+            base_ids = blob.get("base_ids")
+            if base_ids is not None:
+                base_ids = tuple(int(i) for i in base_ids)
+                if len(base_ids) != len(self.base):
+                    raise AlgorithmError(
+                        f"wire base_ids cover {len(base_ids)} records but the "
+                        f"worker base holds {len(self.base)} — out of sync"
+                    )
+                self.base_ids = base_ids
+                self._pos_of = {sid: p for p, sid in enumerate(base_ids)}
+                if base_ids:
+                    self._next_id = max(self._next_id, max(base_ids) + 1)
+            self._delta = {int(sid): tuple(v) for sid, v in blob["deltas"]}
+            self._tomb = {int(sid) for sid in blob["tombstones"]}
+            for sid in self._tomb:
+                if sid not in self._pos_of:
+                    raise AlgorithmError(
+                        f"wire tombstone {sid} is not a base record here — "
+                        "worker base is out of sync with the parent"
+                    )
+            tier = ALTree(self._delta_order)
+            for sid, values in self._delta.items():
+                tier.insert(sid, values)
+            self._tiers = [tier] if len(tier) else []
+            self._delta_deletes = 0
+            if self._delta:
+                self._next_id = max(self._next_id, max(self._delta) + 1)
+            self.epoch = epoch
+            return True

@@ -12,8 +12,10 @@ Request::
      "k": null, "algorithm": null, "tenant": "default",
      "deadline_ms": 250, "id": "c1-17"}
 
-``op`` may also be ``"ping"`` (liveness) or ``"stats"`` (service
-counters). Responses echo ``id`` and carry ``ok``; errors are typed::
+``op`` may also be ``"ping"`` (liveness), ``"stats"`` (service
+counters) or ``"update"`` (maintained engines only: ``inserts`` is an
+array of value arrays, ``deletes`` an array of stable record ids).
+Responses echo ``id`` and carry ``ok``; errors are typed::
 
     {"id": "c1-17", "ok": false,
      "error": {"type": "overload", "reason": "queue-full",
@@ -41,7 +43,7 @@ __all__ = [
     "ok_response",
 ]
 
-_VALID_OPS = ("query", "ping", "stats")
+_VALID_OPS = ("query", "ping", "stats", "update")
 _VALID_KINDS = ("query", "skyband", "subset")
 
 
@@ -58,6 +60,13 @@ class ServeRequest:
     attributes: tuple[int, ...] | None = None
     tenant: str = "default"
     deadline_ms: float | None = None
+    #: kind='query' only — route through the index-capable approximate
+    #: path with this measured-recall floor. Part of the cache identity.
+    recall_target: float | None = None
+    #: op='update' only — records to insert (list of value arrays) and
+    #: stable record ids to delete.
+    inserts: tuple[tuple[Any, ...], ...] = ()
+    deletes: tuple[int, ...] = ()
 
 
 class BadRequest(ReproError):
@@ -81,6 +90,27 @@ def decode_request(line: bytes | str) -> ServeRequest:
     if op not in _VALID_OPS:
         raise BadRequest(f"unknown op {op!r} (expected one of {_VALID_OPS})")
     request_id = str(obj.get("id", ""))
+    if op == "update":
+        inserts = obj.get("inserts") or ()
+        deletes = obj.get("deletes") or ()
+        if not isinstance(inserts, (list, tuple)):
+            raise BadRequest("inserts must be an array of value arrays")
+        for rec in inserts:
+            if not isinstance(rec, (list, tuple)) or not rec:
+                raise BadRequest("each insert must be a non-empty array")
+        if not isinstance(deletes, (list, tuple)):
+            raise BadRequest("deletes must be an array of record ids")
+        for rid in deletes:
+            if not isinstance(rid, int) or isinstance(rid, bool) or rid < 0:
+                raise BadRequest("each delete must be a non-negative record id")
+        if not inserts and not deletes:
+            raise BadRequest("update needs at least one insert or delete")
+        return ServeRequest(
+            op="update",
+            request_id=request_id,
+            inserts=tuple(tuple(rec) for rec in inserts),
+            deletes=tuple(deletes),
+        )
     if op != "query":
         return ServeRequest(op=op, request_id=request_id)
     query = obj.get("query")
@@ -112,6 +142,17 @@ def decode_request(line: bytes | str) -> ServeRequest:
     algorithm = obj.get("algorithm")
     if algorithm is not None and not isinstance(algorithm, str):
         raise BadRequest("algorithm must be a string")
+    recall_target = obj.get("recall_target")
+    if recall_target is not None:
+        if (
+            not isinstance(recall_target, (int, float))
+            or isinstance(recall_target, bool)
+            or not 0.0 <= recall_target <= 1.0
+        ):
+            raise BadRequest("recall_target must be a number in [0, 1]")
+        if kind != "query":
+            raise BadRequest("recall_target is only meaningful for kind='query'")
+        recall_target = float(recall_target)
     return ServeRequest(
         op="query",
         request_id=request_id,
@@ -122,6 +163,7 @@ def decode_request(line: bytes | str) -> ServeRequest:
         attributes=attributes,
         tenant=str(obj.get("tenant", "default")),
         deadline_ms=deadline_ms,
+        recall_target=recall_target,
     )
 
 

@@ -14,6 +14,7 @@ against it from the main thread.
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 from typing import Any
 
@@ -72,6 +73,31 @@ class ServeServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         await self.service.stop()
+        self._shutdown.set()
+
+    async def drain(self, deadline_s: float = 5.0) -> None:
+        """Graceful shutdown (SIGTERM path): stop accepting connections,
+        let every request already on the wire get its *answer*, then
+        shut down.
+
+        Ordering matters: the listener closes first (new connections are
+        refused), then the service drains (queued and in-flight queries
+        settle and their responses are written back to still-connected
+        clients), and only then are idle connection handlers — blocked
+        in ``readline()`` with nothing left to say — cancelled."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.drain(deadline_s)
+        # Give handlers one beat to flush the final responses to their
+        # sockets before cancelling the idle readline() waits.
+        if self._conn_tasks:
+            await asyncio.wait(tuple(self._conn_tasks), timeout=0.5)
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._shutdown.set()
 
     async def serve_until_shutdown(self, max_requests: int | None = None) -> None:
@@ -133,6 +159,16 @@ class ServeServer:
             return protocol.ok_response(
                 req.request_id, {"stats": self.service.stats_payload()}
             )
+        if req.op == "update":
+            try:
+                payload = await self.service.apply_updates(
+                    inserts=req.inserts, deletes=req.deletes
+                )
+            except Exception as exc:
+                return protocol.error_response(req.request_id, exc)
+            finally:
+                self._handled += 1
+            return protocol.ok_response(req.request_id, payload)
         try:
             payload = await self.service.submit(req)
         except Exception as exc:  # typed service errors -> wire errors
@@ -152,9 +188,23 @@ async def _run(
     port_file: str | None = None,
     started: "threading.Event | None" = None,
     handle: "BackgroundServer | None" = None,
+    drain_deadline_s: float = 5.0,
 ) -> None:
     server = ServeServer(engine, config, host=host, port=port)
     await server.start()
+    loop = asyncio.get_running_loop()
+    sigterm_installed = False
+    try:
+        # SIGTERM = graceful drain: answer what was accepted, then exit.
+        # Unavailable off the main thread (serve_in_background) and on
+        # loops without signal support — fall back to plain stop there.
+        loop.add_signal_handler(
+            signal.SIGTERM,
+            lambda: asyncio.ensure_future(server.drain(drain_deadline_s)),
+        )
+        sigterm_installed = True
+    except (NotImplementedError, RuntimeError, ValueError):
+        pass
     if port_file:
         with open(port_file, "w") as fh:
             fh.write(str(server.port))
@@ -166,6 +216,8 @@ async def _run(
     try:
         await server.serve_until_shutdown(max_requests)
     finally:
+        if sigterm_installed:
+            loop.remove_signal_handler(signal.SIGTERM)
         await server.stop()
 
 
@@ -177,8 +229,13 @@ def run_server(
     port: int = 0,
     max_requests: int | None = None,
     port_file: str | None = None,
+    drain_deadline_s: float = 5.0,
 ) -> None:
-    """Blocking entry point for ``repro-skyline serve``."""
+    """Blocking entry point for ``repro-skyline serve``.
+
+    Installs a SIGTERM handler that drains gracefully: in-flight and
+    queued requests are answered (up to ``drain_deadline_s``) before
+    the process exits, so rolling restarts never drop accepted work."""
     try:
         asyncio.run(
             _run(
@@ -188,6 +245,7 @@ def run_server(
                 port,
                 max_requests=max_requests,
                 port_file=port_file,
+                drain_deadline_s=drain_deadline_s,
             )
         )
     except KeyboardInterrupt:

@@ -181,8 +181,13 @@ class QueryService:
         #: failures trigger exactly one rebuild (see :meth:`_ensure_pool`).
         self._pool_epoch = 0
         self._rebuild_lock = asyncio.Lock()
-        self._manifest = None
+        self._manifests: tuple = ()
         self._initargs = None
+        #: Latest maintained-engine delta wire state; every process-pool
+        #: payload is wrapped in a ``("maint", blob, wire)`` envelope so
+        #: workers sync to the parent's epoch lazily, without a pool
+        #: rebuild or republish (sync is idempotent — stale blobs no-op).
+        self._maint_blob = None
         self._inflight = 0
         self._running = False
         self._tasks: set[asyncio.Task] = set()
@@ -222,7 +227,7 @@ class QueryService:
             shm=self.config.shm,
         )
         if self._initargs is None:
-            self._manifest, self._initargs = helper._process_initargs(
+            self._manifests, self._initargs = helper._process_initargs(
                 warm=self.config.plan
             )
         self._pool = ProcessPoolExecutor(
@@ -270,14 +275,15 @@ class QueryService:
             _obs.set_gauge("repro_serve_running", 0.0)
 
     def _release_shared_state(self) -> None:
-        """Unlink the published segment and drop any attachment of it —
-        the /dev/shm audit must come back clean after shutdown."""
+        """Unlink the published segments (base + any delta segment) and
+        drop any attachment of them — the /dev/shm audit must come back
+        clean after shutdown."""
         from repro.exec import shm as _shm
 
-        if self._manifest is not None:
-            _shm.detach_manifest(self._manifest)
-            _shm.unlink_manifest(self._manifest)
-            self._manifest = None
+        for manifest in self._manifests:
+            _shm.detach_manifest(manifest)
+            _shm.unlink_manifest(manifest)
+        self._manifests = ()
         self._initargs = None
 
     async def swap_dataset(self, dataset) -> None:
@@ -302,6 +308,103 @@ class QueryService:
         if was_running:
             await self.start()
 
+    async def apply_updates(self, inserts=(), deletes=()) -> dict:
+        """Absorb an update batch into a served
+        :class:`~repro.maint.MaintainedEngine` without quiescing reads.
+
+        Unlike :meth:`swap_dataset` (stop-the-world), in-flight and
+        concurrent queries keep running against the epoch they started
+        on. The batch is applied off-loop; afterwards, process-pool
+        workers are brought to the new epoch lazily by wrapping every
+        payload in a ``("maint", blob, wire)`` envelope — no pool
+        rebuild, no republish. Only a *compaction* (which rewrites the
+        base the shm segment and worker engines were built from) forces
+        a pool rebuild, and even then in-flight payloads retry against
+        the replacement pool instead of failing.
+        """
+        apply = getattr(self.engine, "apply_updates", None)
+        if apply is None:
+            raise BadRequest(
+                "the served engine does not accept updates; "
+                "serve a repro.maint.MaintainedEngine"
+            )
+        loop = asyncio.get_running_loop()
+        res = await loop.run_in_executor(
+            None, lambda: apply(inserts=inserts, deletes=deletes)
+        )
+        if self.config.pool == "process" and self._pool is not None:
+            if res.compacted:
+                self._maint_blob = None
+                await self._rebuild_pool_for_base()
+            else:
+                self._maint_blob = self.engine._export_maint_wire()
+        return {
+            "epoch": res.epoch,
+            "inserted": res.inserted,
+            "deleted": res.deleted,
+            "compacted": res.compacted,
+            "delta_records": res.delta_records,
+            "tombstones": res.tombstones,
+        }
+
+    async def _rebuild_pool_for_base(self) -> None:
+        """Compaction rewrote the base dataset: the published segment
+        and every worker's attached engine describe the *old* base, so
+        replace the pool against a freshly republished segment. Payloads
+        in flight on the old pool see their futures cancelled and retry
+        through :meth:`_ensure_pool`, which observes the bumped epoch
+        and resubmits to the replacement — no request is failed."""
+        async with self._rebuild_lock:
+            self.stats.pool_rebuilds += 1
+            if _obs.enabled:
+                _obs.inc("repro_serve_pool_rebuilds_total")
+
+            def _swap() -> None:
+                old, self._pool = self._pool, None
+                if old is not None:
+                    old.shutdown(wait=False, cancel_futures=True)
+                self._release_shared_state()
+                self._build_process_pool()
+
+            await asyncio.get_running_loop().run_in_executor(None, _swap)
+            self._pool_epoch += 1
+
+    async def drain(self, deadline_s: float = 5.0) -> None:
+        """Graceful shutdown: stop admitting, *answer* everything
+        already accepted, then tear down.
+
+        The contrast with :meth:`stop` is what happens to queued work:
+        ``stop`` fails it with :class:`OverloadError`, ``drain``
+        dispatches it and waits up to ``deadline_s`` for the answers to
+        settle. Only payloads still running past the deadline are
+        cancelled (their clients get a typed :class:`ServiceError`)."""
+        if not self._running:
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + deadline_s
+        self._running = False  # new submits shed with reason="shutdown"
+        await self._batcher.stop()
+        # The collection loop is gone; anything still queued would
+        # otherwise hang its client forever — dispatch it now.
+        for p in self._batcher.drain():
+            if not p.future.done():
+                self._dispatch(("single", p.spec), [p])
+        if self._tasks:
+            await asyncio.wait(
+                tuple(self._tasks), timeout=max(0.0, deadline - loop.time())
+            )
+        for t in tuple(self._tasks):
+            if not t.done():
+                t.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            await loop.run_in_executor(None, lambda: pool.shutdown(wait=True))
+        self._release_shared_state()
+        if _obs.enabled:
+            _obs.set_gauge("repro_serve_running", 0.0)
+
     # -- request path ----------------------------------------------
 
     def _spec_for(self, req: ServeRequest) -> QuerySpec:
@@ -316,6 +419,7 @@ class QueryService:
                 k=req.k if req.k is not None else 1,
                 algorithm=req.algorithm,
                 attributes=req.attributes,
+                recall_target=req.recall_target,
             )
         except ReproError as exc:
             raise BadRequest(str(exc)) from exc
@@ -335,6 +439,7 @@ class QueryService:
                     if spec.attributes is not None
                     else None
                 ),
+                recall_target=spec.recall_target,
             )
         except ReproError:
             return None
@@ -552,6 +657,12 @@ class QueryService:
             pool, epoch = self._pool, self._pool_epoch
             if pool is None:
                 raise ServiceError("process pool unavailable (rebuild failed)")
+            blob = self._maint_blob
+            if blob is not None:
+                # Piggyback the latest delta state on the payload; the
+                # worker's sync is idempotent (epoch-guarded) so repeat
+                # delivery costs one dict comparison, never a rebuild.
+                wire = ("maint", blob, wire)
             try:
                 return await loop.run_in_executor(
                     pool, _process_worker_run_payload, wire

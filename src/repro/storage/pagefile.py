@@ -142,6 +142,19 @@ class PageFile:
             self._pages.append(page)
             self._num_records += len(page)
 
+    def adopt_staged(
+        self, pages: list[list[tuple[int, tuple]]], num_records: int
+    ) -> None:
+        """Fill an empty file from already-packed pages **without**
+        charging IO — the memoised form of :meth:`stage_entries`. The
+        inner page lists are shared, never copied: every reader copies
+        on access and every writer replaces whole page slots, so adoption
+        is O(pages) regardless of record count."""
+        if self._pages:
+            raise StorageError(f"{self.name}: adopt_staged needs an empty file")
+        self._pages = list(pages)
+        self._num_records = num_records
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PageFile({self.name!r}, pages={self.num_pages}, "

@@ -1,8 +1,20 @@
-"""Streaming reverse-skyline maintenance over sliding windows.
+"""Streaming reverse-skyline maintenance.
 
-Public surface: :class:`StreamingReverseSkyline`.
+Public surface: :class:`StreamingReverseSkyline` (one query, sliding
+window) and :class:`ReverseSkylineMonitor` (many standing queries,
+membership deltas per update batch).
 """
 
+from repro.streaming.monitor import (
+    BatchResult,
+    MembershipDelta,
+    ReverseSkylineMonitor,
+)
 from repro.streaming.window import StreamingReverseSkyline
 
-__all__ = ["StreamingReverseSkyline"]
+__all__ = [
+    "BatchResult",
+    "MembershipDelta",
+    "ReverseSkylineMonitor",
+    "StreamingReverseSkyline",
+]

@@ -16,6 +16,7 @@ from repro.testing.differential import (
     verify_index_equivalence,
     verify_sharded_equivalence,
 )
+from repro.testing.maintenance import MaintReport, verify_maint_equivalence
 from repro.testing.verify import (
     VerificationFailure,
     VerificationReport,
@@ -28,6 +29,7 @@ from repro.testing.verify import (
 __all__ = [
     "ChaosFailure",
     "ChaosReport",
+    "MaintReport",
     "VerificationFailure",
     "VerificationReport",
     "WorkloadCase",
@@ -36,5 +38,6 @@ __all__ = [
     "verify_chaos_equivalence",
     "verify_executor",
     "verify_index_equivalence",
+    "verify_maint_equivalence",
     "verify_sharded_equivalence",
 ]

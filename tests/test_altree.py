@@ -173,3 +173,53 @@ class TestTraversals:
         tree.insert(2, (15,))
         assert tree.find_leaf((3,)).count == 2  # bucket 0
         assert tree.num_nodes == 2
+
+
+class TestMaintenanceMutations:
+    def test_delete_counts_churn(self):
+        tree = build(RECORDS)
+        assert tree.delete(3, RECORDS[3])
+        assert tree.num_objects == 4
+        assert tree.deleted_count == 1
+        assert not tree.delete(3, RECORDS[3])  # already gone
+        assert tree.deleted_count == 1
+        tree.check_invariants()
+
+    def test_delete_one_of_duplicates(self):
+        tree = build(RECORDS)
+        assert tree.delete(0, RECORDS[0])
+        # The duplicate (record 1, same values) is untouched.
+        leaf = tree.find_leaf(RECORDS[1])
+        assert [rid for rid, _ in leaf.entries] == [1]
+        tree.check_invariants()
+
+    def test_merge_from_combines_objects_and_churn(self):
+        a = build(RECORDS[:3])
+        b = ALTree([0, 1, 2])
+        for i, r in enumerate(RECORDS[3:], start=3):
+            b.insert(i, r)
+        b.delete(4, RECORDS[4])
+        merged = a.merge_from(b)
+        assert merged == 1  # record 3 (record 4 was deleted from b)
+        assert a.num_objects == 4
+        assert a.deleted_count == 1  # churn travels with the merge
+        assert sorted(rid for rid, _ in a.iter_entries()) == [0, 1, 2, 3]
+        a.check_invariants()
+        # The source is left untouched.
+        assert b.num_objects == 1
+        b.check_invariants()
+
+    def test_merge_from_shares_prefix_paths(self):
+        a = build([(0, 0, 1), (0, 0, 2)])
+        b = ALTree([0, 1, 2])
+        b.insert(10, (0, 0, 3))
+        before_nodes = a.num_nodes
+        a.merge_from(b)
+        # Same (0, 0) prefix: only the new leaf is added.
+        assert a.num_nodes == before_nodes + 1
+
+    def test_merge_from_rejects_mismatched_orders(self):
+        a = ALTree([0, 1, 2])
+        b = ALTree([2, 1, 0])
+        with pytest.raises(AlgorithmError):
+            a.merge_from(b)

@@ -589,3 +589,345 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "8 ok, 0 shed" in out
         assert "throughput" in out
+
+
+# -- incremental maintenance over the wire -----------------------------------
+
+
+def _maint_engine(n=150, values=(5, 5, 4), seed=3, **kw):
+    from repro.maint import MaintainedEngine
+
+    ds = synthetic_dataset(n, list(values), seed=seed)
+    kw.setdefault("log_queries", False)
+    return MaintainedEngine(ds, **kw)
+
+
+def _live_ids(store, query):
+    """Rebuild oracle: plain engine over the live records, answer
+    translated to stable ids and sorted (order-insensitive compare)."""
+    from repro.data.dataset import Dataset
+
+    live = store.live_entries()
+    if not live:
+        return []
+    ds = Dataset(
+        store.base.schema,
+        [values for _, values in live],
+        store.base.space,
+        validate=False,
+        name="serve-oracle",
+    )
+    oracle = ReverseSkylineEngine(ds, log_queries=False)
+    sids = [sid for sid, _ in live]
+    return sorted(sids[p] for p in oracle.query(query).record_ids)
+
+
+class TestMaintUpdates:
+    def test_protocol_update_decode(self):
+        req = decode_request(
+            b'{"op": "update", "inserts": [[1, 2, 3]], "deletes": [4], "id": "u1"}'
+        )
+        assert req.op == "update"
+        assert req.inserts == ((1, 2, 3),)
+        assert req.deletes == (4,)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b'{"op": "update"}',
+            b'{"op": "update", "inserts": [[]]}',
+            b'{"op": "update", "inserts": [[1]], "deletes": [-1]}',
+            b'{"op": "update", "inserts": [[1]], "deletes": [true]}',
+            b'{"op": "update", "inserts": "nope"}',
+        ],
+    )
+    def test_protocol_update_rejects(self, line):
+        with pytest.raises(BadRequest):
+            decode_request(line)
+
+    def test_update_round_trip_thread_pool(self, server_factory):
+        engine = _maint_engine()
+        handle = server_factory(
+            engine, ServiceConfig(pool="thread", workers=2)
+        )
+        with ServeClient("127.0.0.1", handle.port) as client:
+            first = client.query((0, 0, 0))
+            assert first["ok"]
+            assert sorted(first["records"]) == _live_ids(engine.store, (0, 0, 0))
+            up = client.request(
+                {"op": "update", "inserts": [[4, 4, 3], [0, 1, 2]],
+                 "deletes": [3, 7]}
+            )
+            assert up["ok"], up
+            assert up["inserted"] == [150, 151]
+            assert sorted(up["deleted"]) == [3, 7]
+            assert up["epoch"] == 1
+            after = client.query((0, 0, 0))
+            assert after["ok"] and not after.get("cached")
+            assert sorted(after["records"]) == _live_ids(engine.store, (0, 0, 0))
+
+    def test_update_on_plain_engine_is_typed(self, server_factory):
+        handle = server_factory(_engine(), ServiceConfig(pool="thread"))
+        with ServeClient("127.0.0.1", handle.port) as client:
+            resp = client.request({"op": "update", "inserts": [[1, 1, 1]]})
+            assert not resp["ok"]
+            assert resp["error"]["type"] == "bad-request"
+            assert client.query((0, 0, 0))["ok"]  # connection survives
+
+    def test_bad_update_values_are_typed(self, server_factory):
+        engine = _maint_engine()
+        handle = server_factory(engine, ServiceConfig(pool="thread"))
+        with ServeClient("127.0.0.1", handle.port) as client:
+            resp = client.request(
+                {"op": "update", "inserts": [[99, 99]]}  # wrong arity
+            )
+            assert not resp["ok"]
+            assert resp["error"]["type"] in ("bad-request", "query-error")
+            assert client.query((0, 0, 0))["ok"]
+
+    def test_process_pool_updates_and_compaction_rebuild(self, server_factory):
+        """Non-compacting updates reach the workers via the maint wire
+        envelope; a compacting update rebuilds the pool on the new base.
+        Answers stay bit-identical to the rebuild oracle throughout."""
+        engine = _maint_engine(
+            backend="numpy", compact_min=12, compact_fraction=0.0
+        )
+        handle = server_factory(
+            engine,
+            ServiceConfig(pool="process", workers=2, batch_window_s=0.0),
+        )
+        with ServeClient("127.0.0.1", handle.port) as client:
+            assert sorted(client.query((0, 0, 0))["records"]) == _live_ids(
+                engine.store, (0, 0, 0)
+            )
+            up = client.request(
+                {"op": "update", "inserts": [[1, 2, 3], [4, 0, 1], [2, 2, 2]],
+                 "deletes": [5]}
+            )
+            assert up["ok"] and not up["compacted"]
+            assert sorted(client.query((1, 1, 1))["records"]) == _live_ids(
+                engine.store, (1, 1, 1)
+            )
+            # Push churn past compact_min: the service must drop the maint
+            # envelope and rebuild the pool on the compacted base.
+            compacted = False
+            for i in range(4):
+                up = client.request(
+                    {"op": "update",
+                     "inserts": [[i % 5, (i + 1) % 5, i % 4]] * 3}
+                )
+                assert up["ok"], up
+                compacted = compacted or up["compacted"]
+            assert compacted
+            assert handle.service.stats.pool_rebuilds >= 1
+            for q in ((0, 0, 0), (2, 3, 1), (4, 4, 3)):
+                assert sorted(client.query(q)["records"]) == _live_ids(
+                    engine.store, q
+                )
+
+    def test_read_p50_within_budget_under_writes(self, server_factory):
+        """Acceptance: apply_updates never quiesces reads — p50 read
+        latency under a concurrent write stream stays within 1.5x of
+        the no-write baseline (plus a small absolute allowance for
+        scheduler noise at sub-millisecond latencies)."""
+        import json as _json
+        import statistics
+        import threading
+
+        engine = _maint_engine(n=200, backend="numpy")
+        handle = server_factory(
+            engine, ServiceConfig(pool="thread", workers=2)
+        )
+        probes = [(a, b, c) for a in range(5) for b in range(5) for c in range(4)]
+
+        def measure(client, rounds=2):
+            lat = []
+            for _ in range(rounds):
+                for q in probes:
+                    t0 = time.perf_counter()
+                    assert client.query(q)["ok"]
+                    lat.append(time.perf_counter() - t0)
+            return statistics.median(lat)
+
+        with ServeClient("127.0.0.1", handle.port) as client:
+            measure(client, rounds=1)  # warm plans and code paths
+            p50_base = measure(client)
+            stop = threading.Event()
+            wrote = []
+
+            def writer():
+                with ServeClient("127.0.0.1", handle.port) as wc:
+                    i = 0
+                    while not stop.is_set():
+                        resp = wc.request(
+                            {"op": "update",
+                             "inserts": [[i % 5, (i + 1) % 5, i % 4]]}
+                        )
+                        assert resp["ok"], resp
+                        wrote.append(resp["epoch"])
+                        i += 1
+                        time.sleep(0.002)
+
+            th = threading.Thread(target=writer)
+            th.start()
+            try:
+                p50_writes = measure(client)
+            finally:
+                stop.set()
+                th.join(timeout=30)
+            assert wrote, "writer never landed an update"
+            assert p50_writes <= 1.5 * p50_base + 0.005, (
+                f"p50 under writes {p50_writes * 1e3:.3f}ms vs baseline "
+                f"{p50_base * 1e3:.3f}ms ({len(wrote)} updates applied)"
+            )
+
+
+class TestRecallTarget:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b'{"op": "query", "query": [1], "recall_target": "hi"}',
+            b'{"op": "query", "query": [1], "recall_target": 1.5}',
+            b'{"op": "query", "query": [1], "recall_target": -0.1}',
+            b'{"op": "query", "query": [1], "recall_target": true}',
+            b'{"op": "query", "query": [1], "kind": "count", "recall_target": 0.9}',
+        ],
+    )
+    def test_protocol_rejects(self, line):
+        with pytest.raises(BadRequest):
+            decode_request(line)
+
+    def test_cache_isolation(self, server_factory):
+        """An exact cached answer must never satisfy an approximate
+        request (or vice versa): recall_target is part of the result
+        cache key."""
+        handle = server_factory(_engine(), ServiceConfig(pool="thread"))
+        with ServeClient("127.0.0.1", handle.port) as client:
+            exact = client.query((0, 0, 0))
+            assert exact["ok"] and not exact.get("cached")
+            assert client.query((0, 0, 0))["cached"]
+            approx = client.request(
+                {"op": "query", "query": [0, 0, 0], "recall_target": 0.9}
+            )
+            assert approx["ok"], approx
+            assert not approx.get("cached"), (
+                "approximate request was served from the exact cache entry"
+            )
+            again = client.request(
+                {"op": "query", "query": [0, 0, 0], "recall_target": 0.9}
+            )
+            assert again["cached"]
+            # The exact entry is still there, untouched.
+            assert client.query((0, 0, 0))["cached"]
+
+
+class TestDrain:
+    def test_drain_answers_inflight_then_refuses(self):
+        """A request already on the wire when drain starts still gets
+        its answer; afterwards the listener refuses new connections and
+        existing connections see EOF."""
+        import json as _json
+        import socket
+        import threading
+
+        engine = _engine()
+        handle = serve_in_background(
+            engine, ServiceConfig(pool="thread", workers=2)
+        )
+        try:
+            client = ServeClient("127.0.0.1", handle.port)
+            assert client.query((0, 0, 0))["ok"]
+            client._file.write(
+                _json.dumps(
+                    {"op": "query", "query": [1, 1, 1], "id": "d1"}
+                ).encode()
+                + b"\n"
+            )
+            client._file.flush()
+            # Wait for admission so drain races the *answer*, not the
+            # socket read — a not-yet-read line may legitimately shed.
+            deadline = time.time() + 10
+            while (
+                handle.service.stats.admitted < 2 and time.time() < deadline
+            ):
+                time.sleep(0.001)
+            assert handle.service.stats.admitted >= 2
+
+            def _drain():
+                asyncio.run_coroutine_threadsafe(
+                    handle._server.drain(5.0), handle._loop
+                ).result(timeout=30)
+
+            th = threading.Thread(target=_drain)
+            th.start()
+            line = client._file.readline()
+            th.join(timeout=30)
+            resp = _json.loads(line)
+            assert resp["ok"] and resp["id"] == "d1"
+            assert client._file.readline() == b""  # server said goodbye
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", handle.port), timeout=2)
+            client.close()
+        finally:
+            assert handle._thread is not None
+            handle._thread.join(timeout=30)
+            assert not handle._thread.is_alive()
+            handle._loop = None  # loop is closed; make stop() a no-op
+        assert not glob.glob("/dev/shm/repro-shm-*")
+
+    def test_sigterm_drains_run_server(self, tmp_path):
+        """run_server installs a SIGTERM handler on the main thread:
+        the process answers what it accepted, exits 0, and leaves no
+        shm segments behind."""
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "from repro.data.synthetic import synthetic_dataset\n"
+            "from repro.engine import ReverseSkylineEngine\n"
+            "from repro.serve import ServiceConfig\n"
+            "from repro.serve.server import run_server\n"
+            "ds = synthetic_dataset(80, [4, 4], seed=5)\n"
+            "engine = ReverseSkylineEngine(ds, log_queries=False)\n"
+            "run_server(engine, ServiceConfig(pool='thread', workers=2),\n"
+            "           port_file=sys.argv[1])\n"
+            "print('drained-clean', flush=True)\n"
+        )
+        port_file = str(tmp_path / "port")
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, port_file],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 60
+            port = None
+            while time.time() < deadline:
+                if os.path.exists(port_file):
+                    content = open(port_file).read().strip()
+                    if content:
+                        port = int(content)
+                        break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert port is not None, proc.communicate()[1]
+            with ServeClient("127.0.0.1", port) as client:
+                assert client.query((0, 0))["ok"]
+                proc.send_signal(signal.SIGTERM)
+                out, err = proc.communicate(timeout=30)
+        except BaseException:
+            proc.kill()
+            proc.communicate()
+            raise
+        assert proc.returncode == 0, err
+        assert "drained-clean" in out
+        assert not glob.glob("/dev/shm/repro-shm-*")

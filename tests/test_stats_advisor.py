@@ -249,3 +249,40 @@ class TestBRSShapeRule:
         rec = recommend(dense, calibrate=True)
         assert rec.algorithm == "BRS"
         assert any("calibration override: BRS" in r for r in rec.rationale)
+
+
+class TestWriteRateRule:
+    def test_no_write_rate_means_no_verdict(self, ds):
+        assert recommend(ds).maintenance is None
+
+    def test_zero_writes_is_static(self, ds):
+        rec = recommend(ds, write_rate=0.0)
+        assert rec.maintenance == "static"
+
+    def test_read_dominated_gets_maintained(self):
+        big = synthetic_dataset(600, [6, 5, 7], seed=17)
+        rec = recommend(big, write_rate=0.1)
+        assert rec.maintenance == "maintained"
+        assert any("MaintainedEngine" in r for r in rec.rationale)
+
+    def test_write_dominated_gets_rebuild(self):
+        big = synthetic_dataset(600, [6, 5, 7], seed=17)
+        rec = recommend(big, write_rate=0.8)
+        assert rec.maintenance == "rebuild"
+        assert any("write-dominated" in r for r in rec.rationale)
+
+    def test_small_dataset_gets_rebuild(self, ds):
+        rec = recommend(ds, write_rate=0.1)  # ds has 400 records
+        assert rec.maintenance == "rebuild"
+        assert any("delta bookkeeping" in r for r in rec.rationale)
+
+    def test_numeric_schema_gets_rebuild(self):
+        mixed = mixed_dataset(600, [5, 5], [(0.0, 1.0)], seed=4)
+        rec = recommend(mixed, write_rate=0.1)
+        assert rec.algorithm == "NumericTRS"
+        assert rec.maintenance == "rebuild"
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, "lots", True])
+    def test_bad_write_rate_rejected(self, ds, bad):
+        with pytest.raises(ExperimentError):
+            recommend(ds, write_rate=bad)
